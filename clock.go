@@ -1,0 +1,10 @@
+package optiwise
+
+import "time"
+
+// nowSeconds returns a monotonic wall-clock reading used to time the
+// analysis stage (§V-A reports analysis wall-clock separately from the
+// profiled runs, which are measured in simulated cycles).
+func nowSeconds() float64 {
+	return float64(time.Now().UnixNano()) / 1e9
+}

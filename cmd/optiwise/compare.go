@@ -1,0 +1,123 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"optiwise"
+)
+
+// cmdCompare profiles two versions of a program (e.g. baseline and
+// optimized source) on the same machine and prints the per-function cycle
+// deltas plus the overall speedup — the paper's case-study measurement
+// loop as one command.
+func cmdCompare(args []string) error {
+	c := newFlags("compare")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := c.options()
+	if err != nil {
+		return err
+	}
+	if c.fs.NArg() != 2 {
+		return fmt.Errorf("compare wants exactly two program files")
+	}
+	load := func(path string) (*optiwise.Program, *optiwise.Result, optiwise.RunResult, error) {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, optiwise.RunResult{}, err
+		}
+		prog, err := optiwise.Assemble(moduleName(path), string(src))
+		if err != nil {
+			return nil, nil, optiwise.RunResult{}, err
+		}
+		prof, err := optiwise.Profile(prog, opts)
+		if err != nil {
+			return nil, nil, optiwise.RunResult{}, err
+		}
+		res, err := prog.Run(opts.Machine)
+		if err != nil {
+			return nil, nil, optiwise.RunResult{}, err
+		}
+		return prog, prof, res, nil
+	}
+	_, oldProf, oldRun, err := load(c.fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	_, newProf, newRun, err := load(c.fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s: %d cycles (IPC %.2f)\n", c.fs.Arg(0), oldRun.Cycles, oldRun.IPC)
+	fmt.Printf("%s: %d cycles (IPC %.2f)\n", c.fs.Arg(1), newRun.Cycles, newRun.IPC)
+	speedup := 100 * (float64(oldRun.Cycles)/float64(newRun.Cycles) - 1)
+	fmt.Printf("speedup: %+.1f%%\n\n", speedup)
+	if oldRun.ExitCode != newRun.ExitCode {
+		fmt.Printf("WARNING: exit codes differ (%d vs %d) — versions may not be equivalent\n\n",
+			oldRun.ExitCode, newRun.ExitCode)
+	}
+
+	// Per-function cycle deltas (matched by name; unmatched shown too).
+	type row struct {
+		name     string
+		old, new uint64
+	}
+	rows := map[string]*row{}
+	for _, f := range oldProf.Funcs {
+		rows[f.Name] = &row{name: f.Name, old: f.SelfCycles}
+	}
+	for _, f := range newProf.Funcs {
+		r := rows[f.Name]
+		if r == nil {
+			r = &row{name: f.Name}
+			rows[f.Name] = r
+		}
+		r.new = f.SelfCycles
+	}
+	var sorted []*row
+	for _, r := range rows {
+		sorted = append(sorted, r)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		di := int64(sorted[i].old) - int64(sorted[i].new)
+		dj := int64(sorted[j].old) - int64(sorted[j].new)
+		if di != dj {
+			return di > dj
+		}
+		return sorted[i].name < sorted[j].name
+	})
+	fmt.Printf("%-24s %14s %14s %12s\n", "FUNCTION (self cycles)", "OLD", "NEW", "DELTA")
+	for _, r := range sorted {
+		fmt.Printf("%-24s %14d %14d %+12d\n", r.name, r.old, r.new,
+			int64(r.new)-int64(r.old))
+	}
+	return nil
+}
+
+// cmdCFG profiles a program (instrumentation only would suffice, but the
+// shared pipeline keeps flags uniform) and emits one function's CFG as
+// Graphviz dot — the diagrams of the paper's figures 4 and 6.
+func cmdCFG(args []string) error {
+	c := newFlags("cfg")
+	fn := c.fs.String("func", "main", "function to render")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := c.options()
+	if err != nil {
+		return err
+	}
+	prog, err := loadProgram(c.fs)
+	if err != nil {
+		return err
+	}
+	prof, err := optiwise.Profile(prog, opts)
+	if err != nil {
+		return err
+	}
+	return optiwise.WriteCFGDot(os.Stdout, prof, *fn)
+}

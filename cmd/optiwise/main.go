@@ -1,0 +1,355 @@
+// Command optiwise mirrors the paper artifact's command-line tool: it
+// profiles an OWISA assembly program on a simulated out-of-order machine
+// by sampling and instrumentation, then combines the two profiles into
+// granular CPI reports.
+//
+// Usage:
+//
+//	optiwise check
+//	optiwise run        [flags] prog.s        # sample + instrument + analyze
+//	optiwise sample     [flags] -o s.json prog.s
+//	optiwise instrument [flags] -o e.json prog.s
+//	optiwise analyze    [flags] -sample s.json -edges e.json prog.s
+//	optiwise help
+//
+// Flags (run/sample/instrument/analyze as applicable):
+//
+//	-machine xeon|n1    simulated processor (default xeon)
+//	-period N           sampling period in user cycles (default 2000)
+//	-precise            PEBS-style precise sampling
+//	-no-stack           disable stack profiling (Algorithm 1)
+//	-T N                loop-merging threshold (default 3)
+//	-attr auto|none|pred sample attribution mode
+//	-func NAME          annotate only this function
+//	-csv                emit per-instruction and loop CSV instead of text
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"optiwise"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "check":
+		fmt.Println("optiwise: simulated machines available: xeon-w2195, neoverse-n1")
+		fmt.Println("optiwise: ok")
+	case "run":
+		err = cmdRun(args)
+	case "sample":
+		err = cmdSample(args)
+	case "instrument":
+		err = cmdInstrument(args)
+	case "analyze":
+		err = cmdAnalyze(args)
+	case "trace":
+		err = cmdTrace(args)
+	case "compare":
+		err = cmdCompare(args)
+	case "asm":
+		err = cmdAsm(args)
+	case "cfg":
+		err = cmdCFG(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "optiwise: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optiwise:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  optiwise check
+  optiwise run        [flags] prog.s
+  optiwise sample     [flags] -o sample.json prog.s
+  optiwise instrument [flags] -o edges.json prog.s
+  optiwise analyze    [flags] -sample sample.json -edges edges.json prog.s
+  optiwise trace      [flags] prog.s   (figure 2-style pipeline diagram)
+  optiwise compare    [flags] old.s new.s   (before/after cycle deltas)
+  optiwise asm        -o prog.owx prog.s    (assemble to a binary image)
+  optiwise cfg        -func NAME prog.s     (Graphviz dot of the CFG)
+run 'optiwise <cmd> -h' for flags`)
+}
+
+// commonFlags registers the flags shared by the profiling subcommands.
+type commonFlags struct {
+	fs      *flag.FlagSet
+	machine *string
+	period  *uint64
+	precise *bool
+	noStack *bool
+	thresh  *uint64
+	attr    *string
+}
+
+func newFlags(name string) *commonFlags {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return &commonFlags{
+		fs:      fs,
+		machine: fs.String("machine", "xeon", "simulated machine: xeon or n1"),
+		period:  fs.Uint64("period", 2000, "sampling period in user cycles"),
+		precise: fs.Bool("precise", false, "PEBS-style precise sampling"),
+		noStack: fs.Bool("no-stack", false, "disable stack profiling"),
+		thresh:  fs.Uint64("T", 3, "loop-merging threshold"),
+		attr:    fs.String("attr", "auto", "sample attribution: auto, none, pred"),
+	}
+}
+
+func (c *commonFlags) options() (optiwise.Options, error) {
+	opts := optiwise.Options{
+		SamplePeriod:          *c.period,
+		Precise:               *c.precise,
+		DisableStackProfiling: *c.noStack,
+		LoopThreshold:         *c.thresh,
+	}
+	switch *c.machine {
+	case "xeon":
+		opts.Machine = optiwise.XeonW2195()
+	case "n1":
+		opts.Machine = optiwise.NeoverseN1()
+	default:
+		return opts, fmt.Errorf("unknown machine %q", *c.machine)
+	}
+	switch *c.attr {
+	case "auto":
+		opts.Attribution = optiwise.AttrAuto
+	case "none":
+		opts.Attribution = optiwise.AttrNone
+	case "pred":
+		opts.Attribution = optiwise.AttrPredecessor
+	default:
+		return opts, fmt.Errorf("unknown attribution %q", *c.attr)
+	}
+	return opts, nil
+}
+
+func loadProgram(fs *flag.FlagSet) (*optiwise.Program, error) {
+	if fs.NArg() != 1 {
+		return nil, fmt.Errorf("expected exactly one program file, got %d", fs.NArg())
+	}
+	return loadProgramPath(fs.Arg(0))
+}
+
+// loadProgramPath accepts either assembly source (.s) or an assembled OWX
+// binary image (anything else is sniffed by magic).
+func loadProgramPath(path string) (*optiwise.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) >= 4 && string(data[:4]) == "OWX\x01" {
+		return optiwise.ReadBinary(bytes.NewReader(data))
+	}
+	return optiwise.Assemble(moduleName(path), string(data))
+}
+
+// cmdAsm assembles source into an OWX binary image.
+func cmdAsm(args []string) error {
+	fs := flag.NewFlagSet("asm", flag.ExitOnError)
+	out := fs.String("o", "a.owx", "output image")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("asm wants exactly one source file")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := optiwise.Assemble(moduleName(fs.Arg(0)), string(src))
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := prog.WriteBinary(f); err != nil {
+		return err
+	}
+	fmt.Printf("assembled %s -> %s\n", fs.Arg(0), *out)
+	return nil
+}
+
+func moduleName(path string) string {
+	base := path
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			base = path[i+1:]
+			break
+		}
+	}
+	if len(base) > 2 && base[len(base)-2:] == ".s" {
+		base = base[:len(base)-2]
+	}
+	return base
+}
+
+func cmdRun(args []string) error {
+	c := newFlags("run")
+	fn := c.fs.String("func", "", "annotate only this function")
+	csv := c.fs.Bool("csv", false, "emit CSV instead of text report")
+	callgraph := c.fs.Bool("callgraph", false, "emit the caller/callee table")
+	jsonOut := c.fs.Bool("json", false, "emit the combined profile as JSON")
+	events := c.fs.Bool("events", false, "emit per-function event rates (misses, mispredicts)")
+	loopID := c.fs.Int("loop", -1, "annotate only this loop id")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := c.options()
+	if err != nil {
+		return err
+	}
+	prog, err := loadProgram(c.fs)
+	if err != nil {
+		return err
+	}
+	prof, err := optiwise.Profile(prog, opts)
+	if err != nil {
+		return err
+	}
+	switch {
+	case *jsonOut:
+		return prof.WriteJSON(os.Stdout)
+	case *loopID >= 0:
+		return optiwise.WriteAnnotatedLoop(os.Stdout, prof, *loopID)
+	case *events:
+		return optiwise.WriteEventTable(os.Stdout, prof)
+	case *csv:
+		if err := optiwise.WriteInstCSV(os.Stdout, prof); err != nil {
+			return err
+		}
+		fmt.Println()
+		return optiwise.WriteLoopCSV(os.Stdout, prof)
+	case *callgraph:
+		return optiwise.WriteCallGraph(os.Stdout, prof)
+	case *fn != "":
+		return optiwise.WriteAnnotated(os.Stdout, prof, *fn)
+	default:
+		return optiwise.WriteReport(os.Stdout, prof)
+	}
+}
+
+func cmdSample(args []string) error {
+	c := newFlags("sample")
+	out := c.fs.String("o", "sample.json", "output file")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := c.options()
+	if err != nil {
+		return err
+	}
+	prog, err := loadProgram(c.fs)
+	if err != nil {
+		return err
+	}
+	sp, stats, err := optiwise.SampleOnly(prog, opts)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := sp.Write(f); err != nil {
+		return err
+	}
+	fmt.Printf("sampled %s: %d samples over %d cycles -> %s\n",
+		prog.Module(), stats.Samples, stats.Cycles, *out)
+	return nil
+}
+
+func cmdInstrument(args []string) error {
+	c := newFlags("instrument")
+	out := c.fs.String("o", "edges.json", "output file")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := c.options()
+	if err != nil {
+		return err
+	}
+	prog, err := loadProgram(c.fs)
+	if err != nil {
+		return err
+	}
+	ep, err := optiwise.InstrumentOnly(prog, opts)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ep.Write(f); err != nil {
+		return err
+	}
+	fmt.Printf("instrumented %s: %d blocks, %d instructions, %.1fx overhead -> %s\n",
+		prog.Module(), len(ep.Blocks), ep.BaseInstructions, ep.Overhead(), *out)
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	c := newFlags("analyze")
+	sampleIn := c.fs.String("sample", "sample.json", "sampling profile")
+	edgesIn := c.fs.String("edges", "edges.json", "edge profile")
+	fn := c.fs.String("func", "", "annotate only this function")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := c.options()
+	if err != nil {
+		return err
+	}
+	prog, err := loadProgram(c.fs)
+	if err != nil {
+		return err
+	}
+	sf, err := os.Open(*sampleIn)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	sp, err := optiwise.ReadSampleProfile(sf)
+	if err != nil {
+		return err
+	}
+	ef, err := os.Open(*edgesIn)
+	if err != nil {
+		return err
+	}
+	defer ef.Close()
+	ep, err := optiwise.ReadEdgeProfile(ef)
+	if err != nil {
+		return err
+	}
+	prof, err := optiwise.Analyze(prog, sp, ep, opts)
+	if err != nil {
+		return err
+	}
+	if *fn != "" {
+		return optiwise.WriteAnnotated(os.Stdout, prof, *fn)
+	}
+	return optiwise.WriteReport(os.Stdout, prof)
+}

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testProg = `
+.func main
+main:
+    li t0, 200
+loop:
+    div t1, t0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    li a0, 0
+    li a7, 93
+    syscall
+.endfunc
+`
+
+// writeProg drops the test program into a temp dir and returns its path.
+func writeProg(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.s")
+	if err := os.WriteFile(path, []byte(testProg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// silencing stdout keeps `go test` output readable; the subcommands write
+// reports to os.Stdout directly.
+func silenceStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestCmdRun(t *testing.T) {
+	silenceStdout(t)
+	path := writeProg(t)
+	if err := cmdRun([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-machine", "n1", "-period", "500", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-csv", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-callgraph", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-func", "main", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdRunErrors(t *testing.T) {
+	silenceStdout(t)
+	path := writeProg(t)
+	if err := cmdRun([]string{"-machine", "quantum", path}); err == nil {
+		t.Error("bad machine accepted")
+	}
+	if err := cmdRun([]string{"-attr", "psychic", path}); err == nil {
+		t.Error("bad attribution accepted")
+	}
+	if err := cmdRun([]string{}); err == nil {
+		t.Error("missing program accepted")
+	}
+	if err := cmdRun([]string{"/nonexistent/prog.s"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.s")
+	if err := os.WriteFile(bad, []byte("frobnicate"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{bad}); err == nil {
+		t.Error("unassemblable file accepted")
+	}
+}
+
+func TestStagedWorkflow(t *testing.T) {
+	silenceStdout(t)
+	path := writeProg(t)
+	dir := filepath.Dir(path)
+	sout := filepath.Join(dir, "s.json")
+	eout := filepath.Join(dir, "e.json")
+	if err := cmdSample([]string{"-o", sout, path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInstrument([]string{"-o", eout, path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAnalyze([]string{"-sample", sout, "-edges", eout, path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAnalyze([]string{"-sample", sout, "-edges", eout, "-func", "main", path}); err != nil {
+		t.Fatal(err)
+	}
+	// Missing inputs must fail cleanly.
+	if err := cmdAnalyze([]string{"-sample", "/nope.json", "-edges", eout, path}); err == nil {
+		t.Error("missing sample file accepted")
+	}
+}
+
+func TestModuleName(t *testing.T) {
+	cases := map[string]string{
+		"prog.s":      "prog",
+		"/a/b/prog.s": "prog",
+		"prog":        "prog",
+		"/a/b/c":      "c",
+		"x.s":         "x",
+	}
+	for in, want := range cases {
+		if got := moduleName(in); got != want {
+			t.Errorf("moduleName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCmdTrace(t *testing.T) {
+	silenceStdout(t)
+	path := writeProg(t)
+	if err := cmdTrace([]string{"-n", "8", "-skip", "50", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTrace([]string{"-machine", "n1", "-n", "4", "-skip", "10", path}); err != nil {
+		t.Fatal(err)
+	}
+	// Skipping past the end of the program must fail cleanly.
+	if err := cmdTrace([]string{"-skip", "99999999", path}); err == nil {
+		t.Error("oversized skip accepted")
+	}
+}
+
+func TestCmdCompare(t *testing.T) {
+	silenceStdout(t)
+	oldPath := writeProg(t)
+	// "Optimized": half the divides.
+	opt := strings.ReplaceAll(testProg, "li t0, 200", "li t0, 100")
+	newPath := filepath.Join(t.TempDir(), "new.s")
+	if err := os.WriteFile(newPath, []byte(opt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCompare([]string{oldPath, newPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCompare([]string{oldPath}); err == nil {
+		t.Error("compare with one file accepted")
+	}
+}
+
+func TestCmdRunJSONAndLoop(t *testing.T) {
+	silenceStdout(t)
+	path := writeProg(t)
+	if err := cmdRun([]string{"-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-loop", "0", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-loop", "99", path}); err == nil {
+		t.Error("bogus loop id accepted")
+	}
+}
+
+func TestCmdAsmAndBinaryRun(t *testing.T) {
+	silenceStdout(t)
+	path := writeProg(t)
+	owx := filepath.Join(filepath.Dir(path), "prog.owx")
+	if err := cmdAsm([]string{"-o", owx, path}); err != nil {
+		t.Fatal(err)
+	}
+	// Every subcommand must accept the binary image directly.
+	if err := cmdRun([]string{owx}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTrace([]string{"-n", "4", "-skip", "10", owx}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAsm([]string{"-o", owx}); err == nil {
+		t.Error("asm without source accepted")
+	}
+}
+
+func TestCmdRunEvents(t *testing.T) {
+	silenceStdout(t)
+	path := writeProg(t)
+	if err := cmdRun([]string{"-events", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdCFG(t *testing.T) {
+	silenceStdout(t)
+	path := writeProg(t)
+	if err := cmdCFG([]string{"-func", "main", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCFG([]string{"-func", "nosuch", path}); err == nil {
+		t.Error("unknown function accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"optiwise"
+	"optiwise/internal/isa"
+	"optiwise/internal/ooo"
+	"optiwise/internal/program"
+)
+
+// cmdTrace renders a figure 2-style pipeline occupancy diagram: one row
+// per dynamic instruction, one column per cycle, showing dispatch (d),
+// execution (E), completed-awaiting-commit (-), and commit (C). It makes
+// the sampling quirks visible at a glance: only instructions that spend
+// cycles as the oldest uncommitted entry can ever be sampled.
+func cmdTrace(args []string) error {
+	c := newFlags("trace")
+	count := c.fs.Int("n", 16, "number of instructions to render")
+	skip := c.fs.Uint64("skip", 64, "dynamic instructions to skip (warmup)")
+	if err := c.fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := c.options()
+	if err != nil {
+		return err
+	}
+	prog, err := loadProgram(c.fs)
+	if err != nil {
+		return err
+	}
+
+	img := program.Load(prog.Raw(), program.LoadOptions{})
+	sim := ooo.New(opts.Machine, img, ooo.Options{
+		TraceLimit: *skip + uint64(*count) + 1,
+		RandSeed:   7,
+	})
+	if _, err := sim.Run(0); err != nil {
+		return err
+	}
+	var window []ooo.TimelineEntry
+	for _, e := range sim.Trace() {
+		if e.Seq > *skip && e.Seq <= *skip+uint64(*count) {
+			window = append(window, e)
+		}
+	}
+	if len(window) == 0 {
+		return fmt.Errorf("trace: program too short for skip=%d", *skip)
+	}
+	renderTimeline(os.Stdout, prog, img, window)
+	return nil
+}
+
+func renderTimeline(w *os.File, prog *optiwise.Program, img *program.Image, window []ooo.TimelineEntry) {
+	base := window[0].Dispatch
+	last := uint64(0)
+	for _, e := range window {
+		if e.Commit > last {
+			last = e.Commit
+		}
+	}
+	width := int(last - base + 1)
+	const maxWidth = 120
+	clipped := false
+	if width > maxWidth {
+		width = maxWidth
+		clipped = true
+	}
+
+	fmt.Fprintf(w, "pipeline occupancy (cycles %d..%d; d=dispatch E=execute -=await commit C=commit)\n\n",
+		base, base+uint64(width)-1)
+	for _, e := range window {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		plot := func(from, to uint64, ch byte) {
+			for c := from; c <= to; c++ {
+				if c < base {
+					continue
+				}
+				i := int(c - base)
+				if i >= width {
+					break
+				}
+				row[i] = ch
+			}
+		}
+		if e.Start > e.Dispatch {
+			plot(e.Dispatch, e.Start-1, 'd')
+		}
+		if e.Done > e.Start {
+			plot(e.Start, e.Done-1, 'E')
+		} else {
+			plot(e.Start, e.Start, 'E')
+		}
+		if e.Commit > e.Done {
+			plot(e.Done, e.Commit-1, '-')
+		}
+		plot(e.Commit, e.Commit, 'C')
+
+		off, _ := img.AbsToOff(e.PC)
+		inst, _ := prog.Raw().InstAt(off)
+		fmt.Fprintf(w, "%6x %-20s |%s|\n", off, isa.Disassemble(inst), string(row))
+	}
+	if clipped {
+		fmt.Fprintf(w, "\n(window clipped to %d cycles)\n", maxWidth)
+	}
+	fmt.Fprintln(w, "\nan instruction can only be sampled while it is the oldest entry —")
+	fmt.Fprintln(w, "rows that never reach the commit frontier alone are invisible to perf")
+}

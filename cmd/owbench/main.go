@@ -1,0 +1,83 @@
+// Command owbench regenerates every table and figure of the OptiWISE paper
+// evaluation on the simulated substrate:
+//
+//	owbench fig1      motivating example: samples vs counts vs CPI
+//	owbench fig2      pipeline timeline and never-sampled instructions
+//	owbench fig7      tool overhead across the 23-benchmark suite
+//	owbench fig8      x86 sample skid around a long-latency store
+//	owbench fig9      Neoverse-style early-dequeue sampling displacement
+//	owbench fig10     annotated cost_compare disassembly (505.mcf)
+//	owbench table1    loop-merging iterations on the figure 6 CFG
+//	owbench mcf       case study A: comparator/divide/unroll optimizations
+//	owbench deepsjeng case study B: prefetch + divide removal
+//	owbench bwaves    case study C: divide-by-invariant inversion
+//	owbench ablate    design-choice ablations (DESIGN.md §4)
+//	owbench all       everything above
+//
+// Shape, not absolute numbers, is the reproduction target: who wins, by
+// roughly what factor, and where the worst cases fall. EXPERIMENTS.md
+// records paper-vs-measured for each experiment.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+var commands = []struct {
+	name string
+	desc string
+	run  func() error
+}{
+	{"fig1", "motivating example: samples vs counts vs CPI", fig1},
+	{"fig2", "pipeline timeline and never-sampled instructions", fig2},
+	{"fig7", "tool overhead across the 23-benchmark suite", fig7},
+	{"fig8", "x86 sample skid around a long-latency store", fig8},
+	{"fig9", "N1 early-dequeue sampling displacement", fig9},
+	{"fig10", "annotated cost_compare disassembly", fig10},
+	{"table1", "loop-merging iterations on the figure 6 CFG", table1},
+	{"mcf", "case study A: 505.mcf", caseMCF},
+	{"deepsjeng", "case study B: 531.deepsjeng", caseDeepsjeng},
+	{"bwaves", "case study C: 603.bwaves", caseBwaves},
+	{"accuracy", "sampling accuracy vs ground truth, by granularity", accuracyExp},
+	{"ablate", "design-choice ablations", ablate},
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		usage()
+		os.Exit(2)
+	}
+	name := os.Args[1]
+	if name == "all" {
+		for _, c := range commands {
+			fmt.Printf("==================== %s ====================\n", c.name)
+			if err := c.run(); err != nil {
+				fmt.Fprintf(os.Stderr, "owbench %s: %v\n", c.name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	for _, c := range commands {
+		if c.name == name {
+			if err := c.run(); err != nil {
+				fmt.Fprintf(os.Stderr, "owbench %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "owbench: unknown experiment %q\n", name)
+	usage()
+	os.Exit(2)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: owbench <experiment>")
+	for _, c := range commands {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", c.name, c.desc)
+	}
+	fmt.Fprintln(os.Stderr, "  all        run every experiment")
+}

@@ -1,0 +1,101 @@
+package optiwise_test
+
+import (
+	"fmt"
+	"log"
+
+	"optiwise"
+)
+
+// The simplest possible use: assemble, run, read the architectural result.
+func ExampleAssemble() {
+	prog, err := optiwise.Assemble("demo", `
+.func main
+main:
+    li a0, 7
+    li a7, 93
+    syscall
+.endfunc
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prog.Run(optiwise.XeonW2195())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exit:", res.ExitCode)
+	fmt.Println("instructions:", res.Instructions)
+	// Output:
+	// exit: 7
+	// instructions: 3
+}
+
+// Profile combines the sampling and instrumentation runs; the result's
+// per-instruction records carry exact execution counts from the
+// instrumentation run.
+func ExampleProfile() {
+	prog, err := optiwise.Assemble("demo", `
+.func main
+main:
+    li t0, 1000
+loop:
+    div t1, t0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    li a0, 0
+    li a7, 93
+    syscall
+.endfunc
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := optiwise.Profile(prog, optiwise.Options{SamplePeriod: 500, Precise: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The divide at offset 0x4 executes exactly 1000 times.
+	r, _ := prof.InstAt(0x4)
+	fmt.Println(r.Disasm, "executed", r.ExecCount, "times")
+	hot, _ := prof.HottestInst()
+	fmt.Println("hottest:", hot.Disasm)
+	// Output:
+	// div t1, t0, t0 executed 1000 times
+	// hottest: div t1, t0, t0
+}
+
+// Loop analysis merges same-header back edges and reports per-loop
+// iteration statistics.
+func ExampleProfile_loops() {
+	prog, err := optiwise.Assemble("demo", `
+.func main
+main:
+    li s2, 20
+outer:
+    li s3, 30
+inner:
+    addi s3, s3, -1
+    bnez s3, inner
+    addi s2, s2, -1
+    bnez s2, outer
+    li a0, 0
+    li a7, 93
+    syscall
+.endfunc
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := optiwise.Profile(prog, optiwise.Options{SamplePeriod: 500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range prof.Loops {
+		fmt.Printf("loop depth %d: %d iterations over %d invocations\n",
+			l.Depth, l.Iterations, l.Invocations)
+	}
+	// Output:
+	// loop depth 0: 20 iterations over 1 invocations
+	// loop depth 1: 600 iterations over 20 invocations
+}

@@ -1,0 +1,68 @@
+// Suite characterization: run a slice of the synthetic SPEC CPU2017
+// stand-in suite natively on both simulated machines and print the kind of
+// microarchitectural characterization table architects build before any
+// profiling — IPC, mispredict rate, and the per-function event rates the
+// multi-event samples expose.
+//
+// Run with:
+//
+//	go run ./examples/characterize
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"optiwise"
+)
+
+func main() {
+	names := []string{
+		"505.mcf", "523.xalancbmk", "531.deepsjeng", "519.lbm", "548.exchange2",
+	}
+	specs := map[string]optiwise.WorkloadSpec{}
+	for _, s := range optiwise.SuiteSpecs() {
+		specs[s.Name] = s
+	}
+
+	fmt.Printf("%-16s %-12s %10s %7s %10s\n",
+		"BENCHMARK", "MACHINE", "CYCLES(k)", "IPC", "BR-MISS%")
+	for _, name := range names {
+		spec, ok := specs[name]
+		if !ok {
+			log.Fatalf("unknown benchmark %s", name)
+		}
+		prog, err := optiwise.SuiteProgram(spec, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, m := range []optiwise.Machine{optiwise.XeonW2195(), optiwise.NeoverseN1()} {
+			res, err := prog.Run(m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			missRate := 0.0
+			if res.Branches > 0 {
+				missRate = 100 * float64(res.Mispredicts) / float64(res.Branches)
+			}
+			fmt.Printf("%-16s %-12s %10d %7.2f %9.1f%%\n",
+				name, m.Name, res.Cycles/1000, res.IPC, missRate)
+		}
+	}
+
+	// Event-rate drill-down on the most memory-bound benchmark.
+	fmt.Println("\nper-function event rates (531.deepsjeng case study, Xeon):")
+	prog, err := optiwise.DeepsjengProgram(optiwise.DefaultDeepsjengConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := optiwise.Profile(prog, optiwise.Options{SamplePeriod: 1000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := optiwise.WriteEventTable(os.Stdout, prof); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n(probett's MPKI is the smoking gun the CPI metric quantifies)")
+}

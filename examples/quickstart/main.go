@@ -1,0 +1,92 @@
+// Quickstart: profile a small program end-to-end with OptiWISE and print
+// the combined report.
+//
+// The program computes a polynomial over an array in a hot loop whose cost
+// is dominated by one divide. Sampling alone smears the time; counting
+// alone is uniform; the combined profile puts a hard CPI number on every
+// instruction.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"optiwise"
+)
+
+const source = `
+.module quickstart
+.data
+coeffs: .quad 3, 5, 7, 11
+.text
+.func main
+main:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    li s2, 2000          # outer trip count
+.loc quickstart.c 12
+outer:
+    call poly
+    addi s2, s2, -1
+    bnez s2, outer
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    li a0, 0
+    li a7, 93
+    syscall
+.endfunc
+
+.func poly
+poly:
+    la t0, coeffs
+    li t1, 4             # coefficient count
+    li a0, 1
+.loc quickstart.c 22
+ploop:
+    ld t2, 0(t0)
+    mul a0, a0, t2       # cheap multiply
+.loc quickstart.c 24
+    div a0, a0, t2       # expensive divide: the bottleneck
+    addi a0, a0, 1
+    addi t0, t0, 8
+    addi t1, t1, -1
+    bnez t1, ploop
+    ret
+.endfunc
+`
+
+func main() {
+	prog, err := optiwise.Assemble("quickstart", source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A plain run first: the baseline performance.
+	base, err := prog.Run(optiwise.XeonW2195())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: %d instructions in %d cycles (IPC %.2f)\n\n",
+		base.Instructions, base.Cycles, base.IPC)
+
+	// The full OptiWISE pipeline: sampling run + instrumentation run +
+	// combining analysis.
+	prof, err := optiwise.Profile(prog, optiwise.Options{SamplePeriod: 500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := optiwise.WriteReport(os.Stdout, prof); err != nil {
+		log.Fatal(err)
+	}
+
+	// Programmatic access: what single instruction costs the most?
+	hot, _ := prof.HottestInst()
+	fmt.Printf("\nhottest instruction: %s at +0x%x in %s (CPI %.1f)\n",
+		hot.Disasm, hot.Offset, hot.Func, hot.CPI)
+	fmt.Println("=> the divide dominates; precompute or strength-reduce it")
+}

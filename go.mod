@@ -1,0 +1,3 @@
+module optiwise
+
+go 1.22

@@ -1,0 +1,89 @@
+package accuracy
+
+import (
+	"testing"
+
+	"optiwise/internal/asm"
+	"optiwise/internal/ooo"
+	"optiwise/internal/program"
+	"optiwise/internal/workloads"
+)
+
+func prog(t *testing.T) *program.Program {
+	t.Helper()
+	cfg := workloads.DefaultMCFConfig()
+	cfg.Arcs = 1024
+	cfg.ScanInvocations = 4
+	p, err := asm.Assemble("mcf", workloads.MCF(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The paper's §III point 2: aggregating to coarser granularities
+// significantly increases sampling accuracy. Function error must be well
+// below instruction error.
+func TestAggregationImprovesAccuracy(t *testing.T) {
+	r, err := Measure(ooo.XeonW2195(), prog(t), 499)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("period %d: inst %.1f%%, block %.1f%%, func %.1f%% (%d samples)",
+		r.Period, 100*r.InstErr, 100*r.BlockErr, 100*r.FuncErr, r.Samples)
+	if r.FuncErr >= r.InstErr {
+		t.Errorf("function error %.3f should be below instruction error %.3f",
+			r.FuncErr, r.InstErr)
+	}
+	if r.BlockErr > r.InstErr {
+		t.Errorf("block error %.3f should not exceed instruction error %.3f",
+			r.BlockErr, r.InstErr)
+	}
+	if r.FuncErr > 0.5 {
+		t.Errorf("function-level error %.3f implausibly high", r.FuncErr)
+	}
+}
+
+// Higher sampling frequency (smaller period) reduces error.
+func TestFrequencyImprovesAccuracy(t *testing.T) {
+	p := prog(t)
+	fast, err := Measure(ooo.XeonW2195(), p, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Measure(ooo.XeonW2195(), p, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fast: func %.1f%%; slow: func %.1f%%", 100*fast.FuncErr, 100*slow.FuncErr)
+	if fast.FuncErr >= slow.FuncErr {
+		t.Errorf("more samples should reduce function error: %.3f vs %.3f",
+			fast.FuncErr, slow.FuncErr)
+	}
+	if fast.Samples <= slow.Samples {
+		t.Error("sample counts inverted")
+	}
+}
+
+// Ground truth covers (nearly) all user cycles.
+func TestTrueAttributionCoversRun(t *testing.T) {
+	p := prog(t)
+	img := program.Load(p, program.LoadOptions{})
+	sim := ooo.New(ooo.XeonW2195(), img, ooo.Options{TrueAttribution: true, RandSeed: 7})
+	st, err := sim.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, c := range sim.TrueCycles() {
+		sum += c
+	}
+	// Every cycle with something in flight is attributed; only fully
+	// drained-pipeline cycles (program start/end) are unattributed.
+	if sum < st.Cycles*95/100 {
+		t.Errorf("true attribution covered %d of %d cycles", sum, st.Cycles)
+	}
+	if sum > st.Cycles {
+		t.Error("attributed more cycles than elapsed")
+	}
+}

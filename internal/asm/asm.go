@@ -1,0 +1,699 @@
+// Package asm implements the two-pass OWISA assembler.
+//
+// The assembler turns textual assembly into a *program.Program: decoded
+// text, an initialized data image, symbols, function boundaries (.func /
+// .endfunc), and a source line table (.loc) — everything the paper obtains
+// from the compiler, the linker, and objdump.
+//
+// # Syntax
+//
+// One statement per line; '#' and ';' start comments. Labels are
+// "name:" prefixes. Directives:
+//
+//	.module NAME          module identifier for profile keying
+//	.text / .data         section switch
+//	.global NAME          no-op marker (documentation; entry is "main")
+//	.func NAME            begin function body
+//	.endfunc              end function body
+//	.loc FILE LINE        source location for subsequent instructions
+//	.quad V, ...          8-byte data values (integers or symbol offsets)
+//	.word V, ...          4-byte data values
+//	.byte V, ...          1-byte data values
+//	.double V, ...        8-byte IEEE-754 values
+//	.space N              N zero bytes
+//	.ascii "S"            string bytes (no terminator added)
+//	.align N              pad data to an N-byte boundary
+//
+// Pseudo-instructions (expanded deterministically; the line table covers
+// every expanded instruction):
+//
+//	li rd, imm            -> lui rd, imm                     (1 inst)
+//	la rd, sym            -> lui rd, off(sym)-DataBase; add rd, rd, gp (2)
+//	fli fd, float         -> lui t6, bits; fmv.d.x fd, t6    (2, clobbers t6)
+//	mov rd, rs            -> addi rd, rs, 0
+//	beqz/bnez rs, target  -> beq/bne rs, zero, target
+//	ble/bgt/bleu/bgtu     -> operand-swapped bge/blt/bgeu/bltu
+//	j target              -> jmp target
+//
+// The entry point is the "main" symbol if defined, else text offset 0.
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"optiwise/internal/isa"
+	"optiwise/internal/program"
+)
+
+// Error is an assembly diagnostic carrying its source position.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+type section int
+
+const (
+	secText section = iota
+	secData
+)
+
+// assembler carries the state of one Assemble call.
+type assembler struct {
+	lines   []sourceLine
+	module  string
+	syms    map[string]uint64 // label -> module offset
+	textLen uint64            // instructions emitted so far (pass-dependent)
+	dataLen uint64
+
+	// pass 2 outputs
+	text  []isa.Instruction
+	data  []byte
+	funcs []program.Function
+	ltab  []program.LineEntry
+
+	sec      section
+	curFunc  string
+	funcLo   uint64
+	locFile  string
+	locLine  int
+	lastLoc  program.LineEntry // open line-table entry
+	haveLoc  bool
+	funcOpen bool
+}
+
+// Assemble parses and assembles src. The name parameter provides the
+// default module identifier (overridable with .module).
+func Assemble(name, src string) (*program.Program, error) {
+	a := &assembler{
+		lines:  splitLines(src),
+		module: name,
+		syms:   make(map[string]uint64),
+	}
+	if err := a.pass(1); err != nil {
+		return nil, err
+	}
+	a.reset()
+	if err := a.pass(2); err != nil {
+		return nil, err
+	}
+	a.flushLoc()
+	p := &program.Program{
+		Module:    a.module,
+		Text:      a.text,
+		Data:      a.data,
+		Symbols:   nil,
+		Functions: a.funcs,
+		Lines:     a.ltab,
+	}
+	for n, off := range a.syms {
+		p.Symbols = append(p.Symbols, program.Symbol{Name: n, Offset: off})
+	}
+	sortSymbols(p.Symbols)
+	if main, ok := a.syms["main"]; ok {
+		p.Entry = main
+	}
+	if len(p.Text) == 0 {
+		return nil, errf(0, "no instructions")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return p, nil
+}
+
+func sortSymbols(s []program.Symbol) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Offset < s[j-1].Offset; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func (a *assembler) reset() {
+	a.textLen, a.dataLen = 0, 0
+	a.sec = secText
+	a.curFunc, a.funcOpen = "", false
+	a.locFile, a.locLine, a.haveLoc = "", 0, false
+	a.lastLoc = program.LineEntry{}
+}
+
+func (a *assembler) pass(n int) error {
+	a.sec = secText
+	for _, sl := range a.lines {
+		for _, lab := range sl.labels {
+			if err := a.defineLabel(n, sl.num, lab); err != nil {
+				return err
+			}
+		}
+		if sl.head == "" {
+			continue
+		}
+		var err error
+		if strings.HasPrefix(sl.head, ".") {
+			err = a.directive(n, sl)
+		} else {
+			err = a.instruction(n, sl)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if a.funcOpen {
+		return errf(0, "unterminated .func %s", a.curFunc)
+	}
+	return nil
+}
+
+func (a *assembler) defineLabel(pass, line int, lab string) error {
+	var off uint64
+	if a.sec == secText {
+		off = a.textLen * isa.InstBytes
+	} else {
+		off = program.DataBase + a.dataLen
+	}
+	if pass == 1 {
+		// A ".func name" directive and a "name:" label at the same offset
+		// are the common idiom; only distinct offsets conflict.
+		if prev, dup := a.syms[lab]; dup && prev != off {
+			return errf(line, "duplicate label %q", lab)
+		}
+		a.syms[lab] = off
+	}
+	return nil
+}
+
+func (a *assembler) lookup(line int, sym string) (uint64, error) {
+	off, ok := a.syms[sym]
+	if !ok {
+		return 0, errf(line, "undefined symbol %q", sym)
+	}
+	return off, nil
+}
+
+// directive handles one dot-directive on the given pass.
+func (a *assembler) directive(pass int, sl sourceLine) error {
+	ops := splitOperands(sl.rest)
+	switch sl.head {
+	case ".module":
+		if len(ops) != 1 {
+			return errf(sl.num, ".module wants one name")
+		}
+		a.module = ops[0]
+	case ".text":
+		a.sec = secText
+	case ".data":
+		a.sec = secData
+	case ".global":
+		// Documentation marker only.
+	case ".func":
+		if len(ops) != 1 || !isIdent(ops[0]) {
+			return errf(sl.num, ".func wants one identifier")
+		}
+		if a.funcOpen {
+			return errf(sl.num, ".func %s inside .func %s", ops[0], a.curFunc)
+		}
+		if a.sec != secText {
+			return errf(sl.num, ".func outside .text")
+		}
+		a.funcOpen = true
+		a.curFunc = ops[0]
+		a.funcLo = a.textLen * isa.InstBytes
+		if err := a.defineLabel(pass, sl.num, ops[0]); err != nil {
+			return err
+		}
+	case ".endfunc":
+		if !a.funcOpen {
+			return errf(sl.num, ".endfunc without .func")
+		}
+		a.funcOpen = false
+		if pass == 2 {
+			a.funcs = append(a.funcs, program.Function{
+				Name: a.curFunc,
+				Lo:   a.funcLo,
+				Hi:   a.textLen * isa.InstBytes,
+			})
+		}
+	case ".loc":
+		f := strings.Fields(sl.rest)
+		if len(f) != 2 {
+			return errf(sl.num, ".loc wants FILE LINE")
+		}
+		n, err := parseInt(f[1])
+		if err != nil || n < 0 {
+			return errf(sl.num, ".loc: bad line number %q", f[1])
+		}
+		if pass == 2 {
+			a.flushLoc()
+		}
+		a.locFile, a.locLine, a.haveLoc = f[0], int(n), true
+	case ".quad", ".word", ".byte":
+		size := map[string]uint64{".quad": 8, ".word": 4, ".byte": 1}[sl.head]
+		if a.sec != secData {
+			return errf(sl.num, "%s outside .data", sl.head)
+		}
+		for _, op := range ops {
+			var v int64
+			if iv, err := parseInt(op); err == nil {
+				v = iv
+			} else if pass == 1 {
+				v = 0 // symbol; resolved on pass 2
+			} else {
+				off, err := a.lookup(sl.num, op)
+				if err != nil {
+					return err
+				}
+				v = int64(off)
+			}
+			if pass == 2 {
+				a.emitData(v, size)
+			} else {
+				a.dataLen += size
+			}
+		}
+	case ".double":
+		if a.sec != secData {
+			return errf(sl.num, ".double outside .data")
+		}
+		for _, op := range ops {
+			if pass == 2 {
+				var f float64
+				if _, err := fmt.Sscanf(op, "%g", &f); err != nil {
+					return errf(sl.num, "bad float %q", op)
+				}
+				a.emitData(int64(math.Float64bits(f)), 8)
+			} else {
+				a.dataLen += 8
+			}
+		}
+	case ".space":
+		if a.sec != secData {
+			return errf(sl.num, ".space outside .data")
+		}
+		n, err := parseInt(sl.rest)
+		if err != nil || n < 0 {
+			return errf(sl.num, ".space wants a non-negative size")
+		}
+		if pass == 2 {
+			a.data = append(a.data, make([]byte, n)...)
+		}
+		a.dataLen += uint64(n)
+	case ".ascii":
+		if a.sec != secData {
+			return errf(sl.num, ".ascii outside .data")
+		}
+		b, err := unquoteASCII(sl.rest)
+		if err != nil {
+			return errf(sl.num, "%v", err)
+		}
+		if pass == 2 {
+			a.data = append(a.data, b...)
+		}
+		a.dataLen += uint64(len(b))
+	case ".align":
+		n, err := parseInt(sl.rest)
+		if err != nil || n <= 0 || n&(n-1) != 0 {
+			return errf(sl.num, ".align wants a power of two")
+		}
+		if a.sec != secData {
+			return errf(sl.num, ".align outside .data")
+		}
+		pad := (uint64(n) - a.dataLen%uint64(n)) % uint64(n)
+		if pass == 2 {
+			a.data = append(a.data, make([]byte, pad)...)
+		}
+		a.dataLen += pad
+	default:
+		return errf(sl.num, "unknown directive %s", sl.head)
+	}
+	return nil
+}
+
+func (a *assembler) emitData(v int64, size uint64) {
+	for i := uint64(0); i < size; i++ {
+		a.data = append(a.data, byte(uint64(v)>>(8*i)))
+	}
+	a.dataLen += size
+}
+
+// emit appends one instruction (pass 2) or just counts it (pass 1), and
+// extends the line table.
+func (a *assembler) emit(pass int, inst isa.Instruction) {
+	off := a.textLen * isa.InstBytes
+	a.textLen++
+	if pass != 2 {
+		return
+	}
+	a.text = append(a.text, inst)
+	if !a.haveLoc {
+		return
+	}
+	if a.lastLoc.File == a.locFile && a.lastLoc.Line == a.locLine && a.lastLoc.Hi == off {
+		a.lastLoc.Hi = off + isa.InstBytes
+		return
+	}
+	a.flushLoc()
+	a.lastLoc = program.LineEntry{
+		Lo: off, Hi: off + isa.InstBytes,
+		File: a.locFile, Line: a.locLine,
+	}
+}
+
+func (a *assembler) flushLoc() {
+	if a.lastLoc.Hi > a.lastLoc.Lo {
+		a.ltab = append(a.ltab, a.lastLoc)
+	}
+	a.lastLoc = program.LineEntry{}
+}
+
+// reg parses an integer register operand.
+func reg(line int, s string) (isa.Reg, error) {
+	if r, ok := isa.IntRegByName(s); ok {
+		return r, nil
+	}
+	return 0, errf(line, "bad integer register %q", s)
+}
+
+// freg parses an FP register operand.
+func freg(line int, s string) (isa.Reg, error) {
+	if r, ok := isa.FPRegByName(s); ok {
+		return r, nil
+	}
+	return 0, errf(line, "bad FP register %q", s)
+}
+
+// instruction assembles one mnemonic line, expanding pseudo-instructions.
+func (a *assembler) instruction(pass int, sl sourceLine) error {
+	if a.sec != secText {
+		return errf(sl.num, "instruction outside .text")
+	}
+	ops := splitOperands(sl.rest)
+	n := sl.num
+
+	// target resolves a branch target operand to a module offset. On pass
+	// 1 forward references are unresolved; 0 is a safe placeholder.
+	target := func(s string) (uint64, error) {
+		if pass == 1 {
+			return 0, nil
+		}
+		return a.lookup(n, s)
+	}
+	need := func(k int) error {
+		if len(ops) != k {
+			return errf(n, "%s wants %d operands, got %d", sl.head, k, len(ops))
+		}
+		return nil
+	}
+
+	// Pseudo-instructions first.
+	switch sl.head {
+	case "li":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseInt(ops[1])
+		if err != nil {
+			return errf(n, "li: %v", err)
+		}
+		a.emit(pass, isa.Instruction{Op: isa.LUI, Rd: rd, Imm: v})
+		return nil
+	case "la":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		var delta int64
+		if pass == 2 {
+			off, err := a.lookup(n, ops[1])
+			if err != nil {
+				return err
+			}
+			delta = int64(off) - program.DataBase
+		}
+		a.emit(pass, isa.Instruction{Op: isa.LUI, Rd: rd, Imm: delta})
+		a.emit(pass, isa.Instruction{Op: isa.ADD, Rd: rd, Rs: rd, Rt: isa.GP})
+		return nil
+	case "fli":
+		if err := need(2); err != nil {
+			return err
+		}
+		fd, err := freg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		var f float64
+		if _, err := fmt.Sscanf(ops[1], "%g", &f); err != nil {
+			return errf(n, "fli: bad float %q", ops[1])
+		}
+		a.emit(pass, isa.Instruction{Op: isa.LUI, Rd: isa.T6, Imm: int64(math.Float64bits(f))})
+		a.emit(pass, isa.Instruction{Op: isa.FMVDX, Rd: fd, Rs: isa.T6})
+		return nil
+	case "mov":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := reg(n, ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(pass, isa.Instruction{Op: isa.ADDI, Rd: rd, Rs: rs})
+		return nil
+	case "beqz", "bnez":
+		if err := need(2); err != nil {
+			return err
+		}
+		rs, err := reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		t, err := target(ops[1])
+		if err != nil {
+			return err
+		}
+		op := isa.BEQ
+		if sl.head == "bnez" {
+			op = isa.BNE
+		}
+		a.emit(pass, isa.Instruction{Op: op, Rs: rs, Rt: isa.X0, Target: t})
+		return nil
+	case "ble", "bgt", "bleu", "bgtu":
+		if err := need(3); err != nil {
+			return err
+		}
+		rs, err := reg(n, ops[0])
+		if err != nil {
+			return err
+		}
+		rt, err := reg(n, ops[1])
+		if err != nil {
+			return err
+		}
+		t, err := target(ops[2])
+		if err != nil {
+			return err
+		}
+		var op isa.Op
+		switch sl.head { // a<=b == b>=a ; a>b == b<a
+		case "ble":
+			op = isa.BGE
+		case "bgt":
+			op = isa.BLT
+		case "bleu":
+			op = isa.BGEU
+		case "bgtu":
+			op = isa.BLTU
+		}
+		a.emit(pass, isa.Instruction{Op: op, Rs: rt, Rt: rs, Target: t})
+		return nil
+	case "j":
+		if err := need(1); err != nil {
+			return err
+		}
+		t, err := target(ops[0])
+		if err != nil {
+			return err
+		}
+		a.emit(pass, isa.Instruction{Op: isa.JMP, Target: t})
+		return nil
+	}
+
+	op, ok := isa.OpByName(sl.head)
+	if !ok {
+		return errf(n, "unknown mnemonic %q", sl.head)
+	}
+	inst := isa.Instruction{Op: op}
+	var err error
+	switch op {
+	case isa.NOP, isa.RET, isa.SYSCALL:
+		err = need(0)
+	case isa.LUI:
+		if err = need(2); err == nil {
+			if inst.Rd, err = reg(n, ops[0]); err == nil {
+				inst.Imm, err = parseInt(ops[1])
+			}
+		}
+	case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLLI, isa.SRLI, isa.SRAI,
+		isa.SLTI, isa.SLTIU:
+		if err = need(3); err == nil {
+			if inst.Rd, err = reg(n, ops[0]); err == nil {
+				if inst.Rs, err = reg(n, ops[1]); err == nil {
+					inst.Imm, err = parseInt(ops[2])
+				}
+			}
+		}
+	case isa.LD, isa.LW, isa.LBU:
+		err = a.memOperands(n, ops, &inst, reg)
+	case isa.FLD:
+		err = a.memOperands(n, ops, &inst, freg)
+	case isa.ST, isa.SW, isa.SB:
+		err = a.storeOperands(n, ops, &inst, reg)
+	case isa.FST:
+		err = a.storeOperands(n, ops, &inst, freg)
+	case isa.PREFETCH:
+		if err = need(1); err == nil {
+			var immS, regS string
+			if immS, regS, err = parseMemOperand(ops[0]); err == nil {
+				if inst.Rs, err = reg(n, regS); err == nil {
+					inst.Imm, err = parseInt(immS)
+				}
+			}
+		}
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
+		if err = need(3); err == nil {
+			if inst.Rs, err = reg(n, ops[0]); err == nil {
+				if inst.Rt, err = reg(n, ops[1]); err == nil {
+					inst.Target, err = target(ops[2])
+				}
+			}
+		}
+	case isa.JMP, isa.CALL:
+		if err = need(1); err == nil {
+			inst.Target, err = target(ops[0])
+		}
+	case isa.JR, isa.CALLR:
+		if err = need(1); err == nil {
+			inst.Rs, err = reg(n, ops[0])
+		}
+	case isa.FSQRT, isa.FNEG, isa.FMOV:
+		if err = need(2); err == nil {
+			if inst.Rd, err = freg(n, ops[0]); err == nil {
+				inst.Rs, err = freg(n, ops[1])
+			}
+		}
+	case isa.FCVTDL, isa.FMVDX:
+		if err = need(2); err == nil {
+			if inst.Rd, err = freg(n, ops[0]); err == nil {
+				inst.Rs, err = reg(n, ops[1])
+			}
+		}
+	case isa.FCVTLD, isa.FMVXD:
+		if err = need(2); err == nil {
+			if inst.Rd, err = reg(n, ops[0]); err == nil {
+				inst.Rs, err = freg(n, ops[1])
+			}
+		}
+	case isa.FEQ, isa.FLT, isa.FLE:
+		if err = need(3); err == nil {
+			if inst.Rd, err = reg(n, ops[0]); err == nil {
+				if inst.Rs, err = freg(n, ops[1]); err == nil {
+					inst.Rt, err = freg(n, ops[2])
+				}
+			}
+		}
+	case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV, isa.FMIN, isa.FMAX:
+		if err = need(3); err == nil {
+			if inst.Rd, err = freg(n, ops[0]); err == nil {
+				if inst.Rs, err = freg(n, ops[1]); err == nil {
+					inst.Rt, err = freg(n, ops[2])
+				}
+			}
+		}
+	default: // three-register integer ops
+		if err = need(3); err == nil {
+			if inst.Rd, err = reg(n, ops[0]); err == nil {
+				if inst.Rs, err = reg(n, ops[1]); err == nil {
+					inst.Rt, err = reg(n, ops[2])
+				}
+			}
+		}
+	}
+	if err != nil {
+		// Operand-level failures (bad integers, malformed memory
+		// operands) may bubble up bare; attach the source position.
+		if _, ok := err.(*Error); !ok {
+			return errf(n, "%v", err)
+		}
+		return err
+	}
+	a.emit(pass, inst)
+	return nil
+}
+
+type regParser func(line int, s string) (isa.Reg, error)
+
+func (a *assembler) memOperands(n int, ops []string, inst *isa.Instruction, rp regParser) error {
+	if len(ops) != 2 {
+		return errf(n, "%s wants 2 operands", inst.Op)
+	}
+	rd, err := rp(n, ops[0])
+	if err != nil {
+		return err
+	}
+	immS, regS, err := parseMemOperand(ops[1])
+	if err != nil {
+		return errf(n, "%v", err)
+	}
+	rs, err := reg(n, regS)
+	if err != nil {
+		return err
+	}
+	imm, err := parseInt(immS)
+	if err != nil {
+		return errf(n, "%v", err)
+	}
+	inst.Rd, inst.Rs, inst.Imm = rd, rs, imm
+	return nil
+}
+
+func (a *assembler) storeOperands(n int, ops []string, inst *isa.Instruction, rp regParser) error {
+	if len(ops) != 2 {
+		return errf(n, "%s wants 2 operands", inst.Op)
+	}
+	rt, err := rp(n, ops[0])
+	if err != nil {
+		return err
+	}
+	immS, regS, err := parseMemOperand(ops[1])
+	if err != nil {
+		return errf(n, "%v", err)
+	}
+	rs, err := reg(n, regS)
+	if err != nil {
+		return err
+	}
+	imm, err := parseInt(immS)
+	if err != nil {
+		return errf(n, "%v", err)
+	}
+	inst.Rt, inst.Rs, inst.Imm = rt, rs, imm
+	return nil
+}

@@ -1,0 +1,245 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"optiwise/internal/isa"
+	"optiwise/internal/program"
+)
+
+func TestNumericLiteralForms(t *testing.T) {
+	p, err := Assemble("t", `
+.func main
+main:
+    li t0, 0x10
+    li t1, 0b101
+    li t2, -42
+    li t3, 0X1F
+    li t4, 0B11
+    li a7, 93
+    syscall
+.endfunc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0x10, 5, -42, 0x1f, 3}
+	for i, w := range want {
+		if p.Text[i].Imm != w {
+			t.Errorf("imm %d = %d, want %d", i, p.Text[i].Imm, w)
+		}
+	}
+}
+
+func TestNegativeHexLiteral(t *testing.T) {
+	p, err := Assemble("t", `
+.func main
+main:
+    li t0, -0x10
+    li a7, 93
+    syscall
+.endfunc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Text[0].Imm != -16 {
+		t.Errorf("got %d", p.Text[0].Imm)
+	}
+}
+
+func TestModuleDirectiveOverridesDefault(t *testing.T) {
+	p, err := Assemble("default", ".module custom\n.func main\nmain: ret\n.endfunc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Module != "custom" {
+		t.Errorf("module = %q", p.Module)
+	}
+}
+
+func TestGlobalDirectiveAccepted(t *testing.T) {
+	if _, err := Assemble("t", ".global main\n.func main\nmain: ret\n.endfunc"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleFunctionsBoundaries(t *testing.T) {
+	p, err := Assemble("t", `
+.func a
+a:
+    nop
+    ret
+.endfunc
+.func b
+b:
+    nop
+    nop
+    ret
+.endfunc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, _ := p.FuncByName("a")
+	fb, _ := p.FuncByName("b")
+	if fa.Lo != 0 || fa.Hi != 8 {
+		t.Errorf("a = %+v", fa)
+	}
+	if fb.Lo != 8 || fb.Hi != 20 {
+		t.Errorf("b = %+v", fb)
+	}
+}
+
+func TestDataLabelAddressing(t *testing.T) {
+	p, err := Assemble("t", `
+.data
+a: .quad 1
+b: .quad 2
+.text
+.func main
+main: ret
+.endfunc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa, _ := p.SymbolByName("a")
+	ob, _ := p.SymbolByName("b")
+	if ob-oa != 8 {
+		t.Errorf("consecutive quads: %#x %#x", oa, ob)
+	}
+	if oa != program.DataBase {
+		t.Errorf("first data symbol at %#x", oa)
+	}
+}
+
+func TestAlignRejectsNonPowerOfTwo(t *testing.T) {
+	_, err := Assemble("t", ".data\n.align 3\n.text\n.func main\nmain: ret\n.endfunc")
+	if err == nil || !strings.Contains(err.Error(), "power of two") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSpaceRejectsNegative(t *testing.T) {
+	_, err := Assemble("t", ".data\n.space -1\n.text\n.func main\nmain: ret\n.endfunc")
+	if err == nil {
+		t.Error("negative .space accepted")
+	}
+}
+
+func TestAsciiEscapes(t *testing.T) {
+	p, err := Assemble("t", `
+.data
+s: .ascii "a\n\t\0\\\"z"
+.text
+.func main
+main: ret
+.endfunc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\n\t\x00\\\"z"
+	if string(p.Data[:len(want)]) != want {
+		t.Errorf("escapes: %q", p.Data[:len(want)])
+	}
+}
+
+func TestBadEscapeRejected(t *testing.T) {
+	_, err := Assemble("t", ".data\ns: .ascii \"\\q\"\n.text\n.func main\nmain: ret\n.endfunc")
+	if err == nil {
+		t.Error("bad escape accepted")
+	}
+}
+
+func TestQuadSymbolForwardReference(t *testing.T) {
+	p, err := Assemble("t", `
+.data
+ptr: .quad later
+later: .quad 7
+.text
+.func main
+main: ret
+.endfunc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	laterOff, _ := p.SymbolByName("later")
+	if got := le64(p.Data[0:]); got != laterOff {
+		t.Errorf("forward .quad symbol = %#x, want %#x", got, laterOff)
+	}
+}
+
+func TestBranchConditionTable(t *testing.T) {
+	p, err := Assemble("t", `
+.func main
+main:
+    beq t0, t1, x
+    bne t0, t1, x
+    blt t0, t1, x
+    bge t0, t1, x
+    bltu t0, t1, x
+    bgeu t0, t1, x
+x:
+    ret
+.endfunc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []isa.Op{isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU}
+	for i, op := range want {
+		if p.Text[i].Op != op {
+			t.Errorf("branch %d = %v, want %v", i, p.Text[i].Op, op)
+		}
+		if p.Text[i].Target != 6*isa.InstBytes {
+			t.Errorf("branch %d target = %#x", i, p.Text[i].Target)
+		}
+	}
+}
+
+func TestLineTableSpansPseudoExpansion(t *testing.T) {
+	// A .loc covering a pseudo-instruction covers all expanded
+	// instructions.
+	p, err := Assemble("t", `
+.func main
+main:
+.loc f.c 7
+    la t0, main
+    ret
+.endfunc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := uint64(0); off < 8; off += 4 {
+		le, ok := p.LineAt(off)
+		if !ok || le.Line != 7 {
+			t.Errorf("offset %#x not covered by .loc", off)
+		}
+	}
+}
+
+func TestErrorTypeAndMessage(t *testing.T) {
+	_, err := Assemble("t", ".func main\nmain:\n    ld a0, 8\n.endfunc")
+	if err == nil {
+		t.Fatal("bad memory operand accepted")
+	}
+	if !strings.Contains(err.Error(), "asm: line 3") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}
+
+func TestLocRejectsBadLine(t *testing.T) {
+	_, err := Assemble("t", ".func main\nmain:\n.loc f.c notanumber\n    ret\n.endfunc")
+	if err == nil {
+		t.Error(".loc with bad line accepted")
+	}
+	_, err = Assemble("t", ".func main\nmain:\n.loc f.c\n    ret\n.endfunc")
+	if err == nil {
+		t.Error(".loc with missing line accepted")
+	}
+}

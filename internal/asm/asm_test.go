@@ -1,0 +1,395 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"optiwise/internal/isa"
+	"optiwise/internal/program"
+)
+
+const tiny = `
+.module tiny
+.text
+.func main
+main:
+    li a0, 0        # exit code
+    li a7, 93       # SysExit
+    syscall
+.endfunc
+`
+
+func TestAssembleTiny(t *testing.T) {
+	p, err := Assemble("x", tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Module != "tiny" {
+		t.Errorf("module = %q, want tiny", p.Module)
+	}
+	if len(p.Text) != 3 {
+		t.Fatalf("text len = %d, want 3", len(p.Text))
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %#x, want 0 (main)", p.Entry)
+	}
+	f, ok := p.FuncByName("main")
+	if !ok || f.Lo != 0 || f.Hi != 12 {
+		t.Errorf("main = %+v, %v", f, ok)
+	}
+	if p.Text[0].Op != isa.LUI || p.Text[0].Rd != isa.A0 || p.Text[0].Imm != 0 {
+		t.Errorf("inst 0 = %+v", p.Text[0])
+	}
+	if p.Text[2].Op != isa.SYSCALL {
+		t.Errorf("inst 2 = %+v", p.Text[2])
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	src := `
+.func main
+main:
+    li t0, 10
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    beq t0, zero, done
+    nop
+done:
+    li a7, 93
+    syscall
+.endfunc
+`
+	p, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bnez expands to bne t0, zero, loop where loop is inst index 1.
+	bne := p.Text[2]
+	if bne.Op != isa.BNE || bne.Target != 1*isa.InstBytes {
+		t.Errorf("bnez = %+v", bne)
+	}
+	beq := p.Text[3]
+	if beq.Op != isa.BEQ || beq.Target != 5*isa.InstBytes {
+		t.Errorf("beq = %+v (want target %#x)", beq, 5*isa.InstBytes)
+	}
+}
+
+func TestForwardAndBackwardReferences(t *testing.T) {
+	src := `
+.func main
+main:
+    j fwd
+back:
+    ret
+fwd:
+    j back
+.endfunc
+`
+	p, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Text[0].Target != 2*isa.InstBytes {
+		t.Errorf("forward ref target = %#x", p.Text[0].Target)
+	}
+	if p.Text[2].Target != 1*isa.InstBytes {
+		t.Errorf("backward ref target = %#x", p.Text[2].Target)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	src := `
+.data
+vals: .quad 1, -2, 0x10
+w:    .word 7
+b:    .byte 1, 2, 3
+s:    .space 5
+str:  .ascii "hi\n"
+.align 8
+d:    .double 1.5
+ptr:  .quad vals
+.text
+.func main
+main:
+    la t0, vals
+    ld a0, 0(t0)
+    li a7, 93
+    syscall
+.endfunc
+`
+	p, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, ok := p.SymbolByName("vals")
+	if !ok || off != program.DataBase {
+		t.Fatalf("vals offset = %#x, %v", off, ok)
+	}
+	// .quad 1, -2, 0x10
+	if got := int64(le64(p.Data[0:])); got != 1 {
+		t.Errorf("quad[0] = %d", got)
+	}
+	if got := int64(le64(p.Data[8:])); got != -2 {
+		t.Errorf("quad[1] = %d", got)
+	}
+	if got := int64(le64(p.Data[16:])); got != 0x10 {
+		t.Errorf("quad[2] = %d", got)
+	}
+	// .word 7 at 24
+	if got := le32(p.Data[24:]); got != 7 {
+		t.Errorf("word = %d", got)
+	}
+	// bytes at 28..30, space 31..35, str at 36..38
+	if p.Data[28] != 1 || p.Data[29] != 2 || p.Data[30] != 3 {
+		t.Error("bytes wrong")
+	}
+	if string(p.Data[36:39]) != "hi\n" {
+		t.Errorf("ascii = %q", p.Data[36:39])
+	}
+	// .align 8: 39 -> 40; double at 40.
+	dOff, _ := p.SymbolByName("d")
+	if dOff != program.DataBase+40 {
+		t.Errorf("d offset = %#x, want %#x", dOff, program.DataBase+40)
+	}
+	// ptr holds the module offset of vals.
+	if got := le64(p.Data[48:]); got != program.DataBase {
+		t.Errorf("ptr = %#x, want %#x", got, program.DataBase)
+	}
+}
+
+func TestLaExpansion(t *testing.T) {
+	src := `
+.data
+x: .quad 42
+.text
+.func main
+main:
+    la t0, x
+    la t1, main
+    li a7, 93
+    syscall
+.endfunc
+`
+	p, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// la t0, x: x is at DataBase+0 so delta = 0.
+	if p.Text[0].Op != isa.LUI || p.Text[0].Imm != 0 {
+		t.Errorf("la[0] = %+v", p.Text[0])
+	}
+	if p.Text[1].Op != isa.ADD || p.Text[1].Rt != isa.GP {
+		t.Errorf("la[1] = %+v", p.Text[1])
+	}
+	// la t1, main: main at text offset 0, delta = -DataBase.
+	if p.Text[2].Imm != -int64(program.DataBase) {
+		t.Errorf("la text delta = %d", p.Text[2].Imm)
+	}
+}
+
+func TestLineTable(t *testing.T) {
+	src := `
+.func main
+main:
+.loc foo.c 10
+    nop
+    nop
+.loc foo.c 12
+    nop
+    li a7, 93
+    syscall
+.endfunc
+`
+	p, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le, ok := p.LineAt(0)
+	if !ok || le.Line != 10 || le.File != "foo.c" || le.Hi != 8 {
+		t.Errorf("LineAt(0) = %+v, %v", le, ok)
+	}
+	le, ok = p.LineAt(8)
+	if !ok || le.Line != 12 {
+		t.Errorf("LineAt(8) = %+v, %v", le, ok)
+	}
+	if le.Hi != 20 {
+		t.Errorf("second entry Hi = %#x, want 0x14", le.Hi)
+	}
+}
+
+func TestPseudoExpansions(t *testing.T) {
+	src := `
+.func main
+main:
+    mov a0, a1
+    ble t0, t1, out
+    bgt t0, t1, out
+    bleu t0, t1, out
+    bgtu t0, t1, out
+out:
+    fli f1, 2.5
+    li a7, 93
+    syscall
+.endfunc
+`
+	p, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Text[0].Op != isa.ADDI || p.Text[0].Rs != isa.A1 {
+		t.Errorf("mov = %+v", p.Text[0])
+	}
+	// ble t0,t1 -> bge t1,t0
+	if p.Text[1].Op != isa.BGE || p.Text[1].Rs != isa.T1 || p.Text[1].Rt != isa.T0 {
+		t.Errorf("ble = %+v", p.Text[1])
+	}
+	if p.Text[2].Op != isa.BLT || p.Text[2].Rs != isa.T1 {
+		t.Errorf("bgt = %+v", p.Text[2])
+	}
+	if p.Text[3].Op != isa.BGEU || p.Text[4].Op != isa.BLTU {
+		t.Error("unsigned swaps wrong")
+	}
+	// fli: lui t6, bits(2.5); fmv.d.x f1, t6
+	if p.Text[5].Op != isa.LUI || p.Text[5].Rd != isa.T6 {
+		t.Errorf("fli[0] = %+v", p.Text[5])
+	}
+	if p.Text[6].Op != isa.FMVDX || p.Text[6].Rd != 1 {
+		t.Errorf("fli[1] = %+v", p.Text[6])
+	}
+}
+
+func TestMemoryOperandForms(t *testing.T) {
+	src := `
+.func main
+main:
+    ld a0, 8(sp)
+    ld a1, (sp)
+    st a0, -16(fp)
+    fld f0, 0(a0)
+    fst f0, 8(a0)
+    prefetch 64(a0)
+    li a7, 93
+    syscall
+.endfunc
+`
+	p, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Text[0].Imm != 8 || p.Text[1].Imm != 0 || p.Text[2].Imm != -16 {
+		t.Error("displacement parsing wrong")
+	}
+	if p.Text[5].Op != isa.PREFETCH || p.Text[5].Imm != 64 {
+		t.Errorf("prefetch = %+v", p.Text[5])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown mnemonic", ".func main\nmain: frob a0\n.endfunc", "unknown mnemonic"},
+		{"unknown directive", ".frob x\n.func main\nmain: ret\n.endfunc", "unknown directive"},
+		{"undefined symbol", ".func main\nmain: j nowhere\n.endfunc", "undefined symbol"},
+		{"duplicate label", ".func main\nmain: nop\nmain2: nop\nmain2: ret\n.endfunc", "duplicate label"},
+		{"bad register", ".func main\nmain: add q0, a1, a2\n.endfunc", "bad integer register"},
+		{"operand count", ".func main\nmain: add a0, a1\n.endfunc", "wants 3 operands"},
+		{"unterminated func", ".func main\nmain: ret", "unterminated .func"},
+		{"data in text", ".quad 1\n.func main\nmain: ret\n.endfunc", "outside .data"},
+		{"inst in data", ".data\nadd a0, a1, a2", "outside .text"},
+		{"empty", "", "no instructions"},
+		{"bad int", ".func main\nmain: li a0, zorp\n.endfunc", "bad integer"},
+		{"nested func", ".func a\n.func b\nret\n.endfunc\n.endfunc", "inside .func"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble("t", c.src)
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	src := ".func main\nmain: nop\n    frob\n.endfunc"
+	_, err := Assemble("t", src)
+	ae, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if ae.Line != 3 {
+		t.Errorf("error line = %d, want 3", ae.Line)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+# full-line comment
+.func main    ; trailing comment styles
+main:
+    nop # comment
+    nop ; comment
+    li a7, 93
+    syscall
+.endfunc
+`
+	p, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) != 4 {
+		t.Errorf("text len = %d, want 4", len(p.Text))
+	}
+}
+
+func TestHashInsideString(t *testing.T) {
+	src := `
+.data
+s: .ascii "a#b;c"
+.text
+.func main
+main:
+    li a7, 93
+    syscall
+.endfunc
+`
+	p, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p.Data[:5]) != "a#b;c" {
+		t.Errorf("string data = %q", p.Data[:5])
+	}
+}
+
+func TestEntryDefaultsToZeroWithoutMain(t *testing.T) {
+	src := ".func start\nstart:\n    li a7, 93\n    syscall\n.endfunc"
+	p, err := Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %#x", p.Entry)
+	}
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func le32(b []byte) uint32 {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		v |= uint32(b[i]) << (8 * i)
+	}
+	return v
+}

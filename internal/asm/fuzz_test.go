@@ -1,0 +1,48 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"optiwise/internal/interp"
+	"optiwise/internal/program"
+)
+
+// FuzzAssemble checks the assembler's total robustness: arbitrary input
+// must either assemble into a Validate-clean program or return an error —
+// never panic, never produce a corrupt image. When the input does
+// assemble, the interpreter must be able to run it without faulting
+// outside defined traps.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		".func main\nmain: ret\n.endfunc",
+		".func main\nmain:\n li a7, 93\n syscall\n.endfunc",
+		".data\nx: .quad 1, 2\n.text\n.func main\nmain:\n la t0, x\n ld a0, 0(t0)\n li a7, 93\n syscall\n.endfunc",
+		".func main\nmain:\nloop:\n addi t0, t0, -1\n bnez t0, loop\n li a7, 93\n syscall\n.endfunc",
+		".loc f.c 9\n.func main\nmain: ret\n.endfunc",
+		".module m\n.func main\nmain:\n fli f0, 2.5\n fdiv f1, f0, f0\n li a7, 93\n syscall\n.endfunc",
+		"garbage ' \" ( ) , : \\",
+		".func a\n.endfunc\n.func b\nb: nop\nret\n.endfunc",
+		".data\ns: .ascii \"a\\n\\\"b\"\n.text\n.func main\nmain: ret\n.endfunc",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			if !strings.Contains(err.Error(), "asm") {
+				t.Errorf("error without package prefix: %v", err)
+			}
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("assembler produced invalid program: %v\nsource:\n%s", verr, src)
+		}
+		// Any successfully assembled program must be steppable without
+		// panics; limit execution since fuzz inputs may loop forever.
+		m := interp.New(program.Load(p, program.LoadOptions{}), 1)
+		_ = m.Run(10_000) // traps and limit errors are fine; panics are not
+	})
+}

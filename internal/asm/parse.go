@@ -1,0 +1,188 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// sourceLine is one logical line of assembly after comment stripping and
+// label extraction.
+type sourceLine struct {
+	num    int      // 1-based line number in the input
+	labels []string // labels defined on this line
+	head   string   // directive (".text") or mnemonic ("addi"), "" if none
+	rest   string   // raw operand text after head
+}
+
+// splitLines performs the lexical pass: comment removal, label peeling, and
+// head/rest splitting. It never fails; syntactic errors surface during
+// operand parsing where a line number is at hand.
+func splitLines(src string) []sourceLine {
+	var out []sourceLine
+	for i, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		sl := sourceLine{num: i + 1}
+		for {
+			line = strings.TrimSpace(line)
+			j := strings.Index(line, ":")
+			if j < 0 || !isIdent(line[:j]) {
+				break
+			}
+			// A colon also appears in no other position this early in a
+			// line, so this is a label definition.
+			sl.labels = append(sl.labels, line[:j])
+			line = line[j+1:]
+		}
+		if line != "" {
+			if j := strings.IndexAny(line, " \t"); j >= 0 {
+				sl.head, sl.rest = line[:j], strings.TrimSpace(line[j+1:])
+			} else {
+				sl.head = line
+			}
+		}
+		if sl.head == "" && len(sl.labels) == 0 {
+			continue
+		}
+		out = append(out, sl)
+	}
+	return out
+}
+
+// stripComment removes '#' and ';' comments, respecting double-quoted
+// strings (for .ascii).
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch c := line[i]; {
+		case c == '"' && (i == 0 || line[i-1] != '\\'):
+			inStr = !inStr
+		case (c == '#' || c == ';') && !inStr:
+			return line[:i]
+		}
+	}
+	return line
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.', c == '$':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitOperands splits an operand list on commas, respecting quotes and
+// parentheses, and trims whitespace.
+func splitOperands(rest string) []string {
+	if strings.TrimSpace(rest) == "" {
+		return nil
+	}
+	var out []string
+	depth, inStr, start := 0, false, 0
+	for i := 0; i < len(rest); i++ {
+		switch c := rest[i]; {
+		case c == '"' && (i == 0 || rest[i-1] != '\\'):
+			inStr = !inStr
+		case inStr:
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(rest[start:i]))
+			start = i + 1
+		}
+	}
+	out = append(out, strings.TrimSpace(rest[start:]))
+	return out
+}
+
+// parseInt parses a signed integer literal: decimal, 0x hex, 0b binary,
+// optionally negated.
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	switch {
+	case strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X"):
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	case strings.HasPrefix(s, "0b") || strings.HasPrefix(s, "0B"):
+		v, err = strconv.ParseUint(s[2:], 2, 64)
+	default:
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+// parseMemOperand parses "imm(reg)" or "(reg)" (implying imm 0).
+func parseMemOperand(s string) (imm string, reg string, err error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", "", fmt.Errorf("bad memory operand %q, want imm(reg)", s)
+	}
+	imm = strings.TrimSpace(s[:open])
+	if imm == "" {
+		imm = "0"
+	}
+	reg = strings.TrimSpace(s[open+1 : len(s)-1])
+	return imm, reg, nil
+}
+
+// unquoteASCII decodes a double-quoted .ascii string supporting \n \t \0
+// \\ \" escapes.
+func unquoteASCII(s string) ([]byte, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return nil, fmt.Errorf("bad string literal %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var out []byte
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return nil, fmt.Errorf("trailing backslash in %q", s)
+		}
+		switch body[i] {
+		case 'n':
+			out = append(out, '\n')
+		case 't':
+			out = append(out, '\t')
+		case '0':
+			out = append(out, 0)
+		case '\\':
+			out = append(out, '\\')
+		case '"':
+			out = append(out, '"')
+		default:
+			return nil, fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+// Package branch implements the branch prediction structures of the
+// out-of-order pipeline simulator: a gshare direction predictor, a
+// branch target buffer for indirect targets, and a return address stack.
+//
+// Prediction quality matters to the reproduction because the paper's mcf
+// case study (§VI-A) turns on data-dependent comparator branches being
+// frequently mispredicted — the profile must show those branches as
+// expensive, and the cmov rewrite must remove that cost.
+package branch
+
+// Outcome describes one resolved branch for predictor training.
+type Outcome struct {
+	PC     uint64
+	Taken  bool
+	Target uint64
+}
+
+// DirectionPredictor predicts taken/not-taken for conditional branches.
+type DirectionPredictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the actual outcome.
+	Update(pc uint64, taken bool)
+}
+
+// Gshare is the classic global-history XOR-indexed two-bit-counter
+// predictor.
+type Gshare struct {
+	historyBits uint
+	history     uint64
+	table       []uint8 // 2-bit saturating counters, initialized weakly taken
+}
+
+// NewGshare returns a gshare predictor with 2^tableBits counters and the
+// given history length.
+func NewGshare(tableBits, historyBits uint) *Gshare {
+	g := &Gshare{
+		historyBits: historyBits,
+		table:       make([]uint8, 1<<tableBits),
+	}
+	for i := range g.table {
+		g.table[i] = 2 // weakly taken
+	}
+	return g
+}
+
+func (g *Gshare) index(pc uint64) uint64 {
+	h := g.history & ((1 << g.historyBits) - 1)
+	return ((pc >> 2) ^ h) & uint64(len(g.table)-1)
+}
+
+// Predict implements DirectionPredictor.
+func (g *Gshare) Predict(pc uint64) bool { return g.table[g.index(pc)] >= 2 }
+
+// Update implements DirectionPredictor. It also shifts the new outcome
+// into the global history.
+func (g *Gshare) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	if taken {
+		if g.table[i] < 3 {
+			g.table[i]++
+		}
+	} else if g.table[i] > 0 {
+		g.table[i]--
+	}
+	g.history = g.history<<1 | b2u(taken)
+}
+
+// Bimodal is a PC-indexed two-bit-counter predictor without history, used
+// as an ablation baseline.
+type Bimodal struct {
+	table []uint8
+}
+
+// NewBimodal returns a bimodal predictor with 2^tableBits counters.
+func NewBimodal(tableBits uint) *Bimodal {
+	b := &Bimodal{table: make([]uint8, 1<<tableBits)}
+	for i := range b.table {
+		b.table[i] = 2
+	}
+	return b
+}
+
+func (b *Bimodal) index(pc uint64) uint64 {
+	return (pc >> 2) & uint64(len(b.table)-1)
+}
+
+// Predict implements DirectionPredictor.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[b.index(pc)] >= 2 }
+
+// Update implements DirectionPredictor.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := b.index(pc)
+	if taken {
+		if b.table[i] < 3 {
+			b.table[i]++
+		}
+	} else if b.table[i] > 0 {
+		b.table[i]--
+	}
+}
+
+// BTB is a direct-mapped branch target buffer predicting targets of
+// indirect jumps and calls.
+type BTB struct {
+	tags    []uint64
+	targets []uint64
+	valid   []bool
+}
+
+// NewBTB returns a BTB with 2^bits entries.
+func NewBTB(bits uint) *BTB {
+	n := 1 << bits
+	return &BTB{
+		tags:    make([]uint64, n),
+		targets: make([]uint64, n),
+		valid:   make([]bool, n),
+	}
+}
+
+func (b *BTB) index(pc uint64) uint64 { return (pc >> 2) & uint64(len(b.tags)-1) }
+
+// Predict returns the predicted target for the control transfer at pc.
+// It reports false on a BTB miss.
+func (b *BTB) Predict(pc uint64) (uint64, bool) {
+	i := b.index(pc)
+	if !b.valid[i] || b.tags[i] != pc {
+		return 0, false
+	}
+	return b.targets[i], true
+}
+
+// Update installs the actual target.
+func (b *BTB) Update(pc, target uint64) {
+	i := b.index(pc)
+	b.tags[i], b.targets[i], b.valid[i] = pc, target, true
+}
+
+// RAS is a fixed-depth return address stack. Overflow wraps (oldest entry
+// is lost), underflow mispredicts — matching hardware behaviour.
+type RAS struct {
+	stack []uint64
+	top   int // number of live entries, capped at len(stack)
+}
+
+// NewRAS returns a return-address stack with the given depth.
+func NewRAS(depth int) *RAS {
+	return &RAS{stack: make([]uint64, depth)}
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(addr uint64) {
+	copy(r.stack[1:], r.stack[:len(r.stack)-1])
+	r.stack[0] = addr
+	if r.top < len(r.stack) {
+		r.top++
+	}
+}
+
+// Pop predicts the target of a return. It reports false when empty.
+func (r *RAS) Pop() (uint64, bool) {
+	if r.top == 0 {
+		return 0, false
+	}
+	addr := r.stack[0]
+	copy(r.stack, r.stack[1:])
+	r.top--
+	return addr, true
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,132 @@
+package branch
+
+import "testing"
+
+func TestGshareLearnsAlwaysTaken(t *testing.T) {
+	g := NewGshare(12, 8)
+	pc := uint64(0x400100)
+	for i := 0; i < 16; i++ {
+		g.Update(pc, true)
+	}
+	if !g.Predict(pc) {
+		t.Error("gshare failed to learn always-taken")
+	}
+}
+
+func TestGshareLearnsAlwaysNotTaken(t *testing.T) {
+	g := NewGshare(12, 8)
+	pc := uint64(0x400100)
+	for i := 0; i < 16; i++ {
+		g.Update(pc, false)
+	}
+	if g.Predict(pc) {
+		t.Error("gshare failed to learn never-taken")
+	}
+}
+
+func TestGshareLearnsAlternatingPattern(t *testing.T) {
+	// With global history, a strict T,N,T,N pattern becomes predictable.
+	g := NewGshare(14, 10)
+	pc := uint64(0x400200)
+	taken := false
+	// Train.
+	for i := 0; i < 4000; i++ {
+		g.Update(pc, taken)
+		taken = !taken
+	}
+	// Measure.
+	correct := 0
+	for i := 0; i < 1000; i++ {
+		if g.Predict(pc) == taken {
+			correct++
+		}
+		g.Update(pc, taken)
+		taken = !taken
+	}
+	if correct < 950 {
+		t.Errorf("gshare on alternating pattern: %d/1000 correct", correct)
+	}
+}
+
+func TestBimodalCannotLearnAlternating(t *testing.T) {
+	// The history-free ablation predictor should do poorly on T,N,T,N —
+	// this is the behavioural difference the ablation bench reports.
+	b := NewBimodal(12)
+	pc := uint64(0x400200)
+	taken := false
+	for i := 0; i < 2000; i++ {
+		b.Update(pc, taken)
+		taken = !taken
+	}
+	correct := 0
+	for i := 0; i < 1000; i++ {
+		if b.Predict(pc) == taken {
+			correct++
+		}
+		b.Update(pc, taken)
+		taken = !taken
+	}
+	if correct > 700 {
+		t.Errorf("bimodal unexpectedly good on alternating pattern: %d/1000", correct)
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(12)
+	pc := uint64(0x88)
+	for i := 0; i < 8; i++ {
+		b.Update(pc, true)
+	}
+	if !b.Predict(pc) {
+		t.Error("bimodal failed on biased branch")
+	}
+}
+
+func TestBTB(t *testing.T) {
+	b := NewBTB(10)
+	if _, ok := b.Predict(0x400000); ok {
+		t.Error("empty BTB should miss")
+	}
+	b.Update(0x400000, 0x401000)
+	if tgt, ok := b.Predict(0x400000); !ok || tgt != 0x401000 {
+		t.Errorf("BTB predict = %#x, %v", tgt, ok)
+	}
+	// Aliasing entry evicts.
+	alias := uint64(0x400000 + 4*(1<<10))
+	b.Update(alias, 0x999)
+	if _, ok := b.Predict(0x400000); ok {
+		t.Error("aliased entry should have been evicted")
+	}
+}
+
+func TestRASLIFO(t *testing.T) {
+	r := NewRAS(4)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3)
+	for _, want := range []uint64{3, 2, 1} {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Fatalf("Pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("empty RAS should report underflow")
+	}
+}
+
+func TestRASOverflowDropsOldest(t *testing.T) {
+	r := NewRAS(2)
+	r.Push(1)
+	r.Push(2)
+	r.Push(3) // evicts 1
+	if v, _ := r.Pop(); v != 3 {
+		t.Errorf("got %d, want 3", v)
+	}
+	if v, _ := r.Pop(); v != 2 {
+		t.Errorf("got %d, want 2", v)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("entry 1 should have been evicted")
+	}
+}

@@ -1,0 +1,140 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Hierarchy {
+	return New(Config{
+		LineSize:   64,
+		MemLatency: 200,
+		Levels: []LevelConfig{
+			{Name: "L1", Size: 1 << 10, Ways: 2, Latency: 4},  // 8 sets
+			{Name: "L2", Size: 8 << 10, Ways: 4, Latency: 12}, // 32 sets
+		},
+	})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := small()
+	if lat := h.Access(0x1000); lat != 200 {
+		t.Errorf("cold access latency = %d, want 200", lat)
+	}
+	if lat := h.Access(0x1000); lat != 4 {
+		t.Errorf("warm access latency = %d, want 4 (L1 hit)", lat)
+	}
+	if lat := h.Access(0x1008); lat != 4 {
+		t.Errorf("same-line access latency = %d, want 4", lat)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	h := small()
+	// L1: 8 sets, 2 ways, 64B lines. Addresses mapping to set 0 are
+	// multiples of 64*8 = 512.
+	h.Access(0 * 512) // miss, fills way 0
+	h.Access(1 * 512) // miss, fills way 1
+	h.Access(0 * 512) // hit, refreshes LRU of line 0
+	h.Access(2 * 512) // evicts line 1 (LRU)
+	if lat := h.Access(0 * 512); lat != 4 {
+		t.Errorf("line 0 should still be in L1, lat = %d", lat)
+	}
+	if lat := h.Access(1 * 512); lat == 4 {
+		t.Error("line 1 should have been evicted from L1")
+	}
+}
+
+func TestL2BackstopsL1(t *testing.T) {
+	h := small()
+	// Fill set 0 of L1 beyond capacity; L2 (32 sets, 4 ways) keeps them.
+	for i := 0; i < 4; i++ {
+		h.Access(uint64(i) * 512)
+	}
+	// Lines 0,1 evicted from L1 but all 4 map to L2 sets 0/8/16/24 — all
+	// distinct sets, so they are L2 hits.
+	if lat := h.Access(0); lat != 12 {
+		t.Errorf("expected L2 hit (12), got %d", lat)
+	}
+}
+
+func TestPrefetchInstallsLine(t *testing.T) {
+	h := small()
+	if lat := h.Prefetch(0x4000); lat != 200 {
+		t.Errorf("cold prefetch reported latency %d, want 200", lat)
+	}
+	if lat := h.Access(0x4000); lat != 4 {
+		t.Errorf("access after prefetch = %d, want 4", lat)
+	}
+	// Prefetch must not count as a demand hit/miss.
+	l1 := h.Levels()[0]
+	if l1.Hits != 1 || l1.Misses != 0 {
+		t.Errorf("L1 stats after prefetch+access: hits=%d misses=%d", l1.Hits, l1.Misses)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	h := small()
+	h.Access(0)
+	h.Access(0)
+	h.Access(64 * 8 * 32 * 4) // far line, cold miss
+	l1 := h.Levels()[0]
+	if l1.Hits != 1 || l1.Misses != 2 {
+		t.Errorf("L1 hits=%d misses=%d, want 1/2", l1.Hits, l1.Misses)
+	}
+	if h.MemAccesses != 2 {
+		t.Errorf("mem accesses = %d, want 2", h.MemAccesses)
+	}
+}
+
+func TestWorkingSetFitsL1(t *testing.T) {
+	h := small()
+	// 1 KiB working set touched twice: second pass must be all L1 hits.
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < 1024; a += 64 {
+			h.Access(a)
+		}
+	}
+	l1 := h.Levels()[0]
+	if l1.Hits != 16 || l1.Misses != 16 {
+		t.Errorf("hits=%d misses=%d, want 16/16", l1.Hits, l1.Misses)
+	}
+}
+
+func TestQuickHitAfterAccess(t *testing.T) {
+	// Property: immediately re-accessing any address is an L1 hit.
+	h := New(XeonW2195())
+	f := func(addr uint64) bool {
+		h.Access(addr)
+		return h.Access(addr) == 4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXeonConfigBuilds(t *testing.T) {
+	h := New(XeonW2195())
+	if len(h.Levels()) != 3 {
+		t.Fatal("Xeon config should have 3 levels")
+	}
+	if h.MemLatency() != 220 {
+		t.Error("mem latency wrong")
+	}
+}
+
+func TestNeoverseConfigBuilds(t *testing.T) {
+	h := New(NeoverseN1())
+	if len(h.Levels()) != 3 {
+		t.Fatal("N1 config should have 3 levels")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two sets should panic")
+		}
+	}()
+	NewLevel("bad", 3*64*2, 2, 64, 1) // 3 sets
+}

@@ -1,0 +1,345 @@
+// Package cfg reconstructs a compiler-style control flow graph from the
+// DBI engine's dynamic blocks (the loop finder's input, component 4 in the
+// paper's figure 3).
+//
+// DynamoRIO-style dynamic blocks may overlap: a branch into the middle of a
+// previously discovered block creates a second block sharing its suffix.
+// Compiler basic blocks may not. Following §IV-C, this package takes the
+// prefix of each dynamic block that does not overlap any other block and
+// computes each CFG block's execution count by summing the counts of all
+// dynamic blocks that contain it.
+//
+// The graph is intra-procedural: call terminators fall through to their
+// return point for CFG purposes (calls always return in well-formed
+// programs), while the caller→callee relationships are kept separately as
+// CallEdges for the call-graph consumers.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"optiwise/internal/dbi"
+	"optiwise/internal/isa"
+	"optiwise/internal/program"
+)
+
+// EdgeKind classifies a CFG edge.
+type EdgeKind uint8
+
+// Edge kinds.
+const (
+	EdgeFallthrough EdgeKind = iota // sequential flow within a split block
+	EdgeNotTaken                    // conditional branch not taken
+	EdgeTaken                       // conditional branch taken
+	EdgeJump                        // direct unconditional jump
+	EdgeIndirect                    // indirect jump (jr) target
+	EdgeCallReturn                  // flow from a call to its return point
+	EdgeSyscall                     // flow across a system call
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeFallthrough:
+		return "fall"
+	case EdgeNotTaken:
+		return "not-taken"
+	case EdgeTaken:
+		return "taken"
+	case EdgeJump:
+		return "jump"
+	case EdgeIndirect:
+		return "indirect"
+	case EdgeCallReturn:
+		return "call-return"
+	case EdgeSyscall:
+		return "syscall"
+	}
+	return "?"
+}
+
+// Edge is one directed CFG edge with its dynamic frequency.
+type Edge struct {
+	From, To int // block indices
+	Count    uint64
+	Kind     EdgeKind
+}
+
+// Block is a compiler-style basic block (no overlaps).
+type Block struct {
+	Index int
+	// Start is the module offset of the first instruction; End is the
+	// offset just past the last instruction.
+	Start, End uint64
+	Count      uint64
+	// TermOp is the terminating operation; NOP for blocks split before a
+	// control transfer (pure fall-through blocks).
+	TermOp isa.Op
+	Succs  []*Edge
+	Preds  []*Edge
+}
+
+// NumInsts returns the number of instructions in the block.
+func (b *Block) NumInsts() int { return int((b.End - b.Start) / isa.InstBytes) }
+
+// Contains reports whether module offset off lies in the block.
+func (b *Block) Contains(off uint64) bool { return off >= b.Start && off < b.End }
+
+// CallEdge records one dynamic caller→callee relationship.
+type CallEdge struct {
+	// CallSite is the call instruction's module offset.
+	CallSite uint64
+	// Target is the callee entry offset.
+	Target uint64
+	Count  uint64
+}
+
+// Graph is the whole-module CFG.
+type Graph struct {
+	Module    string
+	Blocks    []*Block // sorted by Start
+	CallEdges []CallEdge
+
+	byStart map[uint64]int
+}
+
+// BlockAt returns the index of the block starting at off, or -1.
+func (g *Graph) BlockAt(off uint64) int {
+	if i, ok := g.byStart[off]; ok {
+		return i
+	}
+	return -1
+}
+
+// BlockContaining returns the index of the block containing off, or -1.
+func (g *Graph) BlockContaining(off uint64) int {
+	i := sort.Search(len(g.Blocks), func(i int) bool {
+		return g.Blocks[i].End > off
+	})
+	if i < len(g.Blocks) && g.Blocks[i].Contains(off) {
+		return i
+	}
+	return -1
+}
+
+// Build reconstructs the CFG from an edge profile.
+func Build(prog *program.Program, prof *dbi.Profile) (*Graph, error) {
+	if len(prof.Blocks) == 0 {
+		return &Graph{Module: prof.Module, byStart: map[uint64]int{}}, nil
+	}
+
+	// Leaders: every dynamic block start splits the address space.
+	leaderSet := make(map[uint64]bool, len(prof.Blocks))
+	for _, d := range prof.Blocks {
+		leaderSet[d.Start] = true
+	}
+	leaders := make([]uint64, 0, len(leaderSet))
+	for off := range leaderSet {
+		leaders = append(leaders, off)
+	}
+	sort.Slice(leaders, func(i, j int) bool { return leaders[i] < leaders[j] })
+
+	// Aggregate dynamic blocks per terminator offset: overlapping blocks
+	// share the terminator, and edge algebra sums over them (§IV-C).
+	type termAgg struct {
+		count       uint64
+		fallCount   uint64
+		takenTarget uint64
+		kind        dbi.TermKind
+		op          isa.Op
+		targets     map[uint64]uint64
+	}
+	terms := make(map[uint64]*termAgg)
+	for _, d := range prof.Blocks {
+		a := terms[d.TermOff]
+		if a == nil {
+			a = &termAgg{takenTarget: d.TakenTarget, kind: d.Kind, op: d.TermOp,
+				targets: make(map[uint64]uint64)}
+			terms[d.TermOff] = a
+		}
+		a.count += d.Count
+		a.fallCount += d.Fallthrough
+		for t, n := range d.Targets {
+			a.targets[t] += n
+		}
+	}
+
+	// Per-instruction execution counts give CFG block counts directly:
+	// a CFG block executes as often as its first instruction.
+	execCounts := prof.ExecCounts()
+
+	g := &Graph{Module: prof.Module, byStart: make(map[uint64]int)}
+
+	// CFG blocks: segments between consecutive leaders, clipped at each
+	// terminator (a terminator ends its block even if the next leader is
+	// further away — beyond it is code reached only by fall-through,
+	// which forms its own dynamic block and hence its own leader).
+	for i, start := range leaders {
+		// Find this segment's terminator: the terminator of any dynamic
+		// block beginning at or covering start. The nearest terminator at
+		// or after start among blocks covering it:
+		end := uint64(0)
+		var termOp isa.Op = isa.NOP
+		if t, op, ok := nearestTerm(prof, start); ok {
+			end = t + isa.InstBytes
+			termOp = op
+		} else {
+			return nil, fmt.Errorf("cfg: no terminator covering leader 0x%x", start)
+		}
+		if i+1 < len(leaders) && leaders[i+1] < end {
+			end = leaders[i+1]
+			termOp = isa.NOP // split before the terminator: pure fall-through
+		}
+		b := &Block{
+			Index:  len(g.Blocks),
+			Start:  start,
+			End:    end,
+			Count:  execCounts[start],
+			TermOp: termOp,
+		}
+		g.byStart[start] = b.Index
+		g.Blocks = append(g.Blocks, b)
+	}
+
+	addEdge := func(fromIdx int, to uint64, count uint64, kind EdgeKind) {
+		if count == 0 {
+			return
+		}
+		toIdx, ok := g.byStart[to]
+		if !ok {
+			// Target never executed as a leader (cannot happen: every
+			// control transfer target that executed became a leader).
+			return
+		}
+		e := &Edge{From: fromIdx, To: toIdx, Count: count, Kind: kind}
+		g.Blocks[fromIdx].Succs = append(g.Blocks[fromIdx].Succs, e)
+		g.Blocks[toIdx].Preds = append(g.Blocks[toIdx].Preds, e)
+	}
+
+	for _, b := range g.Blocks {
+		if b.TermOp == isa.NOP && b.End > b.Start {
+			// Split block: unconditional fall-through to the next leader.
+			// Exception: a block that is literally a single NOP ending a
+			// dynamic block does not occur (NOP is not a terminator).
+			addEdge(b.Index, b.End, b.Count, EdgeFallthrough)
+			continue
+		}
+		termOff := b.End - isa.InstBytes
+		a := terms[termOff]
+		if a == nil {
+			continue
+		}
+		switch a.kind {
+		case dbi.TermCond:
+			taken := a.count - a.fallCount
+			addEdge(b.Index, a.takenTarget, taken, EdgeTaken)
+			addEdge(b.Index, b.End, a.fallCount, EdgeNotTaken)
+		case dbi.TermDirect:
+			if a.op == isa.CALL {
+				g.CallEdges = append(g.CallEdges, CallEdge{
+					CallSite: termOff, Target: a.takenTarget, Count: a.count,
+				})
+				addEdge(b.Index, b.End, a.count, EdgeCallReturn)
+			} else {
+				addEdge(b.Index, a.takenTarget, a.count, EdgeJump)
+			}
+		case dbi.TermSyscall:
+			// The final exit syscall has no successor execution; the edge
+			// count is the successor block's observed entries from here.
+			n := a.count
+			if succ, ok := g.byStart[b.End]; ok {
+				if g.Blocks[succ].Count < n {
+					n = g.Blocks[succ].Count
+				}
+			}
+			addEdge(b.Index, b.End, n, EdgeSyscall)
+		case dbi.TermIndirect:
+			switch a.op {
+			case isa.CALLR:
+				for t, n := range a.targets {
+					g.CallEdges = append(g.CallEdges, CallEdge{
+						CallSite: termOff, Target: t, Count: n,
+					})
+				}
+				addEdge(b.Index, b.End, a.count, EdgeCallReturn)
+			case isa.RET:
+				// Function exit: no intra-procedural successor.
+			default: // jr: intra-procedural indirect jump (switch tables)
+				for t, n := range a.targets {
+					addEdge(b.Index, t, n, EdgeIndirect)
+				}
+			}
+		}
+	}
+
+	sortCallEdges(g.CallEdges)
+	return g, nil
+}
+
+// nearestTerm finds the terminator (offset, op) of the dynamic block
+// covering off with the closest terminator at or after off.
+func nearestTerm(prof *dbi.Profile, off uint64) (uint64, isa.Op, bool) {
+	best := ^uint64(0)
+	var op isa.Op
+	for _, d := range prof.Blocks {
+		if d.Start <= off && off <= d.TermOff && d.TermOff < best {
+			best = d.TermOff
+			op = d.TermOp
+		}
+	}
+	if best == ^uint64(0) {
+		return 0, isa.NOP, false
+	}
+	return best, op, true
+}
+
+func sortCallEdges(edges []CallEdge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].CallSite != edges[j].CallSite {
+			return edges[i].CallSite < edges[j].CallSite
+		}
+		return edges[i].Target < edges[j].Target
+	})
+}
+
+// FunctionSubgraph returns the indices of blocks belonging to fn, in
+// start order. The loop finder analyzes one function at a time (§V-A:
+// analysis cost is per-function CFG complexity).
+func (g *Graph) FunctionSubgraph(fn program.Function) []int {
+	var out []int
+	for _, b := range g.Blocks {
+		if b.Start >= fn.Lo && b.Start < fn.Hi {
+			out = append(out, b.Index)
+		}
+	}
+	return out
+}
+
+// FlowConservation verifies that for every block, inflow equals outflow
+// equals the block count, modulo program entry/exit and function
+// boundaries (call/return flow leaves the intra-procedural graph). It
+// returns the offsets of blocks violating conservation; the property tests
+// use it as a structural invariant.
+func (g *Graph) FlowConservation() []uint64 {
+	var bad []uint64
+	for _, b := range g.Blocks {
+		var in, out uint64
+		for _, e := range b.Preds {
+			in += e.Count
+		}
+		for _, e := range b.Succs {
+			out += e.Count
+		}
+		// Blocks entered by call (function entries) have no intra-proc
+		// inflow; blocks ending in ret/exit-syscall have no outflow.
+		inOK := in == b.Count || in == 0
+		outOK := out == b.Count || out == 0
+		if b.TermOp == isa.SYSCALL {
+			outOK = out == b.Count || out == b.Count-1 // final exit
+		}
+		if !inOK || !outOK {
+			bad = append(bad, b.Start)
+		}
+	}
+	return bad
+}

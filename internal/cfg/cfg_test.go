@@ -1,0 +1,318 @@
+package cfg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"optiwise/internal/asm"
+	"optiwise/internal/dbi"
+	"optiwise/internal/isa"
+	"optiwise/internal/progen"
+	"optiwise/internal/program"
+)
+
+func buildCFG(t *testing.T, src string) (*program.Program, *Graph) {
+	t.Helper()
+	p, err := asm.Assemble("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := dbi.Run(p, dbi.Options{RandSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(p, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, g
+}
+
+func TestLoopCFGShape(t *testing.T) {
+	_, g := buildCFG(t, `
+.func main
+main:
+    li t0, 5          # 0x0
+loop:
+    addi t0, t0, -1   # 0x4
+    bnez t0, loop     # 0x8
+    li a7, 93         # 0xc
+    syscall           # 0x10
+.endfunc
+`)
+	// Compiler blocks: [0x0,0x4) count 1; [0x4,0xc) count 5; [0xc,0x14) count 1.
+	if len(g.Blocks) != 3 {
+		t.Fatalf("blocks = %d: %+v", len(g.Blocks), g.Blocks)
+	}
+	b0 := g.Blocks[g.BlockAt(0)]
+	b1 := g.Blocks[g.BlockAt(4)]
+	b2 := g.Blocks[g.BlockAt(0xc)]
+	if b0 == nil || b1 == nil || b2 == nil {
+		t.Fatal("missing blocks")
+	}
+	if b0.End != 4 || b0.Count != 1 {
+		t.Errorf("b0 = %+v", b0)
+	}
+	if b0.TermOp != isa.NOP {
+		t.Errorf("b0 should be a split fall-through block, term %v", b0.TermOp)
+	}
+	if b1.End != 0xc || b1.Count != 5 || b1.TermOp != isa.BNE {
+		t.Errorf("b1 = %+v", b1)
+	}
+	if b2.Count != 1 || b2.TermOp != isa.SYSCALL {
+		t.Errorf("b2 = %+v", b2)
+	}
+	// Edges: b0->b1 (1, fall), b1->b1 (4, taken), b1->b2 (1, not-taken).
+	edgeCount := func(from, to *Block, kind EdgeKind) uint64 {
+		for _, e := range from.Succs {
+			if e.To == to.Index && e.Kind == kind {
+				return e.Count
+			}
+		}
+		return 0
+	}
+	if n := edgeCount(b0, b1, EdgeFallthrough); n != 1 {
+		t.Errorf("b0->b1 = %d", n)
+	}
+	if n := edgeCount(b1, b1, EdgeTaken); n != 4 {
+		t.Errorf("b1->b1 taken = %d", n)
+	}
+	if n := edgeCount(b1, b2, EdgeNotTaken); n != 1 {
+		t.Errorf("b1->b2 fall = %d", n)
+	}
+}
+
+func TestCallEdgesAndCallReturnFlow(t *testing.T) {
+	p, g := buildCFG(t, `
+.func main
+main:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    li s2, 3
+loop:
+    call f            # call site
+    addi s2, s2, -1
+    bnez s2, loop
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    li a7, 93
+    syscall
+.endfunc
+.func f
+f:
+    nop
+    ret
+.endfunc
+`)
+	fOff, _ := p.SymbolByName("f")
+	if len(g.CallEdges) != 1 {
+		t.Fatalf("call edges = %+v", g.CallEdges)
+	}
+	ce := g.CallEdges[0]
+	if ce.Target != fOff || ce.Count != 3 {
+		t.Errorf("call edge = %+v", ce)
+	}
+	// The call block must flow to its return point with count 3.
+	callBlk := g.Blocks[g.BlockContaining(ce.CallSite)]
+	found := false
+	for _, e := range callBlk.Succs {
+		if e.Kind == EdgeCallReturn && e.Count == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing call-return edge: %+v", callBlk.Succs)
+	}
+	// f's blocks must not have intra-procedural successors leaving f.
+	fn, _ := p.FuncByName("f")
+	fBlk := g.Blocks[g.BlockAt(fOff)]
+	for _, e := range fBlk.Succs {
+		if g.Blocks[e.To].Start >= fn.Hi {
+			t.Error("ret created an intra-procedural edge")
+		}
+	}
+}
+
+func TestBranchIntoMiddleSplits(t *testing.T) {
+	// A branch targeting the middle of a straight-line run must split the
+	// containing block (the §IV-C overlap disparity).
+	_, g := buildCFG(t, `
+.func main
+main:
+    li t0, 3          # 0x0
+    li t1, 0          # 0x4
+top:
+    addi t1, t1, 1    # 0x8   <- fall-through reaches here...
+mid:
+    addi t1, t1, 2    # 0xc   <- ...and the branch targets here
+    addi t0, t0, -1   # 0x10
+    bnez t0, mid      # 0x14
+    li a7, 93         # 0x18
+    syscall           # 0x1c
+.endfunc
+`)
+	// The branch target 0xc becomes a leader and splits the entry run:
+	// compiler blocks [0,0xc) count 1, [0xc,0x18) count 3, [0x18,0x20).
+	if len(g.Blocks) != 3 {
+		t.Fatalf("blocks = %d: %v", len(g.Blocks), starts(g))
+	}
+	mid := g.Blocks[g.BlockAt(0xc)]
+	if mid == nil {
+		t.Fatal("no block at 0xc")
+	}
+	if mid.Count != 3 {
+		t.Errorf("mid count = %d, want 3", mid.Count)
+	}
+	pre := g.Blocks[g.BlockAt(0)]
+	if pre.Count != 1 || pre.End != 0xc {
+		t.Errorf("pre block = %+v", pre)
+	}
+	if pre.TermOp != isa.NOP {
+		t.Error("pre block should be split (fall-through)")
+	}
+	// The split's fall-through edge carries the prefix count.
+	if len(pre.Succs) != 1 || pre.Succs[0].To != mid.Index || pre.Succs[0].Count != 1 {
+		t.Errorf("pre succs = %+v", pre.Succs)
+	}
+}
+
+func starts(g *Graph) []uint64 {
+	var s []uint64
+	for _, b := range g.Blocks {
+		s = append(s, b.Start)
+	}
+	return s
+}
+
+func TestIndirectJumpEdges(t *testing.T) {
+	_, g := buildCFG(t, `
+.func main
+main:
+    li t0, 4
+    la t1, back
+back:
+    addi t0, t0, -1
+    beqz t0, done
+    jr t1
+done:
+    li a7, 93
+    syscall
+.endfunc
+`)
+	var ind *Block
+	for _, b := range g.Blocks {
+		if b.TermOp == isa.JR {
+			ind = b
+		}
+	}
+	if ind == nil {
+		t.Fatal("no jr block")
+	}
+	var total uint64
+	for _, e := range ind.Succs {
+		if e.Kind == EdgeIndirect {
+			total += e.Count
+		}
+	}
+	if total != 3 {
+		t.Errorf("indirect edge flow = %d, want 3", total)
+	}
+}
+
+func TestFlowConservationOnGeneratedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		src := progen.Generate(progen.DefaultConfig(seed))
+		p, err := asm.Assemble("gen", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := dbi.Run(p, dbi.Options{RandSeed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Build(p, prof)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if bad := g.FlowConservation(); len(bad) > 0 {
+			t.Errorf("seed %d: flow conservation violated at %#x", seed, bad)
+		}
+		// Block counts must equal per-instruction counts of their first
+		// instruction.
+		counts := prof.ExecCounts()
+		for _, b := range g.Blocks {
+			if b.Count != counts[b.Start] {
+				t.Errorf("seed %d: block %#x count %d != %d", seed, b.Start, b.Count, counts[b.Start])
+			}
+			// And every instruction inside a compiler block must have the
+			// same count — that is what makes it a basic block.
+			for off := b.Start; off < b.End; off += isa.InstBytes {
+				if counts[off] != b.Count {
+					t.Errorf("seed %d: inst %#x count %d != block %d",
+						seed, off, counts[off], b.Count)
+				}
+			}
+		}
+	}
+}
+
+func TestBlocksSortedAndNonOverlapping(t *testing.T) {
+	src := progen.Generate(progen.DefaultConfig(4))
+	p, err := asm.Assemble("gen", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := dbi.Run(p, dbi.Options{RandSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(p, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(g.Blocks); i++ {
+		prev, cur := g.Blocks[i-1], g.Blocks[i]
+		if cur.Start < prev.End {
+			t.Fatalf("blocks overlap: [%#x,%#x) and [%#x,%#x)",
+				prev.Start, prev.End, cur.Start, cur.End)
+		}
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	g, err := Build(&program.Program{Module: "m"}, &dbi.Profile{Module: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Blocks) != 0 || g.BlockAt(0) != -1 || g.BlockContaining(0) != -1 {
+		t.Error("empty graph misbehaves")
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	p, g := buildCFG(t, `
+.func main
+main:
+    li t0, 5
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    syscall
+.endfunc
+`)
+	var buf bytes.Buffer
+	if err := g.WriteDot(&buf, p, "main"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "exec 5", "taken 4", "not-taken 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+	if err := g.WriteDot(&buf, p, "nosuch"); err == nil {
+		t.Error("unknown function accepted")
+	}
+}

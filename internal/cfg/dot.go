@@ -1,0 +1,54 @@
+package cfg
+
+import (
+	"fmt"
+	"io"
+
+	"optiwise/internal/program"
+)
+
+// WriteDot renders fn's CFG subgraph in Graphviz dot format, with blocks
+// labelled by offset range and execution count, and edges by kind and
+// frequency — the diagram style of the paper's figures 4 and 6.
+func (g *Graph) WriteDot(w io.Writer, prog *program.Program, fnName string) error {
+	fn, ok := prog.FuncByName(fnName)
+	if !ok {
+		return fmt.Errorf("cfg: no function %q", fnName)
+	}
+	sub := g.FunctionSubgraph(fn)
+	if len(sub) == 0 {
+		return fmt.Errorf("cfg: function %q has no executed blocks", fnName)
+	}
+	inSub := make(map[int]bool, len(sub))
+	for _, i := range sub {
+		inSub[i] = true
+	}
+
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  node [shape=box, fontname=monospace];\n", fnName); err != nil {
+		return err
+	}
+	for _, i := range sub {
+		b := g.Blocks[i]
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"0x%x..0x%x\\nexec %d\"];\n",
+			i, b.Start, b.End, b.Count); err != nil {
+			return err
+		}
+	}
+	for _, i := range sub {
+		for _, e := range g.Blocks[i].Succs {
+			if !inSub[e.To] {
+				continue
+			}
+			style := ""
+			if e.Kind == EdgeTaken || e.Kind == EdgeJump {
+				style = ", style=bold"
+			}
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=\"%s %d\"%s];\n",
+				e.From, e.To, e.Kind, e.Count, style); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"sort"
+
+	"optiwise/internal/dbi"
+	"optiwise/internal/isa"
+	"optiwise/internal/loops"
+	"optiwise/internal/sampler"
+)
+
+// fnGraph adapts one function's CFG subgraph to the loop finder: local
+// node ids 0..n-1 with node 0 the function entry.
+type fnGraph struct {
+	blocks  []int // local id -> graph block index
+	local   map[int]int
+	succs   [][]int
+	edgeFrq map[[2]int]uint64
+}
+
+func (f *fnGraph) NumNodes() int     { return len(f.blocks) }
+func (f *fnGraph) Succs(n int) []int { return f.succs[n] }
+func (f *fnGraph) EdgeFreq(from, to int) uint64 {
+	return f.edgeFrq[[2]int{from, to}]
+}
+
+// buildLoops finds, merges, and aggregates loops function by function.
+func (p *Profile) buildLoops(sp *sampler.Profile, ep *dbi.Profile, threshold uint64) {
+	// offset -> cycles from the (attributed) instruction records.
+	cyclesAt := func(off uint64) uint64 {
+		if i, ok := p.instIndex[off]; ok {
+			return p.Insts[i].Cycles
+		}
+		return 0
+	}
+
+	type pendingLoop struct {
+		rec    LoopRecord
+		blocks map[int]bool // graph block indices
+		parent int          // local index within its function's merge result
+		base   int          // ID of this function's first loop
+	}
+	var pending []pendingLoop
+
+	for _, fn := range p.Prog.Functions {
+		sub := p.Graph.FunctionSubgraph(fn)
+		if len(sub) == 0 {
+			continue
+		}
+		// Entry-first local ordering.
+		sort.Slice(sub, func(i, j int) bool {
+			return p.Graph.Blocks[sub[i]].Start < p.Graph.Blocks[sub[j]].Start
+		})
+		fg := &fnGraph{
+			blocks:  sub,
+			local:   make(map[int]int, len(sub)),
+			succs:   make([][]int, len(sub)),
+			edgeFrq: make(map[[2]int]uint64),
+		}
+		for li, gi := range sub {
+			fg.local[gi] = li
+		}
+		for li, gi := range sub {
+			for _, e := range p.Graph.Blocks[gi].Succs {
+				tl, ok := fg.local[e.To]
+				if !ok {
+					continue // edge leaves the function
+				}
+				fg.succs[li] = append(fg.succs[li], tl)
+				fg.edgeFrq[[2]int{li, tl}] += e.Count
+			}
+		}
+
+		merged := loops.Merge(loops.Find(fg), threshold)
+		base := len(pending)
+		for _, l := range merged {
+			headerGi := fg.blocks[l.Header]
+			header := p.Graph.Blocks[headerGi]
+			rec := LoopRecord{
+				ID:           len(pending),
+				Func:         fn.Name,
+				HeaderOffset: header.Start,
+				Parent:       -1,
+				Depth:        l.Depth,
+				BackEdgeFreq: l.BackEdgeFreq,
+				Iterations:   header.Count,
+			}
+			if header.Count > l.BackEdgeFreq {
+				rec.Invocations = header.Count - l.BackEdgeFreq
+			}
+			blocks := make(map[int]bool, len(l.Blocks))
+			for ln := range l.Blocks {
+				blocks[fg.blocks[ln]] = true
+			}
+			for gi := range blocks {
+				rec.BlockStarts = append(rec.BlockStarts, p.Graph.Blocks[gi].Start)
+			}
+			sort.Slice(rec.BlockStarts, func(i, j int) bool {
+				return rec.BlockStarts[i] < rec.BlockStarts[j]
+			})
+			parent := -1
+			if l.Parent != -1 {
+				parent = base + l.Parent
+			}
+			pending = append(pending, pendingLoop{
+				rec: rec, blocks: blocks, parent: parent, base: base,
+			})
+		}
+	}
+
+	// Per-loop self statistics and callee contributions.
+	for i := range pending {
+		pl := &pending[i]
+		pl.rec.Parent = pl.parent
+		var minLine, maxLine int
+		var file string
+		for gi := range pl.blocks {
+			b := p.Graph.Blocks[gi]
+			pl.rec.SelfInsts += b.Count * uint64(b.NumInsts())
+			for off := b.Start; off < b.End; off += isa.InstBytes {
+				pl.rec.SelfCycles += cyclesAt(off)
+				if le, ok := p.Prog.LineAt(off); ok {
+					if file == "" {
+						file = le.File
+					}
+					if le.File == file {
+						if minLine == 0 || le.Line < minLine {
+							minLine = le.Line
+						}
+						if le.Line > maxLine {
+							maxLine = le.Line
+						}
+					}
+				}
+			}
+		}
+		pl.rec.File, pl.rec.StartLine, pl.rec.EndLine = file, minLine, maxLine
+		pl.rec.TotalInsts = pl.rec.SelfInsts
+		for site, n := range ep.CalleeCounts {
+			if bi := p.Graph.BlockContaining(site); bi >= 0 && pl.blocks[bi] {
+				pl.rec.TotalInsts += n
+			}
+		}
+	}
+
+	// Stack-profiling sample attribution (§IV-D): each sample credits
+	// every loop containing the sample PC or any call site on its stack,
+	// at most once per sample (the recursion rule).
+	loopsOf := make(map[int][]int) // graph block index -> loop ids
+	for i := range pending {
+		for gi := range pending[i].blocks {
+			loopsOf[gi] = append(loopsOf[gi], i)
+		}
+	}
+	for _, rec := range sp.Records {
+		credited := make(map[int]bool)
+		credit := func(off uint64) {
+			bi := p.Graph.BlockContaining(off)
+			if bi < 0 {
+				return
+			}
+			for _, li := range loopsOf[bi] {
+				if !credited[li] {
+					credited[li] = true
+					pending[li].rec.TotalCycles += rec.Weight
+				}
+			}
+		}
+		credit(rec.Offset)
+		for _, ra := range rec.Stack {
+			if ra >= isa.InstBytes {
+				credit(ra - isa.InstBytes)
+			}
+		}
+	}
+
+	for i := range pending {
+		r := &pending[i].rec
+		if r.TotalInsts > 0 {
+			r.CPI = float64(r.TotalCycles) / float64(r.TotalInsts)
+		}
+		if r.Iterations > 0 {
+			r.InstsPerIter = float64(r.TotalInsts) / float64(r.Iterations)
+		}
+		if p.TotalCycles > 0 {
+			r.TimeFrac = float64(r.TotalCycles) / float64(p.TotalCycles)
+		}
+		p.Loops = append(p.Loops, *r)
+	}
+	sort.Slice(p.Loops, func(i, j int) bool {
+		if p.Loops[i].TotalCycles != p.Loops[j].TotalCycles {
+			return p.Loops[i].TotalCycles > p.Loops[j].TotalCycles
+		}
+		return p.Loops[i].ID < p.Loops[j].ID
+	})
+}

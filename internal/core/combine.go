@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"optiwise/internal/cfg"
+	"optiwise/internal/dbi"
+	"optiwise/internal/isa"
+	"optiwise/internal/loops"
+	"optiwise/internal/program"
+	"optiwise/internal/sampler"
+)
+
+// Attribution selects how samples are mapped back to the instructions that
+// caused them (§III, §V-B).
+type Attribution int
+
+const (
+	// AttrAuto applies the predecessor heuristic to skid profiles and
+	// leaves PEBS-style precise profiles untouched.
+	AttrAuto Attribution = iota
+	// AttrNone uses the sampled PCs as-is.
+	AttrNone
+	// AttrPredecessor re-assigns every sample to the sampled PC's dynamic
+	// predecessor (§III point 1).
+	AttrPredecessor
+)
+
+// Options configures the combiner.
+type Options struct {
+	Attribution Attribution
+	// Unweighted ignores sample weights and estimates cycles as
+	// samples × period (ablation for the §IV-B weighting).
+	Unweighted bool
+	// LoopThreshold is Algorithm 2's T; 0 means loops.DefaultThreshold.
+	LoopThreshold uint64
+}
+
+// Combine merges the two profiling runs into the granular CPI profile.
+func Combine(prog *program.Program, sp *sampler.Profile, ep *dbi.Profile, opts Options) (*Profile, error) {
+	if sp.Module != ep.Module {
+		return nil, fmt.Errorf("core: module mismatch: sampling profile %q vs edge profile %q",
+			sp.Module, ep.Module)
+	}
+	graph, err := cfg.Build(prog, ep)
+	if err != nil {
+		return nil, err
+	}
+	t := opts.LoopThreshold
+	if t == 0 {
+		t = loops.DefaultThreshold
+	}
+
+	p := &Profile{
+		Module:       prog.Module,
+		Prog:         prog,
+		Graph:        graph,
+		SamplePeriod: sp.Period,
+		TotalInsts:   ep.BaseInstructions,
+		instIndex:    make(map[uint64]int),
+		funcIndex:    make(map[string]int),
+	}
+
+	// --- Per-instruction: N from instrumentation, S and cycles from
+	// sampling, with optional predecessor re-attribution.
+	execCounts := ep.ExecCounts()
+	samples, cycles, misses, brmp := p.attributeSamples(sp, opts)
+
+	// The two runs need not have identical control flow (§IV-F): a
+	// non-deterministic program may produce samples at offsets the
+	// instrumented run never executed. Keep such records — with a zero
+	// execution count and no CPI — rather than silently dropping time,
+	// and surface the total in UnmatchedSamples so users can judge how
+	// representative the combination is.
+	offsetSet := make(map[uint64]bool, len(execCounts))
+	for off := range execCounts {
+		offsetSet[off] = true
+	}
+	for off := range samples {
+		if !offsetSet[off] {
+			offsetSet[off] = true
+			p.UnmatchedSamples += samples[off]
+		}
+	}
+	offsets := make([]uint64, 0, len(offsetSet))
+	for off := range offsetSet {
+		offsets = append(offsets, off)
+	}
+	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+	for _, off := range offsets {
+		inst, ok := prog.InstAt(off)
+		if !ok {
+			return nil, fmt.Errorf("core: executed offset 0x%x has no instruction", off)
+		}
+		r := InstRecord{
+			Offset:      off,
+			Inst:        inst,
+			Disasm:      isa.Disassemble(inst),
+			ExecCount:   execCounts[off],
+			Samples:     samples[off],
+			Cycles:      cycles[off],
+			CacheMisses: misses[off],
+			Mispredicts: brmp[off],
+		}
+		if fn, ok := prog.FuncAt(off); ok {
+			r.Func = fn.Name
+		}
+		if le, ok := prog.LineAt(off); ok {
+			r.File, r.Line = le.File, le.Line
+		}
+		if r.ExecCount > 0 {
+			r.CPI = float64(r.Cycles) / float64(r.ExecCount)
+		}
+		p.instIndex[off] = len(p.Insts)
+		p.Insts = append(p.Insts, r)
+		p.TotalCycles += r.Cycles
+		p.TotalSamples += r.Samples
+	}
+	if sp.UserCycles > 0 {
+		// Prefer the sampled run's own cycle counter for the program
+		// total: it includes cycles before the first sample.
+		p.TotalCycles = sp.UserCycles
+	}
+	if p.TotalCycles > 0 {
+		p.IPC = float64(p.TotalInsts) / float64(p.TotalCycles)
+	}
+
+	p.buildFuncs(sp, ep)
+	p.buildLoops(sp, ep, t)
+	p.buildLines()
+	p.buildBlocks()
+	return p, nil
+}
+
+// buildBlocks aggregates the per-instruction records into basic blocks.
+func (p *Profile) buildBlocks() {
+	for _, b := range p.Graph.Blocks {
+		r := BlockRecord{
+			Start:     b.Start,
+			End:       b.End,
+			ExecCount: b.Count,
+			Insts:     b.NumInsts(),
+		}
+		if fn, ok := p.Prog.FuncAt(b.Start); ok {
+			r.Func = fn.Name
+		}
+		for off := b.Start; off < b.End; off += isa.InstBytes {
+			if i, ok := p.instIndex[off]; ok {
+				r.Samples += p.Insts[i].Samples
+				r.Cycles += p.Insts[i].Cycles
+			}
+		}
+		if dyn := r.ExecCount * uint64(r.Insts); dyn > 0 {
+			r.CPI = float64(r.Cycles) / float64(dyn)
+		}
+		if p.TotalCycles > 0 {
+			r.TimeFrac = float64(r.Cycles) / float64(p.TotalCycles)
+		}
+		p.Blocks = append(p.Blocks, r)
+	}
+	sort.Slice(p.Blocks, func(i, j int) bool {
+		if p.Blocks[i].Cycles != p.Blocks[j].Cycles {
+			return p.Blocks[i].Cycles > p.Blocks[j].Cycles
+		}
+		return p.Blocks[i].Start < p.Blocks[j].Start
+	})
+}
+
+// attributeSamples folds the raw records into per-offset sample counts and
+// cycle masses, applying the requested attribution.
+func (p *Profile) attributeSamples(sp *sampler.Profile, opts Options) (samples, cycles, misses, brmp map[uint64]uint64) {
+	attr := opts.Attribution
+	if attr == AttrAuto {
+		if sp.Precise {
+			attr = AttrNone
+		} else {
+			attr = AttrPredecessor
+		}
+	}
+	samples = make(map[uint64]uint64)
+	cycles = make(map[uint64]uint64)
+	misses = make(map[uint64]uint64)
+	brmp = make(map[uint64]uint64)
+	for _, r := range sp.Records {
+		off := r.Offset
+		if attr == AttrPredecessor {
+			off = p.predecessor(off)
+		}
+		samples[off]++
+		if opts.Unweighted {
+			cycles[off] += sp.Period
+		} else {
+			cycles[off] += r.Weight
+		}
+		misses[off] += r.CacheMisses
+		brmp[off] += r.Mispredicts
+	}
+	return samples, cycles, misses, brmp
+}
+
+// predecessor maps off to its most likely dynamic predecessor: the prior
+// instruction within the same CFG block, or — at a block head — the last
+// instruction of the hottest incoming edge's source block.
+func (p *Profile) predecessor(off uint64) uint64 {
+	bi := p.Graph.BlockContaining(off)
+	if bi < 0 {
+		return off
+	}
+	b := p.Graph.Blocks[bi]
+	if off > b.Start {
+		return off - isa.InstBytes
+	}
+	var best *cfg.Edge
+	for _, e := range b.Preds {
+		if best == nil || e.Count > best.Count {
+			best = e
+		}
+	}
+	if best == nil {
+		return off
+	}
+	src := p.Graph.Blocks[best.From]
+	if src.End == 0 {
+		return off
+	}
+	return src.End - isa.InstBytes
+}
+
+// buildFuncs aggregates per-function self and total statistics.
+func (p *Profile) buildFuncs(sp *sampler.Profile, ep *dbi.Profile) {
+	recs := make(map[string]*FuncRecord)
+	get := func(name string, lo uint64) *FuncRecord {
+		r := recs[name]
+		if r == nil {
+			r = &FuncRecord{Name: name, Lo: lo}
+			recs[name] = r
+		}
+		return r
+	}
+
+	// Self stats from the per-instruction records.
+	for _, ir := range p.Insts {
+		if ir.Func == "" {
+			continue
+		}
+		r := get(ir.Func, 0)
+		r.SelfCycles += ir.Cycles
+		r.SelfSamples += ir.Samples
+		r.SelfInsts += ir.ExecCount
+		r.CacheMisses += ir.CacheMisses
+		r.Mispredicts += ir.Mispredicts
+	}
+	for _, fn := range p.Prog.Functions {
+		if r, ok := recs[fn.Name]; ok {
+			r.Lo = fn.Lo
+		}
+	}
+
+	// Total instructions: self plus callee_count_table sums over the
+	// function's call sites.
+	for site, n := range ep.CalleeCounts {
+		if fn, ok := p.Prog.FuncAt(site); ok {
+			get(fn.Name, fn.Lo).TotalInsts += n
+		}
+	}
+	for _, r := range recs {
+		r.TotalInsts += r.SelfInsts
+	}
+
+	// Total cycles via stack walks: each sample credits every distinct
+	// function on its stack once (§IV-D recursion rule).
+	for _, rec := range sp.Records {
+		seen := make(map[string]bool, len(rec.Stack)+1)
+		credit := func(off uint64) {
+			if fn, ok := p.Prog.FuncAt(off); ok && !seen[fn.Name] {
+				seen[fn.Name] = true
+				get(fn.Name, fn.Lo).TotalCycles += rec.Weight
+			}
+		}
+		credit(rec.Offset)
+		for _, ra := range rec.Stack {
+			if ra >= isa.InstBytes {
+				credit(ra - isa.InstBytes) // the call site
+			}
+		}
+	}
+
+	for _, r := range recs {
+		if r.SelfInsts > 0 {
+			r.CPI = float64(r.SelfCycles) / float64(r.SelfInsts)
+			if r.SelfCycles > 0 {
+				r.IPC = float64(r.SelfInsts) / float64(r.SelfCycles)
+			}
+		}
+		if p.TotalCycles > 0 {
+			r.TimeFrac = float64(r.TotalCycles) / float64(p.TotalCycles)
+		}
+		p.Funcs = append(p.Funcs, *r)
+	}
+	sort.Slice(p.Funcs, func(i, j int) bool {
+		if p.Funcs[i].TotalCycles != p.Funcs[j].TotalCycles {
+			return p.Funcs[i].TotalCycles > p.Funcs[j].TotalCycles
+		}
+		return p.Funcs[i].Name < p.Funcs[j].Name
+	})
+	for i := range p.Funcs {
+		p.funcIndex[p.Funcs[i].Name] = i
+	}
+}
+
+// buildLines aggregates per-source-line statistics.
+func (p *Profile) buildLines() {
+	type key struct {
+		file string
+		line int
+	}
+	recs := make(map[key]*LineRecord)
+	for _, ir := range p.Insts {
+		if ir.Line == 0 {
+			continue
+		}
+		k := key{ir.File, ir.Line}
+		r := recs[k]
+		if r == nil {
+			r = &LineRecord{File: ir.File, Line: ir.Line}
+			recs[k] = r
+		}
+		r.ExecCount += ir.ExecCount
+		r.Samples += ir.Samples
+		r.Cycles += ir.Cycles
+	}
+	for _, r := range recs {
+		if r.ExecCount > 0 {
+			r.CPI = float64(r.Cycles) / float64(r.ExecCount)
+		}
+		if p.TotalCycles > 0 {
+			r.TimeFrac = float64(r.Cycles) / float64(p.TotalCycles)
+		}
+		p.Lines = append(p.Lines, *r)
+	}
+	sort.Slice(p.Lines, func(i, j int) bool {
+		if p.Lines[i].Cycles != p.Lines[j].Cycles {
+			return p.Lines[i].Cycles > p.Lines[j].Cycles
+		}
+		if p.Lines[i].File != p.Lines[j].File {
+			return p.Lines[i].File < p.Lines[j].File
+		}
+		return p.Lines[i].Line < p.Lines[j].Line
+	})
+}

@@ -1,0 +1,443 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"optiwise/internal/asm"
+	"optiwise/internal/dbi"
+	"optiwise/internal/ooo"
+	"optiwise/internal/sampler"
+)
+
+// profile runs the full two-run pipeline on src.
+func profile(t *testing.T, src string, sopts sampler.Options, opts Options) *Profile {
+	t.Helper()
+	prog, err := asm.Assemble("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sopts.Period == 0 {
+		sopts.Period = 500
+	}
+	sopts.ASLRSeed = 11
+	sp, _, err := sampler.Run(ooo.XeonW2195(), prog, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := dbi.Run(prog, dbi.Options{StackProfiling: true, ASLRSeed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Combine(prog, sp, ep, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// fig1Src mirrors the paper's motivating example: a hot loop where one
+// load misses the cache hierarchy while the surrounding ALU instructions
+// are cheap.
+const fig1Src = `
+.func main
+main:
+    li a0, 0x100008000000
+    li a7, 214
+    syscall             # brk: reserve heap
+    li s10, 0x100000000000
+    li t0, 0
+    li t1, 30000
+    li t2, 0x7ffffc0
+    li a1, 0
+.loc fig1.c 10
+loop:
+    and t3, t0, t2
+    add t3, t3, s10
+.loc fig1.c 12
+    ld a2, 0(t3)        # cache-missing load
+.loc fig1.c 13
+    add a1, a1, a2
+    xor a3, a1, t0
+    add a3, a3, t0
+    addi t0, t0, 64
+    addi t1, t1, -1
+    bnez t1, loop
+    li a7, 93
+    li a0, 0
+    syscall
+.endfunc
+`
+
+// loadOff is the module offset of the cache-missing load in fig1Src:
+// instructions 0..9 precede the loop (li a0, li a7, syscall, li s10, li t0,
+// li t1, li t2, li a1, and, add), so the load is the 11th instruction.
+const loadOff = 10 * 4
+
+func TestFig1CombinedCPIFindsTheLoad(t *testing.T) {
+	p := profile(t, fig1Src, sampler.Options{}, Options{})
+
+	load, ok := p.InstAt(loadOff)
+	if !ok {
+		t.Fatal("no record for the load")
+	}
+	if load.ExecCount != 30000 {
+		t.Fatalf("load exec count = %d, want 30000", load.ExecCount)
+	}
+	// The load's CPI must dwarf every other loop instruction's CPI —
+	// the paper's headline observation (figure 1).
+	for _, r := range p.Insts {
+		if r.Offset == loadOff || r.ExecCount < 30000 {
+			continue
+		}
+		if r.CPI*3 > load.CPI {
+			t.Errorf("inst %#x (%s) CPI %.2f too close to load CPI %.2f",
+				r.Offset, r.Disasm, r.CPI, load.CPI)
+		}
+	}
+	// The load CPI should be many cycles (memory bound, though overlapping
+	// misses hide part of the latency), while the cheap ALU ops sit far
+	// below one cycle per execution.
+	if load.CPI < 5 {
+		t.Errorf("load CPI = %.2f, want memory-bound (>5)", load.CPI)
+	}
+}
+
+func TestExecutionCountsUniformInLoop(t *testing.T) {
+	p := profile(t, fig1Src, sampler.Options{}, Options{})
+	// Execution counts alone (instrumentation view) cannot distinguish
+	// the load from its neighbors: all loop-body instructions execute
+	// 30000 times.
+	for off := uint64(8 * 4); off <= 15*4; off += 4 {
+		r, ok := p.InstAt(off)
+		if !ok || r.ExecCount != 30000 {
+			t.Errorf("inst %#x exec = %d, want 30000", off, r.ExecCount)
+		}
+	}
+}
+
+func TestTotalsConsistency(t *testing.T) {
+	p := profile(t, fig1Src, sampler.Options{}, Options{})
+	if p.TotalInsts == 0 || p.TotalCycles == 0 || p.TotalSamples == 0 {
+		t.Fatalf("empty totals: %+v", p)
+	}
+	var sumCycles, sumSamples uint64
+	for _, r := range p.Insts {
+		sumCycles += r.Cycles
+		sumSamples += r.Samples
+	}
+	if sumSamples != p.TotalSamples {
+		t.Errorf("sample sum %d != total %d", sumSamples, p.TotalSamples)
+	}
+	// Weighted cycles must cover most of the run (first-sample truncation
+	// only).
+	if sumCycles < p.TotalCycles*9/10 || sumCycles > p.TotalCycles {
+		t.Errorf("cycle sum %d vs run cycles %d", sumCycles, p.TotalCycles)
+	}
+	if p.IPC <= 0 || p.IPC > 4 {
+		t.Errorf("IPC = %.2f out of range", p.IPC)
+	}
+}
+
+func TestLineAggregation(t *testing.T) {
+	p := profile(t, fig1Src, sampler.Options{}, Options{})
+	var line12 *LineRecord
+	for i := range p.Lines {
+		if p.Lines[i].Line == 12 {
+			line12 = &p.Lines[i]
+		}
+	}
+	if line12 == nil {
+		t.Fatal("line 12 (the load) missing")
+	}
+	if line12.File != "fig1.c" {
+		t.Errorf("file = %q", line12.File)
+	}
+	// Line 12 holds the expensive load; it must dominate the line table.
+	if p.Lines[0].Line != 12 {
+		t.Errorf("hottest line = %d, want 12", p.Lines[0].Line)
+	}
+}
+
+const callSrc = `
+.func main
+main:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    li s2, 400
+outer:
+    call work
+    addi s2, s2, -1
+    bnez s2, outer
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    li a0, 0
+    li a7, 93
+    syscall
+.endfunc
+.func work
+work:
+    li t0, 200
+wl:
+    div t1, t0, t0
+    addi t0, t0, -1
+    bnez t0, wl
+    ret
+.endfunc
+`
+
+func TestFunctionAggregation(t *testing.T) {
+	p := profile(t, callSrc, sampler.Options{}, Options{})
+	work, ok := p.FuncByName("work")
+	if !ok {
+		t.Fatal("work missing")
+	}
+	main, ok := p.FuncByName("main")
+	if !ok {
+		t.Fatal("main missing")
+	}
+	// work: 400 invocations × (2 + 3*200) instructions.
+	wantWork := uint64(400 * (2 + 3*200))
+	if work.SelfInsts != wantWork {
+		t.Errorf("work self insts = %d, want %d", work.SelfInsts, wantWork)
+	}
+	// main's total includes work's instructions via callee counts.
+	if main.TotalInsts != main.SelfInsts+wantWork {
+		t.Errorf("main total = %d, self %d + work %d", main.TotalInsts, main.SelfInsts, wantWork)
+	}
+	// Virtually all cycles are in work (div-bound); main's *total* time
+	// fraction must still be ~100% via stack attribution.
+	if work.TimeFrac < 0.9 {
+		t.Errorf("work time frac = %.2f, want > 0.9", work.TimeFrac)
+	}
+	if main.TimeFrac < 0.95 {
+		t.Errorf("main total time frac = %.2f, want ~1 (stack attribution)", main.TimeFrac)
+	}
+	if main.SelfCycles >= work.SelfCycles {
+		t.Error("main self cycles should be far below work's")
+	}
+	// Functions are sorted by total cycles: main (the root) first.
+	if p.Funcs[0].Name != "main" {
+		t.Errorf("hottest-total function = %q, want main", p.Funcs[0].Name)
+	}
+}
+
+func TestLoopRecords(t *testing.T) {
+	p := profile(t, callSrc, sampler.Options{}, Options{})
+	if len(p.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2 (outer in main, wl in work)", len(p.Loops))
+	}
+	var outer, wl *LoopRecord
+	for i := range p.Loops {
+		switch p.Loops[i].Func {
+		case "main":
+			outer = &p.Loops[i]
+		case "work":
+			wl = &p.Loops[i]
+		}
+	}
+	if outer == nil || wl == nil {
+		t.Fatalf("loops = %+v", p.Loops)
+	}
+	if wl.Iterations != 400*200 {
+		t.Errorf("wl iterations = %d, want 80000", wl.Iterations)
+	}
+	if wl.Invocations != 400 {
+		t.Errorf("wl invocations = %d, want 400", wl.Invocations)
+	}
+	if outer.Iterations != 400 || outer.Invocations != 1 {
+		t.Errorf("outer: %d iters, %d invocations", outer.Iterations, outer.Invocations)
+	}
+	// The outer loop's total instructions include work's instructions
+	// through the callee table.
+	if outer.TotalInsts <= outer.SelfInsts {
+		t.Error("outer loop total should include callee instructions")
+	}
+	// Both loops should account for nearly all time: the outer via stack
+	// attribution.
+	if outer.TimeFrac < 0.9 {
+		t.Errorf("outer loop time frac = %.2f (stack attribution broken?)", outer.TimeFrac)
+	}
+	if wl.TimeFrac < 0.9 {
+		t.Errorf("wl time frac = %.2f", wl.TimeFrac)
+	}
+	// Loop CPI: the div-bound inner loop has high CPI.
+	if wl.CPI < 5 {
+		t.Errorf("wl CPI = %.2f, want div-bound (> 5)", wl.CPI)
+	}
+}
+
+func TestPredecessorAttribution(t *testing.T) {
+	// Skid mode puts samples after the expensive load; predecessor
+	// attribution must pull them back onto (or right next to) it.
+	pNone := profile(t, fig1Src, sampler.Options{}, Options{Attribution: AttrNone})
+	pPred := profile(t, fig1Src, sampler.Options{}, Options{Attribution: AttrPredecessor})
+
+	noneLoad, _ := pNone.InstAt(loadOff)
+	predLoad, _ := pPred.InstAt(loadOff)
+	if predLoad.Cycles <= noneLoad.Cycles {
+		t.Errorf("predecessor attribution should move cycles toward the load: %d -> %d",
+			noneLoad.Cycles, predLoad.Cycles)
+	}
+}
+
+func TestAutoAttribution(t *testing.T) {
+	// Auto = predecessor for skid profiles, none for precise profiles.
+	skidAuto := profile(t, fig1Src, sampler.Options{}, Options{Attribution: AttrAuto})
+	skidPred := profile(t, fig1Src, sampler.Options{}, Options{Attribution: AttrPredecessor})
+	a, _ := skidAuto.InstAt(loadOff)
+	b, _ := skidPred.InstAt(loadOff)
+	if a.Cycles != b.Cycles {
+		t.Error("auto should equal predecessor for skid profiles")
+	}
+	preciseAuto := profile(t, fig1Src, sampler.Options{Precise: true}, Options{Attribution: AttrAuto})
+	preciseNone := profile(t, fig1Src, sampler.Options{Precise: true}, Options{Attribution: AttrNone})
+	c, _ := preciseAuto.InstAt(loadOff)
+	d, _ := preciseNone.InstAt(loadOff)
+	if c.Cycles != d.Cycles {
+		t.Error("auto should equal none for precise profiles")
+	}
+}
+
+func TestPreciseProfileFindsLoadDirectly(t *testing.T) {
+	p := profile(t, fig1Src, sampler.Options{Precise: true}, Options{})
+	load, _ := p.InstAt(loadOff)
+	hot, _ := p.HottestInst()
+	if hot.Offset != load.Offset {
+		t.Errorf("hottest inst %#x (%s), want the load %#x",
+			hot.Offset, hot.Disasm, load.Offset)
+	}
+}
+
+func TestUnweightedAblation(t *testing.T) {
+	w := profile(t, fig1Src, sampler.Options{}, Options{})
+	u := profile(t, fig1Src, sampler.Options{}, Options{Unweighted: true})
+	// Unweighted cycles are samples × period.
+	for _, r := range u.Insts {
+		if r.Cycles != r.Samples*u.SamplePeriod {
+			t.Fatalf("unweighted cycles %d != samples %d × period %d",
+				r.Cycles, r.Samples, u.SamplePeriod)
+		}
+	}
+	// Both should still converge on the same hot instruction.
+	hw, _ := w.HottestInst()
+	hu, _ := u.HottestInst()
+	if hw.Offset != hu.Offset {
+		t.Errorf("weighting changed the hottest instruction: %#x vs %#x",
+			hw.Offset, hu.Offset)
+	}
+}
+
+func TestModuleMismatchRejected(t *testing.T) {
+	prog, err := asm.Assemble("a", ".func main\nmain:\n li a7, 93\n syscall\n.endfunc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := &sampler.Profile{Module: "a", Period: 100}
+	ep := &dbi.Profile{Module: "b"}
+	if _, err := Combine(prog, sp, ep, Options{}); err == nil {
+		t.Error("module mismatch not rejected")
+	}
+}
+
+func TestDifferentASLRBasesCombineCleanly(t *testing.T) {
+	// The two runs use different load bases (ASLRSeed 11 vs 22 in
+	// profile()); combination must still work because everything is
+	// module-relative. This is the §IV-A requirement.
+	p := profile(t, fig1Src, sampler.Options{}, Options{})
+	if _, ok := p.InstAt(loadOff); !ok {
+		t.Fatal("combined profile lost the load under ASLR")
+	}
+}
+
+func TestProfileQueriesOnMissingData(t *testing.T) {
+	p := profile(t, fig1Src, sampler.Options{}, Options{})
+	if _, ok := p.InstAt(0xdead00); ok {
+		t.Error("InstAt on bogus offset should fail")
+	}
+	if _, ok := p.FuncByName("nope"); ok {
+		t.Error("FuncByName on bogus name should fail")
+	}
+	if _, ok := p.LoopByHeader(0xdead00); ok {
+		t.Error("LoopByHeader on bogus offset should fail")
+	}
+}
+
+func TestEntryFallbackWhenNoMain(t *testing.T) {
+	// program.Load requires a valid entry; combine must handle a program
+	// whose functions start past offset 0 (entry defaults to 0).
+	src := `
+.func start
+start:
+    li t0, 50
+l:
+    addi t0, t0, -1
+    bnez t0, l
+    li a7, 93
+    li a0, 0
+    syscall
+.endfunc
+`
+	p := profile(t, src, sampler.Options{}, Options{})
+	if len(p.Loops) != 1 {
+		t.Errorf("loops = %d, want 1", len(p.Loops))
+	}
+	if p.Loops[0].Iterations != 50 {
+		t.Errorf("iterations = %d, want 50", p.Loops[0].Iterations)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	p := profile(t, fig1Src, sampler.Options{}, Options{})
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e, err := ReadExport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Module != p.Module || e.TotalCycles != p.TotalCycles ||
+		len(e.Insts) != len(p.Insts) || len(e.Loops) != len(p.Loops) ||
+		len(e.Funcs) != len(p.Funcs) || len(e.Lines) != len(p.Lines) {
+		t.Error("export round trip lost data")
+	}
+	// Spot-check a record.
+	if e.Insts[0].Offset != p.Insts[0].Offset || e.Insts[0].Disasm != p.Insts[0].Disasm {
+		t.Error("instruction record mismatch")
+	}
+}
+
+func TestReadExportRejectsGarbage(t *testing.T) {
+	if _, err := ReadExport(bytes.NewBufferString("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestBlockRecords(t *testing.T) {
+	p := profile(t, fig1Src, sampler.Options{}, Options{})
+	if len(p.Blocks) == 0 {
+		t.Fatal("no block records")
+	}
+	// Blocks sorted hottest-first; the loop body block dominates.
+	hot := p.Blocks[0]
+	if !(hot.Start <= loadOff && loadOff < hot.End) {
+		t.Errorf("hottest block [%#x,%#x) should contain the load %#x",
+			hot.Start, hot.End, loadOff)
+	}
+	// Block cycle sums must equal instruction cycle sums.
+	var bSum, iSum uint64
+	for _, b := range p.Blocks {
+		bSum += b.Cycles
+	}
+	for _, r := range p.Insts {
+		iSum += r.Cycles
+	}
+	if bSum != iSum {
+		t.Errorf("block cycles %d != instruction cycles %d", bSum, iSum)
+	}
+	// Sanity on the hottest block's CPI vs its members.
+	if hot.CPI <= 0 {
+		t.Error("hottest block CPI zero")
+	}
+}

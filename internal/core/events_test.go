@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"optiwise/internal/sampler"
+)
+
+// The multi-event samples attribute cache misses and branch mispredicts to
+// the regions that cause them: deepsjeng-shaped code shows miss mass in
+// probett, mcf-shaped comparators show mispredict mass.
+func TestEventAttributionCacheMisses(t *testing.T) {
+	p := profile(t, fig1Src, sampler.Options{}, Options{})
+	var total, onLoadBlock uint64
+	for _, r := range p.Insts {
+		total += r.CacheMisses
+		// The loop body around the load (attribution may shift by one).
+		if r.Offset >= loadOff-8 && r.Offset <= loadOff+8 {
+			onLoadBlock += r.CacheMisses
+		}
+	}
+	if total == 0 {
+		t.Fatal("no cache-miss events recorded")
+	}
+	if onLoadBlock < total*9/10 {
+		t.Errorf("only %d/%d miss events near the missing load", onLoadBlock, total)
+	}
+}
+
+const branchySrc = `
+.func main
+main:
+    li s2, 40000
+    li s8, 12345
+.loc b.c 5
+loop:
+    li t6, 6364136223846793005
+    mul s8, s8, t6
+    li t6, 1442695040888963407
+    add s8, s8, t6
+    srli t0, s8, 33
+    andi t0, t0, 1
+    beqz t0, skip       # 50% taken: mispredicts constantly
+    addi s11, s11, 1
+skip:
+    addi s2, s2, -1
+    bnez s2, loop
+    li a0, 0
+    li a7, 93
+    syscall
+.endfunc
+`
+
+func TestEventAttributionMispredicts(t *testing.T) {
+	p := profile(t, branchySrc, sampler.Options{}, Options{})
+	var total uint64
+	for _, r := range p.Insts {
+		total += r.Mispredicts
+	}
+	if total < 5000 {
+		t.Fatalf("mispredict events = %d, want thousands (50%% random branch)", total)
+	}
+	m, ok := p.FuncByName("main")
+	if !ok || m.Mispredicts != total {
+		t.Errorf("function event rollup = %d, want %d", m.Mispredicts, total)
+	}
+}
+
+func TestEventTotalsMatchRunStats(t *testing.T) {
+	// Summed per-sample deltas must not exceed the run's event totals
+	// (the tail after the last sample is unattributed).
+	prog := branchySrc
+	p := profile(t, prog, sampler.Options{}, Options{})
+	var brmp uint64
+	for _, r := range p.Insts {
+		brmp += r.Mispredicts
+	}
+	// The run's total mispredicts is roughly half the loop trips; allow
+	// the unattributed tail.
+	if brmp > 45000 {
+		t.Errorf("event mass %d exceeds plausible total", brmp)
+	}
+}

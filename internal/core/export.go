@@ -1,0 +1,57 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Export is the serializable form of a combined profile: the record tables
+// and totals, without the program image or CFG (which downstream tools
+// reconstruct from the original binary if needed).
+type Export struct {
+	Module           string        `json:"module"`
+	TotalCycles      uint64        `json:"total_cycles"`
+	TotalInsts       uint64        `json:"total_instructions"`
+	TotalSamples     uint64        `json:"total_samples"`
+	SamplePeriod     uint64        `json:"sample_period"`
+	UnmatchedSamples uint64        `json:"unmatched_samples,omitempty"`
+	IPC              float64       `json:"ipc"`
+	Insts            []InstRecord  `json:"instructions"`
+	Blocks           []BlockRecord `json:"blocks"`
+	Funcs            []FuncRecord  `json:"functions"`
+	Loops            []LoopRecord  `json:"loops"`
+	Lines            []LineRecord  `json:"lines"`
+}
+
+// WriteJSON serializes the profile's analysis results.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	e := Export{
+		Module:           p.Module,
+		TotalCycles:      p.TotalCycles,
+		TotalInsts:       p.TotalInsts,
+		TotalSamples:     p.TotalSamples,
+		SamplePeriod:     p.SamplePeriod,
+		UnmatchedSamples: p.UnmatchedSamples,
+		IPC:              p.IPC,
+		Insts:            p.Insts,
+		Blocks:           p.Blocks,
+		Funcs:            p.Funcs,
+		Loops:            p.Loops,
+		Lines:            p.Lines,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&e)
+}
+
+// ReadExport deserializes a profile written by WriteJSON. The result
+// carries the record tables only; methods requiring the program image
+// (InstAt disassembly context is embedded in records already) work on the
+// tables alone.
+func ReadExport(r io.Reader) (*Export, error) {
+	var e Export
+	if err := json.NewDecoder(r).Decode(&e); err != nil {
+		return nil, fmt.Errorf("core: decode export: %w", err)
+	}
+	return &e, nil
+}

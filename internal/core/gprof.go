@@ -1,0 +1,106 @@
+package core
+
+// gprof-style attribution (§IV-D's rejected alternative): instead of using
+// run-time call stacks, apportion each function's total cost to its callers
+// in proportion to dynamic call-edge frequencies. The paper points out two
+// drawbacks — the estimate is wrong whenever a callee behaves differently
+// per call site, and errors compound along deep call chains. This
+// implementation exists as the ablation baseline that quantifies the
+// benefit of stack profiling.
+
+// GprofTotal is the call-ratio-apportioned inclusive cost of one function.
+type GprofTotal struct {
+	Name string
+	// TotalCycles is self cycles plus the caller's proportional share of
+	// every callee's total.
+	TotalCycles float64
+	// TimeFrac is TotalCycles over the run's cycles.
+	TimeFrac float64
+}
+
+// GprofFunctionTotals computes inclusive function costs the gprof way,
+// using only self costs and call-edge frequencies — no stacks. Recursive
+// edges (self-calls) are dropped, as gprof's cycle handling is out of
+// scope for the ablation.
+func (p *Profile) GprofFunctionTotals() []GprofTotal {
+	// Self cycles per function.
+	self := make(map[string]float64)
+	for _, f := range p.Funcs {
+		self[f.Name] = float64(f.SelfCycles)
+	}
+
+	// Caller -> callee -> calls, plus total calls into each callee.
+	type edge struct {
+		caller, callee string
+		calls          float64
+	}
+	var edges []edge
+	callsInto := make(map[string]float64)
+	for _, ce := range p.Graph.CallEdges {
+		callerFn, ok1 := p.Prog.FuncAt(ce.CallSite)
+		calleeFn, ok2 := p.Prog.FuncAt(ce.Target)
+		if !ok1 || !ok2 || callerFn.Name == calleeFn.Name {
+			continue
+		}
+		edges = append(edges, edge{callerFn.Name, calleeFn.Name, float64(ce.Count)})
+		callsInto[calleeFn.Name] += float64(ce.Count)
+	}
+
+	// Fixed-point iteration: total = self + Σ share(callee)·total(callee).
+	total := make(map[string]float64, len(self))
+	for n, s := range self {
+		total[n] = s
+	}
+	for iter := 0; iter < 100; iter++ {
+		next := make(map[string]float64, len(self))
+		for n, s := range self {
+			next[n] = s
+		}
+		for _, e := range edges {
+			if callsInto[e.callee] == 0 {
+				continue
+			}
+			next[e.caller] += total[e.callee] * e.calls / callsInto[e.callee]
+		}
+		converged := true
+		for n := range next {
+			d := next[n] - total[n]
+			if d > 0.5 || d < -0.5 {
+				converged = false
+			}
+		}
+		total = next
+		if converged {
+			break
+		}
+	}
+
+	out := make([]GprofTotal, 0, len(total))
+	for n, t := range total {
+		g := GprofTotal{Name: n, TotalCycles: t}
+		if p.TotalCycles > 0 {
+			g.TimeFrac = t / float64(p.TotalCycles)
+		}
+		out = append(out, g)
+	}
+	sortGprof(out)
+	return out
+}
+
+func sortGprof(gs []GprofTotal) {
+	for i := 1; i < len(gs); i++ {
+		for j := i; j > 0 && gs[j].TotalCycles > gs[j-1].TotalCycles; j-- {
+			gs[j], gs[j-1] = gs[j-1], gs[j]
+		}
+	}
+}
+
+// GprofTotalFor returns the apportioned total for one function.
+func (p *Profile) GprofTotalFor(name string) (GprofTotal, bool) {
+	for _, g := range p.GprofFunctionTotals() {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return GprofTotal{}, false
+}

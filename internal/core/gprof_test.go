@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"optiwise/internal/sampler"
+)
+
+// A shared callee that behaves identically per call site: gprof-style
+// apportioning and stack profiling should roughly agree.
+const uniformCalleeSrc = `
+.func main
+main:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    li s2, 150
+m_loop:
+    call fa
+    call fb
+    addi s2, s2, -1
+    bnez s2, m_loop
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    li a0, 0
+    li a7, 93
+    syscall
+.endfunc
+.func fa
+fa:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    call shared
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+.endfunc
+.func fb
+fb:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    call shared
+    call shared
+    call shared
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+.endfunc
+.func shared
+shared:
+    li t0, 40
+s_loop:
+    div t1, t0, t0
+    addi t0, t0, -1
+    bnez t0, s_loop
+    ret
+.endfunc
+`
+
+// A shared callee whose cost depends on its argument, with fb passing work
+// 9x larger than fa: call-ratio apportioning (50/50 by call counts) is
+// badly wrong; stack profiling is right.
+const skewedCalleeSrc = `
+.func main
+main:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    li s2, 120
+m_loop:
+    call fa
+    call fb
+    addi s2, s2, -1
+    bnez s2, m_loop
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    li a0, 0
+    li a7, 93
+    syscall
+.endfunc
+.func fa
+fa:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    li a0, 10           # cheap request
+    call shared
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+.endfunc
+.func fb
+fb:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    li a0, 90           # expensive request
+    call shared
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+.endfunc
+.func shared
+shared:
+    mov t0, a0
+s_loop:
+    div t1, t0, t0
+    addi t0, t0, -1
+    bnez t0, s_loop
+    ret
+.endfunc
+`
+
+func gprofVsStacks(t *testing.T, src string) (gprofA, gprofB, stackA, stackB float64) {
+	t.Helper()
+	p := profile(t, src, sampler.Options{Period: 300}, Options{})
+	fa, ok1 := p.FuncByName("fa")
+	fb, ok2 := p.FuncByName("fb")
+	if !ok1 || !ok2 {
+		t.Fatal("missing functions")
+	}
+	ga, ok1 := p.GprofTotalFor("fa")
+	gb, ok2 := p.GprofTotalFor("fb")
+	if !ok1 || !ok2 {
+		t.Fatal("missing gprof totals")
+	}
+	return ga.TimeFrac, gb.TimeFrac, fa.TimeFrac, fb.TimeFrac
+}
+
+func TestGprofMatchesStacksOnUniformCallee(t *testing.T) {
+	ga, gb, sa, sb := gprofVsStacks(t, uniformCalleeSrc)
+	// fb calls shared 3x as often as fa, and the callee is uniform, so
+	// both attributions should split roughly 1:3.
+	if math.Abs(ga-sa) > 0.08 || math.Abs(gb-sb) > 0.08 {
+		t.Errorf("uniform callee: gprof (%.2f/%.2f) should match stacks (%.2f/%.2f)",
+			ga, gb, sa, sb)
+	}
+	if sb < 2*sa {
+		t.Errorf("fb should dominate fa: %.2f vs %.2f", sb, sa)
+	}
+}
+
+func TestGprofWrongOnSkewedCallee(t *testing.T) {
+	ga, gb, sa, sb := gprofVsStacks(t, skewedCalleeSrc)
+	// Truth (stacks): fb carries ~9x fa's cost. Call ratios are 1:1, so
+	// gprof splits the shared cost evenly and underestimates fb.
+	if sb < 3*sa {
+		t.Fatalf("stack attribution lost the skew: fa %.2f fb %.2f", sa, sb)
+	}
+	gprofGap := gb - ga
+	stackGap := sb - sa
+	if gprofGap > stackGap/2 {
+		t.Errorf("gprof should flatten the skew: gprof gap %.2f vs stack gap %.2f",
+			gprofGap, stackGap)
+	}
+	// And the paper's point quantified: gprof's error on fb is large.
+	if math.Abs(gb-sb) < 0.15 {
+		t.Errorf("expected a large gprof error on fb: gprof %.2f vs stacks %.2f", gb, sb)
+	}
+}
+
+func TestGprofTotalsCoverProgram(t *testing.T) {
+	p := profile(t, uniformCalleeSrc, sampler.Options{Period: 300}, Options{})
+	g, ok := p.GprofTotalFor("main")
+	if !ok {
+		t.Fatal("main missing")
+	}
+	// main transitively includes everything: its total must approach the
+	// program total.
+	if g.TimeFrac < 0.9 {
+		t.Errorf("main gprof total frac = %.2f, want ~1", g.TimeFrac)
+	}
+	if _, ok := p.GprofTotalFor("nosuch"); ok {
+		t.Error("bogus function should not resolve")
+	}
+}

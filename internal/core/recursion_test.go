@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"optiwise/internal/sampler"
+)
+
+// A loop that calls a recursive function: the §IV-D recursion rule says a
+// sample whose stack shows several instances of the same function (or the
+// same loop) must credit it only once — otherwise loop totals exceed 100%.
+const recursiveSrc = `
+.func main
+main:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    li s2, 150
+.loc rec.c 5
+outer:
+    li a0, 7
+    call walk
+    addi s2, s2, -1
+    bnez s2, outer
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    li a0, 0
+    li a7, 93
+    syscall
+.endfunc
+.func walk
+walk:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    st a0, 0(sp)
+    ble a0, zero, base
+    # slow body so samples land here, deep in the recursion
+    li t0, 8
+wl:
+    div t1, t0, t0
+    addi t0, t0, -1
+    bnez t0, wl
+    ld a0, 0(sp)
+    addi a0, a0, -1
+    call walk
+base:
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+.endfunc
+`
+
+func TestRecursionCreditedOncePerSample(t *testing.T) {
+	p := profile(t, recursiveSrc, sampler.Options{Period: 400}, Options{})
+	walk, ok := p.FuncByName("walk")
+	if !ok {
+		t.Fatal("walk missing")
+	}
+	// With ~8 recursion depths on every stack, double counting would blow
+	// TotalCycles up to ~8x the program total. The recursion rule caps it
+	// at 100%.
+	if walk.TimeFrac > 1.001 {
+		t.Errorf("walk total time frac = %.2f — recursion double-counted", walk.TimeFrac)
+	}
+	if walk.TimeFrac < 0.8 {
+		t.Errorf("walk total time frac = %.2f, want dominant", walk.TimeFrac)
+	}
+	main, _ := p.FuncByName("main")
+	if main.TimeFrac > 1.001 {
+		t.Errorf("main total frac = %.2f", main.TimeFrac)
+	}
+	// Same invariant for the loops: outer loop (in main) and wl (in walk).
+	for _, l := range p.Loops {
+		if l.TimeFrac > 1.001 {
+			t.Errorf("loop %d in %s: time frac %.2f > 1 — recursion double-counted",
+				l.ID, l.Func, l.TimeFrac)
+		}
+	}
+}
+
+func TestRecursiveCalleeCountsBounded(t *testing.T) {
+	p := profile(t, recursiveSrc, sampler.Options{Period: 400}, Options{})
+	walk, _ := p.FuncByName("walk")
+	// TotalInsts uses callee_count_table sums; for recursion the counts
+	// nest (each level counts its sublevels), so Total can exceed Self —
+	// but it must never exceed depth × program total.
+	if walk.TotalInsts < walk.SelfInsts {
+		t.Error("total below self")
+	}
+	if walk.TotalInsts > 16*p.TotalInsts {
+		t.Errorf("recursive callee counts exploded: %d vs program %d",
+			walk.TotalInsts, p.TotalInsts)
+	}
+}

@@ -1,0 +1,356 @@
+// Package dbi is the repository's DynamoRIO substitute (component 2 in the
+// paper's figure 3): a dynamic binary instrumentation engine whose only
+// client performs the edge profiling and stack profiling of §IV-C/§IV-D.
+//
+// Like DynamoRIO, the engine discovers basic blocks at run time: a block is
+// a contiguous sequence of instructions with exactly one control-transfer
+// operation, which terminates it. A branch that targets the middle of an
+// already-discovered block simply creates a new, overlapping block — the
+// disparity with the compiler definition of a basic block that the CFG
+// builder (internal/cfg) later resolves with the prefix rule.
+//
+// Instrumentation follows the paper exactly, per terminator type:
+//
+//   - Direct unconditional branch / direct call: one edge counter,
+//     incremented per execution (inlined meta-instructions).
+//   - Direct conditional branch: only the fall-through edge carries a
+//     counter (reached by an inserted inverse-condition branch); the taken
+//     count is derived as block count minus fall-through count.
+//   - Indirect branch (jr/callr/ret): a hash table keyed by target,
+//     updated by an expensive "clean call".
+//   - System call: like an unconditional edge to the next block.
+//
+// Stack profiling implements Algorithm 1 verbatim: a global instruction
+// counter incremented per block, a call stack of (call site, saved counter)
+// pairs, and a callee_count_table accumulating instructions executed within
+// each call site's callees.
+//
+// The engine also models its own run-time cost in "instruction
+// equivalents", the basis of the figure 7 overhead reproduction: inlined
+// counter updates are cheap, clean calls are hundreds of times more
+// expensive, and every newly discovered block pays a translation cost.
+package dbi
+
+import (
+	"fmt"
+
+	"optiwise/internal/interp"
+	"optiwise/internal/isa"
+	"optiwise/internal/program"
+)
+
+// CostModel prices the instrumentation in instruction equivalents.
+type CostModel struct {
+	// PerBlock is the inlined cost per block execution (vertex counter +
+	// stack-profiling global counter update).
+	PerBlock uint64
+	// DirectUncond is the inlined edge-counter cost for unconditional
+	// direct terminators and system calls.
+	DirectUncond uint64
+	// CondExtra is the cost of the inserted inverse-condition branch,
+	// paid on every execution of a conditional terminator.
+	CondExtra uint64
+	// CondFallthrough is the additional fall-through counter cost, paid
+	// only when the branch falls through.
+	CondFallthrough uint64
+	// CleanCall is the cost of the clean call servicing one indirect
+	// branch (context switch + C++ map update, §IV-C).
+	CleanCall uint64
+	// CallMeta / RetMeta are the Algorithm 1 meta-instruction costs
+	// around calls and returns.
+	CallMeta uint64
+	RetMeta  uint64
+	// Translate is the one-time cost of discovering and instrumenting a
+	// new block.
+	Translate uint64
+}
+
+// DefaultCosts reflect the paper's qualitative cost structure: everything
+// is a handful of inlined instructions except the indirect-branch clean
+// call, which dominates (§IV-C, §V-A: overhead "higher in applications
+// with a larger number of indirect branches").
+func DefaultCosts() CostModel {
+	return CostModel{
+		PerBlock:        4,
+		DirectUncond:    3,
+		CondExtra:       2,
+		CondFallthrough: 3,
+		CleanCall:       900,
+		CallMeta:        4,
+		RetMeta:         6,
+		Translate:       400,
+	}
+}
+
+// TermKind classifies a dynamic block's terminator for the profile.
+type TermKind uint8
+
+// Terminator kinds.
+const (
+	TermDirect   TermKind = iota // jmp / direct call
+	TermCond                     // conditional branch
+	TermIndirect                 // jr / callr / ret
+	TermSyscall
+)
+
+// Block is one discovered dynamic block. All addresses are module offsets.
+type Block struct {
+	Start    uint64   `json:"start"`
+	NumInsts int      `json:"n"`
+	TermOff  uint64   `json:"term"`
+	TermOp   isa.Op   `json:"op"`
+	Kind     TermKind `json:"kind"`
+
+	// Count is the number of executions (vertex profile).
+	Count uint64 `json:"count"`
+	// Fallthrough counts not-taken executions of a TermCond block.
+	Fallthrough uint64 `json:"fallthrough,omitempty"`
+	// TakenTarget is the static target of direct terminators.
+	TakenTarget uint64 `json:"taken_target,omitempty"`
+	// Targets holds per-target counts for TermIndirect blocks.
+	Targets map[uint64]uint64 `json:"targets,omitempty"`
+}
+
+// Profile is the output of one instrumentation run (the edge profile plus
+// the stack-profiling callee table).
+type Profile struct {
+	Module string   `json:"module"`
+	Blocks []*Block `json:"blocks"`
+	// CalleeCounts maps a call instruction's offset to the total number
+	// of (original program) instructions executed within its callees
+	// (callee_count_table of Algorithm 1).
+	CalleeCounts map[uint64]uint64 `json:"callee_counts,omitempty"`
+	// BaseInstructions is the count of original program instructions.
+	BaseInstructions uint64 `json:"base_instructions"`
+	// InstrEquivalents is the modelled total cost of the instrumented
+	// run, in instruction equivalents.
+	InstrEquivalents uint64 `json:"instr_equivalents"`
+	// StackProfiling records whether Algorithm 1 was enabled.
+	StackProfiling bool `json:"stack_profiling"`
+}
+
+// Overhead returns the modelled slowdown of the instrumentation run
+// relative to native execution.
+func (p *Profile) Overhead() float64 {
+	if p.BaseInstructions == 0 {
+		return 0
+	}
+	return float64(p.InstrEquivalents) / float64(p.BaseInstructions)
+}
+
+// ExecCounts distributes block counts to per-instruction execution counts.
+// Overlapping dynamic blocks naturally sum: an instruction's count is the
+// sum of the counts of every dynamic block containing it, which equals its
+// true execution count because block prefixes are disjoint paths to it.
+func (p *Profile) ExecCounts() map[uint64]uint64 {
+	m := make(map[uint64]uint64)
+	for _, b := range p.Blocks {
+		for i := 0; i < b.NumInsts; i++ {
+			m[b.Start+uint64(i)*isa.InstBytes] += b.Count
+		}
+	}
+	return m
+}
+
+// Options configures an instrumentation run.
+type Options struct {
+	// StackProfiling enables Algorithm 1 (§IV-D). It costs extra overhead
+	// and can be disabled when only instruction-level data is needed.
+	StackProfiling bool
+	// Costs overrides the default cost model (zero value = defaults).
+	Costs *CostModel
+	// ASLRSeed randomizes this run's load base.
+	ASLRSeed int64
+	// RandSeed seeds the program's SysRand.
+	RandSeed uint64
+	// MaxInstructions bounds the run (0 = unlimited).
+	MaxInstructions uint64
+}
+
+// Engine executes a program under instrumentation.
+type Engine struct {
+	img   *program.Image
+	m     *interp.Machine
+	costs CostModel
+	opts  Options
+
+	blocks map[uint64]*Block
+
+	// Algorithm 1 state.
+	globalCounter uint64
+	callStack     []callFrame
+
+	prof *Profile
+}
+
+type callFrame struct {
+	callOff uint64
+	saved   uint64
+}
+
+// Run instruments and executes prog, returning its edge profile.
+func Run(prog *program.Program, opts Options) (*Profile, error) {
+	img := program.Load(prog, program.LoadOptions{ASLRSeed: opts.ASLRSeed})
+	e := &Engine{
+		img:    img,
+		m:      interp.New(img, opts.RandSeed),
+		opts:   opts,
+		blocks: make(map[uint64]*Block),
+		prof: &Profile{
+			Module:         prog.Module,
+			StackProfiling: opts.StackProfiling,
+			CalleeCounts:   make(map[uint64]uint64),
+		},
+	}
+	e.costs = DefaultCosts()
+	if opts.Costs != nil {
+		e.costs = *opts.Costs
+	}
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	return e.prof, nil
+}
+
+func (e *Engine) run() error {
+	for !e.m.Exited {
+		if e.opts.MaxInstructions != 0 && e.m.Steps > e.opts.MaxInstructions {
+			return fmt.Errorf("dbi: instruction limit exceeded")
+		}
+		off, ok := e.img.AbsToOff(e.m.St.PC)
+		if !ok {
+			return fmt.Errorf("dbi: pc 0x%x outside module", e.m.St.PC)
+		}
+		b, err := e.lookupBlock(off)
+		if err != nil {
+			return err
+		}
+		if err := e.execBlock(b); err != nil {
+			return err
+		}
+	}
+	e.prof.BaseInstructions = e.m.Steps
+	e.prof.InstrEquivalents += e.m.Steps
+	// Deterministic block order for serialization and analysis.
+	e.sortBlocks()
+	return nil
+}
+
+// lookupBlock finds or discovers the dynamic block starting at off.
+func (e *Engine) lookupBlock(off uint64) (*Block, error) {
+	if b, ok := e.blocks[off]; ok {
+		return b, nil
+	}
+	// Discover: scan forward to the first control transfer.
+	b := &Block{Start: off}
+	for o := off; ; o += isa.InstBytes {
+		inst, ok := e.img.Prog.InstAt(o)
+		if !ok {
+			return nil, fmt.Errorf("dbi: block at 0x%x runs off text end", off)
+		}
+		b.NumInsts++
+		if inst.Op.IsControlTransfer() {
+			b.TermOff = o
+			b.TermOp = inst.Op
+			switch {
+			case inst.Op.IsConditional():
+				b.Kind = TermCond
+				b.TakenTarget = inst.Target
+			case inst.Op.IsIndirect():
+				b.Kind = TermIndirect
+				b.Targets = make(map[uint64]uint64)
+			case inst.Op.Kind() == isa.KindSyscall:
+				b.Kind = TermSyscall
+			default: // jmp, call
+				b.Kind = TermDirect
+				b.TakenTarget = inst.Target
+			}
+			break
+		}
+	}
+	e.blocks[off] = b
+	e.prof.Blocks = append(e.prof.Blocks, b)
+	e.prof.InstrEquivalents += e.costs.Translate
+	return b, nil
+}
+
+// execBlock runs one block under instrumentation.
+func (e *Engine) execBlock(b *Block) error {
+	b.Count++
+	e.prof.InstrEquivalents += e.costs.PerBlock
+	if e.opts.StackProfiling {
+		// Annotation 1: global_counter += block_size.
+		e.globalCounter += uint64(b.NumInsts)
+	}
+
+	var last interp.StepResult
+	for i := 0; i < b.NumInsts; i++ {
+		res, err := e.m.Step()
+		if err != nil {
+			return err
+		}
+		last = res
+		if e.m.Exited {
+			if i != b.NumInsts-1 {
+				return fmt.Errorf("dbi: early exit inside block 0x%x", b.Start)
+			}
+		}
+	}
+
+	term := last
+	switch b.Kind {
+	case TermDirect:
+		e.prof.InstrEquivalents += e.costs.DirectUncond
+	case TermSyscall:
+		e.prof.InstrEquivalents += e.costs.DirectUncond
+	case TermCond:
+		e.prof.InstrEquivalents += e.costs.CondExtra
+		if !term.Taken {
+			b.Fallthrough++
+			e.prof.InstrEquivalents += e.costs.CondFallthrough
+		}
+	case TermIndirect:
+		e.prof.InstrEquivalents += e.costs.CleanCall
+		if !e.m.Exited {
+			toff, ok := e.img.AbsToOff(term.NextPC)
+			if !ok {
+				return fmt.Errorf("dbi: indirect target 0x%x outside module", term.NextPC)
+			}
+			b.Targets[toff]++
+		}
+	}
+
+	if e.opts.StackProfiling {
+		op := term.Inst.Op
+		switch {
+		case op.IsCall():
+			// Annotation 2: push call site and counter, reset counter.
+			e.prof.InstrEquivalents += e.costs.CallMeta
+			e.callStack = append(e.callStack, callFrame{
+				callOff: b.TermOff,
+				saved:   e.globalCounter,
+			})
+			e.globalCounter = 0
+		case op.IsReturn():
+			// Annotation 3: attribute callee instructions to the call
+			// site and restore the caller's counter.
+			e.prof.InstrEquivalents += e.costs.RetMeta
+			if n := len(e.callStack); n > 0 {
+				fr := e.callStack[n-1]
+				e.callStack = e.callStack[:n-1]
+				e.prof.CalleeCounts[fr.callOff] += e.globalCounter
+				e.globalCounter += fr.saved
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) sortBlocks() {
+	blocks := e.prof.Blocks
+	for i := 1; i < len(blocks); i++ {
+		for j := i; j > 0 && blocks[j].Start < blocks[j-1].Start; j-- {
+			blocks[j], blocks[j-1] = blocks[j-1], blocks[j]
+		}
+	}
+}

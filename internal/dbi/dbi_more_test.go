@@ -1,0 +1,190 @@
+package dbi
+
+import (
+	"strings"
+	"testing"
+
+	"optiwise/internal/isa"
+)
+
+func TestMaxInstructionsEnforced(t *testing.T) {
+	p := assemble(t, `
+.func main
+main:
+loop:
+    j loop
+.endfunc
+`)
+	_, err := Run(p, Options{MaxInstructions: 100})
+	if err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCostModelOverride(t *testing.T) {
+	p := assemble(t, `
+.func main
+main:
+    li t0, 100
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    syscall
+.endfunc
+`)
+	cheap := CostModel{} // everything free
+	prof, err := Run(p, Options{Costs: &cheap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.InstrEquivalents != prof.BaseInstructions {
+		t.Errorf("zero-cost model: equiv %d != base %d",
+			prof.InstrEquivalents, prof.BaseInstructions)
+	}
+	if prof.Overhead() != 1.0 {
+		t.Errorf("overhead = %f, want exactly 1", prof.Overhead())
+	}
+}
+
+func TestBlocksSortedByStart(t *testing.T) {
+	p := assemble(t, `
+.func main
+main:
+    li t0, 5
+loop:
+    addi t0, t0, -1
+    beqz t0, out
+    j loop
+out:
+    li a7, 93
+    syscall
+.endfunc
+`)
+	prof, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(prof.Blocks); i++ {
+		if prof.Blocks[i].Start < prof.Blocks[i-1].Start {
+			t.Fatal("blocks not sorted")
+		}
+	}
+}
+
+func TestSyscallEdgeFallsThrough(t *testing.T) {
+	// A non-exit syscall terminates its block; execution continues at the
+	// next block (§IV-C "System call").
+	p := assemble(t, `
+.func main
+main:
+    li s2, 3
+loop:
+    li a7, 1000
+    syscall
+    addi s2, s2, -1
+    bnez s2, loop
+    li a7, 93
+    syscall
+.endfunc
+`)
+	prof, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rand syscall terminator is shared by two overlapping blocks
+	// (function entry and loop back-edge paths); counts sum per
+	// terminator.
+	counts := prof.ExecCounts()
+	perTerm := make(map[uint64]uint64)
+	var randTerm uint64
+	for _, b := range prof.Blocks {
+		if b.Kind == TermSyscall && counts[b.TermOff] == 3 {
+			perTerm[b.TermOff] += b.Count
+			randTerm = b.TermOff
+		}
+	}
+	if perTerm[randTerm] != 3 {
+		t.Fatalf("rand syscall terminator executes %d times, want 3 (%+v)",
+			perTerm[randTerm], prof.Blocks)
+	}
+	// The instruction right after the syscall must execute 3 times too.
+	if counts[randTerm+isa.InstBytes] != 3 {
+		t.Errorf("post-syscall instruction count = %d, want 3",
+			counts[randTerm+isa.InstBytes])
+	}
+}
+
+func TestProfileOverheadZeroBase(t *testing.T) {
+	p := &Profile{}
+	if p.Overhead() != 0 {
+		t.Error("overhead of empty profile should be 0")
+	}
+}
+
+func TestExecCountsEmptyProfile(t *testing.T) {
+	p := &Profile{}
+	if len(p.ExecCounts()) != 0 {
+		t.Error("empty profile should have no counts")
+	}
+}
+
+func TestTranslateCostChargedOncePerBlock(t *testing.T) {
+	p := assemble(t, `
+.func main
+main:
+    li t0, 1000
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    syscall
+.endfunc
+`)
+	costs := CostModel{Translate: 1000}
+	prof, err := Run(p, Options{Costs: &costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTranslate := uint64(len(prof.Blocks)) * 1000
+	if prof.InstrEquivalents != prof.BaseInstructions+wantTranslate {
+		t.Errorf("equiv %d, want base %d + translate %d",
+			prof.InstrEquivalents, prof.BaseInstructions, wantTranslate)
+	}
+}
+
+func TestStackProfilingBalancedAtExit(t *testing.T) {
+	// Nested calls all return before exit: the engine's call stack must
+	// be balanced, which shows as callee counts strictly below the total.
+	p := assemble(t, `
+.func main
+main:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    call f
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    li a7, 93
+    syscall
+.endfunc
+.func f
+f:
+    nop
+    ret
+.endfunc
+`)
+	prof, err := Run(p, Options{StackProfiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	for _, n := range prof.CalleeCounts {
+		sum += n
+	}
+	if sum >= prof.BaseInstructions {
+		t.Errorf("callee counts %d should be below total %d", sum, prof.BaseInstructions)
+	}
+	if prof.CalleeCounts[8] != 2 { // call at offset 8; f is nop+ret
+		t.Errorf("callee count = %d, want 2", prof.CalleeCounts[8])
+	}
+}

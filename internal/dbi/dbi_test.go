@@ -1,0 +1,460 @@
+package dbi
+
+import (
+	"bytes"
+	"testing"
+
+	"optiwise/internal/asm"
+	"optiwise/internal/interp"
+	"optiwise/internal/isa"
+	"optiwise/internal/progen"
+	"optiwise/internal/program"
+)
+
+func assemble(t *testing.T, src string) *program.Program {
+	t.Helper()
+	p, err := asm.Assemble("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBlockDiscovery(t *testing.T) {
+	p := assemble(t, `
+.func main
+main:
+    li t0, 3          # 0x0
+loop:
+    addi t0, t0, -1   # 0x4
+    bnez t0, loop     # 0x8
+    li a7, 93         # 0xc
+    syscall           # 0x10
+.endfunc
+`)
+	prof, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected dynamic blocks: [0x0..0x8] (entry), [0x4..0x8] (loop
+	// back-edge target, overlapping), [0xc..0x10] (fall-through).
+	if len(prof.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3: %+v", len(prof.Blocks), prof.Blocks)
+	}
+	byStart := make(map[uint64]*Block)
+	for _, b := range prof.Blocks {
+		byStart[b.Start] = b
+	}
+	if b := byStart[0]; b == nil || b.NumInsts != 3 || b.Count != 1 || b.Kind != TermCond {
+		t.Errorf("entry block wrong: %+v", b)
+	}
+	if b := byStart[4]; b == nil || b.NumInsts != 2 || b.Count != 2 {
+		t.Errorf("loop block wrong: %+v", b)
+	}
+	if b := byStart[12]; b == nil || b.Kind != TermSyscall || b.Count != 1 {
+		t.Errorf("exit block wrong: %+v", b)
+	}
+}
+
+func TestExecCountsSumOverlaps(t *testing.T) {
+	p := assemble(t, `
+.func main
+main:
+    li t0, 5
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    syscall
+.endfunc
+`)
+	prof, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := prof.ExecCounts()
+	// li: 1; addi/bnez: 5 each; li a7/syscall: 1 each.
+	want := map[uint64]uint64{0: 1, 4: 5, 8: 5, 12: 1, 16: 1}
+	for off, n := range want {
+		if counts[off] != n {
+			t.Errorf("count[%#x] = %d, want %d", off, counts[off], n)
+		}
+	}
+}
+
+func TestExecCountsMatchInterpreter(t *testing.T) {
+	// Property: summed per-instruction counts equal the interpreter's
+	// retired instruction count, on random programs.
+	for seed := int64(0); seed < 10; seed++ {
+		src := progen.Generate(progen.DefaultConfig(seed))
+		p, err := asm.Assemble("gen", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := Run(p, Options{StackProfiling: true, RandSeed: 7})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ref := interp.New(program.Load(p, program.LoadOptions{}), 7)
+		if err := ref.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		var total uint64
+		for _, n := range prof.ExecCounts() {
+			total += n
+		}
+		if total != ref.Steps {
+			t.Errorf("seed %d: summed counts %d != %d retired", seed, total, ref.Steps)
+		}
+		if prof.BaseInstructions != ref.Steps {
+			t.Errorf("seed %d: base instructions %d != %d", seed, prof.BaseInstructions, ref.Steps)
+		}
+	}
+}
+
+func TestConditionalEdgeAlgebra(t *testing.T) {
+	// Taken count must equal block count minus fall-through count.
+	p := assemble(t, `
+.func main
+main:
+    li t0, 10
+    li t1, 0
+loop:
+    andi t2, t0, 1
+    beqz t2, even     # taken on even t0: 5 of 10 times
+    addi t1, t1, 1
+even:
+    addi t0, t0, -1
+    bnez t0, loop
+    mov a0, t1
+    li a7, 93
+    syscall
+.endfunc
+`)
+	prof, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The beqz terminator appears in two overlapping dynamic blocks (the
+	// function-entry path and the back-edge path) — the §IV-C disparity.
+	// Per-terminator edge counts are the sums across those blocks.
+	var count, fall uint64
+	var found bool
+	for _, b := range prof.Blocks {
+		if b.Kind == TermCond && b.TermOp == isa.BEQ {
+			if inst, _ := p.InstAt(b.TermOff); inst.Rt == isa.X0 && inst.Rs == isa.T2 {
+				count += b.Count
+				fall += b.Fallthrough
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("conditional block not found")
+	}
+	if count != 10 {
+		t.Errorf("cond terminator count = %d, want 10", count)
+	}
+	if fall != 5 {
+		t.Errorf("fallthrough = %d, want 5", fall)
+	}
+	if taken := count - fall; taken != 5 {
+		t.Errorf("derived taken = %d, want 5", taken)
+	}
+}
+
+func TestIndirectTargets(t *testing.T) {
+	p := assemble(t, `
+.data
+tab: .quad fa, fb
+.text
+.func main
+main:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    li s2, 6
+    li s3, 0          # index alternates 0,1,0,1...
+loop:
+    la t0, tab
+    slli t1, s3, 3
+    add t0, t0, t1
+    ld t2, 0(t0)
+    li t3, 0x200000
+    sub t4, gp, t3
+    add t2, t2, t4
+    callr t2
+    xori s3, s3, 1
+    addi s2, s2, -1
+    bnez s2, loop
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    li a7, 93
+    syscall
+.endfunc
+.func fa
+fa:
+    addi a0, a0, 1
+    ret
+.endfunc
+.func fb
+fb:
+    addi a0, a0, 2
+    ret
+.endfunc
+`)
+	prof, err := Run(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faOff, _ := p.SymbolByName("fa")
+	fbOff, _ := p.SymbolByName("fb")
+	// The callr terminator belongs to two overlapping dynamic blocks
+	// (entry path and back-edge path); sum their target tables.
+	targets := make(map[uint64]uint64)
+	var found bool
+	for _, b := range prof.Blocks {
+		if b.TermOp == isa.CALLR {
+			found = true
+			for off, n := range b.Targets {
+				targets[off] += n
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no callr block")
+	}
+	if targets[faOff] != 3 || targets[fbOff] != 3 {
+		t.Errorf("targets = %v, want 3 each for %#x/%#x", targets, faOff, fbOff)
+	}
+	// Returns are indirect too: fa's ret block should have main's
+	// post-call offset as target, 3 times.
+	var rets int
+	for _, b := range prof.Blocks {
+		if b.TermOp == isa.RET {
+			for _, n := range b.Targets {
+				rets += int(n)
+			}
+		}
+	}
+	if rets != 6 {
+		t.Errorf("return edges = %d, want 6", rets)
+	}
+}
+
+func TestStackProfilingCalleeCounts(t *testing.T) {
+	// Algorithm 1: callee_count_table[call site] accumulates instructions
+	// executed in callees (transitively).
+	p := assemble(t, `
+.func main
+main:
+    addi sp, sp, -16  # 0x0
+    st ra, 8(sp)      # 0x4
+    call f            # 0x8    <- call site A
+    call f            # 0xc    <- call site B
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    li a7, 93
+    syscall
+.endfunc
+.func f
+f:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    call g
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+.endfunc
+.func g
+g:
+    nop
+    nop
+    ret
+.endfunc
+`)
+	prof, err := Run(p, Options{StackProfiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f executes 6 instructions itself plus g's 3 = 9 per call.
+	if got := prof.CalleeCounts[0x8]; got != 9 {
+		t.Errorf("callee count at site A = %d, want 9", got)
+	}
+	if got := prof.CalleeCounts[0xc]; got != 9 {
+		t.Errorf("callee count at site B = %d, want 9", got)
+	}
+	// The call inside f runs twice, 3 instructions in g each time.
+	fOff, _ := p.SymbolByName("f")
+	if got := prof.CalleeCounts[fOff+8]; got != 6 {
+		t.Errorf("callee count at f's call = %d, want 6", got)
+	}
+}
+
+func TestRecursionCalleeCounts(t *testing.T) {
+	// Recursive calls must not wedge the counter stack.
+	p := assemble(t, `
+.func main
+main:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    li a0, 5
+    call fact
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    li a7, 93
+    syscall
+.endfunc
+.func fact
+fact:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    st a0, 0(sp)
+    ble a0, zero, base
+    addi a0, a0, -1
+    call fact
+    ld t0, 0(sp)
+    j out
+base:
+    li a0, 1
+out:
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+.endfunc
+`)
+	prof, err := Run(p, Options{StackProfiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainCall := uint64(0xc) // call fact in main (4th instruction)
+	if prof.CalleeCounts[mainCall] == 0 {
+		t.Errorf("recursive callee count missing: %v", prof.CalleeCounts)
+	}
+}
+
+func TestOverheadDominatedByIndirectBranches(t *testing.T) {
+	direct := assemble(t, `
+.func main
+main:
+    li t0, 2000
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    syscall
+.endfunc
+`)
+	indirect := assemble(t, `
+.func main
+main:
+    li t0, 2000
+    la t1, back       # la yields the absolute address directly
+back:
+    addi t0, t0, -1
+    beqz t0, done
+    jr t1
+done:
+    li a7, 93
+    syscall
+.endfunc
+`)
+	dp, err := Run(direct, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := Run(indirect, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Overhead() < 5*dp.Overhead() {
+		t.Errorf("indirect overhead %.1fx should dwarf direct %.1fx",
+			ip.Overhead(), dp.Overhead())
+	}
+	if dp.Overhead() < 1.0 {
+		t.Errorf("overhead below 1x: %f", dp.Overhead())
+	}
+}
+
+func TestStackProfilingCostsExtra(t *testing.T) {
+	src := progen.Generate(progen.DefaultConfig(3))
+	p, err := asm.Assemble("gen", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := Run(p, Options{StackProfiling: true, RandSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(p, Options{RandSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.InstrEquivalents <= without.InstrEquivalents {
+		t.Error("stack profiling should cost additional overhead")
+	}
+	if len(without.CalleeCounts) != 0 {
+		t.Error("callee counts recorded with stack profiling off")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	p := assemble(t, `
+.func main
+main:
+    li t0, 3
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    syscall
+.endfunc
+`)
+	prof, err := Run(p, Options{StackProfiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := prof.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Module != prof.Module || len(got.Blocks) != len(prof.Blocks) {
+		t.Error("round trip lost data")
+	}
+	for i := range got.Blocks {
+		g, w := got.Blocks[i], prof.Blocks[i]
+		if g.Start != w.Start || g.Count != w.Count || g.NumInsts != w.NumInsts ||
+			g.Kind != w.Kind || g.Fallthrough != w.Fallthrough {
+			t.Errorf("block %d mismatch: %+v vs %+v", i, g, w)
+		}
+	}
+}
+
+func TestDeterministicAcrossASLR(t *testing.T) {
+	src := progen.Generate(progen.DefaultConfig(6))
+	p, err := asm.Assemble("gen", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(p, Options{StackProfiling: true, RandSeed: 7, ASLRSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, Options{StackProfiling: true, RandSeed: 7, ASLRSeed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Module-relative profiles must be identical regardless of load base.
+	ca, cb := a.ExecCounts(), b.ExecCounts()
+	if len(ca) != len(cb) {
+		t.Fatalf("count sets differ: %d vs %d", len(ca), len(cb))
+	}
+	for off, n := range ca {
+		if cb[off] != n {
+			t.Errorf("count[%#x]: %d vs %d", off, n, cb[off])
+		}
+	}
+}

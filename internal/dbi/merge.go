@@ -1,0 +1,58 @@
+package dbi
+
+import "fmt"
+
+// Merge combines several edge profiles of the same module: block counts,
+// edge counters, and callee tables sum. Useful when instrumented runs are
+// repeated to cover input-dependent paths before a single analysis pass.
+func Merge(profiles ...*Profile) (*Profile, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("dbi: nothing to merge")
+	}
+	out := &Profile{
+		Module:         profiles[0].Module,
+		StackProfiling: profiles[0].StackProfiling,
+		CalleeCounts:   make(map[uint64]uint64),
+	}
+	blocks := make(map[uint64]*Block)
+	for _, p := range profiles {
+		if p.Module != out.Module {
+			return nil, fmt.Errorf("dbi: merge: module %q vs %q", p.Module, out.Module)
+		}
+		for _, b := range p.Blocks {
+			acc := blocks[b.Start]
+			if acc == nil {
+				cp := *b
+				cp.Targets = nil
+				if b.Targets != nil {
+					cp.Targets = make(map[uint64]uint64, len(b.Targets))
+				}
+				acc = &cp
+				acc.Count = 0
+				acc.Fallthrough = 0
+				blocks[b.Start] = acc
+				out.Blocks = append(out.Blocks, acc)
+			}
+			if acc.TermOff != b.TermOff || acc.Kind != b.Kind {
+				return nil, fmt.Errorf("dbi: merge: block 0x%x shape differs between runs", b.Start)
+			}
+			acc.Count += b.Count
+			acc.Fallthrough += b.Fallthrough
+			for t, n := range b.Targets {
+				acc.Targets[t] += n
+			}
+		}
+		for site, n := range p.CalleeCounts {
+			out.CalleeCounts[site] += n
+		}
+		out.BaseInstructions += p.BaseInstructions
+		out.InstrEquivalents += p.InstrEquivalents
+	}
+	// Deterministic order.
+	for i := 1; i < len(out.Blocks); i++ {
+		for j := i; j > 0 && out.Blocks[j].Start < out.Blocks[j-1].Start; j-- {
+			out.Blocks[j], out.Blocks[j-1] = out.Blocks[j-1], out.Blocks[j]
+		}
+	}
+	return out, nil
+}

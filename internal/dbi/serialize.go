@@ -1,0 +1,21 @@
+package dbi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Write serializes the profile (the DynamoRIO client's output file).
+func (p *Profile) Write(w io.Writer) error {
+	return json.NewEncoder(w).Encode(p)
+}
+
+// Read deserializes a profile written by Write.
+func Read(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("dbi: decode: %w", err)
+	}
+	return &p, nil
+}

@@ -1,0 +1,142 @@
+// Package dom computes dominator trees over function subgraphs of the CFG,
+// using the Cooper–Harvey–Kennedy iterative algorithm ("A Simple, Fast
+// Dominance Algorithm").
+//
+// Dominance drives the loop finder (§II-C): a node m dominates n iff every
+// path from the function entry to n passes through m; an edge whose head
+// dominates its tail is a back edge; each back edge defines a natural loop.
+package dom
+
+// Graph is the minimal view the algorithm needs: nodes 0..N-1 with
+// successor lists, node 0 being the entry.
+type Graph interface {
+	NumNodes() int
+	Succs(n int) []int
+}
+
+// Tree is a computed dominator tree.
+type Tree struct {
+	// idom[n] is the immediate dominator of n; idom[0] == 0 (entry).
+	// Unreachable nodes have idom -1.
+	idom []int
+	// rpoNum[n] is the reverse-postorder number of n.
+	rpoNum []int
+}
+
+// Compute builds the dominator tree of g.
+func Compute(g Graph) *Tree {
+	n := g.NumNodes()
+	t := &Tree{
+		idom:   make([]int, n),
+		rpoNum: make([]int, n),
+	}
+	for i := range t.idom {
+		t.idom[i] = -1
+		t.rpoNum[i] = -1
+	}
+	if n == 0 {
+		return t
+	}
+
+	// Reverse postorder via iterative DFS from the entry.
+	post := make([]int, 0, n)
+	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
+	type frame struct {
+		node int
+		next int
+	}
+	stack := []frame{{node: 0}}
+	state[0] = 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succs := g.Succs(f.node)
+		if f.next < len(succs) {
+			s := succs[f.next]
+			f.next++
+			if state[s] == 0 {
+				state[s] = 1
+				stack = append(stack, frame{node: s})
+			}
+			continue
+		}
+		state[f.node] = 2
+		post = append(post, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	rpo := make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		rpo = append(rpo, post[i])
+	}
+	for i, node := range rpo {
+		t.rpoNum[node] = i
+	}
+
+	// Predecessor lists restricted to reachable nodes.
+	preds := make([][]int, n)
+	for _, u := range rpo {
+		for _, v := range g.Succs(u) {
+			if t.rpoNum[v] >= 0 {
+				preds[v] = append(preds[v], u)
+			}
+		}
+	}
+
+	t.idom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var newIdom = -1
+			for _, p := range preds[b] {
+				if t.idom[p] == -1 {
+					continue // not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && t.idom[b] != newIdom {
+				t.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+func (t *Tree) intersect(a, b int) int {
+	for a != b {
+		for t.rpoNum[a] > t.rpoNum[b] {
+			a = t.idom[a]
+		}
+		for t.rpoNum[b] > t.rpoNum[a] {
+			b = t.idom[b]
+		}
+	}
+	return a
+}
+
+// Idom returns n's immediate dominator, or -1 for unreachable nodes.
+// The entry's immediate dominator is itself.
+func (t *Tree) Idom(n int) int { return t.idom[n] }
+
+// Reachable reports whether n is reachable from the entry.
+func (t *Tree) Reachable(n int) bool { return t.idom[n] != -1 }
+
+// Dominates reports whether a dominates b (reflexively: every node
+// dominates itself).
+func (t *Tree) Dominates(a, b int) bool {
+	if t.idom[a] == -1 || t.idom[b] == -1 {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		b = t.idom[b]
+	}
+}

@@ -1,0 +1,198 @@
+package dom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+type tg [][]int
+
+func (g tg) NumNodes() int     { return len(g) }
+func (g tg) Succs(n int) []int { return g[n] }
+
+func TestLinearChain(t *testing.T) {
+	g := tg{{1}, {2}, {3}, {}}
+	d := Compute(g)
+	for n := 1; n < 4; n++ {
+		if d.Idom(n) != n-1 {
+			t.Errorf("idom(%d) = %d, want %d", n, d.Idom(n), n-1)
+		}
+	}
+	if !d.Dominates(0, 3) || !d.Dominates(1, 3) || d.Dominates(3, 1) {
+		t.Error("chain dominance wrong")
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	//   0
+	//  / \
+	// 1   2
+	//  \ /
+	//   3
+	g := tg{{1, 2}, {3}, {3}, {}}
+	d := Compute(g)
+	if d.Idom(3) != 0 {
+		t.Errorf("idom(3) = %d, want 0 (join point)", d.Idom(3))
+	}
+	if d.Dominates(1, 3) || d.Dominates(2, 3) {
+		t.Error("diamond arms must not dominate the join")
+	}
+	if !d.Dominates(0, 3) {
+		t.Error("entry must dominate the join")
+	}
+}
+
+func TestLoop(t *testing.T) {
+	// 0 -> 1 -> 2 -> 1, 2 -> 3
+	g := tg{{1}, {2}, {1, 3}, {}}
+	d := Compute(g)
+	if !d.Dominates(1, 2) {
+		t.Error("header must dominate body")
+	}
+	if d.Idom(2) != 1 || d.Idom(3) != 2 {
+		t.Errorf("idoms: %d %d", d.Idom(2), d.Idom(3))
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	g := tg{{1}, {}, {1}} // node 2 unreachable
+	d := Compute(g)
+	if d.Reachable(2) {
+		t.Error("node 2 should be unreachable")
+	}
+	if d.Dominates(2, 1) || d.Dominates(0, 2) {
+		t.Error("unreachable nodes dominate nothing and are dominated by nothing")
+	}
+	if !d.Reachable(0) || !d.Reachable(1) {
+		t.Error("reachable flags wrong")
+	}
+}
+
+func TestIrreducible(t *testing.T) {
+	// Classic irreducible region: 0->1, 0->2, 1->2, 2->1, 1->3.
+	g := tg{{1, 2}, {2, 3}, {1}, {}}
+	d := Compute(g)
+	// Neither 1 nor 2 dominates the other; both idoms are 0.
+	if d.Idom(1) != 0 || d.Idom(2) != 0 {
+		t.Errorf("idoms: %d %d, want 0 0", d.Idom(1), d.Idom(2))
+	}
+	if d.Dominates(1, 2) || d.Dominates(2, 1) {
+		t.Error("irreducible: cross dominance must not hold")
+	}
+}
+
+func TestSelfLoopEntry(t *testing.T) {
+	g := tg{{0, 1}, {}}
+	d := Compute(g)
+	if d.Idom(0) != 0 || d.Idom(1) != 0 {
+		t.Error("self-loop on entry mishandled")
+	}
+}
+
+// reachableWithout computes reachability from entry with node `cut`
+// removed — the brute-force definition of dominance.
+func reachableWithout(g tg, cut, target int) bool {
+	if cut == 0 {
+		return target == 0 && cut != 0
+	}
+	seen := make([]bool, len(g))
+	var stack []int
+	stack = append(stack, 0)
+	seen[0] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == target {
+			return true
+		}
+		for _, s := range g[n] {
+			if s != cut && !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+func reachable(g tg, target int) bool {
+	seen := make([]bool, len(g))
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == target {
+			return true
+		}
+		for _, s := range g[n] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// Property test: on random graphs, Dominates(m, n) must match the textbook
+// definition "every path from entry to n passes through m".
+func TestDominanceMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(10)
+		g := make(tg, n)
+		for u := 0; u < n; u++ {
+			edges := rng.Intn(3)
+			for e := 0; e < edges; e++ {
+				g[u] = append(g[u], rng.Intn(n))
+			}
+		}
+		d := Compute(g)
+		for m := 0; m < n; m++ {
+			for v := 0; v < n; v++ {
+				if !reachable(g, v) || !reachable(g, m) {
+					continue
+				}
+				want := m == v || (m == 0) || !reachableWithout(g, m, v)
+				if m != 0 && m != v {
+					want = !reachableWithout(g, m, v)
+				}
+				got := d.Dominates(m, v)
+				if got != want {
+					t.Fatalf("trial %d: Dominates(%d,%d) = %v, want %v; graph %v",
+						trial, m, v, got, want, g)
+				}
+			}
+		}
+	}
+}
+
+// Property: immediate dominators strictly dominate, and dominator sets
+// form a chain.
+func TestIdomProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(12)
+		g := make(tg, n)
+		for u := 0; u < n-1; u++ {
+			g[u] = append(g[u], u+1) // ensure all reachable
+			if rng.Intn(2) == 0 {
+				g[u] = append(g[u], rng.Intn(n))
+			}
+		}
+		d := Compute(g)
+		for v := 1; v < n; v++ {
+			id := d.Idom(v)
+			if id == -1 {
+				t.Fatalf("node %d unreachable in chain graph", v)
+			}
+			if !d.Dominates(id, v) {
+				t.Errorf("idom(%d)=%d does not dominate it", v, id)
+			}
+			if id == v {
+				t.Errorf("idom(%d) is itself", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,465 @@
+package interp
+
+import (
+	"math"
+	"math/big"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"optiwise/internal/asm"
+	"optiwise/internal/program"
+)
+
+// run assembles src, runs it to completion, and returns the machine.
+func run(t *testing.T, src string) *Machine {
+	t.Helper()
+	p, err := asm.Assemble("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := program.Load(p, program.LoadOptions{})
+	m := New(img, 1)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+func TestExitCode(t *testing.T) {
+	m := run(t, `
+.func main
+main:
+    li a0, 42
+    li a7, 93
+    syscall
+.endfunc
+`)
+	if !m.Exited || m.ExitCode != 42 {
+		t.Errorf("exited=%v code=%d", m.Exited, m.ExitCode)
+	}
+	if m.Steps != 3 {
+		t.Errorf("steps = %d, want 3", m.Steps)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	m := run(t, `
+.func main
+main:
+    li t0, 7
+    li t1, 3
+    add t2, t0, t1      # 10
+    sub t3, t0, t1      # 4
+    mul t4, t0, t1      # 21
+    div t5, t0, t1      # 2
+    rem s2, t0, t1      # 1
+    add a0, t2, t3
+    add a0, a0, t4
+    add a0, a0, t5
+    add a0, a0, s2      # 10+4+21+2+1 = 38
+    li a7, 93
+    syscall
+.endfunc
+`)
+	if m.ExitCode != 38 {
+		t.Errorf("exit = %d, want 38", m.ExitCode)
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	// sum 1..10 = 55
+	m := run(t, `
+.func main
+main:
+    li t0, 10
+    li a0, 0
+loop:
+    add a0, a0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    syscall
+.endfunc
+`)
+	if m.ExitCode != 55 {
+		t.Errorf("exit = %d, want 55", m.ExitCode)
+	}
+}
+
+func TestMemoryAndData(t *testing.T) {
+	m := run(t, `
+.data
+vals: .quad 11, 22, 33
+.text
+.func main
+main:
+    la t0, vals
+    ld a0, 0(t0)
+    ld t1, 8(t0)
+    add a0, a0, t1
+    ld t1, 16(t0)
+    add a0, a0, t1      # 66
+    st a0, 24(t0)
+    ld a0, 24(t0)
+    li a7, 93
+    syscall
+.endfunc
+`)
+	if m.ExitCode != 66 {
+		t.Errorf("exit = %d, want 66", m.ExitCode)
+	}
+}
+
+func TestSubWordAccess(t *testing.T) {
+	m := run(t, `
+.data
+b: .byte 0xff, 2
+w: .word -5
+.text
+.func main
+main:
+    la t0, b
+    lbu t1, 0(t0)       # 255 (zero-extended)
+    la t0, w
+    lw t2, 0(t0)        # -5 (sign-extended)
+    add a0, t1, t2      # 250
+    li a7, 93
+    syscall
+.endfunc
+`)
+	if m.ExitCode != 250 {
+		t.Errorf("exit = %d, want 250", m.ExitCode)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	m := run(t, `
+.func main
+main:
+    li a0, 5
+    call double
+    call double
+    li a7, 93
+    syscall
+.endfunc
+.func double
+double:
+    add a0, a0, a0
+    ret
+.endfunc
+`)
+	if m.ExitCode != 20 {
+		t.Errorf("exit = %d, want 20", m.ExitCode)
+	}
+}
+
+func TestIndirectCallAndJump(t *testing.T) {
+	m := run(t, `
+.data
+fptr: .quad triple
+.text
+.func main
+main:
+    la t0, fptr
+    ld t1, 0(t0)        # module offset of triple
+    # convert module offset to absolute: abs = gp - DataBase + off
+    li t2, 0x200000
+    sub t3, gp, t2
+    add t1, t1, t3
+    li a0, 7
+    callr t1
+    li a7, 93
+    syscall
+.endfunc
+.func triple
+triple:
+    li t4, 3
+    mul a0, a0, t4
+    ret
+.endfunc
+`)
+	if m.ExitCode != 21 {
+		t.Errorf("exit = %d, want 21", m.ExitCode)
+	}
+}
+
+func TestWriteSyscall(t *testing.T) {
+	m := run(t, `
+.data
+msg: .ascii "hello\n"
+.text
+.func main
+main:
+    li a0, 1
+    la a1, msg
+    li a2, 6
+    li a7, 64
+    syscall
+    li a0, 0
+    li a7, 93
+    syscall
+.endfunc
+`)
+	if string(m.Output) != "hello\n" {
+		t.Errorf("output = %q", m.Output)
+	}
+}
+
+func TestBrkSyscall(t *testing.T) {
+	m := run(t, `
+.func main
+main:
+    li a0, 0
+    li a7, 214
+    syscall             # query break
+    mov t0, a0
+    addi a0, t0, 4096
+    li a7, 214
+    syscall             # extend
+    st a0, -8(a0)       # touch new memory
+    sub a0, a0, t0      # 4096
+    li a7, 93
+    syscall
+.endfunc
+`)
+	if m.ExitCode != 4096 {
+		t.Errorf("exit = %d, want 4096", m.ExitCode)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	src := `
+.func main
+main:
+    li a7, 1000
+    syscall
+    mov t0, a0
+    syscall
+    xor a0, a0, t0
+    andi a0, a0, 255
+    li a7, 93
+    syscall
+.endfunc
+`
+	m1 := run(t, src)
+	m2 := run(t, src)
+	if m1.ExitCode != m2.ExitCode {
+		t.Error("SysRand is not deterministic across runs")
+	}
+}
+
+func TestCmov(t *testing.T) {
+	m := run(t, `
+.func main
+main:
+    li t0, 111
+    li t1, 222
+    li t2, 0
+    mov a0, t1
+    cmovz a0, t0, t2    # t2==0 -> a0 = 111
+    li t2, 1
+    cmovnz a0, t1, t2   # t2!=0 -> a0 = 222
+    cmovz a0, t0, t2    # t2!=0 -> unchanged
+    li a7, 93
+    syscall
+.endfunc
+`)
+	if m.ExitCode != 222 {
+		t.Errorf("exit = %d, want 222", m.ExitCode)
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	m := run(t, `
+.func main
+main:
+    fli f0, 10.0
+    fli f1, 4.0
+    fdiv f2, f0, f1     # 2.5
+    fadd f2, f2, f2     # 5.0
+    fcvt.l.d a0, f2
+    li a7, 93
+    syscall
+.endfunc
+`)
+	if m.ExitCode != 5 {
+		t.Errorf("exit = %d, want 5", m.ExitCode)
+	}
+}
+
+func TestFSqrt(t *testing.T) {
+	m := run(t, `
+.func main
+main:
+    li t0, 144
+    fcvt.d.l f0, t0
+    fsqrt f1, f0
+    fcvt.l.d a0, f1
+    li a7, 93
+    syscall
+.endfunc
+`)
+	if m.ExitCode != 12 {
+		t.Errorf("exit = %d, want 12", m.ExitCode)
+	}
+}
+
+func TestX0IsHardwiredZero(t *testing.T) {
+	m := run(t, `
+.func main
+main:
+    li zero, 99
+    addi zero, zero, 5
+    mov a0, zero
+    li a7, 93
+    syscall
+.endfunc
+`)
+	if m.ExitCode != 0 {
+		t.Errorf("x0 was written: exit = %d", m.ExitCode)
+	}
+}
+
+func TestDivideByZeroSemantics(t *testing.T) {
+	m := run(t, `
+.func main
+main:
+    li t0, 17
+    li t1, 0
+    div t2, t0, t1      # -1
+    rem t3, t0, t1      # 17
+    divu t4, t0, t1     # all ones
+    add a0, t2, t3      # 16
+    addi t4, t4, 1      # 0
+    add a0, a0, t4
+    li a7, 93
+    syscall
+.endfunc
+`)
+	if m.ExitCode != 16 {
+		t.Errorf("exit = %d, want 16", m.ExitCode)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p, err := asm.Assemble("t", `
+.func main
+main:
+loop:
+    j loop
+.endfunc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(program.Load(p, program.LoadOptions{}), 1)
+	if err := m.Run(100); err != ErrLimit {
+		t.Errorf("err = %v, want ErrLimit", err)
+	}
+	if m.Steps != 100 {
+		t.Errorf("steps = %d", m.Steps)
+	}
+}
+
+func TestTrapOnBadPC(t *testing.T) {
+	p, err := asm.Assemble("t", `
+.func main
+main:
+    li t0, 0x99999999
+    jr t0
+.endfunc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(program.Load(p, program.LoadOptions{}), 1)
+	err = m.Run(0)
+	if err == nil || !strings.Contains(err.Error(), "outside text") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestASLRInvariance(t *testing.T) {
+	src := `
+.data
+v: .quad 1234
+.text
+.func main
+main:
+    la t0, v
+    ld a0, 0(t0)
+    li a7, 93
+    syscall
+.endfunc
+`
+	p, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{0, 1, 7, 99} {
+		img := program.Load(p, program.LoadOptions{ASLRSeed: seed})
+		m := New(img, 1)
+		if err := m.Run(0); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if m.ExitCode != 1234 {
+			t.Errorf("seed %d: exit = %d", seed, m.ExitCode)
+		}
+	}
+}
+
+func TestMulhMatchesBigInt(t *testing.T) {
+	f := func(a, b int64) bool {
+		prod := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+		want := new(big.Int).Rsh(prod, 64)
+		// take low 64 bits of the arithmetic shift result as uint64
+		wantU := uint64(want.Int64())
+		return mulh(a, b) == wantU
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivisionEdgeCases(t *testing.T) {
+	if sdiv(math.MinInt64, -1) != math.MinInt64 {
+		t.Error("INT64_MIN / -1 should wrap to INT64_MIN")
+	}
+	if srem(math.MinInt64, -1) != 0 {
+		t.Error("INT64_MIN %% -1 should be 0")
+	}
+	if udiv(5, 0) != ^uint64(0) {
+		t.Error("unsigned div by zero should be all-ones")
+	}
+}
+
+func TestQuickDivMatchesGo(t *testing.T) {
+	f := func(a, b int64) bool {
+		if b == 0 || (a == math.MinInt64 && b == -1) {
+			return true
+		}
+		return sdiv(a, b) == a/b && srem(a, b) == a%b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestF2I(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int64
+	}{
+		{0, 0}, {1.9, 1}, {-1.9, -1},
+		{math.NaN(), 0},
+		{math.Inf(1), math.MaxInt64},
+		{math.Inf(-1), math.MinInt64},
+		{1e300, math.MaxInt64},
+	}
+	for _, c := range cases {
+		if got := f2i(c.in); got != c.want {
+			t.Errorf("f2i(%g) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package interp
+
+import (
+	"fmt"
+	"testing"
+
+	"optiwise/internal/asm"
+	"optiwise/internal/program"
+)
+
+// exit runs a fragment that leaves its result in a0 and returns the exit
+// code (masked to int64 by the syscall convention).
+func exit(t *testing.T, body string) int64 {
+	t.Helper()
+	src := fmt.Sprintf(`
+.func main
+main:
+%s
+    li a7, 93
+    syscall
+.endfunc
+`, body)
+	m := run(t, src)
+	return m.ExitCode
+}
+
+func TestShiftSemantics(t *testing.T) {
+	cases := []struct {
+		body string
+		want int64
+	}{
+		// Shift amounts are masked to 6 bits, RISC-style.
+		{"li t0, 1\n li t1, 64\n sll a0, t0, t1", 1},
+		{"li t0, 1\n li t1, 65\n sll a0, t0, t1", 2},
+		{"li t0, -8\n li t1, 1\n sra a0, t0, t1", -4},
+		{"li t0, -8\n li t1, 1\n srl a0, t0, t1", 0x7ffffffffffffffc},
+		{"li t0, 5\n slli a0, t0, 2", 20},
+		{"li t0, -1\n srai a0, t0, 63", -1},
+		{"li t0, -1\n srli a0, t0, 63", 1},
+	}
+	for _, c := range cases {
+		if got := exit(t, c.body); got != c.want {
+			t.Errorf("%q = %d, want %d", c.body, got, c.want)
+		}
+	}
+}
+
+func TestCompareSemantics(t *testing.T) {
+	cases := []struct {
+		body string
+		want int64
+	}{
+		{"li t0, -1\n li t1, 1\n slt a0, t0, t1", 1},
+		{"li t0, -1\n li t1, 1\n sltu a0, t0, t1", 0}, // -1 is huge unsigned
+		{"li t0, 5\n slti a0, t0, 6", 1},
+		{"li t0, 5\n slti a0, t0, 5", 0},
+		{"li t0, 5\n sltiu a0, t0, 6", 1},
+		{"li t0, -1\n sltiu a0, t0, 1", 0},
+	}
+	for _, c := range cases {
+		if got := exit(t, c.body); got != c.want {
+			t.Errorf("%q = %d, want %d", c.body, got, c.want)
+		}
+	}
+}
+
+func TestBitwiseImmediates(t *testing.T) {
+	cases := []struct {
+		body string
+		want int64
+	}{
+		{"li t0, 0b1100\n andi a0, t0, 0b1010", 0b1000},
+		{"li t0, 0b1100\n ori a0, t0, 0b0011", 0b1111},
+		{"li t0, 0b1100\n xori a0, t0, 0b1111", 0b0011},
+		{"li t0, 12\n mulh a0, t0, t0", 0}, // small product: high half 0
+	}
+	for _, c := range cases {
+		if got := exit(t, c.body); got != c.want {
+			t.Errorf("%q = %d, want %d", c.body, got, c.want)
+		}
+	}
+}
+
+func TestSubWordStoreTruncation(t *testing.T) {
+	// sw stores the low 32 bits; sb the low byte.
+	got := exit(t, `
+    li t0, 0x1122334455667788
+    li t1, 0x100000000000
+    sw t0, 0(t1)
+    ld a0, 0(t1)`)
+	if got != 0x55667788 {
+		t.Errorf("sw truncation: got %#x", got)
+	}
+	got = exit(t, `
+    li t0, 0x1234
+    li t1, 0x100000000000
+    sb t0, 0(t1)
+    ld a0, 0(t1)`)
+	if got != 0x34 {
+		t.Errorf("sb truncation: got %#x", got)
+	}
+}
+
+func TestLWSignExtension(t *testing.T) {
+	got := exit(t, `
+    li t0, 0xffffffff
+    li t1, 0x100000000000
+    sw t0, 0(t1)
+    lw a0, 0(t1)`)
+	if got != -1 {
+		t.Errorf("lw sign extension: got %d", got)
+	}
+}
+
+func TestFPMinMax(t *testing.T) {
+	got := exit(t, `
+    fli f0, 2.5
+    fli f1, -3.5
+    fmin f2, f0, f1
+    fmax f3, f0, f1
+    fsub f2, f3, f2     # 2.5 - (-3.5) = 6
+    fcvt.l.d a0, f2`)
+	if got != 6 {
+		t.Errorf("fmin/fmax: got %d", got)
+	}
+}
+
+func TestFPCompares(t *testing.T) {
+	got := exit(t, `
+    fli f0, 1.5
+    fli f1, 2.5
+    flt t0, f0, f1      # 1
+    fle t1, f1, f1      # 1
+    feq t2, f0, f1      # 0
+    add a0, t0, t1
+    add a0, a0, t2`)
+	if got != 2 {
+		t.Errorf("fp compares: got %d", got)
+	}
+}
+
+func TestFPBitMoves(t *testing.T) {
+	got := exit(t, `
+    fli f0, 1.0
+    fmv.x.d t0, f0      # raw bits of 1.0
+    li t1, 0x3ff0000000000000
+    sub a0, t0, t1`)
+	if got != 0 {
+		t.Errorf("fmv.x.d: got %#x off from 1.0 bits", got)
+	}
+	got = exit(t, `
+    li t0, 0x4000000000000000   # bits of 2.0
+    fmv.d.x f0, t0
+    fcvt.l.d a0, f0`)
+	if got != 2 {
+		t.Errorf("fmv.d.x: got %d", got)
+	}
+}
+
+func TestFNeg(t *testing.T) {
+	got := exit(t, `
+    fli f0, 4.0
+    fneg f1, f0
+    fcvt.l.d a0, f1`)
+	if got != -4 {
+		t.Errorf("fneg: got %d", got)
+	}
+}
+
+func TestFMovAliasesValue(t *testing.T) {
+	got := exit(t, `
+    fli f0, 9.0
+    fmov f1, f0
+    fsqrt f2, f1
+    fcvt.l.d a0, f2`)
+	if got != 3 {
+		t.Errorf("fmov/fsqrt: got %d", got)
+	}
+}
+
+func TestJRJumpsToRegister(t *testing.T) {
+	src := `
+.func main
+main:
+    la t0, target
+    jr t0
+    li a0, 1          # skipped
+    li a7, 93
+    syscall
+target:
+    li a0, 42
+    li a7, 93
+    syscall
+.endfunc
+`
+	m := run(t, src)
+	if m.ExitCode != 42 {
+		t.Errorf("jr: exit %d", m.ExitCode)
+	}
+}
+
+func TestMULHLargeOperands(t *testing.T) {
+	// (2^62) * 4 = 2^64 -> high half 1.
+	got := exit(t, `
+    li t0, 0x4000000000000000
+    li t1, 4
+    mulh a0, t0, t1`)
+	if got != 1 {
+		t.Errorf("mulh large: got %d", got)
+	}
+	// Negative: -(2^62) * 4 = -(2^64) -> high half -1... exactly -1.
+	got = exit(t, `
+    li t0, -0x4000000000000000
+    li t1, 4
+    mulh a0, t0, t1`)
+	if got != -1 {
+		t.Errorf("mulh negative: got %d", got)
+	}
+}
+
+func TestRemSemantics(t *testing.T) {
+	cases := []struct {
+		body string
+		want int64
+	}{
+		{"li t0, 7\n li t1, 3\n rem a0, t0, t1", 1},
+		{"li t0, -7\n li t1, 3\n rem a0, t0, t1", -1}, // sign follows dividend
+		{"li t0, 7\n li t1, 3\n remu a0, t0, t1", 1},
+	}
+	for _, c := range cases {
+		if got := exit(t, c.body); got != c.want {
+			t.Errorf("%q = %d, want %d", c.body, got, c.want)
+		}
+	}
+}
+
+func TestStepAfterExitFails(t *testing.T) {
+	p, err := asm.Assemble("t", ".func main\nmain:\n li a7, 93\n syscall\n.endfunc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(program.Load(p, program.LoadOptions{}), 1)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(); err == nil {
+		t.Error("step after exit should trap")
+	}
+}
+
+func TestUnknownSyscallTraps(t *testing.T) {
+	p, err := asm.Assemble("t", ".func main\nmain:\n li a7, 4242\n syscall\n.endfunc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(program.Load(p, program.LoadOptions{}), 1)
+	if err := m.Run(0); err == nil {
+		t.Error("unknown syscall should trap")
+	}
+}
+
+func TestWriteToNonStdFdDiscards(t *testing.T) {
+	src := `
+.data
+msg: .ascii "x"
+.text
+.func main
+main:
+    li a0, 7
+    la a1, msg
+    li a2, 1
+    li a7, 64
+    syscall
+    li a0, 0
+    li a7, 93
+    syscall
+.endfunc
+`
+	m := run(t, src)
+	if len(m.Output) != 0 {
+		t.Errorf("fd 7 write leaked into output: %q", m.Output)
+	}
+}

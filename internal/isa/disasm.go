@@ -1,0 +1,83 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders inst as assembly text. Direct control-transfer targets
+// are printed as hexadecimal module offsets; callers that know the symbol
+// table (see internal/program) can substitute symbolic names.
+func Disassemble(inst Instruction) string {
+	op := inst.Op
+	switch op {
+	case NOP:
+		return "nop"
+	case RET:
+		return "ret"
+	case SYSCALL:
+		return "syscall"
+	}
+	switch op.Kind() {
+	case KindALU, KindMul, KindDiv:
+		switch op {
+		case LUI:
+			return fmt.Sprintf("%s %s, %d", op, IntRegName(inst.Rd), inst.Imm)
+		case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, SLTIU:
+			return fmt.Sprintf("%s %s, %s, %d", op,
+				IntRegName(inst.Rd), IntRegName(inst.Rs), inst.Imm)
+		default:
+			return fmt.Sprintf("%s %s, %s, %s", op,
+				IntRegName(inst.Rd), IntRegName(inst.Rs), IntRegName(inst.Rt))
+		}
+	case KindFPU, KindFDiv:
+		switch op {
+		case FSQRT, FNEG, FMOV:
+			return fmt.Sprintf("%s %s, %s", op, FPRegName(inst.Rd), FPRegName(inst.Rs))
+		case FCVTDL, FMVDX:
+			return fmt.Sprintf("%s %s, %s", op, FPRegName(inst.Rd), IntRegName(inst.Rs))
+		case FCVTLD, FMVXD:
+			return fmt.Sprintf("%s %s, %s", op, IntRegName(inst.Rd), FPRegName(inst.Rs))
+		case FEQ, FLT, FLE:
+			return fmt.Sprintf("%s %s, %s, %s", op,
+				IntRegName(inst.Rd), FPRegName(inst.Rs), FPRegName(inst.Rt))
+		default:
+			return fmt.Sprintf("%s %s, %s, %s", op,
+				FPRegName(inst.Rd), FPRegName(inst.Rs), FPRegName(inst.Rt))
+		}
+	case KindLoad:
+		if op == FLD {
+			return fmt.Sprintf("%s %s, %d(%s)", op,
+				FPRegName(inst.Rd), inst.Imm, IntRegName(inst.Rs))
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", op,
+			IntRegName(inst.Rd), inst.Imm, IntRegName(inst.Rs))
+	case KindStore:
+		if op == FST {
+			return fmt.Sprintf("%s %s, %d(%s)", op,
+				FPRegName(inst.Rt), inst.Imm, IntRegName(inst.Rs))
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", op,
+			IntRegName(inst.Rt), inst.Imm, IntRegName(inst.Rs))
+	case KindPrefetch:
+		return fmt.Sprintf("%s %d(%s)", op, inst.Imm, IntRegName(inst.Rs))
+	case KindBranch:
+		return fmt.Sprintf("%s %s, %s, 0x%x", op,
+			IntRegName(inst.Rs), IntRegName(inst.Rt), inst.Target)
+	case KindJump, KindCall:
+		return fmt.Sprintf("%s 0x%x", op, inst.Target)
+	case KindIndirect, KindIndCall:
+		return fmt.Sprintf("%s %s", op, IntRegName(inst.Rs))
+	}
+	return op.String()
+}
+
+// DisassembleAll renders a sequence of instructions, one per line, with
+// module offsets, starting at offset base.
+func DisassembleAll(insts []Instruction, base uint64) string {
+	var b strings.Builder
+	for i, inst := range insts {
+		fmt.Fprintf(&b, "%6x:\t%s\n", base+uint64(i)*InstBytes, Disassemble(inst))
+	}
+	return b.String()
+}

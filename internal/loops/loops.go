@@ -1,0 +1,321 @@
+// Package loops finds natural loops in a function's CFG via dominance
+// analysis and applies the paper's loop-merging heuristic (§IV-E,
+// Algorithm 2) to decide whether back edges sharing a header are nested
+// loops or alternative control paths of the same loop.
+package loops
+
+import (
+	"sort"
+
+	"optiwise/internal/dom"
+)
+
+// DefaultThreshold is T in Algorithm 2: a same-header loop is considered
+// nested only if its back-edge frequency is at least T times the summed
+// frequency of its supersets. The paper chooses 3 from case-study
+// experience.
+const DefaultThreshold = 3
+
+// Raw is one natural loop, before merging: exactly one back edge.
+type Raw struct {
+	Header int
+	Tail   int
+	// Blocks contains every node of the loop, including the header.
+	Blocks map[int]bool
+	// BackEdgeFreq is the dynamic count of the back edge.
+	BackEdgeFreq uint64
+}
+
+// Graph extends dom.Graph with edge frequencies.
+type Graph interface {
+	dom.Graph
+	// EdgeFreq returns the dynamic count of the edge from→to.
+	EdgeFreq(from, to int) uint64
+}
+
+// Find returns the natural loops of g, one per back edge, using the
+// conventional definitions (§II-C): an edge u→v is a back edge iff v
+// dominates u; its loop contains v plus all nodes that reach u without
+// passing through v.
+func Find(g Graph) []*Raw {
+	t := dom.Compute(g)
+	var out []*Raw
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		if !t.Reachable(u) {
+			continue
+		}
+		for _, v := range g.Succs(u) {
+			if !t.Reachable(v) || !t.Dominates(v, u) {
+				continue
+			}
+			out = append(out, naturalLoop(g, v, u))
+		}
+	}
+	// Deterministic order: by header, then tail.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Header != out[j].Header {
+			return out[i].Header < out[j].Header
+		}
+		return out[i].Tail < out[j].Tail
+	})
+	return out
+}
+
+// naturalLoop collects the loop body of back edge tail→header: reverse
+// reachability from the tail, stopping at the header.
+func naturalLoop(g Graph, header, tail int) *Raw {
+	l := &Raw{
+		Header:       header,
+		Tail:         tail,
+		Blocks:       map[int]bool{header: true},
+		BackEdgeFreq: g.EdgeFreq(tail, header),
+	}
+	// Predecessor map on demand.
+	preds := make([][]int, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Succs(u) {
+			preds[v] = append(preds[v], u)
+		}
+	}
+	work := []int{tail}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		if l.Blocks[n] {
+			continue
+		}
+		l.Blocks[n] = true
+		work = append(work, preds[n]...)
+	}
+	return l
+}
+
+// Loop is a merged loop: possibly several back edges (control paths)
+// folded into one programmer-intuitive loop.
+type Loop struct {
+	Header int
+	// Blocks is the union of the merged natural loops' bodies.
+	Blocks map[int]bool
+	// BackEdgeFreq is the sum of the merged back edges' frequencies.
+	BackEdgeFreq uint64
+	// Tails lists the merged back edges' sources.
+	Tails []int
+	// Parent is the index (into the Merge result) of the innermost
+	// enclosing loop, or -1.
+	Parent int
+	// Depth is the nesting depth (0 for outermost).
+	Depth int
+}
+
+// Contains reports whether node n belongs to the loop.
+func (l *Loop) Contains(n int) bool { return l.Blocks[n] }
+
+// Merge applies Algorithm 2 with threshold t to every group of natural
+// loops sharing a header, and derives the nesting hierarchy of the result.
+func Merge(raw []*Raw, t uint64) []*Loop {
+	byHeader := make(map[int][]*Raw)
+	var headers []int
+	for _, r := range raw {
+		if len(byHeader[r.Header]) == 0 {
+			headers = append(headers, r.Header)
+		}
+		byHeader[r.Header] = append(byHeader[r.Header], r)
+	}
+	sort.Ints(headers)
+
+	var out []*Loop
+	for _, h := range headers {
+		out = append(out, mergeGroup(byHeader[h], t)...)
+	}
+	buildHierarchy(out)
+	return out
+}
+
+// IterationTrace records one while-iteration of Algorithm 2 for a group of
+// same-header loops — the content of the paper's Table I.
+type IterationTrace struct {
+	// Considered lists (size, backEdgeFreq) of the loops still in
+	// inner_loops at the start of the iteration.
+	Considered []RawSummary
+	// Peeled lists the loops moved to current_loop (merged and output).
+	Peeled []RawSummary
+	// Kept lists the loops recognized as nested and kept for the next
+	// iteration.
+	Kept []RawSummary
+}
+
+// RawSummary is a compact description of one natural loop in a trace.
+type RawSummary struct {
+	Tail         int
+	Size         int
+	BackEdgeFreq uint64
+}
+
+// MergeGroupTrace runs Algorithm 2 on one same-header group and returns
+// both the merged loops and the per-iteration trace (Table I).
+func MergeGroupTrace(group []*Raw, t uint64) ([]*Loop, []IterationTrace) {
+	inner := make([]*Raw, len(group))
+	copy(inner, group)
+	sort.SliceStable(inner, func(i, j int) bool {
+		return len(inner[i].Blocks) < len(inner[j].Blocks)
+	})
+	var out []*Loop
+	var trace []IterationTrace
+	for len(inner) > 0 {
+		var it IterationTrace
+		for _, r := range inner {
+			it.Considered = append(it.Considered, summarize(r))
+		}
+		var current, remaining []*Raw
+		for _, i := range inner {
+			var freqSum uint64
+			for _, j := range inner {
+				if i != j && isStrictSubset(i.Blocks, j.Blocks) {
+					freqSum += j.BackEdgeFreq
+				}
+			}
+			if freqSum == 0 || t*freqSum > i.BackEdgeFreq {
+				current = append(current, i)
+				it.Peeled = append(it.Peeled, summarize(i))
+			} else {
+				remaining = append(remaining, i)
+				it.Kept = append(it.Kept, summarize(i))
+			}
+		}
+		if len(current) == 0 {
+			current, remaining = remaining, nil
+		}
+		merged := &Loop{Header: current[0].Header, Blocks: make(map[int]bool), Parent: -1}
+		for _, r := range current {
+			merged.BackEdgeFreq += r.BackEdgeFreq
+			merged.Tails = append(merged.Tails, r.Tail)
+			for b := range r.Blocks {
+				merged.Blocks[b] = true
+			}
+		}
+		sort.Ints(merged.Tails)
+		out = append(out, merged)
+		trace = append(trace, it)
+		inner = remaining
+	}
+	buildHierarchy(out)
+	return out, trace
+}
+
+func summarize(r *Raw) RawSummary {
+	return RawSummary{Tail: r.Tail, Size: len(r.Blocks), BackEdgeFreq: r.BackEdgeFreq}
+}
+
+// mergeGroup is Algorithm 2: iteratively peel the outermost program loop
+// from a set of same-header natural loops.
+func mergeGroup(group []*Raw, t uint64) []*Loop {
+	inner := make([]*Raw, len(group))
+	copy(inner, group)
+	// sort_size_ascending
+	sort.SliceStable(inner, func(i, j int) bool {
+		return len(inner[i].Blocks) < len(inner[j].Blocks)
+	})
+
+	var out []*Loop
+	for len(inner) > 0 {
+		var current []*Raw
+		var remaining []*Raw
+		for _, i := range inner {
+			var freqSum uint64
+			for _, j := range inner {
+				if i != j && isStrictSubset(i.Blocks, j.Blocks) {
+					freqSum += j.BackEdgeFreq
+				}
+			}
+			if freqSum == 0 || t*freqSum > i.BackEdgeFreq {
+				current = append(current, i)
+			} else {
+				remaining = append(remaining, i)
+			}
+		}
+		if len(current) == 0 {
+			// Cannot happen: the largest loop always has freqSum == 0.
+			// Guard against pathological equal-block sets.
+			current, remaining = remaining, nil
+		}
+		merged := &Loop{
+			Header: current[0].Header,
+			Blocks: make(map[int]bool),
+			Parent: -1,
+		}
+		for _, r := range current {
+			merged.BackEdgeFreq += r.BackEdgeFreq
+			merged.Tails = append(merged.Tails, r.Tail)
+			for b := range r.Blocks {
+				merged.Blocks[b] = true
+			}
+		}
+		sort.Ints(merged.Tails)
+		out = append(out, merged)
+		inner = remaining
+	}
+	return out
+}
+
+func isStrictSubset(a, b map[int]bool) bool {
+	if len(a) >= len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildHierarchy fills Parent and Depth: the parent is the smallest other
+// loop whose block set is a superset (strict, or equal with the parent
+// having been emitted earlier, which Algorithm 2 guarantees for peeled
+// same-header nests).
+func buildHierarchy(ls []*Loop) {
+	for i, l := range ls {
+		best := -1
+		for j, p := range ls {
+			if i == j {
+				continue
+			}
+			if !isSubsetAllowEqual(l.Blocks, p.Blocks, i, j) {
+				continue
+			}
+			if best == -1 || len(p.Blocks) < len(ls[best].Blocks) {
+				best = j
+			}
+		}
+		l.Parent = best
+	}
+	for i := range ls {
+		d := 0
+		for p := ls[i].Parent; p != -1; p = ls[p].Parent {
+			d++
+			if d > len(ls) { // cycle guard (equal sets)
+				break
+			}
+		}
+		ls[i].Depth = d
+	}
+}
+
+// isSubsetAllowEqual reports whether a ⊆ b, treating exactly equal sets as
+// nested only when the candidate parent appears earlier (peeled first,
+// i.e. outermost).
+func isSubsetAllowEqual(a, b map[int]bool, ai, bi int) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	if len(a) == len(b) {
+		return bi < ai
+	}
+	return true
+}

@@ -1,0 +1,307 @@
+package loops
+
+import (
+	"testing"
+)
+
+// tg is a test graph with explicit edge frequencies.
+type tg struct {
+	succs [][]int
+	freq  map[[2]int]uint64
+}
+
+func (g *tg) NumNodes() int     { return len(g.succs) }
+func (g *tg) Succs(n int) []int { return g.succs[n] }
+func (g *tg) EdgeFreq(from, to int) uint64 {
+	return g.freq[[2]int{from, to}]
+}
+
+func newTG(n int) *tg {
+	return &tg{succs: make([][]int, n), freq: make(map[[2]int]uint64)}
+}
+
+func (g *tg) edge(from, to int, freq uint64) {
+	g.succs[from] = append(g.succs[from], to)
+	g.freq[[2]int{from, to}] = freq
+}
+
+func TestSimpleLoop(t *testing.T) {
+	// 0 -> 1 -> 2 -> 1, 2 -> 3
+	g := newTG(4)
+	g.edge(0, 1, 1)
+	g.edge(1, 2, 100)
+	g.edge(2, 1, 99)
+	g.edge(2, 3, 1)
+	raw := Find(g)
+	if len(raw) != 1 {
+		t.Fatalf("loops = %d, want 1", len(raw))
+	}
+	l := raw[0]
+	if l.Header != 1 || l.Tail != 2 || l.BackEdgeFreq != 99 {
+		t.Errorf("loop = %+v", l)
+	}
+	if !l.Blocks[1] || !l.Blocks[2] || l.Blocks[0] || l.Blocks[3] {
+		t.Errorf("blocks = %v", l.Blocks)
+	}
+}
+
+func TestNestedDistinctHeaders(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3 -> 2 (inner), 3 -> 4 -> 1 (outer), 4 -> 5
+	g := newTG(6)
+	g.edge(0, 1, 1)
+	g.edge(1, 2, 10)
+	g.edge(2, 3, 1000)
+	g.edge(3, 2, 990)
+	g.edge(3, 4, 10)
+	g.edge(4, 1, 9)
+	g.edge(4, 5, 1)
+	raw := Find(g)
+	if len(raw) != 2 {
+		t.Fatalf("loops = %d, want 2", len(raw))
+	}
+	merged := Merge(raw, DefaultThreshold)
+	if len(merged) != 2 {
+		t.Fatalf("merged = %d, want 2", len(merged))
+	}
+	var inner, outer *Loop
+	for _, l := range merged {
+		if l.Header == 2 {
+			inner = l
+		}
+		if l.Header == 1 {
+			outer = l
+		}
+	}
+	if inner == nil || outer == nil {
+		t.Fatal("missing loops")
+	}
+	if inner.Parent == -1 || merged[inner.Parent] != outer {
+		t.Error("inner loop's parent should be the outer loop")
+	}
+	if outer.Parent != -1 || outer.Depth != 0 || inner.Depth != 1 {
+		t.Errorf("hierarchy: outer parent %d, depths %d/%d",
+			outer.Parent, outer.Depth, inner.Depth)
+	}
+}
+
+// fig6 builds the paper's figure 6 scenario: five back edges sharing the
+// header (node 1), of which three are control paths of the outer loop and
+// two (X, Y) are genuinely nested.
+//
+//	0 -> 1; 1 -> 5 -> (1 | 6); 6 -> (1 | 2); 2 -> (1 | 3 | 4); 3 -> 1; 4 -> 1
+//	1 -> 7 (exit)
+//
+// Natural loops (all header 1): X={1,5} freq 2000, Y={1,5,6} freq 300,
+// C={1,2,5,6} freq 50, A={1,2,3,5,6} freq 10, B={1,2,4,5,6} freq 12.
+func fig6() *tg {
+	g := newTG(8)
+	g.edge(0, 1, 1)
+	g.edge(1, 5, 2373)
+	g.edge(1, 7, 1)
+	g.edge(5, 1, 2000) // back edge X
+	g.edge(5, 6, 373)
+	g.edge(6, 1, 300) // back edge Y
+	g.edge(6, 2, 73)
+	g.edge(2, 1, 50) // back edge C
+	g.edge(2, 3, 10)
+	g.edge(2, 4, 12)
+	g.edge(3, 1, 10) // back edge A
+	g.edge(4, 1, 12) // back edge B
+	return g
+}
+
+func TestFig6NaturalLoops(t *testing.T) {
+	raw := Find(fig6())
+	if len(raw) != 5 {
+		t.Fatalf("natural loops = %d, want 5", len(raw))
+	}
+	sizes := map[int]uint64{} // body size -> freq
+	for _, l := range raw {
+		if l.Header != 1 {
+			t.Errorf("loop header %d, want shared header 1", l.Header)
+		}
+		sizes[len(l.Blocks)] = l.BackEdgeFreq
+	}
+	want := map[int]uint64{2: 2000, 3: 300, 4: 50, 5: 10} // 5-block appears twice
+	for size, freq := range want {
+		if size == 5 {
+			continue
+		}
+		if sizes[size] != freq {
+			t.Errorf("loop of %d blocks has freq %d, want %d", size, sizes[size], freq)
+		}
+	}
+}
+
+// TestLoopMergeFig6 reproduces Table I: Algorithm 2 peels the five
+// same-header loops into three program loops over three iterations, with X
+// and Y recognized as nested.
+func TestLoopMergeFig6(t *testing.T) {
+	raw := Find(fig6())
+	merged := Merge(raw, DefaultThreshold)
+	if len(merged) != 3 {
+		t.Fatalf("merged loops = %d, want 3 (Table I)", len(merged))
+	}
+	// Outermost: A+B+C merged, blocks {1,2,3,4,5,6}, freq 72.
+	// Middle: Y, blocks {1,5,6}, freq 300.
+	// Innermost: X, blocks {1,5}, freq 2000.
+	bySize := map[int]*Loop{}
+	for _, l := range merged {
+		bySize[len(l.Blocks)] = l
+	}
+	outer, mid, inner := bySize[6], bySize[3], bySize[2]
+	if outer == nil || mid == nil || inner == nil {
+		t.Fatalf("unexpected loop sizes: %v", bySize)
+	}
+	if outer.BackEdgeFreq != 72 {
+		t.Errorf("outer freq = %d, want 72 (10+12+50)", outer.BackEdgeFreq)
+	}
+	if len(outer.Tails) != 3 {
+		t.Errorf("outer tails = %v, want 3 merged back edges", outer.Tails)
+	}
+	if mid.BackEdgeFreq != 300 || inner.BackEdgeFreq != 2000 {
+		t.Errorf("freqs: mid %d inner %d", mid.BackEdgeFreq, inner.BackEdgeFreq)
+	}
+	// Hierarchy: inner ⊂ mid ⊂ outer.
+	if inner.Depth != 2 || mid.Depth != 1 || outer.Depth != 0 {
+		t.Errorf("depths: %d %d %d", inner.Depth, mid.Depth, outer.Depth)
+	}
+	if merged[inner.Parent] != mid || merged[mid.Parent] != outer {
+		t.Error("parent chain wrong")
+	}
+}
+
+// With T=1 the nested-detection bar lowers: C (freq 50 >= 10+12) now also
+// counts as nested, so the group splits into four loops. With a huge T
+// everything same-header merges into one loop.
+func TestThresholdSweep(t *testing.T) {
+	raw := Find(fig6())
+	if got := len(Merge(raw, 1)); got != 4 {
+		t.Errorf("T=1: %d loops, want 4", got)
+	}
+	if got := len(Merge(raw, 1000)); got != 1 {
+		t.Errorf("T=1000: %d loops, want 1 (all merged)", got)
+	}
+	one := Merge(raw, 1000)[0]
+	if one.BackEdgeFreq != 2372 {
+		t.Errorf("fully merged freq = %d, want 2372", one.BackEdgeFreq)
+	}
+}
+
+// A continue-style frequent control path must merge, not split: two back
+// edges, same header, neither a subset with dominant frequency.
+func TestContinuePathMerges(t *testing.T) {
+	// 0 -> 1 -> 2 -> (3 | 1 "continue"), 3 -> 1, 1 -> 4
+	g := newTG(5)
+	g.edge(0, 1, 1)
+	g.edge(1, 2, 100)
+	g.edge(1, 4, 1)
+	g.edge(2, 1, 60) // continue path
+	g.edge(2, 3, 40)
+	g.edge(3, 1, 40)
+	raw := Find(g)
+	if len(raw) != 2 {
+		t.Fatalf("raw loops = %d", len(raw))
+	}
+	merged := Merge(raw, DefaultThreshold)
+	if len(merged) != 1 {
+		t.Fatalf("merged = %d, want 1 (continue is a control path)", len(merged))
+	}
+	if merged[0].BackEdgeFreq != 100 {
+		t.Errorf("freq = %d, want 100", merged[0].BackEdgeFreq)
+	}
+}
+
+// A genuinely hot nested loop sharing the header splits off.
+func TestSharedHeaderNestedSplits(t *testing.T) {
+	// inner {1,2} spins 50x per outer iteration.
+	g := newTG(5)
+	g.edge(0, 1, 1)
+	g.edge(1, 2, 510)
+	g.edge(2, 1, 500) // inner back edge, hot
+	g.edge(2, 3, 10)
+	g.edge(3, 1, 9) // outer back edge
+	g.edge(3, 4, 1)
+	raw := Find(g)
+	if len(raw) != 2 {
+		t.Fatalf("raw = %d", len(raw))
+	}
+	merged := Merge(raw, DefaultThreshold)
+	if len(merged) != 2 {
+		t.Fatalf("merged = %d, want 2 (nested split)", len(merged))
+	}
+}
+
+func TestNoLoops(t *testing.T) {
+	g := newTG(3)
+	g.edge(0, 1, 5)
+	g.edge(1, 2, 5)
+	if raw := Find(g); len(raw) != 0 {
+		t.Errorf("acyclic graph produced %d loops", len(raw))
+	}
+	if merged := Merge(nil, DefaultThreshold); len(merged) != 0 {
+		t.Errorf("Merge(nil) = %d", len(merged))
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := newTG(3)
+	g.edge(0, 1, 1)
+	g.edge(1, 1, 42)
+	g.edge(1, 2, 1)
+	raw := Find(g)
+	if len(raw) != 1 || raw[0].Header != 1 || raw[0].Tail != 1 {
+		t.Fatalf("self loop not found: %+v", raw)
+	}
+	if len(raw[0].Blocks) != 1 || raw[0].BackEdgeFreq != 42 {
+		t.Errorf("self loop = %+v", raw[0])
+	}
+}
+
+// Property: every merged loop's header belongs to its block set, and every
+// loop's blocks are a superset of each of its children's.
+func TestHierarchyInvariants(t *testing.T) {
+	for _, g := range []*tg{fig6()} {
+		merged := Merge(Find(g), DefaultThreshold)
+		for i, l := range merged {
+			if !l.Blocks[l.Header] {
+				t.Errorf("loop %d: header not in blocks", i)
+			}
+			if l.Parent != -1 {
+				p := merged[l.Parent]
+				for b := range l.Blocks {
+					if !p.Blocks[b] {
+						t.Errorf("loop %d: block %d missing from parent", i, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// MergeGroupTrace must agree with Merge and expose the Table I iteration
+// structure: 3 iterations peeling 3/1/1 loops.
+func TestMergeGroupTraceFig6(t *testing.T) {
+	raw := Find(fig6())
+	merged, trace := MergeGroupTrace(raw, DefaultThreshold)
+	if len(merged) != 3 {
+		t.Fatalf("merged = %d", len(merged))
+	}
+	if len(trace) != 3 {
+		t.Fatalf("iterations = %d, want 3 (Table I)", len(trace))
+	}
+	wantPeeled := []int{3, 1, 1}
+	for i, it := range trace {
+		if len(it.Peeled) != wantPeeled[i] {
+			t.Errorf("iteration %d peeled %d loops, want %d", i+1, len(it.Peeled), wantPeeled[i])
+		}
+		if len(it.Considered) != len(it.Peeled)+len(it.Kept) {
+			t.Errorf("iteration %d: considered != peeled + kept", i+1)
+		}
+	}
+	// Must match plain Merge.
+	plain := Merge(raw, DefaultThreshold)
+	if len(plain) != len(merged) {
+		t.Error("trace variant diverged from Merge")
+	}
+}

@@ -1,0 +1,165 @@
+// Package mem implements the sparse 64-bit byte-addressable memory used by
+// both the functional interpreter and the out-of-order pipeline simulator.
+//
+// Memory is allocated lazily in fixed-size pages so that programs may use
+// widely separated regions (text, data, heap, stack) without the simulator
+// reserving gigabytes. All multi-byte accesses are little-endian and may
+// straddle page boundaries.
+package mem
+
+import "encoding/binary"
+
+// PageBits is the log2 of the page size.
+const PageBits = 12
+
+// PageSize is the allocation granule in bytes.
+const PageSize = 1 << PageBits
+
+const offMask = PageSize - 1
+
+// Memory is a sparse, lazily allocated address space. The zero value is
+// ready to use. Reads of unallocated memory return zero bytes, matching
+// zero-initialized BSS semantics; writes allocate.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// New returns an empty Memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, alloc bool) *[PageSize]byte {
+	if m.pages == nil {
+		if !alloc {
+			return nil
+		}
+		m.pages = make(map[uint64]*[PageSize]byte)
+	}
+	key := addr >> PageBits
+	p := m.pages[key]
+	if p == nil && alloc {
+		p = new([PageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// PagesAllocated reports how many pages have been materialized; the
+// simulator uses this to report memory overhead (§V-A).
+func (m *Memory) PagesAllocated() int { return len(m.pages) }
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&offMask]
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint64, b byte) {
+	m.page(addr, true)[addr&offMask] = b
+}
+
+// Read fills buf with the bytes starting at addr.
+func (m *Memory) Read(addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		off := addr & offMask
+		n := PageSize - int(off)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if p := m.page(addr, false); p != nil {
+			copy(buf[:n], p[off:int(off)+n])
+		} else {
+			for i := 0; i < n; i++ {
+				buf[i] = 0
+			}
+		}
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+}
+
+// Write copies buf into memory starting at addr.
+func (m *Memory) Write(addr uint64, buf []byte) {
+	for len(buf) > 0 {
+		off := addr & offMask
+		n := PageSize - int(off)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		copy(m.page(addr, true)[off:int(off)+n], buf[:n])
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+}
+
+// Read16 loads a little-endian uint16.
+func (m *Memory) Read16(addr uint64) uint16 {
+	var b [2]byte
+	m.Read(addr, b[:])
+	return binary.LittleEndian.Uint16(b[:])
+}
+
+// Read32 loads a little-endian uint32.
+func (m *Memory) Read32(addr uint64) uint32 {
+	var b [4]byte
+	m.Read(addr, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// Read64 loads a little-endian uint64.
+func (m *Memory) Read64(addr uint64) uint64 {
+	// Fast path: access within one page.
+	off := addr & offMask
+	if off <= PageSize-8 {
+		if p := m.page(addr, false); p != nil {
+			return binary.LittleEndian.Uint64(p[off : off+8])
+		}
+		return 0
+	}
+	var b [8]byte
+	m.Read(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Write16 stores a little-endian uint16.
+func (m *Memory) Write16(addr uint64, v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	m.Write(addr, b[:])
+}
+
+// Write32 stores a little-endian uint32.
+func (m *Memory) Write32(addr uint64, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	m.Write(addr, b[:])
+}
+
+// Write64 stores a little-endian uint64.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	off := addr & offMask
+	if off <= PageSize-8 {
+		binary.LittleEndian.PutUint64(m.page(addr, true)[off:off+8], v)
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	m.Write(addr, b[:])
+}
+
+// Clone returns a deep copy of the memory. The profilers use clones so the
+// sampling run and the instrumentation run start from identical images.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for k, p := range m.pages {
+		np := new([PageSize]byte)
+		*np = *p
+		c.pages[k] = np
+	}
+	return c
+}

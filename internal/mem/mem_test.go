@@ -1,0 +1,152 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReads(t *testing.T) {
+	var m Memory
+	if m.LoadByte(0x1234) != 0 {
+		t.Error("unallocated byte should read 0")
+	}
+	if m.Read64(0xdeadbeef) != 0 {
+		t.Error("unallocated word should read 0")
+	}
+	buf := make([]byte, 100)
+	m.Read(0x5000, buf)
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("unallocated bulk read should be zeros")
+		}
+	}
+}
+
+func TestByteRoundTrip(t *testing.T) {
+	m := New()
+	m.StoreByte(42, 0xab)
+	if got := m.LoadByte(42); got != 0xab {
+		t.Errorf("LoadByte = %#x, want 0xab", got)
+	}
+	if got := m.LoadByte(43); got != 0 {
+		t.Errorf("neighbor should be 0, got %#x", got)
+	}
+}
+
+func TestWordRoundTrips(t *testing.T) {
+	m := New()
+	m.Write16(0x100, 0xbeef)
+	m.Write32(0x200, 0xdeadbeef)
+	m.Write64(0x300, 0x0123456789abcdef)
+	if got := m.Read16(0x100); got != 0xbeef {
+		t.Errorf("Read16 = %#x", got)
+	}
+	if got := m.Read32(0x200); got != 0xdeadbeef {
+		t.Errorf("Read32 = %#x", got)
+	}
+	if got := m.Read64(0x300); got != 0x0123456789abcdef {
+		t.Errorf("Read64 = %#x", got)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m := New()
+	m.Write64(0, 0x0102030405060708)
+	want := []byte{8, 7, 6, 5, 4, 3, 2, 1}
+	for i, w := range want {
+		if got := m.LoadByte(uint64(i)); got != w {
+			t.Errorf("byte %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New()
+	addr := uint64(PageSize - 3) // straddles the first page boundary
+	m.Write64(addr, 0x1122334455667788)
+	if got := m.Read64(addr); got != 0x1122334455667788 {
+		t.Errorf("cross-page Read64 = %#x", got)
+	}
+	big := bytes.Repeat([]byte{0x5a}, 3*PageSize)
+	m.Write(addr, big)
+	got := make([]byte, len(big))
+	m.Read(addr, got)
+	if !bytes.Equal(big, got) {
+		t.Error("cross-page bulk round trip failed")
+	}
+}
+
+func TestPagesAllocated(t *testing.T) {
+	m := New()
+	if m.PagesAllocated() != 0 {
+		t.Error("fresh memory should have no pages")
+	}
+	m.LoadByte(0) // reads must not allocate
+	if m.PagesAllocated() != 0 {
+		t.Error("read allocated a page")
+	}
+	m.StoreByte(0, 1)
+	m.StoreByte(PageSize, 1)
+	m.StoreByte(PageSize+1, 1)
+	if got := m.PagesAllocated(); got != 2 {
+		t.Errorf("PagesAllocated = %d, want 2", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := New()
+	m.Write64(0x40, 99)
+	c := m.Clone()
+	c.Write64(0x40, 100)
+	if m.Read64(0x40) != 99 {
+		t.Error("mutating clone changed original")
+	}
+	if c.Read64(0x40) != 100 {
+		t.Error("clone write lost")
+	}
+}
+
+func TestQuickRoundTrip64(t *testing.T) {
+	m := New()
+	f := func(addr uint64, v uint64) bool {
+		addr %= 1 << 40 // keep the page map small
+		m.Write64(addr, v)
+		return m.Read64(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBulkRoundTrip(t *testing.T) {
+	f := func(addr uint64, data []byte) bool {
+		addr %= 1 << 40
+		m := New()
+		m.Write(addr, data)
+		got := make([]byte, len(data))
+		m.Read(addr, got)
+		return bytes.Equal(data, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: non-overlapping writes do not disturb each other.
+func TestQuickIsolation(t *testing.T) {
+	f := func(a, b uint32, va, vb uint64) bool {
+		addrA := uint64(a)
+		addrB := uint64(b)
+		if addrA+8 > addrB && addrB+8 > addrA {
+			return true // overlapping; skip
+		}
+		m := New()
+		m.Write64(addrA, va)
+		m.Write64(addrB, vb)
+		return m.Read64(addrA) == va && m.Read64(addrB) == vb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

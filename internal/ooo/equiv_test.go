@@ -1,0 +1,102 @@
+package ooo
+
+import (
+	"testing"
+
+	"optiwise/internal/asm"
+	"optiwise/internal/interp"
+	"optiwise/internal/progen"
+	"optiwise/internal/program"
+)
+
+// The pipeline simulator drives the functional interpreter for its
+// instruction stream, so architectural equivalence must hold exactly: same
+// exit code, same output, same retired instruction count — on arbitrary
+// generated programs, under both machine models, with and without sampling.
+func TestRandomProgramEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		src := progen.Generate(progen.DefaultConfig(seed))
+		p, err := asm.Assemble("gen", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		ref := interp.New(program.Load(p, program.LoadOptions{}), 7)
+		if err := ref.Run(10_000_000); err != nil {
+			t.Fatalf("seed %d: interp: %v", seed, err)
+		}
+
+		for _, cfg := range []Config{XeonW2195(), NeoverseN1()} {
+			for _, period := range []uint64{0, 777} {
+				sim := New(cfg, program.Load(p, program.LoadOptions{}), Options{
+					RandSeed:     7,
+					SamplePeriod: period,
+				})
+				st, err := sim.Run(500_000_000)
+				if err != nil {
+					t.Fatalf("seed %d cfg %s: %v", seed, cfg.Name, err)
+				}
+				if sim.Arch().ExitCode != ref.ExitCode {
+					t.Errorf("seed %d cfg %s period %d: exit %d != %d",
+						seed, cfg.Name, period, sim.Arch().ExitCode, ref.ExitCode)
+				}
+				if string(sim.Arch().Output) != string(ref.Output) {
+					t.Errorf("seed %d cfg %s: output diverged", seed, cfg.Name)
+				}
+				if st.Instructions != ref.Steps {
+					t.Errorf("seed %d cfg %s: retired %d != %d",
+						seed, cfg.Name, st.Instructions, ref.Steps)
+				}
+			}
+		}
+	}
+}
+
+// Timing must be deterministic: identical runs give identical cycle counts.
+func TestTimingDeterminism(t *testing.T) {
+	src := progen.Generate(progen.DefaultConfig(5))
+	p, err := asm.Assemble("gen", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() Stats {
+		sim := New(XeonW2195(), program.Load(p, program.LoadOptions{}), Options{RandSeed: 7})
+		st, err := sim.Run(500_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("stats diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// Sampling must not perturb timing beyond the accounted kernel cycles.
+func TestSamplingPreservesUserTiming(t *testing.T) {
+	src := progen.Generate(progen.DefaultConfig(9))
+	p, err := asm.Assemble("gen", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := New(XeonW2195(), program.Load(p, program.LoadOptions{}), Options{RandSeed: 7})
+	bst, err := base.Run(500_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := New(XeonW2195(), program.Load(p, program.LoadOptions{}), Options{
+		RandSeed: 7, SamplePeriod: 500, InterruptCost: 50,
+	})
+	sst, err := sampled.Run(500_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sst.UserCycles != bst.Cycles {
+		t.Errorf("user cycles %d != baseline cycles %d", sst.UserCycles, bst.Cycles)
+	}
+	if sst.Cycles != sst.UserCycles+sst.Samples*50 {
+		t.Errorf("total %d != user %d + %d samples * 50",
+			sst.Cycles, sst.UserCycles, sst.Samples)
+	}
+}

@@ -1,0 +1,448 @@
+package ooo
+
+import (
+	"strings"
+	"testing"
+
+	"optiwise/internal/asm"
+	"optiwise/internal/program"
+)
+
+// build assembles src and returns a fresh image.
+func build(t *testing.T, src string) *program.Image {
+	t.Helper()
+	p, err := asm.Assemble("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return program.Load(p, program.LoadOptions{})
+}
+
+func runSim(t *testing.T, src string, cfg Config, opts Options) (*Sim, Stats) {
+	t.Helper()
+	s := New(cfg, build(t, src), opts)
+	st, err := s.Run(50_000_000)
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	return s, st
+}
+
+const exitSrc = `
+.func main
+main:
+    li a0, 7
+    li a7, 93
+    syscall
+.endfunc
+`
+
+func TestArchitecturalCompletion(t *testing.T) {
+	s, st := runSim(t, exitSrc, XeonW2195(), Options{})
+	if !s.Arch().Exited || s.Arch().ExitCode != 7 {
+		t.Errorf("exit=%v code=%d", s.Arch().Exited, s.Arch().ExitCode)
+	}
+	if st.Instructions != 3 {
+		t.Errorf("instructions = %d, want 3", st.Instructions)
+	}
+	if st.Cycles == 0 {
+		t.Error("cycles not counted")
+	}
+}
+
+const depChainSrc = `
+.func main
+main:
+    li t0, 0
+    li t1, %TRIPS%
+loop:
+    mul t0, t0, t1
+    mul t0, t0, t1
+    mul t0, t0, t1
+    mul t0, t0, t1
+    addi t1, t1, -1
+    bnez t1, loop
+    mov a0, t0
+    li a7, 93
+    syscall
+.endfunc
+`
+
+const indepSrc = `
+.func main
+main:
+    li t0, 0
+    li t1, %TRIPS%
+loop:
+    mul t2, t1, t1
+    mul t3, t1, t1
+    mul t4, t1, t1
+    mul t5, t1, t1
+    addi t1, t1, -1
+    bnez t1, loop
+    mov a0, t0
+    li a7, 93
+    syscall
+.endfunc
+`
+
+func TestDependentChainSlowerThanIndependent(t *testing.T) {
+	rep := func(s string) string { return strings.ReplaceAll(s, "%TRIPS%", "2000") }
+	_, dep := runSim(t, rep(depChainSrc), XeonW2195(), Options{})
+	_, ind := runSim(t, rep(indepSrc), XeonW2195(), Options{})
+	if dep.Cycles <= ind.Cycles {
+		t.Errorf("dependent chain (%d cycles) should be slower than independent (%d)",
+			dep.Cycles, ind.Cycles)
+	}
+	// The dependent chain serializes on the 3-cycle multiplier: at least
+	// ~2.5x the independent version.
+	if float64(dep.Cycles) < 2.0*float64(ind.Cycles) {
+		t.Errorf("serialization too weak: dep=%d ind=%d", dep.Cycles, ind.Cycles)
+	}
+}
+
+func TestDivIsExpensive(t *testing.T) {
+	divSrc := strings.ReplaceAll(strings.ReplaceAll(depChainSrc, "mul", "div"), "%TRIPS%", "500")
+	mulSrc := strings.ReplaceAll(depChainSrc, "%TRIPS%", "500")
+	_, div := runSim(t, divSrc, XeonW2195(), Options{})
+	_, mul := runSim(t, mulSrc, XeonW2195(), Options{})
+	if float64(div.Cycles) < 3*float64(mul.Cycles) {
+		t.Errorf("div (%d) should be much slower than mul (%d)", div.Cycles, mul.Cycles)
+	}
+}
+
+// pointer-chase over a working set far larger than LLC vs one that fits L1.
+const chaseSrc = `
+.data
+buf: .space 8
+.text
+.func main
+main:
+    # a0 = base, t0 = index, stride over %SIZE% bytes
+    li t0, 0
+    li t1, %TRIPS%
+    li t2, %MASK%
+    li a1, 0
+loop:
+    # addr = base + (t0 & mask)
+    and t3, t0, t2
+    add t3, t3, s10
+    ld a2, 0(t3)
+    add a1, a1, a2
+    addi t0, t0, 64
+    addi t1, t1, -1
+    bnez t1, loop
+    andi a0, a1, 127
+    li a7, 93
+    syscall
+.endfunc
+`
+
+func chase(t *testing.T, mask string) Stats {
+	src := strings.ReplaceAll(chaseSrc, "%TRIPS%", "20000")
+	src = strings.ReplaceAll(src, "%MASK%", mask)
+	// s10 must point at a big heap area: patch main to brk first.
+	src = strings.Replace(src, "main:\n", `main:
+    li a0, 0x100000000000
+    addi a0, a0, 0
+    li a7, 214
+    li a0, 0x100008000000
+    syscall
+    li s10, 0x100000000000
+`, 1)
+	_, st := runSim(t, src, XeonW2195(), Options{})
+	return st
+}
+
+func TestCacheMissesDominate(t *testing.T) {
+	small := chase(t, "4095")    // 4 KiB working set: L1 resident
+	big := chase(t, "0x7ffffc0") // 128 MiB working set: misses LLC
+	if float64(big.Cycles) < 3*float64(small.Cycles) {
+		t.Errorf("LLC-missing chase (%d cycles) should dwarf L1 chase (%d)",
+			big.Cycles, small.Cycles)
+	}
+}
+
+const brSrc = `
+.func main
+main:
+    li t0, %TRIPS%
+    li t1, 0        # accumulator
+    li t2, 0        # lcg state
+loop:
+    # pseudo-random condition: lcg
+    li t3, 1103515245
+    mul t2, t2, t3
+    addi t2, t2, 12345
+    srli t3, t2, 16
+    andi t3, t3, 1
+    beqz t3, skip
+    addi t1, t1, 1
+skip:
+    addi t0, t0, -1
+    bnez t0, loop
+    andi a0, t1, 127
+    li a7, 93
+    syscall
+.endfunc
+`
+
+const brBiasedSrc = `
+.func main
+main:
+    li t0, %TRIPS%
+    li t1, 0
+    li t2, 0
+loop:
+    li t3, 1103515245
+    mul t2, t2, t3
+    addi t2, t2, 12345
+    li t3, 0
+    beqz t3, skip   # always taken: perfectly predictable
+    addi t1, t1, 1
+skip:
+    addi t0, t0, -1
+    bnez t0, loop
+    andi a0, t1, 127
+    li a7, 93
+    syscall
+.endfunc
+`
+
+func TestMispredictsCostCycles(t *testing.T) {
+	rnd := strings.ReplaceAll(brSrc, "%TRIPS%", "20000")
+	biased := strings.ReplaceAll(brBiasedSrc, "%TRIPS%", "20000")
+	_, r := runSim(t, rnd, XeonW2195(), Options{})
+	_, b := runSim(t, biased, XeonW2195(), Options{})
+	if r.Mispredicts < 5000 {
+		t.Errorf("random branch should mispredict often, got %d", r.Mispredicts)
+	}
+	if b.Mispredicts > 200 {
+		t.Errorf("biased branch should rarely mispredict, got %d", b.Mispredicts)
+	}
+	if r.Cycles <= b.Cycles {
+		t.Errorf("mispredicting loop (%d) should be slower than predictable (%d)",
+			r.Cycles, b.Cycles)
+	}
+}
+
+func TestTimelineTrace(t *testing.T) {
+	s, _ := runSim(t, exitSrc, XeonW2195(), Options{TraceLimit: 10})
+	tr := s.Trace()
+	if len(tr) != 3 {
+		t.Fatalf("trace entries = %d, want 3", len(tr))
+	}
+	for i, e := range tr {
+		if e.Dispatch == 0 || e.Start < e.Dispatch || e.Done < e.Start || e.Commit < e.Done {
+			t.Errorf("entry %d out of order: %+v", i, e)
+		}
+	}
+	// In-order commit.
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Commit < tr[i-1].Commit {
+			t.Error("commits out of order")
+		}
+	}
+}
+
+func TestSamplingProducesSamples(t *testing.T) {
+	var samples []Sample
+	src := strings.ReplaceAll(depChainSrc, "%TRIPS%", "5000")
+	_, st := runSim(t, src, XeonW2195(), Options{
+		SamplePeriod: 1000,
+		OnSample:     func(s Sample) { samples = append(samples, s) },
+	})
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	if st.Samples != uint64(len(samples)) {
+		t.Error("sample count mismatch")
+	}
+	// Weights must roughly sum to total user cycles.
+	var sum uint64
+	for _, s := range samples {
+		sum += s.Weight
+	}
+	if sum > st.UserCycles || sum < st.UserCycles/2 {
+		t.Errorf("weights sum %d vs user cycles %d", sum, st.UserCycles)
+	}
+	// Expected sample count ≈ user cycles / period.
+	want := st.UserCycles / 1000
+	got := uint64(len(samples))
+	if got < want-want/4-2 || got > want+want/4+2 {
+		t.Errorf("samples = %d, expected about %d", got, want)
+	}
+}
+
+func TestInterruptCostSlowsRun(t *testing.T) {
+	src := strings.ReplaceAll(depChainSrc, "%TRIPS%", "5000")
+	_, base := runSim(t, src, XeonW2195(), Options{})
+	_, sampled := runSim(t, src, XeonW2195(), Options{
+		SamplePeriod:  1000,
+		InterruptCost: 100,
+	})
+	if sampled.Cycles <= base.Cycles {
+		t.Error("sampling overhead should increase total cycles")
+	}
+	// Overhead should be near samples*cost.
+	overhead := sampled.Cycles - sampled.UserCycles
+	if overhead != sampled.Samples*100 {
+		t.Errorf("kernel cycles %d, want %d", overhead, sampled.Samples*100)
+	}
+	// And user cycles should be close to the unsampled run.
+	diff := int64(sampled.UserCycles) - int64(base.Cycles)
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.1*float64(base.Cycles) {
+		t.Errorf("user cycles drifted: %d vs %d", sampled.UserCycles, base.Cycles)
+	}
+}
+
+func TestCallStackInSamples(t *testing.T) {
+	src := `
+.func main
+main:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    li s2, 200
+outer:
+    call work
+    addi s2, s2, -1
+    bnez s2, outer
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    li a7, 93
+    syscall
+.endfunc
+.func work
+work:
+    li t0, 300
+wl:
+    div t1, t0, t0
+    addi t0, t0, -1
+    bnez t0, wl
+    ret
+.endfunc
+`
+	var inWork int
+	var withStack int
+	img := build(t, src)
+	s := New(XeonW2195(), img, Options{
+		SamplePeriod: 500,
+		OnSample: func(smp Sample) {
+			off, ok := img.AbsToOff(smp.PC)
+			if !ok {
+				return
+			}
+			if f, ok := img.Prog.FuncAt(off); ok && f.Name == "work" {
+				inWork++
+				if len(smp.Stack) == 1 {
+					// Return address must be in main, after the call.
+					roff, _ := img.AbsToOff(smp.Stack[0])
+					if rf, ok := img.Prog.FuncAt(roff); ok && rf.Name == "main" {
+						withStack++
+					}
+				}
+			}
+		},
+	})
+	if _, err := s.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if inWork < 10 {
+		t.Fatalf("too few samples in work: %d", inWork)
+	}
+	if withStack < inWork*9/10 {
+		t.Errorf("stacks: %d/%d samples in work had main caller", withStack, inWork)
+	}
+}
+
+func TestPreciseVsSkidAttribution(t *testing.T) {
+	// A single expensive load in a loop: precise mode should put samples
+	// on the load; skid mode should put them after it.
+	src := `
+.func main
+main:
+    li a0, 0x100008000000
+    li a7, 214
+    syscall
+    li s10, 0x100000000000
+    li t0, 0
+    li t1, 30000
+loop:
+    and t3, t0, t2
+    li t2, 0x7ffffc0
+    and t3, t0, t2
+    add t3, t3, s10
+    ld a2, 0(t3)        # LLC miss
+    add a1, a1, a2      # dependent use
+    addi t0, t0, 64
+    addi t1, t1, -1
+    bnez t1, loop
+    li a7, 93
+    syscall
+.endfunc
+`
+	hist := func(mode SampleMode) map[uint64]int {
+		h := make(map[uint64]int)
+		img := build(t, src)
+		s := New(XeonW2195(), img, Options{
+			SamplePeriod: 300,
+			SampleMode:   mode,
+			OnSample: func(smp Sample) {
+				if off, ok := img.AbsToOff(smp.PC); ok {
+					h[off]++
+				}
+			},
+		})
+		if _, err := s.Run(100_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	precise := hist(SamplePrecise)
+	// Find the load's offset: instruction index 8 (0-based) => 8*4.
+	// main: li,li,syscall,li,li,li + loop(and,li,and,add,ld,...)
+	// Count instructions: li a0(1) li a7(1) syscall(1) li s10(1) li t0(1)
+	// li t1(1) => loop starts at index 6; ld is index 10.
+	loadOff := uint64(10 * 4)
+	// Precise mode: the plurality of samples is on the load itself.
+	best, bestOff := 0, uint64(0)
+	for off, n := range precise {
+		if n > best {
+			best, bestOff = n, off
+		}
+	}
+	if bestOff != loadOff {
+		t.Errorf("precise mode: hottest off = %#x (%d samples), want load %#x; hist=%v",
+			bestOff, best, loadOff, precise)
+	}
+	skid := hist(SampleSkid)
+	if skid[loadOff] > skid[loadOff+4]+skid[loadOff+8] {
+		t.Errorf("skid mode: samples on load (%d) should move to successors (%d,%d)",
+			skid[loadOff], skid[loadOff+4], skid[loadOff+8])
+	}
+}
+
+func TestSyscallSerializes(t *testing.T) {
+	// Many rand syscalls: each should serialize, so cycles per instruction
+	// are dominated by SyscallLat.
+	src := `
+.func main
+main:
+    li s2, 100
+loop:
+    li a7, 1000
+    syscall
+    addi s2, s2, -1
+    bnez s2, loop
+    li a7, 93
+    syscall
+.endfunc
+`
+	_, st := runSim(t, src, XeonW2195(), Options{})
+	if st.Cycles < 100*XeonW2195().SyscallLat {
+		t.Errorf("cycles = %d, want >= %d", st.Cycles, 100*XeonW2195().SyscallLat)
+	}
+}

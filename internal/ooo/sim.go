@@ -1,0 +1,898 @@
+package ooo
+
+import (
+	"fmt"
+
+	"optiwise/internal/branch"
+	"optiwise/internal/cache"
+	"optiwise/internal/interp"
+	"optiwise/internal/isa"
+	"optiwise/internal/program"
+)
+
+// uopState tracks a micro-op through the window.
+type uopState uint8
+
+const (
+	stWaiting uopState = iota // in ROB+IQ, operands possibly outstanding
+	stIssued                  // executing on a functional unit
+	stDone                    // result available, awaiting commit
+)
+
+// uop is one dynamic instruction in flight.
+type uop struct {
+	seq  uint64
+	pc   uint64 // absolute
+	inst isa.Instruction
+	kind isa.Kind
+
+	// Dataflow: producing uops for each source register; nil when the
+	// value was already architecturally available at dispatch.
+	deps [3]*uop
+
+	// Dynamic facts from the functional trace.
+	addr   uint64 // effective address for memory ops
+	taken  bool
+	nextPC uint64
+
+	state       uopState
+	doneC       uint64 // cycle the result becomes available
+	inSampleROB bool
+
+	mispredicted bool
+
+	// Timeline (for the figure 2 trace).
+	dispatchC, execStartC, commitC uint64
+}
+
+// Sample is one sampling-interrupt observation.
+type Sample struct {
+	// PC is the absolute sampled program counter.
+	PC uint64
+	// Weight is the number of user-mode cycles since the previous sample
+	// (§IV-B: used to weight samples against interrupt jitter and system
+	// noise).
+	Weight uint64
+	// Stack holds the call stack at the sample point: return addresses,
+	// innermost first. The sampled PC itself is in PC.
+	Stack []uint64
+	// CacheMisses and Mispredicts count the events since the previous
+	// sample — perf reports many counters per sample (§IV-A); OptiWISE
+	// consumes only the three fields above, but the extra events enable
+	// per-region event-rate reporting.
+	CacheMisses uint64
+	Mispredicts uint64
+}
+
+// TimelineEntry records one instruction's pipeline occupancy, reproducing
+// the paper's figure 2 visualization.
+type TimelineEntry struct {
+	Seq      uint64
+	PC       uint64
+	Op       isa.Op
+	Dispatch uint64
+	Start    uint64
+	Done     uint64
+	Commit   uint64
+}
+
+// Stats aggregates one simulation run.
+type Stats struct {
+	Cycles       uint64
+	UserCycles   uint64 // Cycles minus sampling-interrupt overhead
+	Instructions uint64
+	Mispredicts  uint64
+	Branches     uint64
+	Samples      uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// Sim is one pipeline simulation over a loaded image.
+type Sim struct {
+	cfg   Config
+	img   *program.Image
+	arch  *interp.Machine // functional front-end (fetch stream)
+	cache *cache.Hierarchy
+
+	dir branch.DirectionPredictor
+	btb *branch.BTB
+	ras *branch.RAS
+
+	cycle uint64
+	seq   uint64
+
+	rob []*uop // in dispatch order; index 0 is oldest
+	iq  []*uop
+
+	// Last uop to write each register (0-31 int, 32-63 fp); nil when the
+	// architectural value is final.
+	lastWriter [64]*uop
+
+	// Store buffer: drain completion cycles of committed stores.
+	sb []sbEntry
+	// lastDrain serializes store drains to memory.
+	lastDrain uint64
+
+	// Fetch redirect: fetch is frozen until this cycle (mispredict or
+	// syscall serialization).
+	fetchStallUntil uint64
+	// redirectBranch, when non-nil, is an unresolved mispredicted branch;
+	// fetch is frozen until it resolves and schedules the redirect.
+	redirectBranch *uop
+	fetchDone      bool // interpreter exhausted
+	pendingSyscall *uop // fetched syscall blocks further fetch until commit
+
+	// Non-pipelined units.
+	divBusyUntil  uint64
+	fdivBusyUntil uint64
+
+	// unresolvedBranches counts in-flight control transfers that have not
+	// yet produced their outcome (early-dequeue speculation gate).
+	unresolvedBranches int
+
+	// Commit-time call stack (return addresses, innermost first is the
+	// last element; snapshots reverse it).
+	callStack []uint64
+
+	// Sampling.
+	samplePeriod   uint64
+	sampleJitter   bool
+	jitterState    uint64
+	sampleMode     SampleMode
+	interruptCost  uint64
+	maxStackDepth  int
+	nextSampleAt   uint64
+	samplePending  bool
+	kernelCycles   uint64
+	lastSampleUser uint64 // user-cycle stamp of previous sample
+	lastSampleMiss uint64 // cumulative LLC misses at previous sample
+	lastSampleBrMp uint64 // cumulative mispredicts at previous sample
+	onSample       func(Sample)
+	committedThis  bool // commit progress this cycle (for skid delivery)
+
+	// Timeline trace.
+	traceLimit uint64
+	trace      []TimelineEntry
+
+	// Ground-truth cycle attribution (Options.TrueAttribution).
+	trueAttr   bool
+	trueCycles map[uint64]uint64
+
+	stats Stats
+	err   error
+}
+
+// Options configures a run.
+type Options struct {
+	// SamplePeriod, when non-zero, delivers a sampling interrupt every
+	// this many user cycles.
+	SamplePeriod uint64
+	// SampleJitter varies each period pseudo-randomly by up to ±1/4 of
+	// its nominal value when set, modelling the imperfect interrupt
+	// timing and OS noise that the paper's per-sample cycle weights
+	// exist to correct (§IV-B). Deterministic given the seed.
+	SampleJitter bool
+	// SampleMode selects skid (plain perf) or precise (PEBS) attribution.
+	SampleMode SampleMode
+	// InterruptCost is the kernel time consumed per delivered sample.
+	InterruptCost uint64
+	// OnSample receives each sample as it is taken.
+	OnSample func(Sample)
+	// MaxStackDepth caps the call-stack frames captured per sample, like
+	// perf's 127-frame limit; 0 means DefaultMaxStackDepth. Innermost
+	// frames are kept when truncating.
+	MaxStackDepth int
+	// TraceLimit, when non-zero, records pipeline timelines for the first
+	// N instructions.
+	TraceLimit uint64
+	// TrueAttribution, when set, attributes every user cycle to the PC a
+	// perfect (infinite-frequency, zero-cost, precise) sampler would
+	// observe — the ground truth T_{a} of §III against which real
+	// sampling accuracy is measured. Retrieve with TrueCycles.
+	TrueAttribution bool
+	// RandSeed seeds the program's SysRand generator.
+	RandSeed uint64
+}
+
+// New builds a simulation of img on the machine described by cfg.
+func New(cfg Config, img *program.Image, opts Options) *Sim {
+	s := &Sim{
+		cfg:           cfg,
+		img:           img,
+		arch:          interp.New(img, opts.RandSeed),
+		cache:         cache.New(cfg.Cache),
+		btb:           branch.NewBTB(cfg.BTBBits),
+		ras:           branch.NewRAS(cfg.RASDepth),
+		samplePeriod:  opts.SamplePeriod,
+		sampleJitter:  opts.SampleJitter,
+		jitterState:   0x2545f4914f6cdd1d,
+		sampleMode:    opts.SampleMode,
+		interruptCost: opts.InterruptCost,
+		onSample:      opts.OnSample,
+		traceLimit:    opts.TraceLimit,
+		trueAttr:      opts.TrueAttribution,
+		maxStackDepth: opts.MaxStackDepth,
+	}
+	if s.maxStackDepth <= 0 {
+		s.maxStackDepth = DefaultMaxStackDepth
+	}
+	if s.trueAttr {
+		s.trueCycles = make(map[uint64]uint64)
+	}
+	if cfg.UseBimodal {
+		s.dir = branch.NewBimodal(cfg.GshareTableBits)
+	} else {
+		s.dir = branch.NewGshare(cfg.GshareTableBits, cfg.GshareHistoryBits)
+	}
+	if s.samplePeriod > 0 {
+		s.nextSampleAt = s.samplePeriod
+	}
+	s.rob = make([]*uop, 0, cfg.ROBSize)
+	s.iq = make([]*uop, 0, cfg.IQSize)
+	return s
+}
+
+// Run simulates to completion (program exit) or until maxCycles elapses
+// (0 = unlimited). It returns the run statistics.
+func (s *Sim) Run(maxCycles uint64) (Stats, error) {
+	for {
+		if s.fetchDone && len(s.rob) == 0 {
+			break
+		}
+		if maxCycles != 0 && s.cycle >= maxCycles {
+			return s.stats, fmt.Errorf("ooo: cycle limit %d exceeded", maxCycles)
+		}
+		s.cycle++
+		s.committedThis = false
+		s.commit()
+		s.issue()
+		s.dispatch()
+		if s.trueAttr {
+			switch u := s.oldestSampleVisible(); {
+			case u != nil:
+				s.trueCycles[u.pc]++
+			case len(s.rob) > 0:
+				s.trueCycles[s.rob[0].pc]++
+			case !s.fetchDone:
+				// Empty window (mispredict redirect shadow): a sampler
+				// would observe the next instruction to enter the machine.
+				s.trueCycles[s.arch.St.PC]++
+			}
+		}
+		s.maybeSample()
+		if s.err != nil {
+			return s.stats, s.err
+		}
+	}
+	s.stats.Cycles = s.cycle
+	s.stats.UserCycles = s.cycle - s.kernelCycles
+	return s.stats, nil
+}
+
+// Arch exposes the architectural machine (for output and exit status).
+func (s *Sim) Arch() *interp.Machine { return s.arch }
+
+// Cache exposes the data-cache hierarchy statistics.
+func (s *Sim) Cache() *cache.Hierarchy { return s.cache }
+
+// Trace returns the recorded pipeline timeline.
+func (s *Sim) Trace() []TimelineEntry { return s.trace }
+
+// TrueCycles returns the ground-truth per-PC cycle attribution collected
+// when Options.TrueAttribution was set: for every user cycle, one cycle is
+// charged to the instruction a perfect sampler would have observed.
+func (s *Sim) TrueCycles() map[uint64]uint64 { return s.trueCycles }
+
+// ---------------------------------------------------------------------------
+// Commit stage
+
+func (s *Sim) commit() {
+	// Retire drained store-buffer entries.
+	keep := s.sb[:0]
+	for _, e := range s.sb {
+		if e.drainDone > s.cycle {
+			keep = append(keep, e)
+		}
+	}
+	s.sb = keep
+
+	for n := 0; n < s.cfg.CommitWidth && len(s.rob) > 0; n++ {
+		u := s.rob[0]
+		if u.state != stDone || u.doneC > s.cycle {
+			break
+		}
+		if u.kind == isa.KindStore {
+			if len(s.sb) >= s.cfg.SBSize {
+				break // store buffer full: head stalls (figure 8 mechanism)
+			}
+			drainStart := s.cycle
+			if s.lastDrain > drainStart {
+				drainStart = s.lastDrain
+			}
+			done := drainStart + s.cache.Access(u.addr)
+			s.lastDrain = done
+			s.sb = append(s.sb, sbEntry{addr: u.addr, drainDone: done})
+		}
+		// Maintain the commit-time call stack for perf-style unwinding.
+		switch {
+		case u.inst.Op.IsCall():
+			s.callStack = append(s.callStack, u.pc+isa.InstBytes)
+		case u.inst.Op.IsReturn():
+			if len(s.callStack) > 0 {
+				s.callStack = s.callStack[:len(s.callStack)-1]
+			}
+		}
+		u.commitC = s.cycle
+		u.inSampleROB = false
+		s.recordTrace(u)
+		s.rob = s.rob[1:]
+		s.stats.Instructions++
+		s.committedThis = true
+	}
+}
+
+type sbEntry struct {
+	addr      uint64
+	drainDone uint64
+}
+
+func (s *Sim) recordTrace(u *uop) {
+	if s.traceLimit == 0 || u.seq > s.traceLimit {
+		return
+	}
+	s.trace = append(s.trace, TimelineEntry{
+		Seq: u.seq, PC: u.pc, Op: u.inst.Op,
+		Dispatch: u.dispatchC, Start: u.execStartC,
+		Done: u.doneC, Commit: u.commitC,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Issue stage: pick ready uops from the IQ, oldest first, respecting
+// per-kind issue bandwidth and non-pipelined units.
+
+func (s *Sim) issue() {
+	issued := 0
+	aluUsed, mulUsed, fpuUsed, loadUsed, storeUsed := 0, 0, 0, 0, 0
+	keep := s.iq[:0]
+	for _, u := range s.iq {
+		if issued >= s.cfg.IssueWidth || !s.ready(u) {
+			keep = append(keep, u)
+			continue
+		}
+		ok := true
+		var lat uint64
+		switch u.kind {
+		case isa.KindALU, isa.KindNop:
+			if aluUsed < s.cfg.ALUs {
+				aluUsed++
+				lat = 1
+			} else {
+				ok = false
+			}
+		case isa.KindMul:
+			if mulUsed < s.cfg.MulUnits {
+				mulUsed++
+				lat = s.cfg.MulLat
+			} else {
+				ok = false
+			}
+		case isa.KindDiv:
+			if s.divBusyUntil <= s.cycle {
+				lat = s.cfg.DivLat
+				s.divBusyUntil = s.cycle + lat
+			} else {
+				ok = false
+			}
+		case isa.KindFPU:
+			if fpuUsed < s.cfg.FPUs {
+				fpuUsed++
+				lat = s.cfg.FPLat
+			} else {
+				ok = false
+			}
+		case isa.KindFDiv:
+			if s.fdivBusyUntil <= s.cycle {
+				lat = s.cfg.FDivLat
+				s.fdivBusyUntil = s.cycle + lat
+			} else {
+				ok = false
+			}
+		case isa.KindLoad:
+			if loadUsed < s.cfg.LoadPorts {
+				loadUsed++
+				lat = s.loadLatency(u)
+			} else {
+				ok = false
+			}
+		case isa.KindPrefetch:
+			if loadUsed < s.cfg.LoadPorts {
+				loadUsed++
+				s.cache.Prefetch(u.addr)
+				lat = 1
+			} else {
+				ok = false
+			}
+		case isa.KindStore:
+			// Address+data ready: the store "executes" by occupying a
+			// store port; memory traffic happens at drain after commit.
+			if storeUsed < s.cfg.StorePorts {
+				storeUsed++
+				lat = 1
+			} else {
+				ok = false
+			}
+		case isa.KindBranch, isa.KindJump, isa.KindCall,
+			isa.KindIndirect, isa.KindIndCall, isa.KindReturn:
+			if aluUsed < s.cfg.ALUs {
+				aluUsed++
+				lat = 1
+			} else {
+				ok = false
+			}
+		case isa.KindSyscall:
+			lat = s.cfg.SyscallLat
+		}
+		if !ok {
+			keep = append(keep, u)
+			continue
+		}
+		issued++
+		u.state = stIssued
+		u.execStartC = s.cycle
+		u.doneC = s.cycle + lat
+		s.finishAt(u)
+	}
+	s.iq = keep
+
+	// Promote issued uops whose result time has arrived.
+	branchResolved := false
+	for _, u := range s.rob {
+		if u.state == stIssued && u.doneC <= s.cycle {
+			u.state = stDone
+			if isBranchKind(u.kind) {
+				s.unresolvedBranches--
+				branchResolved = true
+			}
+		}
+	}
+	// Early-dequeue model: ops that stayed ROB-resident only because an
+	// older branch was unresolved (speculative, hence abortable) are
+	// removed once no older unresolved branch remains.
+	if s.cfg.EarlyDequeue && branchResolved {
+		unresolved := 0
+		for _, u := range s.rob {
+			if unresolved == 0 && !canAbort(u.kind) {
+				u.inSampleROB = false
+			}
+			if isBranchKind(u.kind) && u.state != stDone {
+				unresolved++
+			}
+		}
+	}
+}
+
+func isBranchKind(k isa.Kind) bool {
+	switch k {
+	case isa.KindBranch, isa.KindIndirect, isa.KindIndCall, isa.KindReturn:
+		return true
+	}
+	return false
+}
+
+// finishAt handles side effects that occur when u's execution completes:
+// predictor training and mispredict redirect scheduling.
+func (s *Sim) finishAt(u *uop) {
+	u.state = stIssued
+	op := u.inst.Op
+	switch {
+	case op.IsConditional():
+		// Trained at resolve time.
+		s.dir.Update(u.pc, u.taken)
+	case op.IsIndirect():
+		s.btb.Update(u.pc, u.nextPC)
+	}
+	if u.mispredicted && s.redirectBranch == u {
+		until := u.doneC + s.cfg.MispredictPenalty
+		if until > s.fetchStallUntil {
+			s.fetchStallUntil = until
+		}
+		s.redirectBranch = nil
+	}
+}
+
+func canAbort(k isa.Kind) bool {
+	switch k {
+	case isa.KindLoad, isa.KindStore, isa.KindBranch, isa.KindIndirect,
+		isa.KindIndCall, isa.KindReturn, isa.KindSyscall:
+		return true
+	}
+	return false
+}
+
+// ready reports whether all of u's producers have broadcast.
+func (s *Sim) ready(u *uop) bool {
+	for _, d := range u.deps {
+		if d == nil {
+			continue
+		}
+		if d.state == stWaiting || d.doneC > s.cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// loadLatency computes a load's latency, checking store forwarding first.
+func (s *Sim) loadLatency(u *uop) uint64 {
+	line := u.addr >> 3
+	// Forward from an older in-flight store to the same 8-byte word.
+	for i := len(s.rob) - 1; i >= 0; i-- {
+		o := s.rob[i]
+		if o.seq >= u.seq {
+			continue
+		}
+		if o.kind == isa.KindStore && o.addr>>3 == line {
+			return 2 // store-to-load forward
+		}
+	}
+	for _, e := range s.sb {
+		if e.addr>>3 == line && e.drainDone > s.cycle {
+			return 2
+		}
+	}
+	return s.cache.Access(u.addr)
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch stage: pull instructions from the functional trace, predict
+// branches, rename, and insert into ROB+IQ.
+
+func (s *Sim) dispatch() {
+	s.clearPendingSyscall()
+	if s.fetchDone || s.cycle < s.fetchStallUntil ||
+		s.redirectBranch != nil || s.pendingSyscall != nil {
+		return
+	}
+	for n := 0; n < s.cfg.FetchWidth; n++ {
+		if len(s.rob) >= s.cfg.ROBSize || len(s.iq) >= s.cfg.IQSize {
+			return
+		}
+		if s.arch.Exited {
+			s.fetchDone = true
+			return
+		}
+		step, err := s.arch.Step()
+		if err != nil {
+			s.err = err
+			s.fetchDone = true
+			return
+		}
+		s.seq++
+		u := &uop{
+			seq:         s.seq,
+			pc:          step.PC,
+			inst:        step.Inst,
+			kind:        step.Inst.Op.Kind(),
+			taken:       step.Taken,
+			nextPC:      step.NextPC,
+			dispatchC:   s.cycle,
+			state:       stWaiting,
+			inSampleROB: true,
+		}
+		s.resolveDeps(u, step)
+		if isBranchKind(u.kind) {
+			s.unresolvedBranches++
+		}
+		// Early-dequeue commit model (§V-B AArch64): a dispatched op that
+		// cannot abort and is not speculative leaves the sampling-visible
+		// reorder buffer immediately, even before executing. Back-pressure
+		// (a full issue queue) is then what keeps ops sampling-visible.
+		if s.cfg.EarlyDequeue && !canAbort(u.kind) && s.unresolvedBranches == 0 {
+			u.inSampleROB = false
+		}
+		s.rob = append(s.rob, u)
+		s.iq = append(s.iq, u)
+		s.predict(u)
+		if u.kind == isa.KindSyscall {
+			// Syscalls serialize the front end until they commit.
+			s.pendingSyscall = u
+			return
+		}
+		if u.mispredicted {
+			// Fetch freezes on the wrong path; the redirect is scheduled
+			// when the branch resolves (finishAt).
+			s.redirectBranch = u
+			return
+		}
+		if step.Taken || u.kind == isa.KindJump || u.kind == isa.KindCall ||
+			u.kind == isa.KindIndirect || u.kind == isa.KindIndCall ||
+			u.kind == isa.KindReturn {
+			// Taken control flow ends the fetch group.
+			return
+		}
+	}
+}
+
+func (s *Sim) clearPendingSyscall() {
+	if s.pendingSyscall != nil && s.pendingSyscall.commitC != 0 {
+		s.pendingSyscall = nil
+	}
+}
+
+// resolveDeps renames u's sources against in-flight producers and records
+// its effective address; it also updates the writer table.
+func (s *Sim) resolveDeps(u *uop, step interp.StepResult) {
+	op := u.inst.Op
+	nd := 0
+	addDep := func(r isa.Reg, fp bool) {
+		if !fp && r == isa.X0 {
+			return
+		}
+		idx := int(r)
+		if fp {
+			idx += 32
+		}
+		if w := s.lastWriter[idx]; w != nil {
+			u.deps[nd] = w
+			nd++
+		}
+	}
+
+	switch op.Kind() {
+	case isa.KindLoad, isa.KindPrefetch:
+		addDep(u.inst.Rs, false)
+	case isa.KindStore:
+		addDep(u.inst.Rs, false)
+		addDep(u.inst.Rt, op.ReadsFP())
+	case isa.KindBranch:
+		addDep(u.inst.Rs, false)
+		addDep(u.inst.Rt, false)
+	case isa.KindIndirect, isa.KindIndCall:
+		addDep(u.inst.Rs, false)
+	case isa.KindJump, isa.KindCall, isa.KindReturn, isa.KindSyscall, isa.KindNop:
+		if op == isa.RET {
+			addDep(isa.RA, false)
+		}
+		if op == isa.SYSCALL {
+			addDep(isa.A7, false)
+			addDep(isa.A0, false)
+		}
+	default:
+		// ALU / FP compute.
+		switch op {
+		case isa.LUI:
+			// no sources
+		case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLLI, isa.SRLI,
+			isa.SRAI, isa.SLTI, isa.SLTIU:
+			addDep(u.inst.Rs, false)
+		case isa.CMOVZ, isa.CMOVNZ:
+			addDep(u.inst.Rs, false)
+			addDep(u.inst.Rt, false)
+			addDep(u.inst.Rd, false) // old value conditionally survives
+		case isa.FSQRT, isa.FNEG, isa.FMOV:
+			addDep(u.inst.Rs, true)
+		case isa.FCVTDL, isa.FMVDX:
+			addDep(u.inst.Rs, false)
+		case isa.FCVTLD, isa.FMVXD:
+			addDep(u.inst.Rs, true)
+		case isa.FEQ, isa.FLT, isa.FLE:
+			addDep(u.inst.Rs, true)
+			addDep(u.inst.Rt, true)
+		default:
+			fp := op.ReadsFP()
+			addDep(u.inst.Rs, fp)
+			addDep(u.inst.Rt, fp)
+		}
+	}
+
+	if op.IsMemAccess() || op.Kind() == isa.KindPrefetch {
+		u.addr = step.Addr
+	}
+
+	// Writer table update.
+	if d, fp, ok := destReg(u.inst); ok {
+		idx := int(d)
+		if fp {
+			idx += 32
+		}
+		if idx != 0 || fp {
+			s.lastWriter[idx] = u
+		}
+	}
+	if op.IsCall() {
+		s.lastWriter[isa.RA] = u
+	}
+	if op == isa.SYSCALL {
+		s.lastWriter[isa.A0] = u
+	}
+}
+
+// destReg reports the destination register of inst, and whether it is an
+// FP register.
+func destReg(inst isa.Instruction) (isa.Reg, bool, bool) {
+	op := inst.Op
+	switch op.Kind() {
+	case isa.KindLoad:
+		return inst.Rd, op.WritesFP(), true
+	case isa.KindALU, isa.KindMul, isa.KindDiv:
+		return inst.Rd, false, true
+	case isa.KindFPU, isa.KindFDiv:
+		return inst.Rd, op.WritesFP(), true
+	}
+	return 0, false, false
+}
+
+// predict runs the front-end predictors for u and marks mispredicts.
+func (s *Sim) predict(u *uop) {
+	op := u.inst.Op
+	switch {
+	case op.IsConditional():
+		s.stats.Branches++
+		if s.dir.Predict(u.pc) != u.taken {
+			u.mispredicted = true
+			s.stats.Mispredicts++
+		}
+	case op == isa.JMP, op == isa.CALL:
+		// Direct targets: front end decodes these; no mispredict.
+		if op == isa.CALL {
+			s.ras.Push(u.pc + isa.InstBytes)
+		}
+	case op == isa.CALLR:
+		s.ras.Push(u.pc + isa.InstBytes)
+		if t, ok := s.btb.Predict(u.pc); !ok || t != u.nextPC {
+			u.mispredicted = true
+			s.stats.Mispredicts++
+		}
+		s.stats.Branches++
+	case op == isa.JR:
+		if t, ok := s.btb.Predict(u.pc); !ok || t != u.nextPC {
+			u.mispredicted = true
+			s.stats.Mispredicts++
+		}
+		s.stats.Branches++
+	case op == isa.RET:
+		if t, ok := s.ras.Pop(); !ok || t != u.nextPC {
+			u.mispredicted = true
+			s.stats.Mispredicts++
+		}
+		s.stats.Branches++
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sampling
+
+// maybeSample implements the periodic sampling interrupt. The counter runs
+// on user cycles; delivery semantics depend on the mode (see SampleMode).
+func (s *Sim) maybeSample() {
+	if s.samplePeriod == 0 {
+		return
+	}
+	user := s.cycle - s.kernelCycles
+	if !s.samplePending && user >= s.nextSampleAt {
+		s.samplePending = true
+	}
+	if !s.samplePending {
+		return
+	}
+	switch s.sampleMode {
+	case SamplePrecise:
+		// Delivered immediately: observe the oldest uncommitted op.
+		s.deliverSample()
+	case SampleSkid:
+		// Delivered only once commit makes progress: the stalled head has
+		// retired and the sampled PC skids onto its successor. If the ROB
+		// is empty (e.g. right at program end) deliver immediately.
+		if s.committedThis || len(s.rob) == 0 {
+			s.deliverSample()
+		}
+	}
+}
+
+func (s *Sim) deliverSample() {
+	s.samplePending = false
+	user := s.cycle - s.kernelCycles
+	pc := uint64(0)
+	if oldest := s.oldestSampleVisible(); oldest != nil {
+		pc = oldest.pc
+	} else if s.cfg.EarlyDequeue && !s.fetchDone {
+		// N1-style: every in-flight op has been dequeued at dispatch, so
+		// the oldest ROB-resident instruction is the one stalled at the
+		// allocation frontier — the op that could not dispatch because of
+		// issue-queue back-pressure (§V-B, figure 9).
+		pc = s.arch.St.PC
+	} else if len(s.rob) > 0 {
+		pc = s.rob[0].pc
+	} else {
+		pc = s.arch.St.PC // between instructions: next PC
+	}
+	weight := user - s.lastSampleUser
+	s.lastSampleUser = user
+	next := s.samplePeriod
+	if s.sampleJitter {
+		// xorshift*: deterministic ±25% spread around the nominal period.
+		s.jitterState ^= s.jitterState >> 12
+		s.jitterState ^= s.jitterState << 25
+		s.jitterState ^= s.jitterState >> 27
+		span := s.samplePeriod / 2
+		if span > 0 {
+			next = s.samplePeriod - span/2 + (s.jitterState*2685821657736338717)%span
+		}
+	}
+	s.nextSampleAt = user + next
+	s.stats.Samples++
+	if s.onSample != nil {
+		frames := s.callStack
+		if len(frames) > s.maxStackDepth {
+			// Keep the innermost frames (the top of the stack).
+			frames = frames[len(frames)-s.maxStackDepth:]
+		}
+		stack := make([]uint64, len(frames))
+		for i, ra := range frames {
+			stack[len(frames)-1-i] = ra // innermost first
+		}
+		misses := s.cache.MemAccesses
+		s.onSample(Sample{
+			PC: pc, Weight: weight, Stack: stack,
+			CacheMisses: misses - s.lastSampleMiss,
+			Mispredicts: s.stats.Mispredicts - s.lastSampleBrMp,
+		})
+		s.lastSampleMiss = misses
+		s.lastSampleBrMp = s.stats.Mispredicts
+	}
+	// Interrupt handling consumes kernel time: the whole pipeline stalls.
+	if s.interruptCost > 0 {
+		s.advanceKernel(s.interruptCost)
+	}
+}
+
+// advanceKernel freezes user progress for cost cycles.
+func (s *Sim) advanceKernel(cost uint64) {
+	s.cycle += cost
+	s.kernelCycles += cost
+	// Everything in flight is pushed back: modelled by shifting ready
+	// times of issued-but-unfinished work (memory continues in reality;
+	// this simplification keeps user-cycle accounting exact).
+	for _, u := range s.rob {
+		if u.state == stIssued && u.doneC > s.cycle-cost {
+			u.doneC += cost
+		}
+	}
+	if s.fetchStallUntil > s.cycle-cost && s.fetchStallUntil < ^uint64(0)>>2 {
+		s.fetchStallUntil += cost
+	}
+	if s.divBusyUntil > s.cycle-cost {
+		s.divBusyUntil += cost
+	}
+	if s.fdivBusyUntil > s.cycle-cost {
+		s.fdivBusyUntil += cost
+	}
+	for i := range s.sb {
+		if s.sb[i].drainDone > s.cycle-cost {
+			s.sb[i].drainDone += cost
+		}
+	}
+	if s.lastDrain > s.cycle-cost {
+		s.lastDrain += cost
+	}
+}
+
+// oldestSampleVisible returns the oldest uop still visible to the sampling
+// hardware (the whole ROB on x86; abortable/undispatched ops only in the
+// early-dequeue model).
+func (s *Sim) oldestSampleVisible() *uop {
+	for _, u := range s.rob {
+		if u.inSampleROB {
+			return u
+		}
+	}
+	return nil
+}

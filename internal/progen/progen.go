@@ -1,0 +1,295 @@
+// Package progen generates random, always-terminating OWISA programs.
+//
+// The generator backs the repository's strongest correctness property: the
+// out-of-order pipeline simulator, the functional interpreter, and the DBI
+// engine must all compute identical architectural results on arbitrary
+// programs. Generated programs exercise every instruction class — ALU,
+// mul/div, FP, loads/stores, conditional/unconditional/indirect control
+// flow, calls through function-pointer tables, and syscalls — while
+// remaining deterministic and bounded.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config bounds the generated program.
+type Config struct {
+	Funcs        int // number of functions besides main (>=1)
+	BlocksPerFn  int // straight-line chunks per function
+	OpsPerBlock  int // instructions per chunk
+	MaxLoopTrips int // trip count for generated loops
+	Seed         int64
+}
+
+// DefaultConfig returns a moderate program shape.
+func DefaultConfig(seed int64) Config {
+	return Config{Funcs: 4, BlocksPerFn: 4, OpsPerBlock: 8, MaxLoopTrips: 6, Seed: seed}
+}
+
+// Generate produces assembly source for a random terminating program.
+//
+// Structure: main calls f0; each fi may call only fj with j > i (so the
+// call graph is acyclic and the program terminates); every loop counts
+// down a fixed trip count. All memory traffic lands in a scratch array.
+// The exit code is a checksum in a0, so architectural divergence between
+// execution engines is observable.
+func Generate(cfg Config) string {
+	if cfg.Funcs < 1 {
+		cfg.Funcs = 1
+	}
+	if cfg.BlocksPerFn < 1 {
+		cfg.BlocksPerFn = 1
+	}
+	if cfg.OpsPerBlock < 1 {
+		cfg.OpsPerBlock = 1
+	}
+	if cfg.MaxLoopTrips < 1 {
+		cfg.MaxLoopTrips = 1
+	}
+	g := &gen{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+	return g.program()
+}
+
+type gen struct {
+	rng *rand.Rand
+	cfg Config
+	b   strings.Builder
+	lbl int
+}
+
+// Working registers the generator mutates freely. s10 holds the scratch
+// base, s11 the running checksum; both are preserved across calls by
+// convention (callees also only touch temporaries and a0/a1).
+var workRegs = []string{"t0", "t1", "t2", "t3", "t4", "t5", "a0", "a1", "a2", "a3"}
+
+func (g *gen) reg() string { return workRegs[g.rng.Intn(len(workRegs))] }
+
+func (g *gen) freg() string { return fmt.Sprintf("f%d", g.rng.Intn(8)) }
+
+func (g *gen) label(prefix string) string {
+	g.lbl++
+	return fmt.Sprintf("%s_%d", prefix, g.lbl)
+}
+
+func (g *gen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.b, "    "+format+"\n", args...)
+}
+
+func (g *gen) raw(format string, args ...any) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+func (g *gen) program() string {
+	n := g.cfg.Funcs
+	g.raw(".module progen%d", g.cfg.Seed)
+	g.raw(".data")
+	g.raw("scratch: .space 4096")
+	g.raw("ftab:")
+	for i := 0; i < n; i++ {
+		g.raw("    .quad f%d", i)
+	}
+	g.raw(".text")
+
+	// main: set up scratch base (s10), checksum (s11), seed registers,
+	// call f0, exit with checksum.
+	g.raw(".func main")
+	g.raw("main:")
+	g.emit("addi sp, sp, -16")
+	g.emit("st ra, 8(sp)")
+	g.emit("la s10, scratch")
+	g.emit("li s11, 0")
+	for i, r := range workRegs {
+		g.emit("li %s, %d", r, g.rng.Int63n(1<<20)+int64(i))
+	}
+	for i := 0; i < 4; i++ {
+		g.emit("fli %s, %g", g.freg(), float64(g.rng.Intn(100))+0.5)
+	}
+	g.emit("call f0")
+	g.emit("ld ra, 8(sp)")
+	g.emit("addi sp, sp, 16")
+	// Fold the checksum and all work registers into a0.
+	for _, r := range workRegs[:4] {
+		g.emit("xor s11, s11, %s", r)
+	}
+	g.emit("andi a0, s11, 255")
+	g.emit("li a7, 93")
+	g.emit("syscall")
+	g.raw(".endfunc")
+
+	for i := 0; i < n; i++ {
+		g.fn(i)
+	}
+	return g.b.String()
+}
+
+func (g *gen) fn(idx int) {
+	g.raw(".func f%d", idx)
+	g.raw("f%d:", idx)
+	g.emit("addi sp, sp, -16")
+	g.emit("st ra, 8(sp)")
+	for b := 0; b < g.cfg.BlocksPerFn; b++ {
+		g.chunk(idx)
+	}
+	g.emit("ld ra, 8(sp)")
+	g.emit("addi sp, sp, 16")
+	g.emit("ret")
+	g.raw(".endfunc")
+}
+
+// chunk emits one random construct: a straight-line block, a counted loop,
+// a data-dependent diamond, a call (direct or via the function table), a
+// computed goto, or a random syscall.
+func (g *gen) chunk(idx int) {
+	switch g.rng.Intn(11) {
+	case 0, 1, 2:
+		g.straightLine()
+	case 3, 4:
+		g.loop()
+	case 5, 6:
+		g.diamond()
+	case 7:
+		g.call(idx)
+	case 8:
+		g.indirectCall(idx)
+	case 9:
+		g.computedGoto()
+	default:
+		g.randSyscall()
+	}
+}
+
+// computedGoto emits a data-dependent indirect jump between two local
+// targets — the construct that exercises jr-edge profiling and CFG
+// indirect edges.
+func (g *gen) computedGoto() {
+	a := g.label("ga")
+	b := g.label("gb")
+	join := g.label("gj")
+	g.emit("la a5, %s", a)
+	g.emit("andi t6, s11, 1")
+	g.emit("beqz t6, %s_sel", join)
+	g.emit("la a5, %s", b)
+	g.raw("%s_sel:", join)
+	g.emit("jr a5")
+	g.raw("%s:", a)
+	g.op()
+	g.emit("j %s", join)
+	g.raw("%s:", b)
+	g.op()
+	g.raw("%s:", join)
+}
+
+func (g *gen) straightLine() {
+	for i := 0; i < g.cfg.OpsPerBlock; i++ {
+		g.op()
+	}
+}
+
+// op emits one random arithmetic or memory instruction.
+func (g *gen) op() {
+	switch g.rng.Intn(14) {
+	case 0:
+		g.emit("add %s, %s, %s", g.reg(), g.reg(), g.reg())
+	case 1:
+		g.emit("sub %s, %s, %s", g.reg(), g.reg(), g.reg())
+	case 2:
+		g.emit("mul %s, %s, %s", g.reg(), g.reg(), g.reg())
+	case 3:
+		g.emit("div %s, %s, %s", g.reg(), g.reg(), g.reg())
+	case 4:
+		g.emit("xor %s, %s, %s", g.reg(), g.reg(), g.reg())
+	case 5:
+		g.emit("addi %s, %s, %d", g.reg(), g.reg(), g.rng.Int63n(2048)-1024)
+	case 6:
+		g.emit("slli %s, %s, %d", g.reg(), g.reg(), g.rng.Intn(16))
+	case 7:
+		g.emit("sltu %s, %s, %s", g.reg(), g.reg(), g.reg())
+	case 8: // load from scratch
+		r := g.reg()
+		g.emit("andi %s, %s, 4088", r, g.reg())
+		g.emit("add %s, %s, s10", r, r)
+		g.emit("ld %s, 0(%s)", g.reg(), r)
+	case 9: // store to scratch
+		addr := g.reg()
+		g.emit("andi %s, %s, 4088", addr, g.reg())
+		g.emit("add %s, %s, s10", addr, addr)
+		g.emit("st %s, 0(%s)", g.reg(), addr)
+	case 10:
+		g.emit("fadd %s, %s, %s", g.freg(), g.freg(), g.freg())
+	case 11:
+		g.emit("fmul %s, %s, %s", g.freg(), g.freg(), g.freg())
+	case 12:
+		g.emit("fdiv %s, %s, %s", g.freg(), g.freg(), g.freg())
+	default:
+		g.emit("xor s11, s11, %s", g.reg())
+	}
+}
+
+// loop emits a counted countdown loop whose body is random straight-line
+// code. The loop counter lives in t6 so body ops cannot corrupt it.
+func (g *gen) loop() {
+	trips := g.rng.Intn(g.cfg.MaxLoopTrips) + 1
+	top := g.label("loop")
+	g.emit("li t6, %d", trips)
+	g.raw("%s:", top)
+	for i := 0; i < g.cfg.OpsPerBlock; i++ {
+		g.op()
+	}
+	g.emit("addi t6, t6, -1")
+	g.emit("bnez t6, %s", top)
+}
+
+// diamond emits if/else control flow on a data-dependent condition.
+func (g *gen) diamond() {
+	els := g.label("else")
+	join := g.label("join")
+	conds := []string{"beq", "bne", "blt", "bge", "bltu", "bgeu"}
+	g.emit("%s %s, %s, %s", conds[g.rng.Intn(len(conds))], g.reg(), g.reg(), els)
+	for i := 0; i < g.cfg.OpsPerBlock/2+1; i++ {
+		g.op()
+	}
+	g.emit("j %s", join)
+	g.raw("%s:", els)
+	for i := 0; i < g.cfg.OpsPerBlock/2+1; i++ {
+		g.op()
+	}
+	g.raw("%s:", join)
+}
+
+// call emits a direct call to a strictly later function, keeping the call
+// graph acyclic.
+func (g *gen) call(idx int) {
+	if idx+1 >= g.cfg.Funcs {
+		g.straightLine()
+		return
+	}
+	callee := idx + 1 + g.rng.Intn(g.cfg.Funcs-idx-1)
+	g.emit("call f%d", callee)
+}
+
+// indirectCall loads a function offset from ftab and calls through a
+// register, converting the stored module offset to an absolute address.
+func (g *gen) indirectCall(idx int) {
+	if idx+1 >= g.cfg.Funcs {
+		g.straightLine()
+		return
+	}
+	callee := idx + 1 + g.rng.Intn(g.cfg.Funcs-idx-1)
+	g.emit("la t6, ftab")
+	g.emit("ld t6, %d(t6)", callee*8)
+	g.emit("li a4, 0x200000") // DataBase; abs = gp - DataBase + off
+	g.emit("sub a4, gp, a4")
+	g.emit("add t6, t6, a4")
+	g.emit("callr t6")
+}
+
+// randSyscall emits a SysRand call followed by folding the value into the
+// checksum, exercising syscall edges in the DBI engine.
+func (g *gen) randSyscall() {
+	g.emit("li a7, 1000")
+	g.emit("syscall")
+	g.emit("xor s11, s11, a0")
+}

@@ -1,0 +1,87 @@
+package program
+
+import (
+	"math/rand"
+
+	"optiwise/internal/isa"
+	"optiwise/internal/mem"
+)
+
+// Image is a Program loaded at a concrete base address, together with its
+// initialized memory. Execution engines (interpreter, pipeline simulator,
+// DBI) run Images; profilers translate the absolute PCs they observe back
+// to module offsets through it.
+type Image struct {
+	Prog *Program
+	// TextBase is the absolute address of module offset 0.
+	TextBase uint64
+	// Mem is the process memory with the data segment loaded.
+	Mem *mem.Memory
+	// InitialSP is the stack pointer at entry.
+	InitialSP uint64
+	// InitialGP is the global pointer at entry: the absolute address of
+	// the data segment, so position-independent code can address data as
+	// offsets from GP.
+	InitialGP uint64
+}
+
+// LoadOptions configures Load.
+type LoadOptions struct {
+	// ASLRSeed, when non-zero, randomizes the load base with a
+	// deterministic page-aligned slide derived from the seed. This
+	// reproduces the address-space layout randomization that forces
+	// OptiWISE to aggregate by (module, offset) rather than absolute
+	// address (§IV-A).
+	ASLRSeed int64
+}
+
+// Load places p into a fresh memory at its (possibly ASLR-slid) base.
+func Load(p *Program, opts LoadOptions) *Image {
+	base := uint64(DefaultTextBase)
+	if opts.ASLRSeed != 0 {
+		rng := rand.New(rand.NewSource(opts.ASLRSeed))
+		// Slide by up to 2^28 bytes in page increments, like Linux
+		// mmap_rnd_bits on x86-64.
+		slide := uint64(rng.Int63n(1<<28)) &^ (mem.PageSize - 1)
+		base += slide
+	}
+	m := mem.New()
+	if len(p.Data) > 0 {
+		m.Write(base+DataBase, p.Data)
+	}
+	return &Image{
+		Prog:      p,
+		TextBase:  base,
+		Mem:       m,
+		InitialSP: StackTop,
+		InitialGP: base + DataBase,
+	}
+}
+
+// EntryPC returns the absolute address of the program entry point.
+func (im *Image) EntryPC() uint64 { return im.TextBase + im.Prog.Entry }
+
+// OffToAbs converts a module offset to an absolute address.
+func (im *Image) OffToAbs(off uint64) uint64 { return im.TextBase + off }
+
+// AbsToOff converts an absolute PC to a module offset. It reports false for
+// addresses outside the text segment.
+func (im *Image) AbsToOff(pc uint64) (uint64, bool) {
+	if pc < im.TextBase {
+		return 0, false
+	}
+	off := pc - im.TextBase
+	if off >= im.Prog.TextSize() {
+		return 0, false
+	}
+	return off, true
+}
+
+// InstAtPC fetches the instruction at absolute address pc.
+func (im *Image) InstAtPC(pc uint64) (isa.Instruction, bool) {
+	off, ok := im.AbsToOff(pc)
+	if !ok {
+		return isa.Instruction{}, false
+	}
+	return im.Prog.InstAt(off)
+}

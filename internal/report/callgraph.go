@@ -1,0 +1,75 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"optiwise/internal/core"
+)
+
+// callEdge is one aggregated caller/callee relationship.
+type callEdge struct {
+	other string
+	calls uint64
+}
+
+// WriteCallGraph prints a gprof-style caller/callee table: for each
+// function, its inclusive time (stack-profiling attribution), its callers
+// with dynamic call counts, and its callees. Dynamic call edges come from
+// the instrumentation run's CFG; time comes from the combined profile.
+func WriteCallGraph(w io.Writer, p *core.Profile) error {
+	callers := make(map[string][]callEdge)
+	callees := make(map[string][]callEdge)
+	for _, ce := range p.Graph.CallEdges {
+		callerFn, ok1 := p.Prog.FuncAt(ce.CallSite)
+		calleeFn, ok2 := p.Prog.FuncAt(ce.Target)
+		if !ok1 || !ok2 {
+			continue
+		}
+		callers[calleeFn.Name] = appendEdge(callers[calleeFn.Name], callerFn.Name, ce.Count)
+		callees[callerFn.Name] = appendEdge(callees[callerFn.Name], calleeFn.Name, ce.Count)
+	}
+
+	for _, f := range p.Funcs {
+		selfFrac := 0.0
+		if p.TotalCycles > 0 {
+			selfFrac = float64(f.SelfCycles) / float64(p.TotalCycles)
+		}
+		if _, err := fmt.Fprintf(w, "%s  total %.1f%%  self %.1f%%  (%d insts, CPI %.2f)\n",
+			f.Name, 100*f.TimeFrac, 100*selfFrac, f.SelfInsts, f.CPI); err != nil {
+			return err
+		}
+		for _, e := range sortEdges(callers[f.Name]) {
+			if _, err := fmt.Fprintf(w, "    called by %-20s x%d\n", e.other, e.calls); err != nil {
+				return err
+			}
+		}
+		for _, e := range sortEdges(callees[f.Name]) {
+			if _, err := fmt.Fprintf(w, "    calls     %-20s x%d\n", e.other, e.calls); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func appendEdge(edges []callEdge, name string, n uint64) []callEdge {
+	for i := range edges {
+		if edges[i].other == name {
+			edges[i].calls += n
+			return edges
+		}
+	}
+	return append(edges, callEdge{name, n})
+}
+
+func sortEdges(edges []callEdge) []callEdge {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].calls != edges[j].calls {
+			return edges[i].calls > edges[j].calls
+		}
+		return edges[i].other < edges[j].other
+	})
+	return edges
+}

@@ -1,0 +1,293 @@
+// Package report renders combined profiles as human-readable tables and
+// annotated disassembly, in the style of the paper's figures 1 and 10, plus
+// machine-readable CSV exports.
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"optiwise/internal/core"
+	"optiwise/internal/isa"
+)
+
+// WriteSummary prints the whole-program header block.
+func WriteSummary(w io.Writer, p *core.Profile) error {
+	_, err := fmt.Fprintf(w,
+		"module %s: %d cycles, %d instructions, IPC %.2f (CPI %.2f), %d samples @ period %d\n",
+		p.Module, p.TotalCycles, p.TotalInsts, p.IPC, safeInv(p.IPC),
+		p.TotalSamples, p.SamplePeriod)
+	return err
+}
+
+func safeInv(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return 1 / x
+}
+
+// WriteFunctionTable prints per-function totals, hottest first.
+func WriteFunctionTable(w io.Writer, p *core.Profile) error {
+	if _, err := fmt.Fprintf(w, "%-24s %7s %7s %12s %12s %6s %6s\n",
+		"FUNCTION", "TIME%", "SELF%", "INSTS", "TOTAL-INSTS", "CPI", "IPC"); err != nil {
+		return err
+	}
+	for _, f := range p.Funcs {
+		selfFrac := 0.0
+		if p.TotalCycles > 0 {
+			selfFrac = float64(f.SelfCycles) / float64(p.TotalCycles)
+		}
+		if _, err := fmt.Fprintf(w, "%-24s %6.1f%% %6.1f%% %12d %12d %6.2f %6.2f\n",
+			f.Name, 100*f.TimeFrac, 100*selfFrac, f.SelfInsts, f.TotalInsts,
+			f.CPI, f.IPC); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteLoopTable prints merged loops, hottest first. The indentation of
+// the header offset reflects nesting depth.
+func WriteLoopTable(w io.Writer, p *core.Profile) error {
+	if _, err := fmt.Fprintf(w, "%-4s %-20s %-18s %7s %10s %10s %8s %6s %s\n",
+		"LOOP", "FUNCTION", "HEADER", "TIME%", "INVOC", "ITERS", "INST/IT", "CPI", "SOURCE"); err != nil {
+		return err
+	}
+	for _, l := range p.Loops {
+		src := ""
+		if l.File != "" {
+			src = fmt.Sprintf("%s:%d-%d", l.File, l.StartLine, l.EndLine)
+		}
+		indent := ""
+		for i := 0; i < l.Depth; i++ {
+			indent += "  "
+		}
+		if _, err := fmt.Fprintf(w, "%-4d %-20s %-18s %6.1f%% %10d %10d %8.1f %6.2f %s\n",
+			l.ID, l.Func, indent+fmt.Sprintf("0x%x", l.HeaderOffset),
+			100*l.TimeFrac, l.Invocations, l.Iterations, l.InstsPerIter,
+			l.CPI, src); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteBlockTable prints the hottest basic blocks.
+func WriteBlockTable(w io.Writer, p *core.Profile, max int) error {
+	if _, err := fmt.Fprintf(w, "%-24s %7s %12s %8s %6s\n",
+		"BLOCK", "TIME%", "EXEC", "INSTS", "CPI"); err != nil {
+		return err
+	}
+	for i, b := range p.Blocks {
+		if max > 0 && i >= max {
+			break
+		}
+		name := fmt.Sprintf("%s+0x%x", b.Func, b.Start)
+		if b.Func == "" {
+			name = fmt.Sprintf("0x%x", b.Start)
+		}
+		if _, err := fmt.Fprintf(w, "%-24s %6.1f%% %12d %8d %6.2f\n",
+			name, 100*b.TimeFrac, b.ExecCount, b.Insts, b.CPI); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteLineTable prints the hottest source lines.
+func WriteLineTable(w io.Writer, p *core.Profile, max int) error {
+	if _, err := fmt.Fprintf(w, "%-24s %7s %12s %10s %6s\n",
+		"SOURCE", "TIME%", "EXEC", "SAMPLES", "CPI"); err != nil {
+		return err
+	}
+	for i, l := range p.Lines {
+		if max > 0 && i >= max {
+			break
+		}
+		if _, err := fmt.Fprintf(w, "%-24s %6.1f%% %12d %10d %6.2f\n",
+			fmt.Sprintf("%s:%d", l.File, l.Line), 100*l.TimeFrac,
+			l.ExecCount, l.Samples, l.CPI); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteEventTable prints per-function sampled event rates: cache misses
+// and branch mispredicts per kilo-instruction — the "wide range of events"
+// perf records beyond the three fields OptiWISE's CPI math needs (§IV-A).
+func WriteEventTable(w io.Writer, p *core.Profile) error {
+	if _, err := fmt.Fprintf(w, "%-24s %12s %10s %10s %10s %10s\n",
+		"FUNCTION", "INSTS", "MISSES", "MPKI", "BR-MISS", "BR-MPKI"); err != nil {
+		return err
+	}
+	for _, f := range p.Funcs {
+		if f.SelfInsts == 0 {
+			continue
+		}
+		mpki := 1000 * float64(f.CacheMisses) / float64(f.SelfInsts)
+		bpki := 1000 * float64(f.Mispredicts) / float64(f.SelfInsts)
+		if _, err := fmt.Fprintf(w, "%-24s %12d %10d %10.2f %10d %10.2f\n",
+			f.Name, f.SelfInsts, f.CacheMisses, mpki, f.Mispredicts, bpki); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAnnotatedFunc prints the figure 1/10-style annotated disassembly of
+// one function: offset, samples, execution count, CPI, and the
+// instruction, with symbolized direct targets.
+func WriteAnnotatedFunc(w io.Writer, p *core.Profile, name string) error {
+	fn, ok := p.Prog.FuncByName(name)
+	if !ok {
+		return fmt.Errorf("report: no function %q", name)
+	}
+	if _, err := fmt.Fprintf(w, "%s:\n%8s %10s %12s %8s  %s\n",
+		name, "OFFSET", "SAMPLES", "EXEC", "CPI", "INSTRUCTION"); err != nil {
+		return err
+	}
+	for off := fn.Lo; off < fn.Hi; off += isa.InstBytes {
+		inst, ok := p.Prog.InstAt(off)
+		if !ok {
+			continue
+		}
+		text := isa.Disassemble(inst)
+		switch inst.Op.Kind() {
+		case isa.KindBranch, isa.KindJump, isa.KindCall:
+			text = fmt.Sprintf("%s -> %s", text, p.Prog.SymbolizeTarget(inst.Target))
+		}
+		r, recorded := p.InstAt(off)
+		if !recorded {
+			if _, err := fmt.Fprintf(w, "%8x %10s %12s %8s  %s\n",
+				off, "-", "-", "-", text); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%8x %10d %12d %8.2f  %s\n",
+			off, r.Samples, r.ExecCount, r.CPI, text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAnnotatedLoop prints the annotated disassembly of one merged loop's
+// body blocks — the "interesting region" view the paper's loop analysis
+// exists to surface quickly.
+func WriteAnnotatedLoop(w io.Writer, p *core.Profile, loopID int) error {
+	var loop *core.LoopRecord
+	for i := range p.Loops {
+		if p.Loops[i].ID == loopID {
+			loop = &p.Loops[i]
+		}
+	}
+	if loop == nil {
+		return fmt.Errorf("report: no loop %d", loopID)
+	}
+	if _, err := fmt.Fprintf(w,
+		"loop %d in %s (header 0x%x, depth %d): %d invocations, %d iterations, CPI %.2f\n",
+		loop.ID, loop.Func, loop.HeaderOffset, loop.Depth,
+		loop.Invocations, loop.Iterations, loop.CPI); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%8s %10s %12s %8s  %s\n",
+		"OFFSET", "SAMPLES", "EXEC", "CPI", "INSTRUCTION"); err != nil {
+		return err
+	}
+	for _, start := range loop.BlockStarts {
+		bi := p.Graph.BlockAt(start)
+		if bi < 0 {
+			continue
+		}
+		b := p.Graph.Blocks[bi]
+		for off := b.Start; off < b.End; off += isa.InstBytes {
+			inst, ok := p.Prog.InstAt(off)
+			if !ok {
+				continue
+			}
+			text := isa.Disassemble(inst)
+			switch inst.Op.Kind() {
+			case isa.KindBranch, isa.KindJump, isa.KindCall:
+				text = fmt.Sprintf("%s -> %s", text, p.Prog.SymbolizeTarget(inst.Target))
+			}
+			r, _ := p.InstAt(off)
+			if _, err := fmt.Fprintf(w, "%8x %10d %12d %8.2f  %s\n",
+				off, r.Samples, r.ExecCount, r.CPI, text); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteAll prints the complete report: summary, functions, loops, hottest
+// lines, and annotated disassembly of the hottest function.
+func WriteAll(w io.Writer, p *core.Profile) error {
+	if err := WriteSummary(w, p); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := WriteFunctionTable(w, p); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := WriteLoopTable(w, p); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := WriteBlockTable(w, p, 15); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if err := WriteLineTable(w, p, 20); err != nil {
+		return err
+	}
+	if len(p.Funcs) > 0 {
+		fmt.Fprintln(w)
+		hottest := p.Funcs[0].Name
+		for _, f := range p.Funcs {
+			if f.SelfCycles > 0 {
+				hottest = f.Name
+				break
+			}
+		}
+		if err := WriteAnnotatedFunc(w, p, hottest); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteInstCSV exports per-instruction records as CSV.
+func WriteInstCSV(w io.Writer, p *core.Profile) error {
+	if _, err := fmt.Fprintln(w, "offset,func,file,line,exec,samples,cycles,cpi,disasm"); err != nil {
+		return err
+	}
+	for _, r := range p.Insts {
+		if _, err := fmt.Fprintf(w, "0x%x,%s,%s,%d,%d,%d,%d,%.4f,%q\n",
+			r.Offset, r.Func, r.File, r.Line, r.ExecCount, r.Samples,
+			r.Cycles, r.CPI, r.Disasm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteLoopCSV exports loop records as CSV.
+func WriteLoopCSV(w io.Writer, p *core.Profile) error {
+	if _, err := fmt.Fprintln(w,
+		"id,func,header,parent,depth,invocations,iterations,insts_per_iter,cpi,time_frac"); err != nil {
+		return err
+	}
+	for _, l := range p.Loops {
+		if _, err := fmt.Fprintf(w, "%d,%s,0x%x,%d,%d,%d,%d,%.2f,%.4f,%.4f\n",
+			l.ID, l.Func, l.HeaderOffset, l.Parent, l.Depth,
+			l.Invocations, l.Iterations, l.InstsPerIter, l.CPI, l.TimeFrac); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"optiwise/internal/asm"
+	"optiwise/internal/core"
+	"optiwise/internal/dbi"
+	"optiwise/internal/ooo"
+	"optiwise/internal/sampler"
+)
+
+func combined(t *testing.T) *core.Profile {
+	t.Helper()
+	src := `
+.func main
+main:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    li s2, 100
+.loc main.c 5
+outer:
+    call work
+    addi s2, s2, -1
+    bnez s2, outer
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    li a0, 0
+    li a7, 93
+    syscall
+.endfunc
+.func work
+work:
+    li t0, 50
+.loc work.c 12
+wl:
+    div t1, t0, t0
+    addi t0, t0, -1
+    bnez t0, wl
+    ret
+.endfunc
+`
+	prog, err := asm.Assemble("demo", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, _, err := sampler.Run(ooo.XeonW2195(), prog, sampler.Options{Period: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := dbi.Run(prog, dbi.Options{StackProfiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Combine(prog, sp, ep, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, combined(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"module demo", "cycles", "IPC", "samples"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestFunctionTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFunctionTable(&buf, combined(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "main") || !strings.Contains(out, "work") {
+		t.Errorf("function table incomplete:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + two functions
+		t.Errorf("function table lines = %d:\n%s", len(lines), out)
+	}
+	// main (root) sorts first by total time.
+	if !strings.HasPrefix(lines[1], "main") {
+		t.Errorf("first data row should be main:\n%s", out)
+	}
+}
+
+func TestLoopTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLoopTable(&buf, combined(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "work.c:12") {
+		t.Errorf("loop table missing source annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "work") || !strings.Contains(out, "main") {
+		t.Errorf("loop table missing loops:\n%s", out)
+	}
+}
+
+func TestLineTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLineTable(&buf, combined(t), 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "work.c:12") {
+		t.Errorf("line table missing hot line:\n%s", buf.String())
+	}
+}
+
+func TestAnnotatedFunc(t *testing.T) {
+	var buf bytes.Buffer
+	p := combined(t)
+	if err := WriteAnnotatedFunc(&buf, p, "work"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "div t1, t0, t0") {
+		t.Errorf("annotation missing disassembly:\n%s", out)
+	}
+	if !strings.Contains(out, "wl") && !strings.Contains(out, "work+0x") {
+		t.Errorf("branch target not symbolized:\n%s", out)
+	}
+	if err := WriteAnnotatedFunc(&buf, p, "nosuch"); err == nil {
+		t.Error("unknown function should error")
+	}
+}
+
+func TestWriteAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, combined(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FUNCTION", "LOOP", "SOURCE", "INSTRUCTION"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("full report missing %q section", want)
+		}
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	p := combined(t)
+	var buf bytes.Buffer
+	if err := WriteInstCSV(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(p.Insts)+1 {
+		t.Errorf("inst CSV rows = %d, want %d", len(lines), len(p.Insts)+1)
+	}
+	if !strings.HasPrefix(lines[0], "offset,") {
+		t.Error("missing CSV header")
+	}
+	buf.Reset()
+	if err := WriteLoopCSV(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	lines = strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(p.Loops)+1 {
+		t.Errorf("loop CSV rows = %d, want %d", len(lines), len(p.Loops)+1)
+	}
+}
+
+func TestCallGraph(t *testing.T) {
+	p := combined(t)
+	var buf bytes.Buffer
+	if err := WriteCallGraph(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "called by main") {
+		t.Errorf("work's caller missing:\n%s", out)
+	}
+	if !strings.Contains(out, "calls     work") {
+		t.Errorf("main's callee missing:\n%s", out)
+	}
+	if !strings.Contains(out, "x100") {
+		t.Errorf("call count missing:\n%s", out)
+	}
+}
+
+func TestAnnotatedLoop(t *testing.T) {
+	p := combined(t)
+	var buf bytes.Buffer
+	// Loop IDs are stable: find the wl loop in work.
+	var id = -1
+	for _, l := range p.Loops {
+		if l.Func == "work" {
+			id = l.ID
+		}
+	}
+	if id < 0 {
+		t.Fatal("work loop missing")
+	}
+	if err := WriteAnnotatedLoop(&buf, p, id); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "div t1, t0, t0") {
+		t.Errorf("loop annotation missing body:\n%s", out)
+	}
+	if !strings.Contains(out, "iterations") {
+		t.Errorf("loop annotation missing stats:\n%s", out)
+	}
+	if err := WriteAnnotatedLoop(&buf, p, 12345); err == nil {
+		t.Error("bogus loop id accepted")
+	}
+}

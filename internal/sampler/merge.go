@@ -1,0 +1,38 @@
+package sampler
+
+import "fmt"
+
+// Merge combines several sampling profiles of the same module into one, as
+// if a single longer session had been recorded. The paper notes sampling
+// frequency can be lowered for long consistent programs (§V-A); merging
+// repeated runs is the complementary way to grow sample counts without
+// raising the per-run frequency.
+//
+// All inputs must share the module and period; weights and counters sum.
+func Merge(profiles ...*Profile) (*Profile, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("sampler: nothing to merge")
+	}
+	out := &Profile{
+		Module:  profiles[0].Module,
+		Period:  profiles[0].Period,
+		Precise: profiles[0].Precise,
+	}
+	for i, p := range profiles {
+		if p.Module != out.Module {
+			return nil, fmt.Errorf("sampler: merge: module %q vs %q", p.Module, out.Module)
+		}
+		if p.Period != out.Period {
+			return nil, fmt.Errorf("sampler: merge: period %d vs %d", p.Period, out.Period)
+		}
+		if p.Precise != out.Precise {
+			return nil, fmt.Errorf("sampler: merge: mixed attribution modes")
+		}
+		out.Records = append(out.Records, p.Records...)
+		out.TotalCycles += p.TotalCycles
+		out.UserCycles += p.UserCycles
+		out.Instructions += p.Instructions
+		_ = i
+	}
+	return out, nil
+}

@@ -1,0 +1,53 @@
+package sampler
+
+import (
+	"testing"
+
+	"optiwise/internal/ooo"
+)
+
+func TestMergeSumsRuns(t *testing.T) {
+	p := assemble(t, hotLoop)
+	a, _, err := Run(ooo.XeonW2195(), p, Options{Period: 600, RandSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Run(ooo.XeonW2195(), p, Options{Period: 600, RandSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Records) != len(a.Records)+len(b.Records) {
+		t.Error("records not concatenated")
+	}
+	if m.UserCycles != a.UserCycles+b.UserCycles {
+		t.Error("cycles not summed")
+	}
+	if m.Instructions != a.Instructions+b.Instructions {
+		t.Error("instructions not summed")
+	}
+}
+
+func TestMergeRejectsMismatches(t *testing.T) {
+	p := assemble(t, hotLoop)
+	a, _, _ := Run(ooo.XeonW2195(), p, Options{Period: 600})
+	b, _, _ := Run(ooo.XeonW2195(), p, Options{Period: 700})
+	if _, err := Merge(a, b); err == nil {
+		t.Error("period mismatch accepted")
+	}
+	c, _, _ := Run(ooo.XeonW2195(), p, Options{Period: 600, Precise: true})
+	if _, err := Merge(a, c); err == nil {
+		t.Error("mode mismatch accepted")
+	}
+	b.Period = 600
+	b.Module = "other"
+	if _, err := Merge(a, b); err == nil {
+		t.Error("module mismatch accepted")
+	}
+	if _, err := Merge(); err == nil {
+		t.Error("empty merge accepted")
+	}
+}

@@ -1,0 +1,251 @@
+package sampler
+
+import (
+	"bytes"
+	"testing"
+
+	"optiwise/internal/asm"
+	"optiwise/internal/ooo"
+	"optiwise/internal/program"
+)
+
+func assemble(t *testing.T, src string) *program.Program {
+	t.Helper()
+	p, err := asm.Assemble("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const hotLoop = `
+.func main
+main:
+    li t0, 20000
+loop:
+    div t1, t0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    syscall
+.endfunc
+`
+
+func TestRunProducesModuleRelativeSamples(t *testing.T) {
+	p := assemble(t, hotLoop)
+	prof, stats, err := Run(ooo.XeonW2195(), p, Options{
+		Period:   1000,
+		ASLRSeed: 42, // load far from offset 0: catches absolute-address leaks
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Records) == 0 {
+		t.Fatal("no samples")
+	}
+	if stats.Samples != uint64(len(prof.Records)) {
+		t.Error("sample count mismatch")
+	}
+	textSize := p.TextSize()
+	for _, r := range prof.Records {
+		if r.Offset >= textSize {
+			t.Fatalf("sample offset %#x outside text (size %#x): absolute leak?",
+				r.Offset, textSize)
+		}
+	}
+}
+
+func TestSamplesConcentrateOnHotLoop(t *testing.T) {
+	p := assemble(t, hotLoop)
+	prof, _, err := Run(ooo.XeonW2195(), p, Options{Period: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop body spans offsets 4..12; virtually all samples must land
+	// in or just after it (skid), not on the prologue/epilogue.
+	inLoop := 0
+	for _, r := range prof.Records {
+		if r.Offset >= 4 && r.Offset <= 16 {
+			inLoop++
+		}
+	}
+	if inLoop < len(prof.Records)*9/10 {
+		t.Errorf("only %d/%d samples near the hot loop", inLoop, len(prof.Records))
+	}
+}
+
+func TestExpectedSampleEquation(t *testing.T) {
+	// E(S_A) = N_A × T_A × f (§III). For the whole program, N×T = total
+	// user cycles, so samples ≈ user_cycles / period.
+	p := assemble(t, hotLoop)
+	prof, _, err := Run(ooo.XeonW2195(), p, Options{Period: 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(prof.UserCycles) / 700
+	got := float64(len(prof.Records))
+	if got < want*0.8 || got > want*1.2 {
+		t.Errorf("samples = %v, want about %v", got, want)
+	}
+}
+
+func TestAggregations(t *testing.T) {
+	p := assemble(t, hotLoop)
+	prof, _, err := Run(ooo.XeonW2195(), p, Options{Period: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOff := prof.SamplesByOffset()
+	wByOff := prof.WeightByOffset()
+	var n, w uint64
+	for _, c := range byOff {
+		n += c
+	}
+	for _, c := range wByOff {
+		w += c
+	}
+	if n != uint64(len(prof.Records)) {
+		t.Error("SamplesByOffset total mismatch")
+	}
+	var wantW uint64
+	for _, r := range prof.Records {
+		wantW += r.Weight
+	}
+	if w != wantW {
+		t.Error("WeightByOffset total mismatch")
+	}
+}
+
+func TestPeriodRequired(t *testing.T) {
+	p := assemble(t, hotLoop)
+	if _, _, err := Run(ooo.XeonW2195(), p, Options{}); err == nil {
+		t.Error("zero period should be rejected")
+	}
+}
+
+func TestInterruptCostReported(t *testing.T) {
+	p := assemble(t, hotLoop)
+	prof, _, err := Run(ooo.XeonW2195(), p, Options{
+		Period:        1000,
+		InterruptCost: DefaultInterruptCost,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.TotalCycles <= prof.UserCycles {
+		t.Error("interrupt cost should appear as kernel cycles")
+	}
+	overhead := float64(prof.TotalCycles) / float64(prof.UserCycles)
+	if overhead > 3.5 {
+		t.Errorf("sampling overhead %.2fx unreasonably high for this period", overhead)
+	}
+}
+
+func TestStackCapture(t *testing.T) {
+	p := assemble(t, `
+.func main
+main:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    call work
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    li a7, 93
+    syscall
+.endfunc
+.func work
+work:
+    li t0, 20000
+wl:
+    div t1, t0, t0
+    addi t0, t0, -1
+    bnez t0, wl
+    ret
+.endfunc
+`)
+	prof, _, err := Run(ooo.XeonW2195(), p, Options{Period: 500, ASLRSeed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workFn, _ := p.FuncByName("work")
+	mainFn, _ := p.FuncByName("main")
+	stacked := 0
+	for _, r := range prof.Records {
+		if workFn.Contains(r.Offset) && len(r.Stack) == 1 && mainFn.Contains(r.Stack[0]) {
+			stacked++
+		}
+	}
+	if stacked < len(prof.Records)/2 {
+		t.Errorf("only %d/%d samples carried a main->work stack", stacked, len(prof.Records))
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	p := assemble(t, hotLoop)
+	prof, _, err := Run(ooo.XeonW2195(), p, Options{Period: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := prof.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Module != prof.Module || len(got.Records) != len(prof.Records) ||
+		got.Period != prof.Period || got.UserCycles != prof.UserCycles {
+		t.Error("round trip lost data")
+	}
+}
+
+func TestPreciseMode(t *testing.T) {
+	p := assemble(t, hotLoop)
+	prof, _, err := Run(ooo.XeonW2195(), p, Options{Period: 500, Precise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prof.Precise {
+		t.Error("precise flag not recorded")
+	}
+	// In precise mode the non-pipelined div (offset 4) should be the
+	// plurality PC: the head parks on it while it executes.
+	byOff := prof.SamplesByOffset()
+	best, bestOff := uint64(0), uint64(0)
+	for off, n := range byOff {
+		if n > best {
+			best, bestOff = n, off
+		}
+	}
+	if bestOff != 4 {
+		t.Errorf("precise hottest = %#x (%d), want div at 0x4; hist=%v", bestOff, best, byOff)
+	}
+}
+
+func TestJitterVariesPeriodsButWeightsCompensate(t *testing.T) {
+	p := assemble(t, hotLoop)
+	prof, _, err := Run(ooo.XeonW2195(), p, Options{Period: 600, Jitter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Records) < 20 {
+		t.Fatalf("too few samples: %d", len(prof.Records))
+	}
+	// Weights must actually vary (the jitter is real)...
+	distinct := map[uint64]bool{}
+	for _, r := range prof.Records {
+		distinct[r.Weight] = true
+	}
+	if len(distinct) < 5 {
+		t.Errorf("jittered weights too uniform: %d distinct values", len(distinct))
+	}
+	// ...and still integrate to the run's user cycles.
+	var sum uint64
+	for _, r := range prof.Records {
+		sum += r.Weight
+	}
+	if sum > prof.UserCycles || sum < prof.UserCycles*8/10 {
+		t.Errorf("jittered weights sum %d vs user cycles %d", sum, prof.UserCycles)
+	}
+}

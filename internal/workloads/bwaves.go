@@ -1,0 +1,136 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BwavesOptions selects the paper's 603.bwaves optimization (§VI-C).
+type BwavesOptions struct {
+	// InvertDiv precomputes the inverse of the loop-invariant divisor
+	// and multiplies instead of dividing. The compiler cannot do this
+	// without -ffast-math; the programmer can justify it.
+	InvertDiv bool
+}
+
+// BwavesConfig sizes the workload.
+type BwavesConfig struct {
+	// Cells is the grid size per sweep; Sweeps the number of time steps.
+	Cells  int
+	Sweeps int
+	// StencilOps is the per-cell FP work in the dominant (non-divide)
+	// kernel; the divide kernel is a small fraction of total time, which
+	// is why the paper's overall win is a modest 2%.
+	StencilOps int
+	Opts       BwavesOptions
+}
+
+// DefaultBwavesConfig mirrors the paper's proportions.
+func DefaultBwavesConfig() BwavesConfig {
+	return BwavesConfig{Cells: 2200, Sweeps: 24, StencilOps: 46}
+}
+
+// Bwaves generates the 603.bwaves case study: an explosion-simulation-
+// shaped FP workload with a dominant stencil kernel and a smaller kernel
+// that divides every cell by a loop-invariant time step (dt).
+func Bwaves(cfg BwavesConfig) string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	gridBytes := cfg.Cells * 8
+
+	w(".module 603.bwaves")
+	w(".text")
+	w(".func main")
+	w("main:")
+	w("    addi sp, sp, -16")
+	w("    st ra, 8(sp)")
+	w("    li s10, 0x100000000000")
+	w("    li a0, 0x100000000000")
+	w("    li t0, %d", gridBytes)
+	w("    add a0, a0, t0")
+	w("    li a7, 214")
+	w("    syscall")
+	// Fill the grid with varied FP values.
+	w("    li t0, 0")
+	w("    fli f1, 1.03125")
+	w("    fli f0, 0.7")
+	w("grid_init:")
+	w("    fmul f0, f0, f1")
+	w("    add t1, t0, s10")
+	w("    fst f0, 0(t1)")
+	w("    addi t0, t0, 8")
+	w("    li t2, %d", gridBytes)
+	w("    blt t0, t2, grid_init")
+	// dt is computed at run time (loop-invariant but not compile-time
+	// constant).
+	w("    fli f10, 0.0078125") // dt
+	if cfg.Opts.InvertDiv {
+		w("    fli f11, 1.0")
+		w("    fdiv f11, f11, f10") // rdt = 1/dt, once
+	}
+	w("    li s7, %d", cfg.Sweeps)
+	w("sweep:")
+	w("    call stencil_kernel")
+	w("    call flux_div_kernel")
+	w("    addi s7, s7, -1")
+	w("    bnez s7, sweep")
+	w("    ld ra, 8(sp)")
+	w("    addi sp, sp, 16")
+	w("    li a0, 0")
+	w("    li a7, 93")
+	w("    syscall")
+	w(".endfunc")
+
+	// stencil_kernel: the dominant FP sweep — mul/add chains per cell.
+	w(".func stencil_kernel")
+	w("stencil_kernel:")
+	w(".loc bwaves.f 300")
+	w("    li t0, 8")
+	w("stc_loop:")
+	w("    add t1, t0, s10")
+	w("    fld f2, 0(t1)")
+	w("    fld f3, -8(t1)")
+	for i := 0; i < cfg.StencilOps; i++ {
+		switch i % 4 {
+		case 0:
+			w("    fmul f4, f2, f3")
+		case 1:
+			w("    fadd f5, f4, f2")
+		case 2:
+			w("    fsub f6, f5, f3")
+		default:
+			w("    fadd f2, f6, f4")
+		}
+	}
+	w("    fst f2, 0(t1)")
+	w("    addi t0, t0, 8")
+	w("    li t2, %d", gridBytes)
+	w("    blt t0, t2, stc_loop")
+	w("    ret")
+	w(".endfunc")
+
+	// flux_div_kernel: divides boundary cells (one in sixteen) by dt —
+	// the series of FP divides OptiWISE flags (§VI-C). It is a minority
+	// of total time, which is why the paper's overall win is ~2%. The
+	// optimized variant multiplies by the precomputed inverse instead.
+	w(".func flux_div_kernel")
+	w("flux_div_kernel:")
+	w(".loc bwaves.f 400")
+	w("    li t0, 0")
+	w("fdk_loop:")
+	w("    add t1, t0, s10")
+	w("    fld f2, 0(t1)")
+	if cfg.Opts.InvertDiv {
+		w("    fmul f3, f2, f11")
+	} else {
+		w("    fdiv f3, f2, f10") // non-pipelined: dominates this kernel
+	}
+	w("    fadd f3, f3, f1")
+	w("    fst f3, 0(t1)")
+	w("    addi t0, t0, 128") // boundary stride: every 16th cell
+	w("    li t2, %d", gridBytes)
+	w("    blt t0, t2, fdk_loop")
+	w("    ret")
+	w(".endfunc")
+	return b.String()
+}

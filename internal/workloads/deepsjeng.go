@@ -1,0 +1,170 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DeepsjengOptions selects the paper's 531.deepsjeng optimizations (§VI-B).
+type DeepsjengOptions struct {
+	// Prefetch issues a prefetch of the next probe's transposition-table
+	// line far in advance of the load, before it is certain ProbeTT will
+	// even be called.
+	Prefetch bool
+	// RemoveDiv eliminates the divide from the hash computation (its
+	// second operand is constant throughout a run).
+	RemoveDiv bool
+}
+
+// DeepsjengConfig sizes the workload.
+type DeepsjengConfig struct {
+	// Nodes is the number of search nodes visited (ProbeTT calls).
+	Nodes int
+	// TableMB is the transposition-table size; far beyond LLC so probes
+	// miss (the paper reports a load with CPI ≈ 279).
+	TableMB int
+	// EvalOps is the per-node evaluation work that makes ProbeTT only a
+	// fraction of total time (≈16.7% in the paper).
+	EvalOps int
+	Opts    DeepsjengOptions
+}
+
+// DefaultDeepsjengConfig mirrors the paper's proportions: evaluation work
+// large enough that ProbeTT is a minority of node time (≈17%).
+func DefaultDeepsjengConfig() DeepsjengConfig {
+	return DeepsjengConfig{Nodes: 2000, TableMB: 256, EvalOps: 2200}
+}
+
+// Deepsjeng generates the 531.deepsjeng case study: a search loop whose
+// per-node work is dominated by predictable evaluation arithmetic, plus a
+// ProbeTT hash-table lookup whose load misses every cache level. The
+// post-probe branch depends on the loaded value, so the miss latency
+// cannot be hidden — the per-instruction CPI of that load is enormous,
+// which is exactly what OptiWISE's combined profile exposes.
+func Deepsjeng(cfg DeepsjengConfig) string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	o := cfg.Opts
+	tableBytes := cfg.TableMB << 20
+	mask := uint64(tableBytes-1) &^ 7
+
+	w(".module 531.deepsjeng")
+	w(".text")
+	w(".func main")
+	w("main:")
+	w("    addi sp, sp, -16")
+	w("    st ra, 8(sp)")
+	w("    li s10, 0x100000000000") // table base
+	w("    li a0, 0x100000000000")
+	w("    li t0, %d", tableBytes)
+	w("    add a0, a0, t0")
+	w("    li a7, 214")
+	w("    syscall")
+	w("    li s9, %d", mask)
+	w("    li s8, 999331")        // key state (LCG-advanced per node)
+	w("    li s2, 0")             // previous probe result
+	w("    li s4, 97")            // run-constant divisor in the hash
+	w("    li s11, 0")            // checksum
+	w("    li s7, %d", cfg.Nodes) // node counter
+	w(".loc deepsjeng.c 100")
+	w("search:")
+	// Advance the position key — computable ahead of the probe, which is
+	// what makes the prefetch optimization legal.
+	w("    li t6, 6364136223846793005")
+	w("    mul s8, s8, t6")
+	w("    li t6, 1442695040888963407")
+	w("    add s8, s8, t6")
+	if o.Prefetch {
+		// Prefetch the line ProbeTT will load, dozens of instructions
+		// early (the hash is recomputed here — the paper notes even a
+		// substantial number of extra instructions is justified).
+		w("    mov a0, s8")
+		w("    call hash_addr")
+		w("    prefetch 0(a0)")
+	}
+	// Evaluation work: a strictly serial dependent chain seeded by the
+	// previous node's probe result (searches consume their table
+	// lookups), so it can overlap with neither the previous nor the next
+	// probe's miss — the realistic "plenty of work per node, but the
+	// table miss still hurts" shape.
+	w(".loc deepsjeng.c 120")
+	w("    xor t0, s8, s2") // s2 = previous probe result
+	w("    ori t1, s8, 1")
+	w("    li t2, 0x9e37")
+	for i := 0; i < cfg.EvalOps; i++ {
+		switch i % 4 {
+		case 0:
+			w("    add t0, t0, t1")
+		case 1:
+			w("    xor t0, t0, t2")
+		case 2:
+			w("    addi t0, t0, %d", 1+i%13)
+		default:
+			w("    sub t0, t0, t1")
+		}
+	}
+	w("    xor s11, s11, t0")
+	// Probe the transposition table.
+	w(".loc deepsjeng.c 140")
+	w("    mov a0, s8")
+	w("    call probett")
+	w("    mov s2, a0") // feed the next node's evaluation
+	// The stored-value test: depends on the loaded data, so the branch
+	// cannot resolve until the miss returns.
+	w("    xor t0, a0, s8")
+	w("    andi t0, t0, 1")
+	w("    beqz t0, tt_miss")
+	w("    addi s11, s11, 3")
+	w("tt_miss:")
+	w("    addi s7, s7, -1")
+	w("    bnez s7, search")
+	w("    ld ra, 8(sp)")
+	w("    addi sp, sp, 16")
+	w("    andi a0, s11, 255")
+	w("    li a7, 93")
+	w("    syscall")
+	w(".endfunc")
+
+	// hash_addr: key (a0) -> table slot address (a0). Shared by ProbeTT
+	// and the prefetch path.
+	w(".func hash_addr")
+	w("hash_addr:")
+	w("    mov t4, a0")
+	w("    slli t5, t4, 13")
+	w("    xor t4, t4, t5")
+	w("    srli t5, t4, 7")
+	w("    xor t4, t4, t5")
+	w("    slli t5, t4, 17")
+	w("    xor t4, t4, t5")
+	w("    and t4, t4, s9")
+	w("    add a0, t4, s10")
+	w("    ret")
+	w(".endfunc")
+
+	// probett: look the position up. The baseline includes a divide whose
+	// second operand (s4) is constant for the whole run (§VI-B's second
+	// optimization removes it).
+	w(".func probett")
+	w("probett:")
+	w(".loc deepsjeng.c 200")
+	w("    addi sp, sp, -16")
+	w("    st ra, 8(sp)")
+	w("    mov s3, a0")
+	w("    call hash_addr")
+	w("    ld ra, 8(sp)")
+	w("    addi sp, sp, 16")
+	if !o.RemoveDiv {
+		w("    div t5, s3, s4")
+		w("    mul t5, t5, s4")
+		w("    sub t5, s3, t5") // key % divisor: the bucket check tag
+	} else {
+		// Constant divisor folded away: cheap mask-based tag.
+		w("    andi t5, s3, 63")
+	}
+	w(".loc deepsjeng.c 210")
+	w("    ld a0, 0(a0)") // THE load: misses all caches (CPI ≈ 279)
+	w("    add a0, a0, t5")
+	w("    ret")
+	w(".endfunc")
+	return b.String()
+}

@@ -1,0 +1,308 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MCFOptions selects which of the paper's three 505.mcf optimizations
+// (§VI-A) are applied to the generated program.
+type MCFOptions struct {
+	// BranchFree rewrites the comparators without conditional branches
+	// (the paper's ternary-operator/cmov rewrite).
+	BranchFree bool
+	// StrengthReduce replaces spec_qsort's divide by the element size
+	// with a multiply by a precomputed fixed-point inverse.
+	StrengthReduce bool
+	// Unroll unrolls the primal_bea_mpp scan loop by four.
+	Unroll bool
+}
+
+// MCFConfig sizes the workload.
+type MCFConfig struct {
+	// Arcs is the number of records sorted and scanned.
+	Arcs int
+	// ScanInvocations is how many times the primal_bea_mpp-style loop
+	// runs over the arcs.
+	ScanInvocations int
+	Opts            MCFOptions
+}
+
+// DefaultMCFConfig matches the paper's shape: ~4000-iteration scan loop
+// and a sort whose comparator dominates.
+func DefaultMCFConfig() MCFConfig {
+	return MCFConfig{Arcs: 4000, ScanInvocations: 60}
+}
+
+// MCF generates the 505.mcf case-study program: a qsort over arc records
+// driven by an indirect comparator call (cost_compare / arc_compare), a
+// divide by the element size inside spec_qsort, and a
+// primal_bea_mpp-style min-scan loop.
+//
+// The program exits 0 when both sorts verify, making correctness of the
+// optimized variants testable.
+func MCF(cfg MCFConfig) string {
+	if cfg.Arcs < 8 {
+		cfg.Arcs = 8
+	}
+	cfg.Arcs &^= 3 // keep divisible by 4 for the unrolled variant
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	o := cfg.Opts
+	w(".module 505.mcf")
+	w(".text")
+
+	// ------------------------------------------------------------------
+	// main: build arcs, sort by cost, verify, sort by id, verify, scan.
+	w(".func main")
+	w("main:")
+	w("    addi sp, sp, -16")
+	w("    st ra, 8(sp)")
+	// Heap: arc records (16 B each: cost, id), then the pointer array.
+	w("    li s10, 0x100000000000") // arc base
+	w("    li t0, %d", cfg.Arcs*16)
+	w("    add s9, s10, t0") // pointer array base
+	w("    li t0, %d", cfg.Arcs*8)
+	w("    add a0, s9, t0")
+	w("    li a7, 214")
+	w("    syscall") // brk
+	// Init: cost = LCG, id = i; ptrs[i] = &arc[i].
+	w("    li s8, 88172645463325252") // LCG state
+	w("    li t0, 0")                 // i
+	w("init:")
+	w("    li t6, 6364136223846793005")
+	w("    mul s8, s8, t6")
+	w("    li t6, 1442695040888963407")
+	w("    add s8, s8, t6")
+	w("    slli t1, t0, 4")
+	w("    add t1, t1, s10") // &arc[i]
+	w("    srli t2, s8, 16")
+	w("    li t3, 0xfffff")
+	w("    and t2, t2, t3") // bounded cost
+	w("    st t2, 0(t1)")   // cost
+	w("    st t0, 8(t1)")   // id
+	w("    slli t2, t0, 3")
+	w("    add t2, t2, s9")
+	w("    st t1, 0(t2)") // ptrs[i] = &arc[i]
+	w("    addi t0, t0, 1")
+	w("    li t3, %d", cfg.Arcs)
+	w("    blt t0, t3, init")
+	// Sort setup: s4 = element size (runtime value, defeating compile-time
+	// strength reduction), s5 = comparator address.
+	w("    li s4, 8")
+	if o.StrengthReduce {
+		// Fixed-point inverse of the element size, computed once:
+		// s3 = 2^32 / size (the paper's optimization).
+		w("    li t0, 1")
+		w("    slli t0, t0, 32")
+		w("    divu s3, t0, s4")
+	}
+	w("    la s5, cost_compare")
+	w("    mov a0, s9")
+	w("    li t0, %d", (cfg.Arcs-1)*8)
+	w("    add a1, s9, t0")
+	w("    call spec_qsort")
+	// Verify ascending cost.
+	w("    call verify_cost")
+	w("    bnez a0, fail")
+	// Second sort with arc_compare (by id), as in the paper.
+	w("    la s5, arc_compare")
+	w("    mov a0, s9")
+	w("    li t0, %d", (cfg.Arcs-1)*8)
+	w("    add a1, s9, t0")
+	w("    call spec_qsort")
+	w("    call verify_id")
+	w("    bnez a0, fail")
+	// primal_bea_mpp scan phase.
+	w("    li s6, %d", cfg.ScanInvocations)
+	w("scan_outer:")
+	w("    call primal_bea_mpp")
+	w("    addi s6, s6, -1")
+	w("    bnez s6, scan_outer")
+	w("    li a0, 0")
+	w("exit:")
+	w("    ld ra, 8(sp)")
+	w("    addi sp, sp, 16")
+	w("    li a7, 93")
+	w("    syscall")
+	w("fail:")
+	w("    li a0, 1")
+	w("    j exit")
+	w(".endfunc")
+
+	// ------------------------------------------------------------------
+	// spec_qsort: recursive quicksort over [a0, a1] (element addresses,
+	// inclusive), element size s4, comparator s5. Middle-element pivot.
+	w(".func spec_qsort")
+	w("spec_qsort:")
+	w("    bgeu a0, a1, qs_ret") // count < 2
+	w("    sub t0, a1, a0")
+	if o.StrengthReduce {
+		// count-1 = diff × (2^32/size) >> 32 (diff ≥ 0 here).
+		w("    mul t0, t0, s3")
+		w("    srli t0, t0, 32")
+	} else {
+		w("    div t0, t0, s4") // the CPI≈38 divide of §VI-A
+	}
+	w("    srli t0, t0, 1") // (count-1)/2
+	w("    mul t0, t0, s4")
+	w("    add t0, a0, t0") // mid element address
+	// Move pivot (middle element) to hi.
+	w("    ld t1, 0(t0)")
+	w("    ld t2, 0(a1)")
+	w("    st t2, 0(t0)")
+	w("    st t1, 0(a1)")
+
+	w("    addi sp, sp, -48")
+	w("    st ra, 40(sp)")
+	w("    st s6, 32(sp)")
+	w("    st s7, 24(sp)")
+	w("    st s8, 16(sp)")
+	w("    st s2, 8(sp)")
+	w("    st a0, 0(sp)") // lo
+
+	w("    mov s8, a1")     // hi
+	w("    ld s2, 0(a1)")   // pivot record pointer
+	w("    sub s6, a0, s4") // i = lo - size
+	w("    mov s7, a0")     // j = lo
+	w("qs_loop:")
+	w("    bgeu s7, s8, qs_after")
+	w("    ld a0, 0(s7)")
+	w("    mov a1, s2")
+	w("    callr s5") // comparator: the paper's hot indirect call
+	w("    bge a0, zero, qs_next")
+	w("    add s6, s6, s4")
+	w("    ld t0, 0(s6)")
+	w("    ld t1, 0(s7)")
+	w("    st t1, 0(s6)")
+	w("    st t0, 0(s7)")
+	w("qs_next:")
+	w("    add s7, s7, s4")
+	w("    j qs_loop")
+	w("qs_after:")
+	w("    add s6, s6, s4")
+	w("    ld t0, 0(s6)")
+	w("    ld t1, 0(s8)")
+	w("    st t1, 0(s6)")
+	w("    st t0, 0(s8)")
+	// Recurse [lo, i-size] and [i+size, hi].
+	w("    ld a0, 0(sp)")
+	w("    sub a1, s6, s4")
+	w("    call spec_qsort")
+	w("    add a0, s6, s4")
+	w("    mov a1, s8")
+	w("    call spec_qsort")
+	w("    ld ra, 40(sp)")
+	w("    ld s6, 32(sp)")
+	w("    ld s7, 24(sp)")
+	w("    ld s8, 16(sp)")
+	w("    ld s2, 8(sp)")
+	w("    addi sp, sp, 48")
+	w("qs_ret:")
+	w("    ret")
+	w(".endfunc")
+
+	// ------------------------------------------------------------------
+	// Comparators. Baseline: data-dependent branches (expensive on random
+	// costs). Optimized: branch-free compare via slt/sub, the cmov-style
+	// rewrite the compiler emits for `return a>b ? 1 : (a<b ? -1 : 0)`.
+	writeCompare := func(name string, field int) {
+		w(".func %s", name)
+		w("%s:", name)
+		w("    ld t0, %d(a0)", field)
+		w("    ld t1, %d(a1)", field)
+		if o.BranchFree {
+			w("    slt t2, t0, t1")
+			w("    slt t3, t1, t0")
+			w("    sub a0, t3, t2")
+			w("    ret")
+		} else {
+			w("    blt t0, t1, %s_lt", name)
+			w("    blt t1, t0, %s_gt", name)
+			w("    li a0, 0")
+			w("    ret")
+			w("%s_lt:", name)
+			w("    li a0, -1")
+			w("    ret")
+			w("%s_gt:", name)
+			w("    li a0, 1")
+			w("    ret")
+		}
+		w(".endfunc")
+	}
+	writeCompare("cost_compare", 0)
+	writeCompare("arc_compare", 8)
+
+	// ------------------------------------------------------------------
+	// Verifiers: ascending order by cost / id.
+	writeVerify := func(name string, field int) {
+		w(".func %s", name)
+		w("%s:", name)
+		w("    li t0, 1")
+		w("%s_loop:", name)
+		w("    li t1, %d", cfg.Arcs)
+		w("    bge t0, t1, %s_ok", name)
+		w("    slli t2, t0, 3")
+		w("    add t2, t2, s9")
+		w("    ld t3, 0(t2)")
+		w("    ld t4, -8(t2)")
+		w("    ld t3, %d(t3)", field)
+		w("    ld t4, %d(t4)", field)
+		w("    blt t3, t4, %s_bad", name)
+		w("    addi t0, t0, 1")
+		w("    j %s_loop", name)
+		w("%s_ok:", name)
+		w("    li a0, 0")
+		w("    ret")
+		w("%s_bad:", name)
+		w("    li a0, 1")
+		w("    ret")
+		w(".endfunc")
+	}
+	writeVerify("verify_cost", 0)
+	writeVerify("verify_id", 8)
+
+	// ------------------------------------------------------------------
+	// primal_bea_mpp: scan all arcs tracking the minimum reduced cost —
+	// the §VI-A unrolling candidate (~18 instructions and one iteration
+	// per arc).
+	w(".func primal_bea_mpp")
+	w("primal_bea_mpp:")
+	w("    mov t0, s9") // ptr
+	w("    li t1, %d", cfg.Arcs*8)
+	w("    add t1, t1, s9")    // end
+	w("    li t2, 0x7fffffff") // best
+	w("    li t3, 0")          // best arc
+	bodyN := 0
+	body := func() {
+		bodyN++
+		skip := fmt.Sprintf("pb_skip_%d", bodyN)
+		w("    ld t4, 0(t0)") // arc pointer
+		w("    ld t5, 0(t4)") // cost
+		w("    ld t6, 8(t4)") // id (stands in for the node potential)
+		w("    slli t6, t6, 1")
+		w("    sub t5, t5, t6") // reduced cost
+		w("    bge t5, t2, %s", skip)
+		w("    mov t2, t5")
+		w("    mov t3, t4")
+		w("%s:", skip)
+		w("    addi t0, t0, 8")
+	}
+	if o.Unroll {
+		w("pb_loop:")
+		for i := 0; i < 4; i++ {
+			body()
+		}
+		w("    bltu t0, t1, pb_loop")
+	} else {
+		w("pb_loop:")
+		body()
+		w("    bltu t0, t1, pb_loop")
+	}
+	w("    xor a0, t2, t3")
+	w("    ret")
+	w(".endfunc")
+
+	return b.String()
+}

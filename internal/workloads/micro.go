@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fig1 returns the paper's motivating example (figure 1): a hot loop of
+// cheap ALU operations around a single cache-missing load. Sampling alone
+// smears time, counting alone is uniform — the combined CPI pinpoints the
+// load.
+func Fig1() string {
+	return `
+.module fig1
+.text
+.func main
+main:
+    li a0, 0x100008000000
+    li a7, 214
+    syscall             # brk: reserve a 128 MiB heap
+    li s10, 0x100000000000
+    li t0, 0
+    li t1, 40000
+    li t2, 0x7ffffc0
+    li a1, 0
+.loc fig1.c 10
+loop:
+    and t3, t0, t2
+    add t3, t3, s10
+.loc fig1.c 12
+    ld a2, 0(t3)        # the cache-missing load
+.loc fig1.c 13
+    add a1, a1, a2
+    xor a3, a1, t0
+    add a3, a3, t0
+    addi t0, t0, 64
+    addi t1, t1, -1
+    bnez t1, loop
+    li a7, 93
+    li a0, 0
+    syscall
+.endfunc
+`
+}
+
+// Fig1LoadOffset is the module offset of Fig1's cache-missing load.
+const Fig1LoadOffset = 10 * 4
+
+// Fig2 returns the figure 2 pipeline-timeline example: a short dependent/
+// independent instruction mix in a loop. Run with a timeline trace to
+// regenerate the figure; run with sampling to demonstrate that
+// instructions which always commit alongside an older instruction are
+// never sampled.
+func Fig2() string {
+	return `
+.module fig2
+.data
+cell: .quad 7
+.text
+.func main
+main:
+    la s10, cell
+    li s7, 60000
+loop:
+    ld t0, 0(s10)       # 1: load (L1 hit after warmup)
+    addi t1, t0, 1      # 2: depends on 1
+    mul t2, t0, t0      # 3: depends on 1, 3-cycle multiply
+    addi t3, t1, 1      # 4: depends on 2
+    xor t4, t1, t2      # 5: depends on 2,3
+    add t5, t2, t3      # 6: depends on 3,4
+    addi s7, s7, -1     # 7: independent
+    bnez s7, loop       # 8: depends on 7
+    li a7, 93
+    li a0, 0
+    syscall
+.endfunc
+`
+}
+
+// Fig8 returns the figure 8 micro-benchmark: a loop whose store misses the
+// LLC, followed by independent single-cycle arithmetic. Under skid-mode
+// sampling on the x86-style machine, the slow store itself receives few
+// samples; the sample mass lands just after the stall clears, and
+// commit-group leaders collect moderate counts.
+func Fig8() string {
+	var b strings.Builder
+	w := func(f string, a ...any) { fmt.Fprintf(&b, f+"\n", a...) }
+	w(".module fig8")
+	w(".text")
+	w(".func main")
+	w("main:")
+	w("    li a0, 0x100010000000")
+	w("    li a7, 214")
+	w("    syscall")
+	w("    li s10, 0x100000000000")
+	w("    li t0, 0")
+	w("    li s7, 30000")
+	w("    li t2, 0xfffffc0") // 256 MiB mask, line stride
+	w("loop:")
+	w("    and t3, t0, t2")
+	w("    add t3, t3, s10")
+	w("    st a1, 0(t3)") // long-latency store (misses everywhere)
+	// 15 independent arithmetic ops, echoing the xor/add pattern.
+	for i := 0; i < 15; i++ {
+		if i%2 == 0 {
+			w("    xor a2, a3, a4")
+		} else {
+			w("    add a2, a3, a4")
+		}
+	}
+	w("    addi t0, t0, 64")
+	w("    addi s7, s7, -1")
+	w("    bnez s7, loop")
+	w("    li a7, 93")
+	w("    li a0, 0")
+	w("    syscall")
+	w(".endfunc")
+	return b.String()
+}
+
+// Fig8StoreOffset is the module offset of Fig8's long-latency store
+// (instructions: li,li,syscall,li,li,li,li + and,add = 9 before it).
+const Fig8StoreOffset = 9 * 4
+
+// Fig9 returns the figure 9 micro-benchmark for the Neoverse-style
+// machine: a slow divide followed by a long series of non-abortable
+// arithmetic operations that all consume its result. With the N1
+// early-dequeue commit model, samples land on the instruction at the
+// issue-queue back-pressure distance (~48 instructions later), not on the
+// divide.
+func Fig9() string {
+	var b strings.Builder
+	w := func(f string, a ...any) { fmt.Fprintf(&b, f+"\n", a...) }
+	w(".module fig9")
+	w(".text")
+	w(".func main")
+	w("main:")
+	w("    li s7, 20000")
+	w("    li t1, 982451653")
+	w("    li t2, 37")
+	w("loop:")
+	// A dependent chain of slow divides: the stall during which the
+	// issue queue backs up. (The paper's single udiv stalls its N1 for a
+	// comparable fraction of the loop.)
+	w("    divu t0, t1, t2")
+	w("    divu t0, t0, t2")
+	w("    divu t0, t0, t2")
+	// Arithmetic consumers of the divide result: none can abort, all wait
+	// in the issue queue, which backs up at 48 entries past the divide.
+	for i := 0; i < 64; i++ {
+		w("    add a%d, t0, t1", 1+i%4)
+	}
+	w("    addi t1, t1, 3")
+	w("    addi s7, s7, -1")
+	w("    bnez s7, loop")
+	w("    li a7, 93")
+	w("    li a0, 0")
+	w("    syscall")
+	w(".endfunc")
+	return b.String()
+}
+
+// Fig9DivOffset is the module offset of Fig9's divide (after li,li,li).
+const Fig9DivOffset = 3 * 4

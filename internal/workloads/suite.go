@@ -1,0 +1,195 @@
+package workloads
+
+// Suite returns the 23-benchmark synthetic stand-in for SPEC CPU2017
+// (§V-A / figure 7), in the paper's naming. Each spec recreates its
+// benchmark's published character along the axes that drive the paper's
+// results: indirect-branch density (DynamoRIO clean-call overhead),
+// working-set size, branch entropy, call density, and int/FP/divide mix.
+//
+// The iteration counts give every program a few hundred thousand dynamic
+// instructions — big enough for stable profiles, small enough that the
+// whole suite simulates in seconds. Use Spec.Scale to grow them.
+func Suite() []Spec {
+	return []Spec{
+		// ---- SPECrate 2017 Integer ----
+		{
+			Name: "500.perlbench", Lang: "C",
+			Desc:    "interpreter dispatch: dense indirect jumps, branchy",
+			BodyOps: 60, Iterations: 2600,
+			ALU: 5, Mul: 0.3, Load: 2.5, Store: 1,
+			WorkingSetKB: 256, RandomBranchEvery: 12,
+			IndirectEvery: 10, IndirectTargets: 32, CallEvery: 25,
+		},
+		{
+			Name: "502.gcc", Lang: "C",
+			Desc:    "compiler passes: pointer-heavy, call-heavy, moderate indirects",
+			BodyOps: 60, Iterations: 2400,
+			ALU: 5, Mul: 0.4, Load: 3, Store: 1.4,
+			WorkingSetKB: 2048, RandomBranchEvery: 14,
+			IndirectEvery: 24, IndirectTargets: 16, CallEvery: 12,
+		},
+		{
+			Name: "505.mcf", Lang: "C",
+			Desc:    "vehicle routing: cache-missing pointer chasing, hard branches",
+			BodyOps: 45, Iterations: 9000,
+			ALU: 4, Load: 3.2, Store: 0.8, Chase: true,
+			WorkingSetKB: 8192, RandomBranchEvery: 9,
+		},
+		{
+			Name: "520.omnetpp", Lang: "C++",
+			Desc:    "discrete event simulation: virtual calls, scattered heap",
+			BodyOps: 55, Iterations: 2400,
+			ALU: 4.5, Load: 3, Store: 1.2,
+			WorkingSetKB: 16384, RandomBranchEvery: 15,
+			IndirectEvery: 14, IndirectTargets: 24, CallEvery: 20,
+		},
+		{
+			Name: "523.xalancbmk", Lang: "C++",
+			Desc:    "XSLT processing: extreme virtual-dispatch density (figure 7 worst case)",
+			BodyOps: 56, Iterations: 2400,
+			ALU: 4, Load: 2.4, Store: 0.9,
+			WorkingSetKB: 4096, RandomBranchEvery: 18,
+			IndirectEvery: 4, IndirectTargets: 64, CallEvery: 30,
+		},
+		{
+			Name: "525.x264", Lang: "C",
+			Desc:    "video encoding: regular compute loops, SIMD-like ALU mixes",
+			BodyOps: 64, Iterations: 2800,
+			ALU: 7, Mul: 1.2, Load: 2.2, Store: 1.2,
+			WorkingSetKB: 1024, RandomBranchEvery: 30,
+		},
+		{
+			Name: "531.deepsjeng", Lang: "C++",
+			Desc:    "chess search: huge transposition-table lookups, branchy",
+			BodyOps: 50, Iterations: 8000,
+			ALU: 5, Mul: 0.5, Load: 2.4, Store: 0.8, Chase: true,
+			WorkingSetKB: 16384, RandomBranchEvery: 10, CallEvery: 26,
+		},
+		{
+			Name: "541.leela", Lang: "C++",
+			Desc:    "go engine: tree search, moderate misses, FP eval",
+			BodyOps: 52, Iterations: 2600,
+			ALU: 5, FP: 1.2, Load: 2.4, Store: 0.9,
+			WorkingSetKB: 8192, RandomBranchEvery: 12, CallEvery: 18,
+		},
+		{
+			Name: "548.exchange2", Lang: "Fortran",
+			Desc:    "puzzle solver: tight recursive integer kernels, cache resident",
+			BodyOps: 64, Iterations: 3000,
+			ALU: 8, Mul: 0.6, Load: 1.6, Store: 0.8,
+			WorkingSetKB: 64, RandomBranchEvery: 20, CallEvery: 16,
+		},
+		{
+			Name: "557.xz", Lang: "C",
+			Desc:    "compression: match-finding loads, unpredictable branches",
+			BodyOps: 54, Iterations: 2800,
+			ALU: 5.5, Load: 2.8, Store: 1.2,
+			WorkingSetKB: 32768, RandomBranchEvery: 8, CallEvery: 50,
+		},
+
+		// ---- SPECrate 2017 Floating Point ----
+		{
+			Name: "503.bwaves", Lang: "Fortran",
+			Desc:    "blast waves: dense FP loops with divides",
+			BodyOps: 60, Iterations: 2600,
+			ALU: 2, FP: 6, FDiv: 0.5, Load: 2.4, Store: 1,
+			WorkingSetKB: 16384, RandomBranchEvery: 0,
+		},
+		{
+			Name: "507.cactuBSSN", Lang: "C++/Fortran",
+			Desc:    "numerical relativity: large stencils, FP dominant",
+			BodyOps: 66, Iterations: 2400,
+			ALU: 2.5, FP: 6.5, Load: 3, Store: 1.4,
+			WorkingSetKB: 32768, CallEvery: 45,
+		},
+		{
+			Name: "508.namd", Lang: "C++",
+			Desc:    "molecular dynamics: FP mul/add pairs, cache friendly",
+			BodyOps: 64, Iterations: 2800,
+			ALU: 2, FP: 7, Load: 2.2, Store: 0.8,
+			WorkingSetKB: 1024, CallEvery: 50,
+		},
+		{
+			Name: "510.parest", Lang: "C++",
+			Desc:    "finite elements: sparse linear algebra, indirect-ish call mix",
+			BodyOps: 58, Iterations: 2400,
+			ALU: 3, FP: 5, Load: 3, Store: 1,
+			WorkingSetKB: 16384, CallEvery: 18, IndirectEvery: 40, IndirectTargets: 8,
+		},
+		{
+			Name: "511.povray", Lang: "C++",
+			Desc:    "ray tracing: FP heavy with branchy intersection tests, virtual calls",
+			BodyOps: 56, Iterations: 2400,
+			ALU: 3, FP: 5, FDiv: 0.4, Load: 2, Store: 0.6,
+			WorkingSetKB: 512, RandomBranchEvery: 12,
+			IndirectEvery: 20, IndirectTargets: 16, CallEvery: 14,
+		},
+		{
+			Name: "519.lbm", Lang: "C",
+			Desc:    "lattice Boltzmann: streaming FP over a huge grid",
+			BodyOps: 68, Iterations: 2400,
+			ALU: 1.6, FP: 6.5, Load: 3.2, Store: 2,
+			WorkingSetKB: 131072,
+		},
+		{
+			Name: "521.wrf", Lang: "Fortran",
+			Desc:    "weather model: broad FP mix, very large code/data footprint",
+			BodyOps: 72, Iterations: 2200,
+			ALU: 3, FP: 5.5, FDiv: 0.25, Load: 3, Store: 1.4,
+			WorkingSetKB: 65536, RandomBranchEvery: 24, CallEvery: 24,
+		},
+		{
+			Name: "526.blender", Lang: "C/C++",
+			Desc:    "rendering: FP with branchy shading and virtual dispatch",
+			BodyOps: 58, Iterations: 2400,
+			ALU: 3.5, FP: 4.5, Load: 2.4, Store: 1,
+			WorkingSetKB: 8192, RandomBranchEvery: 14,
+			IndirectEvery: 18, IndirectTargets: 24, CallEvery: 20,
+		},
+		{
+			Name: "527.cam4", Lang: "Fortran",
+			Desc:    "atmosphere model: FP physics kernels, moderate branching",
+			BodyOps: 64, Iterations: 2300,
+			ALU: 3, FP: 5.5, FDiv: 0.2, Load: 2.6, Store: 1.2,
+			WorkingSetKB: 32768, RandomBranchEvery: 26, CallEvery: 28,
+		},
+		{
+			Name: "538.imagick", Lang: "C",
+			Desc:    "image processing: saturating FP pixel kernels, predictable",
+			BodyOps: 66, Iterations: 2600,
+			ALU: 4, FP: 5, Load: 2.2, Store: 1.2,
+			WorkingSetKB: 4096, CallEvery: 60,
+		},
+		{
+			Name: "544.nab", Lang: "C",
+			Desc:    "molecular modelling: FP with sqrt-ish divides",
+			BodyOps: 60, Iterations: 2500,
+			ALU: 3, FP: 5, FDiv: 0.6, Load: 2.2, Store: 0.8,
+			WorkingSetKB: 2048, CallEvery: 55,
+		},
+		{
+			Name: "549.fotonik3d", Lang: "Fortran",
+			Desc:    "electromagnetics: regular stencil sweeps over big arrays",
+			BodyOps: 66, Iterations: 2300,
+			ALU: 2, FP: 6, Load: 3.2, Store: 1.6,
+			WorkingSetKB: 65536,
+		},
+		{
+			Name: "554.roms", Lang: "Fortran",
+			Desc:    "ocean model: FP stencils with divides, large grids",
+			BodyOps: 64, Iterations: 2300,
+			ALU: 2.5, FP: 5.5, FDiv: 0.3, Load: 3, Store: 1.4,
+			WorkingSetKB: 32768, RandomBranchEvery: 30, CallEvery: 50,
+		},
+	}
+}
+
+// SpecByName returns the named suite benchmark.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,346 @@
+// Package workloads provides the benchmark programs of the reproduction:
+// a 23-program synthetic suite standing in for SPEC CPU2017 (figure 7), the
+// micro-benchmarks behind figures 1, 2, 8 and 9, and the three case-study
+// programs of §VI with their hand-optimized variants.
+//
+// The suite programs are generated from per-benchmark instruction-mix
+// specifications: what drives every result in the paper's evaluation is not
+// SPEC's semantics but its diversity of control-flow and memory behaviour —
+// indirect-branch density (instrumentation overhead, figure 7), working-set
+// size (cache-bound CPI), branch entropy (mispredict cost), and
+// floating-point/divide mix. Each spec recreates its benchmark's published
+// character along exactly those axes.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Spec describes one synthetic benchmark's instruction mix.
+type Spec struct {
+	Name string
+	// Lang records the source language of the original benchmark (for
+	// reporting flavor only).
+	Lang string
+	// Desc summarizes the behaviour being imitated.
+	Desc string
+
+	// BodyOps is the number of generated operations per inner iteration;
+	// Iterations the number of inner iterations.
+	BodyOps    int
+	Iterations int
+
+	// Relative operation weights (need not sum to 1).
+	ALU, Mul, Div, FP, FDiv, Load, Store float64
+
+	// Chase makes loads dependent (pointer chasing) rather than random.
+	Chase bool
+	// WorkingSetKB is the memory footprint touched by loads/stores.
+	WorkingSetKB int
+
+	// RandomBranchEvery inserts a data-dependent (unpredictable)
+	// conditional branch every N ops (0 = none).
+	RandomBranchEvery int
+	// IndirectEvery inserts an indirect-jump dispatch every N ops
+	// (0 = none); IndirectTargets is the dispatch-table size.
+	IndirectEvery   int
+	IndirectTargets int
+	// CallEvery inserts a direct call to a tiny helper every N ops.
+	CallEvery int
+}
+
+// Scale multiplies the iteration count, returning a copy. The overhead
+// harness uses it to trade accuracy for wall-clock time.
+func (s Spec) Scale(f float64) Spec {
+	s.Iterations = int(float64(s.Iterations) * f)
+	if s.Iterations < 1 {
+		s.Iterations = 1
+	}
+	return s
+}
+
+// Generate renders the spec as an OWISA assembly program.
+//
+// Program shape:
+//
+//	main:
+//	  initialize a working-set table with pseudo-random words
+//	  for it = Iterations down to 1:
+//	    <generated body: BodyOps weighted operations, plus the
+//	     configured branch/indirect/call constructs>
+//	  exit(checksum & 0xff)
+//
+// Registers: s10 = table base, s9 = address mask, s11 = checksum,
+// s8 = LCG state, s7 = outer counter, s6 = helper-preserved scratch.
+func Generate(s Spec) string {
+	g := &synthGen{
+		rng: rand.New(rand.NewSource(int64(hashName(s.Name)))),
+		s:   s,
+	}
+	return g.program()
+}
+
+// prevPow2 returns the largest power of two not exceeding n (min 1), used
+// to mask dispatch indices into the jump table without a division.
+func prevPow2(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+type synthGen struct {
+	rng *rand.Rand
+	s   Spec
+	b   strings.Builder
+	lbl int
+}
+
+func (g *synthGen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.b, "    "+format+"\n", args...)
+}
+
+func (g *synthGen) raw(format string, args ...any) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+func (g *synthGen) label(p string) string {
+	g.lbl++
+	return fmt.Sprintf("%s_%d", p, g.lbl)
+}
+
+// temp registers the generated ops may clobber.
+var synthRegs = []string{"t0", "t1", "t2", "t3", "t4", "t5", "a1", "a2", "a3", "a4"}
+
+func (g *synthGen) reg() string { return synthRegs[g.rng.Intn(len(synthRegs))] }
+
+func (g *synthGen) freg() string { return fmt.Sprintf("f%d", g.rng.Intn(10)) }
+
+func (g *synthGen) program() string {
+	s := g.s
+	wsBytes := s.WorkingSetKB << 10
+	if wsBytes < 4096 {
+		wsBytes = 4096
+	}
+	mask := uint64(wsBytes-1) &^ 7 // 8-byte aligned offsets within the set
+
+	g.raw(".module %s", s.Name)
+	g.raw(".data")
+	if s.IndirectEvery > 0 {
+		g.raw("jtab:")
+		for i := 0; i < s.IndirectTargets; i++ {
+			g.raw("    .quad h%d", i)
+		}
+	}
+	g.raw(".text")
+	g.raw(".func main")
+	g.raw("main:")
+	g.emit("addi sp, sp, -16")
+	g.emit("st ra, 8(sp)")
+	// Working set on the heap.
+	g.emit("li s10, 0x100000000000")
+	g.emit("li a0, 0x100000000000")
+	g.emit("addi a0, a0, %d", wsBytes)
+	g.emit("li a7, 214")
+	g.emit("syscall")
+	g.emit("li s9, %d", mask)
+	g.emit("li s11, 0")
+	g.emit("li s8, %d", g.rng.Int63n(1<<40)+1)
+	if s.Chase {
+		// Pointer chasing needs the table seeded with in-range offsets.
+		// One word per cache line suffices (the chase cursor is clamped
+		// to line starts), keeping initialization a small fraction of the
+		// benchmark's dynamic instructions.
+		g.raw(".loc %s.src 1", s.Name)
+		initLoop := g.label("init")
+		g.emit("li t0, 0")
+		g.raw("%s:", initLoop)
+		g.lcgStep()
+		g.emit("and t1, s8, s9")
+		g.emit("add t2, t0, s10")
+		g.emit("st t1, 0(t2)")
+		g.emit("addi t0, t0, 64")
+		g.emit("li t3, %d", wsBytes)
+		g.emit("blt t0, t3, %s", initLoop)
+	}
+	// Seed FP registers.
+	for i := 0; i < 6; i++ {
+		g.emit("fli f%d, %g", i, 1.0+float64(g.rng.Intn(50))/7)
+	}
+	// Outer loop.
+	g.raw(".loc %s.src 10", s.Name)
+	outer := g.label("outer")
+	g.emit("li s7, %d", s.Iterations)
+	g.emit("li s5, %d", 0) // chase cursor
+	g.raw("%s:", outer)
+	g.body()
+	g.emit("addi s7, s7, -1")
+	g.emit("bnez s7, %s", outer)
+	// Exit with checksum.
+	g.raw(".loc %s.src 90", s.Name)
+	g.emit("ld ra, 8(sp)")
+	g.emit("addi sp, sp, 16")
+	g.emit("andi a0, s11, 255")
+	g.emit("li a7, 93")
+	g.emit("syscall")
+	g.raw(".endfunc")
+
+	// Helper functions.
+	if s.CallEvery > 0 {
+		g.raw(".func helper")
+		g.raw("helper:")
+		g.emit("add s6, a1, a2")
+		g.emit("xor s6, s6, a3")
+		g.emit("ret")
+		g.raw(".endfunc")
+	}
+	if s.IndirectEvery > 0 {
+		for i := 0; i < s.IndirectTargets; i++ {
+			g.raw(".func h%d", i)
+			g.raw("h%d:", i)
+			// Each handler does a couple of distinct ops then returns.
+			g.emit("addi s6, s6, %d", i+1)
+			g.emit("xor s11, s11, s6")
+			g.emit("ret")
+			g.raw(".endfunc")
+		}
+	}
+	return g.b.String()
+}
+
+// lcgStep advances the run-time LCG in s8 (Knuth MMIX constants).
+func (g *synthGen) lcgStep() {
+	g.emit("li t6, %d", 6364136223846793005)
+	g.emit("mul s8, s8, t6")
+	g.emit("li t6, %d", 1442695040888963407)
+	g.emit("add s8, s8, t6")
+}
+
+// body emits one inner iteration.
+func (g *synthGen) body() {
+	s := g.s
+	total := s.ALU + s.Mul + s.Div + s.FP + s.FDiv + s.Load + s.Store
+	if total <= 0 {
+		total = 1
+		s.ALU = 1
+	}
+	for i := 0; i < s.BodyOps; i++ {
+		if s.RandomBranchEvery > 0 && i%s.RandomBranchEvery == s.RandomBranchEvery-1 {
+			g.randomBranch()
+		}
+		if s.IndirectEvery > 0 && i%s.IndirectEvery == s.IndirectEvery-1 {
+			g.indirectDispatch()
+		}
+		if s.CallEvery > 0 && i%s.CallEvery == s.CallEvery-1 {
+			g.emit("call helper")
+		}
+		g.op(total)
+	}
+}
+
+func (g *synthGen) op(total float64) {
+	s := g.s
+	x := g.rng.Float64() * total
+	switch {
+	case x < s.ALU:
+		switch g.rng.Intn(4) {
+		case 0:
+			g.emit("add %s, %s, %s", g.reg(), g.reg(), g.reg())
+		case 1:
+			g.emit("xor %s, %s, %s", g.reg(), g.reg(), g.reg())
+		case 2:
+			g.emit("addi %s, %s, %d", g.reg(), g.reg(), g.rng.Intn(512))
+		default:
+			g.emit("slli %s, %s, %d", g.reg(), g.reg(), g.rng.Intn(8))
+		}
+	case x < s.ALU+s.Mul:
+		g.emit("mul %s, %s, %s", g.reg(), g.reg(), g.reg())
+	case x < s.ALU+s.Mul+s.Div:
+		g.emit("ori %s, %s, 1", "t5", g.reg()) // avoid div-by-zero wildness
+		g.emit("div %s, %s, t5", g.reg(), g.reg())
+	case x < s.ALU+s.Mul+s.Div+s.FP:
+		switch g.rng.Intn(3) {
+		case 0:
+			g.emit("fadd %s, %s, %s", g.freg(), g.freg(), g.freg())
+		case 1:
+			g.emit("fmul %s, %s, %s", g.freg(), g.freg(), g.freg())
+		default:
+			g.emit("fsub %s, %s, %s", g.freg(), g.freg(), g.freg())
+		}
+	case x < s.ALU+s.Mul+s.Div+s.FP+s.FDiv:
+		g.emit("fdiv %s, %s, %s", g.freg(), g.freg(), g.freg())
+	case x < s.ALU+s.Mul+s.Div+s.FP+s.FDiv+s.Load:
+		g.load()
+	default:
+		g.store()
+	}
+}
+
+// load emits a table read: pointer-chasing (serialized misses) when
+// s.Chase, else LCG-addressed (overlapping misses).
+func (g *synthGen) load() {
+	if g.s.Chase {
+		// s5 holds the previous loaded word (an in-range offset); clamp
+		// it to a line start, where the initializer seeded a pointer.
+		g.emit("and s5, s5, s9")
+		g.emit("li t6, -64")
+		g.emit("and s5, s5, t6")
+		g.emit("add t6, s5, s10")
+		g.emit("ld s5, 0(t6)")
+		g.emit("xor s11, s11, s5")
+		return
+	}
+	g.lcgStep()
+	g.emit("and t6, s8, s9")
+	g.emit("add t6, t6, s10")
+	g.emit("ld %s, 0(t6)", g.reg())
+}
+
+func (g *synthGen) store() {
+	g.lcgStep()
+	g.emit("and t6, s8, s9")
+	g.emit("add t6, t6, s10")
+	// Keep stored values in-range offsets so chasing stays valid.
+	g.emit("and t5, %s, s9", g.reg())
+	g.emit("st t5, 0(t6)")
+}
+
+// randomBranch emits an unpredictable data-dependent diamond.
+func (g *synthGen) randomBranch() {
+	g.lcgStep()
+	skip := g.label("skip")
+	g.emit("srli t6, s8, %d", 13+g.rng.Intn(8))
+	g.emit("andi t6, t6, 1")
+	g.emit("beqz t6, %s", skip)
+	g.emit("addi s11, s11, 1")
+	g.raw("%s:", skip)
+}
+
+// indirectDispatch jumps through the jtab function-pointer table — the
+// construct that makes instrumentation expensive (§IV-C clean calls).
+func (g *synthGen) indirectDispatch() {
+	g.lcgStep()
+	g.emit("srli t6, s8, 17")
+	g.emit("andi t6, t6, %d", prevPow2(g.s.IndirectTargets)-1)
+	g.emit("slli t6, t6, 3")
+	g.emit("la t5, jtab")
+	g.emit("add t5, t5, t6")
+	g.emit("ld t6, 0(t5)")
+	// Convert the stored module offset to an absolute address.
+	g.emit("li t5, 0x200000")
+	g.emit("sub t5, gp, t5")
+	g.emit("add t6, t6, t5")
+	g.emit("callr t6")
+}

@@ -1,0 +1,20 @@
+package optiwise
+
+import (
+	"io"
+
+	"optiwise/internal/dbi"
+	"optiwise/internal/sampler"
+)
+
+// ReadSampleProfile deserializes a sampling profile written by
+// SampleProfile.Write.
+func ReadSampleProfile(r io.Reader) (*SampleProfile, error) {
+	return sampler.Read(r)
+}
+
+// ReadEdgeProfile deserializes an edge profile written by
+// EdgeProfile.Write.
+func ReadEdgeProfile(r io.Reader) (*EdgeProfile, error) {
+	return dbi.Read(r)
+}

@@ -1,0 +1,383 @@
+// Package optiwise is a from-scratch reproduction of "OptiWISE: Combining
+// Sampling and Instrumentation for Granular CPI Analysis" (CGO 2024).
+//
+// OptiWISE profiles a program twice — once with low-overhead periodic
+// sampling that measures real performance, and once with dynamic binary
+// instrumentation that captures exact control flow and execution counts —
+// and combines the two into a per-instruction CPI metric, aggregated to
+// basic blocks, merged loops, source lines, and functions.
+//
+// Because the original runs on x86-64/AArch64 hardware under Linux perf and
+// DynamoRIO, this reproduction ships its entire substrate: the OWISA toy
+// ISA and assembler, a cycle-level out-of-order superscalar simulator with
+// ROB-head sampling semantics (the "hardware"), a perf-like sampler, and a
+// DynamoRIO-like instrumentation engine. See DESIGN.md for the inventory.
+//
+// # Quick start
+//
+//	prog, err := optiwise.Assemble("demo", source)
+//	...
+//	prof, err := optiwise.Profile(prog, optiwise.Options{})
+//	...
+//	optiwise.WriteReport(os.Stdout, prof)
+package optiwise
+
+import (
+	"io"
+
+	"optiwise/internal/asm"
+	"optiwise/internal/core"
+	"optiwise/internal/dbi"
+	"optiwise/internal/interp"
+	"optiwise/internal/ooo"
+	"optiwise/internal/program"
+	"optiwise/internal/report"
+	"optiwise/internal/sampler"
+)
+
+// Machine describes the simulated processor a program is profiled on.
+type Machine = ooo.Config
+
+// XeonW2195 returns the paper's x86-style evaluation machine: 4-wide
+// out-of-order, large ROB, skid-prone sampling at the reorder-buffer head.
+func XeonW2195() Machine { return ooo.XeonW2195() }
+
+// NeoverseN1 returns the paper's AArch64-style machine with the
+// early-dequeue commit model of §V-B.
+func NeoverseN1() Machine { return ooo.NeoverseN1() }
+
+// Program is an assembled OWISA module ready to run or profile.
+type Program struct {
+	prog *program.Program
+}
+
+// Assemble builds a Program from OWISA assembly source. The module name
+// keys all profile data (see internal/asm for the syntax).
+func Assemble(module, source string) (*Program, error) {
+	p, err := asm.Assemble(module, source)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: p}, nil
+}
+
+// Module returns the program's module identifier.
+func (p *Program) Module() string { return p.prog.Module }
+
+// WriteBinary serializes the assembled program as an OWX image — the
+// repository's ELF stand-in, consumable by the optiwise CLI without
+// re-assembly.
+func (p *Program) WriteBinary(w io.Writer) error { return p.prog.WriteOWX(w) }
+
+// ReadBinary loads a program from an OWX image written by WriteBinary.
+func ReadBinary(r io.Reader) (*Program, error) {
+	raw, err := program.ReadOWX(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: raw}, nil
+}
+
+// Raw exposes the underlying program image for advanced use (report
+// annotation, custom analyses).
+func (p *Program) Raw() *program.Program { return p.prog }
+
+// RunResult describes one native (uninstrumented, unsampled) execution.
+type RunResult struct {
+	// Cycles is the simulated execution time.
+	Cycles uint64
+	// Instructions retired.
+	Instructions uint64
+	// IPC is Instructions/Cycles.
+	IPC float64
+	// ExitCode is the program's exit status; Output its stdout+stderr.
+	ExitCode int64
+	Output   []byte
+	// Mispredicts and Branches describe control-flow behaviour.
+	Mispredicts uint64
+	Branches    uint64
+}
+
+// Run executes the program natively on machine m — the baseline the
+// paper's figure 7 overheads are measured against.
+func (p *Program) Run(m Machine) (RunResult, error) {
+	img := program.Load(p.prog, program.LoadOptions{})
+	sim := ooo.New(m, img, ooo.Options{RandSeed: 7})
+	st, err := sim.Run(0)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunResult{
+		Cycles:       st.Cycles,
+		Instructions: st.Instructions,
+		IPC:          st.IPC(),
+		ExitCode:     sim.Arch().ExitCode,
+		Output:       sim.Arch().Output,
+		Mispredicts:  st.Mispredicts,
+		Branches:     st.Branches,
+	}, nil
+}
+
+// Interpret executes the program on the functional interpreter (no
+// timing) — the native baseline of the instrumentation overhead model.
+func (p *Program) Interpret() (RunResult, error) {
+	m := interp.New(program.Load(p.prog, program.LoadOptions{}), 7)
+	if err := m.Run(0); err != nil {
+		return RunResult{}, err
+	}
+	return RunResult{
+		Instructions: m.Steps,
+		ExitCode:     m.ExitCode,
+		Output:       m.Output,
+	}, nil
+}
+
+// Attribution selects how samples map back to instructions; see §III and
+// §V-B of the paper.
+type Attribution = core.Attribution
+
+// Attribution modes.
+const (
+	AttrAuto        = core.AttrAuto
+	AttrNone        = core.AttrNone
+	AttrPredecessor = core.AttrPredecessor
+)
+
+// Options configures a full OptiWISE profiling run (both executions plus
+// analysis). The zero value is a sensible default.
+type Options struct {
+	// Machine is the simulated processor; zero value means XeonW2195.
+	Machine Machine
+	// SamplePeriod is the sampling period in user cycles (default 2000).
+	SamplePeriod uint64
+	// InterruptCost is kernel cycles per sample (default
+	// sampler.DefaultInterruptCost).
+	InterruptCost uint64
+	// Precise selects PEBS-style precise sample attribution.
+	Precise bool
+	// SampleJitter varies the sampling period (±25%), modelling the
+	// interrupt-timing noise the per-sample weights correct (§IV-B).
+	SampleJitter bool
+	// StackProfiling enables the Algorithm 1 instrumentation (§IV-D);
+	// without it, loop and function totals lack callee attribution.
+	// Default on (matching the tool's default).
+	DisableStackProfiling bool
+	// Attribution overrides the sample re-attribution mode.
+	Attribution Attribution
+	// Unweighted ignores per-sample cycle weights (ablation).
+	Unweighted bool
+	// LoopThreshold is Algorithm 2's T (default 3).
+	LoopThreshold uint64
+	// SampleASLRSeed / InstrASLRSeed randomize each run's load base;
+	// distinct bases exercise the module-relative aggregation of §IV-A.
+	SampleASLRSeed int64
+	InstrASLRSeed  int64
+	// RandSeed seeds the profiled program's deterministic SysRand.
+	RandSeed uint64
+}
+
+func (o *Options) fill() {
+	if o.Machine.Name == "" {
+		o.Machine = XeonW2195()
+	}
+	if o.SamplePeriod == 0 {
+		o.SamplePeriod = 2000
+	}
+	if o.InterruptCost == 0 {
+		o.InterruptCost = sampler.DefaultInterruptCost
+	}
+	if o.SampleASLRSeed == 0 {
+		o.SampleASLRSeed = 101
+	}
+	if o.InstrASLRSeed == 0 {
+		o.InstrASLRSeed = 202
+	}
+}
+
+// Result is the combined granular-CPI profile. It aliases the analysis
+// package's type, so all query methods (InstAt, FuncByName, LoopByHeader,
+// HottestInst) and record slices (Insts, Funcs, Loops, Lines) are
+// available.
+type Result = core.Profile
+
+// Profile runs the complete OptiWISE pipeline on prog: a sampling run on
+// the simulated machine, an instrumentation run under the DBI engine, and
+// the combining analysis.
+func Profile(prog *Program, opts Options) (*Result, error) {
+	opts.fill()
+	sp, _, err := SampleOnly(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := InstrumentOnly(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(prog, sp, ep, opts)
+}
+
+// SampleProfile is the output of the sampling run (the perf.data
+// equivalent).
+type SampleProfile = sampler.Profile
+
+// EdgeProfile is the output of the instrumentation run (the DynamoRIO
+// client's output equivalent).
+type EdgeProfile = dbi.Profile
+
+// SampleOnly performs just the sampling run (optiwise sample).
+func SampleOnly(prog *Program, opts Options) (*SampleProfile, ooo.Stats, error) {
+	opts.fill()
+	return sampler.Run(opts.Machine, prog.prog, sampler.Options{
+		Period:        opts.SamplePeriod,
+		InterruptCost: opts.InterruptCost,
+		Precise:       opts.Precise,
+		Jitter:        opts.SampleJitter,
+		ASLRSeed:      opts.SampleASLRSeed,
+		RandSeed:      opts.RandSeed,
+	})
+}
+
+// InstrumentOnly performs just the instrumentation run (optiwise
+// instrument).
+func InstrumentOnly(prog *Program, opts Options) (*EdgeProfile, error) {
+	opts.fill()
+	return dbi.Run(prog.prog, dbi.Options{
+		StackProfiling: !opts.DisableStackProfiling,
+		ASLRSeed:       opts.InstrASLRSeed,
+		RandSeed:       opts.RandSeed,
+	})
+}
+
+// Analyze combines previously collected profiles (optiwise analyze).
+func Analyze(prog *Program, sp *SampleProfile, ep *EdgeProfile, opts Options) (*Result, error) {
+	return core.Combine(prog.prog, sp, ep, core.Options{
+		Attribution:   opts.Attribution,
+		Unweighted:    opts.Unweighted,
+		LoopThreshold: opts.LoopThreshold,
+	})
+}
+
+// WriteReport renders the full human-readable report (summary, function
+// table, loop table, hottest lines, annotated hottest function).
+func WriteReport(w io.Writer, r *Result) error { return report.WriteAll(w, r) }
+
+// WriteFunctionTable renders only the per-function table.
+func WriteFunctionTable(w io.Writer, r *Result) error { return report.WriteFunctionTable(w, r) }
+
+// WriteLoopTable renders only the merged-loop table.
+func WriteLoopTable(w io.Writer, r *Result) error { return report.WriteLoopTable(w, r) }
+
+// WriteAnnotated renders the annotated disassembly of one function
+// (figures 1 and 10 in the paper).
+func WriteAnnotated(w io.Writer, r *Result, fn string) error {
+	return report.WriteAnnotatedFunc(w, r, fn)
+}
+
+// WriteCallGraph renders a gprof-style caller/callee table with dynamic
+// call counts and inclusive times.
+func WriteCallGraph(w io.Writer, r *Result) error { return report.WriteCallGraph(w, r) }
+
+// WriteCFGDot renders one function's reconstructed CFG in Graphviz dot
+// format with execution counts on blocks and edges.
+func WriteCFGDot(w io.Writer, r *Result, fn string) error {
+	return r.Graph.WriteDot(w, r.Prog, fn)
+}
+
+// WriteEventTable renders per-function cache-miss and branch-mispredict
+// rates from the multi-event samples.
+func WriteEventTable(w io.Writer, r *Result) error { return report.WriteEventTable(w, r) }
+
+// WriteBlockTable renders the hottest basic blocks.
+func WriteBlockTable(w io.Writer, r *Result, max int) error {
+	return report.WriteBlockTable(w, r, max)
+}
+
+// WriteAnnotatedLoop renders the annotated disassembly of one merged
+// loop's body blocks.
+func WriteAnnotatedLoop(w io.Writer, r *Result, loopID int) error {
+	return report.WriteAnnotatedLoop(w, r, loopID)
+}
+
+// WriteInstCSV / WriteLoopCSV export machine-readable records.
+func WriteInstCSV(w io.Writer, r *Result) error { return report.WriteInstCSV(w, r) }
+
+// WriteLoopCSV exports loop records as CSV.
+func WriteLoopCSV(w io.Writer, r *Result) error { return report.WriteLoopCSV(w, r) }
+
+// Overhead describes the figure 7 measurement for one program: how much
+// slower each OptiWISE stage is than native execution.
+type Overhead struct {
+	Module string
+	// BaselineCycles is the native run time on the simulated machine.
+	BaselineCycles uint64
+	// SamplingRatio is sampled-run time over baseline (paper: ~1.01x).
+	SamplingRatio float64
+	// InstrumentationRatio is the DBI run's modelled slowdown
+	// (paper: geomean 7.1x, worst 56x).
+	InstrumentationRatio float64
+	// TotalRatio is the combined two-run slowdown (paper: geomean 8.1x,
+	// worst 57x).
+	TotalRatio float64
+	// AnalysisSeconds is the wall-clock time of the combining analysis.
+	AnalysisSeconds float64
+	// SampleProfileBytes / EdgeProfileBytes are the serialized profile
+	// sizes (§V-A: sampling data grows with run length, edge data with
+	// CFG size).
+	SampleProfileBytes int
+	EdgeProfileBytes   int
+}
+
+// MeasureOverhead runs the full figure 7 measurement for one program.
+func MeasureOverhead(prog *Program, opts Options) (Overhead, error) {
+	opts.fill()
+	base, err := prog.Run(opts.Machine)
+	if err != nil {
+		return Overhead{}, err
+	}
+	sp, sstats, err := SampleOnly(prog, opts)
+	if err != nil {
+		return Overhead{}, err
+	}
+	ep, err := InstrumentOnly(prog, opts)
+	if err != nil {
+		return Overhead{}, err
+	}
+	elapsed, err := timeAnalysis(prog, sp, ep, opts)
+	if err != nil {
+		return Overhead{}, err
+	}
+	ov := Overhead{
+		Module:          prog.Module(),
+		BaselineCycles:  base.Cycles,
+		SamplingRatio:   float64(sstats.Cycles) / float64(base.Cycles),
+		AnalysisSeconds: elapsed,
+	}
+	ov.InstrumentationRatio = ep.Overhead()
+	ov.TotalRatio = ov.SamplingRatio + ov.InstrumentationRatio
+	var cw countingWriter
+	if err := sp.Write(&cw); err != nil {
+		return Overhead{}, err
+	}
+	ov.SampleProfileBytes = cw.n
+	cw.n = 0
+	if err := ep.Write(&cw); err != nil {
+		return Overhead{}, err
+	}
+	ov.EdgeProfileBytes = cw.n
+	return ov, nil
+}
+
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+func timeAnalysis(prog *Program, sp *SampleProfile, ep *EdgeProfile, opts Options) (float64, error) {
+	start := nowSeconds()
+	if _, err := Analyze(prog, sp, ep, opts); err != nil {
+		return 0, err
+	}
+	return nowSeconds() - start, nil
+}

@@ -1,0 +1,84 @@
+package optiwise
+
+import "optiwise/internal/workloads"
+
+// The workload re-exports give examples and downstream users access to the
+// repository's benchmark programs through the public API: the 23-program
+// synthetic SPEC CPU2017 stand-in, the paper's figure micro-benchmarks, and
+// the three §VI case studies with their optimized variants.
+
+// WorkloadSpec describes one synthetic suite benchmark.
+type WorkloadSpec = workloads.Spec
+
+// SuiteSpecs returns the 23-benchmark synthetic suite (figure 7).
+func SuiteSpecs() []WorkloadSpec { return workloads.Suite() }
+
+// SuiteProgram assembles one suite benchmark, scaled by f (1.0 = default
+// size).
+func SuiteProgram(spec WorkloadSpec, f float64) (*Program, error) {
+	return Assemble(spec.Name, workloads.Generate(spec.Scale(f)))
+}
+
+// Fig1Program returns the paper's motivating example (figure 1).
+func Fig1Program() (*Program, error) {
+	return Assemble("fig1", workloads.Fig1())
+}
+
+// Fig2Program returns the pipeline-timeline example (figure 2).
+func Fig2Program() (*Program, error) {
+	return Assemble("fig2", workloads.Fig2())
+}
+
+// Fig8Program returns the x86 sample-skid micro-benchmark (figure 8).
+func Fig8Program() (*Program, error) {
+	return Assemble("fig8", workloads.Fig8())
+}
+
+// Fig9Program returns the N1 early-dequeue micro-benchmark (figure 9).
+func Fig9Program() (*Program, error) {
+	return Assemble("fig9", workloads.Fig9())
+}
+
+// MCFOptions selects the §VI-A optimizations; MCFConfig sizes the program.
+type (
+	MCFOptions = workloads.MCFOptions
+	MCFConfig  = workloads.MCFConfig
+)
+
+// MCFProgram returns the 505.mcf case-study program.
+func MCFProgram(cfg MCFConfig) (*Program, error) {
+	return Assemble("505.mcf", workloads.MCF(cfg))
+}
+
+// DefaultMCFConfig mirrors the paper's proportions for §VI-A.
+func DefaultMCFConfig() MCFConfig { return workloads.DefaultMCFConfig() }
+
+// DeepsjengOptions selects the §VI-B optimizations; DeepsjengConfig sizes
+// the program.
+type (
+	DeepsjengOptions = workloads.DeepsjengOptions
+	DeepsjengConfig  = workloads.DeepsjengConfig
+)
+
+// DeepsjengProgram returns the 531.deepsjeng case-study program.
+func DeepsjengProgram(cfg DeepsjengConfig) (*Program, error) {
+	return Assemble("531.deepsjeng", workloads.Deepsjeng(cfg))
+}
+
+// DefaultDeepsjengConfig mirrors the paper's proportions for §VI-B.
+func DefaultDeepsjengConfig() DeepsjengConfig { return workloads.DefaultDeepsjengConfig() }
+
+// BwavesOptions selects the §VI-C optimization; BwavesConfig sizes the
+// program.
+type (
+	BwavesOptions = workloads.BwavesOptions
+	BwavesConfig  = workloads.BwavesConfig
+)
+
+// BwavesProgram returns the 603.bwaves case-study program.
+func BwavesProgram(cfg BwavesConfig) (*Program, error) {
+	return Assemble("603.bwaves", workloads.Bwaves(cfg))
+}
+
+// DefaultBwavesConfig mirrors the paper's proportions for §VI-C.
+func DefaultBwavesConfig() BwavesConfig { return workloads.DefaultBwavesConfig() }
