@@ -22,6 +22,15 @@
 //	-attr auto|none|pred sample attribution mode
 //	-func NAME          annotate only this function
 //	-csv                emit per-instruction and loop CSV instead of text
+//
+// Observability flags (all profiling subcommands):
+//
+//	-trace FILE         Chrome trace-event JSON of the pipeline spans
+//	                    (open in chrome://tracing or ui.perfetto.dev)
+//	-metrics FILE       Prometheus text exposition of pipeline metrics
+//	-log FILE           JSONL structured event log ("-" = stderr)
+//	-progress           per-workload progress lines on stderr
+//	-pprof ADDR         serve net/http/pprof + expvar on ADDR
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"os"
 
 	"optiwise"
+	"optiwise/internal/obs"
 )
 
 func main() {
@@ -44,7 +54,7 @@ func main() {
 	case "check":
 		fmt.Println("optiwise: simulated machines available: xeon-w2195, neoverse-n1")
 		fmt.Println("optiwise: ok")
-	case "run":
+	case "run", "profile":
 		err = cmdRun(args)
 	case "sample":
 		err = cmdSample(args)
@@ -76,7 +86,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   optiwise check
-  optiwise run        [flags] prog.s
+  optiwise run        [flags] prog.s   (alias: profile)
   optiwise sample     [flags] -o sample.json prog.s
   optiwise instrument [flags] -o edges.json prog.s
   optiwise analyze    [flags] -sample sample.json -edges edges.json prog.s
@@ -84,6 +94,11 @@ func usage() {
   optiwise compare    [flags] old.s new.s   (before/after cycle deltas)
   optiwise asm        -o prog.owx prog.s    (assemble to a binary image)
   optiwise cfg        -func NAME prog.s     (Graphviz dot of the CFG)
+observability flags on every profiling subcommand:
+  -trace FILE   Chrome trace-event JSON (chrome://tracing / Perfetto)
+  -metrics FILE Prometheus text exposition of pipeline metrics
+  -log FILE     JSONL structured event log ("-" = stderr)
+  -progress     progress lines on stderr      -pprof ADDR  pprof+expvar server
 run 'optiwise <cmd> -h' for flags`)
 }
 
@@ -96,6 +111,7 @@ type commonFlags struct {
 	noStack *bool
 	thresh  *uint64
 	attr    *string
+	obs     *obs.Config
 }
 
 func newFlags(name string) *commonFlags {
@@ -108,7 +124,24 @@ func newFlags(name string) *commonFlags {
 		noStack: fs.Bool("no-stack", false, "disable stack profiling"),
 		thresh:  fs.Uint64("T", 3, "loop-merging threshold"),
 		attr:    fs.String("attr", "auto", "sample attribution: auto, none, pred"),
+		obs:     obs.BindFlags(fs),
 	}
+}
+
+// withObs activates the observability configuration (tracer, metrics
+// registry, structured logger, pprof server) around body, then flushes
+// the -trace/-metrics output files. Flush errors surface unless body
+// already failed.
+func (c *commonFlags) withObs(body func() error) error {
+	flush, err := c.obs.Activate()
+	if err != nil {
+		return err
+	}
+	if err := body(); err != nil {
+		flush() //nolint:errcheck // body error takes precedence
+		return err
+	}
+	return flush()
 }
 
 func (c *commonFlags) options() (optiwise.Options, error) {
@@ -222,30 +255,38 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	prof, err := optiwise.Profile(prog, opts)
-	if err != nil {
-		return err
-	}
-	switch {
-	case *jsonOut:
-		return prof.WriteJSON(os.Stdout)
-	case *loopID >= 0:
-		return optiwise.WriteAnnotatedLoop(os.Stdout, prof, *loopID)
-	case *events:
-		return optiwise.WriteEventTable(os.Stdout, prof)
-	case *csv:
-		if err := optiwise.WriteInstCSV(os.Stdout, prof); err != nil {
+	return c.withObs(func() error {
+		obs.Progressf("[1/1] profiling %s", prog.Module())
+		sw := obs.StartTimer()
+		prof, err := optiwise.Profile(prog, opts)
+		if err != nil {
 			return err
 		}
-		fmt.Println()
-		return optiwise.WriteLoopCSV(os.Stdout, prof)
-	case *callgraph:
-		return optiwise.WriteCallGraph(os.Stdout, prof)
-	case *fn != "":
-		return optiwise.WriteAnnotated(os.Stdout, prof, *fn)
-	default:
-		return optiwise.WriteReport(os.Stdout, prof)
-	}
+		obs.Info("profile complete",
+			obs.F("module", prog.Module()),
+			obs.F("samples", prof.TotalSamples),
+			obs.F("seconds", sw.Seconds()))
+		switch {
+		case *jsonOut:
+			return prof.WriteJSON(os.Stdout)
+		case *loopID >= 0:
+			return optiwise.WriteAnnotatedLoop(os.Stdout, prof, *loopID)
+		case *events:
+			return optiwise.WriteEventTable(os.Stdout, prof)
+		case *csv:
+			if err := optiwise.WriteInstCSV(os.Stdout, prof); err != nil {
+				return err
+			}
+			fmt.Println()
+			return optiwise.WriteLoopCSV(os.Stdout, prof)
+		case *callgraph:
+			return optiwise.WriteCallGraph(os.Stdout, prof)
+		case *fn != "":
+			return optiwise.WriteAnnotated(os.Stdout, prof, *fn)
+		default:
+			return optiwise.WriteReport(os.Stdout, prof)
+		}
+	})
 }
 
 func cmdSample(args []string) error {
@@ -262,21 +303,23 @@ func cmdSample(args []string) error {
 	if err != nil {
 		return err
 	}
-	sp, stats, err := optiwise.SampleOnly(prog, opts)
-	if err != nil {
-		return err
-	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := sp.Write(f); err != nil {
-		return err
-	}
-	fmt.Printf("sampled %s: %d samples over %d cycles -> %s\n",
-		prog.Module(), stats.Samples, stats.Cycles, *out)
-	return nil
+	return c.withObs(func() error {
+		sp, stats, err := optiwise.SampleOnly(prog, opts)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sp.Write(f); err != nil {
+			return err
+		}
+		fmt.Printf("sampled %s: %d samples over %d cycles -> %s\n",
+			prog.Module(), stats.Samples, stats.Cycles, *out)
+		return nil
+	})
 }
 
 func cmdInstrument(args []string) error {
@@ -293,21 +336,23 @@ func cmdInstrument(args []string) error {
 	if err != nil {
 		return err
 	}
-	ep, err := optiwise.InstrumentOnly(prog, opts)
-	if err != nil {
-		return err
-	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := ep.Write(f); err != nil {
-		return err
-	}
-	fmt.Printf("instrumented %s: %d blocks, %d instructions, %.1fx overhead -> %s\n",
-		prog.Module(), len(ep.Blocks), ep.BaseInstructions, ep.Overhead(), *out)
-	return nil
+	return c.withObs(func() error {
+		ep, err := optiwise.InstrumentOnly(prog, opts)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := ep.Write(f); err != nil {
+			return err
+		}
+		fmt.Printf("instrumented %s: %d blocks, %d instructions, %.1fx overhead -> %s\n",
+			prog.Module(), len(ep.Blocks), ep.BaseInstructions, ep.Overhead(), *out)
+		return nil
+	})
 }
 
 func cmdAnalyze(args []string) error {
@@ -344,12 +389,14 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	prof, err := optiwise.Analyze(prog, sp, ep, opts)
-	if err != nil {
-		return err
-	}
-	if *fn != "" {
-		return optiwise.WriteAnnotated(os.Stdout, prof, *fn)
-	}
-	return optiwise.WriteReport(os.Stdout, prof)
+	return c.withObs(func() error {
+		prof, err := optiwise.Analyze(prog, sp, ep, opts)
+		if err != nil {
+			return err
+		}
+		if *fn != "" {
+			return optiwise.WriteAnnotated(os.Stdout, prof, *fn)
+		}
+		return optiwise.WriteReport(os.Stdout, prof)
+	})
 }

@@ -2,9 +2,9 @@ package main
 
 import (
 	"fmt"
-	"os"
 
 	"optiwise"
+	"optiwise/internal/obs"
 )
 
 // caseMCF reproduces case study A (§VI-A): OptiWISE evidence on the
@@ -189,8 +189,8 @@ func cyclesOf[C any](build func(C) (*optiwise.Program, error), cfg C) (uint64, e
 		return 0, err
 	}
 	if prog.Module() == "505.mcf" && res.ExitCode != 0 {
-		fmt.Fprintf(os.Stderr, "warning: %s exited %d (verification failed)\n",
-			prog.Module(), res.ExitCode)
+		obs.Warn("case-study verification failed",
+			obs.F("module", prog.Module()), obs.F("exit_code", res.ExitCode))
 	}
 	return res.Cycles, nil
 }

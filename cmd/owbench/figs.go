@@ -8,6 +8,7 @@ import (
 	"optiwise"
 	"optiwise/internal/isa"
 	"optiwise/internal/loops"
+	"optiwise/internal/obs"
 	"optiwise/internal/ooo"
 	"optiwise/internal/program"
 	"optiwise/internal/workloads"
@@ -123,7 +124,10 @@ func fig7() error {
 	logSampling, logInstr, logTotal := 0.0, 0.0, 0.0
 	worst := row{}
 	n := 0
-	for _, spec := range optiwise.SuiteSpecs() {
+	specs := optiwise.SuiteSpecs()
+	for i, spec := range specs {
+		obs.Progressf("[%d/%d] %s: sampling + instrumenting + analyzing",
+			i+1, len(specs), spec.Name)
 		prog, err := optiwise.SuiteProgram(spec, 1.0)
 		if err != nil {
 			return fmt.Errorf("%s: %w", spec.Name, err)

@@ -14,14 +14,25 @@
 //	owbench ablate    design-choice ablations (DESIGN.md §4)
 //	owbench all       everything above
 //
+// Observability flags (before the experiment name):
+//
+//	owbench -progress -trace trace.json -metrics metrics.prom fig7
+//
+// Experiment output goes to stdout; diagnostics go through the obs
+// structured logger on stderr (or as JSONL via -log), so the two streams
+// are separable.
+//
 // Shape, not absolute numbers, is the reproduction target: who wins, by
 // roughly what factor, and where the worst cases fall. EXPERIMENTS.md
 // records paper-vs-measured for each experiment.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+
+	"optiwise/internal/obs"
 )
 
 var commands = []struct {
@@ -44,40 +55,81 @@ var commands = []struct {
 }
 
 func main() {
-	if len(os.Args) != 2 {
+	fs := flag.NewFlagSet("owbench", flag.ExitOnError)
+	fs.Usage = usage
+	obsCfg := obs.BindFlags(fs)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
 		usage()
 		os.Exit(2)
 	}
-	name := os.Args[1]
+	name := fs.Arg(0)
+	flush, err := obsCfg.Activate()
+	if err != nil {
+		obs.Error("owbench: observability setup failed", obs.F("err", err.Error()))
+		os.Exit(1)
+	}
+	code := dispatch(name)
+	if err := flush(); err != nil {
+		obs.Error("owbench: flushing observability output failed",
+			obs.F("err", err.Error()))
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// dispatch runs the named experiment (or all of them) and returns the
+// process exit code. Failures are reported through the structured
+// logger so they stay separable from experiment output on stdout.
+func dispatch(name string) int {
 	if name == "all" {
-		for _, c := range commands {
+		for i, c := range commands {
 			fmt.Printf("==================== %s ====================\n", c.name)
+			obs.Progressf("[%d/%d] %s: %s", i+1, len(commands), c.name, c.desc)
+			sw := obs.StartTimer()
 			if err := c.run(); err != nil {
-				fmt.Fprintf(os.Stderr, "owbench %s: %v\n", c.name, err)
-				os.Exit(1)
+				obs.Error("owbench experiment failed",
+					obs.F("experiment", c.name), obs.F("err", err.Error()))
+				return 1
 			}
+			obs.Info("owbench experiment done",
+				obs.F("experiment", c.name), obs.F("seconds", sw.Seconds()))
 			fmt.Println()
 		}
-		return
+		return 0
 	}
 	for _, c := range commands {
 		if c.name == name {
+			sw := obs.StartTimer()
 			if err := c.run(); err != nil {
-				fmt.Fprintf(os.Stderr, "owbench %s: %v\n", name, err)
-				os.Exit(1)
+				obs.Error("owbench experiment failed",
+					obs.F("experiment", name), obs.F("err", err.Error()))
+				return 1
 			}
-			return
+			obs.Info("owbench experiment done",
+				obs.F("experiment", name), obs.F("seconds", sw.Seconds()))
+			return 0
 		}
 	}
-	fmt.Fprintf(os.Stderr, "owbench: unknown experiment %q\n", name)
+	obs.Error("owbench: unknown experiment", obs.F("experiment", name))
 	usage()
-	os.Exit(2)
+	return 2
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: owbench <experiment>")
+	fmt.Fprintln(os.Stderr, "usage: owbench [flags] <experiment>")
 	for _, c := range commands {
 		fmt.Fprintf(os.Stderr, "  %-10s %s\n", c.name, c.desc)
 	}
 	fmt.Fprintln(os.Stderr, "  all        run every experiment")
+	fmt.Fprintln(os.Stderr, `flags:
+  -trace FILE   Chrome trace-event JSON (chrome://tracing / Perfetto)
+  -metrics FILE Prometheus text exposition of pipeline metrics
+  -log FILE     JSONL structured event log ("-" = stderr)
+  -progress     per-workload progress lines on stderr
+  -pprof ADDR   serve net/http/pprof + expvar on ADDR`)
 }

@@ -8,6 +8,7 @@ import (
 	"optiwise/internal/dbi"
 	"optiwise/internal/isa"
 	"optiwise/internal/loops"
+	"optiwise/internal/obs"
 	"optiwise/internal/program"
 	"optiwise/internal/sampler"
 )
@@ -43,10 +44,16 @@ func Combine(prog *program.Program, sp *sampler.Profile, ep *dbi.Profile, opts O
 		return nil, fmt.Errorf("core: module mismatch: sampling profile %q vs edge profile %q",
 			sp.Module, ep.Module)
 	}
+	combineSpan := obs.Start("combine").SetAttr("module", prog.Module)
+	defer combineSpan.End()
+
+	cfgSpan := obs.Start("cfg_build").SetAttr("dyn_blocks", len(ep.Blocks))
 	graph, err := cfg.Build(prog, ep)
 	if err != nil {
+		cfgSpan.End()
 		return nil, err
 	}
+	cfgSpan.SetAttr("cfg_blocks", len(graph.Blocks)).End()
 	t := opts.LoopThreshold
 	if t == 0 {
 		t = loops.DefaultThreshold
@@ -64,8 +71,10 @@ func Combine(prog *program.Program, sp *sampler.Profile, ep *dbi.Profile, opts O
 
 	// --- Per-instruction: N from instrumentation, S and cycles from
 	// sampling, with optional predecessor re-attribution.
+	attrSpan := obs.Start("attribution").SetAttr("samples", len(sp.Records))
 	execCounts := ep.ExecCounts()
 	samples, cycles, misses, brmp := p.attributeSamples(sp, opts)
+	attrSpan.End()
 
 	// The two runs need not have identical control flow (§IV-F): a
 	// non-deterministic program may produce samples at offsets the
@@ -125,11 +134,24 @@ func Combine(prog *program.Program, sp *sampler.Profile, ep *dbi.Profile, opts O
 	if p.TotalCycles > 0 {
 		p.IPC = float64(p.TotalInsts) / float64(p.TotalCycles)
 	}
+	obs.Counter(obs.MCombineInsts).Add(uint64(len(p.Insts)))
+	obs.Counter(obs.MUnmatchedSamples).Add(p.UnmatchedSamples)
 
+	aggSpan := obs.Start("aggregation")
+	fnSpan := obs.Start("funcs")
 	p.buildFuncs(sp, ep)
+	fnSpan.SetAttr("funcs", len(p.Funcs)).End()
+	loopSpan := obs.Start("loop_merge").SetAttr("threshold", t)
 	p.buildLoops(sp, ep, t)
+	loopSpan.SetAttr("loops", len(p.Loops)).End()
+	obs.Counter(obs.MCombineLoops).Add(uint64(len(p.Loops)))
+	lineSpan := obs.Start("lines")
 	p.buildLines()
+	lineSpan.End()
+	blockSpan := obs.Start("blocks")
 	p.buildBlocks()
+	blockSpan.End()
+	aggSpan.End()
 	return p, nil
 }
 

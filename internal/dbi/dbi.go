@@ -36,6 +36,7 @@ import (
 
 	"optiwise/internal/interp"
 	"optiwise/internal/isa"
+	"optiwise/internal/obs"
 	"optiwise/internal/program"
 )
 
@@ -181,6 +182,14 @@ type Engine struct {
 	callStack     []callFrame
 
 	prof *Profile
+
+	// Metric handles, fetched once per run; each is nil (a no-op) when
+	// observability is disabled, so the per-block cost is one pointer
+	// check per counter.
+	mBlocksFound *obs.CounterMetric
+	mBlockExecs  *obs.CounterMetric
+	mCleanCalls  *obs.CounterMetric
+	mCodeCache   *obs.GaugeMetric
 }
 
 type callFrame struct {
@@ -206,9 +215,14 @@ func Run(prog *program.Program, opts Options) (*Profile, error) {
 	if opts.Costs != nil {
 		e.costs = *opts.Costs
 	}
+	e.mBlocksFound = obs.Counter(obs.MDBIBlocksFound)
+	e.mBlockExecs = obs.Counter(obs.MDBIBlockExecs)
+	e.mCleanCalls = obs.Counter(obs.MDBICleanCalls)
+	e.mCodeCache = obs.Gauge(obs.MDBICodeCacheSize)
 	if err := e.run(); err != nil {
 		return nil, err
 	}
+	obs.Counter(obs.MDBIInstrEquiv).Add(e.prof.InstrEquivalents)
 	return e.prof, nil
 }
 
@@ -271,12 +285,15 @@ func (e *Engine) lookupBlock(off uint64) (*Block, error) {
 	e.blocks[off] = b
 	e.prof.Blocks = append(e.prof.Blocks, b)
 	e.prof.InstrEquivalents += e.costs.Translate
+	e.mBlocksFound.Inc()
+	e.mCodeCache.Set(int64(len(e.blocks)))
 	return b, nil
 }
 
 // execBlock runs one block under instrumentation.
 func (e *Engine) execBlock(b *Block) error {
 	b.Count++
+	e.mBlockExecs.Inc()
 	e.prof.InstrEquivalents += e.costs.PerBlock
 	if e.opts.StackProfiling {
 		// Annotation 1: global_counter += block_size.
@@ -310,6 +327,7 @@ func (e *Engine) execBlock(b *Block) error {
 			e.prof.InstrEquivalents += e.costs.CondFallthrough
 		}
 	case TermIndirect:
+		e.mCleanCalls.Inc()
 		e.prof.InstrEquivalents += e.costs.CleanCall
 		if !e.m.Exited {
 			toff, ok := e.img.AbsToOff(term.NextPC)

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"optiwise/internal/dom"
+	"optiwise/internal/obs"
 )
 
 // DefaultThreshold is T in Algorithm 2: a same-header loop is considered
@@ -38,7 +39,10 @@ type Graph interface {
 // dominates u; its loop contains v plus all nodes that reach u without
 // passing through v.
 func Find(g Graph) []*Raw {
+	span := obs.Start("dominators").SetAttr("nodes", g.NumNodes())
 	t := dom.Compute(g)
+	span.End()
+	obs.Counter(obs.MDomComputations).Inc()
 	var out []*Raw
 	n := g.NumNodes()
 	for u := 0; u < n; u++ {

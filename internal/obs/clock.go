@@ -1,0 +1,22 @@
+package obs
+
+import "time"
+
+// Stopwatch measures elapsed wall-clock time on Go's monotonic clock.
+// It replaces the old root-package nowSeconds(), which subtracted two
+// time.Now().UnixNano() readings and was therefore exposed to wall-clock
+// steps (NTP slew, manual clock changes). time.Since reads the monotonic
+// reading embedded in the start Time, so Seconds() can never go
+// backwards.
+type Stopwatch struct {
+	start time.Time
+}
+
+// StartTimer begins a monotonic stopwatch.
+func StartTimer() Stopwatch { return Stopwatch{start: time.Now()} }
+
+// Elapsed returns the monotonic time since StartTimer.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.start) }
+
+// Seconds returns the monotonic elapsed time in seconds.
+func (s Stopwatch) Seconds() float64 { return time.Since(s.start).Seconds() }

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Config is the CLI-facing observability configuration shared by
+// cmd/optiwise and cmd/owbench. Zero value = everything off.
+type Config struct {
+	// TracePath receives Chrome trace-event JSON of the pipeline spans.
+	TracePath string
+	// MetricsPath receives Prometheus text exposition at exit.
+	MetricsPath string
+	// LogPath receives JSONL structured events ("-" = stderr).
+	LogPath string
+	// PprofAddr serves net/http/pprof + expvar when non-empty.
+	PprofAddr string
+	// Progress enables per-workload progress lines on stderr.
+	Progress bool
+}
+
+// BindFlags registers the observability flags (-trace, -metrics, -log,
+// -pprof, -progress) on fs and returns the config they populate.
+func BindFlags(fs *flag.FlagSet) *Config {
+	c := &Config{}
+	fs.StringVar(&c.TracePath, "trace", "",
+		"write Chrome trace-event JSON of the pipeline spans to `file`")
+	fs.StringVar(&c.MetricsPath, "metrics", "",
+		"write Prometheus text exposition of pipeline metrics to `file`")
+	fs.StringVar(&c.LogPath, "log", "",
+		"write JSONL structured events to `file` (\"-\" = stderr)")
+	fs.StringVar(&c.PprofAddr, "pprof", "",
+		"serve net/http/pprof and expvar on `addr` (e.g. localhost:6060)")
+	fs.BoolVar(&c.Progress, "progress", false,
+		"emit per-workload progress lines on stderr")
+	return c
+}
+
+// Enabled reports whether any observability output was requested.
+func (c *Config) Enabled() bool {
+	return c != nil && (c.TracePath != "" || c.MetricsPath != "" ||
+		c.LogPath != "" || c.PprofAddr != "" || c.Progress)
+}
+
+// Activate installs the global tracer/registry/logger per the config
+// and returns a flush function that writes the trace and metrics files
+// and restores the previously installed instruments. Call flush exactly
+// once, after the traced work finishes.
+func (c *Config) Activate() (flush func() error, err error) {
+	flush = func() error { return nil }
+	if c == nil {
+		return flush, nil
+	}
+	var tracer *Tracer
+	var registry *Registry
+	var prevTracer *Tracer
+	var prevRegistry *Registry
+	var prevLogger *Logger
+	var logFile *os.File
+	loggerSet := false
+	restore := func() {
+		if tracer != nil {
+			SetTracer(prevTracer)
+		}
+		if registry != nil {
+			SetRegistry(prevRegistry)
+		}
+		if loggerSet {
+			SetLogger(prevLogger)
+		}
+		if logFile != nil {
+			logFile.Close()
+			logFile = nil
+		}
+		if c.Progress {
+			EnableProgress(nil)
+		}
+	}
+	if c.TracePath != "" {
+		tracer = NewTracer()
+		prevTracer = SetTracer(tracer)
+	}
+	if c.MetricsPath != "" || c.PprofAddr != "" {
+		registry = NewRegistry()
+		prevRegistry = SetRegistry(registry)
+	}
+	if c.LogPath != "" {
+		w := os.Stderr
+		if c.LogPath != "-" {
+			f, err := os.Create(c.LogPath)
+			if err != nil {
+				restore()
+				return func() error { return nil }, err
+			}
+			logFile = f
+			w = f
+		}
+		prevLogger = SetLogger(NewJSONLLogger(w, LevelDebug))
+		loggerSet = true
+	}
+	if c.Progress {
+		EnableProgress(os.Stderr)
+	}
+	if c.PprofAddr != "" {
+		addr, err := StartPprofServer(c.PprofAddr)
+		if err != nil {
+			restore()
+			return func() error { return nil }, fmt.Errorf("obs: pprof server: %w", err)
+		}
+		Info("pprof server listening", F("addr", addr))
+		fmt.Fprintf(os.Stderr, "obs: pprof+expvar on http://%s/debug/pprof/\n", addr)
+	}
+	flush = func() error {
+		defer restore()
+		if tracer != nil {
+			f, err := os.Create(c.TracePath)
+			if err != nil {
+				return err
+			}
+			if err := tracer.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		if registry != nil && c.MetricsPath != "" {
+			f, err := os.Create(c.MetricsPath)
+			if err != nil {
+				return err
+			}
+			if err := registry.WritePrometheus(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return flush, nil
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBindFlagsDefaultsOff(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := BindFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Enabled() {
+		t.Fatal("zero config should be disabled")
+	}
+	flush, err := c.Activate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ActiveTracer() != nil || ActiveRegistry() != nil {
+		t.Fatal("disabled config must not install instruments")
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigActivateWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	metrics := filepath.Join(dir, "metrics.prom")
+	logPath := filepath.Join(dir, "events.jsonl")
+
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := BindFlags(fs)
+	if err := fs.Parse([]string{
+		"-trace", trace, "-metrics", metrics, "-log", logPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Enabled() {
+		t.Fatal("config should be enabled")
+	}
+	flush, err := c.Activate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a traced, metered, logged pipeline.
+	Start("profile").SetAttr("module", "demo").End()
+	Counter(MSamplesTaken).Add(3)
+	Info("pipeline stage done", F("stage", "sample"))
+
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	// flush restores the previous (nil) instruments.
+	if ActiveTracer() != nil || ActiveRegistry() != nil || ActiveLogger() != nil {
+		t.Error("flush should uninstall the global instruments")
+	}
+
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("trace file not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) != 1 || tr.TraceEvents[0].Name != "profile" {
+		t.Errorf("unexpected trace contents: %s", raw)
+	}
+
+	prom, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), MSamplesTaken+" 3") {
+		t.Errorf("metrics file missing counter: %s", prom)
+	}
+
+	events, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(events), `"stage":"sample"`) {
+		t.Errorf("log file missing structured event: %s", events)
+	}
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int
+
+// Log severities, lowest first.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// Logger writes structured events either as JSONL (machine-readable,
+// for -log file.jsonl) or as human-readable text (terminal stderr
+// diagnostics). It separates diagnostics from experiment output: the
+// CLIs keep stdout for results and route warnings/errors through here.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	min   Level
+	jsonl bool
+	// now is substitutable in tests for deterministic timestamps.
+	now func() time.Time
+}
+
+// NewTextLogger returns a human-readable logger writing to w at min
+// severity and above.
+func NewTextLogger(w io.Writer, min Level) *Logger {
+	return &Logger{w: w, min: min, now: time.Now}
+}
+
+// NewJSONLLogger returns a JSONL structured-event logger writing to w
+// at min severity and above.
+func NewJSONLLogger(w io.Writer, min Level) *Logger {
+	return &Logger{w: w, min: min, jsonl: true, now: time.Now}
+}
+
+// StderrLogger is the default diagnostics sink: warn-and-above,
+// human-readable, on standard error.
+func StderrLogger() *Logger { return NewTextLogger(os.Stderr, LevelWarn) }
+
+// Log writes one event. Nil-safe.
+func (l *Logger) Log(level Level, msg string, attrs ...Attr) {
+	if l == nil || level < l.min {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.jsonl {
+		rec := make(map[string]any, len(attrs)+3)
+		rec["ts"] = l.now().UTC().Format(time.RFC3339Nano)
+		rec["level"] = level.String()
+		rec["msg"] = msg
+		for _, a := range attrs {
+			rec[a.Key] = a.Value
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(l.w, "%s\n", b)
+		return
+	}
+	fmt.Fprintf(l.w, "%s: %s", level, msg)
+	for _, a := range attrs {
+		fmt.Fprintf(l.w, " %s=%v", a.Key, a.Value)
+	}
+	fmt.Fprintln(l.w)
+}
+
+// Debug / Info / Warn / Error log at the corresponding level. Nil-safe.
+func (l *Logger) Debug(msg string, attrs ...Attr) { l.Log(LevelDebug, msg, attrs...) }
+
+// Info logs at info level. Nil-safe.
+func (l *Logger) Info(msg string, attrs ...Attr) { l.Log(LevelInfo, msg, attrs...) }
+
+// Warn logs at warn level. Nil-safe.
+func (l *Logger) Warn(msg string, attrs ...Attr) { l.Log(LevelWarn, msg, attrs...) }
+
+// Error logs at error level. Nil-safe.
+func (l *Logger) Error(msg string, attrs ...Attr) { l.Log(LevelError, msg, attrs...) }
+
+// Package-level logging helpers route through the installed global
+// logger; with none installed they fall back to a stderr text logger so
+// diagnostics are never silently dropped.
+func globalLogger() *Logger {
+	if l := activeLogger.Load(); l != nil {
+		return l
+	}
+	return fallbackLogger()
+}
+
+var (
+	fallbackOnce sync.Once
+	fallback     *Logger
+)
+
+func fallbackLogger() *Logger {
+	fallbackOnce.Do(func() { fallback = StderrLogger() })
+	return fallback
+}
+
+// Info logs an info event on the global logger.
+func Info(msg string, attrs ...Attr) { globalLogger().Info(msg, attrs...) }
+
+// Warn logs a warning on the global logger.
+func Warn(msg string, attrs ...Attr) { globalLogger().Warn(msg, attrs...) }
+
+// Error logs an error on the global logger.
+func Error(msg string, attrs ...Attr) { globalLogger().Error(msg, attrs...) }
+
+// --- Progress ----------------------------------------------------------
+
+// progressW, when non-nil, receives human-oriented progress lines
+// (enabled by the -progress CLI flag). Guarded by progressMu.
+var (
+	progressMu sync.Mutex
+	progressW  io.Writer
+)
+
+// EnableProgress directs Progressf lines to w (nil disables).
+func EnableProgress(w io.Writer) {
+	progressMu.Lock()
+	progressW = w
+	progressMu.Unlock()
+}
+
+// ProgressEnabled reports whether progress lines are being emitted.
+func ProgressEnabled() bool {
+	progressMu.Lock()
+	defer progressMu.Unlock()
+	return progressW != nil
+}
+
+// Progressf emits one progress line (e.g. "[3/23] 505.mcf ...") when
+// progress reporting is enabled; otherwise it is a no-op.
+func Progressf(format string, args ...any) {
+	progressMu.Lock()
+	w := progressW
+	progressMu.Unlock()
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, format+"\n", args...)
+}

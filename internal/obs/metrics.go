@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// CounterMetric is a monotonically increasing counter. The nil counter
+// is a valid no-op, so hot paths fetch a handle once and call Add/Inc
+// unconditionally: disabled observability costs one pointer compare.
+type CounterMetric struct {
+	name string
+	help string
+	v    atomic.Uint64
+}
+
+// Inc adds 1. Nil-safe.
+func (c *CounterMetric) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n. Nil-safe.
+func (c *CounterMetric) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *CounterMetric) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// GaugeMetric is a value that can go up and down (code-cache size,
+// in-flight work). Nil-safe like CounterMetric.
+type GaugeMetric struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Set stores v. Nil-safe.
+func (g *GaugeMetric) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta (may be negative). Nil-safe.
+func (g *GaugeMetric) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on nil).
+func (g *GaugeMetric) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of fixed log₂ buckets: bucket i counts
+// observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i).
+// Bucket 0 holds v == 0.
+const histBuckets = 65
+
+// HistogramMetric is a histogram over uint64 observations with fixed
+// log₂ bucket boundaries — cheap enough for per-sample hot paths
+// (bits.Len64 + one atomic add), expressive enough for latency and
+// weight distributions. Nil-safe like CounterMetric.
+type HistogramMetric struct {
+	name    string
+	help    string
+	buckets [histBuckets]atomic.Uint64
+	sum     atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one observation. Nil-safe.
+func (h *HistogramMetric) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *HistogramMetric) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *HistogramMetric) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Registry holds named metrics. Lookup is mutex-guarded (cold path,
+// done once per run); the returned handles update lock-free.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*CounterMetric
+	gauges map[string]*GaugeMetric
+	hists  map[string]*HistogramMetric
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*CounterMetric),
+		gauges: make(map[string]*GaugeMetric),
+		hists:  make(map[string]*HistogramMetric),
+	}
+}
+
+// Counter returns (creating if needed) the named counter. Nil-safe:
+// a nil registry yields a nil, no-op counter.
+func (r *Registry) Counter(name string) *CounterMetric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counts[name]
+	if c == nil {
+		c = &CounterMetric{name: name, help: helpFor(name)}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge. Nil-safe.
+func (r *Registry) Gauge(name string) *GaugeMetric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &GaugeMetric{name: name, help: helpFor(name)}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram. Nil-safe.
+func (r *Registry) Histogram(name string) *HistogramMetric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &HistogramMetric{name: name, help: helpFor(name)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Well-known metric names fed by the pipeline's hot paths. Centralized
+// so exporters, dashboards, and tests agree on spelling.
+const (
+	MSimCycles        = "optiwise_sim_cycles_total"
+	MSimInstructions  = "optiwise_sim_instructions_total"
+	MSimMispredicts   = "optiwise_sim_mispredicts_total"
+	MSimBranches      = "optiwise_sim_branches_total"
+	MSamplesTaken     = "optiwise_sampler_samples_total"
+	MSamplesDropped   = "optiwise_sampler_samples_dropped_total"
+	MSampleWeight     = "optiwise_sampler_sample_weight_cycles"
+	MDBIBlocksFound   = "optiwise_dbi_blocks_discovered_total"
+	MDBICodeCacheSize = "optiwise_dbi_code_cache_blocks"
+	MDBIBlockExecs    = "optiwise_dbi_block_execs_total"
+	MDBICleanCalls    = "optiwise_dbi_clean_calls_total"
+	MDBIInstrEquiv    = "optiwise_dbi_instr_equivalents_total"
+	MUnmatchedSamples = "optiwise_combine_unmatched_samples_total"
+	MCombineInsts     = "optiwise_combine_inst_records_total"
+	MCombineLoops     = "optiwise_combine_loop_records_total"
+	MDomComputations  = "optiwise_loops_dominator_computations_total"
+)
+
+// CacheHits names the hit counter of one simulated cache level; the
+// level name ("L1", "L2", ...) is lowercased to satisfy metric naming
+// conventions.
+func CacheHits(level string) string {
+	return "optiwise_cache_" + lower(level) + "_hits_total"
+}
+
+// CacheMisses returns the miss-counter name for a cache level.
+func CacheMisses(level string) string {
+	return "optiwise_cache_" + lower(level) + "_misses_total"
+}
+
+// lower is an ASCII-only strings.ToLower, avoiding the unicode tables
+// on a hot-adjacent path.
+func lower(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		if c >= 'A' && c <= 'Z' {
+			out[i] = c + 'a' - 'A'
+		}
+	}
+	return string(out)
+}
+
+// helpFor maps well-known metric names to HELP strings; unknown names
+// get a generic line so exposition stays valid.
+func helpFor(name string) string {
+	switch name {
+	case MSimCycles:
+		return "Simulated cycles executed across all pipeline-simulator runs."
+	case MSimInstructions:
+		return "Instructions retired by the simulated machine."
+	case MSimMispredicts:
+		return "Branch mispredicts observed by the simulated machine."
+	case MSimBranches:
+		return "Branches committed by the simulated machine."
+	case MSamplesTaken:
+		return "Samples recorded by the perf-like sampler."
+	case MSamplesDropped:
+		return "Samples dropped because the PC fell outside the module."
+	case MSampleWeight:
+		return "Distribution of per-sample weights (user cycles since previous sample)."
+	case MDBIBlocksFound:
+		return "Dynamic basic blocks discovered by the DBI engine."
+	case MDBICodeCacheSize:
+		return "Current DBI code-cache size in blocks."
+	case MDBIBlockExecs:
+		return "Dynamic block executions under instrumentation."
+	case MDBICleanCalls:
+		return "Expensive clean calls servicing indirect branches."
+	case MDBIInstrEquiv:
+		return "Modelled instrumentation cost in instruction equivalents."
+	case MUnmatchedSamples:
+		return "Samples at offsets the instrumented run never executed."
+	case MCombineInsts:
+		return "Per-instruction records produced by the combiner."
+	case MCombineLoops:
+		return "Merged-loop records produced by the combiner."
+	case MDomComputations:
+		return "Dominator-tree computations during loop analysis."
+	}
+	return "OptiWISE metric " + name + "."
+}

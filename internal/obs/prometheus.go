@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4): one HELP and TYPE line per family, counters
+// and gauges as single samples, histograms as cumulative log₂ buckets
+// plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("obs: no metrics registry installed")
+	}
+	r.mu.Lock()
+	counts := make([]*CounterMetric, 0, len(r.counts))
+	for _, c := range r.counts {
+		counts = append(counts, c)
+	}
+	gauges := make([]*GaugeMetric, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*HistogramMetric, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(counts, func(i, j int) bool { return counts[i].name < counts[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	for _, c := range counts {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			c.name, c.help, c.name, c.name, c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range gauges {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+			g.name, g.help, g.name, g.name, g.Value()); err != nil {
+			return err
+		}
+	}
+	for _, h := range hists {
+		if err := writePromHistogram(w, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits one histogram family. Bucket i counts
+// observations with bits.Len64(v) == i, so its cumulative upper bound
+// is 2^i - 1; we emit le="2^i - 1" up to the highest non-empty bucket,
+// then le="+Inf".
+func writePromHistogram(w io.Writer, h *HistogramMetric) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
+		h.name, h.help, h.name); err != nil {
+		return err
+	}
+	top := 0
+	for i := histBuckets - 1; i >= 0; i-- {
+		if h.buckets[i].Load() > 0 {
+			top = i
+			break
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += h.buckets[i].Load()
+		// Upper bound of bucket i: values v with bits.Len64(v) <= i are
+		// exactly v <= 2^i - 1.
+		var le string
+		if i < 63 {
+			le = strconv.FormatUint(1<<uint(i)-1, 10)
+		} else {
+			le = strconv.FormatFloat(float64(1)*pow2(i)-1, 'g', -1, 64)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.name, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, h.Count()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n",
+		h.name, h.Sum(), h.name, h.Count()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// pow2 returns 2^i as a float64 for bucket bounds past uint64 shifts.
+func pow2(i int) float64 {
+	v := 1.0
+	for ; i > 0; i-- {
+		v *= 2
+	}
+	return v
+}

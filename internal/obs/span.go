@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value attribute attached to a span or log event.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// F builds an Attr ("field").
+func F(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// SpanData is one completed span, ready for export. Times are offsets
+// from the tracer's start on the monotonic clock.
+type SpanData struct {
+	Name     string
+	Start    time.Duration
+	Duration time.Duration
+	// Parent is the index (into the tracer's finished-span log order of
+	// *opened* spans) of the enclosing span, or -1 for roots.
+	Parent int
+	// ID is the span's open-order index; stable across export formats.
+	ID    int
+	Attrs []Attr
+}
+
+// Tracer records hierarchical spans. It is safe for concurrent use; the
+// OptiWISE pipeline itself is sequential, so nesting is tracked with an
+// explicit open-span stack rather than goroutine-local storage (the API
+// stays context-free, per the repository's plumbing-averse style).
+type Tracer struct {
+	epoch time.Time
+	// clock returns the elapsed monotonic time since epoch; tests
+	// substitute a fake.
+	clock func() time.Duration
+
+	mu    sync.Mutex
+	next  int
+	open  []*Span
+	spans []SpanData
+}
+
+// NewTracer returns a tracer whose clock starts now (monotonic).
+func NewTracer() *Tracer {
+	epoch := time.Now()
+	return &Tracer{
+		epoch: epoch,
+		clock: func() time.Duration { return time.Since(epoch) },
+	}
+}
+
+// Span is one open span. The zero/nil span is a valid no-op.
+type Span struct {
+	tracer *Tracer
+	name   string
+	id     int
+	parent int
+	start  time.Duration
+	attrs  []Attr
+	ended  bool
+}
+
+// Start opens a span named name, nested under the innermost span still
+// open on this tracer. Nil-safe.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	now := t.clock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	parent := -1
+	if n := len(t.open); n > 0 {
+		parent = t.open[n-1].id
+	}
+	s := &Span{tracer: t, name: name, id: t.next, parent: parent, start: now}
+	t.next++
+	t.open = append(t.open, s)
+	return s
+}
+
+// SetAttr attaches an attribute to the span. Nil-safe.
+func (s *Span) SetAttr(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.tracer.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.tracer.mu.Unlock()
+	return s
+}
+
+// End closes the span and commits it to the tracer. Ending twice is a
+// no-op; ending out of order closes the span without disturbing its
+// siblings. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	now := t.clock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	for i := len(t.open) - 1; i >= 0; i-- {
+		if t.open[i] == s {
+			t.open = append(t.open[:i], t.open[i+1:]...)
+			break
+		}
+	}
+	t.spans = append(t.spans, SpanData{
+		Name:     s.name,
+		Start:    s.start,
+		Duration: now - s.start,
+		Parent:   s.parent,
+		ID:       s.id,
+		Attrs:    s.attrs,
+	})
+}
+
+// Spans returns a snapshot of the completed spans, in open order.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, len(t.spans))
+	copy(out, t.spans)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// chromeEvent is one Chrome trace-event object ("X" complete events:
+// explicit timestamp + duration, nesting inferred by containment).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object trace container Perfetto and
+// chrome://tracing both accept.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the completed spans as Chrome trace-event
+// JSON, loadable in chrome://tracing and ui.perfetto.dev.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: no tracer installed")
+	}
+	spans := t.Spans()
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Duration.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  1,
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// WriteJSONL exports the completed spans as one structured event per
+// line (the machine-greppable counterpart of the Chrome trace).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: no tracer installed")
+	}
+	enc := json.NewEncoder(w)
+	for _, s := range t.Spans() {
+		rec := map[string]any{
+			"ev":     "span",
+			"name":   s.Name,
+			"id":     s.ID,
+			"parent": s.Parent,
+			"us":     float64(s.Duration.Nanoseconds()) / 1e3,
+			"ts_us":  float64(s.Start.Nanoseconds()) / 1e3,
+		}
+		for _, a := range s.Attrs {
+			rec["attr_"+a.Key] = a.Value
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

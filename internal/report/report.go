@@ -9,6 +9,7 @@ import (
 
 	"optiwise/internal/core"
 	"optiwise/internal/isa"
+	"optiwise/internal/obs"
 )
 
 // WriteSummary prints the whole-program header block.
@@ -226,6 +227,8 @@ func WriteAnnotatedLoop(w io.Writer, p *core.Profile, loopID int) error {
 // WriteAll prints the complete report: summary, functions, loops, hottest
 // lines, and annotated disassembly of the hottest function.
 func WriteAll(w io.Writer, p *core.Profile) error {
+	span := obs.Start("report").SetAttr("module", p.Module)
+	defer span.End()
 	if err := WriteSummary(w, p); err != nil {
 		return err
 	}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 
+	"optiwise/internal/obs"
 	"optiwise/internal/ooo"
 	"optiwise/internal/program"
 )
@@ -103,6 +104,14 @@ func Run(cfg ooo.Config, prog *program.Program, opts Options) (*Profile, ooo.Sta
 	if opts.Period == 0 {
 		return nil, ooo.Stats{}, fmt.Errorf("sampler: period must be non-zero")
 	}
+	// Metric handles fetched once per run; each is nil (a no-op) when
+	// observability is disabled, so the per-sample cost is one pointer
+	// check.
+	var (
+		mTaken   = obs.Counter(obs.MSamplesTaken)
+		mDropped = obs.Counter(obs.MSamplesDropped)
+		mWeight  = obs.Histogram(obs.MSampleWeight)
+	)
 	img := program.Load(prog, program.LoadOptions{ASLRSeed: opts.ASLRSeed})
 	profile := &Profile{
 		Module:  prog.Module,
@@ -122,8 +131,11 @@ func Run(cfg ooo.Config, prog *program.Program, opts Options) (*Profile, ooo.Sta
 		OnSample: func(s ooo.Sample) {
 			off, ok := img.AbsToOff(s.PC)
 			if !ok {
+				mDropped.Inc()
 				return // sample outside the module (cannot happen today)
 			}
+			mTaken.Inc()
+			mWeight.Observe(s.Weight)
 			rec := Record{
 				Offset: off, Weight: s.Weight,
 				CacheMisses: s.CacheMisses, Mispredicts: s.Mispredicts,
@@ -143,7 +155,26 @@ func Run(cfg ooo.Config, prog *program.Program, opts Options) (*Profile, ooo.Sta
 	profile.TotalCycles = stats.Cycles
 	profile.UserCycles = stats.UserCycles
 	profile.Instructions = stats.Instructions
+	recordRunMetrics(sim, stats)
 	return profile, stats, nil
+}
+
+// recordRunMetrics feeds the aggregate run counters — simulated cycles,
+// instructions, branch outcomes, and per-level cache hits/misses — into
+// the metrics registry. Aggregates are added in bulk after the run so
+// the simulator's inner loop carries no instrumentation at all.
+func recordRunMetrics(sim *ooo.Sim, stats ooo.Stats) {
+	if obs.ActiveRegistry() == nil {
+		return
+	}
+	obs.Counter(obs.MSimCycles).Add(stats.Cycles)
+	obs.Counter(obs.MSimInstructions).Add(stats.Instructions)
+	obs.Counter(obs.MSimMispredicts).Add(stats.Mispredicts)
+	obs.Counter(obs.MSimBranches).Add(stats.Branches)
+	for _, l := range sim.Cache().Levels() {
+		obs.Counter(obs.CacheHits(l.Name())).Add(l.Hits)
+		obs.Counter(obs.CacheMisses(l.Name())).Add(l.Misses)
+	}
 }
 
 // Write serializes the profile (the perf.data equivalent).

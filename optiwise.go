@@ -29,6 +29,7 @@ import (
 	"optiwise/internal/core"
 	"optiwise/internal/dbi"
 	"optiwise/internal/interp"
+	"optiwise/internal/obs"
 	"optiwise/internal/ooo"
 	"optiwise/internal/program"
 	"optiwise/internal/report"
@@ -205,6 +206,8 @@ type Result = core.Profile
 // the combining analysis.
 func Profile(prog *Program, opts Options) (*Result, error) {
 	opts.fill()
+	span := obs.Start("profile").SetAttr("module", prog.Module())
+	defer span.End()
 	sp, _, err := SampleOnly(prog, opts)
 	if err != nil {
 		return nil, err
@@ -227,6 +230,10 @@ type EdgeProfile = dbi.Profile
 // SampleOnly performs just the sampling run (optiwise sample).
 func SampleOnly(prog *Program, opts Options) (*SampleProfile, ooo.Stats, error) {
 	opts.fill()
+	span := obs.Start("sample").
+		SetAttr("module", prog.Module()).
+		SetAttr("period", opts.SamplePeriod)
+	defer span.End()
 	return sampler.Run(opts.Machine, prog.prog, sampler.Options{
 		Period:        opts.SamplePeriod,
 		InterruptCost: opts.InterruptCost,
@@ -241,6 +248,8 @@ func SampleOnly(prog *Program, opts Options) (*SampleProfile, ooo.Stats, error) 
 // instrument).
 func InstrumentOnly(prog *Program, opts Options) (*EdgeProfile, error) {
 	opts.fill()
+	span := obs.Start("instrument").SetAttr("module", prog.Module())
+	defer span.End()
 	return dbi.Run(prog.prog, dbi.Options{
 		StackProfiling: !opts.DisableStackProfiling,
 		ASLRSeed:       opts.InstrASLRSeed,
@@ -250,6 +259,8 @@ func InstrumentOnly(prog *Program, opts Options) (*EdgeProfile, error) {
 
 // Analyze combines previously collected profiles (optiwise analyze).
 func Analyze(prog *Program, sp *SampleProfile, ep *EdgeProfile, opts Options) (*Result, error) {
+	span := obs.Start("analyze").SetAttr("module", prog.Module())
+	defer span.End()
 	return core.Combine(prog.prog, sp, ep, core.Options{
 		Attribution:   opts.Attribution,
 		Unweighted:    opts.Unweighted,
@@ -330,6 +341,8 @@ type Overhead struct {
 // MeasureOverhead runs the full figure 7 measurement for one program.
 func MeasureOverhead(prog *Program, opts Options) (Overhead, error) {
 	opts.fill()
+	span := obs.Start("measure_overhead").SetAttr("module", prog.Module())
+	defer span.End()
 	base, err := prog.Run(opts.Machine)
 	if err != nil {
 		return Overhead{}, err
@@ -375,9 +388,9 @@ func (w *countingWriter) Write(p []byte) (int, error) {
 }
 
 func timeAnalysis(prog *Program, sp *SampleProfile, ep *EdgeProfile, opts Options) (float64, error) {
-	start := nowSeconds()
+	sw := obs.StartTimer()
 	if _, err := Analyze(prog, sp, ep, opts); err != nil {
 		return 0, err
 	}
-	return nowSeconds() - start, nil
+	return sw.Seconds(), nil
 }
