@@ -70,6 +70,10 @@ func main() {
 		err = cmdAsm(args)
 	case "cfg":
 		err = cmdCFG(args)
+	case "serve":
+		err = cmdServe(args)
+	case "submit":
+		err = cmdSubmit(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -94,6 +98,8 @@ func usage() {
   optiwise compare    [flags] old.s new.s   (before/after cycle deltas)
   optiwise asm        -o prog.owx prog.s    (assemble to a binary image)
   optiwise cfg        -func NAME prog.s     (Graphviz dot of the CFG)
+  optiwise serve      [flags]               (HTTP profiling service)
+  optiwise submit     [flags] prog.s        (send a job to a service)
 observability flags on every profiling subcommand:
   -trace FILE   Chrome trace-event JSON (chrome://tracing / Perfetto)
   -metrics FILE Prometheus text exposition of pipeline metrics
@@ -151,14 +157,11 @@ func (c *commonFlags) options() (optiwise.Options, error) {
 		DisableStackProfiling: *c.noStack,
 		LoopThreshold:         *c.thresh,
 	}
-	switch *c.machine {
-	case "xeon":
-		opts.Machine = optiwise.XeonW2195()
-	case "n1":
-		opts.Machine = optiwise.NeoverseN1()
-	default:
-		return opts, fmt.Errorf("unknown machine %q", *c.machine)
+	machine, err := optiwise.MachineByName(*c.machine)
+	if err != nil {
+		return opts, err
 	}
+	opts.Machine = machine
 	switch *c.attr {
 	case "auto":
 		opts.Attribution = optiwise.AttrAuto
@@ -168,6 +171,9 @@ func (c *commonFlags) options() (optiwise.Options, error) {
 		opts.Attribution = optiwise.AttrPredecessor
 	default:
 		return opts, fmt.Errorf("unknown attribution %q", *c.attr)
+	}
+	if err := opts.Validate(); err != nil {
+		return opts, err
 	}
 	return opts, nil
 }

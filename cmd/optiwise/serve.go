@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"optiwise/internal/obs"
+	"optiwise/internal/serve"
+)
+
+// cmdServe runs the long-lived profiling service: an HTTP JSON API in
+// front of a bounded job queue, a fixed worker pool, and a
+// content-addressed result cache. SIGINT/SIGTERM trigger a graceful
+// drain: queued and in-flight jobs complete, new submissions get 503.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8077", "listen address")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queueDepth := fs.Int("queue", 64, "bounded job-queue depth")
+	cacheMB := fs.Int64("cache-mb", 256, "result-cache budget in MiB (negative disables)")
+	timeout := fs.Duration("timeout", 60*time.Second, "default per-job deadline")
+	maxTimeout := fs.Duration("max-timeout", 10*time.Minute, "cap on client-chosen deadlines")
+	maxCycles := fs.Int64("max-cycles", 1<<32, "per-execution cycle bound (negative disables)")
+	drainWait := fs.Duration("drain", 2*time.Minute, "max time to drain jobs on shutdown")
+	obsCfg := obs.BindFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve takes no positional arguments")
+	}
+	flush, err := obsCfg.Activate()
+	if err != nil {
+		return err
+	}
+	// The service exports live metrics at /metrics; give it a registry
+	// even when no -metrics file was requested.
+	if obs.ActiveRegistry() == nil {
+		obs.SetRegistry(obs.NewRegistry())
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheBytes:     *cacheMB << 20,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxJobCycles:   *maxCycles,
+	})
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "optiwise: serving on http://%s (workers=%d queue=%d)\n",
+		ln.Addr(), srv.Config().Workers, srv.Config().QueueDepth)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "optiwise: %s received, draining\n", sig)
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "optiwise: drained, exiting")
+	return flush()
+}
+
+// cmdSubmit sends one program to a running profiling service and
+// prints the selected report.
+func cmdSubmit(args []string) error {
+	c := newFlags("submit")
+	fs := c.fs
+	addr := fs.String("addr", "http://127.0.0.1:8077", "service base URL")
+	kind := fs.String("report", "full", "report kind: full, functions, loops, annotated, callgraph, csv, loops-csv, json")
+	fn := fs.String("func", "", "function for -report annotated (default: hottest)")
+	timeout := fs.Duration("timeout", 0, "per-job deadline (0 = server default)")
+	poll := fs.Bool("poll", false, "poll job status instead of a blocking submit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts, err := c.options()
+	if err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("submit wants exactly one program file")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	req := map[string]any{
+		"machine": opts.Machine.Name,
+		"options": map[string]any{
+			"sample_period":  opts.SamplePeriod,
+			"precise":        opts.Precise,
+			"no_stack":       opts.DisableStackProfiling,
+			"loop_threshold": opts.LoopThreshold,
+			"attribution":    *c.attr,
+		},
+		"wait": !*poll,
+	}
+	if *timeout > 0 {
+		req["timeout_ms"] = timeout.Milliseconds()
+	}
+	if len(data) >= 4 && string(data[:4]) == "OWX\x01" {
+		req["binary"] = data
+	} else {
+		req["module"] = moduleName(fs.Arg(0))
+		req["source"] = string(data)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(*addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	st, err := decodeJobStatus(resp)
+	if err != nil {
+		return err
+	}
+	if *poll {
+		for !st.State.Terminal() {
+			time.Sleep(200 * time.Millisecond)
+			r, err := http.Get(*addr + "/v1/jobs/" + st.ID)
+			if err != nil {
+				return err
+			}
+			if st, err = decodeJobStatus(r); err != nil {
+				return err
+			}
+		}
+	}
+	if st.State != serve.StateDone {
+		return fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	url := *addr + "/v1/jobs/" + st.ID + "/report?kind=" + *kind
+	if *fn != "" {
+		url += "&func=" + *fn
+	}
+	rep, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer rep.Body.Close()
+	if rep.StatusCode != http.StatusOK {
+		return fmt.Errorf("report: %s", readAPIError(rep))
+	}
+	_, err = io.Copy(os.Stdout, rep.Body)
+	return err
+}
+
+// decodeJobStatus parses a job-status response, converting API error
+// payloads into Go errors.
+func decodeJobStatus(resp *http.Response) (serve.JobStatus, error) {
+	defer resp.Body.Close()
+	var st serve.JobStatus
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return st, fmt.Errorf("service: %s", readAPIError(resp))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("decode status: %w", err)
+	}
+	return st, nil
+}
+
+// readAPIError extracts the {"error": ...} payload, falling back to
+// the HTTP status line.
+func readAPIError(resp *http.Response) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e); err == nil && e.Error != "" {
+		return fmt.Sprintf("%s (%s)", e.Error, resp.Status)
+	}
+	return resp.Status
+}

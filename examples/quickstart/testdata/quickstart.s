@@ -1,0 +1,38 @@
+.module quickstart
+.data
+coeffs: .quad 3, 5, 7, 11
+.text
+.func main
+main:
+    addi sp, sp, -16
+    st ra, 8(sp)
+    li s2, 2000          # outer trip count
+.loc quickstart.c 12
+outer:
+    call poly
+    addi s2, s2, -1
+    bnez s2, outer
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    li a0, 0
+    li a7, 93
+    syscall
+.endfunc
+
+.func poly
+poly:
+    la t0, coeffs
+    li t1, 4             # coefficient count
+    li a0, 1
+.loc quickstart.c 22
+ploop:
+    ld t2, 0(t0)
+    mul a0, a0, t2       # cheap multiply
+.loc quickstart.c 24
+    div a0, a0, t2       # expensive divide: the bottleneck
+    addi a0, a0, 1
+    addi t0, t0, 8
+    addi t1, t1, -1
+    bnez t1, ploop
+    ret
+.endfunc

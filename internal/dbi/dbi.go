@@ -32,6 +32,7 @@
 package dbi
 
 import (
+	"context"
 	"fmt"
 
 	"optiwise/internal/interp"
@@ -199,6 +200,13 @@ type callFrame struct {
 
 // Run instruments and executes prog, returning its edge profile.
 func Run(prog *program.Program, opts Options) (*Profile, error) {
+	return RunContext(context.Background(), prog, opts)
+}
+
+// RunContext is Run with cooperative cancellation: the engine polls ctx
+// every cancelCheckBlocks block executions (and before the first) and,
+// if it is done, abandons the run with an error wrapping ctx.Err().
+func RunContext(ctx context.Context, prog *program.Program, opts Options) (*Profile, error) {
 	img := program.Load(prog, program.LoadOptions{ASLRSeed: opts.ASLRSeed})
 	e := &Engine{
 		img:    img,
@@ -219,17 +227,37 @@ func Run(prog *program.Program, opts Options) (*Profile, error) {
 	e.mBlockExecs = obs.Counter(obs.MDBIBlockExecs)
 	e.mCleanCalls = obs.Counter(obs.MDBICleanCalls)
 	e.mCodeCache = obs.Gauge(obs.MDBICodeCacheSize)
-	if err := e.run(); err != nil {
+	if err := e.run(ctx); err != nil {
 		return nil, err
 	}
 	obs.Counter(obs.MDBIInstrEquiv).Add(e.prof.InstrEquivalents)
 	return e.prof, nil
 }
 
-func (e *Engine) run() error {
+// cancelCheckBlocks is how many block executions elapse between the
+// cooperative context-cancellation checks; blocks are short (a handful
+// of instructions), so this bounds cancellation latency to well under a
+// millisecond of wall time.
+const cancelCheckBlocks = 1024
+
+func (e *Engine) run(ctx context.Context) error {
+	done := ctx.Done()
+	countdown := uint64(1) // check before the first block: a dead ctx never runs
 	for !e.m.Exited {
 		if e.opts.MaxInstructions != 0 && e.m.Steps > e.opts.MaxInstructions {
 			return fmt.Errorf("dbi: instruction limit exceeded")
+		}
+		if done != nil {
+			countdown--
+			if countdown == 0 {
+				countdown = cancelCheckBlocks
+				select {
+				case <-done:
+					return fmt.Errorf("dbi: run canceled after %d instructions: %w",
+						e.m.Steps, ctx.Err())
+				default:
+				}
+			}
 		}
 		off, ok := e.img.AbsToOff(e.m.St.PC)
 		if !ok {

@@ -1,0 +1,107 @@
+package dbi
+
+import (
+	"bytes"
+	"testing"
+
+	"optiwise/internal/isa"
+)
+
+// fuzzSeedProfile builds a small, fully valid edge profile by hand so
+// the fuzzer starts from structurally interesting input.
+func fuzzSeedProfile() *Profile {
+	return &Profile{
+		Module: "seed",
+		Blocks: []*Block{
+			{Start: 0, NumInsts: 3, TermOff: 2 * isa.InstBytes, TermOp: isa.BNE,
+				Kind: TermCond, Count: 10, Fallthrough: 4, TakenTarget: 0},
+			{Start: 3 * isa.InstBytes, NumInsts: 1, TermOff: 3 * isa.InstBytes,
+				TermOp: isa.RET, Kind: TermIndirect, Count: 6,
+				Targets: map[uint64]uint64{4 * isa.InstBytes: 6}},
+			{Start: 4 * isa.InstBytes, NumInsts: 2, TermOff: 5 * isa.InstBytes,
+				TermOp: isa.SYSCALL, Kind: TermSyscall, Count: 1},
+		},
+		CalleeCounts:     map[uint64]uint64{2 * isa.InstBytes: 40},
+		BaseInstructions: 100,
+		InstrEquivalents: 700,
+		StackProfiling:   true,
+	}
+}
+
+// FuzzRead hammers the hardened deserializer: no input may panic it,
+// and any input it accepts must satisfy Validate and survive a
+// write/read round trip.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	if err := fuzzSeedProfile().Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated stream
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"module":"m","blocks":[{"start":8,"n":0,"term":8}]}`))
+	f.Add([]byte(`{"module":"m","blocks":[{"start":7,"n":1,"term":7}]}`))
+	f.Add([]byte(`{"module":"m","blocks":[{"start":0,"n":1,"term":0,"kind":9}]}`))
+	f.Add([]byte(`{"module":"m","blocks":[{"start":0,"n":1,"term":0,"count":1,"fallthrough":5,"kind":1}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Read accepted a profile Validate rejects: %v", err)
+		}
+		var out bytes.Buffer
+		if err := p.Write(&out); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		if _, err := Read(&out); err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		_ = p.Overhead()
+	})
+}
+
+// TestReadRejectsMalformed locks in the specific failure modes the
+// network boundary must catch.
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty module", `{"blocks":[]}`},
+		{"zero-length block", `{"module":"m","blocks":[{"start":0,"n":0,"term":0}]}`},
+		{"misaligned start", `{"module":"m","blocks":[{"start":3,"n":1,"term":3}]}`},
+		{"length-prefix mismatch", `{"module":"m","blocks":[{"start":0,"n":2,"term":0}]}`},
+		{"unknown terminator kind", `{"module":"m","blocks":[{"start":0,"n":1,"term":0,"kind":7}]}`},
+		{"fallthrough exceeds count", `{"module":"m","blocks":[{"start":0,"n":1,"term":0,"kind":1,"count":2,"fallthrough":3}]}`},
+		{"unsorted blocks", `{"module":"m","blocks":[{"start":8,"n":1,"term":8},{"start":0,"n":1,"term":0}]}`},
+		{"targets on direct terminator", `{"module":"m","blocks":[{"start":0,"n":1,"term":0,"kind":0,"count":1,"targets":{"8":1}}]}`},
+		{"truncated stream", `{"module":"m","blocks":[{"sta`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Read(bytes.NewReader([]byte(c.in))); err == nil {
+				t.Fatalf("Read accepted malformed input %q", c.in)
+			}
+		})
+	}
+}
+
+// TestReadRoundTripValid confirms a real engine-produced profile still
+// round-trips through the hardened reader.
+func TestReadRoundTripValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fuzzSeedProfile().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Module != "seed" || len(p.Blocks) != 3 {
+		t.Fatalf("round trip mangled profile: %+v", p)
+	}
+}

@@ -4,6 +4,29 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"optiwise/internal/isa"
+)
+
+// Deserialization limits. Edge profiles now cross a network boundary
+// (the profiling service accepts them and the artifacts they embed), so
+// Read refuses anything that would let a hostile or corrupt stream pin
+// memory or smuggle structurally impossible counts into the analysis.
+const (
+	// MaxProfileBytes caps the serialized size Read will consume.
+	MaxProfileBytes = 128 << 20
+	// MaxBlocks caps the number of dynamic blocks in one profile.
+	MaxBlocks = 1 << 20
+	// MaxBlockInsts caps the declared length of a single block.
+	MaxBlockInsts = 1 << 20
+	// MaxIndirectTargets caps the per-block indirect-target table.
+	MaxIndirectTargets = 1 << 16
+	// MaxCalleeSites caps the Algorithm 1 callee-count table.
+	MaxCalleeSites = 1 << 20
+	// MaxTextOffset bounds every module offset a profile may mention;
+	// it comfortably exceeds any assemblable module while keeping
+	// offset arithmetic far from overflow.
+	MaxTextOffset = 1 << 40
 )
 
 // Write serializes the profile (the DynamoRIO client's output file).
@@ -11,11 +34,110 @@ func (p *Profile) Write(w io.Writer) error {
 	return json.NewEncoder(w).Encode(p)
 }
 
-// Read deserializes a profile written by Write.
+// Read deserializes a profile written by Write. Input is untrusted: the
+// stream is size-capped at MaxProfileBytes and the decoded profile is
+// validated (see Validate) before it is returned, so a truncated,
+// oversized, or structurally inconsistent stream yields a descriptive
+// error, never a panic or an unbounded allocation.
 func Read(r io.Reader) (*Profile, error) {
+	lr := &io.LimitedReader{R: r, N: MaxProfileBytes + 1}
 	var p Profile
-	if err := json.NewDecoder(r).Decode(&p); err != nil {
+	if err := json.NewDecoder(lr).Decode(&p); err != nil {
+		if lr.N <= 0 {
+			return nil, fmt.Errorf("dbi: profile exceeds %d bytes", int64(MaxProfileBytes))
+		}
 		return nil, fmt.Errorf("dbi: decode: %w", err)
 	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("dbi: invalid profile: %w", err)
+	}
 	return &p, nil
+}
+
+// Validate checks the structural invariants every well-formed edge
+// profile satisfies: bounded and instruction-aligned offsets, block
+// lengths that agree with their terminator offsets (the format's
+// length-prefix check), counter algebra that cannot exceed the block's
+// execution count, and blocks sorted by start offset. It is applied to
+// every profile crossing a trust boundary.
+func (p *Profile) Validate() error {
+	if p.Module == "" {
+		return fmt.Errorf("empty module name")
+	}
+	if len(p.Blocks) > MaxBlocks {
+		return fmt.Errorf("%d blocks exceeds limit %d", len(p.Blocks), MaxBlocks)
+	}
+	if len(p.CalleeCounts) > MaxCalleeSites {
+		return fmt.Errorf("%d callee-count sites exceeds limit %d",
+			len(p.CalleeCounts), MaxCalleeSites)
+	}
+	var prevStart uint64
+	for i, b := range p.Blocks {
+		if b == nil {
+			return fmt.Errorf("block %d: null entry", i)
+		}
+		if err := b.validate(); err != nil {
+			return fmt.Errorf("block %d (start %#x): %w", i, b.Start, err)
+		}
+		if i > 0 && b.Start <= prevStart {
+			return fmt.Errorf("block %d: start %#x not strictly after previous %#x",
+				i, b.Start, prevStart)
+		}
+		prevStart = b.Start
+	}
+	for off := range p.CalleeCounts {
+		if off%isa.InstBytes != 0 || off >= MaxTextOffset {
+			return fmt.Errorf("callee-count site %#x misaligned or out of range", off)
+		}
+	}
+	return nil
+}
+
+func (b *Block) validate() error {
+	if b.Start%isa.InstBytes != 0 || b.Start >= MaxTextOffset {
+		return fmt.Errorf("start offset misaligned or out of range")
+	}
+	if b.NumInsts < 1 || b.NumInsts > MaxBlockInsts {
+		return fmt.Errorf("declared length %d outside [1, %d]", b.NumInsts, MaxBlockInsts)
+	}
+	// Length-prefix validation: the declared instruction count must put
+	// the terminator exactly at the block's last slot.
+	wantTerm := b.Start + uint64(b.NumInsts-1)*isa.InstBytes
+	if b.TermOff != wantTerm {
+		return fmt.Errorf("terminator offset %#x disagrees with declared length %d (want %#x)",
+			b.TermOff, b.NumInsts, wantTerm)
+	}
+	if b.Kind > TermSyscall {
+		return fmt.Errorf("unknown terminator kind %d", b.Kind)
+	}
+	if b.Kind != TermCond && b.Fallthrough != 0 {
+		return fmt.Errorf("fallthrough count %d on non-conditional terminator", b.Fallthrough)
+	}
+	if b.Fallthrough > b.Count {
+		return fmt.Errorf("fallthrough count %d exceeds execution count %d",
+			b.Fallthrough, b.Count)
+	}
+	if b.Kind != TermIndirect && len(b.Targets) != 0 {
+		return fmt.Errorf("indirect-target table on non-indirect terminator")
+	}
+	if len(b.Targets) > MaxIndirectTargets {
+		return fmt.Errorf("%d indirect targets exceeds limit %d",
+			len(b.Targets), MaxIndirectTargets)
+	}
+	var targetSum uint64
+	for off, n := range b.Targets {
+		if off%isa.InstBytes != 0 || off >= MaxTextOffset {
+			return fmt.Errorf("indirect target %#x misaligned or out of range", off)
+		}
+		s := targetSum + n
+		if s < targetSum {
+			return fmt.Errorf("indirect target counts overflow")
+		}
+		targetSum = s
+	}
+	if targetSum > b.Count {
+		return fmt.Errorf("indirect target counts sum to %d, exceeding execution count %d",
+			targetSum, b.Count)
+	}
+	return nil
 }

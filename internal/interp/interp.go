@@ -10,6 +10,7 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -274,12 +275,38 @@ func (m *Machine) Step() (StepResult, error) {
 	return res, nil
 }
 
+// cancelCheckSteps is how many retired instructions elapse between the
+// cooperative context-cancellation checks in RunContext; the check is a
+// single non-blocking channel poll.
+const cancelCheckSteps = 16384
+
 // Run executes until exit or until limit instructions have retired
 // (limit 0 means no limit).
 func (m *Machine) Run(limit uint64) error {
+	return m.RunContext(context.Background(), limit)
+}
+
+// RunContext is Run with cooperative cancellation: every
+// cancelCheckSteps instructions (and before the first) the loop polls
+// ctx and, if it is done, stops and returns an error wrapping ctx.Err().
+func (m *Machine) RunContext(ctx context.Context, limit uint64) error {
+	done := ctx.Done()
+	countdown := uint64(1) // check before the first step: a dead ctx never runs
 	for !m.Exited {
 		if limit != 0 && m.Steps >= limit {
 			return ErrLimit
+		}
+		if done != nil {
+			countdown--
+			if countdown == 0 {
+				countdown = cancelCheckSteps
+				select {
+				case <-done:
+					return fmt.Errorf("interp: run canceled after %d steps: %w",
+						m.Steps, ctx.Err())
+				default:
+				}
+			}
 		}
 		if _, err := m.Step(); err != nil {
 			return err

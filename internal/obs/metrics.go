@@ -197,6 +197,20 @@ const (
 	MCombineInsts     = "optiwise_combine_inst_records_total"
 	MCombineLoops     = "optiwise_combine_loop_records_total"
 	MDomComputations  = "optiwise_loops_dominator_computations_total"
+
+	// Profiling-service (internal/serve) metrics.
+	MServeJobsSubmitted  = "optiwise_serve_jobs_submitted_total"
+	MServeJobsCompleted  = "optiwise_serve_jobs_completed_total"
+	MServeJobsFailed     = "optiwise_serve_jobs_failed_total"
+	MServeJobsRejected   = "optiwise_serve_jobs_rejected_total"
+	MServeJobsCanceled   = "optiwise_serve_jobs_canceled_total"
+	MServeQueueDepth     = "optiwise_serve_queue_depth"
+	MServeInflightJobs   = "optiwise_serve_inflight_jobs"
+	MServeCacheHits      = "optiwise_serve_cache_hits_total"
+	MServeCacheMisses    = "optiwise_serve_cache_misses_total"
+	MServeCacheEvictions = "optiwise_serve_cache_evictions_total"
+	MServeCacheBytes     = "optiwise_serve_cache_bytes"
+	MServeJobLatency     = "optiwise_serve_job_latency_us"
 )
 
 // CacheHits names the hit counter of one simulated cache level; the
@@ -259,6 +273,30 @@ func helpFor(name string) string {
 		return "Merged-loop records produced by the combiner."
 	case MDomComputations:
 		return "Dominator-tree computations during loop analysis."
+	case MServeJobsSubmitted:
+		return "Profiling jobs accepted by the service (including cache hits)."
+	case MServeJobsCompleted:
+		return "Profiling jobs that finished successfully."
+	case MServeJobsFailed:
+		return "Profiling jobs that failed or exceeded their deadline."
+	case MServeJobsRejected:
+		return "Submissions rejected with 429 because the job queue was full."
+	case MServeJobsCanceled:
+		return "Profiling jobs canceled by the client."
+	case MServeQueueDepth:
+		return "Jobs currently waiting in the service's bounded queue."
+	case MServeInflightJobs:
+		return "Jobs currently executing on the worker pool."
+	case MServeCacheHits:
+		return "Submissions served without a new simulation (result cache or coalesced onto an identical in-flight job)."
+	case MServeCacheMisses:
+		return "Submissions that required a new simulation."
+	case MServeCacheEvictions:
+		return "Results evicted from the content-addressed cache by the LRU byte budget."
+	case MServeCacheBytes:
+		return "Bytes currently held by the content-addressed result cache."
+	case MServeJobLatency:
+		return "Distribution of job latency (submit to completion) in microseconds."
 	}
 	return "OptiWISE metric " + name + "."
 }

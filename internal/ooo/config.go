@@ -19,7 +19,11 @@
 // dozens of instructions after a slow divide (figure 9).
 package ooo
 
-import "optiwise/internal/cache"
+import (
+	"fmt"
+
+	"optiwise/internal/cache"
+)
 
 // DefaultMaxStackDepth is the per-sample call-stack frame cap, matching
 // perf's default 127-frame limit.
@@ -85,6 +89,55 @@ type Config struct {
 	// UseBimodal swaps the gshare direction predictor for a history-free
 	// bimodal one (ablation).
 	UseBimodal bool
+}
+
+// Validate reports whether c describes a machine the simulator can run
+// without deadlocking or dividing by zero: every pipeline width, window
+// size, functional-unit count, and latency must be at least 1. A machine
+// with, say, zero FPUs would livelock the first FP instruction (it could
+// never issue), so such configurations are rejected up front with a
+// descriptive error rather than hanging a profiling run.
+func (c Config) Validate() error {
+	checks := []struct {
+		name string
+		v    int
+	}{
+		{"FetchWidth", c.FetchWidth},
+		{"IssueWidth", c.IssueWidth},
+		{"CommitWidth", c.CommitWidth},
+		{"ROBSize", c.ROBSize},
+		{"IQSize", c.IQSize},
+		{"SBSize", c.SBSize},
+		{"ALUs", c.ALUs},
+		{"MulUnits", c.MulUnits},
+		{"FPUs", c.FPUs},
+		{"LoadPorts", c.LoadPorts},
+		{"StorePorts", c.StorePorts},
+		{"RASDepth", c.RASDepth},
+	}
+	for _, ch := range checks {
+		if ch.v < 1 {
+			return fmt.Errorf("ooo: machine %q: %s must be at least 1, got %d",
+				c.Name, ch.name, ch.v)
+		}
+	}
+	lats := []struct {
+		name string
+		v    uint64
+	}{
+		{"MulLat", c.MulLat},
+		{"DivLat", c.DivLat},
+		{"FPLat", c.FPLat},
+		{"FDivLat", c.FDivLat},
+		{"SyscallLat", c.SyscallLat},
+	}
+	for _, l := range lats {
+		if l.v < 1 {
+			return fmt.Errorf("ooo: machine %q: %s must be at least 1 cycle, got 0",
+				c.Name, l.name)
+		}
+	}
+	return nil
 }
 
 // XeonW2195 returns a configuration shaped like the paper's evaluation

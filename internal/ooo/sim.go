@@ -1,6 +1,7 @@
 package ooo
 
 import (
+	"context"
 	"fmt"
 
 	"optiwise/internal/branch"
@@ -239,15 +240,47 @@ func New(cfg Config, img *program.Image, opts Options) *Sim {
 	return s
 }
 
+// cancelCheckInterval is how many simulated cycles elapse between the
+// cooperative context-cancellation checks in RunContext. The check is a
+// single non-blocking channel poll; at typical simulation speeds this
+// bounds cancellation latency well below a millisecond of wall time
+// while keeping the per-cycle cost of an uncancellable context at one
+// decrement-and-branch.
+const cancelCheckInterval = 4096
+
 // Run simulates to completion (program exit) or until maxCycles elapses
 // (0 = unlimited). It returns the run statistics.
 func (s *Sim) Run(maxCycles uint64) (Stats, error) {
+	return s.RunContext(context.Background(), maxCycles)
+}
+
+// RunContext is Run with cooperative cancellation: every
+// cancelCheckInterval simulated cycles (and on the first cycle) the run
+// loop polls ctx and, if it is done, abandons the simulation and returns
+// the statistics accumulated so far together with an error wrapping
+// ctx.Err() — so errors.Is(err, context.DeadlineExceeded) and
+// errors.Is(err, context.Canceled) work as expected.
+func (s *Sim) RunContext(ctx context.Context, maxCycles uint64) (Stats, error) {
+	done := ctx.Done()
+	countdown := uint64(1) // check on the first cycle: a dead ctx never simulates
 	for {
 		if s.fetchDone && len(s.rob) == 0 {
 			break
 		}
 		if maxCycles != 0 && s.cycle >= maxCycles {
 			return s.stats, fmt.Errorf("ooo: cycle limit %d exceeded", maxCycles)
+		}
+		if done != nil {
+			countdown--
+			if countdown == 0 {
+				countdown = cancelCheckInterval
+				select {
+				case <-done:
+					return s.stats, fmt.Errorf("ooo: run canceled after %d cycles: %w",
+						s.cycle, ctx.Err())
+				default:
+				}
+			}
 		}
 		s.cycle++
 		s.committedThis = false

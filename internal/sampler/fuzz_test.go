@@ -1,0 +1,84 @@
+package sampler
+
+import (
+	"bytes"
+	"testing"
+
+	"optiwise/internal/isa"
+)
+
+func fuzzSeedProfile() *Profile {
+	return &Profile{
+		Module:  "seed",
+		Period:  1000,
+		Precise: true,
+		Records: []Record{
+			{Offset: 0, Weight: 1000, Stack: []uint64{4 * isa.InstBytes}},
+			{Offset: 2 * isa.InstBytes, Weight: 980, CacheMisses: 3, Mispredicts: 1},
+		},
+		TotalCycles:  2500,
+		UserCycles:   2100,
+		Instructions: 4000,
+	}
+}
+
+// FuzzRead hammers the hardened deserializer: no input may panic it,
+// and any input it accepts must satisfy Validate and survive a
+// write/read round trip.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	if err := fuzzSeedProfile().Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated stream
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"module":"m","period":0}`))
+	f.Add([]byte(`{"module":"m","period":1,"records":[{"off":3}]}`))
+	f.Add([]byte(`{"module":"m","period":1,"user_cycles":9,"total_cycles":1}`))
+	f.Add([]byte(`{"module":"m","period":1,"records":[{"off":0,"w":50}],"user_cycles":10,"total_cycles":10}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Read accepted a profile Validate rejects: %v", err)
+		}
+		var out bytes.Buffer
+		if err := p.Write(&out); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		if _, err := Read(&out); err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		_ = p.SamplesByOffset()
+		_ = p.WeightByOffset()
+	})
+}
+
+// TestReadRejectsMalformed locks in the failure modes the network
+// boundary must catch.
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty module", `{"period":1}`},
+		{"zero period", `{"module":"m","period":0}`},
+		{"misaligned offset", `{"module":"m","period":1,"records":[{"off":5}]}`},
+		{"misaligned stack frame", `{"module":"m","period":1,"records":[{"off":0,"stack":[3]}]}`},
+		{"user cycles exceed total", `{"module":"m","period":1,"user_cycles":2,"total_cycles":1}`},
+		{"weights exceed user cycles", `{"module":"m","period":1,"records":[{"off":0,"w":50}],"user_cycles":10,"total_cycles":10}`},
+		{"truncated stream", `{"module":"m","per`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Read(bytes.NewReader([]byte(c.in))); err == nil {
+				t.Fatalf("Read accepted malformed input %q", c.in)
+			}
+		})
+	}
+}

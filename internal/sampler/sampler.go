@@ -13,10 +13,12 @@
 package sampler
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 
+	"optiwise/internal/isa"
 	"optiwise/internal/obs"
 	"optiwise/internal/ooo"
 	"optiwise/internal/program"
@@ -101,6 +103,13 @@ const DefaultInterruptCost = 25
 
 // Run profiles prog by sampling on the machine described by cfg.
 func Run(cfg ooo.Config, prog *program.Program, opts Options) (*Profile, ooo.Stats, error) {
+	return RunContext(context.Background(), cfg, prog, opts)
+}
+
+// RunContext is Run with cooperative cancellation, threaded down to the
+// cycle-granularity check in the pipeline simulator's run loop. On
+// cancellation the returned error wraps ctx.Err().
+func RunContext(ctx context.Context, cfg ooo.Config, prog *program.Program, opts Options) (*Profile, ooo.Stats, error) {
 	if opts.Period == 0 {
 		return nil, ooo.Stats{}, fmt.Errorf("sampler: period must be non-zero")
 	}
@@ -148,7 +157,7 @@ func Run(cfg ooo.Config, prog *program.Program, opts Options) (*Profile, ooo.Sta
 			profile.Records = append(profile.Records, rec)
 		},
 	})
-	stats, err := sim.Run(opts.MaxCycles)
+	stats, err := sim.RunContext(ctx, opts.MaxCycles)
 	if err != nil {
 		return nil, stats, fmt.Errorf("sampler: %w", err)
 	}
@@ -177,17 +186,91 @@ func recordRunMetrics(sim *ooo.Sim, stats ooo.Stats) {
 	}
 }
 
+// Deserialization limits. Sampling profiles now cross a network
+// boundary (the profiling service), so Read refuses anything that would
+// pin unbounded memory or carry structurally impossible values.
+const (
+	// MaxProfileBytes caps the serialized size Read will consume.
+	MaxProfileBytes = 256 << 20
+	// MaxRecords caps the number of samples in one profile.
+	MaxRecords = 16 << 20
+	// MaxStackFrames caps a single sample's call-stack depth; the
+	// simulator itself never exceeds ooo.DefaultMaxStackDepth, but the
+	// wire format must not trust the producer.
+	MaxStackFrames = 4096
+	// MaxOffset bounds every module offset a profile may mention.
+	MaxOffset = 1 << 40
+)
+
 // Write serializes the profile (the perf.data equivalent).
 func (p *Profile) Write(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(p)
 }
 
-// Read deserializes a profile written by Write.
+// Read deserializes a profile written by Write. Input is untrusted: the
+// stream is size-capped at MaxProfileBytes and the decoded profile is
+// validated (see Validate) before it is returned, so truncated,
+// oversized, or inconsistent streams yield descriptive errors rather
+// than panics or unbounded allocations.
 func Read(r io.Reader) (*Profile, error) {
+	lr := &io.LimitedReader{R: r, N: MaxProfileBytes + 1}
 	var p Profile
-	if err := json.NewDecoder(r).Decode(&p); err != nil {
+	if err := json.NewDecoder(lr).Decode(&p); err != nil {
+		if lr.N <= 0 {
+			return nil, fmt.Errorf("sampler: profile exceeds %d bytes", int64(MaxProfileBytes))
+		}
 		return nil, fmt.Errorf("sampler: decode: %w", err)
 	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("sampler: invalid profile: %w", err)
+	}
 	return &p, nil
+}
+
+// Validate checks the structural invariants every well-formed sampling
+// profile satisfies: a named module, a positive period, bounded record
+// and stack counts, instruction-aligned in-range offsets, user cycles
+// not exceeding total cycles, and sample weights that sum without
+// overflow to at most the run's user cycles. It is applied to every
+// profile crossing a trust boundary.
+func (p *Profile) Validate() error {
+	if p.Module == "" {
+		return fmt.Errorf("empty module name")
+	}
+	if p.Period == 0 {
+		return fmt.Errorf("sampling period must be positive")
+	}
+	if len(p.Records) > MaxRecords {
+		return fmt.Errorf("%d records exceeds limit %d", len(p.Records), MaxRecords)
+	}
+	if p.UserCycles > p.TotalCycles {
+		return fmt.Errorf("user cycles %d exceed total cycles %d",
+			p.UserCycles, p.TotalCycles)
+	}
+	var weightSum uint64
+	for i, r := range p.Records {
+		if r.Offset%isa.InstBytes != 0 || r.Offset >= MaxOffset {
+			return fmt.Errorf("record %d: offset %#x misaligned or out of range", i, r.Offset)
+		}
+		if len(r.Stack) > MaxStackFrames {
+			return fmt.Errorf("record %d: %d stack frames exceeds limit %d",
+				i, len(r.Stack), MaxStackFrames)
+		}
+		for _, ra := range r.Stack {
+			if ra%isa.InstBytes != 0 || ra >= MaxOffset {
+				return fmt.Errorf("record %d: stack frame %#x misaligned or out of range", i, ra)
+			}
+		}
+		s := weightSum + r.Weight
+		if s < weightSum {
+			return fmt.Errorf("record %d: sample weights overflow", i)
+		}
+		weightSum = s
+	}
+	if weightSum > p.UserCycles {
+		return fmt.Errorf("sample weights sum to %d, exceeding the run's %d user cycles",
+			weightSum, p.UserCycles)
+	}
+	return nil
 }

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"optiwise"
+	"optiwise/internal/obs"
+)
+
+// resultCache is the content-addressed result store: completed profiles
+// keyed by the SHA-256 job digest (see jobKey), evicted LRU under a
+// byte budget. Entry size is the JSON-serialized profile size — the
+// same bytes a report endpoint ultimately renders from — so the budget
+// tracks real memory pressure rather than entry counts.
+type resultCache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	order  *list.List // front = most recently used; values are *cacheEntry
+	byKey  map[string]*list.Element
+
+	mHits      *obs.CounterMetric
+	mMisses    *obs.CounterMetric
+	mEvictions *obs.CounterMetric
+	mBytes     *obs.GaugeMetric
+}
+
+type cacheEntry struct {
+	key  string
+	res  *optiwise.Result
+	size int64
+}
+
+// newResultCache builds a cache with the given byte budget. A zero or
+// negative budget disables caching entirely (Get always misses, Put is
+// a no-op), which keeps the service correct for memory-constrained
+// deployments.
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{
+		budget:     budget,
+		order:      list.New(),
+		byKey:      make(map[string]*list.Element),
+		mHits:      obs.Counter(obs.MServeCacheHits),
+		mMisses:    obs.Counter(obs.MServeCacheMisses),
+		mEvictions: obs.Counter(obs.MServeCacheEvictions),
+		mBytes:     obs.Gauge(obs.MServeCacheBytes),
+	}
+}
+
+// get returns the cached result for key, refreshing its recency.
+// Metric accounting (hit vs. miss) is left to the caller, because a
+// cache miss that coalesces onto an in-flight execution still counts
+// as a hit at the service level.
+func (c *resultCache) get(key string) (*optiwise.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores res under key, evicting least-recently-used entries until
+// the byte budget holds. An entry larger than the whole budget is not
+// cached at all (storing it would immediately evict everything else
+// for a single-use result).
+func (c *resultCache) put(key string, res *optiwise.Result) {
+	size := resultSize(res)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget <= 0 || size > c.budget {
+		return
+	}
+	if el, ok := c.byKey[key]; ok {
+		// Replace in place (identical digest means identical content, but
+		// refresh anyway so sizes stay consistent).
+		ent := el.Value.(*cacheEntry)
+		c.bytes += size - ent.size
+		ent.res, ent.size = res, size
+		c.order.MoveToFront(el)
+	} else {
+		c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, res: res, size: size})
+		c.bytes += size
+	}
+	for c.bytes > c.budget {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.byKey, ent.key)
+		c.bytes -= ent.size
+		c.mEvictions.Inc()
+	}
+	c.mBytes.Set(c.bytes)
+}
+
+// len reports the number of cached results.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byKey)
+}
+
+// usedBytes reports the current byte footprint.
+func (c *resultCache) usedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// resultSize measures a profile's JSON export size without retaining
+// the serialization.
+func resultSize(res *optiwise.Result) int64 {
+	var cw countWriter
+	if err := res.WriteJSON(&cw); err != nil {
+		// Serialization of an in-memory profile cannot fail; treat a
+		// failure defensively as "too large to cache".
+		return 1 << 62
+	}
+	return cw.n
+}
+
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}

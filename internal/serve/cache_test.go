@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"optiwise"
+)
+
+const cacheTestSrc = `
+.module m
+.text
+.func main
+main:
+    li t0, 8
+l:
+    addi t0, t0, -1
+    bnez t0, l
+    li a0, 0
+    li a7, 93
+    syscall
+.endfunc
+`
+
+func cacheTestResult(t *testing.T) *optiwise.Result {
+	t.Helper()
+	prog, err := optiwise.Assemble("m", cacheTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := optiwise.Profile(prog, optiwise.Options{SamplePeriod: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCacheLRUEviction checks the byte-budget discipline: inserting
+// beyond the budget evicts the least recently used entry, and a get
+// refreshes recency.
+func TestCacheLRUEviction(t *testing.T) {
+	res := cacheTestResult(t)
+	size := resultSize(res)
+	if size <= 0 {
+		t.Fatalf("resultSize = %d", size)
+	}
+	// Budget for exactly two entries.
+	c := newResultCache(2 * size)
+	c.put("a", res)
+	c.put("b", res)
+	if c.len() != 2 || c.usedBytes() != 2*size {
+		t.Fatalf("after two puts: len=%d bytes=%d", c.len(), c.usedBytes())
+	}
+	// Touch "a" so "b" becomes the eviction victim.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.put("c", res)
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction despite being least recently used")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s evicted unexpectedly", k)
+		}
+	}
+	if c.usedBytes() > 2*size {
+		t.Errorf("cache over budget: %d > %d", c.usedBytes(), 2*size)
+	}
+
+	// Re-putting an existing key must not double-count bytes.
+	c.put("a", res)
+	if c.len() != 2 || c.usedBytes() != 2*size {
+		t.Errorf("after re-put: len=%d bytes=%d", c.len(), c.usedBytes())
+	}
+}
+
+// TestCacheDisabledAndOversized covers the degenerate budgets.
+func TestCacheDisabledAndOversized(t *testing.T) {
+	res := cacheTestResult(t)
+	disabled := newResultCache(-1)
+	disabled.put("k", res)
+	if _, ok := disabled.get("k"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+	tiny := newResultCache(1) // smaller than any serialized profile
+	tiny.put("k", res)
+	if _, ok := tiny.get("k"); ok {
+		t.Error("cache stored an entry larger than its whole budget")
+	}
+}
+
+// TestJobKey locks in the content addressing: identical inputs agree,
+// and every dimension of the key (program, machine, each option)
+// changes it.
+func TestJobKey(t *testing.T) {
+	prog, err := optiwise.Assemble("m", cacheTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, err := optiwise.Assemble("m", strings.Replace(cacheTestSrc, "li t0, 8", "li t0, 9", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := optiwise.Options{}.Canonical()
+	k1, err := jobKey(prog, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2, _ := jobKey(prog, base); k2 != k1 {
+		t.Error("identical inputs produced different keys")
+	}
+	// Default-equivalent options must collide after canonicalization.
+	if k3, _ := jobKey(prog, optiwise.Options{SamplePeriod: 2000}.Canonical()); k3 != k1 {
+		t.Error("default-equivalent options produced a different key")
+	}
+	variants := map[string]optiwise.Options{
+		"machine":   {Machine: optiwise.NeoverseN1()},
+		"period":    {SamplePeriod: 999},
+		"precise":   {Precise: true},
+		"jitter":    {SampleJitter: true},
+		"nostack":   {DisableStackProfiling: true},
+		"attr":      {Attribution: optiwise.AttrNone},
+		"threshold": {LoopThreshold: 7},
+		"maxcycles": {MaxCycles: 123456},
+		"seed":      {RandSeed: 42},
+	}
+	seen := map[string]string{k1: "base"}
+	for name, o := range variants {
+		k, err := jobKey(prog, o.Canonical())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %q collides with %q", name, prev)
+		}
+		seen[k] = name
+	}
+	kp, _ := jobKey(prog2, base)
+	if _, dup := seen[kp]; dup {
+		t.Error("different program collided with an options variant")
+	}
+}

@@ -1,0 +1,344 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"optiwise"
+	"optiwise/internal/obs"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a program (see submitRequest)
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/report rendered report once done (?kind=...)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/stats            operational snapshot
+//	GET    /healthz             liveness (503 while draining)
+//	GET    /metrics             Prometheus exposition of the obs registry
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// submitRequest is the POST /v1/jobs body. Exactly one of Source (OWISA
+// assembly) or Binary (an OWX image, base64 in JSON) must be set.
+type submitRequest struct {
+	// Module names the program; defaults to "job" for Source
+	// submissions (Binary images carry their own module name).
+	Module string `json:"module,omitempty"`
+	Source string `json:"source,omitempty"`
+	Binary []byte `json:"binary,omitempty"`
+	// Machine selects the simulated processor by name
+	// ("xeon-w2195"/"xeon", "neoverse-n1"/"n1"; default xeon-w2195).
+	Machine string         `json:"machine,omitempty"`
+	Options *submitOptions `json:"options,omitempty"`
+	// TimeoutMS bounds the job end to end (0 = server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Wait blocks the response until the job reaches a terminal state.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// submitOptions mirrors optiwise.Options with signed integers so that
+// negative values are caught with descriptive errors instead of
+// wrapping around to absurd unsigned magnitudes.
+type submitOptions struct {
+	SamplePeriod   int64  `json:"sample_period,omitempty"`
+	InterruptCost  int64  `json:"interrupt_cost,omitempty"`
+	Precise        bool   `json:"precise,omitempty"`
+	SampleJitter   bool   `json:"jitter,omitempty"`
+	NoStack        bool   `json:"no_stack,omitempty"`
+	Attribution    string `json:"attribution,omitempty"`
+	Unweighted     bool   `json:"unweighted,omitempty"`
+	LoopThreshold  int64  `json:"loop_threshold,omitempty"`
+	SampleASLRSeed int64  `json:"sample_aslr_seed,omitempty"`
+	InstrASLRSeed  int64  `json:"instr_aslr_seed,omitempty"`
+	RandSeed       uint64 `json:"rand_seed,omitempty"`
+	MaxCycles      int64  `json:"max_cycles,omitempty"`
+}
+
+// toOptions converts the wire options into optiwise.Options,
+// rejecting negative magnitudes up front.
+func (o *submitOptions) toOptions() (optiwise.Options, error) {
+	var opts optiwise.Options
+	if o == nil {
+		return opts, nil
+	}
+	switch {
+	case o.SamplePeriod < 0:
+		return opts, fmt.Errorf("sampling period must be positive, got %d", o.SamplePeriod)
+	case o.InterruptCost < 0:
+		return opts, fmt.Errorf("interrupt cost must be non-negative, got %d", o.InterruptCost)
+	case o.LoopThreshold < 0:
+		return opts, fmt.Errorf("loop threshold must be non-negative, got %d", o.LoopThreshold)
+	case o.MaxCycles < 0:
+		return opts, fmt.Errorf("max cycles must be non-negative, got %d", o.MaxCycles)
+	}
+	opts.SamplePeriod = uint64(o.SamplePeriod)
+	opts.InterruptCost = uint64(o.InterruptCost)
+	opts.Precise = o.Precise
+	opts.SampleJitter = o.SampleJitter
+	opts.DisableStackProfiling = o.NoStack
+	opts.Unweighted = o.Unweighted
+	opts.LoopThreshold = uint64(o.LoopThreshold)
+	opts.SampleASLRSeed = o.SampleASLRSeed
+	opts.InstrASLRSeed = o.InstrASLRSeed
+	opts.RandSeed = o.RandSeed
+	opts.MaxCycles = uint64(o.MaxCycles)
+	switch o.Attribution {
+	case "", "auto":
+		opts.Attribution = optiwise.AttrAuto
+	case "none":
+		opts.Attribution = optiwise.AttrNone
+	case "pred":
+		opts.Attribution = optiwise.AttrPredecessor
+	default:
+		return opts, fmt.Errorf("unknown attribution %q (want auto, none, or pred)", o.Attribution)
+	}
+	return opts, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req submitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		return
+	}
+	prog, err := req.program()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid options: "+err.Error())
+		return
+	}
+	opts.Machine, err = optiwise.MachineByName(req.Machine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := opts.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("timeout_ms must be non-negative, got %d", req.TimeoutMS))
+		return
+	}
+	job, err := s.Submit(prog, opts, time.Duration(req.TimeoutMS)*time.Millisecond)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.writeBusy(w, http.StatusTooManyRequests, "job queue is full")
+		return
+	case errors.Is(err, ErrDraining):
+		s.writeBusy(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Wait {
+		select {
+		case <-job.Done():
+		case <-r.Context().Done():
+			// The client went away; the job keeps running (it may be
+			// shared) and its own deadline bounds it.
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Status())
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// program materializes the submitted program from source or binary.
+func (r *submitRequest) program() (*optiwise.Program, error) {
+	switch {
+	case r.Source != "" && len(r.Binary) > 0:
+		return nil, errors.New("submit exactly one of source or binary, not both")
+	case r.Source != "":
+		module := r.Module
+		if module == "" {
+			module = "job"
+		}
+		prog, err := optiwise.Assemble(module, r.Source)
+		if err != nil {
+			return nil, fmt.Errorf("assemble: %w", err)
+		}
+		return prog, nil
+	case len(r.Binary) > 0:
+		prog, err := optiwise.ReadBinary(bytes.NewReader(r.Binary))
+		if err != nil {
+			return nil, fmt.Errorf("load binary: %w", err)
+		}
+		return prog, nil
+	default:
+		return nil, errors.New("submit one of source (OWISA assembly) or binary (OWX image)")
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	_, found := s.Cancel(r.PathValue("id"))
+	if !found {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	job, _ := s.Job(r.PathValue("id"))
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// reportWriters maps ?kind= values to report renderers. "annotated"
+// is handled separately because it takes a function name.
+var reportWriters = map[string]struct {
+	contentType string
+	write       func(*bytes.Buffer, *optiwise.Result) error
+}{
+	"full":      {"text/plain; charset=utf-8", func(b *bytes.Buffer, r *optiwise.Result) error { return optiwise.WriteReport(b, r) }},
+	"functions": {"text/plain; charset=utf-8", func(b *bytes.Buffer, r *optiwise.Result) error { return optiwise.WriteFunctionTable(b, r) }},
+	"loops":     {"text/plain; charset=utf-8", func(b *bytes.Buffer, r *optiwise.Result) error { return optiwise.WriteLoopTable(b, r) }},
+	"callgraph": {"text/plain; charset=utf-8", func(b *bytes.Buffer, r *optiwise.Result) error { return optiwise.WriteCallGraph(b, r) }},
+	"csv":       {"text/csv; charset=utf-8", func(b *bytes.Buffer, r *optiwise.Result) error { return optiwise.WriteInstCSV(b, r) }},
+	"loops-csv": {"text/csv; charset=utf-8", func(b *bytes.Buffer, r *optiwise.Result) error { return optiwise.WriteLoopCSV(b, r) }},
+	"json":      {"application/json", func(b *bytes.Buffer, r *optiwise.Result) error { return r.WriteJSON(b) }},
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	res, state, errMsg := job.Result()
+	switch state {
+	case StateDone:
+	case StateFailed:
+		writeError(w, http.StatusConflict, "job failed: "+errMsg)
+		return
+	case StateCanceled:
+		writeError(w, http.StatusConflict, "job was canceled")
+		return
+	default:
+		writeError(w, http.StatusConflict, fmt.Sprintf("job is %s; retry once done", state))
+		return
+	}
+	kind := r.URL.Query().Get("kind")
+	if kind == "" {
+		kind = "full"
+	}
+	var buf bytes.Buffer
+	var contentType string
+	if kind == "annotated" {
+		fn := r.URL.Query().Get("func")
+		if fn == "" {
+			if len(res.Funcs) == 0 {
+				writeError(w, http.StatusConflict, "profile has no functions to annotate")
+				return
+			}
+			fn = res.Funcs[0].Name // hottest function by total cycles
+		}
+		if err := optiwise.WriteAnnotated(&buf, res, fn); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		contentType = "text/plain; charset=utf-8"
+	} else {
+		rw, ok := reportWriters[kind]
+		if !ok {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("unknown report kind %q (want full, functions, loops, annotated, callgraph, csv, loops-csv, or json)", kind))
+			return
+		}
+		if err := rw.write(&buf, res); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		contentType = rw.contentType
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes()) //nolint:errcheck // client went away
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	code := http.StatusOK
+	if st.Draining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   map[bool]string{false: "ok", true: "draining"}[st.Draining],
+		"draining": st.Draining,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	reg := obs.ActiveRegistry()
+	if reg == nil {
+		writeError(w, http.StatusNotFound,
+			"metrics registry inactive (start the server with metrics enabled)")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WritePrometheus(w) //nolint:errcheck // client went away
+}
+
+// writeBusy emits a 429/503 with a Retry-After hint.
+func (s *Server) writeBusy(w http.ResponseWriter, code int, msg string) {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, code, msg)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}

@@ -1,0 +1,326 @@
+package serve
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"optiwise"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. Queued covers both waiting-in-queue and
+// coalesced-onto-an-identical-in-flight-job; Running means a worker is
+// simulating; the other three are terminal.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one submission's view of a profiling execution. Several jobs
+// with identical content share one execution (see group).
+type Job struct {
+	ID      string
+	Digest  string
+	Module  string
+	Machine string
+
+	mu        sync.Mutex
+	state     State
+	errMsg    string
+	result    *optiwise.Result
+	cached    bool
+	coalesced bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	timer     *time.Timer
+	group     *group
+	done      chan struct{}
+}
+
+// JobStatus is an immutable snapshot of a Job, shaped for the JSON API.
+type JobStatus struct {
+	ID         string     `json:"id"`
+	State      State      `json:"state"`
+	Error      string     `json:"error,omitempty"`
+	Cached     bool       `json:"cached,omitempty"`
+	Coalesced  bool       `json:"coalesced,omitempty"`
+	Module     string     `json:"module"`
+	Machine    string     `json:"machine"`
+	Digest     string     `json:"digest"`
+	Submitted  time.Time  `json:"submitted"`
+	Started    *time.Time `json:"started,omitempty"`
+	Finished   *time.Time `json:"finished,omitempty"`
+	DurationMS int64      `json:"duration_ms,omitempty"`
+}
+
+func newJob(digest, module, machine string) *Job {
+	return &Job{
+		ID:        newJobID(),
+		Digest:    digest,
+		Module:    module,
+		Machine:   machine,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+}
+
+// newJobID returns a 16-hex-char random job identifier.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back to a
+		// time-derived id rather than crashing the service.
+		return fmt.Sprintf("j%015x", time.Now().UnixNano())
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// Status returns a consistent snapshot.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.ID,
+		State:     j.state,
+		Error:     j.errMsg,
+		Cached:    j.cached,
+		Coalesced: j.coalesced,
+		Module:    j.Module,
+		Machine:   j.Machine,
+		Digest:    j.Digest,
+		Submitted: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+		st.DurationMS = j.finished.Sub(j.submitted).Milliseconds()
+	}
+	return st
+}
+
+// Result returns the combined profile once the job is done.
+func (j *Job) Result() (*optiwise.Result, State, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.state, j.errMsg
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// markRunning transitions queued → running (no-op otherwise).
+func (j *Job) markRunning(at time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateQueued {
+		j.state = StateRunning
+		j.started = at
+	}
+}
+
+// finish completes the job with a result or error. It is a no-op when
+// the job already reached a terminal state (e.g. its deadline fired
+// first). Reports whether this call performed the transition.
+func (j *Job) finish(res *optiwise.Result, errMsg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	if errMsg != "" {
+		j.state = StateFailed
+		j.errMsg = errMsg
+	} else {
+		j.state = StateDone
+		j.result = res
+	}
+	j.finished = time.Now()
+	j.stopTimerLocked()
+	close(j.done)
+	return true
+}
+
+// terminate moves the job to a terminal failure/cancel state and
+// detaches it from its execution group; used by deadline expiry and
+// client cancellation. Reports whether this call performed the
+// transition.
+func (j *Job) terminate(state State, errMsg string) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.stopTimerLocked()
+	g := j.group
+	close(j.done)
+	j.mu.Unlock()
+	if g != nil {
+		g.remove(j)
+	}
+	return true
+}
+
+func (j *Job) stopTimerLocked() {
+	if j.timer != nil {
+		j.timer.Stop()
+		j.timer = nil
+	}
+}
+
+// armDeadline starts the job's deadline clock: when d elapses before
+// the job completes, it fails with a deadline error and — if it was the
+// last member of its execution group — cancels the underlying
+// simulation, freeing the worker. onExpire (optional) runs only when
+// the expiry actually terminated the job, so the caller can count it.
+func (j *Job) armDeadline(d time.Duration, onExpire func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.timer = time.AfterFunc(d, func() {
+		if j.terminate(StateFailed,
+			fmt.Sprintf("deadline exceeded after %s", d)) && onExpire != nil {
+			onExpire()
+		}
+	})
+}
+
+// group is one deduplicated execution shared by all jobs whose
+// (program, machine, options) digest matches. The first submission
+// becomes the leader and occupies a queue slot; identical submissions
+// arriving while it is queued or running coalesce onto it.
+type group struct {
+	key  string
+	prog *optiwise.Program
+	opts optiwise.Options
+
+	mu       sync.Mutex
+	members  []*Job
+	running  bool
+	finished bool
+	cancel   func() // set once a worker starts the execution
+}
+
+func newGroup(key string, prog *optiwise.Program, opts optiwise.Options, leader *Job) *group {
+	g := &group{key: key, prog: prog, opts: opts, members: []*Job{leader}}
+	leader.setGroup(g)
+	return g
+}
+
+// add coalesces j onto the in-flight execution. It reports false when
+// the group already finished (the caller should then retry via the
+// result cache).
+func (g *group) add(j *Job) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.finished {
+		return false
+	}
+	g.members = append(g.members, j)
+	j.setGroup(g)
+	if g.running {
+		j.markRunning(time.Now())
+	}
+	return true
+}
+
+func (j *Job) setGroup(g *group) {
+	j.mu.Lock()
+	j.group = g
+	j.mu.Unlock()
+}
+
+// remove detaches a terminated member. When the last member leaves a
+// group whose execution already started, the simulation is canceled so
+// the worker frees up immediately.
+func (g *group) remove(j *Job) {
+	g.mu.Lock()
+	for i, m := range g.members {
+		if m == j {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			break
+		}
+	}
+	empty := len(g.members) == 0 && !g.finished
+	cancel := g.cancel
+	g.mu.Unlock()
+	if empty && cancel != nil {
+		cancel()
+	}
+}
+
+// begin marks the group running under cancel. It reports false when
+// every member already expired, in which case the worker skips the
+// simulation entirely.
+func (g *group) begin(cancel func()) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.members) == 0 {
+		g.finished = true
+		return false
+	}
+	g.running = true
+	g.cancel = cancel
+	now := time.Now()
+	for _, m := range g.members {
+		m.markRunning(now)
+	}
+	return true
+}
+
+// end closes the group and returns the members awaiting the outcome.
+func (g *group) end() []*Job {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.finished = true
+	members := g.members
+	g.members = nil
+	return members
+}
+
+// jobKey computes the content address of one profiling execution:
+// SHA-256 over the serialized program image, the simulated machine, and
+// the canonicalized options. Options must already be canonical (see
+// optiwise.Options.Canonical) so that default-equivalent submissions
+// collide.
+func jobKey(prog *optiwise.Program, opts optiwise.Options) (string, error) {
+	h := sha256.New()
+	if err := prog.WriteBinary(h); err != nil {
+		return "", fmt.Errorf("serve: hash program: %w", err)
+	}
+	// The machine config is a flat value struct (no maps), so %#v is a
+	// stable canonical encoding of every field, including the cache
+	// geometry.
+	fmt.Fprintf(h, "|machine=%#v", opts.Machine)
+	fmt.Fprintf(h,
+		"|period=%d|intcost=%d|precise=%t|jitter=%t|nostack=%t|attr=%d|unweighted=%t|T=%d|saslr=%d|iaslr=%d|seed=%d|maxcycles=%d",
+		opts.SamplePeriod, opts.InterruptCost, opts.Precise, opts.SampleJitter,
+		opts.DisableStackProfiling, opts.Attribution, opts.Unweighted,
+		opts.LoopThreshold, opts.SampleASLRSeed, opts.InstrASLRSeed,
+		opts.RandSeed, opts.MaxCycles)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

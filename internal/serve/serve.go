@@ -1,0 +1,403 @@
+// Package serve implements a long-running profiling service around the
+// OptiWISE pipeline: clients POST programs (OWISA source or OWX binary
+// images) plus profiling options, a bounded queue feeds a fixed worker
+// pool that runs the sample → instrument → combine pipeline with
+// cooperative cancellation, and a content-addressed cache keyed by
+// SHA-256 of (program, machine, options) serves repeated submissions
+// without re-simulating. Identical submissions that arrive while a
+// matching execution is queued or running coalesce onto it, so a burst
+// of N identical jobs costs one simulation.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"optiwise"
+	"optiwise/internal/obs"
+)
+
+// Sentinel errors surfaced by Submit; the HTTP layer maps them to 429
+// and 503 respectively.
+var (
+	// ErrQueueFull reports that the bounded job queue had no free slot.
+	ErrQueueFull = errors.New("serve: job queue is full")
+	// ErrDraining reports that the server is shutting down and no longer
+	// accepts submissions.
+	ErrDraining = errors.New("serve: server is draining")
+)
+
+// Config tunes a Server. The zero value selects the documented
+// defaults.
+type Config struct {
+	// Workers is the number of concurrent pipeline executions
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running)
+	// executions; submissions beyond it fail with ErrQueueFull
+	// (default 64).
+	QueueDepth int
+	// CacheBytes is the result cache's byte budget (default 256 MiB);
+	// <0 disables caching.
+	CacheBytes int64
+	// MaxBodyBytes caps an HTTP submission body (default 32 MiB).
+	MaxBodyBytes int64
+	// DefaultTimeout is the per-job deadline applied when a submission
+	// does not choose one (default 60s). MaxTimeout caps client-chosen
+	// deadlines (default 10m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxJobCycles bounds every execution's Options.MaxCycles: jobs
+	// with no bound (or a larger one) are clamped so a runaway program
+	// cannot pin a worker forever (default 2^32; <0 disables clamping).
+	MaxJobCycles int64
+	// RetryAfter is the Retry-After hint attached to 429/503 responses
+	// (default 1s).
+	RetryAfter time.Duration
+	// MaxJobs bounds the job-status retention table; the oldest
+	// finished jobs are forgotten first (default 4096).
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxJobCycles == 0 {
+		c.MaxJobCycles = 1 << 32
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	return c
+}
+
+// Server is the profiling service: a bounded queue of deduplicated
+// executions, a fixed worker pool, a job-status table, and the result
+// cache. Construct with New, launch workers with Start, serve HTTP via
+// Handler, and stop with Shutdown.
+type Server struct {
+	cfg     Config
+	queue   chan *group
+	cache   *resultCache
+	metrics serverMetrics
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for retention trimming
+	groups   map[string]*group
+	draining bool
+
+	inflight atomic.Int64
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a Server; call Start to launch its workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		queue:   make(chan *group, cfg.QueueDepth),
+		cache:   newResultCache(cfg.CacheBytes),
+		metrics: newServerMetrics(),
+		jobs:    make(map[string]*Job),
+		groups:  make(map[string]*group),
+		stop:    make(chan struct{}),
+	}
+}
+
+// Config returns the server's effective (default-resolved) config.
+func (s *Server) Config() Config { return s.cfg }
+
+// Start launches the worker pool. It must be called exactly once.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Shutdown stops accepting submissions, drains queued and in-flight
+// jobs, and waits for the workers to exit or ctx to expire.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stop) })
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
+	}
+}
+
+// Submit validates and enqueues one profiling job. The returned Job is
+// immediately Done when the result cache already holds the profile;
+// otherwise it either coalesces onto an identical in-flight execution
+// or occupies a fresh queue slot. timeout bounds the job end to end
+// (0 selects Config.DefaultTimeout).
+func (s *Server) Submit(prog *optiwise.Program, opts optiwise.Options, timeout time.Duration) (*Job, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.Canonical()
+	if s.cfg.MaxJobCycles > 0 &&
+		(opts.MaxCycles == 0 || opts.MaxCycles > uint64(s.cfg.MaxJobCycles)) {
+		opts.MaxCycles = uint64(s.cfg.MaxJobCycles)
+	}
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	key, err := jobKey(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	j := newJob(key, prog.Module(), opts.Machine.Name)
+
+	// Fast path: the cache already holds this exact profile.
+	if res, ok := s.cache.get(key); ok {
+		j.mu.Lock()
+		j.cached = true
+		j.mu.Unlock()
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			return nil, ErrDraining
+		}
+		s.registerLocked(j)
+		s.mu.Unlock()
+		j.finish(res, "")
+		s.metrics.submitted.Inc()
+		s.metrics.cacheHits.Inc()
+		s.metrics.completed.Inc()
+		return j, nil
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if g := s.groups[key]; g != nil {
+		if g.add(j) {
+			j.mu.Lock()
+			j.coalesced = true
+			j.mu.Unlock()
+			s.registerLocked(j)
+			s.mu.Unlock()
+			s.metrics.submitted.Inc()
+			s.metrics.cacheHits.Inc()
+			j.armDeadline(timeout, s.onDeadline)
+			return j, nil
+		}
+		// The group finished between our cache probe and now; replace it.
+		delete(s.groups, key)
+	}
+	g := newGroup(key, prog, opts, j)
+	select {
+	case s.queue <- g:
+	default:
+		s.mu.Unlock()
+		s.metrics.rejected.Inc()
+		return nil, ErrQueueFull
+	}
+	s.groups[key] = g
+	s.registerLocked(j)
+	s.mu.Unlock()
+	s.metrics.submitted.Inc()
+	s.metrics.cacheMiss.Inc()
+	s.metrics.queueDepth.Set(int64(len(s.queue)))
+	j.armDeadline(timeout, s.onDeadline)
+	return j, nil
+}
+
+// onDeadline records a deadline expiry in the failure counter.
+func (s *Server) onDeadline() { s.metrics.failed.Inc() }
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel terminates a queued or running job on the client's behalf.
+// The second result reports whether the job existed; the first whether
+// this call performed the cancellation (false when it already reached
+// a terminal state).
+func (s *Server) Cancel(id string) (canceled, found bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return false, false
+	}
+	if j.terminate(StateCanceled, "canceled by client") {
+		s.metrics.canceled.Inc()
+		return true, true
+	}
+	return false, true
+}
+
+// registerLocked records j in the retention table. Callers hold s.mu.
+func (s *Server) registerLocked(j *Job) {
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	for len(s.order) > s.cfg.MaxJobs {
+		old := s.jobs[s.order[0]]
+		if old != nil && !old.Status().State.Terminal() {
+			break // never forget a live job; trim resumes once it ends
+		}
+		delete(s.jobs, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+// worker runs queued executions until the stop signal, then drains the
+// remaining queue (graceful shutdown never abandons an accepted job).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case g := <-s.queue:
+			s.metrics.queueDepth.Set(int64(len(s.queue)))
+			s.runGroup(g)
+		case <-s.stop:
+			for {
+				select {
+				case g := <-s.queue:
+					s.metrics.queueDepth.Set(int64(len(s.queue)))
+					s.runGroup(g)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// runGroup executes one deduplicated profiling job and fans the
+// outcome out to every member. The execution is skipped entirely when
+// all members expired while queued, and canceled mid-flight when the
+// last member leaves (see group.remove).
+func (s *Server) runGroup(g *group) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if !g.begin(cancel) {
+		s.dropGroup(g)
+		return
+	}
+	span := obs.Start("serve.job")
+	span.SetAttr("module", g.prog.Module())
+	span.SetAttr("digest", shortDigest(g.key))
+	s.inflight.Add(1)
+	s.metrics.inflight.Set(s.inflight.Load())
+	res, err := optiwise.ProfileContext(ctx, g.prog, g.opts)
+	s.inflight.Add(-1)
+	s.metrics.inflight.Set(s.inflight.Load())
+	span.SetAttr("failed", err != nil)
+	span.End()
+
+	if err == nil {
+		s.cache.put(g.key, res)
+	}
+	s.dropGroup(g)
+	members := g.end()
+	errMsg := ""
+	if err != nil {
+		errMsg = err.Error()
+	}
+	for _, j := range members {
+		if !j.finish(res, errMsg) {
+			continue // lost the race against its deadline or a cancel
+		}
+		if err != nil {
+			s.metrics.failed.Inc()
+		} else {
+			s.metrics.completed.Inc()
+		}
+		j.mu.Lock()
+		lat := j.finished.Sub(j.submitted)
+		j.mu.Unlock()
+		s.metrics.latencyUS.Observe(uint64(lat.Microseconds()))
+	}
+}
+
+// dropGroup removes g from the dedup index (if it is still the indexed
+// group for its key), so later identical submissions start fresh.
+func (s *Server) dropGroup(g *group) {
+	s.mu.Lock()
+	if s.groups[g.key] == g {
+		delete(s.groups, g.key)
+	}
+	s.mu.Unlock()
+}
+
+// shortDigest abbreviates a hex digest for span attributes.
+func shortDigest(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
+}
+
+// Stats is a point-in-time operational snapshot, served at /v1/stats.
+type Stats struct {
+	Workers      int   `json:"workers"`
+	QueueDepth   int   `json:"queue_depth"`
+	Inflight     int64 `json:"inflight"`
+	Jobs         int   `json:"jobs"`
+	CacheEntries int   `json:"cache_entries"`
+	CacheBytes   int64 `json:"cache_bytes"`
+	Draining     bool  `json:"draining"`
+}
+
+// Stats returns the current operational snapshot.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	draining := s.draining
+	s.mu.Unlock()
+	return Stats{
+		Workers:      s.cfg.Workers,
+		QueueDepth:   len(s.queue),
+		Inflight:     s.inflight.Load(),
+		Jobs:         jobs,
+		CacheEntries: s.cache.len(),
+		CacheBytes:   s.cache.usedBytes(),
+		Draining:     draining,
+	}
+}

@@ -1,0 +1,123 @@
+package optiwise
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestMachineByName(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want string
+	}{
+		{"", "xeon-w2195"},
+		{"xeon", "xeon-w2195"},
+		{"xeon-w2195", "xeon-w2195"},
+		{"n1", "neoverse-n1"},
+		{"neoverse-n1", "neoverse-n1"},
+	} {
+		m, err := MachineByName(tc.in)
+		if err != nil {
+			t.Errorf("MachineByName(%q): %v", tc.in, err)
+			continue
+		}
+		if m.Name != tc.want {
+			t.Errorf("MachineByName(%q).Name = %q, want %q", tc.in, m.Name, tc.want)
+		}
+	}
+	if _, err := MachineByName("cray-1"); err == nil ||
+		!strings.Contains(err.Error(), "cray-1") {
+		t.Errorf("MachineByName(cray-1) err = %v, want a descriptive error", err)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    Options
+		wantErr string // empty = valid
+	}{
+		{"zero value", Options{}, ""},
+		{"typical", Options{SamplePeriod: 500, LoopThreshold: 5}, ""},
+		{"period too large", Options{SamplePeriod: 1 << 40}, "sampling period"},
+		{"interrupt cost too large", Options{InterruptCost: 1 << 30}, "interrupt cost"},
+		{"cost eats period", Options{SamplePeriod: 100, InterruptCost: 100}, "smaller than the sampling period"},
+		{"cost eats default period", Options{InterruptCost: 2000}, "smaller than the sampling period"},
+		{"threshold too large", Options{LoopThreshold: 1 << 30}, "loop threshold"},
+		{"max cycles overflow", Options{MaxCycles: 1 << 63}, "overflow"},
+		{"bad machine", Options{Machine: Machine{Name: "broken"}}, "invalid machine"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opts.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error mentioning %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestOptionsCanonical(t *testing.T) {
+	a := Options{}.Canonical()
+	b := Options{SamplePeriod: 2000, Machine: XeonW2195()}.Canonical()
+	if a.SamplePeriod != b.SamplePeriod || a.InterruptCost != b.InterruptCost ||
+		a.Machine.Name != b.Machine.Name ||
+		a.SampleASLRSeed != b.SampleASLRSeed || a.InstrASLRSeed != b.InstrASLRSeed {
+		t.Errorf("canonical forms differ:\n a=%+v\n b=%+v", a, b)
+	}
+	if a.Machine.Name != "xeon-w2195" || a.SamplePeriod != 2000 {
+		t.Errorf("Canonical did not resolve defaults: %+v", a)
+	}
+	if a.InterruptCost == 0 || a.SampleASLRSeed == 0 || a.InstrASLRSeed == 0 {
+		t.Errorf("Canonical left zero defaults: %+v", a)
+	}
+}
+
+// TestProfileContextCancel checks the cooperative cancellation path end
+// to end: a context canceled before (and during) a run aborts the
+// pipeline with an error that wraps context.Canceled.
+func TestProfileContextCancel(t *testing.T) {
+	prog, err := Assemble("quick", quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ProfileContext(ctx, prog, Options{SamplePeriod: 500}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ProfileContext on dead context = %v, want context.Canceled", err)
+	}
+	if _, _, err := SampleOnlyContext(ctx, prog, Options{SamplePeriod: 500}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SampleOnlyContext on dead context = %v, want context.Canceled", err)
+	}
+	if _, err := InstrumentOnlyContext(ctx, prog, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("InstrumentOnlyContext on dead context = %v, want context.Canceled", err)
+	}
+}
+
+// TestMaxCyclesBoundsRun checks that Options.MaxCycles stops a
+// non-terminating program instead of hanging the pipeline.
+func TestMaxCyclesBoundsRun(t *testing.T) {
+	prog, err := Assemble("spin", `
+.module spin
+.text
+.func main
+main:
+spin:
+    j spin
+.endfunc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Profile(prog, Options{SamplePeriod: 500, MaxCycles: 20000}); err == nil {
+		t.Fatal("Profile of a non-terminating program returned nil error under MaxCycles")
+	}
+}

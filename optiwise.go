@@ -23,6 +23,8 @@
 package optiwise
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"optiwise/internal/asm"
@@ -46,6 +48,19 @@ func XeonW2195() Machine { return ooo.XeonW2195() }
 // NeoverseN1 returns the paper's AArch64-style machine with the
 // early-dequeue commit model of §V-B.
 func NeoverseN1() Machine { return ooo.NeoverseN1() }
+
+// MachineByName resolves a machine identifier as used by the CLI and the
+// profiling service. The empty string selects the default (XeonW2195);
+// unknown names produce a descriptive error listing the alternatives.
+func MachineByName(name string) (Machine, error) {
+	switch name {
+	case "", "xeon", "xeon-w2195":
+		return XeonW2195(), nil
+	case "n1", "neoverse-n1":
+		return NeoverseN1(), nil
+	}
+	return Machine{}, fmt.Errorf("unknown machine %q (available: xeon, xeon-w2195, n1, neoverse-n1)", name)
+}
 
 // Program is an assembled OWISA module ready to run or profile.
 type Program struct {
@@ -175,6 +190,12 @@ type Options struct {
 	InstrASLRSeed  int64
 	// RandSeed seeds the profiled program's deterministic SysRand.
 	RandSeed uint64
+	// MaxCycles bounds each profiled execution: simulated cycles for the
+	// sampling run and retired instructions for the instrumentation run
+	// (a deliberately loose shared bound). 0 means unlimited. Long-lived
+	// callers (the profiling service) set it so a runaway program cannot
+	// pin a worker forever.
+	MaxCycles uint64
 }
 
 func (o *Options) fill() {
@@ -195,6 +216,64 @@ func (o *Options) fill() {
 	}
 }
 
+// Canonical returns o with every defaulted (zero) field resolved to its
+// documented default. Two Options values that profile identically have
+// identical Canonical forms, which is what makes them usable as part of
+// a content-addressed cache key.
+func (o Options) Canonical() Options {
+	o.fill()
+	return o
+}
+
+// Validation bounds. Values beyond these are either physically
+// meaningless for the simulated machines or would overflow downstream
+// cycle arithmetic.
+const (
+	maxSamplePeriod  = 1 << 32
+	maxInterruptCost = 1 << 24
+	maxLoopThreshold = 1 << 20
+	maxMaxCycles     = uint64(1) << 62
+)
+
+// Validate reports descriptive errors for option values that fill()
+// cannot sensibly patch. Zero values are not errors — they select the
+// documented defaults — but explicit out-of-range values, interrupt
+// costs that would starve user execution, malformed machines, and
+// cycle bounds that would overflow are all rejected. Both the CLI and
+// the profiling service call this before running a pipeline.
+func (o Options) Validate() error {
+	if o.SamplePeriod > maxSamplePeriod {
+		return fmt.Errorf("optiwise: sampling period %d exceeds maximum %d",
+			o.SamplePeriod, int64(maxSamplePeriod))
+	}
+	if o.InterruptCost > maxInterruptCost {
+		return fmt.Errorf("optiwise: interrupt cost %d exceeds maximum %d",
+			o.InterruptCost, int64(maxInterruptCost))
+	}
+	period := o.SamplePeriod
+	if period == 0 {
+		period = 2000 // the documented default, see fill
+	}
+	if o.InterruptCost >= period {
+		return fmt.Errorf("optiwise: interrupt cost %d must be smaller than the sampling period %d (the sampler would never make user progress)",
+			o.InterruptCost, period)
+	}
+	if o.Machine.Name != "" {
+		if err := o.Machine.Validate(); err != nil {
+			return fmt.Errorf("optiwise: invalid machine: %w", err)
+		}
+	}
+	if o.LoopThreshold > maxLoopThreshold {
+		return fmt.Errorf("optiwise: loop threshold %d exceeds maximum %d",
+			o.LoopThreshold, int64(maxLoopThreshold))
+	}
+	if o.MaxCycles > maxMaxCycles {
+		return fmt.Errorf("optiwise: max cycles %d would overflow cycle arithmetic (maximum 2^62)",
+			o.MaxCycles)
+	}
+	return nil
+}
+
 // Result is the combined granular-CPI profile. It aliases the analysis
 // package's type, so all query methods (InstAt, FuncByName, LoopByHeader,
 // HottestInst) and record slices (Insts, Funcs, Loops, Lines) are
@@ -205,18 +284,27 @@ type Result = core.Profile
 // the simulated machine, an instrumentation run under the DBI engine, and
 // the combining analysis.
 func Profile(prog *Program, opts Options) (*Result, error) {
+	return ProfileContext(context.Background(), prog, opts)
+}
+
+// ProfileContext is Profile with cooperative cancellation: ctx is
+// threaded through both profiled executions down to cycle-granularity
+// checks in the pipeline-simulator and DBI run loops, so a canceled or
+// expired context aborts a profiling run within a bounded number of
+// simulated cycles. The returned error wraps ctx.Err().
+func ProfileContext(ctx context.Context, prog *Program, opts Options) (*Result, error) {
 	opts.fill()
 	span := obs.Start("profile").SetAttr("module", prog.Module())
 	defer span.End()
-	sp, _, err := SampleOnly(prog, opts)
+	sp, _, err := SampleOnlyContext(ctx, prog, opts)
 	if err != nil {
 		return nil, err
 	}
-	ep, err := InstrumentOnly(prog, opts)
+	ep, err := InstrumentOnlyContext(ctx, prog, opts)
 	if err != nil {
 		return nil, err
 	}
-	return Analyze(prog, sp, ep, opts)
+	return AnalyzeContext(ctx, prog, sp, ep, opts)
 }
 
 // SampleProfile is the output of the sampling run (the perf.data
@@ -229,36 +317,61 @@ type EdgeProfile = dbi.Profile
 
 // SampleOnly performs just the sampling run (optiwise sample).
 func SampleOnly(prog *Program, opts Options) (*SampleProfile, ooo.Stats, error) {
+	return SampleOnlyContext(context.Background(), prog, opts)
+}
+
+// SampleOnlyContext is SampleOnly with cooperative cancellation (see
+// ProfileContext).
+func SampleOnlyContext(ctx context.Context, prog *Program, opts Options) (*SampleProfile, ooo.Stats, error) {
 	opts.fill()
 	span := obs.Start("sample").
 		SetAttr("module", prog.Module()).
 		SetAttr("period", opts.SamplePeriod)
 	defer span.End()
-	return sampler.Run(opts.Machine, prog.prog, sampler.Options{
+	return sampler.RunContext(ctx, opts.Machine, prog.prog, sampler.Options{
 		Period:        opts.SamplePeriod,
 		InterruptCost: opts.InterruptCost,
 		Precise:       opts.Precise,
 		Jitter:        opts.SampleJitter,
 		ASLRSeed:      opts.SampleASLRSeed,
 		RandSeed:      opts.RandSeed,
+		MaxCycles:     opts.MaxCycles,
 	})
 }
 
 // InstrumentOnly performs just the instrumentation run (optiwise
 // instrument).
 func InstrumentOnly(prog *Program, opts Options) (*EdgeProfile, error) {
+	return InstrumentOnlyContext(context.Background(), prog, opts)
+}
+
+// InstrumentOnlyContext is InstrumentOnly with cooperative cancellation
+// (see ProfileContext).
+func InstrumentOnlyContext(ctx context.Context, prog *Program, opts Options) (*EdgeProfile, error) {
 	opts.fill()
 	span := obs.Start("instrument").SetAttr("module", prog.Module())
 	defer span.End()
-	return dbi.Run(prog.prog, dbi.Options{
-		StackProfiling: !opts.DisableStackProfiling,
-		ASLRSeed:       opts.InstrASLRSeed,
-		RandSeed:       opts.RandSeed,
+	return dbi.RunContext(ctx, prog.prog, dbi.Options{
+		StackProfiling:  !opts.DisableStackProfiling,
+		ASLRSeed:        opts.InstrASLRSeed,
+		RandSeed:        opts.RandSeed,
+		MaxInstructions: opts.MaxCycles,
 	})
 }
 
 // Analyze combines previously collected profiles (optiwise analyze).
 func Analyze(prog *Program, sp *SampleProfile, ep *EdgeProfile, opts Options) (*Result, error) {
+	return AnalyzeContext(context.Background(), prog, sp, ep, opts)
+}
+
+// AnalyzeContext is Analyze with a single up-front cancellation check.
+// The combining analysis is orders of magnitude cheaper than the two
+// profiled executions, so it is not internally interruptible; a context
+// that is already done still fails fast here.
+func AnalyzeContext(ctx context.Context, prog *Program, sp *SampleProfile, ep *EdgeProfile, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("optiwise: analyze canceled: %w", err)
+	}
 	span := obs.Start("analyze").SetAttr("module", prog.Module())
 	defer span.End()
 	return core.Combine(prog.prog, sp, ep, core.Options{
