@@ -1,0 +1,269 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one `go test -bench` result line: one timed run of one
+// benchmark.
+type Sample struct {
+	Name    string // GOMAXPROCS suffix stripped: BenchmarkFig1, not BenchmarkFig1-8
+	Iters   int64
+	NsPerOp float64
+	// BytesPerOp / AllocsPerOp come from -benchmem; negative when the
+	// line carried no memory columns.
+	BytesPerOp  float64
+	AllocsPerOp float64
+	// Metrics holds custom b.ReportMetric columns (load-cpi,
+	// program-loops, speedup-%, ...).
+	Metrics map[string]float64
+}
+
+// Result is the aggregate of all counts of one benchmark: the median of
+// each column, which is what benchstat uses as its robust center.
+type Result struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Samples     int                `json:"samples"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the checked-in baseline document (bench/baseline.json).
+type File struct {
+	Generated  string            `json:"generated"`
+	GoVersion  string            `json:"go_version"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// Artifact is the per-PR benchmark record (BENCH_PR3.json): the run, the
+// comparison, and the verdict.
+type Artifact struct {
+	Generated  string            `json:"generated"`
+	GoVersion  string            `json:"go_version"`
+	Baseline   string            `json:"baseline"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+	Comparison []Row             `json:"comparison"`
+	Pass       bool              `json:"pass"`
+}
+
+// ParseBenchOutput extracts benchmark result lines from `go test -bench`
+// text output. Non-benchmark lines (goos/goarch/pkg headers, PASS, ok)
+// are skipped; malformed Benchmark lines are errors so silent truncation
+// cannot sneak a regression past the gate.
+func ParseBenchOutput(text string) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue // a benchmark name echoed alone (b.Run header)
+		}
+		s, err := parseLine(fields)
+		if err != nil {
+			return nil, fmt.Errorf("parse %q: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	return out, sc.Err()
+}
+
+func parseLine(fields []string) (Sample, error) {
+	s := Sample{
+		Name:        stripProcs(fields[0]),
+		BytesPerOp:  -1,
+		AllocsPerOp: -1,
+		Metrics:     map[string]float64{},
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return s, fmt.Errorf("iteration count: %w", err)
+	}
+	s.Iters = iters
+	// The rest is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return s, fmt.Errorf("value %q: %w", fields[i], err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			s.NsPerOp = v
+		case "B/op":
+			s.BytesPerOp = v
+		case "allocs/op":
+			s.AllocsPerOp = v
+		case "MB/s":
+			s.Metrics["MB/s"] = v
+		default:
+			s.Metrics[unit] = v
+		}
+	}
+	if s.NsPerOp == 0 {
+		return s, fmt.Errorf("no ns/op column")
+	}
+	return s, nil
+}
+
+// stripProcs removes the -GOMAXPROCS suffix go test appends to
+// benchmark names.
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Aggregate folds repeated counts of each benchmark into its median
+// Result.
+func Aggregate(samples []Sample) map[string]Result {
+	byName := map[string][]Sample{}
+	for _, s := range samples {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	out := make(map[string]Result, len(byName))
+	for name, group := range byName {
+		r := Result{Samples: len(group)}
+		r.NsPerOp = median(group, func(s Sample) float64 { return s.NsPerOp })
+		if b := median(group, func(s Sample) float64 { return s.BytesPerOp }); b >= 0 {
+			r.BytesPerOp = b
+		}
+		if a := median(group, func(s Sample) float64 { return s.AllocsPerOp }); a >= 0 {
+			r.AllocsPerOp = a
+		}
+		metrics := map[string]float64{}
+		for unit := range group[0].Metrics {
+			metrics[unit] = median(group, func(s Sample) float64 { return s.Metrics[unit] })
+		}
+		if len(metrics) > 0 {
+			r.Metrics = metrics
+		}
+		out[name] = r
+	}
+	return out
+}
+
+func median(group []Sample, get func(Sample) float64) float64 {
+	vals := make([]float64, 0, len(group))
+	for _, s := range group {
+		vals = append(vals, get(s))
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+// Row is one benchmark's baseline-vs-run comparison.
+type Row struct {
+	Name string `json:"name"`
+	// Missing marks a baseline benchmark absent from the run — always a
+	// failure (the gate must run the pinned set).
+	Missing bool `json:"missing,omitempty"`
+
+	BaseNs     float64 `json:"base_ns_per_op"`
+	NewNs      float64 `json:"new_ns_per_op"`
+	TimeDelta  float64 `json:"time_delta_pct"`
+	BaseAllocs float64 `json:"base_allocs_per_op"`
+	NewAllocs  float64 `json:"new_allocs_per_op"`
+	AllocDelta float64 `json:"alloc_delta_pct"`
+
+	TimeRegressed  bool `json:"time_regressed,omitempty"`
+	AllocRegressed bool `json:"alloc_regressed,omitempty"`
+}
+
+// Report is the full comparison outcome.
+type Report struct {
+	Rows []Row
+}
+
+// Failed reports whether any row breaches a threshold.
+func (r Report) Failed() bool {
+	for _, row := range r.Rows {
+		if row.Missing || row.TimeRegressed || row.AllocRegressed {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare checks every baseline benchmark against the run. Benchmarks
+// present only in the run are ignored (the baseline pins the gate set).
+func Compare(base, run map[string]Result, maxTimePct, maxAllocPct float64) Report {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var rep Report
+	for _, name := range names {
+		b := base[name]
+		n, ok := run[name]
+		if !ok {
+			rep.Rows = append(rep.Rows, Row{Name: name, Missing: true,
+				BaseNs: b.NsPerOp, BaseAllocs: b.AllocsPerOp})
+			continue
+		}
+		row := Row{
+			Name:       name,
+			BaseNs:     b.NsPerOp,
+			NewNs:      n.NsPerOp,
+			BaseAllocs: b.AllocsPerOp,
+			NewAllocs:  n.AllocsPerOp,
+		}
+		if b.NsPerOp > 0 {
+			row.TimeDelta = 100 * (n.NsPerOp - b.NsPerOp) / b.NsPerOp
+			row.TimeRegressed = row.TimeDelta > maxTimePct
+		}
+		if b.AllocsPerOp > 0 {
+			row.AllocDelta = 100 * (n.AllocsPerOp - b.AllocsPerOp) / b.AllocsPerOp
+			row.AllocRegressed = row.AllocDelta > maxAllocPct
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+// Print renders the comparison as an aligned table.
+func (r Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %14s %14s %8s %12s %12s %8s  %s\n",
+		"benchmark", "base ns/op", "new ns/op", "Δtime",
+		"base allocs", "new allocs", "Δallocs", "verdict")
+	for _, row := range r.Rows {
+		if row.Missing {
+			fmt.Fprintf(w, "%-28s %14.0f %14s %8s %12.0f %12s %8s  MISSING\n",
+				row.Name, row.BaseNs, "-", "-", row.BaseAllocs, "-", "-")
+			continue
+		}
+		verdict := "ok"
+		switch {
+		case row.TimeRegressed && row.AllocRegressed:
+			verdict = "REGRESSED (time, allocs)"
+		case row.TimeRegressed:
+			verdict = "REGRESSED (time)"
+		case row.AllocRegressed:
+			verdict = "REGRESSED (allocs)"
+		case row.TimeDelta < -5:
+			verdict = fmt.Sprintf("improved %.1f%%", -row.TimeDelta)
+		}
+		fmt.Fprintf(w, "%-28s %14.0f %14.0f %7.1f%% %12.0f %12.0f %7.1f%%  %s\n",
+			row.Name, row.BaseNs, row.NewNs, row.TimeDelta,
+			row.BaseAllocs, row.NewAllocs, row.AllocDelta, verdict)
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: optiwise
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable1  	       4	 266834479 ns/op	         6.000 program-loops	84726708 B/op	  626556 allocs/op
+BenchmarkTable1  	       5	 220939843 ns/op	         6.000 program-loops	84726721 B/op	  626557 allocs/op
+BenchmarkTable1  	       4	 250547942 ns/op	         6.000 program-loops	84726688 B/op	  626556 allocs/op
+BenchmarkFig1-8    	       3	 368080072 ns/op	         8.893 load-cpi	66762240 B/op	  463154 allocs/op
+PASS
+ok  	optiwise	32.9s
+`
+
+func TestParseAndAggregate(t *testing.T) {
+	samples, err := ParseBenchOutput(sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples, want 4", len(samples))
+	}
+	agg := Aggregate(samples)
+	table1, ok := agg["BenchmarkTable1"]
+	if !ok {
+		t.Fatal("BenchmarkTable1 missing from aggregate")
+	}
+	if table1.Samples != 3 {
+		t.Errorf("Samples = %d, want 3", table1.Samples)
+	}
+	if want := 250547942.0; table1.NsPerOp != want {
+		t.Errorf("median ns/op = %v, want %v", table1.NsPerOp, want)
+	}
+	if want := 626556.0; table1.AllocsPerOp != want {
+		t.Errorf("median allocs/op = %v, want %v", table1.AllocsPerOp, want)
+	}
+	if got := table1.Metrics["program-loops"]; got != 6 {
+		t.Errorf("program-loops = %v, want 6", got)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped.
+	if _, ok := agg["BenchmarkFig1"]; !ok {
+		t.Errorf("BenchmarkFig1 missing (suffix not stripped?): %v", agg)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	_, err := ParseBenchOutput("BenchmarkBroken   12  garbage ns/op\n")
+	if err == nil {
+		t.Fatal("malformed value parsed without error")
+	}
+}
+
+func TestCompareThresholds(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkB": {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkC": {NsPerOp: 1000, AllocsPerOp: 100},
+		"BenchmarkD": {NsPerOp: 1000, AllocsPerOp: 100},
+	}
+	run := map[string]Result{
+		"BenchmarkA": {NsPerOp: 1100, AllocsPerOp: 105}, // within both thresholds
+		"BenchmarkB": {NsPerOp: 1200, AllocsPerOp: 100}, // time regression
+		"BenchmarkC": {NsPerOp: 900, AllocsPerOp: 120},  // alloc regression
+		// BenchmarkD missing entirely.
+	}
+	rep := Compare(base, run, 15, 10)
+	if !rep.Failed() {
+		t.Fatal("report should fail")
+	}
+	byName := map[string]Row{}
+	for _, row := range rep.Rows {
+		byName[row.Name] = row
+	}
+	if row := byName["BenchmarkA"]; row.TimeRegressed || row.AllocRegressed {
+		t.Errorf("A should pass: %+v", row)
+	}
+	if row := byName["BenchmarkB"]; !row.TimeRegressed || row.AllocRegressed {
+		t.Errorf("B should be a time regression: %+v", row)
+	}
+	if row := byName["BenchmarkC"]; row.TimeRegressed || !row.AllocRegressed {
+		t.Errorf("C should be an alloc regression: %+v", row)
+	}
+	if row := byName["BenchmarkD"]; !row.Missing {
+		t.Errorf("D should be missing: %+v", row)
+	}
+
+	// Pure improvements pass.
+	rep = Compare(base, map[string]Result{
+		"BenchmarkA": {NsPerOp: 500, AllocsPerOp: 50},
+		"BenchmarkB": {NsPerOp: 500, AllocsPerOp: 50},
+		"BenchmarkC": {NsPerOp: 500, AllocsPerOp: 50},
+		"BenchmarkD": {NsPerOp: 500, AllocsPerOp: 50},
+	}, 15, 10)
+	if rep.Failed() {
+		t.Fatalf("improvement should pass: %+v", rep.Rows)
+	}
+	var sb strings.Builder
+	rep.Print(&sb)
+	if !strings.Contains(sb.String(), "improved") {
+		t.Errorf("improvement not reported:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,127 @@
+// Command benchgate is the repository's benchmark-regression gate: a
+// small benchstat-style comparator that parses `go test -bench` text
+// output, aggregates repeated counts per benchmark (median), and compares
+// the run against a checked-in baseline (bench/baseline.json), failing
+// when wall clock or allocations regress beyond the configured
+// thresholds.
+//
+// Usage:
+//
+//	# compare a fresh run against the baseline (CI gate)
+//	go test -run xxx -bench '^(BenchmarkFig1|BenchmarkTable1|BenchmarkCaseMCF)$' \
+//	    -benchmem -count=6 . > run.txt
+//	go run ./cmd/benchgate -baseline bench/baseline.json -json BENCH_PR3.json run.txt
+//
+//	# refresh the baseline after an intentional perf change
+//	go run ./cmd/benchgate -write bench/baseline.json run.txt
+//
+// The gate fails (exit 1) when any baseline benchmark regresses by more
+// than -max-time-regress percent in ns/op or -max-alloc-regress percent
+// in allocs/op, or is missing from the run entirely. Improvements always
+// pass and are reported so refreshed baselines can be justified.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "baseline JSON to compare against")
+		writePath    = flag.String("write", "", "write a new baseline JSON from the run and exit")
+		jsonOut      = flag.String("json", "", "write the run (and comparison, if any) as a JSON artifact")
+		maxTime      = flag.Float64("max-time-regress", 15, "max allowed ns/op regression in percent")
+		maxAlloc     = flag.Float64("max-alloc-regress", 10, "max allowed allocs/op regression in percent")
+	)
+	flag.Parse()
+	if err := run(*baselinePath, *writePath, *jsonOut, *maxTime, *maxAlloc, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath, writePath, jsonOut string, maxTime, maxAlloc float64, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("no benchmark output files given")
+	}
+	if baselinePath == "" && writePath == "" {
+		return fmt.Errorf("one of -baseline or -write is required")
+	}
+	var samples []Sample
+	for _, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		s, err := ParseBenchOutput(string(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		samples = append(samples, s...)
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("no benchmark result lines found in %v", args)
+	}
+	runSet := Aggregate(samples)
+
+	if writePath != "" {
+		return writeJSON(writePath, File{
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			Benchmarks: runSet,
+		})
+	}
+
+	base, err := readBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	report := Compare(base.Benchmarks, runSet, maxTime, maxAlloc)
+	report.Print(os.Stdout)
+	if jsonOut != "" {
+		art := Artifact{
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			Baseline:   baselinePath,
+			Benchmarks: runSet,
+			Comparison: report.Rows,
+			Pass:       !report.Failed(),
+		}
+		if err := writeJSON(jsonOut, art); err != nil {
+			return err
+		}
+	}
+	if report.Failed() {
+		return fmt.Errorf("benchmark regression beyond thresholds (time >%.0f%%, allocs >%.0f%%)",
+			maxTime, maxAlloc)
+	}
+	return nil
+}
+
+func readBaseline(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return f, fmt.Errorf("%s: baseline holds no benchmarks", path)
+	}
+	return f, nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

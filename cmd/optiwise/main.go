@@ -110,27 +110,29 @@ run 'optiwise <cmd> -h' for flags`)
 
 // commonFlags registers the flags shared by the profiling subcommands.
 type commonFlags struct {
-	fs      *flag.FlagSet
-	machine *string
-	period  *uint64
-	precise *bool
-	noStack *bool
-	thresh  *uint64
-	attr    *string
-	obs     *obs.Config
+	fs         *flag.FlagSet
+	machine    *string
+	period     *uint64
+	precise    *bool
+	noStack    *bool
+	thresh     *uint64
+	attr       *string
+	sequential *bool
+	obs        *obs.Config
 }
 
 func newFlags(name string) *commonFlags {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	return &commonFlags{
-		fs:      fs,
-		machine: fs.String("machine", "xeon", "simulated machine: xeon or n1"),
-		period:  fs.Uint64("period", 2000, "sampling period in user cycles"),
-		precise: fs.Bool("precise", false, "PEBS-style precise sampling"),
-		noStack: fs.Bool("no-stack", false, "disable stack profiling"),
-		thresh:  fs.Uint64("T", 3, "loop-merging threshold"),
-		attr:    fs.String("attr", "auto", "sample attribution: auto, none, pred"),
-		obs:     obs.BindFlags(fs),
+		fs:         fs,
+		machine:    fs.String("machine", "xeon", "simulated machine: xeon or n1"),
+		period:     fs.Uint64("period", 2000, "sampling period in user cycles"),
+		precise:    fs.Bool("precise", false, "PEBS-style precise sampling"),
+		noStack:    fs.Bool("no-stack", false, "disable stack profiling"),
+		thresh:     fs.Uint64("T", 3, "loop-merging threshold"),
+		attr:       fs.String("attr", "auto", "sample attribution: auto, none, pred"),
+		sequential: fs.Bool("sequential", false, "run the two profiling passes one after the other (identical output; for debugging and timing comparisons)"),
+		obs:        obs.BindFlags(fs),
 	}
 }
 
@@ -156,6 +158,7 @@ func (c *commonFlags) options() (optiwise.Options, error) {
 		Precise:               *c.precise,
 		DisableStackProfiling: *c.noStack,
 		LoopThreshold:         *c.thresh,
+		Sequential:            *c.sequential,
 	}
 	machine, err := optiwise.MachineByName(*c.machine)
 	if err != nil {

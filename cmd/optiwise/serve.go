@@ -25,6 +25,7 @@ import (
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8077", "listen address")
+	addrFile := fs.String("addr-file", "", "write the bound address (host:port) to this file once listening; with -addr :0 this is the reliable way for scripts to discover the port")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	queueDepth := fs.Int("queue", 64, "bounded job-queue depth")
 	cacheMB := fs.Int64("cache-mb", 256, "result-cache budget in MiB (negative disables)")
@@ -62,6 +63,20 @@ func cmdServe(args []string) error {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if *addrFile != "" {
+		// Write-then-rename so a watching script never reads a partial
+		// address: the file appears atomically, fully written, only
+		// after the listener is bound.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("serve: write -addr-file: %w", err)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			ln.Close()
+			return fmt.Errorf("serve: write -addr-file: %w", err)
+		}
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)

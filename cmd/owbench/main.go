@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"os"
 
+	"optiwise"
 	"optiwise/internal/obs"
 )
 
@@ -54,9 +55,23 @@ var commands = []struct {
 	{"ablate", "design-choice ablations", ablate},
 }
 
+// sequential, when set, makes every experiment run its two profiling
+// passes back-to-back instead of overlapped. The output is identical
+// either way (see DESIGN.md §7); the flag exists for timing
+// comparisons and for debugging with a deterministic goroutine count.
+var sequential *bool
+
+// profile runs the standard pipeline with the global -sequential
+// execution strategy applied.
+func profile(prog *optiwise.Program, opts optiwise.Options) (*optiwise.Result, error) {
+	opts.Sequential = *sequential
+	return optiwise.Profile(prog, opts)
+}
+
 func main() {
 	fs := flag.NewFlagSet("owbench", flag.ExitOnError)
 	fs.Usage = usage
+	sequential = fs.Bool("sequential", false, "run profiling passes sequentially (identical output; for timing comparisons)")
 	obsCfg := obs.BindFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)

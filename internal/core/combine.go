@@ -73,8 +73,8 @@ func Combine(prog *program.Program, sp *sampler.Profile, ep *dbi.Profile, opts O
 	// sampling, with optional predecessor re-attribution.
 	attrSpan := obs.Start("attribution").SetAttr("samples", len(sp.Records))
 	execCounts := ep.ExecCounts()
-	samples, cycles, misses, brmp := p.attributeSamples(sp, opts)
-	attrSpan.End()
+	samples, cycles, misses, brmp, attrShards := p.attributeSamples(sp, opts)
+	attrSpan.SetAttr("shards", attrShards).End()
 
 	// The two runs need not have identical control flow (§IV-F): a
 	// non-deterministic program may produce samples at offsets the
@@ -142,8 +142,12 @@ func Combine(prog *program.Program, sp *sampler.Profile, ep *dbi.Profile, opts O
 	p.buildFuncs(sp, ep)
 	fnSpan.SetAttr("funcs", len(p.Funcs)).End()
 	loopSpan := obs.Start("loop_merge").SetAttr("threshold", t)
-	p.buildLoops(sp, ep, t)
-	loopSpan.SetAttr("loops", len(p.Loops)).End()
+	loopShards := p.buildLoops(sp, ep, t)
+	loopSpan.SetAttr("loops", len(p.Loops)).SetAttr("shards", loopShards).End()
+	if loopShards > attrShards {
+		attrShards = loopShards
+	}
+	obs.Gauge(obs.MAnalyzeShards).Set(int64(attrShards))
 	obs.Counter(obs.MCombineLoops).Add(uint64(len(p.Loops)))
 	lineSpan := obs.Start("lines")
 	p.buildLines()
@@ -190,8 +194,12 @@ func (p *Profile) buildBlocks() {
 }
 
 // attributeSamples folds the raw records into per-offset sample counts and
-// cycle masses, applying the requested attribution.
-func (p *Profile) attributeSamples(sp *sampler.Profile, opts Options) (samples, cycles, misses, brmp map[uint64]uint64) {
+// cycle masses, applying the requested attribution. The fold fans out
+// over shard-local maps (the predecessor lookup walks the CFG per
+// sample, which dominates large profiles) and merges them by addition,
+// so the result is independent of scheduling. It also reports the
+// number of worker shards used.
+func (p *Profile) attributeSamples(sp *sampler.Profile, opts Options) (samples, cycles, misses, brmp map[uint64]uint64, shards int) {
 	attr := opts.Attribution
 	if attr == AttrAuto {
 		if sp.Precise {
@@ -200,25 +208,54 @@ func (p *Profile) attributeSamples(sp *sampler.Profile, opts Options) (samples, 
 			attr = AttrPredecessor
 		}
 	}
+	type shardMaps struct {
+		samples, cycles, misses, brmp map[uint64]uint64
+	}
+	n := len(sp.Records)
+	shards = shardCount(n, minRecordsPerShard)
+	parts := make([]shardMaps, shards)
+	runShards(n, shards, func(s, lo, hi int) {
+		m := shardMaps{
+			samples: make(map[uint64]uint64),
+			cycles:  make(map[uint64]uint64),
+			misses:  make(map[uint64]uint64),
+			brmp:    make(map[uint64]uint64),
+		}
+		for _, r := range sp.Records[lo:hi] {
+			off := r.Offset
+			if attr == AttrPredecessor {
+				off = p.predecessor(off)
+			}
+			m.samples[off]++
+			if opts.Unweighted {
+				m.cycles[off] += sp.Period
+			} else {
+				m.cycles[off] += r.Weight
+			}
+			m.misses[off] += r.CacheMisses
+			m.brmp[off] += r.Mispredicts
+		}
+		parts[s] = m
+	})
 	samples = make(map[uint64]uint64)
 	cycles = make(map[uint64]uint64)
 	misses = make(map[uint64]uint64)
 	brmp = make(map[uint64]uint64)
-	for _, r := range sp.Records {
-		off := r.Offset
-		if attr == AttrPredecessor {
-			off = p.predecessor(off)
+	for _, m := range parts {
+		for off, v := range m.samples {
+			samples[off] += v
 		}
-		samples[off]++
-		if opts.Unweighted {
-			cycles[off] += sp.Period
-		} else {
-			cycles[off] += r.Weight
+		for off, v := range m.cycles {
+			cycles[off] += v
 		}
-		misses[off] += r.CacheMisses
-		brmp[off] += r.Mispredicts
+		for off, v := range m.misses {
+			misses[off] += v
+		}
+		for off, v := range m.brmp {
+			brmp[off] += v
+		}
 	}
-	return samples, cycles, misses, brmp
+	return samples, cycles, misses, brmp, shards
 }
 
 // predecessor maps off to its most likely dynamic predecessor: the prior
@@ -291,20 +328,36 @@ func (p *Profile) buildFuncs(sp *sampler.Profile, ep *dbi.Profile) {
 	}
 
 	// Total cycles via stack walks: each sample credits every distinct
-	// function on its stack once (§IV-D recursion rule).
-	for _, rec := range sp.Records {
-		seen := make(map[string]bool, len(rec.Stack)+1)
-		credit := func(off uint64) {
-			if fn, ok := p.Prog.FuncAt(off); ok && !seen[fn.Name] {
-				seen[fn.Name] = true
-				get(fn.Name, fn.Lo).TotalCycles += rec.Weight
+	// function on its stack once (§IV-D recursion rule). The walk fans
+	// out over record shards, each accumulating cycles into its own
+	// name-keyed map; the shard sums merge by addition, so the totals
+	// match a sequential walk exactly.
+	nrec := len(sp.Records)
+	creditShards := shardCount(nrec, minRecordsPerShard)
+	partials := make([]map[string]uint64, creditShards)
+	runShards(nrec, creditShards, func(s, lo, hi int) {
+		part := make(map[string]uint64)
+		for _, rec := range sp.Records[lo:hi] {
+			seen := make(map[string]bool, len(rec.Stack)+1)
+			credit := func(off uint64) {
+				if fn, ok := p.Prog.FuncAt(off); ok && !seen[fn.Name] {
+					seen[fn.Name] = true
+					part[fn.Name] += rec.Weight
+				}
+			}
+			credit(rec.Offset)
+			for _, ra := range rec.Stack {
+				if ra >= isa.InstBytes {
+					credit(ra - isa.InstBytes) // the call site
+				}
 			}
 		}
-		credit(rec.Offset)
-		for _, ra := range rec.Stack {
-			if ra >= isa.InstBytes {
-				credit(ra - isa.InstBytes) // the call site
-			}
+		partials[s] = part
+	})
+	for _, part := range partials {
+		for name, cyc := range part {
+			fn, _ := p.Prog.FuncByName(name)
+			get(name, fn.Lo).TotalCycles += cyc
 		}
 	}
 

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The combining analysis fans its per-function and per-record work out
+// over a worker pool sized by GOMAXPROCS. Every parallel stage follows
+// the same discipline so the combined Profile stays byte-identical to a
+// single-threaded run:
+//
+//   - work is split into contiguous, deterministic index ranges;
+//   - workers write only to their own shard-local accumulators (or to
+//     disjoint slice elements indexed by input position);
+//   - shard results merge on the caller's goroutine in shard order, and
+//     every merged quantity is an unsigned integer sum, which commutes.
+//
+// Floating-point derivations (CPI, IPC, TimeFrac) happen only after the
+// merge, on already-deterministic integer totals.
+
+// shardCount returns how many worker shards to use for n items when a
+// shard is only worth spinning up for at least minPerShard of them.
+func shardCount(n, minPerShard int) int {
+	if n <= 0 {
+		return 0
+	}
+	k := runtime.GOMAXPROCS(0)
+	if minPerShard > 1 {
+		if maxK := (n + minPerShard - 1) / minPerShard; k > maxK {
+			k = maxK
+		}
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// runShards executes fn(shard, lo, hi) for k contiguous ranges covering
+// [0, n). With k <= 1 it runs inline on the caller's goroutine; the
+// range split depends only on n and k, never on scheduling.
+func runShards(n, k int, fn func(shard, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if k <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for s := 0; s < k; s++ {
+		lo, hi := s*n/k, (s+1)*n/k
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			fn(s, lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+}
+
+// minRecordsPerShard keeps tiny sample profiles on one goroutine: the
+// fan-out only pays for itself once a shard has a few thousand records.
+const minRecordsPerShard = 2048

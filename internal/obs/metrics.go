@@ -198,6 +198,13 @@ const (
 	MCombineLoops     = "optiwise_combine_loop_records_total"
 	MDomComputations  = "optiwise_loops_dominator_computations_total"
 
+	// Concurrent-pipeline metrics: the two profiling passes overlap in
+	// ProfileContext, and the combining analysis fans out over a worker
+	// pool (see DESIGN.md §7).
+	MProfileParallelRuns = "optiwise_profile_parallel_runs_total"
+	MProfileOverlapPct   = "optiwise_profile_pass_overlap_pct"
+	MAnalyzeShards       = "optiwise_analyze_shard_count"
+
 	// Profiling-service (internal/serve) metrics.
 	MServeJobsSubmitted  = "optiwise_serve_jobs_submitted_total"
 	MServeJobsCompleted  = "optiwise_serve_jobs_completed_total"
@@ -273,6 +280,12 @@ func helpFor(name string) string {
 		return "Merged-loop records produced by the combiner."
 	case MDomComputations:
 		return "Dominator-tree computations during loop analysis."
+	case MProfileParallelRuns:
+		return "Profiling pipelines that overlapped their sampling and instrumentation passes."
+	case MProfileOverlapPct:
+		return "Distribution of the pass-overlap ratio: percent of the shorter profiling pass hidden under the longer one."
+	case MAnalyzeShards:
+		return "Worker shards used by the most recent combining analysis."
 	case MServeJobsSubmitted:
 		return "Profiling jobs accepted by the service (including cache hits)."
 	case MServeJobsCompleted:

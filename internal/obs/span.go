@@ -87,6 +87,26 @@ func (t *Tracer) Start(name string) *Span {
 	return s
 }
 
+// StartChild opens a span explicitly parented under s, bypassing the
+// open-span stack. The ambient stack assumes one active lineage; spans
+// for sibling work running on concurrent goroutines (the overlapped
+// profiling passes) must name their parent explicitly or they would
+// nest under whichever sibling opened last. A child opened this way is
+// not pushed onto the stack, so it cannot capture unrelated spans
+// opened elsewhere while it is running. Nil-safe.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tracer
+	now := t.clock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := &Span{tracer: t, name: name, id: t.next, parent: s.id, start: now}
+	t.next++
+	return c
+}
+
 // SetAttr attaches an attribute to the span. Nil-safe.
 func (s *Span) SetAttr(key string, value any) *Span {
 	if s == nil {

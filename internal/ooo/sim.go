@@ -42,6 +42,10 @@ type uop struct {
 
 	mispredicted bool
 
+	// writes lists the lastWriter slots this uop occupies (-1 = empty),
+	// so commit can clear its table entries without scanning all 64.
+	writes [2]int8
+
 	// Timeline (for the figure 2 trace).
 	dispatchC, execStartC, commitC uint64
 }
@@ -109,8 +113,29 @@ type Sim struct {
 	cycle uint64
 	seq   uint64
 
-	rob []*uop // in dispatch order; index 0 is oldest
-	iq  []*uop
+	// The reorder buffer is a fixed power-of-two ring: the oldest
+	// in-flight uop is robAt(0), dispatch order follows. A ring keeps
+	// per-cycle commit at two index updates instead of re-slicing (and
+	// periodically re-allocating) a growing slice.
+	robBuf  []*uop
+	robHead int
+	robLen  int
+	robMask int
+
+	iq []*uop
+
+	// exec holds issued-but-unfinished uops so the per-cycle result
+	// broadcast (and kernel-time shifts) touch only executing work
+	// instead of scanning the whole ROB.
+	exec []*uop
+
+	// free/freeNext recycle uop records. Commit parks retired uops on
+	// freeNext for one full cycle — the same cycle's issue() prunes the
+	// last dependence edges to them and dispatch() drops pendingSyscall
+	// — and the next cycle's top moves them to free for reuse. The
+	// steady state allocates no uops at all.
+	free     []*uop
+	freeNext []*uop
 
 	// Last uop to write each register (0-31 int, 32-63 fp); nil when the
 	// architectural value is final.
@@ -162,9 +187,14 @@ type Sim struct {
 	traceLimit uint64
 	trace      []TimelineEntry
 
-	// Ground-truth cycle attribution (Options.TrueAttribution).
-	trueAttr   bool
-	trueCycles map[uint64]uint64
+	// Ground-truth cycle attribution (Options.TrueAttribution): a dense
+	// per-instruction counter slice indexed by text offset — one array
+	// add per cycle instead of a map update — plus an overflow map for
+	// PCs outside the module (defensive; user code stays in text).
+	trueAttr     bool
+	trueBase     uint64
+	trueDense    []uint64
+	trueOverflow map[uint64]uint64
 
 	stats Stats
 	err   error
@@ -225,7 +255,9 @@ func New(cfg Config, img *program.Image, opts Options) *Sim {
 		s.maxStackDepth = DefaultMaxStackDepth
 	}
 	if s.trueAttr {
-		s.trueCycles = make(map[uint64]uint64)
+		s.trueBase = img.TextBase
+		s.trueDense = make([]uint64, len(img.Prog.Text))
+		s.trueOverflow = make(map[uint64]uint64)
 	}
 	if cfg.UseBimodal {
 		s.dir = branch.NewBimodal(cfg.GshareTableBits)
@@ -235,9 +267,51 @@ func New(cfg Config, img *program.Image, opts Options) *Sim {
 	if s.samplePeriod > 0 {
 		s.nextSampleAt = s.samplePeriod
 	}
-	s.rob = make([]*uop, 0, cfg.ROBSize)
+	robCap := 1
+	for robCap < cfg.ROBSize {
+		robCap <<= 1
+	}
+	s.robBuf = make([]*uop, robCap)
+	s.robMask = robCap - 1
 	s.iq = make([]*uop, 0, cfg.IQSize)
+	s.exec = make([]*uop, 0, cfg.IQSize)
+	// One uop record per possible in-flight slot plus the commit group
+	// parked on freeNext, carved from a single backing array for
+	// locality; the free list then satisfies every dispatch.
+	chunk := make([]uop, cfg.ROBSize+cfg.CommitWidth+1)
+	s.free = make([]*uop, len(chunk))
+	for i := range chunk {
+		s.free[i] = &chunk[i]
+	}
+	s.freeNext = make([]*uop, 0, cfg.CommitWidth+1)
 	return s
+}
+
+// robAt returns the i-th oldest in-flight uop.
+func (s *Sim) robAt(i int) *uop { return s.robBuf[(s.robHead+i)&s.robMask] }
+
+// robPush appends u at the young end of the reorder buffer; the caller
+// has already checked robLen against the configured ROB size.
+func (s *Sim) robPush(u *uop) {
+	s.robBuf[(s.robHead+s.robLen)&s.robMask] = u
+	s.robLen++
+}
+
+// robPopFront retires the oldest in-flight uop.
+func (s *Sim) robPopFront() {
+	s.robBuf[s.robHead] = nil
+	s.robHead = (s.robHead + 1) & s.robMask
+	s.robLen--
+}
+
+// newUop returns a zeroed-by-caller uop record, recycled when possible.
+func (s *Sim) newUop() *uop {
+	if n := len(s.free); n > 0 {
+		u := s.free[n-1]
+		s.free = s.free[:n-1]
+		return u
+	}
+	return new(uop)
 }
 
 // cancelCheckInterval is how many simulated cycles elapse between the
@@ -264,7 +338,7 @@ func (s *Sim) RunContext(ctx context.Context, maxCycles uint64) (Stats, error) {
 	done := ctx.Done()
 	countdown := uint64(1) // check on the first cycle: a dead ctx never simulates
 	for {
-		if s.fetchDone && len(s.rob) == 0 {
+		if s.fetchDone && s.robLen == 0 {
 			break
 		}
 		if maxCycles != 0 && s.cycle >= maxCycles {
@@ -283,6 +357,12 @@ func (s *Sim) RunContext(ctx context.Context, maxCycles uint64) (Stats, error) {
 			}
 		}
 		s.cycle++
+		// Uops that committed last cycle have been unreferenced by that
+		// cycle's issue/dispatch; recycle them now.
+		if len(s.freeNext) > 0 {
+			s.free = append(s.free, s.freeNext...)
+			s.freeNext = s.freeNext[:0]
+		}
 		s.committedThis = false
 		s.commit()
 		s.issue()
@@ -290,13 +370,13 @@ func (s *Sim) RunContext(ctx context.Context, maxCycles uint64) (Stats, error) {
 		if s.trueAttr {
 			switch u := s.oldestSampleVisible(); {
 			case u != nil:
-				s.trueCycles[u.pc]++
-			case len(s.rob) > 0:
-				s.trueCycles[s.rob[0].pc]++
+				s.chargeTrue(u.pc)
+			case s.robLen > 0:
+				s.chargeTrue(s.robAt(0).pc)
 			case !s.fetchDone:
 				// Empty window (mispredict redirect shadow): a sampler
 				// would observe the next instruction to enter the machine.
-				s.trueCycles[s.arch.St.PC]++
+				s.chargeTrue(s.arch.St.PC)
 			}
 		}
 		s.maybeSample()
@@ -320,8 +400,34 @@ func (s *Sim) Trace() []TimelineEntry { return s.trace }
 
 // TrueCycles returns the ground-truth per-PC cycle attribution collected
 // when Options.TrueAttribution was set: for every user cycle, one cycle is
-// charged to the instruction a perfect sampler would have observed.
-func (s *Sim) TrueCycles() map[uint64]uint64 { return s.trueCycles }
+// charged to the instruction a perfect sampler would have observed. The
+// map is materialized from the dense per-offset counters on each call.
+func (s *Sim) TrueCycles() map[uint64]uint64 {
+	if !s.trueAttr {
+		return nil
+	}
+	m := make(map[uint64]uint64, len(s.trueOverflow))
+	for i, c := range s.trueDense {
+		if c != 0 {
+			m[s.trueBase+uint64(i)*isa.InstBytes] = c
+		}
+	}
+	for pc, c := range s.trueOverflow {
+		m[pc] += c
+	}
+	return m
+}
+
+// chargeTrue attributes one ground-truth cycle to pc.
+func (s *Sim) chargeTrue(pc uint64) {
+	if pc >= s.trueBase {
+		if i := (pc - s.trueBase) / isa.InstBytes; i < uint64(len(s.trueDense)) {
+			s.trueDense[i]++
+			return
+		}
+	}
+	s.trueOverflow[pc]++
+}
 
 // ---------------------------------------------------------------------------
 // Commit stage
@@ -336,8 +442,8 @@ func (s *Sim) commit() {
 	}
 	s.sb = keep
 
-	for n := 0; n < s.cfg.CommitWidth && len(s.rob) > 0; n++ {
-		u := s.rob[0]
+	for n := 0; n < s.cfg.CommitWidth && s.robLen > 0; n++ {
+		u := s.robAt(0)
 		if u.state != stDone || u.doneC > s.cycle {
 			break
 		}
@@ -365,7 +471,16 @@ func (s *Sim) commit() {
 		u.commitC = s.cycle
 		u.inSampleROB = false
 		s.recordTrace(u)
-		s.rob = s.rob[1:]
+		s.robPopFront()
+		// Clear the writer-table slots this uop occupies so no new
+		// dependence edge can reach it after retirement, then park the
+		// record for recycling at the top of the next cycle.
+		for _, wi := range u.writes {
+			if wi >= 0 && s.lastWriter[wi] == u {
+				s.lastWriter[wi] = nil
+			}
+		}
+		s.freeNext = append(s.freeNext, u)
 		s.stats.Instructions++
 		s.committedThis = true
 	}
@@ -396,7 +511,12 @@ func (s *Sim) issue() {
 	aluUsed, mulUsed, fpuUsed, loadUsed, storeUsed := 0, 0, 0, 0, 0
 	keep := s.iq[:0]
 	for _, u := range s.iq {
-		if issued >= s.cfg.IssueWidth || !s.ready(u) {
+		// ready runs for every queue entry even once issue bandwidth is
+		// exhausted: it prunes satisfied dependence edges as a side
+		// effect, which keeps retired producers unreferenced (so their
+		// records recycle) and makes later wakeups cheaper. The issue
+		// decision itself is unchanged: ready AND bandwidth available.
+		if !s.ready(u) || issued >= s.cfg.IssueWidth {
 			keep = append(keep, u)
 			continue
 		}
@@ -481,27 +601,35 @@ func (s *Sim) issue() {
 		u.state = stIssued
 		u.execStartC = s.cycle
 		u.doneC = s.cycle + lat
+		s.exec = append(s.exec, u)
 		s.finishAt(u)
 	}
 	s.iq = keep
 
-	// Promote issued uops whose result time has arrived.
+	// Promote issued uops whose result time has arrived. Only members
+	// of the exec list can change state here, so the broadcast scans
+	// executing work rather than the whole ROB.
 	branchResolved := false
-	for _, u := range s.rob {
-		if u.state == stIssued && u.doneC <= s.cycle {
+	keepExec := s.exec[:0]
+	for _, u := range s.exec {
+		if u.doneC <= s.cycle {
 			u.state = stDone
 			if isBranchKind(u.kind) {
 				s.unresolvedBranches--
 				branchResolved = true
 			}
+		} else {
+			keepExec = append(keepExec, u)
 		}
 	}
+	s.exec = keepExec
 	// Early-dequeue model: ops that stayed ROB-resident only because an
 	// older branch was unresolved (speculative, hence abortable) are
 	// removed once no older unresolved branch remains.
 	if s.cfg.EarlyDequeue && branchResolved {
 		unresolved := 0
-		for _, u := range s.rob {
+		for i := 0; i < s.robLen; i++ {
+			u := s.robAt(i)
 			if unresolved == 0 && !canAbort(u.kind) {
 				u.inSampleROB = false
 			}
@@ -550,25 +678,31 @@ func canAbort(k isa.Kind) bool {
 	return false
 }
 
-// ready reports whether all of u's producers have broadcast.
+// ready reports whether all of u's producers have broadcast. Satisfied
+// edges are pruned in place: a nil dep means the value is (or was)
+// architecturally available, and once every consumer has pruned its edge
+// to a retired producer, that producer's record is free to recycle.
 func (s *Sim) ready(u *uop) bool {
-	for _, d := range u.deps {
+	ok := true
+	for i, d := range u.deps {
 		if d == nil {
 			continue
 		}
 		if d.state == stWaiting || d.doneC > s.cycle {
-			return false
+			ok = false
+			continue
 		}
+		u.deps[i] = nil
 	}
-	return true
+	return ok
 }
 
 // loadLatency computes a load's latency, checking store forwarding first.
 func (s *Sim) loadLatency(u *uop) uint64 {
 	line := u.addr >> 3
 	// Forward from an older in-flight store to the same 8-byte word.
-	for i := len(s.rob) - 1; i >= 0; i-- {
-		o := s.rob[i]
+	for i := s.robLen - 1; i >= 0; i-- {
+		o := s.robAt(i)
 		if o.seq >= u.seq {
 			continue
 		}
@@ -595,7 +729,7 @@ func (s *Sim) dispatch() {
 		return
 	}
 	for n := 0; n < s.cfg.FetchWidth; n++ {
-		if len(s.rob) >= s.cfg.ROBSize || len(s.iq) >= s.cfg.IQSize {
+		if s.robLen >= s.cfg.ROBSize || len(s.iq) >= s.cfg.IQSize {
 			return
 		}
 		if s.arch.Exited {
@@ -609,7 +743,8 @@ func (s *Sim) dispatch() {
 			return
 		}
 		s.seq++
-		u := &uop{
+		u := s.newUop()
+		*u = uop{
 			seq:         s.seq,
 			pc:          step.PC,
 			inst:        step.Inst,
@@ -619,6 +754,7 @@ func (s *Sim) dispatch() {
 			dispatchC:   s.cycle,
 			state:       stWaiting,
 			inSampleROB: true,
+			writes:      [2]int8{-1, -1},
 		}
 		s.resolveDeps(u, step)
 		if isBranchKind(u.kind) {
@@ -631,7 +767,7 @@ func (s *Sim) dispatch() {
 		if s.cfg.EarlyDequeue && !canAbort(u.kind) && s.unresolvedBranches == 0 {
 			u.inSampleROB = false
 		}
-		s.rob = append(s.rob, u)
+		s.robPush(u)
 		s.iq = append(s.iq, u)
 		s.predict(u)
 		if u.kind == isa.KindSyscall {
@@ -730,7 +866,10 @@ func (s *Sim) resolveDeps(u *uop, step interp.StepResult) {
 		u.addr = step.Addr
 	}
 
-	// Writer table update.
+	// Writer table update. The cases are disjoint in the register they
+	// claim — destReg covers compute/load kinds, IsCall covers calls —
+	// so writes[0] takes the destination slot and writes[1] the syscall
+	// A0 slot; commit uses them to clear the table entries.
 	if d, fp, ok := destReg(u.inst); ok {
 		idx := int(d)
 		if fp {
@@ -738,13 +877,16 @@ func (s *Sim) resolveDeps(u *uop, step interp.StepResult) {
 		}
 		if idx != 0 || fp {
 			s.lastWriter[idx] = u
+			u.writes[0] = int8(idx)
 		}
 	}
 	if op.IsCall() {
 		s.lastWriter[isa.RA] = u
+		u.writes[0] = int8(isa.RA)
 	}
 	if op == isa.SYSCALL {
 		s.lastWriter[isa.A0] = u
+		u.writes[1] = int8(isa.A0)
 	}
 }
 
@@ -824,7 +966,7 @@ func (s *Sim) maybeSample() {
 		// Delivered only once commit makes progress: the stalled head has
 		// retired and the sampled PC skids onto its successor. If the ROB
 		// is empty (e.g. right at program end) deliver immediately.
-		if s.committedThis || len(s.rob) == 0 {
+		if s.committedThis || s.robLen == 0 {
 			s.deliverSample()
 		}
 	}
@@ -842,8 +984,8 @@ func (s *Sim) deliverSample() {
 		// allocation frontier — the op that could not dispatch because of
 		// issue-queue back-pressure (§V-B, figure 9).
 		pc = s.arch.St.PC
-	} else if len(s.rob) > 0 {
-		pc = s.rob[0].pc
+	} else if s.robLen > 0 {
+		pc = s.robAt(0).pc
 	} else {
 		pc = s.arch.St.PC // between instructions: next PC
 	}
@@ -893,9 +1035,10 @@ func (s *Sim) advanceKernel(cost uint64) {
 	s.kernelCycles += cost
 	// Everything in flight is pushed back: modelled by shifting ready
 	// times of issued-but-unfinished work (memory continues in reality;
-	// this simplification keeps user-cycle accounting exact).
-	for _, u := range s.rob {
-		if u.state == stIssued && u.doneC > s.cycle-cost {
+	// this simplification keeps user-cycle accounting exact). The exec
+	// list is exactly the issued-but-unfinished set.
+	for _, u := range s.exec {
+		if u.doneC > s.cycle-cost {
 			u.doneC += cost
 		}
 	}
@@ -922,8 +1065,8 @@ func (s *Sim) advanceKernel(cost uint64) {
 // hardware (the whole ROB on x86; abortable/undispatched ops only in the
 // early-dequeue model).
 func (s *Sim) oldestSampleVisible() *uop {
-	for _, u := range s.rob {
-		if u.inSampleROB {
+	for i := 0; i < s.robLen; i++ {
+		if u := s.robAt(i); u.inSampleROB {
 			return u
 		}
 	}

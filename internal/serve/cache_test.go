@@ -114,6 +114,11 @@ func TestJobKey(t *testing.T) {
 	if k3, _ := jobKey(prog, optiwise.Options{SamplePeriod: 2000}.Canonical()); k3 != k1 {
 		t.Error("default-equivalent options produced a different key")
 	}
+	// Sequential selects an execution strategy, not a result: it must
+	// not fragment the cache (Canonical clears it).
+	if k4, _ := jobKey(prog, optiwise.Options{Sequential: true}.Canonical()); k4 != k1 {
+		t.Error("Sequential option produced a different key")
+	}
 	variants := map[string]optiwise.Options{
 		"machine":   {Machine: optiwise.NeoverseN1()},
 		"period":    {SamplePeriod: 999},

@@ -36,7 +36,12 @@ var (
 // defaults.
 type Config struct {
 	// Workers is the number of concurrent pipeline executions
-	// (default GOMAXPROCS).
+	// (default GOMAXPROCS). Each execution occupies exactly one worker
+	// slot even though the pipeline internally overlaps its sampling
+	// and instrumentation passes on two goroutines and fans the
+	// combining analysis out over short-lived shards: admission control
+	// is per job, not per goroutine, so the queue depth and worker
+	// count keep their meaning regardless of intra-job parallelism.
 	Workers int
 	// QueueDepth bounds the number of queued (not yet running)
 	// executions; submissions beyond it fail with ErrQueueFull
@@ -312,7 +317,10 @@ func (s *Server) worker() {
 // runGroup executes one deduplicated profiling job and fans the
 // outcome out to every member. The execution is skipped entirely when
 // all members expired while queued, and canceled mid-flight when the
-// last member leaves (see group.remove).
+// last member leaves (see group.remove). Options are canonicalized at
+// submission, which clears Sequential: service jobs always run the
+// concurrent two-pass pipeline, holding this one worker slot for the
+// job's whole duration.
 func (s *Server) runGroup(g *group) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

@@ -24,8 +24,11 @@ package optiwise
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"time"
 
 	"optiwise/internal/asm"
 	"optiwise/internal/core"
@@ -196,6 +199,13 @@ type Options struct {
 	// callers (the profiling service) set it so a runaway program cannot
 	// pin a worker forever.
 	MaxCycles uint64
+	// Sequential forces Profile to run the sampling and instrumentation
+	// passes back to back on the calling goroutine instead of
+	// concurrently. The two passes are independent executions of the
+	// same program (§IV), so the combined Result is byte-identical
+	// either way; Sequential exists for debugging, single-core hosts,
+	// and the equivalence tests that prove that determinism claim.
+	Sequential bool
 }
 
 func (o *Options) fill() {
@@ -219,9 +229,12 @@ func (o *Options) fill() {
 // Canonical returns o with every defaulted (zero) field resolved to its
 // documented default. Two Options values that profile identically have
 // identical Canonical forms, which is what makes them usable as part of
-// a content-addressed cache key.
+// a content-addressed cache key. Sequential is cleared: it selects an
+// execution strategy, not a different profile, so sequential and
+// parallel submissions of the same program must collide in the cache.
 func (o Options) Canonical() Options {
 	o.fill()
+	o.Sequential = false
 	return o
 }
 
@@ -292,19 +305,125 @@ func Profile(prog *Program, opts Options) (*Result, error) {
 // checks in the pipeline-simulator and DBI run loops, so a canceled or
 // expired context aborts a profiling run within a bounded number of
 // simulated cycles. The returned error wraps ctx.Err().
+//
+// Unless Options.Sequential is set, the sampling and instrumentation
+// passes run concurrently: they are independent executions of the same
+// binary (§IV), so overlapping them hides the cheaper pass entirely.
+// The first pass to fail cancels its sibling (errgroup semantics), and
+// the combined Result is byte-identical to the sequential path — each
+// pass is deterministic in isolation and the combining analysis sees
+// exactly the same two profiles.
 func ProfileContext(ctx context.Context, prog *Program, opts Options) (*Result, error) {
 	opts.fill()
 	span := obs.Start("profile").SetAttr("module", prog.Module())
 	defer span.End()
-	sp, _, err := SampleOnlyContext(ctx, prog, opts)
-	if err != nil {
-		return nil, err
-	}
-	ep, err := InstrumentOnlyContext(ctx, prog, opts)
+	sp, ep, err := runPasses(ctx, prog, opts, span)
 	if err != nil {
 		return nil, err
 	}
 	return AnalyzeContext(ctx, prog, sp, ep, opts)
+}
+
+// runPasses executes the sampling and instrumentation passes, either
+// back to back (Options.Sequential) or overlapped on two goroutines.
+func runPasses(ctx context.Context, prog *Program, opts Options, span *obs.Span) (*SampleProfile, *EdgeProfile, error) {
+	if opts.Sequential {
+		sp, _, err := SampleOnlyContext(ctx, prog, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		ep, err := InstrumentOnlyContext(ctx, prog, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sp, ep, nil
+	}
+
+	// Errgroup-style fan-out: a derived context cancels the sibling pass
+	// as soon as either fails, so a doomed profiling run never simulates
+	// longer than its slowest surviving pass needs to notice.
+	passCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg        sync.WaitGroup
+		sp        *SampleProfile
+		ep        *EdgeProfile
+		sampleErr error
+		instrErr  error
+		sampleDur time.Duration
+		instrDur  time.Duration
+	)
+	start := time.Now()
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		// StartChild pins the parent explicitly: with both passes open
+		// concurrently, the tracer's ambient stack would nest one
+		// sibling under the other.
+		ps := span.StartChild("sample").
+			SetAttr("module", prog.Module()).
+			SetAttr("period", opts.SamplePeriod)
+		defer ps.End()
+		sp, _, sampleErr = samplePass(passCtx, prog, opts)
+		sampleDur = time.Since(start)
+		if sampleErr != nil {
+			cancel()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		ps := span.StartChild("instrument").SetAttr("module", prog.Module())
+		defer ps.End()
+		ep, instrErr = instrumentPass(passCtx, prog, opts)
+		instrDur = time.Since(start)
+		if instrErr != nil {
+			cancel()
+		}
+	}()
+	wg.Wait()
+	wall := time.Since(start)
+	recordPassOverlap(span, sampleDur, instrDur, wall)
+	// Deterministic error selection mirroring the sequential order: the
+	// sampling pass's error wins. When only the instrumentation pass
+	// failed for its own reasons, the sampling pass may still have been
+	// torn down by the shared cancel — prefer the root cause.
+	if sampleErr != nil && (instrErr == nil || !isCancellation(sampleErr) || isCancellation(instrErr)) {
+		return nil, nil, sampleErr
+	}
+	if instrErr != nil {
+		return nil, nil, instrErr
+	}
+	return sp, ep, nil
+}
+
+// isCancellation reports whether err stems from context cancellation or
+// expiry rather than a pass's own failure.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// recordPassOverlap feeds the pass-overlap observability: which share of
+// the shorter pass was hidden under the longer one (100% = the cheaper
+// run was free, 0% = the passes serialized).
+func recordPassOverlap(span *obs.Span, sampleDur, instrDur, wall time.Duration) {
+	shorter := sampleDur
+	if instrDur < shorter {
+		shorter = instrDur
+	}
+	overlap := sampleDur + instrDur - wall
+	if overlap < 0 {
+		overlap = 0
+	}
+	if overlap > shorter {
+		overlap = shorter
+	}
+	pct := 100.0
+	if shorter > 0 {
+		pct = 100 * float64(overlap) / float64(shorter)
+	}
+	span.SetAttr("pass_overlap_pct", pct)
+	obs.Counter(obs.MProfileParallelRuns).Inc()
+	obs.Histogram(obs.MProfileOverlapPct).Observe(uint64(pct + 0.5))
 }
 
 // SampleProfile is the output of the sampling run (the perf.data
@@ -328,6 +447,14 @@ func SampleOnlyContext(ctx context.Context, prog *Program, opts Options) (*Sampl
 		SetAttr("module", prog.Module()).
 		SetAttr("period", opts.SamplePeriod)
 	defer span.End()
+	return samplePass(ctx, prog, opts)
+}
+
+// samplePass is the sampling pass body, span-free so the concurrent
+// pipeline can wrap it in an explicitly parented span (the ambient
+// span stack cannot attribute concurrent siblings). opts must be
+// filled.
+func samplePass(ctx context.Context, prog *Program, opts Options) (*SampleProfile, ooo.Stats, error) {
 	return sampler.RunContext(ctx, opts.Machine, prog.prog, sampler.Options{
 		Period:        opts.SamplePeriod,
 		InterruptCost: opts.InterruptCost,
@@ -351,6 +478,12 @@ func InstrumentOnlyContext(ctx context.Context, prog *Program, opts Options) (*E
 	opts.fill()
 	span := obs.Start("instrument").SetAttr("module", prog.Module())
 	defer span.End()
+	return instrumentPass(ctx, prog, opts)
+}
+
+// instrumentPass is the instrumentation pass body, span-free for the
+// same reason as samplePass. opts must be filled.
+func instrumentPass(ctx context.Context, prog *Program, opts Options) (*EdgeProfile, error) {
 	return dbi.RunContext(ctx, prog.prog, dbi.Options{
 		StackProfiling:  !opts.DisableStackProfiling,
 		ASLRSeed:        opts.InstrASLRSeed,
