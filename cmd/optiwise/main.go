@@ -40,12 +40,20 @@ import (
 	"os"
 
 	"optiwise"
+	"optiwise/internal/fault"
 	"optiwise/internal/obs"
 )
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
+		os.Exit(2)
+	}
+	// OPTIWISE_FAULT installs a process-wide fault-injection plan before
+	// any subcommand runs; the per-command -fault flag layers on top via
+	// Options.FaultSpec.
+	if err := fault.ActivateFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "optiwise:", err)
 		os.Exit(2)
 	}
 	cmd, args := os.Args[1], os.Args[2:]
@@ -110,29 +118,33 @@ run 'optiwise <cmd> -h' for flags`)
 
 // commonFlags registers the flags shared by the profiling subcommands.
 type commonFlags struct {
-	fs         *flag.FlagSet
-	machine    *string
-	period     *uint64
-	precise    *bool
-	noStack    *bool
-	thresh     *uint64
-	attr       *string
-	sequential *bool
-	obs        *obs.Config
+	fs            *flag.FlagSet
+	machine       *string
+	period        *uint64
+	precise       *bool
+	noStack       *bool
+	thresh        *uint64
+	attr          *string
+	sequential    *bool
+	faultSpec     *string
+	allowDegraded *bool
+	obs           *obs.Config
 }
 
 func newFlags(name string) *commonFlags {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	return &commonFlags{
-		fs:         fs,
-		machine:    fs.String("machine", "xeon", "simulated machine: xeon or n1"),
-		period:     fs.Uint64("period", 2000, "sampling period in user cycles"),
-		precise:    fs.Bool("precise", false, "PEBS-style precise sampling"),
-		noStack:    fs.Bool("no-stack", false, "disable stack profiling"),
-		thresh:     fs.Uint64("T", 3, "loop-merging threshold"),
-		attr:       fs.String("attr", "auto", "sample attribution: auto, none, pred"),
-		sequential: fs.Bool("sequential", false, "run the two profiling passes one after the other (identical output; for debugging and timing comparisons)"),
-		obs:        obs.BindFlags(fs),
+		fs:            fs,
+		machine:       fs.String("machine", "xeon", "simulated machine: xeon or n1"),
+		period:        fs.Uint64("period", 2000, "sampling period in user cycles"),
+		precise:       fs.Bool("precise", false, "PEBS-style precise sampling"),
+		noStack:       fs.Bool("no-stack", false, "disable stack profiling"),
+		thresh:        fs.Uint64("T", 3, "loop-merging threshold"),
+		attr:          fs.String("attr", "auto", "sample attribution: auto, none, pred"),
+		sequential:    fs.Bool("sequential", false, "run the two profiling passes one after the other (identical output; for debugging and timing comparisons)"),
+		faultSpec:     fs.String("fault", "", "fault-injection spec, e.g. 'seed=1;dbi.run:error:nth=1' (also OPTIWISE_FAULT)"),
+		allowDegraded: fs.Bool("allow-degraded", false, "produce a flagged single-pass report when exactly one profiling pass fails"),
+		obs:           obs.BindFlags(fs),
 	}
 }
 
@@ -159,6 +171,8 @@ func (c *commonFlags) options() (optiwise.Options, error) {
 		DisableStackProfiling: *c.noStack,
 		LoopThreshold:         *c.thresh,
 		Sequential:            *c.sequential,
+		FaultSpec:             *c.faultSpec,
+		AllowDegraded:         *c.allowDegraded,
 	}
 	machine, err := optiwise.MachineByName(*c.machine)
 	if err != nil {

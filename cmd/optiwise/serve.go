@@ -14,6 +14,7 @@ import (
 	"syscall"
 	"time"
 
+	"optiwise/internal/fault"
 	"optiwise/internal/obs"
 	"optiwise/internal/serve"
 )
@@ -33,12 +34,20 @@ func cmdServe(args []string) error {
 	maxTimeout := fs.Duration("max-timeout", 10*time.Minute, "cap on client-chosen deadlines")
 	maxCycles := fs.Int64("max-cycles", 1<<32, "per-execution cycle bound (negative disables)")
 	drainWait := fs.Duration("drain", 2*time.Minute, "max time to drain jobs on shutdown")
+	retries := fs.Int("retries", 0, "transient-failure retry budget per job (0 = default 2, negative disables)")
+	faultSpec := fs.String("fault", "", "server-wide fault-injection spec (chaos testing; also OPTIWISE_FAULT)")
 	obsCfg := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve takes no positional arguments")
+	}
+	if *faultSpec != "" {
+		if err := fault.Activate(*faultSpec); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "optiwise: fault injection active: %s\n", *faultSpec)
 	}
 	flush, err := obsCfg.Activate()
 	if err != nil {
@@ -57,6 +66,7 @@ func cmdServe(args []string) error {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxJobCycles:   *maxCycles,
+		RetryBudget:    *retries,
 	})
 	srv.Start()
 
@@ -136,6 +146,7 @@ func cmdSubmit(args []string) error {
 			"no_stack":       opts.DisableStackProfiling,
 			"loop_threshold": opts.LoopThreshold,
 			"attribution":    *c.attr,
+			"allow_degraded": opts.AllowDegraded,
 		},
 		"wait": !*poll,
 	}
@@ -174,6 +185,9 @@ func cmdSubmit(args []string) error {
 	}
 	if st.State != serve.StateDone {
 		return fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	if st.Degraded {
+		fmt.Fprintf(os.Stderr, "optiwise: warning: degraded result (%s pass failed)\n", st.FailedPass)
 	}
 	url := *addr + "/v1/jobs/" + st.ID + "/report?kind=" + *kind
 	if *fn != "" {

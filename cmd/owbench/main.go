@@ -33,6 +33,7 @@ import (
 	"os"
 
 	"optiwise"
+	"optiwise/internal/fault"
 	"optiwise/internal/obs"
 )
 
@@ -72,9 +73,20 @@ func main() {
 	fs := flag.NewFlagSet("owbench", flag.ExitOnError)
 	fs.Usage = usage
 	sequential = fs.Bool("sequential", false, "run profiling passes sequentially (identical output; for timing comparisons)")
+	faultSpec := fs.String("fault", "", "fault-injection spec (also OPTIWISE_FAULT); benchmarks must normally run fault-free")
 	obsCfg := obs.BindFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
+	}
+	if err := fault.ActivateFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "owbench:", err)
+		os.Exit(2)
+	}
+	if *faultSpec != "" {
+		if err := fault.Activate(*faultSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "owbench:", err)
+			os.Exit(2)
+		}
 	}
 	if fs.NArg() != 1 {
 		usage()

@@ -6,6 +6,7 @@ import (
 
 	"optiwise/internal/cfg"
 	"optiwise/internal/dbi"
+	"optiwise/internal/fault"
 	"optiwise/internal/isa"
 	"optiwise/internal/loops"
 	"optiwise/internal/obs"
@@ -43,6 +44,9 @@ func Combine(prog *program.Program, sp *sampler.Profile, ep *dbi.Profile, opts O
 	if sp.Module != ep.Module {
 		return nil, fmt.Errorf("core: module mismatch: sampling profile %q vs edge profile %q",
 			sp.Module, ep.Module)
+	}
+	if err := fault.Err(fault.SiteCombine); err != nil {
+		return nil, fmt.Errorf("core: combine: %w", err)
 	}
 	combineSpan := obs.Start("combine").SetAttr("module", prog.Module)
 	defer combineSpan.End()

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"optiwise/internal/dbi"
+	"optiwise/internal/obs"
+	"optiwise/internal/program"
+	"optiwise/internal/sampler"
+)
+
+// This file implements degraded single-pass analysis (DESIGN.md §8):
+// when exactly one profiling pass fails and the caller opted in, the
+// surviving profile still yields a flagged partial view instead of a
+// total failure. Both constructors reuse Combine against a synthesized
+// empty counterpart profile — the combiner already treats "the other
+// run executed nothing" coherently — and then patch up the totals that
+// only make sense for a two-pass result.
+
+// CombineSampleOnly builds the degraded sampling-only view: the
+// perf-equivalent report available when the instrumentation pass
+// failed. Cycle masses, sample counts, stack-credited function totals,
+// and the hot-function ranking are exactly what the full combination
+// would compute from the same sampling profile (ranking is by
+// stack-credited cycles, which never depend on instrumentation data).
+// What is missing are execution counts: there is no CFG, no blocks, no
+// merged loops, and per-instruction CPI is undefined. Function
+// instruction totals are replaced by time-share estimates —
+// est(N_f) = N_total × cycles_f / cycles_total — which by construction
+// give every function the program-wide CPI; they bound the truth and
+// are flagged as estimates by every renderer. reason records why the
+// instrumentation pass failed.
+func CombineSampleOnly(prog *program.Program, sp *sampler.Profile, opts Options, reason string) (*Profile, error) {
+	empty := &dbi.Profile{Module: sp.Module}
+	p, err := Combine(prog, sp, empty, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: sampling-only combine: %w", err)
+	}
+	p.Degraded = true
+	p.FailedPass = PassInstrumentation
+	p.DegradedReason = reason
+	// Every sample is "unmatched" against an empty edge profile; that is
+	// the premise of this view, not a cross-run divergence signal.
+	p.UnmatchedSamples = 0
+	// The sampling run retires the same instruction stream, so its own
+	// retired-instruction counter stands in for the missing edge data.
+	p.TotalInsts = sp.Instructions
+	if p.TotalCycles > 0 {
+		p.IPC = float64(p.TotalInsts) / float64(p.TotalCycles)
+	}
+	// Time-share instruction estimates for functions.
+	for i := range p.Funcs {
+		f := &p.Funcs[i]
+		f.SelfInsts = timeShare(p.TotalInsts, f.SelfCycles, p.TotalCycles)
+		f.TotalInsts = timeShare(p.TotalInsts, f.TotalCycles, p.TotalCycles)
+		if f.SelfInsts > 0 {
+			f.CPI = float64(f.SelfCycles) / float64(f.SelfInsts)
+			if f.SelfCycles > 0 {
+				f.IPC = float64(f.SelfInsts) / float64(f.SelfCycles)
+			}
+		}
+	}
+	obs.Counter(obs.MProfileDegraded).Inc()
+	return p, nil
+}
+
+// CombineCountsOnly builds the degraded counts-only view: exact
+// execution counts, CFG, blocks, and merged loops from the surviving
+// instrumentation pass, with zero cycle data — so there is no CPI, no
+// time fractions, and no hot ranking by time. Functions re-rank by
+// total retired instructions so the table stays meaningful. reason
+// records why the sampling pass failed.
+func CombineCountsOnly(prog *program.Program, ep *dbi.Profile, opts Options, reason string) (*Profile, error) {
+	empty := &sampler.Profile{Module: ep.Module}
+	p, err := Combine(prog, empty, ep, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: counts-only combine: %w", err)
+	}
+	p.Degraded = true
+	p.FailedPass = PassSampling
+	p.DegradedReason = reason
+	// With zero cycle mass everywhere, the default TotalCycles ordering
+	// collapses to alphabetical; instruction totals are the only signal.
+	sort.SliceStable(p.Funcs, func(i, j int) bool {
+		if p.Funcs[i].TotalInsts != p.Funcs[j].TotalInsts {
+			return p.Funcs[i].TotalInsts > p.Funcs[j].TotalInsts
+		}
+		return p.Funcs[i].Name < p.Funcs[j].Name
+	})
+	for i := range p.Funcs {
+		p.funcIndex[p.Funcs[i].Name] = i
+	}
+	sort.SliceStable(p.Loops, func(i, j int) bool {
+		if p.Loops[i].TotalInsts != p.Loops[j].TotalInsts {
+			return p.Loops[i].TotalInsts > p.Loops[j].TotalInsts
+		}
+		return p.Loops[i].HeaderOffset < p.Loops[j].HeaderOffset
+	})
+	obs.Counter(obs.MProfileDegraded).Inc()
+	return p, nil
+}
+
+// timeShare apportions total instructions by cycle share, rounding to
+// nearest.
+func timeShare(totalInsts, cycles, totalCycles uint64) uint64 {
+	if totalCycles == 0 {
+		return 0
+	}
+	return uint64(float64(totalInsts)*float64(cycles)/float64(totalCycles) + 0.5)
+}

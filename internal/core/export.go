@@ -17,6 +17,9 @@ type Export struct {
 	SamplePeriod     uint64        `json:"sample_period"`
 	UnmatchedSamples uint64        `json:"unmatched_samples,omitempty"`
 	IPC              float64       `json:"ipc"`
+	Degraded         bool          `json:"degraded,omitempty"`
+	FailedPass       string        `json:"failed_pass,omitempty"`
+	DegradedReason   string        `json:"degraded_reason,omitempty"`
 	Insts            []InstRecord  `json:"instructions"`
 	Blocks           []BlockRecord `json:"blocks"`
 	Funcs            []FuncRecord  `json:"functions"`
@@ -34,6 +37,9 @@ func (p *Profile) WriteJSON(w io.Writer) error {
 		SamplePeriod:     p.SamplePeriod,
 		UnmatchedSamples: p.UnmatchedSamples,
 		IPC:              p.IPC,
+		Degraded:         p.Degraded,
+		FailedPass:       p.FailedPass,
+		DegradedReason:   p.DegradedReason,
 		Insts:            p.Insts,
 		Blocks:           p.Blocks,
 		Funcs:            p.Funcs,

@@ -141,11 +141,33 @@ type LineRecord struct {
 	TimeFrac  float64
 }
 
+// Names for the two profiling passes, as recorded in
+// Profile.FailedPass on degraded results.
+const (
+	PassSampling        = "sampling"
+	PassInstrumentation = "instrumentation"
+)
+
 // Profile is the combined analysis result.
 type Profile struct {
 	Module string
 	Prog   *program.Program
 	Graph  *cfg.Graph
+
+	// Degraded marks a single-pass result: one profiling pass failed and
+	// the caller opted into a partial view (Options.AllowDegraded). A
+	// degraded profile is missing half its inputs — sampling-only
+	// profiles carry no execution counts (instruction totals are
+	// time-share estimates), counts-only profiles carry no cycles — so
+	// every consumer must surface the flag, and result caches must never
+	// admit one (DESIGN.md §8).
+	Degraded bool
+	// FailedPass names the pass whose data is missing: PassSampling or
+	// PassInstrumentation. Empty on full results.
+	FailedPass string
+	// DegradedReason is the failed pass's error text, for reports and
+	// job-status payloads.
+	DegradedReason string
 
 	// TotalCycles is the sampled run's user cycles; TotalInsts the
 	// instrumented run's retired instructions; TotalSamples the number of

@@ -35,6 +35,7 @@ import (
 	"context"
 	"fmt"
 
+	"optiwise/internal/fault"
 	"optiwise/internal/interp"
 	"optiwise/internal/isa"
 	"optiwise/internal/obs"
@@ -242,20 +243,31 @@ const cancelCheckBlocks = 1024
 
 func (e *Engine) run(ctx context.Context) error {
 	done := ctx.Done()
+	// Fault checks share the cancellation countdown: one atomic load per
+	// run when injection is disabled, nothing extra per block.
+	faulty := fault.Enabled()
 	countdown := uint64(1) // check before the first block: a dead ctx never runs
 	for !e.m.Exited {
 		if e.opts.MaxInstructions != 0 && e.m.Steps > e.opts.MaxInstructions {
 			return fmt.Errorf("dbi: instruction limit exceeded")
 		}
-		if done != nil {
+		if done != nil || faulty {
 			countdown--
 			if countdown == 0 {
 				countdown = cancelCheckBlocks
-				select {
-				case <-done:
-					return fmt.Errorf("dbi: run canceled after %d instructions: %w",
-						e.m.Steps, ctx.Err())
-				default:
+				if done != nil {
+					select {
+					case <-done:
+						return fmt.Errorf("dbi: run canceled after %d instructions: %w",
+							e.m.Steps, ctx.Err())
+					default:
+					}
+				}
+				if faulty {
+					if err := fault.Err(fault.SiteDBIRun); err != nil {
+						return fmt.Errorf("dbi: run aborted after %d instructions: %w",
+							e.m.Steps, err)
+					}
 				}
 			}
 		}

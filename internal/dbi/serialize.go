@@ -1,11 +1,14 @@
 package dbi
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 
+	"optiwise/internal/fault"
 	"optiwise/internal/isa"
+	"optiwise/internal/trailer"
 )
 
 // Deserialization limits. Edge profiles now cross a network boundary
@@ -29,24 +32,56 @@ const (
 	MaxTextOffset = 1 << 40
 )
 
-// Write serializes the profile (the DynamoRIO client's output file).
+// Write serializes the profile (the DynamoRIO client's output file):
+// the JSON payload followed by a magic+length+CRC trailer
+// (internal/trailer) so readers detect truncation and bit flips fast.
+// A fault site covers the encoded bytes before they reach w.
 func (p *Profile) Write(w io.Writer) error {
-	return json.NewEncoder(w).Encode(p)
+	data, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := fault.Err(fault.SiteDBIWrite); err != nil {
+		return fmt.Errorf("dbi: write: %w", err)
+	}
+	data = fault.Bytes(fault.SiteDBIWrite, data)
+	_, err = w.Write(trailer.Append(data))
+	return err
 }
 
-// Read deserializes a profile written by Write. Input is untrusted: the
-// stream is size-capped at MaxProfileBytes and the decoded profile is
-// validated (see Validate) before it is returned, so a truncated,
-// oversized, or structurally inconsistent stream yields a descriptive
-// error, never a panic or an unbounded allocation.
+// Read deserializes a profile written by Write. Input is untrusted:
+// the stream is size-capped at MaxProfileBytes, the trailer (when
+// present) is checksum-verified — a damaged frame fails fast with a
+// typed *trailer.CorruptError — legacy untrailered files decode with
+// a strict trailing-garbage check, and the decoded profile is
+// validated (see Validate) before it is returned. A truncated,
+// oversized, bit-flipped, or structurally inconsistent stream yields
+// a descriptive error, never a panic or an unbounded allocation.
 func Read(r io.Reader) (*Profile, error) {
-	lr := &io.LimitedReader{R: r, N: MaxProfileBytes + 1}
+	lr := &io.LimitedReader{R: r, N: MaxProfileBytes + int64(trailer.Size) + 1}
+	data, err := io.ReadAll(lr)
+	if err != nil {
+		return nil, fmt.Errorf("dbi: read: %w", err)
+	}
+	if lr.N <= 0 {
+		return nil, fmt.Errorf("dbi: profile exceeds %d bytes", int64(MaxProfileBytes))
+	}
+	if err := fault.Err(fault.SiteDBIRead); err != nil {
+		return nil, fmt.Errorf("dbi: read: %w", err)
+	}
+	data = fault.Bytes(fault.SiteDBIRead, data)
+	payload, _, err := trailer.Verify(data)
+	if err != nil {
+		return nil, fmt.Errorf("dbi: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
 	var p Profile
-	if err := json.NewDecoder(lr).Decode(&p); err != nil {
-		if lr.N <= 0 {
-			return nil, fmt.Errorf("dbi: profile exceeds %d bytes", int64(MaxProfileBytes))
-		}
+	if err := dec.Decode(&p); err != nil {
 		return nil, fmt.Errorf("dbi: decode: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("dbi: decode: trailing data after profile")
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("dbi: invalid profile: %w", err)

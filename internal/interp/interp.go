@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"optiwise/internal/fault"
 	"optiwise/internal/isa"
 	"optiwise/internal/mem"
 	"optiwise/internal/program"
@@ -291,20 +292,31 @@ func (m *Machine) Run(limit uint64) error {
 // ctx and, if it is done, stops and returns an error wrapping ctx.Err().
 func (m *Machine) RunContext(ctx context.Context, limit uint64) error {
 	done := ctx.Done()
+	// The fault-injection check rides the same countdown; faulty is one
+	// atomic load per run, so the disabled path is unchanged.
+	faulty := fault.Enabled()
 	countdown := uint64(1) // check before the first step: a dead ctx never runs
 	for !m.Exited {
 		if limit != 0 && m.Steps >= limit {
 			return ErrLimit
 		}
-		if done != nil {
+		if done != nil || faulty {
 			countdown--
 			if countdown == 0 {
 				countdown = cancelCheckSteps
-				select {
-				case <-done:
-					return fmt.Errorf("interp: run canceled after %d steps: %w",
-						m.Steps, ctx.Err())
-				default:
+				if done != nil {
+					select {
+					case <-done:
+						return fmt.Errorf("interp: run canceled after %d steps: %w",
+							m.Steps, ctx.Err())
+					default:
+					}
+				}
+				if faulty {
+					if err := fault.Err(fault.SiteInterpRun); err != nil {
+						return fmt.Errorf("interp: run aborted after %d steps: %w",
+							m.Steps, err)
+					}
 				}
 			}
 		}

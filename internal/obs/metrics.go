@@ -218,6 +218,15 @@ const (
 	MServeCacheEvictions = "optiwise_serve_cache_evictions_total"
 	MServeCacheBytes     = "optiwise_serve_cache_bytes"
 	MServeJobLatency     = "optiwise_serve_job_latency_us"
+
+	// Robustness metrics: the deterministic fault-injection registry
+	// (internal/fault) and the serve layer's failure handling
+	// (DESIGN.md §8).
+	MFaultInjections   = "optiwise_fault_injections_total"
+	MServeWorkerPanics = "optiwise_serve_worker_panics_total"
+	MServeJobRetries   = "optiwise_serve_job_retries_total"
+	MServeJobsDegraded = "optiwise_serve_jobs_degraded_total"
+	MProfileDegraded   = "optiwise_profile_degraded_total"
 )
 
 // CacheHits names the hit counter of one simulated cache level; the
@@ -310,6 +319,16 @@ func helpFor(name string) string {
 		return "Bytes currently held by the content-addressed result cache."
 	case MServeJobLatency:
 		return "Distribution of job latency (submit to completion) in microseconds."
+	case MFaultInjections:
+		return "Faults fired by the deterministic injection registry (internal/fault)."
+	case MServeWorkerPanics:
+		return "Worker panics recovered into structured job failures (the process keeps serving)."
+	case MServeJobRetries:
+		return "Job attempts re-run after a transient failure (capped exponential backoff with jitter)."
+	case MServeJobsDegraded:
+		return "Jobs that completed in degraded single-pass mode (cache-ineligible)."
+	case MProfileDegraded:
+		return "Profiling runs that fell back to a single-pass degraded result."
 	}
 	return "OptiWISE metric " + name + "."
 }

@@ -6,6 +6,7 @@ import (
 
 	"optiwise/internal/branch"
 	"optiwise/internal/cache"
+	"optiwise/internal/fault"
 	"optiwise/internal/interp"
 	"optiwise/internal/isa"
 	"optiwise/internal/program"
@@ -336,6 +337,11 @@ func (s *Sim) Run(maxCycles uint64) (Stats, error) {
 // errors.Is(err, context.Canceled) work as expected.
 func (s *Sim) RunContext(ctx context.Context, maxCycles uint64) (Stats, error) {
 	done := ctx.Done()
+	// Fault injection shares the cancellation countdown so the per-cycle
+	// cost with injection disabled stays exactly one decrement-and-branch
+	// (and zero when the context is uncancellable): faulty is hoisted to
+	// a single atomic load per run.
+	faulty := fault.Enabled()
 	countdown := uint64(1) // check on the first cycle: a dead ctx never simulates
 	for {
 		if s.fetchDone && s.robLen == 0 {
@@ -344,15 +350,23 @@ func (s *Sim) RunContext(ctx context.Context, maxCycles uint64) (Stats, error) {
 		if maxCycles != 0 && s.cycle >= maxCycles {
 			return s.stats, fmt.Errorf("ooo: cycle limit %d exceeded", maxCycles)
 		}
-		if done != nil {
+		if done != nil || faulty {
 			countdown--
 			if countdown == 0 {
 				countdown = cancelCheckInterval
-				select {
-				case <-done:
-					return s.stats, fmt.Errorf("ooo: run canceled after %d cycles: %w",
-						s.cycle, ctx.Err())
-				default:
+				if done != nil {
+					select {
+					case <-done:
+						return s.stats, fmt.Errorf("ooo: run canceled after %d cycles: %w",
+							s.cycle, ctx.Err())
+					default:
+					}
+				}
+				if faulty {
+					if err := fault.Err(fault.SiteOOORun); err != nil {
+						return s.stats, fmt.Errorf("ooo: run aborted after %d cycles: %w",
+							s.cycle, err)
+					}
 				}
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"optiwise/internal/cfg"
 	"optiwise/internal/core"
 )
 
@@ -19,9 +20,19 @@ type callEdge struct {
 // with dynamic call counts, and its callees. Dynamic call edges come from
 // the instrumentation run's CFG; time comes from the combined profile.
 func WriteCallGraph(w io.Writer, p *core.Profile) error {
+	if err := preamble(w, p, ""); err != nil {
+		return err
+	}
 	callers := make(map[string][]callEdge)
 	callees := make(map[string][]callEdge)
-	for _, ce := range p.Graph.CallEdges {
+	var callEdges []cfg.CallEdge
+	if p.Graph != nil {
+		// Degraded sampling-only profiles have no instrumentation CFG, so
+		// no dynamic call edges: the per-function time table still prints,
+		// with empty caller/callee sections.
+		callEdges = p.Graph.CallEdges
+	}
+	for _, ce := range callEdges {
 		callerFn, ok1 := p.Prog.FuncAt(ce.CallSite)
 		calleeFn, ok2 := p.Prog.FuncAt(ce.Target)
 		if !ok1 || !ok2 {

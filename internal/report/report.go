@@ -1,6 +1,14 @@
 // Package report renders combined profiles as human-readable tables and
 // annotated disassembly, in the style of the paper's figures 1 and 10, plus
 // machine-readable CSV exports.
+//
+// Every public renderer starts with the same preamble: the report.render
+// fault-injection site (so chaos tests can fail rendering mid-report) and
+// a degraded-result banner. Degraded profiles — single-pass results from
+// Options.AllowDegraded (DESIGN.md §8) — are missing half their inputs,
+// so every renderer prominently flags them rather than letting a partial
+// view masquerade as a full one. WriteAll emits the banner exactly once by
+// composing the unbannered body helpers.
 package report
 
 import (
@@ -8,12 +16,58 @@ import (
 	"io"
 
 	"optiwise/internal/core"
+	"optiwise/internal/fault"
 	"optiwise/internal/isa"
 	"optiwise/internal/obs"
 )
 
+// degradedNote returns the one-line warning describing what a degraded
+// profile is missing, or "" for full results.
+func degradedNote(p *core.Profile) string {
+	if !p.Degraded {
+		return ""
+	}
+	switch p.FailedPass {
+	case core.PassInstrumentation:
+		return fmt.Sprintf("DEGRADED RESULT (sampling-only): instrumentation pass failed: %s; "+
+			"execution counts are time-share estimates, per-instruction CPI unavailable", p.DegradedReason)
+	case core.PassSampling:
+		return fmt.Sprintf("DEGRADED RESULT (counts-only): sampling pass failed: %s; "+
+			"no cycle data, functions ranked by retired instructions", p.DegradedReason)
+	default:
+		return fmt.Sprintf("DEGRADED RESULT: %s", p.DegradedReason)
+	}
+}
+
+// writeBanner writes the degraded warning (if any) with the given line
+// prefix ("" for text tables, "# " for CSV). Full profiles write nothing.
+func writeBanner(w io.Writer, p *core.Profile, prefix string) error {
+	note := degradedNote(p)
+	if note == "" {
+		return nil
+	}
+	_, err := fmt.Fprintf(w, "%s*** %s ***\n", prefix, note)
+	return err
+}
+
+// preamble is the shared renderer prologue: the report.render fault site
+// followed by the degraded banner.
+func preamble(w io.Writer, p *core.Profile, prefix string) error {
+	if err := fault.Err(fault.SiteReport); err != nil {
+		return fmt.Errorf("report: render: %w", err)
+	}
+	return writeBanner(w, p, prefix)
+}
+
 // WriteSummary prints the whole-program header block.
 func WriteSummary(w io.Writer, p *core.Profile) error {
+	if err := preamble(w, p, ""); err != nil {
+		return err
+	}
+	return summaryBody(w, p)
+}
+
+func summaryBody(w io.Writer, p *core.Profile) error {
 	_, err := fmt.Fprintf(w,
 		"module %s: %d cycles, %d instructions, IPC %.2f (CPI %.2f), %d samples @ period %d\n",
 		p.Module, p.TotalCycles, p.TotalInsts, p.IPC, safeInv(p.IPC),
@@ -30,6 +84,13 @@ func safeInv(x float64) float64 {
 
 // WriteFunctionTable prints per-function totals, hottest first.
 func WriteFunctionTable(w io.Writer, p *core.Profile) error {
+	if err := preamble(w, p, ""); err != nil {
+		return err
+	}
+	return functionTableBody(w, p)
+}
+
+func functionTableBody(w io.Writer, p *core.Profile) error {
 	if _, err := fmt.Fprintf(w, "%-24s %7s %7s %12s %12s %6s %6s\n",
 		"FUNCTION", "TIME%", "SELF%", "INSTS", "TOTAL-INSTS", "CPI", "IPC"); err != nil {
 		return err
@@ -51,6 +112,13 @@ func WriteFunctionTable(w io.Writer, p *core.Profile) error {
 // WriteLoopTable prints merged loops, hottest first. The indentation of
 // the header offset reflects nesting depth.
 func WriteLoopTable(w io.Writer, p *core.Profile) error {
+	if err := preamble(w, p, ""); err != nil {
+		return err
+	}
+	return loopTableBody(w, p)
+}
+
+func loopTableBody(w io.Writer, p *core.Profile) error {
 	if _, err := fmt.Fprintf(w, "%-4s %-20s %-18s %7s %10s %10s %8s %6s %s\n",
 		"LOOP", "FUNCTION", "HEADER", "TIME%", "INVOC", "ITERS", "INST/IT", "CPI", "SOURCE"); err != nil {
 		return err
@@ -76,6 +144,13 @@ func WriteLoopTable(w io.Writer, p *core.Profile) error {
 
 // WriteBlockTable prints the hottest basic blocks.
 func WriteBlockTable(w io.Writer, p *core.Profile, max int) error {
+	if err := preamble(w, p, ""); err != nil {
+		return err
+	}
+	return blockTableBody(w, p, max)
+}
+
+func blockTableBody(w io.Writer, p *core.Profile, max int) error {
 	if _, err := fmt.Fprintf(w, "%-24s %7s %12s %8s %6s\n",
 		"BLOCK", "TIME%", "EXEC", "INSTS", "CPI"); err != nil {
 		return err
@@ -98,6 +173,13 @@ func WriteBlockTable(w io.Writer, p *core.Profile, max int) error {
 
 // WriteLineTable prints the hottest source lines.
 func WriteLineTable(w io.Writer, p *core.Profile, max int) error {
+	if err := preamble(w, p, ""); err != nil {
+		return err
+	}
+	return lineTableBody(w, p, max)
+}
+
+func lineTableBody(w io.Writer, p *core.Profile, max int) error {
 	if _, err := fmt.Fprintf(w, "%-24s %7s %12s %10s %6s\n",
 		"SOURCE", "TIME%", "EXEC", "SAMPLES", "CPI"); err != nil {
 		return err
@@ -119,6 +201,9 @@ func WriteLineTable(w io.Writer, p *core.Profile, max int) error {
 // and branch mispredicts per kilo-instruction — the "wide range of events"
 // perf records beyond the three fields OptiWISE's CPI math needs (§IV-A).
 func WriteEventTable(w io.Writer, p *core.Profile) error {
+	if err := preamble(w, p, ""); err != nil {
+		return err
+	}
 	if _, err := fmt.Fprintf(w, "%-24s %12s %10s %10s %10s %10s\n",
 		"FUNCTION", "INSTS", "MISSES", "MPKI", "BR-MISS", "BR-MPKI"); err != nil {
 		return err
@@ -141,6 +226,13 @@ func WriteEventTable(w io.Writer, p *core.Profile) error {
 // one function: offset, samples, execution count, CPI, and the
 // instruction, with symbolized direct targets.
 func WriteAnnotatedFunc(w io.Writer, p *core.Profile, name string) error {
+	if err := preamble(w, p, ""); err != nil {
+		return err
+	}
+	return annotatedFuncBody(w, p, name)
+}
+
+func annotatedFuncBody(w io.Writer, p *core.Profile, name string) error {
 	fn, ok := p.Prog.FuncByName(name)
 	if !ok {
 		return fmt.Errorf("report: no function %q", name)
@@ -179,6 +271,9 @@ func WriteAnnotatedFunc(w io.Writer, p *core.Profile, name string) error {
 // body blocks — the "interesting region" view the paper's loop analysis
 // exists to surface quickly.
 func WriteAnnotatedLoop(w io.Writer, p *core.Profile, loopID int) error {
+	if err := preamble(w, p, ""); err != nil {
+		return err
+	}
 	var loop *core.LoopRecord
 	for i := range p.Loops {
 		if p.Loops[i].ID == loopID {
@@ -225,27 +320,32 @@ func WriteAnnotatedLoop(w io.Writer, p *core.Profile, loopID int) error {
 }
 
 // WriteAll prints the complete report: summary, functions, loops, hottest
-// lines, and annotated disassembly of the hottest function.
+// lines, and annotated disassembly of the hottest function. The degraded
+// banner — when the profile carries one — appears exactly once, at the
+// top, rather than before every section.
 func WriteAll(w io.Writer, p *core.Profile) error {
 	span := obs.Start("report").SetAttr("module", p.Module)
 	defer span.End()
-	if err := WriteSummary(w, p); err != nil {
+	if err := preamble(w, p, ""); err != nil {
+		return err
+	}
+	if err := summaryBody(w, p); err != nil {
 		return err
 	}
 	fmt.Fprintln(w)
-	if err := WriteFunctionTable(w, p); err != nil {
+	if err := functionTableBody(w, p); err != nil {
 		return err
 	}
 	fmt.Fprintln(w)
-	if err := WriteLoopTable(w, p); err != nil {
+	if err := loopTableBody(w, p); err != nil {
 		return err
 	}
 	fmt.Fprintln(w)
-	if err := WriteBlockTable(w, p, 15); err != nil {
+	if err := blockTableBody(w, p, 15); err != nil {
 		return err
 	}
 	fmt.Fprintln(w)
-	if err := WriteLineTable(w, p, 20); err != nil {
+	if err := lineTableBody(w, p, 20); err != nil {
 		return err
 	}
 	if len(p.Funcs) > 0 {
@@ -257,15 +357,20 @@ func WriteAll(w io.Writer, p *core.Profile) error {
 				break
 			}
 		}
-		if err := WriteAnnotatedFunc(w, p, hottest); err != nil {
+		if err := annotatedFuncBody(w, p, hottest); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// WriteInstCSV exports per-instruction records as CSV.
+// WriteInstCSV exports per-instruction records as CSV. A degraded banner
+// is emitted as a "# " comment line so naive CSV consumers that skip
+// comments still parse, while anything inspecting the file sees the flag.
 func WriteInstCSV(w io.Writer, p *core.Profile) error {
+	if err := preamble(w, p, "# "); err != nil {
+		return err
+	}
 	if _, err := fmt.Fprintln(w, "offset,func,file,line,exec,samples,cycles,cpi,disasm"); err != nil {
 		return err
 	}
@@ -279,8 +384,12 @@ func WriteInstCSV(w io.Writer, p *core.Profile) error {
 	return nil
 }
 
-// WriteLoopCSV exports loop records as CSV.
+// WriteLoopCSV exports loop records as CSV, with the same "# " degraded
+// comment convention as WriteInstCSV.
 func WriteLoopCSV(w io.Writer, p *core.Profile) error {
+	if err := preamble(w, p, "# "); err != nil {
+		return err
+	}
 	if _, err := fmt.Fprintln(w,
 		"id,func,header,parent,depth,invocations,iterations,insts_per_iter,cpi,time_frac"); err != nil {
 		return err

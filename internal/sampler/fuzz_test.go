@@ -2,9 +2,11 @@ package sampler
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"optiwise/internal/isa"
+	"optiwise/internal/trailer"
 )
 
 func fuzzSeedProfile() *Profile {
@@ -32,7 +34,12 @@ func FuzzRead(f *testing.F) {
 	}
 	valid := buf.Bytes()
 	f.Add(valid)
-	f.Add(valid[:len(valid)/2]) // truncated stream
+	f.Add(valid[:len(valid)/2])                                                        // truncated framed stream
+	f.Add(valid[:len(valid)-trailer.Size])                                             // legacy: payload without trailer
+	f.Add(append([]byte(nil), trailer.Append([]byte(`{"module":"m","period":1}`))...)) // framed minimal
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40 // payload bit flip under an intact trailer
+	f.Add(flipped)
 	f.Add([]byte("{}"))
 	f.Add([]byte(`{"module":"m","period":0}`))
 	f.Add([]byte(`{"module":"m","period":1,"records":[{"off":3}]}`))
@@ -81,4 +88,51 @@ func TestReadRejectsMalformed(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestReadTrailer locks in the trailer semantics at the sampler
+// boundary: framed files verify, damage is a typed corruption error,
+// and legacy untrailered files still read (but not with junk after
+// the JSON payload).
+func TestReadTrailer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fuzzSeedProfile().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	framed := buf.Bytes()
+	if _, err := Read(bytes.NewReader(framed)); err != nil {
+		t.Fatalf("framed profile rejected: %v", err)
+	}
+
+	t.Run("payload bit flip", func(t *testing.T) {
+		mut := append([]byte(nil), framed...)
+		mut[len(mut)/2-trailer.Size] ^= 0x10
+		_, err := Read(bytes.NewReader(mut))
+		var ce *trailer.CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("want *trailer.CorruptError, got %v", err)
+		}
+	})
+	t.Run("truncation", func(t *testing.T) {
+		if _, err := Read(bytes.NewReader(framed[:len(framed)-8])); err == nil {
+			t.Fatal("truncated framed profile accepted")
+		}
+	})
+	t.Run("legacy file still reads", func(t *testing.T) {
+		legacy := framed[:len(framed)-trailer.Size]
+		p, err := Read(bytes.NewReader(legacy))
+		if err != nil {
+			t.Fatalf("legacy untrailered profile rejected: %v", err)
+		}
+		if p.Module != "seed" {
+			t.Fatalf("legacy round trip mangled profile: %+v", p)
+		}
+	})
+	t.Run("legacy trailing garbage", func(t *testing.T) {
+		legacy := append([]byte(nil), framed[:len(framed)-trailer.Size]...)
+		legacy = append(legacy, []byte("{}")...)
+		if _, err := Read(bytes.NewReader(legacy)); err == nil {
+			t.Fatal("trailing garbage after legacy payload accepted")
+		}
+	})
 }

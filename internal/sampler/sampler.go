@@ -13,15 +13,18 @@
 package sampler
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 
+	"optiwise/internal/fault"
 	"optiwise/internal/isa"
 	"optiwise/internal/obs"
 	"optiwise/internal/ooo"
 	"optiwise/internal/program"
+	"optiwise/internal/trailer"
 )
 
 // Record is one sample, fully module-relative.
@@ -202,30 +205,86 @@ const (
 	MaxOffset = 1 << 40
 )
 
-// Write serializes the profile (the perf.data equivalent).
+// Write serializes the profile (the perf.data equivalent): the JSON
+// payload followed by a magic+length+CRC trailer (internal/trailer),
+// so downstream readers detect truncation and bit flips fast. A fault
+// site covers the encoded bytes before they reach w, modelling a
+// producer that crashes mid-write or flips bits on the way to disk.
 func (p *Profile) Write(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	return enc.Encode(p)
+	data, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := fault.Err(fault.SiteSamplerWrite); err != nil {
+		return fmt.Errorf("sampler: write: %w", err)
+	}
+	data = fault.Bytes(fault.SiteSamplerWrite, data)
+	_, err = w.Write(trailer.Append(data))
+	return err
 }
 
-// Read deserializes a profile written by Write. Input is untrusted: the
-// stream is size-capped at MaxProfileBytes and the decoded profile is
-// validated (see Validate) before it is returned, so truncated,
-// oversized, or inconsistent streams yield descriptive errors rather
-// than panics or unbounded allocations.
+// Read deserializes a profile written by Write. Input is untrusted:
+// the stream is size-capped at MaxProfileBytes, the trailer (when
+// present) is checksum-verified — a damaged frame fails fast with a
+// typed *trailer.CorruptError — legacy untrailered files decode with
+// a strict trailing-garbage check, and the decoded profile is
+// validated (see Validate) before it is returned. Truncated,
+// oversized, bit-flipped, or inconsistent streams yield descriptive
+// errors rather than panics or unbounded allocations.
 func Read(r io.Reader) (*Profile, error) {
-	lr := &io.LimitedReader{R: r, N: MaxProfileBytes + 1}
+	data, err := readPayload(r, "sampler", MaxProfileBytes, fault.SiteSamplerRead)
+	if err != nil {
+		return nil, err
+	}
 	var p Profile
-	if err := json.NewDecoder(lr).Decode(&p); err != nil {
-		if lr.N <= 0 {
-			return nil, fmt.Errorf("sampler: profile exceeds %d bytes", int64(MaxProfileBytes))
-		}
+	if err := decodeStrict(data, &p); err != nil {
 		return nil, fmt.Errorf("sampler: decode: %w", err)
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("sampler: invalid profile: %w", err)
 	}
 	return &p, nil
+}
+
+// readPayload slurps a size-capped profile stream, runs the read-side
+// fault site over it, and strips + verifies the trailer when present.
+// (internal/dbi carries the same two dozen lines; the duplication is
+// cheaper than a shared package whose only job is threading a fault
+// site name through an io.ReadAll.)
+func readPayload(r io.Reader, pkg string, maxBytes int64, site string) ([]byte, error) {
+	lr := &io.LimitedReader{R: r, N: maxBytes + int64(trailer.Size) + 1}
+	data, err := io.ReadAll(lr)
+	if err != nil {
+		return nil, fmt.Errorf("%s: read: %w", pkg, err)
+	}
+	if lr.N <= 0 {
+		return nil, fmt.Errorf("%s: profile exceeds %d bytes", pkg, maxBytes)
+	}
+	if err := fault.Err(site); err != nil {
+		return nil, fmt.Errorf("%s: read: %w", pkg, err)
+	}
+	data = fault.Bytes(site, data)
+	payload, _, err := trailer.Verify(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", pkg, err)
+	}
+	return payload, nil
+}
+
+// decodeStrict unmarshals one JSON value and rejects anything but
+// whitespace after it, so a legacy (untrailered) file with trailing
+// garbage — including a damaged trailer demoted to "no trailer" —
+// cannot slip through as a clean decode.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("trailing data after profile")
+	}
+	return nil
 }
 
 // Validate checks the structural invariants every well-formed sampling

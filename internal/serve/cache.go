@@ -67,7 +67,15 @@ func (c *resultCache) get(key string) (*optiwise.Result, bool) {
 // the byte budget holds. An entry larger than the whole budget is not
 // cached at all (storing it would immediately evict everything else
 // for a single-use result).
+//
+// Nil and degraded results are refused unconditionally — defense in
+// depth behind the runGroup success check: a degraded (single-pass)
+// profile under a full profile's digest would poison every later
+// submission of the same job (DESIGN.md §8).
 func (c *resultCache) put(key string, res *optiwise.Result) {
+	if res == nil || res.Degraded {
+		return
+	}
 	size := resultSize(res)
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -1,0 +1,252 @@
+package serve_test
+
+// Chaos suite: seeded fault schedules against the full serve stack.
+// Three invariants, checked across every schedule:
+//
+//  1. No crashes: every injected error and panic is absorbed into a
+//     job failure, a retry, or a degraded result — the test process
+//     (and the worker pool) survives all of them.
+//  2. No hangs: every submitted job reaches a terminal state within a
+//     bounded wait, and the server drains cleanly afterwards.
+//  3. No cache poisoning: after the faults are lifted, resubmitting
+//     every job yields a full-fidelity result — a degraded or failed
+//     run must not have left anything behind in the result cache.
+//
+// Schedules are deterministic: each test case derives its fault spec
+// from its own seeded PRNG, and the fault package gives every rule an
+// independent seeded stream, so a failing seed replays identically.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"optiwise"
+	"optiwise/internal/fault"
+	"optiwise/internal/report"
+	"optiwise/internal/serve"
+)
+
+// chaosSites is the injection surface the random schedules draw from.
+// Latency stays small so schedules cannot stall a job past the wait
+// budget.
+var chaosSites = []struct {
+	site    string
+	actions []string
+}{
+	{fault.SiteOOORun, []string{"error", "panic"}},
+	{fault.SiteDBIRun, []string{"error", "panic"}},
+	{fault.SiteInterpRun, []string{"error"}},
+	{fault.SiteCombine, []string{"error"}},
+	{fault.SiteWorker, []string{"error", "panic", "latency"}},
+	{fault.SiteCacheGet, []string{"error", "panic"}},
+	{fault.SiteCachePut, []string{"error", "panic"}},
+	{fault.SiteReport, []string{"error"}},
+}
+
+// randomSpec builds a deterministic random fault schedule from r.
+func randomSpec(r *mrand.Rand) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seed=%d", r.Int63())
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		c := chaosSites[r.Intn(len(chaosSites))]
+		act := c.actions[r.Intn(len(c.actions))]
+		fmt.Fprintf(&sb, ";%s:%s", c.site, act)
+		switch r.Intn(4) {
+		case 0:
+			fmt.Fprintf(&sb, ":p=%.2f", 0.1+0.5*r.Float64())
+		case 1:
+			fmt.Fprintf(&sb, ":nth=%d", 1+r.Intn(3))
+		case 2:
+			fmt.Fprintf(&sb, ":every=%d,count=%d", 1+r.Intn(3), 1+r.Intn(4))
+		case 3:
+			// Unconditional; count caps the blast radius.
+			fmt.Fprintf(&sb, ":count=%d", 1+r.Intn(3))
+		}
+		if act == "latency" {
+			sb.WriteString(",d=2ms")
+		}
+	}
+	return sb.String()
+}
+
+// installPlan installs a freshly parsed plan (fresh rule counters) and
+// cleans the global registry up afterwards.
+func installPlan(t *testing.T, spec string) {
+	t.Helper()
+	p, err := fault.Parse(spec)
+	if err != nil {
+		t.Fatalf("parse %q: %v", spec, err)
+	}
+	fault.Set(p)
+	t.Cleanup(func() { fault.Set(nil) })
+}
+
+// waitJob bounds the hang check: every chaos job must terminate.
+func waitJob(t *testing.T, j *serve.Job, d time.Duration) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(d):
+		t.Fatalf("job %s hung (state %s)", j.ID, j.Status().State)
+	}
+}
+
+// chaosJob is one submission recipe, reused for the fault-free
+// poisoning probe.
+type chaosJob struct {
+	trips         int
+	allowDegraded bool
+}
+
+// TestChaosSchedules runs 50+ randomized fault schedules against the
+// serve stack.
+func TestChaosSchedules(t *testing.T) {
+	const schedules = 54
+	jobs := []chaosJob{
+		{trips: 30, allowDegraded: false},
+		{trips: 30, allowDegraded: true},
+		{trips: 45, allowDegraded: true},
+	}
+	for seed := 0; seed < schedules; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := mrand.New(mrand.NewSource(int64(seed) * 7919))
+			spec := randomSpec(r)
+			t.Logf("schedule: %s", spec)
+			installPlan(t, spec)
+
+			srv := serve.New(serve.Config{
+				Workers:        2,
+				RetryBudget:    r.Intn(3) - 1, // -1 (off), 0 (default 2), 1
+				RetryBaseDelay: time.Millisecond,
+				RetryMaxDelay:  4 * time.Millisecond,
+				DefaultTimeout: 30 * time.Second,
+			})
+			srv.Start()
+
+			var handles []*serve.Job
+			for _, cj := range jobs {
+				prog := mustProgram(t, progSource(cj.trips))
+				j, err := srv.Submit(prog, optiwise.Options{AllowDegraded: cj.allowDegraded}, 0)
+				if err != nil {
+					t.Fatalf("submit: %v", err) // queue depth 64 cannot fill here
+				}
+				handles = append(handles, j)
+			}
+			for i, j := range handles {
+				waitJob(t, j, 30*time.Second)
+				res, state, errMsg := j.Result()
+				if !state.Terminal() {
+					t.Fatalf("job %d state %s not terminal", i, state)
+				}
+				switch state {
+				case serve.StateDone:
+					if res == nil {
+						t.Fatalf("job %d done without result", i)
+					}
+					if res.Degraded && !jobs[i].allowDegraded {
+						t.Fatalf("job %d degraded without opting in", i)
+					}
+					// Rendering may fail under report faults but must
+					// never crash.
+					_ = report.WriteAll(io.Discard, res) //nolint:errcheck
+				case serve.StateFailed:
+					if errMsg == "" {
+						t.Fatalf("job %d failed without a reason", i)
+					}
+				}
+			}
+
+			// Lift the faults: every recipe resubmitted now must yield a
+			// full-fidelity result. A cache hit here proves the cache was
+			// only fed full successes.
+			fault.Set(nil)
+			for i, cj := range jobs {
+				prog := mustProgram(t, progSource(cj.trips))
+				j, err := srv.Submit(prog, optiwise.Options{AllowDegraded: cj.allowDegraded}, 0)
+				if err != nil {
+					t.Fatalf("fault-free resubmit: %v", err)
+				}
+				waitJob(t, j, 30*time.Second)
+				res, state, errMsg := j.Result()
+				if state != serve.StateDone {
+					t.Fatalf("fault-free job %d: state %s (%s)", i, state, errMsg)
+				}
+				if res == nil || res.Degraded {
+					t.Fatalf("fault-free job %d: degraded/nil result from cache poisoning", i)
+				}
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				t.Fatalf("drain hung: %v", err)
+			}
+		})
+	}
+}
+
+// TestChaosReplayDeterminism runs one fault schedule twice from fresh
+// plans and requires byte-identical outcome transcripts. The setup is
+// deliberately constrained to what determinism can promise: one
+// worker, sequential submissions, no latency rules — so every fault
+// site sees an identical call sequence in both runs.
+func TestChaosReplayDeterminism(t *testing.T) {
+	const spec = "seed=11;dbi.run:error:every=3;serve.worker:error:nth=2;serve.cache.put:error:nth=1"
+	recipes := []chaosJob{
+		{trips: 30, allowDegraded: false},
+		{trips: 30, allowDegraded: true},
+		{trips: 45, allowDegraded: false},
+		{trips: 30, allowDegraded: false},
+	}
+	run := func() []string {
+		p, err := fault.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fault.Set(p)
+		defer fault.Set(nil)
+		srv := serve.New(serve.Config{
+			Workers:        1,
+			RetryBudget:    1,
+			RetryBaseDelay: time.Millisecond,
+			RetryMaxDelay:  2 * time.Millisecond,
+			DefaultTimeout: 30 * time.Second,
+		})
+		srv.Start()
+		defer srv.Shutdown(context.Background()) //nolint:errcheck // drained below
+
+		var transcript []string
+		for _, cj := range recipes {
+			prog := mustProgram(t, progSource(cj.trips))
+			j, err := srv.Submit(prog, optiwise.Options{AllowDegraded: cj.allowDegraded}, 0)
+			if err != nil {
+				transcript = append(transcript, "submit-error: "+err.Error())
+				continue
+			}
+			waitJob(t, j, 30*time.Second)
+			res, state, errMsg := j.Result()
+			st := j.Status()
+			transcript = append(transcript, fmt.Sprintf(
+				"state=%s cached=%v degraded=%v retries=%d err=%q",
+				state, st.Cached, res != nil && res.Degraded, st.Retries, errMsg))
+		}
+		return transcript
+	}
+
+	first := run()
+	second := run()
+	if len(first) != len(second) {
+		t.Fatalf("transcript lengths differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("replay diverged at job %d:\n  first:  %s\n  second: %s", i, first[i], second[i])
+		}
+	}
+}

@@ -68,6 +68,10 @@ type submitOptions struct {
 	InstrASLRSeed  int64  `json:"instr_aslr_seed,omitempty"`
 	RandSeed       uint64 `json:"rand_seed,omitempty"`
 	MaxCycles      int64  `json:"max_cycles,omitempty"`
+	// AllowDegraded opts this job into single-pass (degraded) results
+	// when exactly one profiling pass fails. Degraded results are
+	// flagged in the job status and never cached.
+	AllowDegraded bool `json:"allow_degraded,omitempty"`
 }
 
 // toOptions converts the wire options into optiwise.Options,
@@ -98,6 +102,7 @@ func (o *submitOptions) toOptions() (optiwise.Options, error) {
 	opts.InstrASLRSeed = o.InstrASLRSeed
 	opts.RandSeed = o.RandSeed
 	opts.MaxCycles = uint64(o.MaxCycles)
+	opts.AllowDegraded = o.AllowDegraded
 	switch o.Attribution {
 	case "", "auto":
 		opts.Attribution = optiwise.AttrAuto
@@ -321,9 +326,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	reg.WritePrometheus(w) //nolint:errcheck // client went away
 }
 
-// writeBusy emits a 429/503 with a Retry-After hint.
+// writeBusy emits a 429/503 with a Retry-After hint. Retry-After has
+// whole-second granularity, so the configured delay is rounded UP —
+// truncation would tell clients to come back before the hint the
+// operator chose (a 1.5s config used to round to 1s, and a sub-second
+// config to 0s before clamping). The hint also scales with queue
+// pressure: a client told to retry while the queue is still saturated
+// would only bounce off it again, so a full queue quadruples the wait.
 func (s *Server) writeBusy(w http.ResponseWriter, code int, msg string) {
-	secs := int(s.cfg.RetryAfter / time.Second)
+	d := s.cfg.RetryAfter
+	if depth, capacity := len(s.queue), s.cfg.QueueDepth; capacity > 0 && depth > 0 {
+		d += 3 * d * time.Duration(depth) / time.Duration(capacity)
+	}
+	secs := int((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}

@@ -44,6 +44,7 @@ type Job struct {
 	result    *optiwise.Result
 	cached    bool
 	coalesced bool
+	retries   int
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -54,11 +55,18 @@ type Job struct {
 
 // JobStatus is an immutable snapshot of a Job, shaped for the JSON API.
 type JobStatus struct {
-	ID         string     `json:"id"`
-	State      State      `json:"state"`
-	Error      string     `json:"error,omitempty"`
-	Cached     bool       `json:"cached,omitempty"`
-	Coalesced  bool       `json:"coalesced,omitempty"`
+	ID        string `json:"id"`
+	State     State  `json:"state"`
+	Error     string `json:"error,omitempty"`
+	Cached    bool   `json:"cached,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	// Retries counts the transient-failure re-executions the job's
+	// group needed before its final outcome.
+	Retries int `json:"retries,omitempty"`
+	// Degraded marks a single-pass result (Options.AllowDegraded):
+	// FailedPass names the pass whose data is missing.
+	Degraded   bool       `json:"degraded,omitempty"`
+	FailedPass string     `json:"failed_pass,omitempty"`
 	Module     string     `json:"module"`
 	Machine    string     `json:"machine"`
 	Digest     string     `json:"digest"`
@@ -104,7 +112,12 @@ func (j *Job) Status() JobStatus {
 		Module:    j.Module,
 		Machine:   j.Machine,
 		Digest:    j.Digest,
+		Retries:   j.retries,
 		Submitted: j.submitted,
+	}
+	if j.result != nil && j.result.Degraded {
+		st.Degraded = true
+		st.FailedPass = j.result.FailedPass
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -181,6 +194,17 @@ func (j *Job) terminate(state State, errMsg string) bool {
 		g.remove(j)
 	}
 	return true
+}
+
+// setRetries records how many transient-failure re-executions the
+// job's group needed.
+func (j *Job) setRetries(n int) {
+	if n == 0 {
+		return
+	}
+	j.mu.Lock()
+	j.retries = n
+	j.mu.Unlock()
 }
 
 func (j *Job) stopTimerLocked() {

@@ -16,6 +16,10 @@ type serverMetrics struct {
 	queueDepth *obs.GaugeMetric
 	inflight   *obs.GaugeMetric
 	latencyUS  *obs.HistogramMetric
+
+	workerPanics *obs.CounterMetric
+	retriesM     *obs.CounterMetric
+	degraded     *obs.CounterMetric
 }
 
 func newServerMetrics() serverMetrics {
@@ -30,5 +34,9 @@ func newServerMetrics() serverMetrics {
 		queueDepth: obs.Gauge(obs.MServeQueueDepth),
 		inflight:   obs.Gauge(obs.MServeInflightJobs),
 		latencyUS:  obs.Histogram(obs.MServeJobLatency),
+
+		workerPanics: obs.Counter(obs.MServeWorkerPanics),
+		retriesM:     obs.Counter(obs.MServeJobRetries),
+		degraded:     obs.Counter(obs.MServeJobsDegraded),
 	}
 }

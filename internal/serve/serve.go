@@ -13,12 +13,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"optiwise"
+	"optiwise/internal/fault"
 	"optiwise/internal/obs"
 )
 
@@ -67,6 +70,18 @@ type Config struct {
 	// MaxJobs bounds the job-status retention table; the oldest
 	// finished jobs are forgotten first (default 4096).
 	MaxJobs int
+	// RetryBudget is the number of times a worker re-runs an execution
+	// after a transient failure (injected transient faults and recovered
+	// panics) before giving up — so one unlucky fault does not fail a
+	// whole job when a clean re-run would succeed (default 2; <0
+	// disables retries). Permanent failures (validation, cancellation,
+	// deterministic simulator errors) are never retried.
+	RetryBudget int
+	// RetryBaseDelay and RetryMaxDelay bound the capped exponential
+	// backoff between retry attempts: attempt n sleeps
+	// min(base << (n-1), max) with ±50% jitter (defaults 50ms and 1s).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +112,17 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 4096
 	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 2
+	} else if c.RetryBudget < 0 {
+		c.RetryBudget = 0
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = time.Second
+	}
 	return c
 }
 
@@ -117,9 +143,14 @@ type Server struct {
 	draining bool
 
 	inflight atomic.Int64
-	stop     chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
+	// Operational failure counters mirrored into obs metrics; kept
+	// server-local too so /v1/stats works without an active registry.
+	panics    atomic.Uint64
+	retries   atomic.Uint64
+	degradeds atomic.Uint64
+	stop      chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
 }
 
 // New builds a Server; call Start to launch its workers.
@@ -194,7 +225,7 @@ func (s *Server) Submit(prog *optiwise.Program, opts optiwise.Options, timeout t
 	j := newJob(key, prog.Module(), opts.Machine.Name)
 
 	// Fast path: the cache already holds this exact profile.
-	if res, ok := s.cache.get(key); ok {
+	if res, ok := s.cacheGet(key); ok {
 		j.mu.Lock()
 		j.cached = true
 		j.mu.Unlock()
@@ -321,6 +352,13 @@ func (s *Server) worker() {
 // submission, which clears Sequential: service jobs always run the
 // concurrent two-pass pipeline, holding this one worker slot for the
 // job's whole duration.
+//
+// Transient failures — injected transient faults and recovered panics
+// — are retried in place with capped exponential backoff, up to
+// Config.RetryBudget attempts beyond the first; the job's members never
+// observe the intermediate failures, only the final outcome and the
+// retry count. Permanent failures and cancellations break out
+// immediately.
 func (s *Server) runGroup(g *group) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -333,14 +371,42 @@ func (s *Server) runGroup(g *group) {
 	span.SetAttr("digest", shortDigest(g.key))
 	s.inflight.Add(1)
 	s.metrics.inflight.Set(s.inflight.Load())
-	res, err := optiwise.ProfileContext(ctx, g.prog, g.opts)
+
+	var res *optiwise.Result
+	var err error
+	attempts := 0
+	for {
+		res, err = s.executeOnce(ctx, g)
+		if err == nil || ctx.Err() != nil ||
+			attempts >= s.cfg.RetryBudget || !transient(err) {
+			break
+		}
+		attempts++
+		s.retries.Add(1)
+		s.metrics.retriesM.Inc()
+		select {
+		case <-time.After(backoffDelay(s.cfg.RetryBaseDelay, s.cfg.RetryMaxDelay, attempts)):
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+
 	s.inflight.Add(-1)
 	s.metrics.inflight.Set(s.inflight.Load())
 	span.SetAttr("failed", err != nil)
+	if attempts > 0 {
+		span.SetAttr("retries", attempts)
+	}
 	span.End()
 
-	if err == nil {
-		s.cache.put(g.key, res)
+	if cacheEligible(res, err, ctx.Err()) {
+		s.cachePut(g.key, res)
+	}
+	if err == nil && res != nil && res.Degraded {
+		s.degradeds.Add(1)
+		s.metrics.degraded.Inc()
 	}
 	s.dropGroup(g)
 	members := g.end()
@@ -349,6 +415,7 @@ func (s *Server) runGroup(g *group) {
 		errMsg = err.Error()
 	}
 	for _, j := range members {
+		j.setRetries(attempts)
 		if !j.finish(res, errMsg) {
 			continue // lost the race against its deadline or a cancel
 		}
@@ -362,6 +429,118 @@ func (s *Server) runGroup(g *group) {
 		j.mu.Unlock()
 		s.metrics.latencyUS.Observe(uint64(lat.Microseconds()))
 	}
+}
+
+// executeOnce runs the pipeline once for g, converting any escaped
+// panic — the pipeline already contains panics from its own pass
+// goroutines, so this catches rendering-layer and injected worker
+// panics — into a structured job failure with the stack captured, so
+// one poisoned job cannot take down its worker (the pool keeps
+// serving) and the panic is visible in /v1/stats and metrics.
+func (s *Server) executeOnce(ctx context.Context, g *group) (res *optiwise.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.panics.Add(1)
+			s.metrics.workerPanics.Inc()
+			stack := debug.Stack()
+			if lg := obs.ActiveLogger(); lg != nil {
+				lg.Error("serve: worker panic recovered",
+					obs.F("digest", shortDigest(g.key)), obs.F("panic", fmt.Sprint(v)))
+			}
+			err = &workerPanicError{value: v, stack: stack}
+			res = nil
+		}
+	}()
+	if err := fault.Err(fault.SiteWorker); err != nil {
+		return nil, fmt.Errorf("serve: worker: %w", err)
+	}
+	return optiwise.ProfileContext(ctx, g.prog, g.opts)
+}
+
+// workerPanicError is a panic recovered at the worker boundary,
+// carrying the goroutine stack for diagnostics. Treated as transient:
+// a re-run may well succeed (injected panics, races).
+type workerPanicError struct {
+	value any
+	stack []byte
+}
+
+func (e *workerPanicError) Error() string {
+	return fmt.Sprintf("serve: job panicked: %v", e.value)
+}
+
+// Stack returns the captured goroutine stack.
+func (e *workerPanicError) Stack() []byte { return e.stack }
+
+// transient classifies err for the retry loop: injected faults marked
+// transient, and panics recovered at either the pass or worker
+// boundary. Everything else — validation errors, cancellations,
+// deterministic simulator failures — is permanent and retrying would
+// only repeat it.
+func transient(err error) bool {
+	if fault.IsTransient(err) {
+		return true
+	}
+	var wp *workerPanicError
+	if errors.As(err, &wp) {
+		return true
+	}
+	var pp *optiwise.PanicError
+	return errors.As(err, &pp)
+}
+
+// backoffDelay computes the capped exponential backoff for the given
+// 1-based attempt, with ±50% jitter so coordinated retries decohere.
+func backoffDelay(base, max time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Jitter in [d/2, 3d/2).
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
+}
+
+// cacheEligible decides whether a finished execution may enter the
+// result cache. Admission demands full success: a real result, no
+// error, no cancellation racing the completion (a canceled run may
+// have been torn down mid-analysis), and a non-degraded profile — a
+// partial view must never satisfy a later full-fidelity request
+// (DESIGN.md §8).
+func cacheEligible(res *optiwise.Result, err, ctxErr error) bool {
+	return err == nil && res != nil && !res.Degraded && ctxErr == nil
+}
+
+// cacheGet probes the result cache through the serve.cache.get fault
+// site: any injected failure (including a panic) demotes the probe to
+// a miss, so a flaky cache degrades to recomputation, never to a
+// client-visible error.
+func (s *Server) cacheGet(key string) (res *optiwise.Result, ok bool) {
+	defer func() {
+		if recover() != nil {
+			res, ok = nil, false
+		}
+	}()
+	if err := fault.Err(fault.SiteCacheGet); err != nil {
+		return nil, false
+	}
+	return s.cache.get(key)
+}
+
+// cachePut stores a fully successful result through the
+// serve.cache.put fault site: injected failures (including panics)
+// drop the store — the cache is an optimization, losing an entry is
+// always safe.
+func (s *Server) cachePut(key string, res *optiwise.Result) {
+	defer func() {
+		_ = recover() //nolint:errcheck // losing a cache store is safe
+	}()
+	if err := fault.Err(fault.SiteCachePut); err != nil {
+		return
+	}
+	s.cache.put(key, res)
 }
 
 // dropGroup removes g from the dedup index (if it is still the indexed
@@ -391,6 +570,13 @@ type Stats struct {
 	CacheEntries int   `json:"cache_entries"`
 	CacheBytes   int64 `json:"cache_bytes"`
 	Draining     bool  `json:"draining"`
+	// WorkerPanics counts panics recovered at the worker boundary,
+	// Retries counts transient-failure re-executions, and
+	// DegradedResults counts single-pass (degraded) jobs served —
+	// all since the server started.
+	WorkerPanics    uint64 `json:"worker_panics"`
+	Retries         uint64 `json:"retries"`
+	DegradedResults uint64 `json:"degraded_results"`
 }
 
 // Stats returns the current operational snapshot.
@@ -400,12 +586,15 @@ func (s *Server) Stats() Stats {
 	draining := s.draining
 	s.mu.Unlock()
 	return Stats{
-		Workers:      s.cfg.Workers,
-		QueueDepth:   len(s.queue),
-		Inflight:     s.inflight.Load(),
-		Jobs:         jobs,
-		CacheEntries: s.cache.len(),
-		CacheBytes:   s.cache.usedBytes(),
-		Draining:     draining,
+		Workers:         s.cfg.Workers,
+		QueueDepth:      len(s.queue),
+		Inflight:        s.inflight.Load(),
+		Jobs:            jobs,
+		CacheEntries:    s.cache.len(),
+		CacheBytes:      s.cache.usedBytes(),
+		Draining:        draining,
+		WorkerPanics:    s.panics.Load(),
+		Retries:         s.retries.Load(),
+		DegradedResults: s.degradeds.Load(),
 	}
 }

@@ -1,0 +1,107 @@
+// Package trailer frames serialized profiles with a magic-bytes +
+// length + checksum trailer so truncated or bit-flipped files fail
+// fast with a typed error instead of surfacing as confusing JSON
+// decode errors (or, worse, decoding successfully into a subtly wrong
+// profile).
+//
+// # Format
+//
+// A framed payload is the raw serialized bytes followed by a fixed
+// 22-byte trailer:
+//
+//	offset  size  field
+//	0       6     magic "#OWPF1"
+//	6       8     payload length, little-endian uint64
+//	14      4     CRC-32C (Castagnoli) of the payload
+//	18      4     CRC-32C of the preceding 18 trailer bytes
+//
+// Putting the frame at the *end* keeps writers single-pass (no
+// seeking, no buffering the payload to learn its length first — the
+// writer already has the payload in hand) and lets readers accept
+// legacy untrailered files: if the last 22 bytes don't carry the
+// magic, the whole input is treated as a bare legacy payload.
+//
+// The trailer's own CRC distinguishes "trailer present but damaged"
+// from "no trailer at all" with odds of a random 22-byte tail passing
+// both checks at ~2^-32; a bit flip anywhere in a framed file —
+// payload, length, magic, or checksum — is therefore detected either
+// by the payload CRC (typed *CorruptError) or by demotion to legacy
+// parsing, where strict JSON validation rejects the tail bytes.
+package trailer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Magic identifies an OptiWISE profile trailer ("OptiWise Profile
+// Frame v1"). The leading '#' keeps a trailer line inert if a framed
+// profile is ever concatenated into something line-oriented.
+const Magic = "#OWPF1"
+
+// Size is the fixed byte length of the trailer.
+const Size = len(Magic) + 8 + 4 + 4
+
+// castagnoli is the CRC-32C table; hardware-accelerated on the
+// platforms Go supports.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptError reports a framed payload that failed verification.
+// Callers use errors.As to distinguish corruption (fail fast, never
+// retry the bytes) from legacy or absent framing.
+type CorruptError struct {
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return "trailer: corrupt profile: " + e.Reason
+}
+
+// Append returns data with a trailer appended. The payload bytes are
+// not copied when data has capacity.
+func Append(data []byte) []byte {
+	var t [Size]byte
+	copy(t[:], Magic)
+	binary.LittleEndian.PutUint64(t[len(Magic):], uint64(len(data)))
+	binary.LittleEndian.PutUint32(t[len(Magic)+8:], crc32.Checksum(data, castagnoli))
+	binary.LittleEndian.PutUint32(t[len(Magic)+12:], crc32.Checksum(t[:len(Magic)+12], castagnoli))
+	return append(data, t[:]...)
+}
+
+// Verify inspects data for a trailer.
+//
+//   - Framed and intact: returns the payload (a subslice of data) and
+//     framed=true.
+//   - Framed but damaged (bad length or payload checksum): returns a
+//     *CorruptError.
+//   - No trailer: returns data unchanged and framed=false, so callers
+//     fall back to legacy parsing.
+func Verify(data []byte) (payload []byte, framed bool, err error) {
+	if len(data) < Size {
+		return data, false, nil
+	}
+	t := data[len(data)-Size:]
+	if string(t[:len(Magic)]) != Magic {
+		return data, false, nil
+	}
+	// The trailer's own checksum decides whether this really is a
+	// trailer (vs. a legacy payload that happens to end in the magic,
+	// or a trailer whose fields were themselves flipped).
+	wantSelf := binary.LittleEndian.Uint32(t[len(Magic)+12:])
+	if crc32.Checksum(t[:len(Magic)+12], castagnoli) != wantSelf {
+		return nil, true, &CorruptError{Reason: "trailer checksum mismatch (damaged trailer)"}
+	}
+	n := binary.LittleEndian.Uint64(t[len(Magic) : len(Magic)+8])
+	if n != uint64(len(data)-Size) {
+		return nil, true, &CorruptError{Reason: fmt.Sprintf(
+			"length mismatch: trailer declares %d payload bytes, file carries %d (truncated or spliced)",
+			n, len(data)-Size)}
+	}
+	payload = data[:len(data)-Size]
+	want := binary.LittleEndian.Uint32(t[len(Magic)+8:])
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, true, &CorruptError{Reason: "payload checksum mismatch (bit flip or partial overwrite)"}
+	}
+	return payload, true, nil
+}

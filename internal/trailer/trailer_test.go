@@ -1,0 +1,105 @@
+package trailer
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		[]byte(`{"module":"m","records":[]}`),
+		bytes.Repeat([]byte{0xA5}, 4096),
+	} {
+		framed := Append(append([]byte(nil), payload...))
+		if len(framed) != len(payload)+Size {
+			t.Fatalf("framed length %d, want %d", len(framed), len(payload)+Size)
+		}
+		got, ok, err := Verify(framed)
+		if err != nil || !ok {
+			t.Fatalf("Verify(framed %d bytes): ok=%v err=%v", len(payload), ok, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload mismatch after round trip")
+		}
+	}
+}
+
+func TestLegacyPassthrough(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte(`{"module":"m"}`),
+		bytes.Repeat([]byte("legacy-profile "), 64),
+	} {
+		got, ok, err := Verify(data)
+		if err != nil || ok {
+			t.Fatalf("legacy input misread: ok=%v err=%v", ok, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("legacy payload altered")
+		}
+	}
+}
+
+func TestDetectsEverySingleBitFlip(t *testing.T) {
+	payload := []byte(`{"module":"m","period":1000}`)
+	framed := Append(append([]byte(nil), payload...))
+	for i := 0; i < len(framed)*8; i++ {
+		mut := append([]byte(nil), framed...)
+		mut[i/8] ^= 1 << (i % 8)
+		got, ok, err := Verify(mut)
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("bit %d: untyped error %v", i, err)
+			}
+			continue // detected as corruption: good
+		}
+		if ok && bytes.Equal(got, payload) {
+			t.Fatalf("bit %d: flip passed verification undetected", i)
+		}
+		// ok==false (demoted to legacy) is acceptable: the caller's
+		// strict decoder then sees trailer bytes as trailing garbage.
+		// ok==true with a different payload is impossible given the CRC
+		// passed, short of a collision.
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcdef"), 100)
+	framed := Append(append([]byte(nil), payload...))
+	// Truncating the payload region removes trailer bytes → either a
+	// corrupt error or legacy demotion, never a clean verify of the
+	// original payload.
+	for _, cut := range []int{1, Size - 1, Size, Size + 7, len(framed) / 2} {
+		mut := framed[:len(framed)-cut]
+		got, ok, err := Verify(mut)
+		if err == nil && ok && bytes.Equal(got, payload) {
+			t.Fatalf("cut %d bytes: truncation passed verification", cut)
+		}
+	}
+	// Splicing two framed files then reading the tail frame must fail
+	// the length check rather than silently yield the second payload...
+	spliced := append(append([]byte(nil), framed...), framed...)
+	_, ok, err := Verify(spliced)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || !ok {
+		t.Fatalf("spliced file: ok=%v err=%v, want typed corruption", ok, err)
+	}
+}
+
+func TestVerifyDoesNotCopy(t *testing.T) {
+	payload := []byte("0123456789")
+	framed := Append(append([]byte(nil), payload...))
+	got, _, err := Verify(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &framed[0] {
+		t.Fatal("Verify copied the payload")
+	}
+}

@@ -27,12 +27,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"optiwise/internal/asm"
 	"optiwise/internal/core"
 	"optiwise/internal/dbi"
+	"optiwise/internal/fault"
 	"optiwise/internal/interp"
 	"optiwise/internal/obs"
 	"optiwise/internal/ooo"
@@ -206,6 +208,22 @@ type Options struct {
 	// either way; Sequential exists for debugging, single-core hosts,
 	// and the equivalence tests that prove that determinism claim.
 	Sequential bool
+	// AllowDegraded opts into partial results: when exactly one of the
+	// two profiling passes fails (for a reason other than the caller's
+	// own cancellation), ProfileContext returns a Result with Degraded
+	// set instead of an error — sampling-only (cycles without execution
+	// counts; time-share CPI estimates) when instrumentation failed, or
+	// counts-only (execution counts without cycles) when sampling
+	// failed. Degraded results are never admitted to the service's
+	// result cache. See DESIGN.md §8.
+	AllowDegraded bool
+	// FaultSpec installs a deterministic fault-injection plan
+	// (internal/fault spec grammar) for this run, for chaos testing and
+	// failure-drill tooling. It is an execution harness, not a profile
+	// parameter: Canonical clears it, the profiling service never
+	// accepts one remotely, and a spec differing from an already-active
+	// global plan is an error rather than a silent replacement.
+	FaultSpec string
 }
 
 func (o *Options) fill() {
@@ -232,9 +250,17 @@ func (o *Options) fill() {
 // a content-addressed cache key. Sequential is cleared: it selects an
 // execution strategy, not a different profile, so sequential and
 // parallel submissions of the same program must collide in the cache.
+// FaultSpec is cleared for the same reason — injected faults change
+// whether a run succeeds, never what a successful run computes (a
+// corrupted or aborted run yields an error or a degraded result, and
+// those are cache-ineligible). AllowDegraded survives: it changes
+// execution policy, but full successes are identical either way and
+// degraded results never reach the cache, so it is excluded from the
+// cache key separately (see serve.jobKey).
 func (o Options) Canonical() Options {
 	o.fill()
 	o.Sequential = false
+	o.FaultSpec = ""
 	return o
 }
 
@@ -284,6 +310,11 @@ func (o Options) Validate() error {
 		return fmt.Errorf("optiwise: max cycles %d would overflow cycle arithmetic (maximum 2^62)",
 			o.MaxCycles)
 	}
+	if o.FaultSpec != "" {
+		if _, err := fault.Parse(o.FaultSpec); err != nil {
+			return fmt.Errorf("optiwise: invalid fault spec: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -313,37 +344,120 @@ func Profile(prog *Program, opts Options) (*Result, error) {
 // the combined Result is byte-identical to the sequential path — each
 // pass is deterministic in isolation and the combining analysis sees
 // exactly the same two profiles.
+//
+// With Options.AllowDegraded the failure semantics soften: a failing
+// pass no longer cancels its sibling, and when exactly one pass fails
+// for its own reasons (not the caller's cancellation) the survivor is
+// analyzed alone into a Result with Degraded set (DESIGN.md §8). A
+// panic inside either pass is recovered into a *PanicError instead of
+// crashing the process, so long-lived callers (the profiling service)
+// degrade or fail the one job rather than dying.
 func ProfileContext(ctx context.Context, prog *Program, opts Options) (*Result, error) {
 	opts.fill()
+	if opts.FaultSpec != "" {
+		if err := fault.EnsureSpec(opts.FaultSpec); err != nil {
+			return nil, err
+		}
+	}
 	span := obs.Start("profile").SetAttr("module", prog.Module())
 	defer span.End()
-	sp, ep, err := runPasses(ctx, prog, opts, span)
-	if err != nil {
-		return nil, err
+	sp, ep, sampleErr, instrErr := runPasses(ctx, prog, opts, span)
+	if sampleErr == nil && instrErr == nil {
+		return AnalyzeContext(ctx, prog, sp, ep, opts)
 	}
-	return AnalyzeContext(ctx, prog, sp, ep, opts)
+	err := selectPassError(sampleErr, instrErr)
+	if opts.AllowDegraded && ctx.Err() == nil && !isCancellation(err) {
+		switch {
+		case instrErr != nil && sampleErr == nil:
+			span.SetAttr("degraded", "sampling-only")
+			return analyzeDegraded(ctx, prog, sp, nil, opts, instrErr)
+		case sampleErr != nil && instrErr == nil:
+			span.SetAttr("degraded", "counts-only")
+			return analyzeDegraded(ctx, prog, nil, ep, opts, sampleErr)
+		}
+		// Both passes failed on their own: nothing survives to degrade to.
+	}
+	return nil, err
+}
+
+// PanicError is a panic recovered from a profiling pass, converted
+// into an ordinary error carrying the panic value and the stack at
+// recovery time. The serve layer classifies it as transient (a panic
+// is as likely a corrupted in-memory state as a deterministic bug, and
+// the retry budget caps the damage either way).
+type PanicError struct {
+	// Op names the pass that panicked ("sampling" or "instrumentation").
+	Op string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("optiwise: %s pass panicked: %v", e.Op, e.Value)
+}
+
+// selectPassError picks the error to surface when at least one pass
+// failed, mirroring the sequential order deterministically: the
+// sampling pass's error wins. When only the instrumentation pass
+// failed for its own reasons, the sampling pass may still have been
+// torn down by the shared cancel — prefer the root cause.
+func selectPassError(sampleErr, instrErr error) error {
+	if sampleErr != nil && (instrErr == nil || !isCancellation(sampleErr) || isCancellation(instrErr)) {
+		return sampleErr
+	}
+	return instrErr
+}
+
+// analyzeDegraded combines the surviving pass into a flagged partial
+// Result; exactly one of sp/ep is non-nil. failure is the failed
+// pass's error, recorded in the Result for reports and job status.
+func analyzeDegraded(ctx context.Context, prog *Program, sp *SampleProfile, ep *EdgeProfile, opts Options, failure error) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("optiwise: analyze canceled: %w", err)
+	}
+	span := obs.Start("analyze_degraded").SetAttr("module", prog.Module())
+	defer span.End()
+	copts := core.Options{
+		Attribution:   opts.Attribution,
+		Unweighted:    opts.Unweighted,
+		LoopThreshold: opts.LoopThreshold,
+	}
+	if sp != nil {
+		span.SetAttr("failed_pass", core.PassInstrumentation)
+		return core.CombineSampleOnly(prog.prog, sp, copts, failure.Error())
+	}
+	span.SetAttr("failed_pass", core.PassSampling)
+	return core.CombineCountsOnly(prog.prog, ep, copts, failure.Error())
 }
 
 // runPasses executes the sampling and instrumentation passes, either
-// back to back (Options.Sequential) or overlapped on two goroutines.
-func runPasses(ctx context.Context, prog *Program, opts Options, span *obs.Span) (*SampleProfile, *EdgeProfile, error) {
+// back to back (Options.Sequential) or overlapped on two goroutines,
+// and returns each pass's profile and error separately so the caller
+// can implement degraded mode. Pass panics are recovered into
+// *PanicError values.
+func runPasses(ctx context.Context, prog *Program, opts Options, span *obs.Span) (*SampleProfile, *EdgeProfile, error, error) {
 	if opts.Sequential {
-		sp, _, err := SampleOnlyContext(ctx, prog, opts)
-		if err != nil {
-			return nil, nil, err
+		sp, _, sampleErr := guardedSamplePass(ctx, prog, opts, span, nil)
+		if sampleErr != nil && !opts.AllowDegraded {
+			return nil, nil, sampleErr, nil
 		}
-		ep, err := InstrumentOnlyContext(ctx, prog, opts)
-		if err != nil {
-			return nil, nil, err
-		}
-		return sp, ep, nil
+		ep, instrErr := guardedInstrumentPass(ctx, prog, opts, span, nil)
+		return sp, ep, sampleErr, instrErr
 	}
 
 	// Errgroup-style fan-out: a derived context cancels the sibling pass
 	// as soon as either fails, so a doomed profiling run never simulates
-	// longer than its slowest surviving pass needs to notice.
+	// longer than its slowest surviving pass needs to notice. Under
+	// AllowDegraded a failing pass must NOT tear down its sibling — the
+	// survivor is the degraded result.
 	passCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	onErr := cancel
+	if opts.AllowDegraded {
+		onErr = func() {}
+	}
 	var (
 		wg        sync.WaitGroup
 		sp        *SampleProfile
@@ -357,43 +471,56 @@ func runPasses(ctx context.Context, prog *Program, opts Options, span *obs.Span)
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		// StartChild pins the parent explicitly: with both passes open
-		// concurrently, the tracer's ambient stack would nest one
-		// sibling under the other.
-		ps := span.StartChild("sample").
-			SetAttr("module", prog.Module()).
-			SetAttr("period", opts.SamplePeriod)
-		defer ps.End()
-		sp, _, sampleErr = samplePass(passCtx, prog, opts)
+		sp, _, sampleErr = guardedSamplePass(passCtx, prog, opts, span, onErr)
 		sampleDur = time.Since(start)
-		if sampleErr != nil {
-			cancel()
-		}
 	}()
 	go func() {
 		defer wg.Done()
-		ps := span.StartChild("instrument").SetAttr("module", prog.Module())
-		defer ps.End()
-		ep, instrErr = instrumentPass(passCtx, prog, opts)
+		ep, instrErr = guardedInstrumentPass(passCtx, prog, opts, span, onErr)
 		instrDur = time.Since(start)
-		if instrErr != nil {
-			cancel()
-		}
 	}()
 	wg.Wait()
 	wall := time.Since(start)
 	recordPassOverlap(span, sampleDur, instrDur, wall)
-	// Deterministic error selection mirroring the sequential order: the
-	// sampling pass's error wins. When only the instrumentation pass
-	// failed for its own reasons, the sampling pass may still have been
-	// torn down by the shared cancel — prefer the root cause.
-	if sampleErr != nil && (instrErr == nil || !isCancellation(sampleErr) || isCancellation(instrErr)) {
-		return nil, nil, sampleErr
-	}
-	if instrErr != nil {
-		return nil, nil, instrErr
-	}
-	return sp, ep, nil
+	return sp, ep, sampleErr, instrErr
+}
+
+// guardedSamplePass runs the sampling pass under a span and a panic
+// guard. A recovered panic becomes a *PanicError; onErr (when non-nil)
+// fires on any failure, letting the concurrent pipeline cancel the
+// sibling pass. The span parenting is explicit (StartChild) because
+// with both passes open concurrently the tracer's ambient stack would
+// nest one sibling under the other.
+func guardedSamplePass(ctx context.Context, prog *Program, opts Options, span *obs.Span, onErr func()) (sp *SampleProfile, st ooo.Stats, err error) {
+	ps := span.StartChild("sample").
+		SetAttr("module", prog.Module()).
+		SetAttr("period", opts.SamplePeriod)
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Op: core.PassSampling, Value: v, Stack: debug.Stack()}
+		}
+		ps.End()
+		if err != nil && onErr != nil {
+			onErr()
+		}
+	}()
+	return samplePass(ctx, prog, opts)
+}
+
+// guardedInstrumentPass is guardedSamplePass for the instrumentation
+// pass.
+func guardedInstrumentPass(ctx context.Context, prog *Program, opts Options, span *obs.Span, onErr func()) (ep *EdgeProfile, err error) {
+	ps := span.StartChild("instrument").SetAttr("module", prog.Module())
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Op: core.PassInstrumentation, Value: v, Stack: debug.Stack()}
+		}
+		ps.End()
+		if err != nil && onErr != nil {
+			onErr()
+		}
+	}()
+	return instrumentPass(ctx, prog, opts)
 }
 
 // isCancellation reports whether err stems from context cancellation or
@@ -535,8 +662,14 @@ func WriteAnnotated(w io.Writer, r *Result, fn string) error {
 func WriteCallGraph(w io.Writer, r *Result) error { return report.WriteCallGraph(w, r) }
 
 // WriteCFGDot renders one function's reconstructed CFG in Graphviz dot
-// format with execution counts on blocks and edges.
+// format with execution counts on blocks and edges. Sampling-only
+// degraded results carry no CFG (the instrumentation pass that would
+// have built it failed), so the request is refused with a descriptive
+// error rather than an empty graph.
 func WriteCFGDot(w io.Writer, r *Result, fn string) error {
+	if r.Graph == nil || (r.Degraded && len(r.Graph.Blocks) == 0) {
+		return fmt.Errorf("optiwise: no CFG available: %s pass failed (degraded result)", r.FailedPass)
+	}
 	return r.Graph.WriteDot(w, r.Prog, fn)
 }
 
