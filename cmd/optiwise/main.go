@@ -113,6 +113,8 @@ observability flags on every profiling subcommand:
   -metrics FILE Prometheus text exposition of pipeline metrics
   -log FILE     JSONL structured event log ("-" = stderr)
   -progress     progress lines on stderr      -pprof ADDR  pprof+expvar server
+  -telemetry N  cycle-windowed interval telemetry: report phase summary
+                and counter tracks in the -trace Chrome trace
 run 'optiwise <cmd> -h' for flags`)
 }
 
@@ -128,6 +130,7 @@ type commonFlags struct {
 	sequential    *bool
 	faultSpec     *string
 	allowDegraded *bool
+	telemetry     *uint64
 	obs           *obs.Config
 }
 
@@ -144,6 +147,7 @@ func newFlags(name string) *commonFlags {
 		sequential:    fs.Bool("sequential", false, "run the two profiling passes one after the other (identical output; for debugging and timing comparisons)"),
 		faultSpec:     fs.String("fault", "", "fault-injection spec, e.g. 'seed=1;dbi.run:error:nth=1' (also OPTIWISE_FAULT)"),
 		allowDegraded: fs.Bool("allow-degraded", false, "produce a flagged single-pass report when exactly one profiling pass fails"),
+		telemetry:     fs.Uint64("telemetry", 0, "interval-telemetry window in cycles (0 = off): streams IPC, ROB occupancy, mispredict and cache-miss rates, and stall causes per window into the report's phase summary and the -trace counter tracks"),
 		obs:           obs.BindFlags(fs),
 	}
 }
@@ -173,6 +177,7 @@ func (c *commonFlags) options() (optiwise.Options, error) {
 		Sequential:            *c.sequential,
 		FaultSpec:             *c.faultSpec,
 		AllowDegraded:         *c.allowDegraded,
+		TelemetryWindow:       *c.telemetry,
 	}
 	machine, err := optiwise.MachineByName(*c.machine)
 	if err != nil {
@@ -279,7 +284,7 @@ func cmdRun(args []string) error {
 		return err
 	}
 	return c.withObs(func() error {
-		obs.Progressf("[1/1] profiling %s", prog.Module())
+		c.obs.Progressf("[1/1] profiling %s", prog.Module())
 		sw := obs.StartTimer()
 		prof, err := optiwise.Profile(prog, opts)
 		if err != nil {

@@ -36,6 +36,8 @@ func cmdServe(args []string) error {
 	drainWait := fs.Duration("drain", 2*time.Minute, "max time to drain jobs on shutdown")
 	retries := fs.Int("retries", 0, "transient-failure retry budget per job (0 = default 2, negative disables)")
 	faultSpec := fs.String("fault", "", "server-wide fault-injection spec (chaos testing; also OPTIWISE_FAULT)")
+	flightDir := fs.String("flight-dir", "", "directory for flight-recorder dumps (panics, failed jobs, degraded results, SIGQUIT); empty keeps dumps in memory only")
+	flightSize := fs.Int("flight-size", 0, "flight-recorder ring capacity in records (0 = default 4096, negative disables)")
 	obsCfg := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,16 +61,41 @@ func cmdServe(args []string) error {
 		obs.SetRegistry(obs.NewRegistry())
 	}
 
+	// The serve daemon keeps its flight recorder (the crash "black box")
+	// on by default: -flight-size 0 means the default ring, and only a
+	// negative size opts out.
+	if *flightSize == 0 {
+		*flightSize = obs.DefaultFlightRecorderSize
+	}
 	srv := serve.New(serve.Config{
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		CacheBytes:     *cacheMB << 20,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxJobCycles:   *maxCycles,
-		RetryBudget:    *retries,
+		Workers:            *workers,
+		QueueDepth:         *queueDepth,
+		CacheBytes:         *cacheMB << 20,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		MaxJobCycles:       *maxCycles,
+		RetryBudget:        *retries,
+		FlightDumpDir:      *flightDir,
+		FlightRecorderSize: *flightSize,
 	})
 	srv.Start()
+
+	// SIGQUIT snapshots the flight recorder without killing the server:
+	// the operator's "what just happened" lever. (Go's default SIGQUIT
+	// goroutine-dump-and-exit is traded for this; use -flight-size -1 to
+	// keep the runtime default.)
+	if *flightSize > 0 {
+		quitc := make(chan os.Signal, 1)
+		signal.Notify(quitc, syscall.SIGQUIT)
+		go func() {
+			for range quitc {
+				if d, ok := srv.DumpFlight("sigquit"); ok {
+					fmt.Fprintf(os.Stderr, "optiwise: SIGQUIT flight dump: %d records at %s\n",
+						len(d.Records), d.TakenAt.Format(time.RFC3339Nano))
+				}
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -124,6 +151,8 @@ func cmdSubmit(args []string) error {
 	fn := fs.String("func", "", "function for -report annotated (default: hottest)")
 	timeout := fs.Duration("timeout", 0, "per-job deadline (0 = server default)")
 	poll := fs.Bool("poll", false, "poll job status instead of a blocking submit")
+	traceID := fs.String("trace-id", "", "propagate a caller-chosen trace ID (32 lowercase hex digits; default: server-minted)")
+	traceOut := fs.String("trace-out", "", "after completion, download the job's Chrome trace JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -141,14 +170,18 @@ func cmdSubmit(args []string) error {
 	req := map[string]any{
 		"machine": opts.Machine.Name,
 		"options": map[string]any{
-			"sample_period":  opts.SamplePeriod,
-			"precise":        opts.Precise,
-			"no_stack":       opts.DisableStackProfiling,
-			"loop_threshold": opts.LoopThreshold,
-			"attribution":    *c.attr,
-			"allow_degraded": opts.AllowDegraded,
+			"sample_period":    opts.SamplePeriod,
+			"precise":          opts.Precise,
+			"no_stack":         opts.DisableStackProfiling,
+			"loop_threshold":   opts.LoopThreshold,
+			"attribution":      *c.attr,
+			"allow_degraded":   opts.AllowDegraded,
+			"telemetry_window": opts.TelemetryWindow,
 		},
 		"wait": !*poll,
+	}
+	if *traceID != "" {
+		req["trace_id"] = *traceID
 	}
 	if *timeout > 0 {
 		req["timeout_ms"] = timeout.Milliseconds()
@@ -189,6 +222,13 @@ func cmdSubmit(args []string) error {
 	if st.Degraded {
 		fmt.Fprintf(os.Stderr, "optiwise: warning: degraded result (%s pass failed)\n", st.FailedPass)
 	}
+	if *traceOut != "" {
+		if err := fetchTrace(*addr, st.ID, *traceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "optiwise: wrote Chrome trace for job %s (trace %s) to %s\n",
+			st.ID, st.TraceID, *traceOut)
+	}
 	url := *addr + "/v1/jobs/" + st.ID + "/report?kind=" + *kind
 	if *fn != "" {
 		url += "&func=" + *fn
@@ -203,6 +243,27 @@ func cmdSubmit(args []string) error {
 	}
 	_, err = io.Copy(os.Stdout, rep.Body)
 	return err
+}
+
+// fetchTrace downloads GET /v1/jobs/{id}/trace into path.
+func fetchTrace(addr, id, path string) error {
+	resp, err := http.Get(addr + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace: %s", readAPIError(resp))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(f, resp.Body); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // decodeJobStatus parses a job-status response, converting API error

@@ -8,7 +8,6 @@ import (
 	"optiwise"
 	"optiwise/internal/isa"
 	"optiwise/internal/loops"
-	"optiwise/internal/obs"
 	"optiwise/internal/ooo"
 	"optiwise/internal/program"
 	"optiwise/internal/workloads"
@@ -126,7 +125,7 @@ func fig7() error {
 	n := 0
 	specs := optiwise.SuiteSpecs()
 	for i, spec := range specs {
-		obs.Progressf("[%d/%d] %s: sampling + instrumenting + analyzing",
+		obsCfg.Progressf("[%d/%d] %s: sampling + instrumenting + analyzing",
 			i+1, len(specs), spec.Name)
 		prog, err := optiwise.SuiteProgram(spec, 1.0)
 		if err != nil {

@@ -62,6 +62,12 @@ var commands = []struct {
 // comparisons and for debugging with a deterministic goroutine count.
 var sequential *bool
 
+// obsCfg is the activated observability configuration; progress output
+// is owned by the config (not a package global) so that library users
+// of obs can run concurrently, but the single-process owbench keeps one
+// shared handle.
+var obsCfg *obs.Config
+
 // profile runs the standard pipeline with the global -sequential
 // execution strategy applied.
 func profile(prog *optiwise.Program, opts optiwise.Options) (*optiwise.Result, error) {
@@ -74,7 +80,7 @@ func main() {
 	fs.Usage = usage
 	sequential = fs.Bool("sequential", false, "run profiling passes sequentially (identical output; for timing comparisons)")
 	faultSpec := fs.String("fault", "", "fault-injection spec (also OPTIWISE_FAULT); benchmarks must normally run fault-free")
-	obsCfg := obs.BindFlags(fs)
+	obsCfg = obs.BindFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -116,7 +122,7 @@ func dispatch(name string) int {
 	if name == "all" {
 		for i, c := range commands {
 			fmt.Printf("==================== %s ====================\n", c.name)
-			obs.Progressf("[%d/%d] %s: %s", i+1, len(commands), c.name, c.desc)
+			obsCfg.Progressf("[%d/%d] %s: %s", i+1, len(commands), c.name, c.desc)
 			sw := obs.StartTimer()
 			if err := c.run(); err != nil {
 				obs.Error("owbench experiment failed",

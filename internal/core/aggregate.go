@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"optiwise/internal/dbi"
@@ -38,7 +39,7 @@ type pendingLoop struct {
 // buildLoops fans it out across functions. Loop IDs and parents are
 // local to the function; the deterministic concatenation in buildLoops
 // rebases them.
-func (p *Profile) functionLoops(fn program.Function, threshold uint64) []pendingLoop {
+func (p *Profile) functionLoops(ctx context.Context, fn program.Function, threshold uint64) []pendingLoop {
 	sub := p.Graph.FunctionSubgraph(fn)
 	if len(sub) == 0 {
 		return nil
@@ -67,7 +68,7 @@ func (p *Profile) functionLoops(fn program.Function, threshold uint64) []pending
 		}
 	}
 
-	merged := loops.Merge(loops.Find(fg), threshold)
+	merged := loops.Merge(loops.FindCtx(ctx, fg), threshold)
 	out := make([]pendingLoop, 0, len(merged))
 	for _, l := range merged {
 		headerGi := fg.blocks[l.Header]
@@ -104,7 +105,7 @@ func (p *Profile) functionLoops(fn program.Function, threshold uint64) []pending
 // crediting — each fan out over a GOMAXPROCS-sized worker pool; see
 // parallel.go for the determinism discipline. It returns the largest
 // shard count used.
-func (p *Profile) buildLoops(sp *sampler.Profile, ep *dbi.Profile, threshold uint64) int {
+func (p *Profile) buildLoops(ctx context.Context, sp *sampler.Profile, ep *dbi.Profile, threshold uint64) int {
 	// offset -> cycles from the (attributed) instruction records.
 	cyclesAt := func(off uint64) uint64 {
 		if i, ok := p.instIndex[off]; ok {
@@ -120,7 +121,7 @@ func (p *Profile) buildLoops(sp *sampler.Profile, ep *dbi.Profile, threshold uin
 	perFn := make([][]pendingLoop, len(fns))
 	runShards(len(fns), fnShards, func(_, lo, hi int) {
 		for fi := lo; fi < hi; fi++ {
-			perFn[fi] = p.functionLoops(fns[fi], threshold)
+			perFn[fi] = p.functionLoops(ctx, fns[fi], threshold)
 		}
 	})
 	var pending []pendingLoop

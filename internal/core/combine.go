@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -41,6 +42,18 @@ type Options struct {
 
 // Combine merges the two profiling runs into the granular CPI profile.
 func Combine(prog *program.Program, sp *sampler.Profile, ep *dbi.Profile, opts Options) (*Profile, error) {
+	return CombineContext(context.Background(), prog, sp, ep, opts)
+}
+
+// CombineContext is Combine with explicit span parenting: the combine
+// span and its sub-phase spans open under the span carried by ctx via
+// obs.StartCtx, so concurrent jobs in one process (the profiling
+// service) each get a complete, correctly nested analysis subtree on
+// their own tracer. With a bare context the behaviour is identical to
+// Combine. The context is trace plumbing only — the analysis is not
+// internally cancellable (it is orders of magnitude cheaper than the
+// profiled executions).
+func CombineContext(ctx context.Context, prog *program.Program, sp *sampler.Profile, ep *dbi.Profile, opts Options) (*Profile, error) {
 	if sp.Module != ep.Module {
 		return nil, fmt.Errorf("core: module mismatch: sampling profile %q vs edge profile %q",
 			sp.Module, ep.Module)
@@ -48,10 +61,11 @@ func Combine(prog *program.Program, sp *sampler.Profile, ep *dbi.Profile, opts O
 	if err := fault.Err(fault.SiteCombine); err != nil {
 		return nil, fmt.Errorf("core: combine: %w", err)
 	}
-	combineSpan := obs.Start("combine").SetAttr("module", prog.Module)
+	combineSpan := obs.StartCtx(ctx, "combine").SetAttr("module", prog.Module)
 	defer combineSpan.End()
+	ctx = obs.ContextWithSpan(ctx, combineSpan)
 
-	cfgSpan := obs.Start("cfg_build").SetAttr("dyn_blocks", len(ep.Blocks))
+	cfgSpan := obs.StartCtx(ctx, "cfg_build").SetAttr("dyn_blocks", len(ep.Blocks))
 	graph, err := cfg.Build(prog, ep)
 	if err != nil {
 		cfgSpan.End()
@@ -75,7 +89,7 @@ func Combine(prog *program.Program, sp *sampler.Profile, ep *dbi.Profile, opts O
 
 	// --- Per-instruction: N from instrumentation, S and cycles from
 	// sampling, with optional predecessor re-attribution.
-	attrSpan := obs.Start("attribution").SetAttr("samples", len(sp.Records))
+	attrSpan := obs.StartCtx(ctx, "attribution").SetAttr("samples", len(sp.Records))
 	execCounts := ep.ExecCounts()
 	samples, cycles, misses, brmp, attrShards := p.attributeSamples(sp, opts)
 	attrSpan.SetAttr("shards", attrShards).End()
@@ -135,28 +149,33 @@ func Combine(prog *program.Program, sp *sampler.Profile, ep *dbi.Profile, opts O
 		// total: it includes cycles before the first sample.
 		p.TotalCycles = sp.UserCycles
 	}
+	// Carry the sampled run's interval telemetry (empty when disabled)
+	// so reports and exports can render the phase structure.
+	p.Intervals = sp.Intervals
+	p.IntervalWindow = sp.IntervalCycles
 	if p.TotalCycles > 0 {
 		p.IPC = float64(p.TotalInsts) / float64(p.TotalCycles)
 	}
 	obs.Counter(obs.MCombineInsts).Add(uint64(len(p.Insts)))
 	obs.Counter(obs.MUnmatchedSamples).Add(p.UnmatchedSamples)
 
-	aggSpan := obs.Start("aggregation")
-	fnSpan := obs.Start("funcs")
+	aggSpan := obs.StartCtx(ctx, "aggregation")
+	aggCtx := obs.ContextWithSpan(ctx, aggSpan)
+	fnSpan := obs.StartCtx(aggCtx, "funcs")
 	p.buildFuncs(sp, ep)
 	fnSpan.SetAttr("funcs", len(p.Funcs)).End()
-	loopSpan := obs.Start("loop_merge").SetAttr("threshold", t)
-	loopShards := p.buildLoops(sp, ep, t)
+	loopSpan := obs.StartCtx(aggCtx, "loop_merge").SetAttr("threshold", t)
+	loopShards := p.buildLoops(obs.ContextWithSpan(aggCtx, loopSpan), sp, ep, t)
 	loopSpan.SetAttr("loops", len(p.Loops)).SetAttr("shards", loopShards).End()
 	if loopShards > attrShards {
 		attrShards = loopShards
 	}
 	obs.Gauge(obs.MAnalyzeShards).Set(int64(attrShards))
 	obs.Counter(obs.MCombineLoops).Add(uint64(len(p.Loops)))
-	lineSpan := obs.Start("lines")
+	lineSpan := obs.StartCtx(aggCtx, "lines")
 	p.buildLines()
 	lineSpan.End()
-	blockSpan := obs.Start("blocks")
+	blockSpan := obs.StartCtx(aggCtx, "blocks")
 	p.buildBlocks()
 	blockSpan.End()
 	aggSpan.End()

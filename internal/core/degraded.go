@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -32,8 +33,14 @@ import (
 // are flagged as estimates by every renderer. reason records why the
 // instrumentation pass failed.
 func CombineSampleOnly(prog *program.Program, sp *sampler.Profile, opts Options, reason string) (*Profile, error) {
+	return CombineSampleOnlyContext(context.Background(), prog, sp, opts, reason)
+}
+
+// CombineSampleOnlyContext is CombineSampleOnly with explicit span
+// parenting (see CombineContext).
+func CombineSampleOnlyContext(ctx context.Context, prog *program.Program, sp *sampler.Profile, opts Options, reason string) (*Profile, error) {
 	empty := &dbi.Profile{Module: sp.Module}
-	p, err := Combine(prog, sp, empty, opts)
+	p, err := CombineContext(ctx, prog, sp, empty, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: sampling-only combine: %w", err)
 	}
@@ -72,8 +79,14 @@ func CombineSampleOnly(prog *program.Program, sp *sampler.Profile, opts Options,
 // total retired instructions so the table stays meaningful. reason
 // records why the sampling pass failed.
 func CombineCountsOnly(prog *program.Program, ep *dbi.Profile, opts Options, reason string) (*Profile, error) {
+	return CombineCountsOnlyContext(context.Background(), prog, ep, opts, reason)
+}
+
+// CombineCountsOnlyContext is CombineCountsOnly with explicit span
+// parenting (see CombineContext).
+func CombineCountsOnlyContext(ctx context.Context, prog *program.Program, ep *dbi.Profile, opts Options, reason string) (*Profile, error) {
 	empty := &sampler.Profile{Module: ep.Module}
-	p, err := Combine(prog, empty, ep, opts)
+	p, err := CombineContext(ctx, prog, empty, ep, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: counts-only combine: %w", err)
 	}

@@ -4,27 +4,34 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"optiwise/internal/ooo"
 )
 
 // Export is the serializable form of a combined profile: the record tables
 // and totals, without the program image or CFG (which downstream tools
 // reconstruct from the original binary if needed).
 type Export struct {
-	Module           string        `json:"module"`
-	TotalCycles      uint64        `json:"total_cycles"`
-	TotalInsts       uint64        `json:"total_instructions"`
-	TotalSamples     uint64        `json:"total_samples"`
-	SamplePeriod     uint64        `json:"sample_period"`
-	UnmatchedSamples uint64        `json:"unmatched_samples,omitempty"`
-	IPC              float64       `json:"ipc"`
-	Degraded         bool          `json:"degraded,omitempty"`
-	FailedPass       string        `json:"failed_pass,omitempty"`
-	DegradedReason   string        `json:"degraded_reason,omitempty"`
-	Insts            []InstRecord  `json:"instructions"`
-	Blocks           []BlockRecord `json:"blocks"`
-	Funcs            []FuncRecord  `json:"functions"`
-	Loops            []LoopRecord  `json:"loops"`
-	Lines            []LineRecord  `json:"lines"`
+	Module           string  `json:"module"`
+	TotalCycles      uint64  `json:"total_cycles"`
+	TotalInsts       uint64  `json:"total_instructions"`
+	TotalSamples     uint64  `json:"total_samples"`
+	SamplePeriod     uint64  `json:"sample_period"`
+	UnmatchedSamples uint64  `json:"unmatched_samples,omitempty"`
+	IPC              float64 `json:"ipc"`
+	Degraded         bool    `json:"degraded,omitempty"`
+	FailedPass       string  `json:"failed_pass,omitempty"`
+	DegradedReason   string  `json:"degraded_reason,omitempty"`
+	// Intervals is the opt-in cycle-windowed core telemetry stream;
+	// omitted when telemetry was disabled, keeping legacy exports
+	// byte-identical.
+	Intervals      []ooo.Interval `json:"intervals,omitempty"`
+	IntervalWindow uint64         `json:"interval_window,omitempty"`
+	Insts          []InstRecord   `json:"instructions"`
+	Blocks         []BlockRecord  `json:"blocks"`
+	Funcs          []FuncRecord   `json:"functions"`
+	Loops          []LoopRecord   `json:"loops"`
+	Lines          []LineRecord   `json:"lines"`
 }
 
 // WriteJSON serializes the profile's analysis results.
@@ -40,6 +47,8 @@ func (p *Profile) WriteJSON(w io.Writer) error {
 		Degraded:         p.Degraded,
 		FailedPass:       p.FailedPass,
 		DegradedReason:   p.DegradedReason,
+		Intervals:        p.Intervals,
+		IntervalWindow:   p.IntervalWindow,
 		Insts:            p.Insts,
 		Blocks:           p.Blocks,
 		Funcs:            p.Funcs,

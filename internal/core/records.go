@@ -13,6 +13,7 @@ package core
 import (
 	"optiwise/internal/cfg"
 	"optiwise/internal/isa"
+	"optiwise/internal/ooo"
 	"optiwise/internal/program"
 )
 
@@ -182,6 +183,13 @@ type Profile struct {
 	UnmatchedSamples uint64
 	// IPC is the whole-program instructions per cycle.
 	IPC float64
+
+	// Intervals is the opt-in cycle-windowed telemetry stream from the
+	// sampled run's simulated core (IPC, ROB occupancy, mispredict and
+	// cache-miss rates, stall causes per window); nil when telemetry was
+	// disabled. IntervalWindow is the window size that produced it.
+	Intervals      []ooo.Interval
+	IntervalWindow uint64
 
 	Insts  []InstRecord  // sorted by offset; only executed instructions
 	Blocks []BlockRecord // sorted by Cycles descending

@@ -423,6 +423,9 @@ func hashString(s string) uint64 {
 func (p *Plan) record(site string) {
 	p.fired.Add(1)
 	obs.Counter(obs.MFaultInjections).Inc()
+	// Fault activations are exactly the moments a post-mortem wants to
+	// see: mirror them into the flight recorder (no-op when disabled).
+	obs.Flight("fault", site, "", obs.F("fired", p.fired.Load()))
 	if lg := obs.ActiveLogger(); lg != nil {
 		lg.Debug("fault fired", obs.F("site", site))
 	}

@@ -5,6 +5,7 @@
 package loops
 
 import (
+	"context"
 	"sort"
 
 	"optiwise/internal/dom"
@@ -39,7 +40,16 @@ type Graph interface {
 // dominates u; its loop contains v plus all nodes that reach u without
 // passing through v.
 func Find(g Graph) []*Raw {
-	span := obs.Start("dominators").SetAttr("nodes", g.NumNodes())
+	return FindCtx(context.Background(), g)
+}
+
+// FindCtx is Find with explicit span parenting: the dominators span
+// opens under the span carried by ctx (falling back to the ambient
+// tracer), so per-function loop discovery fanned out across worker
+// shards lands under its caller's span instead of whichever span the
+// global open-span stack happens to hold.
+func FindCtx(ctx context.Context, g Graph) []*Raw {
+	span := obs.StartCtx(ctx, "dominators").SetAttr("nodes", g.NumNodes())
 	t := dom.Compute(g)
 	span.End()
 	obs.Counter(obs.MDomComputations).Inc()

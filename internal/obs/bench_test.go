@@ -49,6 +49,17 @@ func BenchmarkObsDisabledSpan(b *testing.B) {
 	}
 }
 
+// BenchmarkObsDisabledFlight measures the disabled flight-recorder
+// path: one atomic pointer load, then return. This is the price every
+// span End / log / fault site pays when no ring is installed.
+func BenchmarkObsDisabledFlight(b *testing.B) {
+	prev := SetFlightRecorder(nil)
+	defer SetFlightRecorder(prev)
+	for i := 0; i < b.N; i++ {
+		Flight("span", "noop", "")
+	}
+}
+
 // BenchmarkObsEnabledCounter prices the enabled hot path: one atomic
 // add on a prefetched handle.
 func BenchmarkObsEnabledCounter(b *testing.B) {

@@ -3,6 +3,8 @@ package obs
 import (
 	"encoding/json"
 	"flag"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -94,5 +96,101 @@ func TestConfigActivateWritesFiles(t *testing.T) {
 	}
 	if !strings.Contains(string(events), `"stage":"sample"`) {
 		t.Errorf("log file missing structured event: %s", events)
+	}
+}
+
+// parseConfig binds the obs flags on a throwaway FlagSet and parses
+// args, failing the test on parse errors.
+func parseConfig(t *testing.T, args ...string) *Config {
+	t.Helper()
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := BindFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestConfigActivateUnwritableTrace: trace files are created eagerly,
+// so a path inside a nonexistent directory fails Activate up front and
+// leaves the global instruments untouched.
+func TestConfigActivateUnwritableTrace(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "trace.json")
+	c := parseConfig(t, "-trace", bad)
+	_, err := c.Activate()
+	if err == nil {
+		t.Fatal("Activate with unwritable -trace path should fail")
+	}
+	if !strings.Contains(err.Error(), "obs: trace output") {
+		t.Errorf("error %q should identify the trace output", err)
+	}
+	if ActiveTracer() != nil || ActiveRegistry() != nil || ActiveFlight() != nil {
+		t.Error("failed Activate must not leave instruments installed")
+	}
+}
+
+// TestConfigActivateUnwritableFlightRestores: when the flight file
+// cannot be created, the tracer installed earlier in the same Activate
+// call is rolled back to whatever was active before.
+func TestConfigActivateUnwritableFlightRestores(t *testing.T) {
+	sentinel := NewTracer()
+	prev := SetTracer(sentinel)
+	t.Cleanup(func() { SetTracer(prev) })
+
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "no-such-dir", "flight.json")
+	c := parseConfig(t, "-trace", filepath.Join(dir, "trace.json"), "-flight", bad)
+	_, err := c.Activate()
+	if err == nil {
+		t.Fatal("Activate with unwritable -flight path should fail")
+	}
+	if !strings.Contains(err.Error(), "obs: flight output") {
+		t.Errorf("error %q should identify the flight output", err)
+	}
+	if ActiveTracer() != sentinel {
+		t.Error("failed Activate must restore the previously installed tracer")
+	}
+	if ActiveFlight() != nil {
+		t.Error("failed Activate must not leave a flight recorder installed")
+	}
+}
+
+// TestConfigActivateBadPprofAddr: an unbindable -pprof address fails
+// Activate and rolls back the registry it had already installed.
+func TestConfigActivateBadPprofAddr(t *testing.T) {
+	c := parseConfig(t, "-pprof", "256.256.256.256:0")
+	_, err := c.Activate()
+	if err == nil {
+		t.Fatal("Activate with unbindable -pprof addr should fail")
+	}
+	if !strings.Contains(err.Error(), "obs: pprof server") {
+		t.Errorf("error %q should identify the pprof server", err)
+	}
+	if ActiveRegistry() != nil {
+		t.Error("failed Activate must restore the previous (nil) registry")
+	}
+}
+
+// TestStartPprofServerBindsEphemeral: ":0" binds an ephemeral port and
+// the returned address serves expvar with the metrics snapshot wired in.
+func TestStartPprofServerBindsEphemeral(t *testing.T) {
+	addr, err := StartPprofServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" || strings.HasSuffix(addr, ":0") {
+		t.Fatalf("bound address %q should carry the resolved port", addr)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "optiwise_metrics") {
+		t.Errorf("/debug/vars missing optiwise_metrics snapshot:\n%.400s", body)
 	}
 }

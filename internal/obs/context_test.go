@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string // "" means error expected
+	}{
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", "4bf92f3577b34da6a3ce929d0e0e4736"},
+		{"  00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01  ", "4bf92f3577b34da6a3ce929d0e0e4736"},
+		// Future versions are accepted (forward compatibility)...
+		{"cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", "4bf92f3577b34da6a3ce929d0e0e4736"},
+		// ...except the explicitly forbidden 0xff.
+		{"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", ""},
+		// Bare 32-hex trace IDs are accepted as a convenience.
+		{"4bf92f3577b34da6a3ce929d0e0e4736", "4bf92f3577b34da6a3ce929d0e0e4736"},
+		// All-zero trace ID is invalid per spec.
+		{"00-00000000000000000000000000000000-00f067aa0ba902b7-01", ""},
+		{"00000000000000000000000000000000", ""},
+		// All-zero span ID is invalid.
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", ""},
+		// Uppercase hex is not valid in traceparent.
+		{"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", ""},
+		// Structural garbage.
+		{"", ""},
+		{"not-a-header", ""},
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7", ""},
+		{"00-4bf92f35-00f067aa0ba902b7-01", ""},
+		{"0-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", ""},
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0x", ""},
+	}
+	for _, tt := range tests {
+		got, err := ParseTraceparent(tt.in)
+		if tt.want == "" {
+			if err == nil {
+				t.Errorf("ParseTraceparent(%q) = %q, want error", tt.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseTraceparent(%q): %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseTraceparent(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNewTraceID(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		id := NewTraceID()
+		if !ValidTraceID(id) {
+			t.Fatalf("NewTraceID() = %q, not a valid trace ID", id)
+		}
+		if id != strings.ToLower(id) {
+			t.Fatalf("NewTraceID() = %q, want lowercase", id)
+		}
+		if seen[id] {
+			t.Fatalf("NewTraceID() repeated %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidTraceID(t *testing.T) {
+	if ValidTraceID("") || ValidTraceID(strings.Repeat("0", 32)) ||
+		ValidTraceID(strings.Repeat("g", 32)) || ValidTraceID(strings.Repeat("A", 32)) ||
+		ValidTraceID(strings.Repeat("a", 31)) {
+		t.Error("invalid IDs accepted")
+	}
+	if !ValidTraceID(strings.Repeat("a", 32)) || !ValidTraceID("0000000000000000000000000000000f") {
+		t.Error("valid IDs rejected")
+	}
+}
+
+// TestStartCtxParenting is the contract that lets two jobs share a
+// process: a span threaded through context parents its children even
+// when the tracer's ambient stack points elsewhere.
+func TestStartCtxParenting(t *testing.T) {
+	tr := fakeTracer()
+	root := tr.Start("root")
+	ctx := ContextWithSpan(context.Background(), root)
+
+	child := StartCtx(ctx, "child")
+	grand := StartCtx(ContextWithSpan(ctx, child), "grandchild")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("want 3 spans, got %d", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["child"].Parent != byName["root"].ID {
+		t.Errorf("child parent = %d, want root (%d)", byName["child"].Parent, byName["root"].ID)
+	}
+	if byName["grandchild"].Parent != byName["child"].ID {
+		t.Errorf("grandchild parent = %d, want child (%d)", byName["grandchild"].Parent, byName["child"].ID)
+	}
+}
+
+// TestStartCtxFallsBackToAmbient: a bare context behaves exactly like
+// plain Start against the global tracer, so call sites migrate freely.
+func TestStartCtxFallsBackToAmbient(t *testing.T) {
+	tr := NewTracer()
+	prev := SetTracer(tr)
+	defer SetTracer(prev)
+	StartCtx(context.Background(), "ambient").End()
+	StartCtx(nil, "nil-ctx").End() //nolint:staticcheck // nil context is part of the contract
+	if n := len(tr.Spans()); n != 2 {
+		t.Fatalf("want 2 ambient spans, got %d", n)
+	}
+}
+
+func TestTraceIDContext(t *testing.T) {
+	if TraceIDFromContext(context.Background()) != "" || TraceIDFromContext(nil) != "" { //nolint:staticcheck
+		t.Error("empty context should carry no trace ID")
+	}
+	ctx := ContextWithTraceID(context.Background(), "deadbeefdeadbeefdeadbeefdeadbeef")
+	if got := TraceIDFromContext(ctx); got != "deadbeefdeadbeefdeadbeefdeadbeef" {
+		t.Errorf("TraceIDFromContext = %q", got)
+	}
+}

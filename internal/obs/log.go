@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -63,10 +64,24 @@ func NewJSONLLogger(w io.Writer, min Level) *Logger {
 // human-readable, on standard error.
 func StderrLogger() *Logger { return NewTextLogger(os.Stderr, LevelWarn) }
 
-// Log writes one event. Nil-safe.
+// Log writes one event. Nil-safe. Warn-and-above events are mirrored
+// into the flight recorder (one atomic load when none is installed) so
+// a post-mortem dump carries the log lines leading up to the trigger.
 func (l *Logger) Log(level Level, msg string, attrs ...Attr) {
 	if l == nil || level < l.min {
 		return
+	}
+	if level >= LevelWarn {
+		if fr := activeFlight.Load(); fr != nil {
+			trace := ""
+			for _, a := range attrs {
+				if a.Key == "trace_id" {
+					trace, _ = a.Value.(string)
+					break
+				}
+			}
+			fr.Record("log", msg, trace, append([]Attr{F("level", level.String())}, attrs...)...)
+		}
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -133,37 +148,37 @@ func Warn(msg string, attrs ...Attr) { globalLogger().Warn(msg, attrs...) }
 // Error logs an error on the global logger.
 func Error(msg string, attrs ...Attr) { globalLogger().Error(msg, attrs...) }
 
-// --- Progress ----------------------------------------------------------
-
-// progressW, when non-nil, receives human-oriented progress lines
-// (enabled by the -progress CLI flag). Guarded by progressMu.
-var (
-	progressMu sync.Mutex
-	progressW  io.Writer
-)
-
-// EnableProgress directs Progressf lines to w (nil disables).
-func EnableProgress(w io.Writer) {
-	progressMu.Lock()
-	progressW = w
-	progressMu.Unlock()
-}
-
-// ProgressEnabled reports whether progress lines are being emitted.
-func ProgressEnabled() bool {
-	progressMu.Lock()
-	defer progressMu.Unlock()
-	return progressW != nil
-}
-
-// Progressf emits one progress line (e.g. "[3/23] 505.mcf ...") when
-// progress reporting is enabled; otherwise it is a no-op.
-func Progressf(format string, args ...any) {
-	progressMu.Lock()
-	w := progressW
-	progressMu.Unlock()
-	if w == nil {
-		return
+// stampTrace appends a trace_id attribute from ctx when one is carried
+// and the caller did not already provide one.
+func stampTrace(ctx context.Context, attrs []Attr) []Attr {
+	id := TraceIDFromContext(ctx)
+	if id == "" {
+		return attrs
 	}
-	fmt.Fprintf(w, format+"\n", args...)
+	for _, a := range attrs {
+		if a.Key == "trace_id" {
+			return attrs
+		}
+	}
+	return append(attrs, F("trace_id", id))
 }
+
+// InfoCtx logs an info event stamped with the context's trace ID.
+func InfoCtx(ctx context.Context, msg string, attrs ...Attr) {
+	globalLogger().Info(msg, stampTrace(ctx, attrs)...)
+}
+
+// WarnCtx logs a warning stamped with the context's trace ID.
+func WarnCtx(ctx context.Context, msg string, attrs ...Attr) {
+	globalLogger().Warn(msg, stampTrace(ctx, attrs)...)
+}
+
+// ErrorCtx logs an error stamped with the context's trace ID.
+func ErrorCtx(ctx context.Context, msg string, attrs ...Attr) {
+	globalLogger().Error(msg, stampTrace(ctx, attrs)...)
+}
+
+// Progress output lives on Config (see config.go): the old package
+// globals let two concurrent serve jobs interleave their progress
+// lines through one shared writer, so PR 5 moved the writer onto the
+// object that owns the flags.

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // CounterMetric is a monotonically increasing counter. The nil counter
@@ -76,16 +77,28 @@ func (g *GaugeMetric) Value() int64 {
 // Bucket 0 holds v == 0.
 const histBuckets = 65
 
+// Exemplar links one histogram bucket back to a trace that landed in
+// it — the OpenMetrics device that turns "the p99 bucket is hot" into
+// "job trace 4bf9… is why". Each bucket keeps its most recent exemplar,
+// published with a single atomic pointer store.
+type Exemplar struct {
+	Bucket   int    // log₂ bucket index
+	Value    uint64 // the observed value
+	TraceID  string
+	UnixNano int64
+}
+
 // HistogramMetric is a histogram over uint64 observations with fixed
 // log₂ bucket boundaries — cheap enough for per-sample hot paths
 // (bits.Len64 + one atomic add), expressive enough for latency and
 // weight distributions. Nil-safe like CounterMetric.
 type HistogramMetric struct {
-	name    string
-	help    string
-	buckets [histBuckets]atomic.Uint64
-	sum     atomic.Uint64
-	count   atomic.Uint64
+	name      string
+	help      string
+	buckets   [histBuckets]atomic.Uint64
+	exemplars [histBuckets]atomic.Pointer[Exemplar]
+	sum       atomic.Uint64
+	count     atomic.Uint64
 }
 
 // Observe records one observation. Nil-safe.
@@ -96,6 +109,46 @@ func (h *HistogramMetric) Observe(v uint64) {
 	h.buckets[bits.Len64(v)].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)
+}
+
+// ObserveTrace records one observation and, when traceID is non-empty,
+// stamps it as the bucket's exemplar so a slow bucket links back to an
+// offending trace. Nil-safe; with an empty traceID it is exactly
+// Observe.
+func (h *HistogramMetric) ObserveTrace(v uint64, traceID string) {
+	if h == nil {
+		return
+	}
+	b := bits.Len64(v)
+	h.buckets[b].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[b].Store(&Exemplar{
+			Bucket:   b,
+			Value:    v,
+			TraceID:  traceID,
+			UnixNano: nowNanos(),
+		})
+	}
+}
+
+// nowNanos is a test seam for exemplar timestamps.
+var nowNanos = func() int64 { return time.Now().UnixNano() }
+
+// Exemplars returns the per-bucket exemplars currently held, sorted by
+// bucket index. Nil-safe.
+func (h *HistogramMetric) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
 }
 
 // Count returns the number of observations (0 on nil).
@@ -178,6 +231,21 @@ func (r *Registry) Histogram(name string) *HistogramMetric {
 	return h
 }
 
+// CounterValues returns a snapshot of all counter values by name, used
+// by the flight recorder to log metric deltas at dump time. Nil-safe.
+func (r *Registry) CounterValues() map[string]uint64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64, len(r.counts))
+	for name, c := range r.counts {
+		out[name] = c.Value()
+	}
+	return out
+}
+
 // Well-known metric names fed by the pipeline's hot paths. Centralized
 // so exporters, dashboards, and tests agree on spelling.
 const (
@@ -227,6 +295,9 @@ const (
 	MServeJobRetries   = "optiwise_serve_job_retries_total"
 	MServeJobsDegraded = "optiwise_serve_jobs_degraded_total"
 	MProfileDegraded   = "optiwise_profile_degraded_total"
+
+	// Observability-v2 metrics (PR 5).
+	MFlightDumps = "optiwise_flight_dumps_total"
 )
 
 // CacheHits names the hit counter of one simulated cache level; the
@@ -329,6 +400,8 @@ func helpFor(name string) string {
 		return "Jobs that completed in degraded single-pass mode (cache-ineligible)."
 	case MProfileDegraded:
 		return "Profiling runs that fell back to a single-pass degraded result."
+	case MFlightDumps:
+		return "Flight-recorder dumps taken (panic, fault, degraded result, signal, or explicit request)."
 	}
 	return "OptiWISE metric " + name + "."
 }

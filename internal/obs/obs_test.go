@@ -364,18 +364,33 @@ func TestHistogramBuckets(t *testing.T) {
 
 func TestProgress(t *testing.T) {
 	var buf bytes.Buffer
-	EnableProgress(&buf)
-	defer EnableProgress(nil)
-	if !ProgressEnabled() {
+	c := &Config{}
+	c.SetProgressWriter(&buf)
+	if !c.ProgressEnabled() {
 		t.Fatal("progress should be enabled")
 	}
-	Progressf("[%d/%d] %s", 1, 23, "505.mcf")
+	c.Progressf("[%d/%d] %s", 1, 23, "505.mcf")
 	if buf.String() != "[1/23] 505.mcf\n" {
 		t.Errorf("unexpected progress output: %q", buf.String())
 	}
-	EnableProgress(nil)
-	Progressf("dropped")
+	c.SetProgressWriter(nil)
+	c.Progressf("dropped")
 	if strings.Contains(buf.String(), "dropped") {
 		t.Error("disabled progress still wrote")
+	}
+	// Two configs own independent writers: concurrent serve jobs cannot
+	// interleave progress lines through a shared global.
+	var other bytes.Buffer
+	c2 := &Config{}
+	c2.SetProgressWriter(&other)
+	c2.Progressf("elsewhere")
+	if buf.String() != "[1/23] 505.mcf\n" || other.String() != "elsewhere\n" {
+		t.Errorf("progress writers not independent: %q / %q", buf.String(), other.String())
+	}
+	// Nil config is a no-op.
+	var nilCfg *Config
+	nilCfg.Progressf("ignored")
+	if nilCfg.ProgressEnabled() {
+		t.Error("nil config reports progress enabled")
 	}
 }

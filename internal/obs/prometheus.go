@@ -5,49 +5,117 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 )
 
+// Prometheus / OpenMetrics text exposition.
+//
+// WritePrometheus renders version 0.0.4 text format; WriteOpenMetrics
+// renders the OpenMetrics superset, which additionally carries bucket
+// exemplars ("# {trace_id=...}") linking slow histogram buckets back to
+// the trace that landed there, and terminates with "# EOF". Both share
+// one family walk so the grammar rules hold for each: every family gets
+// exactly one HELP and one TYPE line, families are emitted in sorted
+// order, family names never repeat, and HELP/label values are escaped
+// per the spec.
+
+// promFamily is one metric family flattened for export.
+type promFamily struct {
+	name string
+	help string
+	typ  string // "counter" | "gauge" | "histogram"
+	c    *CounterMetric
+	g    *GaugeMetric
+	h    *HistogramMetric
+}
+
+// families snapshots the registry as a sorted, duplicate-checked family
+// list.
+func (r *Registry) families() ([]promFamily, error) {
+	r.mu.Lock()
+	fams := make([]promFamily, 0, len(r.counts)+len(r.gauges)+len(r.hists))
+	for _, c := range r.counts {
+		fams = append(fams, promFamily{name: c.name, help: c.help, typ: "counter", c: c})
+	}
+	for _, g := range r.gauges {
+		fams = append(fams, promFamily{name: g.name, help: g.help, typ: "gauge", g: g})
+	}
+	for _, h := range r.hists {
+		fams = append(fams, promFamily{name: h.name, help: h.help, typ: "histogram", h: h})
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for i := 1; i < len(fams); i++ {
+		if fams[i].name == fams[i-1].name {
+			return nil, fmt.Errorf("obs: duplicate metric family %q (%s and %s)",
+				fams[i].name, fams[i-1].typ, fams[i].typ)
+		}
+	}
+	return fams, nil
+}
+
+// escapeHelp escapes a HELP string per the exposition format: backslash
+// and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// EscapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func EscapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
 // WritePrometheus renders the registry in Prometheus text exposition
-// format (version 0.0.4): one HELP and TYPE line per family, counters
-// and gauges as single samples, histograms as cumulative log₂ buckets
-// plus _sum and _count.
+// format (version 0.0.4): one HELP and TYPE line per family, families
+// globally sorted by name, counters and gauges as single samples,
+// histograms as cumulative log₂ buckets plus _sum and _count.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics renders the registry in OpenMetrics text format:
+// the same families as WritePrometheus plus per-bucket exemplars and
+// the mandatory "# EOF" terminator.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.writeExposition(w, true)
+}
+
+func (r *Registry) writeExposition(w io.Writer, openMetrics bool) error {
 	if r == nil {
 		return fmt.Errorf("obs: no metrics registry installed")
 	}
-	r.mu.Lock()
-	counts := make([]*CounterMetric, 0, len(r.counts))
-	for _, c := range r.counts {
-		counts = append(counts, c)
+	fams, err := r.families()
+	if err != nil {
+		return err
 	}
-	gauges := make([]*GaugeMetric, 0, len(r.gauges))
-	for _, g := range r.gauges {
-		gauges = append(gauges, g)
-	}
-	hists := make([]*HistogramMetric, 0, len(r.hists))
-	for _, h := range r.hists {
-		hists = append(hists, h)
-	}
-	r.mu.Unlock()
-
-	sort.Slice(counts, func(i, j int) bool { return counts[i].name < counts[j].name })
-	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
-	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
-
-	for _, c := range counts {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
-			c.name, c.help, c.name, c.name, c.Value()); err != nil {
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
 			return err
 		}
-	}
-	for _, g := range gauges {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
-			g.name, g.help, g.name, g.name, g.Value()); err != nil {
-			return err
+		switch f.typ {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "%s %d\n", f.name, f.c.Value()); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "%s %d\n", f.name, f.g.Value()); err != nil {
+				return err
+			}
+		case "histogram":
+			if err := writePromHistogram(w, f.h, openMetrics); err != nil {
+				return err
+			}
 		}
 	}
-	for _, h := range hists {
-		if err := writePromHistogram(w, h); err != nil {
+	if openMetrics {
+		if _, err := io.WriteString(w, "# EOF\n"); err != nil {
 			return err
 		}
 	}
@@ -57,12 +125,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // writePromHistogram emits one histogram family. Bucket i counts
 // observations with bits.Len64(v) == i, so its cumulative upper bound
 // is 2^i - 1; we emit le="2^i - 1" up to the highest non-empty bucket,
-// then le="+Inf".
-func writePromHistogram(w io.Writer, h *HistogramMetric) error {
-	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
-		h.name, h.help, h.name); err != nil {
-		return err
-	}
+// then le="+Inf". In OpenMetrics mode each bucket that holds an
+// exemplar gets the "# {trace_id=...} value timestamp" suffix.
+func writePromHistogram(w io.Writer, h *HistogramMetric, openMetrics bool) error {
 	top := 0
 	for i := histBuckets - 1; i >= 0; i-- {
 		if h.buckets[i].Load() > 0 {
@@ -81,7 +146,14 @@ func writePromHistogram(w io.Writer, h *HistogramMetric) error {
 		} else {
 			le = strconv.FormatFloat(float64(1)*pow2(i)-1, 'g', -1, 64)
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", h.name, le, cum); err != nil {
+		suffix := ""
+		if openMetrics {
+			if e := h.exemplars[i].Load(); e != nil {
+				suffix = fmt.Sprintf(" # {trace_id=\"%s\"} %d %.3f",
+					EscapeLabelValue(e.TraceID), e.Value, float64(e.UnixNano)/1e9)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d%s\n", h.name, le, cum, suffix); err != nil {
 			return err
 		}
 	}

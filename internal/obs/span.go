@@ -42,10 +42,68 @@ type Tracer struct {
 	// substitute a fake.
 	clock func() time.Duration
 
-	mu    sync.Mutex
-	next  int
-	open  []*Span
-	spans []SpanData
+	mu       sync.Mutex
+	next     int
+	open     []*Span
+	spans    []SpanData
+	traceID  string
+	counters []CounterSample
+}
+
+// CounterSample is one point on a named counter track, exported as a
+// Chrome trace "C" event (a stacked counter chart row in Perfetto). The
+// interval-telemetry stream from the simulated core lands here.
+type CounterSample struct {
+	Track  string
+	TSUS   float64 // microseconds since tracer epoch
+	Values map[string]float64
+}
+
+// SetTraceID stamps the tracer with a trace identity; every exported
+// span and the Chrome trace metadata carry it. Nil-safe.
+func (t *Tracer) SetTraceID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.traceID = id
+	t.mu.Unlock()
+}
+
+// TraceID returns the tracer's trace identity, or "". Nil-safe.
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traceID
+}
+
+// AddCounter appends one sample to a named counter track. Nil-safe.
+func (t *Tracer) AddCounter(track string, tsMicros float64, values map[string]float64) {
+	if t == nil || len(values) == 0 {
+		return
+	}
+	cp := make(map[string]float64, len(values))
+	for k, v := range values {
+		cp[k] = v
+	}
+	t.mu.Lock()
+	t.counters = append(t.counters, CounterSample{Track: track, TSUS: tsMicros, Values: cp})
+	t.mu.Unlock()
+}
+
+// Counters returns a snapshot of the counter-track samples.
+func (t *Tracer) Counters() []CounterSample {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]CounterSample, len(t.counters))
+	copy(out, t.counters)
+	return out
 }
 
 // NewTracer returns a tracer whose clock starts now (monotonic).
@@ -107,6 +165,14 @@ func (s *Span) StartChild(name string) *Span {
 	return c
 }
 
+// Tracer returns the tracer the span belongs to, or nil. Nil-safe.
+func (s *Span) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tracer
+}
+
 // SetAttr attaches an attribute to the span. Nil-safe.
 func (s *Span) SetAttr(key string, value any) *Span {
 	if s == nil {
@@ -128,8 +194,8 @@ func (s *Span) End() {
 	t := s.tracer
 	now := t.clock()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if s.ended {
+		t.mu.Unlock()
 		return
 	}
 	s.ended = true
@@ -147,6 +213,16 @@ func (s *Span) End() {
 		ID:       s.id,
 		Attrs:    s.attrs,
 	})
+	trace := t.traceID
+	t.mu.Unlock()
+	// Mirror the completed span into the flight recorder (one atomic
+	// load when no recorder is installed), outside the tracer lock so
+	// the recorder can never block the tracer.
+	if fr := activeFlight.Load(); fr != nil {
+		fr.Record("span", s.name, trace,
+			F("us", float64((now-s.start).Nanoseconds())/1e3),
+			F("id", s.id))
+	}
 }
 
 // Spans returns a snapshot of the completed spans, in open order.
@@ -182,12 +258,18 @@ type chromeTrace struct {
 }
 
 // WriteChromeTrace exports the completed spans as Chrome trace-event
-// JSON, loadable in chrome://tracing and ui.perfetto.dev.
+// JSON, loadable in chrome://tracing and ui.perfetto.dev. Counter-track
+// samples (interval telemetry from the simulated core) export as "C"
+// events on pid 2 so Perfetto renders them as stacked counter rows
+// under a separate "telemetry" process; a tracer without counter
+// samples or a trace ID produces byte-identical output to PR 1.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	if t == nil {
 		return fmt.Errorf("obs: no tracer installed")
 	}
 	spans := t.Spans()
+	traceID := t.TraceID()
+	counters := t.Counters()
 	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
 	for _, s := range spans {
 		ev := chromeEvent{
@@ -204,7 +286,38 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 				ev.Args[a.Key] = a.Value
 			}
 		}
+		if traceID != "" {
+			if ev.Args == nil {
+				ev.Args = make(map[string]any, 1)
+			}
+			if _, ok := ev.Args["trace_id"]; !ok {
+				ev.Args["trace_id"] = traceID
+			}
+		}
 		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	if len(counters) > 0 {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  2,
+			Tid:  0,
+			Args: map[string]any{"name": "telemetry"},
+		})
+		for _, c := range counters {
+			vals := make(map[string]any, len(c.Values))
+			for k, v := range c.Values {
+				vals[k] = v
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: c.Track,
+				Ph:   "C",
+				Ts:   c.TSUS,
+				Pid:  2,
+				Tid:  0,
+				Args: vals,
+			})
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")

@@ -197,6 +197,10 @@ type Sim struct {
 	trueDense    []uint64
 	trueOverflow map[uint64]uint64
 
+	// iv, when non-nil, collects cycle-windowed interval telemetry
+	// (Options.IntervalCycles); nil costs the run loop one compare.
+	iv *intervalTracker
+
 	stats Stats
 	err   error
 }
@@ -229,6 +233,11 @@ type Options struct {
 	// observe — the ground truth T_{a} of §III against which real
 	// sampling accuracy is measured. Retrieve with TrueCycles.
 	TrueAttribution bool
+	// IntervalCycles, when non-zero, collects one telemetry Interval
+	// (IPC, ROB occupancy, mispredict rate, cache miss rates, stall
+	// causes) per this many cycles. Retrieve with Intervals. Zero (the
+	// default) keeps the run loop's per-cycle cost at one nil compare.
+	IntervalCycles uint64
 	// RandSeed seeds the program's SysRand generator.
 	RandSeed uint64
 }
@@ -259,6 +268,10 @@ func New(cfg Config, img *program.Image, opts Options) *Sim {
 		s.trueBase = img.TextBase
 		s.trueDense = make([]uint64, len(img.Prog.Text))
 		s.trueOverflow = make(map[uint64]uint64)
+	}
+	if opts.IntervalCycles > 0 {
+		s.iv = newIntervalTracker(opts.IntervalCycles)
+		s.iv.open(s) // snapshot the zeroed counters at cycle 0
 	}
 	if cfg.UseBimodal {
 		s.dir = branch.NewBimodal(cfg.GshareTableBits)
@@ -393,11 +406,15 @@ func (s *Sim) RunContext(ctx context.Context, maxCycles uint64) (Stats, error) {
 				s.chargeTrue(s.arch.St.PC)
 			}
 		}
+		if s.iv != nil {
+			s.iv.tick(s)
+		}
 		s.maybeSample()
 		if s.err != nil {
 			return s.stats, s.err
 		}
 	}
+	s.iv.finish(s)
 	s.stats.Cycles = s.cycle
 	s.stats.UserCycles = s.cycle - s.kernelCycles
 	return s.stats, nil

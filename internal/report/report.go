@@ -332,6 +332,15 @@ func WriteAll(w io.Writer, p *core.Profile) error {
 	if err := summaryBody(w, p); err != nil {
 		return err
 	}
+	// The phase summary renders only when the run collected interval
+	// telemetry (Options.TelemetryWindow); default profiles stay
+	// byte-identical to earlier releases.
+	if len(p.Intervals) > 0 {
+		fmt.Fprintln(w)
+		if err := phaseSummaryBody(w, p); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintln(w)
 	if err := functionTableBody(w, p); err != nil {
 		return err

@@ -54,6 +54,13 @@ type Profile struct {
 	UserCycles  uint64 `json:"user_cycles"`
 	// Instructions retired by the profiled run.
 	Instructions uint64 `json:"instructions"`
+	// Intervals is the opt-in cycle-windowed telemetry stream from the
+	// simulated core (Options.IntervalCycles); omitted when disabled so
+	// the serialized format is byte-identical to the pre-telemetry one.
+	Intervals []ooo.Interval `json:"intervals,omitempty"`
+	// IntervalCycles is the telemetry window size that produced
+	// Intervals (0 when disabled).
+	IntervalCycles uint64 `json:"interval_cycles,omitempty"`
 }
 
 // SamplesByOffset aggregates raw sample counts per module offset.
@@ -94,6 +101,9 @@ type Options struct {
 	RandSeed uint64
 	// MaxCycles bounds the run (0 = unlimited).
 	MaxCycles uint64
+	// IntervalCycles, when non-zero, collects cycle-windowed interval
+	// telemetry from the simulated core (ooo.Options.IntervalCycles).
+	IntervalCycles uint64
 }
 
 // DefaultInterruptCost approximates the cost of taking, servicing, and
@@ -135,11 +145,12 @@ func RunContext(ctx context.Context, cfg ooo.Config, prog *program.Program, opts
 		mode = ooo.SamplePrecise
 	}
 	sim := ooo.New(cfg, img, ooo.Options{
-		SamplePeriod:  opts.Period,
-		SampleJitter:  opts.Jitter,
-		SampleMode:    mode,
-		InterruptCost: opts.InterruptCost,
-		RandSeed:      opts.RandSeed,
+		SamplePeriod:   opts.Period,
+		SampleJitter:   opts.Jitter,
+		SampleMode:     mode,
+		InterruptCost:  opts.InterruptCost,
+		IntervalCycles: opts.IntervalCycles,
+		RandSeed:       opts.RandSeed,
 		OnSample: func(s ooo.Sample) {
 			off, ok := img.AbsToOff(s.PC)
 			if !ok {
@@ -167,6 +178,10 @@ func RunContext(ctx context.Context, cfg ooo.Config, prog *program.Program, opts
 	profile.TotalCycles = stats.Cycles
 	profile.UserCycles = stats.UserCycles
 	profile.Instructions = stats.Instructions
+	if opts.IntervalCycles > 0 {
+		profile.Intervals = sim.Intervals()
+		profile.IntervalCycles = opts.IntervalCycles
+	}
 	recordRunMetrics(sim, stats)
 	return profile, stats, nil
 }
@@ -203,6 +218,9 @@ const (
 	MaxStackFrames = 4096
 	// MaxOffset bounds every module offset a profile may mention.
 	MaxOffset = 1 << 40
+	// MaxIntervals caps the telemetry intervals one profile may carry;
+	// like the other limits it exists for the untrusted wire format.
+	MaxIntervals = 1 << 20
 )
 
 // Write serializes the profile (the perf.data equivalent): the JSON
@@ -330,6 +348,22 @@ func (p *Profile) Validate() error {
 	if weightSum > p.UserCycles {
 		return fmt.Errorf("sample weights sum to %d, exceeding the run's %d user cycles",
 			weightSum, p.UserCycles)
+	}
+	if len(p.Intervals) > MaxIntervals {
+		return fmt.Errorf("%d telemetry intervals exceeds limit %d",
+			len(p.Intervals), MaxIntervals)
+	}
+	if len(p.Intervals) > 0 && p.IntervalCycles == 0 {
+		return fmt.Errorf("telemetry intervals present without an interval width")
+	}
+	for i, iv := range p.Intervals {
+		if iv.Cycles == 0 {
+			return fmt.Errorf("interval %d: zero-length window", i)
+		}
+		if iv.Start > p.TotalCycles || iv.Start+iv.Cycles > p.TotalCycles {
+			return fmt.Errorf("interval %d: window [%d,%d) outside the run's %d cycles",
+				i, iv.Start, iv.Start+iv.Cycles, p.TotalCycles)
+		}
 	}
 	return nil
 }

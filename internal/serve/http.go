@@ -7,30 +7,46 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"optiwise"
 	"optiwise/internal/obs"
 )
 
-// Handler returns the service's HTTP API:
+// Handler returns the service's HTTP API. Every /v1 route is also
+// served under /api/v1 (the stable, gateway-friendly prefix):
 //
-//	POST   /v1/jobs             submit a program (see submitRequest)
-//	GET    /v1/jobs/{id}        job status
+//	POST   /v1/jobs             submit a program (see submitRequest;
+//	                            honours a traceparent request header)
+//	GET    /v1/jobs/{id}        job status (includes trace_id)
 //	GET    /v1/jobs/{id}/report rendered report once done (?kind=...)
+//	GET    /v1/jobs/{id}/trace  the job's span tree as Chrome trace JSON
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/stats            operational snapshot
 //	GET    /healthz             liveness (503 while draining)
-//	GET    /metrics             Prometheus exposition of the obs registry
+//	GET    /readyz              readiness (503 + Retry-After when the
+//	                            queue is saturated or draining)
+//	GET    /metrics             Prometheus exposition of the obs
+//	                            registry (OpenMetrics with exemplars
+//	                            when Accept asks for it)
+//	POST   /debug/flightrecorder/dump  snapshot the flight recorder
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	api := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(method+" /api/v1"+path, h)
+	}
+	api("POST", "/jobs", s.handleSubmit)
+	api("GET", "/jobs/{id}", s.handleStatus)
+	api("GET", "/jobs/{id}/report", s.handleReport)
+	api("GET", "/jobs/{id}/trace", s.handleTrace)
+	api("DELETE", "/jobs/{id}", s.handleCancel)
+	api("GET", "/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /debug/flightrecorder/dump", s.handleFlightDump)
 	return mux
 }
 
@@ -50,6 +66,9 @@ type submitRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Wait blocks the response until the job reaches a terminal state.
 	Wait bool `json:"wait,omitempty"`
+	// TraceID propagates a caller-chosen 32-hex trace identity. A
+	// traceparent request header takes precedence over this field.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // submitOptions mirrors optiwise.Options with signed integers so that
@@ -68,6 +87,10 @@ type submitOptions struct {
 	InstrASLRSeed  int64  `json:"instr_aslr_seed,omitempty"`
 	RandSeed       uint64 `json:"rand_seed,omitempty"`
 	MaxCycles      int64  `json:"max_cycles,omitempty"`
+	// TelemetryWindow enables cycle-windowed interval telemetry from the
+	// sampled run's simulated core (see optiwise.Options.TelemetryWindow);
+	// the stream rides on the JSON export and the job's Chrome trace.
+	TelemetryWindow int64 `json:"telemetry_window,omitempty"`
 	// AllowDegraded opts this job into single-pass (degraded) results
 	// when exactly one profiling pass fails. Degraded results are
 	// flagged in the job status and never cached.
@@ -90,6 +113,8 @@ func (o *submitOptions) toOptions() (optiwise.Options, error) {
 		return opts, fmt.Errorf("loop threshold must be non-negative, got %d", o.LoopThreshold)
 	case o.MaxCycles < 0:
 		return opts, fmt.Errorf("max cycles must be non-negative, got %d", o.MaxCycles)
+	case o.TelemetryWindow < 0:
+		return opts, fmt.Errorf("telemetry window must be non-negative, got %d", o.TelemetryWindow)
 	}
 	opts.SamplePeriod = uint64(o.SamplePeriod)
 	opts.InterruptCost = uint64(o.InterruptCost)
@@ -102,6 +127,7 @@ func (o *submitOptions) toOptions() (optiwise.Options, error) {
 	opts.InstrASLRSeed = o.InstrASLRSeed
 	opts.RandSeed = o.RandSeed
 	opts.MaxCycles = uint64(o.MaxCycles)
+	opts.TelemetryWindow = uint64(o.TelemetryWindow)
 	opts.AllowDegraded = o.AllowDegraded
 	switch o.Attribution {
 	case "", "auto":
@@ -155,7 +181,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("timeout_ms must be non-negative, got %d", req.TimeoutMS))
 		return
 	}
-	job, err := s.Submit(prog, opts, time.Duration(req.TimeoutMS)*time.Millisecond)
+	traceID := strings.TrimSpace(req.TraceID)
+	if h := r.Header.Get("traceparent"); h != "" {
+		tid, err := obs.ParseTraceparent(h)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid traceparent header: "+err.Error())
+			return
+		}
+		traceID = tid
+	}
+	job, err := s.SubmitTraced(prog, opts, time.Duration(req.TimeoutMS)*time.Millisecond, traceID)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		s.writeBusy(w, http.StatusTooManyRequests, "job queue is full")
@@ -167,6 +202,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Echo the job's trace identity back so callers that did not choose
+	// one can still correlate logs, metrics exemplars, and the
+	// /jobs/{id}/trace export.
+	w.Header().Set("traceparent", "00-"+job.TraceID+"-0000000000000001-01")
 	if req.Wait {
 		select {
 		case <-job.Done():
@@ -315,11 +354,75 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleTrace serves the job's span tree as Chrome trace JSON
+// (chrome://tracing / Perfetto "Open trace file"). A job whose result
+// was served from the cache never executed, so it has no trace; that
+// and not-yet-started jobs answer 409 with a descriptive error.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	var buf bytes.Buffer
+	if err := job.WriteTrace(&buf); err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes()) //nolint:errcheck // client went away
+}
+
+// handleReady answers readiness probes: 200 while the server is
+// accepting work, 503 + Retry-After once the queue is saturated or the
+// server is draining. Load balancers use this to shed traffic toward
+// less loaded replicas before submits start bouncing off ErrQueueFull.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	saturated := s.cfg.QueueDepth > 0 && st.QueueDepth >= s.cfg.QueueDepth
+	switch {
+	case st.Draining:
+		s.writeBusy(w, http.StatusServiceUnavailable, "server is draining")
+	case saturated:
+		s.writeBusy(w, http.StatusServiceUnavailable, "job queue is saturated")
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":         "ready",
+			"queue_depth":    st.QueueDepth,
+			"queue_capacity": s.cfg.QueueDepth,
+		})
+	}
+}
+
+// handleFlightDump snapshots the flight recorder on demand and returns
+// the dump as JSON. The snapshot is also retained in the server's
+// recent-dump ring (and written to FlightDumpDir when configured),
+// exactly as automatic panic/failure dumps are.
+func (s *Server) handleFlightDump(w http.ResponseWriter, _ *http.Request) {
+	d, ok := s.dumpFlight("manual", "")
+	if !ok {
+		writeError(w, http.StatusConflict,
+			"no flight recorder installed (start the server with a flight recorder enabled)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	d.WriteJSON(w) //nolint:errcheck // client went away
+}
+
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	reg := obs.ActiveRegistry()
 	if reg == nil {
 		writeError(w, http.StatusNotFound,
 			"metrics registry inactive (start the server with metrics enabled)")
+		return
+	}
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", openMetricsContentType)
+		reg.WriteOpenMetrics(w) //nolint:errcheck // client went away
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -4,11 +4,14 @@ import (
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
 	"optiwise"
+	"optiwise/internal/obs"
 )
 
 // State is a job's lifecycle position.
@@ -37,6 +40,12 @@ type Job struct {
 	Digest  string
 	Module  string
 	Machine string
+	// TraceID is the job's distributed-trace identity: either the ID the
+	// client propagated in its traceparent header, or one minted at
+	// submission. It is stamped on every span, warning log line, flight
+	// record, and latency exemplar the execution produces, and returned
+	// in the job status so clients can correlate.
+	TraceID string
 
 	mu        sync.Mutex
 	state     State
@@ -50,6 +59,7 @@ type Job struct {
 	finished  time.Time
 	timer     *time.Timer
 	group     *group
+	tracer    *obs.Tracer
 	done      chan struct{}
 }
 
@@ -63,6 +73,8 @@ type JobStatus struct {
 	// Retries counts the transient-failure re-executions the job's
 	// group needed before its final outcome.
 	Retries int `json:"retries,omitempty"`
+	// TraceID is the job's distributed-trace identity (see Job.TraceID).
+	TraceID string `json:"trace_id,omitempty"`
 	// Degraded marks a single-pass result (Options.AllowDegraded):
 	// FailedPass names the pass whose data is missing.
 	Degraded   bool       `json:"degraded,omitempty"`
@@ -76,12 +88,16 @@ type JobStatus struct {
 	DurationMS int64      `json:"duration_ms,omitempty"`
 }
 
-func newJob(digest, module, machine string) *Job {
+func newJob(digest, module, machine, traceID string) *Job {
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
 	return &Job{
 		ID:        newJobID(),
 		Digest:    digest,
 		Module:    module,
 		Machine:   machine,
+		TraceID:   traceID,
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
@@ -113,6 +129,7 @@ func (j *Job) Status() JobStatus {
 		Machine:   j.Machine,
 		Digest:    j.Digest,
 		Retries:   j.retries,
+		TraceID:   j.TraceID,
 		Submitted: j.submitted,
 	}
 	if j.result != nil && j.result.Degraded {
@@ -140,6 +157,33 @@ func (j *Job) Result() (*optiwise.Result, State, string) {
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// setTracer attaches the execution's per-job tracer; idempotent.
+func (j *Job) setTracer(tr *obs.Tracer) {
+	j.mu.Lock()
+	j.tracer = tr
+	j.mu.Unlock()
+}
+
+// WriteTrace exports the job's span tree (and any interval-telemetry
+// counter tracks) as Chrome trace-event JSON, loadable in
+// chrome://tracing and ui.perfetto.dev. The trace belongs to the
+// execution that produced (or is producing) the job's result; jobs
+// served straight from the result cache never executed, so they carry
+// no trace.
+func (j *Job) WriteTrace(w io.Writer) error {
+	j.mu.Lock()
+	tr := j.tracer
+	cached := j.cached
+	j.mu.Unlock()
+	if tr == nil {
+		if cached {
+			return errors.New("serve: no trace recorded: result served from cache without executing")
+		}
+		return errors.New("serve: no trace recorded yet: execution has not started")
+	}
+	return tr.WriteChromeTrace(w)
+}
 
 // markRunning transitions queued → running (no-op otherwise).
 func (j *Job) markRunning(at time.Time) {
@@ -241,16 +285,21 @@ type group struct {
 	key  string
 	prog *optiwise.Program
 	opts optiwise.Options
+	// traceID is the execution's trace identity: the leader's. Coalesced
+	// members keep their own submitted IDs in their status, but the spans
+	// of the single shared execution are stamped with the leader's.
+	traceID string
 
 	mu       sync.Mutex
 	members  []*Job
 	running  bool
 	finished bool
-	cancel   func() // set once a worker starts the execution
+	cancel   func()      // set once a worker starts the execution
+	tracer   *obs.Tracer // set once a worker starts the execution
 }
 
 func newGroup(key string, prog *optiwise.Program, opts optiwise.Options, leader *Job) *group {
-	g := &group{key: key, prog: prog, opts: opts, members: []*Job{leader}}
+	g := &group{key: key, prog: prog, opts: opts, traceID: leader.TraceID, members: []*Job{leader}}
 	leader.setGroup(g)
 	return g
 }
@@ -266,10 +315,26 @@ func (g *group) add(j *Job) bool {
 	}
 	g.members = append(g.members, j)
 	j.setGroup(g)
+	if g.tracer != nil {
+		j.setTracer(g.tracer)
+	}
 	if g.running {
 		j.markRunning(time.Now())
 	}
 	return true
+}
+
+// setTracer records the execution's tracer and fans it out to the
+// current members so their /trace endpoint works as soon as the
+// execution starts.
+func (g *group) setTracer(tr *obs.Tracer) {
+	g.mu.Lock()
+	g.tracer = tr
+	members := append([]*Job(nil), g.members...)
+	g.mu.Unlock()
+	for _, j := range members {
+		j.setTracer(tr)
+	}
 }
 
 func (j *Job) setGroup(g *group) {
@@ -341,10 +406,10 @@ func jobKey(prog *optiwise.Program, opts optiwise.Options) (string, error) {
 	// geometry.
 	fmt.Fprintf(h, "|machine=%#v", opts.Machine)
 	fmt.Fprintf(h,
-		"|period=%d|intcost=%d|precise=%t|jitter=%t|nostack=%t|attr=%d|unweighted=%t|T=%d|saslr=%d|iaslr=%d|seed=%d|maxcycles=%d",
+		"|period=%d|intcost=%d|precise=%t|jitter=%t|nostack=%t|attr=%d|unweighted=%t|T=%d|saslr=%d|iaslr=%d|seed=%d|maxcycles=%d|telemetry=%d",
 		opts.SamplePeriod, opts.InterruptCost, opts.Precise, opts.SampleJitter,
 		opts.DisableStackProfiling, opts.Attribution, opts.Unweighted,
 		opts.LoopThreshold, opts.SampleASLRSeed, opts.InstrASLRSeed,
-		opts.RandSeed, opts.MaxCycles)
+		opts.RandSeed, opts.MaxCycles, opts.TelemetryWindow)
 	return hex.EncodeToString(h.Sum(nil)), nil
 }

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -82,7 +84,23 @@ type Config struct {
 	// min(base << (n-1), max) with ±50% jitter (defaults 50ms and 1s).
 	RetryBaseDelay time.Duration
 	RetryMaxDelay  time.Duration
+	// FlightDumpDir, when set, makes the server write every flight-
+	// recorder dump (worker panics, failed jobs, degraded results,
+	// manual POST /debug/flightrecorder/dump) as a timestamped JSON file
+	// into this directory, in addition to retaining the most recent
+	// dumps in memory. Setting it ensures a process-global flight
+	// recorder is installed.
+	FlightDumpDir string
+	// FlightRecorderSize is the flight-recorder ring capacity to ensure
+	// at construction (rounded up to a power of two). 0 installs the
+	// default-sized recorder only when FlightDumpDir is set; <0 never
+	// installs one (dumps are then empty unless the embedding process
+	// installed a recorder itself).
+	FlightRecorderSize int
 }
+
+// maxRetainedDumps bounds the in-memory flight-dump history.
+const maxRetainedDumps = 8
 
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
@@ -151,11 +169,18 @@ type Server struct {
 	stop      chan struct{}
 	stopOnce  sync.Once
 	wg        sync.WaitGroup
+
+	// dumpMu guards the retained flight-dump history (newest last).
+	dumpMu sync.Mutex
+	dumps  []obs.FlightDump
 }
 
 // New builds a Server; call Start to launch its workers.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.FlightRecorderSize > 0 || (cfg.FlightRecorderSize == 0 && cfg.FlightDumpDir != "") {
+		obs.EnsureFlightRecorder(cfg.FlightRecorderSize)
+	}
 	return &Server{
 		cfg:     cfg,
 		queue:   make(chan *group, cfg.QueueDepth),
@@ -202,8 +227,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // immediately Done when the result cache already holds the profile;
 // otherwise it either coalesces onto an identical in-flight execution
 // or occupies a fresh queue slot. timeout bounds the job end to end
-// (0 selects Config.DefaultTimeout).
+// (0 selects Config.DefaultTimeout). The job's trace ID is minted
+// here; use SubmitTraced to propagate a client-supplied one.
 func (s *Server) Submit(prog *optiwise.Program, opts optiwise.Options, timeout time.Duration) (*Job, error) {
+	return s.SubmitTraced(prog, opts, timeout, "")
+}
+
+// SubmitTraced is Submit with an explicit trace identity: traceID (a
+// 32-hex W3C trace ID, typically extracted from a traceparent header
+// via obs.ParseTraceparent) becomes the job's TraceID, stamped on every
+// span, warning log, flight record, and latency exemplar the execution
+// produces. An empty traceID mints a fresh one; a malformed one is
+// rejected rather than silently replaced.
+func (s *Server) SubmitTraced(prog *optiwise.Program, opts optiwise.Options, timeout time.Duration, traceID string) (*Job, error) {
+	if traceID != "" && !obs.ValidTraceID(traceID) {
+		return nil, fmt.Errorf("serve: malformed trace ID %q (want 32 lowercase hex digits, non-zero)", traceID)
+	}
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -222,7 +261,7 @@ func (s *Server) Submit(prog *optiwise.Program, opts optiwise.Options, timeout t
 	if err != nil {
 		return nil, err
 	}
-	j := newJob(key, prog.Module(), opts.Machine.Name)
+	j := newJob(key, prog.Module(), opts.Machine.Name, traceID)
 
 	// Fast path: the cache already holds this exact profile.
 	if res, ok := s.cacheGet(key); ok {
@@ -366,9 +405,17 @@ func (s *Server) runGroup(g *group) {
 		s.dropGroup(g)
 		return
 	}
-	span := obs.Start("serve.job")
+	// Every execution gets its own tracer, stamped with the group's
+	// trace identity and parented through the context, so concurrent
+	// jobs never interleave on the global ambient span stack and
+	// GET /v1/jobs/{id}/trace exports exactly this job's span tree.
+	tracer := obs.NewTracer()
+	tracer.SetTraceID(g.traceID)
+	g.setTracer(tracer)
+	span := tracer.Start("serve.job")
 	span.SetAttr("module", g.prog.Module())
 	span.SetAttr("digest", shortDigest(g.key))
+	runCtx := obs.ContextWithTraceID(obs.ContextWithSpan(ctx, span), g.traceID)
 	s.inflight.Add(1)
 	s.metrics.inflight.Set(s.inflight.Load())
 
@@ -376,7 +423,7 @@ func (s *Server) runGroup(g *group) {
 	var err error
 	attempts := 0
 	for {
-		res, err = s.executeOnce(ctx, g)
+		res, err = s.executeOnce(runCtx, g)
 		if err == nil || ctx.Err() != nil ||
 			attempts >= s.cfg.RetryBudget || !transient(err) {
 			break
@@ -408,6 +455,15 @@ func (s *Server) runGroup(g *group) {
 		s.degradeds.Add(1)
 		s.metrics.degraded.Inc()
 	}
+	// A failed or degraded execution snapshots the flight recorder: the
+	// dump carries the job's trace ID plus the spans, warnings, fault
+	// activations, and metric deltas leading up to the outcome.
+	switch {
+	case err != nil && ctx.Err() == nil:
+		s.dumpFlight("job_failed", g.traceID)
+	case err == nil && res != nil && res.Degraded:
+		s.dumpFlight("degraded_result", g.traceID)
+	}
 	s.dropGroup(g)
 	members := g.end()
 	errMsg := ""
@@ -427,8 +483,86 @@ func (s *Server) runGroup(g *group) {
 		j.mu.Lock()
 		lat := j.finished.Sub(j.submitted)
 		j.mu.Unlock()
-		s.metrics.latencyUS.Observe(uint64(lat.Microseconds()))
+		// The exemplar links a slow latency bucket back to this trace.
+		s.metrics.latencyUS.ObserveTrace(uint64(lat.Microseconds()), j.TraceID)
 	}
+}
+
+// dumpFlight snapshots the process-global flight recorder (when one is
+// installed): metric deltas are folded in first so the dump carries the
+// counter movement since the previous dump, the dump joins the retained
+// in-memory history, and — when Config.FlightDumpDir is set — it is
+// also written as a timestamped JSON file. Returns the dump and whether
+// a recorder was installed.
+func (s *Server) dumpFlight(reason, trace string) (obs.FlightDump, bool) {
+	fr := obs.ActiveFlight()
+	if fr == nil {
+		return obs.FlightDump{}, false
+	}
+	fr.RecordMetricDeltas(obs.ActiveRegistry())
+	d := fr.Dump(reason, trace)
+	obs.Counter(obs.MFlightDumps).Inc()
+	s.dumpMu.Lock()
+	s.dumps = append(s.dumps, d)
+	if len(s.dumps) > maxRetainedDumps {
+		s.dumps = s.dumps[len(s.dumps)-maxRetainedDumps:]
+	}
+	s.dumpMu.Unlock()
+	if s.cfg.FlightDumpDir != "" {
+		s.writeDumpFile(d)
+	}
+	return d, true
+}
+
+// DumpFlight snapshots the flight recorder on demand (see dumpFlight):
+// the operator-facing entry point behind POST /debug/flightrecorder/dump
+// and the serve command's SIGQUIT handler. Returns false when no flight
+// recorder is installed.
+func (s *Server) DumpFlight(reason string) (obs.FlightDump, bool) {
+	return s.dumpFlight(reason, "")
+}
+
+// Dumps returns the retained flight-dump history, oldest first.
+func (s *Server) Dumps() []obs.FlightDump {
+	s.dumpMu.Lock()
+	defer s.dumpMu.Unlock()
+	out := make([]obs.FlightDump, len(s.dumps))
+	copy(out, s.dumps)
+	return out
+}
+
+// writeDumpFile persists one dump into Config.FlightDumpDir. Failures
+// are logged, never fatal: the dump still lives in the in-memory
+// history and losing a file must not fail the job that triggered it.
+func (s *Server) writeDumpFile(d obs.FlightDump) {
+	name := fmt.Sprintf("flight-%s-%s.json",
+		d.TakenAt.Format("20060102T150405.000000000"), sanitizeReason(d.Reason))
+	path := filepath.Join(s.cfg.FlightDumpDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		obs.Warn("serve: flight dump write failed", obs.F("path", path), obs.F("err", err.Error()))
+		return
+	}
+	defer f.Close()
+	if err := d.WriteJSON(f); err != nil {
+		obs.Warn("serve: flight dump write failed", obs.F("path", path), obs.F("err", err.Error()))
+	}
+}
+
+// sanitizeReason makes a dump reason filename-safe.
+func sanitizeReason(reason string) string {
+	out := []byte(reason)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			out[i] = '-'
+		}
+	}
+	if len(out) == 0 {
+		return "dump"
+	}
+	return string(out)
 }
 
 // executeOnce runs the pipeline once for g, converting any escaped
@@ -443,10 +577,14 @@ func (s *Server) executeOnce(ctx context.Context, g *group) (res *optiwise.Resul
 			s.panics.Add(1)
 			s.metrics.workerPanics.Inc()
 			stack := debug.Stack()
+			trace := obs.TraceIDFromContext(ctx)
 			if lg := obs.ActiveLogger(); lg != nil {
 				lg.Error("serve: worker panic recovered",
-					obs.F("digest", shortDigest(g.key)), obs.F("panic", fmt.Sprint(v)))
+					obs.F("digest", shortDigest(g.key)), obs.F("panic", fmt.Sprint(v)),
+					obs.F("trace_id", trace))
 			}
+			obs.Flight("mark", "worker_panic", trace,
+				obs.F("digest", shortDigest(g.key)), obs.F("panic", fmt.Sprint(v)))
 			err = &workerPanicError{value: v, stack: stack}
 			res = nil
 		}

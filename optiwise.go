@@ -208,6 +208,15 @@ type Options struct {
 	// either way; Sequential exists for debugging, single-core hosts,
 	// and the equivalence tests that prove that determinism claim.
 	Sequential bool
+	// TelemetryWindow, when non-zero, collects cycle-windowed interval
+	// telemetry from the sampled run's simulated core: one record of
+	// IPC, ROB occupancy, branch-mispredict rate, per-level cache miss
+	// rate, and stall-cause breakdown per this many cycles. The stream
+	// rides on the Result (Result.Intervals), is rendered as a phase
+	// summary in the text report, and exports as Chrome-trace counter
+	// tracks. Zero (the default) disables collection entirely; the
+	// simulator then pays one nil compare per cycle.
+	TelemetryWindow uint64
 	// AllowDegraded opts into partial results: when exactly one of the
 	// two profiling passes fails (for a reason other than the caller's
 	// own cancellation), ProfileContext returns a Result with Degraded
@@ -272,6 +281,11 @@ const (
 	maxInterruptCost = 1 << 24
 	maxLoopThreshold = 1 << 20
 	maxMaxCycles     = uint64(1) << 62
+	// Telemetry windows below this would make the interval stream rival
+	// the profile itself in size (one record per window); windows above
+	// the max are indistinguishable from "one interval for the run".
+	minTelemetryWindow = 64
+	maxTelemetryWindow = uint64(1) << 40
 )
 
 // Validate reports descriptive errors for option values that fill()
@@ -309,6 +323,15 @@ func (o Options) Validate() error {
 	if o.MaxCycles > maxMaxCycles {
 		return fmt.Errorf("optiwise: max cycles %d would overflow cycle arithmetic (maximum 2^62)",
 			o.MaxCycles)
+	}
+	if o.TelemetryWindow != 0 {
+		if o.TelemetryWindow < minTelemetryWindow {
+			return fmt.Errorf("optiwise: telemetry window %d below minimum %d (the interval stream would dwarf the profile)",
+				o.TelemetryWindow, minTelemetryWindow)
+		}
+		if o.TelemetryWindow > maxTelemetryWindow {
+			return fmt.Errorf("optiwise: telemetry window %d exceeds maximum 2^40", o.TelemetryWindow)
+		}
 	}
 	if o.FaultSpec != "" {
 		if _, err := fault.Parse(o.FaultSpec); err != nil {
@@ -359,8 +382,12 @@ func ProfileContext(ctx context.Context, prog *Program, opts Options) (*Result, 
 			return nil, err
 		}
 	}
-	span := obs.Start("profile").SetAttr("module", prog.Module())
+	span := obs.StartCtx(ctx, "profile").SetAttr("module", prog.Module())
 	defer span.End()
+	// Downstream stages (analyze, degraded analyze) parent under this
+	// span via the context rather than the tracer's ambient stack, so
+	// concurrent jobs in one process keep their lineages separate.
+	ctx = obs.ContextWithSpan(ctx, span)
 	sp, ep, sampleErr, instrErr := runPasses(ctx, prog, opts, span)
 	if sampleErr == nil && instrErr == nil {
 		return AnalyzeContext(ctx, prog, sp, ep, opts)
@@ -417,19 +444,24 @@ func analyzeDegraded(ctx context.Context, prog *Program, sp *SampleProfile, ep *
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("optiwise: analyze canceled: %w", err)
 	}
-	span := obs.Start("analyze_degraded").SetAttr("module", prog.Module())
+	span := obs.StartCtx(ctx, "analyze_degraded").SetAttr("module", prog.Module())
 	defer span.End()
 	copts := core.Options{
 		Attribution:   opts.Attribution,
 		Unweighted:    opts.Unweighted,
 		LoopThreshold: opts.LoopThreshold,
 	}
+	ctx = obs.ContextWithSpan(ctx, span)
 	if sp != nil {
 		span.SetAttr("failed_pass", core.PassInstrumentation)
-		return core.CombineSampleOnly(prog.prog, sp, copts, failure.Error())
+		res, err := core.CombineSampleOnlyContext(ctx, prog.prog, sp, copts, failure.Error())
+		if err == nil {
+			emitIntervalCounters(span, res)
+		}
+		return res, err
 	}
 	span.SetAttr("failed_pass", core.PassSampling)
-	return core.CombineCountsOnly(prog.prog, ep, copts, failure.Error())
+	return core.CombineCountsOnlyContext(ctx, prog.prog, ep, copts, failure.Error())
 }
 
 // runPasses executes the sampling and instrumentation passes, either
@@ -570,7 +602,7 @@ func SampleOnly(prog *Program, opts Options) (*SampleProfile, ooo.Stats, error) 
 // ProfileContext).
 func SampleOnlyContext(ctx context.Context, prog *Program, opts Options) (*SampleProfile, ooo.Stats, error) {
 	opts.fill()
-	span := obs.Start("sample").
+	span := obs.StartCtx(ctx, "sample").
 		SetAttr("module", prog.Module()).
 		SetAttr("period", opts.SamplePeriod)
 	defer span.End()
@@ -583,13 +615,14 @@ func SampleOnlyContext(ctx context.Context, prog *Program, opts Options) (*Sampl
 // filled.
 func samplePass(ctx context.Context, prog *Program, opts Options) (*SampleProfile, ooo.Stats, error) {
 	return sampler.RunContext(ctx, opts.Machine, prog.prog, sampler.Options{
-		Period:        opts.SamplePeriod,
-		InterruptCost: opts.InterruptCost,
-		Precise:       opts.Precise,
-		Jitter:        opts.SampleJitter,
-		ASLRSeed:      opts.SampleASLRSeed,
-		RandSeed:      opts.RandSeed,
-		MaxCycles:     opts.MaxCycles,
+		Period:         opts.SamplePeriod,
+		InterruptCost:  opts.InterruptCost,
+		Precise:        opts.Precise,
+		Jitter:         opts.SampleJitter,
+		ASLRSeed:       opts.SampleASLRSeed,
+		RandSeed:       opts.RandSeed,
+		MaxCycles:      opts.MaxCycles,
+		IntervalCycles: opts.TelemetryWindow,
 	})
 }
 
@@ -603,7 +636,7 @@ func InstrumentOnly(prog *Program, opts Options) (*EdgeProfile, error) {
 // (see ProfileContext).
 func InstrumentOnlyContext(ctx context.Context, prog *Program, opts Options) (*EdgeProfile, error) {
 	opts.fill()
-	span := obs.Start("instrument").SetAttr("module", prog.Module())
+	span := obs.StartCtx(ctx, "instrument").SetAttr("module", prog.Module())
 	defer span.End()
 	return instrumentPass(ctx, prog, opts)
 }
@@ -632,13 +665,53 @@ func AnalyzeContext(ctx context.Context, prog *Program, sp *SampleProfile, ep *E
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("optiwise: analyze canceled: %w", err)
 	}
-	span := obs.Start("analyze").SetAttr("module", prog.Module())
+	span := obs.StartCtx(ctx, "analyze").SetAttr("module", prog.Module())
 	defer span.End()
-	return core.Combine(prog.prog, sp, ep, core.Options{
+	res, err := core.CombineContext(obs.ContextWithSpan(ctx, span), prog.prog, sp, ep, core.Options{
 		Attribution:   opts.Attribution,
 		Unweighted:    opts.Unweighted,
 		LoopThreshold: opts.LoopThreshold,
 	})
+	if err == nil {
+		emitIntervalCounters(span, res)
+	}
+	return res, err
+}
+
+// emitIntervalCounters exports the interval-telemetry stream (when the
+// run collected one) as Chrome-trace counter tracks on the span's
+// tracer, so a job trace opened in Perfetto shows the simulated core's
+// phase behaviour as stacked counter rows alongside the pipeline spans.
+// The counter timeline is simulated time — one microsecond per thousand
+// simulated cycles — on its own process track, so it never perturbs the
+// wall-clock span timeline. With telemetry disabled (no intervals) this
+// is a nil check and the trace stays byte-identical to PR 1.
+func emitIntervalCounters(span *obs.Span, res *Result) {
+	t := span.Tracer()
+	if t == nil || res == nil || len(res.Intervals) == 0 {
+		return
+	}
+	for _, iv := range res.Intervals {
+		ts := float64(iv.Start) / 1e3
+		t.AddCounter("sim ipc", ts, map[string]float64{"ipc": iv.IPC})
+		t.AddCounter("sim rob_occupancy", ts, map[string]float64{"slots": iv.ROBOccupancy})
+		t.AddCounter("sim mispredict_rate", ts, map[string]float64{"rate": iv.MispredictRate})
+		if len(iv.Cache) > 0 {
+			vals := make(map[string]float64, len(iv.Cache))
+			for _, lv := range iv.Cache {
+				vals[lv.Level] = lv.Rate
+			}
+			t.AddCounter("sim cache_miss_rate", ts, vals)
+		}
+		t.AddCounter("sim stalls", ts, map[string]float64{
+			"commit":       float64(iv.Stalls.Commit),
+			"frontend":     float64(iv.Stalls.Frontend),
+			"memory":       float64(iv.Stalls.Memory),
+			"store_buffer": float64(iv.Stalls.StoreBuffer),
+			"execute":      float64(iv.Stalls.Execute),
+			"other":        float64(iv.Stalls.Other),
+		})
+	}
 }
 
 // WriteReport renders the full human-readable report (summary, function
