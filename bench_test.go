@@ -474,3 +474,45 @@ func BenchmarkCombine(b *testing.B) {
 		}
 	}
 }
+
+// --- Streaming windowed profiling ----------------------------------------
+
+// BenchmarkStreamOff prices the streaming-disabled pipeline: with
+// StreamWindow zero, the sampling run loop pays one nil compare per
+// cycle and the DBI run loop one per block. The benchgate's pinned set
+// (Fig1/Table1/CaseMCF) runs this same disabled path, so any cost
+// beyond a predictable branch shows up as a gated regression there.
+func BenchmarkStreamOff(b *testing.B) {
+	prog := mustProgram(b, Fig2Program)
+	opts := Options{SamplePeriod: 2000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Profile(prog, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamOn prices enabled streaming end to end: window
+// slicing, increment hand-off, and the incremental combine. Compare
+// with BenchmarkStreamOff for the marginal cost per emitted window.
+func BenchmarkStreamOn(b *testing.B) {
+	prog := mustProgram(b, Fig2Program)
+	var windows int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := Options{SamplePeriod: 2000, StreamWindow: 4096}
+		comb := NewStreamCombiner(prog, opts)
+		opts.OnIncrement = func(inc Increment) {
+			if err := comb.Add(inc); err != nil {
+				b.Error(err)
+			}
+		}
+		if _, err := Profile(prog, opts); err != nil {
+			b.Fatal(err)
+		}
+		snap := comb.Snapshot()
+		windows = len(snap.SampleWindows) + len(snap.EdgeWindows)
+	}
+	b.ReportMetric(float64(windows), "windows")
+}

@@ -1,19 +1,38 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
-	"sort"
 
 	"optiwise"
+	"optiwise/internal/core"
+	"optiwise/internal/diff"
+	"optiwise/internal/report"
 )
 
-// cmdCompare profiles two versions of a program (e.g. baseline and
-// optimized source) on the same machine and prints the per-function cycle
-// deltas plus the overall speedup — the paper's case-study measurement
-// loop as one command.
+// cmdCompare runs the differential CPI analysis between two versions of
+// a program: per-function, per-loop, and per-basic-block CPI deltas
+// with a sampling-noise significance test, rendered as text or JSON.
+//
+// Each argument is either a program (assembly source or OWX image),
+// which compare profiles with the shared flags, or a combined-profile
+// JSON export written by `optiwise run -json` (sniffed by the leading
+// '{'). Mixing is allowed — profile yesterday's export against today's
+// source. Exports collected under different machines or options are
+// refused with an error naming the mismatch; profiles collected by this
+// invocation always share the flag set, and the two sources are
+// assembled under one module name (versions of the same program).
+//
+// With -threshold set, a significant CPI regression at or past the
+// threshold makes the command fail (nonzero exit) — the CI regression
+// gate.
 func cmdCompare(args []string) error {
 	c := newFlags("compare")
+	threshold := c.fs.Float64("threshold", 0, "relative CPI regression gate (0.10 = 10%): exit nonzero when a significant regression meets it (0 = report only)")
+	sigma := c.fs.Float64("sigma", 2, "significance band width in standard errors")
+	jsonOut := c.fs.Bool("json", false, "emit the diff report as JSON")
 	if err := c.fs.Parse(args); err != nil {
 		return err
 	}
@@ -22,78 +41,74 @@ func cmdCompare(args []string) error {
 		return err
 	}
 	if c.fs.NArg() != 2 {
-		return fmt.Errorf("compare wants exactly two program files")
+		return fmt.Errorf("compare wants exactly two inputs (program files or JSON exports)")
 	}
-	load := func(path string) (*optiwise.Program, *optiwise.Result, optiwise.RunResult, error) {
-		src, err := os.ReadFile(path)
+	// Versions of one program diff under one module name: the first
+	// profiled input's (or first export's) module wins.
+	module := ""
+	load := func(path string) (*core.Export, error) {
+		data, err := os.ReadFile(path)
 		if err != nil {
-			return nil, nil, optiwise.RunResult{}, err
+			return nil, err
 		}
-		prog, err := optiwise.Assemble(moduleName(path), string(src))
+		if len(data) > 0 && data[0] == '{' {
+			e, err := core.ReadExport(bytes.NewReader(data))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			if module == "" {
+				module = e.Module
+			}
+			return e, nil
+		}
+		var prog *optiwise.Program
+		if len(data) >= 4 && string(data[:4]) == "OWX\x01" {
+			prog, err = optiwise.ReadBinary(bytes.NewReader(data))
+		} else {
+			name := module
+			if name == "" {
+				name = moduleName(path)
+			}
+			prog, err = optiwise.Assemble(name, string(data))
+		}
 		if err != nil {
-			return nil, nil, optiwise.RunResult{}, err
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if module == "" {
+			module = prog.Module()
 		}
 		prof, err := optiwise.Profile(prog, opts)
 		if err != nil {
-			return nil, nil, optiwise.RunResult{}, err
+			return nil, fmt.Errorf("%s: %w", path, err)
 		}
-		res, err := prog.Run(opts.Machine)
-		if err != nil {
-			return nil, nil, optiwise.RunResult{}, err
-		}
-		return prog, prof, res, nil
+		return prof.Export(), nil
 	}
-	_, oldProf, oldRun, err := load(c.fs.Arg(0))
+	oldExp, err := load(c.fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	_, newProf, newRun, err := load(c.fs.Arg(1))
+	newExp, err := load(c.fs.Arg(1))
 	if err != nil {
 		return err
 	}
-
-	fmt.Printf("%s: %d cycles (IPC %.2f)\n", c.fs.Arg(0), oldRun.Cycles, oldRun.IPC)
-	fmt.Printf("%s: %d cycles (IPC %.2f)\n", c.fs.Arg(1), newRun.Cycles, newRun.IPC)
-	speedup := 100 * (float64(oldRun.Cycles)/float64(newRun.Cycles) - 1)
-	fmt.Printf("speedup: %+.1f%%\n\n", speedup)
-	if oldRun.ExitCode != newRun.ExitCode {
-		fmt.Printf("WARNING: exit codes differ (%d vs %d) — versions may not be equivalent\n\n",
-			oldRun.ExitCode, newRun.ExitCode)
-	}
-
-	// Per-function cycle deltas (matched by name; unmatched shown too).
-	type row struct {
-		name     string
-		old, new uint64
-	}
-	rows := map[string]*row{}
-	for _, f := range oldProf.Funcs {
-		rows[f.Name] = &row{name: f.Name, old: f.SelfCycles}
-	}
-	for _, f := range newProf.Funcs {
-		r := rows[f.Name]
-		if r == nil {
-			r = &row{name: f.Name}
-			rows[f.Name] = r
-		}
-		r.new = f.SelfCycles
-	}
-	var sorted []*row
-	for _, r := range rows {
-		sorted = append(sorted, r)
-	}
-	sort.Slice(sorted, func(i, j int) bool {
-		di := int64(sorted[i].old) - int64(sorted[i].new)
-		dj := int64(sorted[j].old) - int64(sorted[j].new)
-		if di != dj {
-			return di > dj
-		}
-		return sorted[i].name < sorted[j].name
+	rep, err := diff.Compute(oldExp, newExp, diff.Options{
+		Threshold: *threshold,
+		Sigma:     *sigma,
 	})
-	fmt.Printf("%-24s %14s %14s %12s\n", "FUNCTION (self cycles)", "OLD", "NEW", "DELTA")
-	for _, r := range sorted {
-		fmt.Printf("%-24s %14d %14d %+12d\n", r.name, r.old, r.new,
-			int64(r.new)-int64(r.old))
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else if err := report.WriteDiff(os.Stdout, rep); err != nil {
+		return err
+	}
+	if *threshold > 0 && rep.Regressed {
+		return fmt.Errorf("CPI regression: %d significant regression(s) at or past the %.1f%% threshold (worst %+.1f%%)",
+			rep.Regressions, 100**threshold, 100*rep.MaxRegression)
 	}
 	return nil
 }

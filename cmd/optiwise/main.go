@@ -35,9 +35,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"optiwise"
 	"optiwise/internal/fault"
@@ -270,8 +272,10 @@ func cmdRun(args []string) error {
 	csv := c.fs.Bool("csv", false, "emit CSV instead of text report")
 	callgraph := c.fs.Bool("callgraph", false, "emit the caller/callee table")
 	jsonOut := c.fs.Bool("json", false, "emit the combined profile as JSON")
+	yamlOut := c.fs.Bool("yaml", false, "emit the combined profile as YAML")
 	events := c.fs.Bool("events", false, "emit per-function event rates (misses, mispredicts)")
 	loopID := c.fs.Int("loop", -1, "annotate only this loop id")
+	streamN := c.fs.Uint64("stream", 0, "streaming window in cycles (0 = off): emit a per-window progress line per profile increment and build the final report from the incrementally combined stream")
 	if err := c.fs.Parse(args); err != nil {
 		return err
 	}
@@ -279,9 +283,40 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	var comb *optiwise.StreamCombiner
+	var combErr error
+	var combMu sync.Mutex
 	prog, err := loadProgram(c.fs)
 	if err != nil {
 		return err
+	}
+	if *streamN > 0 {
+		comb = optiwise.NewStreamCombiner(prog, opts)
+		opts.StreamWindow = *streamN
+		opts.OnIncrement = func(inc optiwise.Increment) {
+			if err := comb.Add(inc); err != nil {
+				combMu.Lock()
+				if combErr == nil {
+					combErr = err
+				}
+				combMu.Unlock()
+				return
+			}
+			tag := ""
+			if inc.Final {
+				tag = " (final)"
+			}
+			if inc.Sample != nil {
+				fmt.Fprintf(os.Stderr, "stream: sampling window #%d: %d samples, %d cycles%s\n",
+					inc.Seq, len(inc.Sample.Records), inc.Sample.TotalCycles, tag)
+			} else if inc.Edge != nil {
+				fmt.Fprintf(os.Stderr, "stream: instrumentation window #%d: %d instructions, %d blocks touched%s\n",
+					inc.Seq, inc.Edge.BaseInstructions, len(inc.Edge.Blocks), tag)
+			}
+		}
+		if err := opts.Validate(); err != nil {
+			return err
+		}
 	}
 	return c.withObs(func() error {
 		c.obs.Progressf("[1/1] profiling %s", prog.Module())
@@ -290,6 +325,24 @@ func cmdRun(args []string) error {
 		if err != nil {
 			return err
 		}
+		if comb != nil {
+			// Render from the incrementally combined stream rather than
+			// the one-shot result — the two are byte-identical by
+			// construction, and this path exercises that guarantee.
+			combMu.Lock()
+			err := combErr
+			combMu.Unlock()
+			if err != nil {
+				return fmt.Errorf("stream combine: %w", err)
+			}
+			snap := comb.Snapshot()
+			fmt.Fprintf(os.Stderr, "stream: %d sampling + %d instrumentation windows combined incrementally\n",
+				len(snap.SampleWindows), len(snap.EdgeWindows))
+			prof, err = comb.Result(context.Background())
+			if err != nil {
+				return err
+			}
+		}
 		obs.Info("profile complete",
 			obs.F("module", prog.Module()),
 			obs.F("samples", prof.TotalSamples),
@@ -297,6 +350,8 @@ func cmdRun(args []string) error {
 		switch {
 		case *jsonOut:
 			return prof.WriteJSON(os.Stdout)
+		case *yamlOut:
+			return optiwise.WriteYAML(os.Stdout, prof)
 		case *loopID >= 0:
 			return optiwise.WriteAnnotatedLoop(os.Stdout, prof, *loopID)
 		case *events:

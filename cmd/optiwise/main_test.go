@@ -163,6 +163,56 @@ func TestCmdCompare(t *testing.T) {
 	}
 }
 
+func TestCmdRunYAMLAndStream(t *testing.T) {
+	silenceStdout(t)
+	path := writeProg(t)
+	if err := cmdRun([]string{"-yaml", path}); err != nil {
+		t.Fatal(err)
+	}
+	// -stream renders the report from the incrementally combined
+	// increments instead of the one-shot result.
+	if err := cmdRun([]string{"-stream", "2048", "-period", "300", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRun([]string{"-stream", "2048", "-yaml", path}); err != nil {
+		t.Fatal(err)
+	}
+	// Window bounds are validated before profiling starts.
+	if err := cmdRun([]string{"-stream", "1", path}); err == nil {
+		t.Error("sub-minimum stream window accepted")
+	}
+}
+
+// TestCmdCompareThresholdGate is the CI-gate acceptance path: compare
+// must exit nonzero when a planted regression meets -threshold, report
+// cleanly without one, and pass improvements through.
+func TestCmdCompareThresholdGate(t *testing.T) {
+	silenceStdout(t)
+	slowPath := writeProg(t) // div-based hot loop
+	// The fast version swaps the div for an addi and runs longer, so
+	// both sides collect enough samples to clear the significance floor.
+	fast := strings.ReplaceAll(testProg, "div t1, t0, t0", "addi t1, t0, 1")
+	fast = strings.ReplaceAll(fast, "li t0, 200", "li t0, 5000")
+	fastPath := filepath.Join(t.TempDir(), "fast.s")
+	if err := os.WriteFile(fastPath, []byte(fast), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Report-only mode never fails, regression or not.
+	if err := cmdCompare([]string{"-period", "300", fastPath, slowPath}); err != nil {
+		t.Fatal(err)
+	}
+	// The gate trips on fast→slow...
+	err := cmdCompare([]string{"-period", "300", "-threshold", "0.10", fastPath, slowPath})
+	if err == nil || !strings.Contains(err.Error(), "CPI regression") {
+		t.Errorf("planted regression did not trip the threshold gate: %v", err)
+	}
+	// ...and passes the improving direction, in JSON mode too.
+	if err := cmdCompare([]string{"-period", "300", "-threshold", "0.10", "-json",
+		slowPath, fastPath}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCmdRunJSONAndLoop(t *testing.T) {
 	silenceStdout(t)
 	path := writeProg(t)

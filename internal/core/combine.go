@@ -38,6 +38,34 @@ type Options struct {
 	Unweighted bool
 	// LoopThreshold is Algorithm 2's T; 0 means loops.DefaultThreshold.
 	LoopThreshold uint64
+	// Machine names the simulated processor the profiles were collected
+	// on. Recorded in the Profile (and its Export) so differential
+	// analysis can refuse to compare profiles from different machines.
+	Machine string
+}
+
+// resolveAttribution maps AttrAuto onto the mode actually applied for a
+// profile with the given precision, mirroring attributeSamples.
+func resolveAttribution(a Attribution, precise bool) Attribution {
+	if a != AttrAuto {
+		return a
+	}
+	if precise {
+		return AttrNone
+	}
+	return AttrPredecessor
+}
+
+// String names the attribution mode for exports and reports.
+func (a Attribution) String() string {
+	switch a {
+	case AttrNone:
+		return "none"
+	case AttrPredecessor:
+		return "predecessor"
+	default:
+		return "auto"
+	}
 }
 
 // Combine merges the two profiling runs into the granular CPI profile.
@@ -78,13 +106,19 @@ func CombineContext(ctx context.Context, prog *program.Program, sp *sampler.Prof
 	}
 
 	p := &Profile{
-		Module:       prog.Module,
-		Prog:         prog,
-		Graph:        graph,
-		SamplePeriod: sp.Period,
-		TotalInsts:   ep.BaseInstructions,
-		instIndex:    make(map[uint64]int),
-		funcIndex:    make(map[string]int),
+		Module:         prog.Module,
+		Prog:           prog,
+		Graph:          graph,
+		SamplePeriod:   sp.Period,
+		TotalInsts:     ep.BaseInstructions,
+		Machine:        opts.Machine,
+		Precise:        sp.Precise,
+		Unweighted:     opts.Unweighted,
+		Attribution:    resolveAttribution(opts.Attribution, sp.Precise).String(),
+		LoopThreshold:  t,
+		StackProfiling: ep.StackProfiling,
+		instIndex:      make(map[uint64]int),
+		funcIndex:      make(map[string]int),
 	}
 
 	// --- Per-instruction: N from instrumentation, S and cycles from
@@ -223,14 +257,7 @@ func (p *Profile) buildBlocks() {
 // so the result is independent of scheduling. It also reports the
 // number of worker shards used.
 func (p *Profile) attributeSamples(sp *sampler.Profile, opts Options) (samples, cycles, misses, brmp map[uint64]uint64, shards int) {
-	attr := opts.Attribution
-	if attr == AttrAuto {
-		if sp.Precise {
-			attr = AttrNone
-		} else {
-			attr = AttrPredecessor
-		}
-	}
+	attr := resolveAttribution(opts.Attribution, sp.Precise)
 	type shardMaps struct {
 		samples, cycles, misses, brmp map[uint64]uint64
 	}

@@ -22,6 +22,15 @@ type Export struct {
 	Degraded         bool    `json:"degraded,omitempty"`
 	FailedPass       string  `json:"failed_pass,omitempty"`
 	DegradedReason   string  `json:"degraded_reason,omitempty"`
+	// Collection metadata (see Profile): lets differential analysis
+	// refuse incomparable pairs. All omitempty so exports written before
+	// these fields existed decode (and re-encode) unchanged.
+	Machine        string `json:"machine,omitempty"`
+	Precise        bool   `json:"precise,omitempty"`
+	Unweighted     bool   `json:"unweighted,omitempty"`
+	Attribution    string `json:"attribution,omitempty"`
+	LoopThreshold  uint64 `json:"loop_threshold,omitempty"`
+	StackProfiling bool   `json:"stack_profiling,omitempty"`
 	// Intervals is the opt-in cycle-windowed core telemetry stream;
 	// omitted when telemetry was disabled, keeping legacy exports
 	// byte-identical.
@@ -34,9 +43,10 @@ type Export struct {
 	Lines          []LineRecord   `json:"lines"`
 }
 
-// WriteJSON serializes the profile's analysis results.
-func (p *Profile) WriteJSON(w io.Writer) error {
-	e := Export{
+// Export returns the profile's serializable form. The record slices are
+// shared, not copied — treat the result as a read-only view.
+func (p *Profile) Export() *Export {
+	return &Export{
 		Module:           p.Module,
 		TotalCycles:      p.TotalCycles,
 		TotalInsts:       p.TotalInsts,
@@ -47,6 +57,12 @@ func (p *Profile) WriteJSON(w io.Writer) error {
 		Degraded:         p.Degraded,
 		FailedPass:       p.FailedPass,
 		DegradedReason:   p.DegradedReason,
+		Machine:          p.Machine,
+		Precise:          p.Precise,
+		Unweighted:       p.Unweighted,
+		Attribution:      p.Attribution,
+		LoopThreshold:    p.LoopThreshold,
+		StackProfiling:   p.StackProfiling,
 		Intervals:        p.Intervals,
 		IntervalWindow:   p.IntervalWindow,
 		Insts:            p.Insts,
@@ -55,8 +71,12 @@ func (p *Profile) WriteJSON(w io.Writer) error {
 		Loops:            p.Loops,
 		Lines:            p.Lines,
 	}
+}
+
+// WriteJSON serializes the profile's analysis results.
+func (p *Profile) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
-	return enc.Encode(&e)
+	return enc.Encode(p.Export())
 }
 
 // ReadExport deserializes a profile written by WriteJSON. The result

@@ -184,6 +184,19 @@ type Profile struct {
 	// IPC is the whole-program instructions per cycle.
 	IPC float64
 
+	// Collection metadata, recorded so differential analysis can verify
+	// two profiles are comparable before computing deltas: the simulated
+	// machine's name, whether sampling was PEBS-precise, whether sample
+	// weights were ignored (Unweighted ablation), the resolved sample
+	// attribution mode ("none" or "predecessor"), Algorithm 2's loop
+	// threshold, and whether Algorithm 1 stack profiling ran.
+	Machine        string
+	Precise        bool
+	Unweighted     bool
+	Attribution    string
+	LoopThreshold  uint64
+	StackProfiling bool
+
 	// Intervals is the opt-in cycle-windowed telemetry stream from the
 	// sampled run's simulated core (IPC, ROB occupancy, mispredict and
 	// cache-miss rates, stall causes per window); nil when telemetry was

@@ -168,6 +168,14 @@ type Options struct {
 	RandSeed uint64
 	// MaxInstructions bounds the run (0 = unlimited).
 	MaxInstructions uint64
+	// WindowInstructions, with OnWindow, enables streaming windowed
+	// profiling: an increment profile is emitted every
+	// WindowInstructions retired (original-program) instructions, plus
+	// a final increment when the run exits. See window.go.
+	WindowInstructions uint64
+	// OnWindow receives each increment synchronously on the engine
+	// goroutine. final marks the end-of-run increment.
+	OnWindow func(inc *Profile, final bool)
 }
 
 // Engine executes a program under instrumentation.
@@ -184,6 +192,11 @@ type Engine struct {
 	callStack     []callFrame
 
 	prof *Profile
+
+	// win, when non-nil, holds streaming window-emission state
+	// (Options.WindowInstructions/OnWindow); nil costs the run loop one
+	// compare per block.
+	win *winState
 
 	// Metric handles, fetched once per run; each is nil (a no-op) when
 	// observability is disabled, so the per-block cost is one pointer
@@ -224,12 +237,21 @@ func RunContext(ctx context.Context, prog *program.Program, opts Options) (*Prof
 	if opts.Costs != nil {
 		e.costs = *opts.Costs
 	}
+	if opts.WindowInstructions > 0 && opts.OnWindow != nil {
+		e.win = newWinState(opts.WindowInstructions, opts.OnWindow)
+	}
 	e.mBlocksFound = obs.Counter(obs.MDBIBlocksFound)
 	e.mBlockExecs = obs.Counter(obs.MDBIBlockExecs)
 	e.mCleanCalls = obs.Counter(obs.MDBICleanCalls)
 	e.mCodeCache = obs.Gauge(obs.MDBICodeCacheSize)
 	if err := e.run(ctx); err != nil {
 		return nil, err
+	}
+	if e.win != nil {
+		// The trailing partial window, emitted after run() finalized
+		// BaseInstructions and charged the base-execution equivalents,
+		// so the increment deltas telescope to the exact run totals.
+		e.flushWindow(true)
 	}
 	obs.Counter(obs.MDBIInstrEquiv).Add(e.prof.InstrEquivalents)
 	return e.prof, nil
@@ -281,6 +303,10 @@ func (e *Engine) run(ctx context.Context) error {
 		}
 		if err := e.execBlock(b); err != nil {
 			return err
+		}
+		if e.win != nil && e.m.Steps >= e.win.next {
+			e.flushWindow(false)
+			e.win.next = e.m.Steps + e.win.every
 		}
 	}
 	e.prof.BaseInstructions = e.m.Steps

@@ -56,3 +56,60 @@ func Merge(profiles ...*Profile) (*Profile, error) {
 	}
 	return out, nil
 }
+
+// Accumulate folds inc into p in place — the incremental entry point of
+// the streaming window combine, equivalent to p = Merge(p, inc) without
+// reallocating p. A zero-profile p (only Module set) is a valid identity
+// element: accumulating every increment of a windowed run in emission
+// order reconstructs the one-shot profile exactly (counts, callee
+// tables, and cost counters telescope; blocks stay sorted by start).
+func (p *Profile) Accumulate(inc *Profile) error {
+	if inc.Module != p.Module {
+		return fmt.Errorf("dbi: accumulate: module %q vs %q", inc.Module, p.Module)
+	}
+	if p.CalleeCounts == nil {
+		p.CalleeCounts = make(map[uint64]uint64)
+	}
+	idx := make(map[uint64]*Block, len(p.Blocks))
+	for _, b := range p.Blocks {
+		idx[b.Start] = b
+	}
+	for _, b := range inc.Blocks {
+		acc := idx[b.Start]
+		if acc == nil {
+			cp := *b
+			if b.Targets != nil {
+				cp.Targets = make(map[uint64]uint64, len(b.Targets))
+				for t, n := range b.Targets {
+					cp.Targets[t] = n
+				}
+			}
+			idx[b.Start] = &cp
+			p.Blocks = append(p.Blocks, &cp)
+			continue
+		}
+		if acc.TermOff != b.TermOff || acc.Kind != b.Kind {
+			return fmt.Errorf("dbi: accumulate: block 0x%x shape differs between increments", b.Start)
+		}
+		acc.Count += b.Count
+		acc.Fallthrough += b.Fallthrough
+		if acc.Targets == nil && len(b.Targets) > 0 {
+			acc.Targets = make(map[uint64]uint64, len(b.Targets))
+		}
+		for t, n := range b.Targets {
+			acc.Targets[t] += n
+		}
+	}
+	for site, n := range inc.CalleeCounts {
+		p.CalleeCounts[site] += n
+	}
+	p.BaseInstructions += inc.BaseInstructions
+	p.InstrEquivalents += inc.InstrEquivalents
+	p.StackProfiling = p.StackProfiling || inc.StackProfiling
+	for i := 1; i < len(p.Blocks); i++ {
+		for j := i; j > 0 && p.Blocks[j].Start < p.Blocks[j-1].Start; j-- {
+			p.Blocks[j], p.Blocks[j-1] = p.Blocks[j-1], p.Blocks[j]
+		}
+	}
+	return nil
+}

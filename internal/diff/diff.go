@@ -1,0 +1,455 @@
+// Package diff computes differential CPI analysis between two combined
+// profiles: per-function, per-loop, and per-basic-block CPI and count
+// deltas, with a significance test derived from sampling statistics so
+// deltas within sampling noise are flagged rather than reported as
+// regressions.
+//
+// The significance model follows the paper's §III estimator: a region's
+// cycle mass is a sum of S sampled weights, so the relative standard
+// error of its CPI estimate scales as 1/√S. For a row with CPI c and S
+// samples the standard error is se = c/√S; two independent profiles
+// differ significantly when |Δc| exceeds Sigma·√(se_a²+se_b²). Loops
+// carry no direct sample count in the export, so S is estimated as
+// cycles/period — the expected sample count at the recorded sampling
+// frequency.
+package diff
+
+import (
+	"fmt"
+	"math"
+
+	"optiwise/internal/core"
+)
+
+// Options configures the differential analysis.
+type Options struct {
+	// Threshold is the relative CPI regression gate: a significant
+	// regression counts toward Report.Regressions only when its
+	// relative delta meets the threshold (0.10 = 10% slower). Zero or
+	// negative means every significant regression counts.
+	Threshold float64
+	// Sigma is the significance band width in combined standard errors
+	// (default 2 ≈ 95% confidence).
+	Sigma float64
+	// MinSamples is the per-side sample floor below which a row is
+	// never significant (default 2; the noise model is meaningless on
+	// single samples).
+	MinSamples uint64
+}
+
+func (o *Options) fill() {
+	if o.Sigma <= 0 {
+		o.Sigma = 2
+	}
+	if o.MinSamples == 0 {
+		o.MinSamples = 2
+	}
+}
+
+// Row is one region's delta between the two profiles.
+type Row struct {
+	// Kind is "function", "loop", or "block".
+	Kind string `json:"kind"`
+	// Name identifies the region: the function name, "func:0xHEADER"
+	// for loops, "func:0xSTART" for blocks.
+	Name string `json:"name"`
+
+	OldCPI   float64 `json:"old_cpi"`
+	NewCPI   float64 `json:"new_cpi"`
+	Delta    float64 `json:"delta"`
+	RelDelta float64 `json:"rel_delta"`
+
+	OldCycles uint64 `json:"old_cycles"`
+	NewCycles uint64 `json:"new_cycles"`
+	// Count is the region's execution count: retired instructions for
+	// functions, iterations for loops, executions for blocks.
+	OldCount uint64 `json:"old_count"`
+	NewCount uint64 `json:"new_count"`
+	// Samples is the (estimated) sample count backing each side's CPI,
+	// the S of the significance model.
+	OldSamples uint64 `json:"old_samples"`
+	NewSamples uint64 `json:"new_samples"`
+
+	// Significant marks deltas outside the sampling-noise band;
+	// Regressed/Improved further require the threshold (regressions)
+	// or any significant change of sign (improvements).
+	Significant bool `json:"significant"`
+	Regressed   bool `json:"regressed,omitempty"`
+	Improved    bool `json:"improved,omitempty"`
+	// OnlyIn is "old" or "new" when the region exists in one profile
+	// only; such rows are never significant (nothing to compare).
+	OnlyIn string `json:"only_in,omitempty"`
+}
+
+// Report is the full differential analysis.
+type Report struct {
+	Module    string  `json:"module"`
+	Machine   string  `json:"machine,omitempty"`
+	Threshold float64 `json:"threshold"`
+	Sigma     float64 `json:"sigma"`
+
+	OldCycles uint64  `json:"old_cycles"`
+	NewCycles uint64  `json:"new_cycles"`
+	OldIPC    float64 `json:"old_ipc"`
+	NewIPC    float64 `json:"new_ipc"`
+	// CPIDelta / RelCPIDelta are the whole-program CPI change.
+	CPIDelta    float64 `json:"cpi_delta"`
+	RelCPIDelta float64 `json:"rel_cpi_delta"`
+
+	Funcs  []Row `json:"functions"`
+	Loops  []Row `json:"loops"`
+	Blocks []Row `json:"blocks"`
+
+	// Regressions counts rows whose significant regression meets the
+	// threshold; MaxRegression is the largest such relative delta.
+	Regressions   int     `json:"regressions"`
+	MaxRegression float64 `json:"max_regression"`
+	// Regressed is the gate verdict: true when Regressions > 0.
+	Regressed bool `json:"regressed"`
+}
+
+// Check verifies a and b are comparable: same module, machine, and
+// collection options, and neither degraded. Profiles collected under
+// different options measure different things, so diffing them would
+// produce confidently wrong deltas; the error says exactly what differs.
+func Check(a, b *core.Export) error {
+	if a.Module != b.Module {
+		return fmt.Errorf("diff: module mismatch: %q vs %q", a.Module, b.Module)
+	}
+	if a.Degraded || b.Degraded {
+		side := "old"
+		pass := a.FailedPass
+		if !a.Degraded {
+			side, pass = "new", b.FailedPass
+		}
+		return fmt.Errorf("diff: %s profile is degraded (%s pass failed): a single-pass profile lacks the data to diff", side, pass)
+	}
+	var bad []string
+	mismatch := func(what, av, bv string) {
+		bad = append(bad, fmt.Sprintf("%s %s vs %s", what, av, bv))
+	}
+	if a.Machine != b.Machine {
+		mismatch("machine", orUnknown(a.Machine), orUnknown(b.Machine))
+	}
+	if a.SamplePeriod != b.SamplePeriod {
+		mismatch("sampling period", fmt.Sprint(a.SamplePeriod), fmt.Sprint(b.SamplePeriod))
+	}
+	if a.Precise != b.Precise {
+		mismatch("precise sampling", fmt.Sprint(a.Precise), fmt.Sprint(b.Precise))
+	}
+	if a.Unweighted != b.Unweighted {
+		mismatch("unweighted mode", fmt.Sprint(a.Unweighted), fmt.Sprint(b.Unweighted))
+	}
+	if a.Attribution != b.Attribution {
+		mismatch("attribution", orUnknown(a.Attribution), orUnknown(b.Attribution))
+	}
+	if a.LoopThreshold != b.LoopThreshold {
+		mismatch("loop threshold", fmt.Sprint(a.LoopThreshold), fmt.Sprint(b.LoopThreshold))
+	}
+	if a.StackProfiling != b.StackProfiling {
+		mismatch("stack profiling", fmt.Sprint(a.StackProfiling), fmt.Sprint(b.StackProfiling))
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("diff: profiles are not comparable: %s (re-collect both with identical options)", join(bad))
+	}
+	return nil
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "(unrecorded)"
+	}
+	return s
+}
+
+func join(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "; "
+		}
+		out += p
+	}
+	return out
+}
+
+// Compute runs the differential analysis old→new. It calls Check first.
+func Compute(old, new *core.Export, opts Options) (*Report, error) {
+	if err := Check(old, new); err != nil {
+		return nil, err
+	}
+	opts.fill()
+	r := &Report{
+		Module:    old.Module,
+		Machine:   old.Machine,
+		Threshold: opts.Threshold,
+		Sigma:     opts.Sigma,
+		OldCycles: old.TotalCycles,
+		NewCycles: new.TotalCycles,
+		OldIPC:    old.IPC,
+		NewIPC:    new.IPC,
+	}
+	oldCPI := cpi(old.TotalCycles, old.TotalInsts)
+	newCPI := cpi(new.TotalCycles, new.TotalInsts)
+	r.CPIDelta = newCPI - oldCPI
+	if oldCPI > 0 {
+		r.RelCPIDelta = r.CPIDelta / oldCPI
+	}
+
+	r.Funcs = diffFuncs(old, new, opts)
+	r.Loops = diffLoops(old, new, opts)
+	r.Blocks = diffBlocks(old, new, opts)
+	for _, rows := range [][]Row{r.Funcs, r.Loops, r.Blocks} {
+		for _, row := range rows {
+			if row.Regressed {
+				r.Regressions++
+				if row.RelDelta > r.MaxRegression {
+					r.MaxRegression = row.RelDelta
+				}
+			}
+		}
+	}
+	r.Regressed = r.Regressions > 0
+	return r, nil
+}
+
+// classify fills a row's delta and verdict fields from its CPIs and
+// sample counts.
+func classify(row *Row, opts Options) {
+	row.Delta = row.NewCPI - row.OldCPI
+	if row.OldCPI > 0 {
+		row.RelDelta = row.Delta / row.OldCPI
+	}
+	if row.OnlyIn != "" {
+		return
+	}
+	if row.OldSamples < opts.MinSamples || row.NewSamples < opts.MinSamples {
+		return
+	}
+	seOld := row.OldCPI / math.Sqrt(float64(row.OldSamples))
+	seNew := row.NewCPI / math.Sqrt(float64(row.NewSamples))
+	band := opts.Sigma * math.Hypot(seOld, seNew)
+	if math.Abs(row.Delta) <= band {
+		return
+	}
+	row.Significant = true
+	switch {
+	case row.Delta > 0:
+		row.Regressed = opts.Threshold <= 0 || row.RelDelta >= opts.Threshold
+	case row.Delta < 0:
+		row.Improved = true
+	}
+}
+
+func diffFuncs(old, new *core.Export, opts Options) []Row {
+	idx := make(map[string]*core.FuncRecord, len(new.Funcs))
+	for i := range new.Funcs {
+		idx[new.Funcs[i].Name] = &new.Funcs[i]
+	}
+	seen := make(map[string]bool, len(old.Funcs))
+	var rows []Row
+	for i := range old.Funcs {
+		of := &old.Funcs[i]
+		seen[of.Name] = true
+		row := Row{
+			Kind:       "function",
+			Name:       of.Name,
+			OldCPI:     of.CPI,
+			OldCycles:  of.SelfCycles,
+			OldCount:   of.SelfInsts,
+			OldSamples: of.SelfSamples,
+		}
+		if nf, ok := idx[of.Name]; ok {
+			row.NewCPI = nf.CPI
+			row.NewCycles = nf.SelfCycles
+			row.NewCount = nf.SelfInsts
+			row.NewSamples = nf.SelfSamples
+		} else {
+			row.OnlyIn = "old"
+		}
+		classify(&row, opts)
+		rows = append(rows, row)
+	}
+	for i := range new.Funcs {
+		nf := &new.Funcs[i]
+		if seen[nf.Name] {
+			continue
+		}
+		row := Row{
+			Kind:       "function",
+			Name:       nf.Name,
+			NewCPI:     nf.CPI,
+			NewCycles:  nf.SelfCycles,
+			NewCount:   nf.SelfInsts,
+			NewSamples: nf.SelfSamples,
+			OnlyIn:     "new",
+		}
+		classify(&row, opts)
+		rows = append(rows, row)
+	}
+	sortRows(rows)
+	return rows
+}
+
+// loopSamples estimates the sample count backing a loop's cycle mass:
+// loops export no raw sample count, so use expected samples = cycles /
+// period at the recorded sampling frequency.
+func loopSamples(cycles, period uint64) uint64 {
+	if period == 0 {
+		return 0
+	}
+	return cycles / period
+}
+
+func loopKey(l *core.LoopRecord) string {
+	return fmt.Sprintf("%s:0x%x", l.Func, l.HeaderOffset)
+}
+
+func diffLoops(old, new *core.Export, opts Options) []Row {
+	idx := make(map[string]*core.LoopRecord, len(new.Loops))
+	for i := range new.Loops {
+		idx[loopKey(&new.Loops[i])] = &new.Loops[i]
+	}
+	seen := make(map[string]bool, len(old.Loops))
+	var rows []Row
+	for i := range old.Loops {
+		ol := &old.Loops[i]
+		key := loopKey(ol)
+		seen[key] = true
+		row := Row{
+			Kind:       "loop",
+			Name:       key,
+			OldCPI:     ol.CPI,
+			OldCycles:  ol.TotalCycles,
+			OldCount:   ol.Iterations,
+			OldSamples: loopSamples(ol.TotalCycles, old.SamplePeriod),
+		}
+		if nl, ok := idx[key]; ok {
+			row.NewCPI = nl.CPI
+			row.NewCycles = nl.TotalCycles
+			row.NewCount = nl.Iterations
+			row.NewSamples = loopSamples(nl.TotalCycles, new.SamplePeriod)
+		} else {
+			row.OnlyIn = "old"
+		}
+		classify(&row, opts)
+		rows = append(rows, row)
+	}
+	for i := range new.Loops {
+		nl := &new.Loops[i]
+		key := loopKey(nl)
+		if seen[key] {
+			continue
+		}
+		row := Row{
+			Kind:       "loop",
+			Name:       key,
+			NewCPI:     nl.CPI,
+			NewCycles:  nl.TotalCycles,
+			NewCount:   nl.Iterations,
+			NewSamples: loopSamples(nl.TotalCycles, new.SamplePeriod),
+			OnlyIn:     "new",
+		}
+		classify(&row, opts)
+		rows = append(rows, row)
+	}
+	sortRows(rows)
+	return rows
+}
+
+func blockKey(b *core.BlockRecord) string {
+	return fmt.Sprintf("%s:0x%x", b.Func, b.Start)
+}
+
+func diffBlocks(old, new *core.Export, opts Options) []Row {
+	idx := make(map[string]*core.BlockRecord, len(new.Blocks))
+	for i := range new.Blocks {
+		idx[blockKey(&new.Blocks[i])] = &new.Blocks[i]
+	}
+	seen := make(map[string]bool, len(old.Blocks))
+	var rows []Row
+	for i := range old.Blocks {
+		ob := &old.Blocks[i]
+		key := blockKey(ob)
+		seen[key] = true
+		row := Row{
+			Kind:       "block",
+			Name:       key,
+			OldCPI:     ob.CPI,
+			OldCycles:  ob.Cycles,
+			OldCount:   ob.ExecCount,
+			OldSamples: ob.Samples,
+		}
+		if nb, ok := idx[key]; ok {
+			row.NewCPI = nb.CPI
+			row.NewCycles = nb.Cycles
+			row.NewCount = nb.ExecCount
+			row.NewSamples = nb.Samples
+		} else {
+			row.OnlyIn = "old"
+		}
+		classify(&row, opts)
+		rows = append(rows, row)
+	}
+	for i := range new.Blocks {
+		nb := &new.Blocks[i]
+		key := blockKey(nb)
+		if seen[key] {
+			continue
+		}
+		row := Row{
+			Kind:       "block",
+			Name:       key,
+			NewCPI:     nb.CPI,
+			NewCycles:  nb.Cycles,
+			NewCount:   nb.ExecCount,
+			NewSamples: nb.Samples,
+			OnlyIn:     "new",
+		}
+		classify(&row, opts)
+		rows = append(rows, row)
+	}
+	sortRows(rows)
+	return rows
+}
+
+// sortRows orders rows for reporting: significant regressions first by
+// descending relative delta, then significant improvements, then the
+// rest by descending absolute delta, names breaking ties.
+func sortRows(rows []Row) {
+	rank := func(r *Row) int {
+		switch {
+		case r.Regressed:
+			return 0
+		case r.Significant && r.Improved:
+			return 1
+		case r.OnlyIn != "":
+			return 3
+		default:
+			return 2
+		}
+	}
+	less := func(a, b *Row) bool {
+		ra, rb := rank(a), rank(b)
+		if ra != rb {
+			return ra < rb
+		}
+		da, db := math.Abs(a.Delta), math.Abs(b.Delta)
+		if da != db {
+			return da > db
+		}
+		return a.Name < b.Name
+	}
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && less(&rows[j], &rows[j-1]); j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}
+
+func cpi(cycles, insts uint64) float64 {
+	if insts == 0 {
+		return 0
+	}
+	return float64(cycles) / float64(insts)
+}

@@ -1,0 +1,207 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+
+	"optiwise/internal/core"
+)
+
+// baseExport builds a comparable synthetic profile export. One hot
+// function with 1000 samples at the given CPI (so the noise band is
+// narrow: se = cpi/√1000 ≈ 3% of cpi), one cold function near the
+// MinSamples floor, plus a loop and a block mirroring the hot region.
+func baseExport(hotCPI float64) *core.Export {
+	const samples = 1000
+	cycles := uint64(hotCPI * 100000)
+	return &core.Export{
+		Module:       "mod",
+		Machine:      "xeon-w2195",
+		SamplePeriod: 2000,
+		TotalCycles:  cycles + 50,
+		TotalInsts:   100100,
+		IPC:          1 / hotCPI,
+		Funcs: []core.FuncRecord{
+			{Name: "hot", CPI: hotCPI, SelfCycles: cycles, SelfInsts: 100000, SelfSamples: samples},
+			{Name: "cold", CPI: 0.5, SelfCycles: 50, SelfInsts: 100, SelfSamples: 1},
+		},
+		Loops: []core.LoopRecord{
+			{Func: "hot", HeaderOffset: 0x40, CPI: hotCPI,
+				TotalCycles: cycles, TotalInsts: 100000, Iterations: 5000},
+		},
+		Blocks: []core.BlockRecord{
+			{Func: "hot", Start: 0x40, CPI: hotCPI,
+				Cycles: cycles, ExecCount: 5000, Samples: samples},
+		},
+	}
+}
+
+func TestComputeFlagsPlantedRegression(t *testing.T) {
+	old := baseExport(1.0)
+	new := baseExport(1.5) // 50% CPI regression, far outside the ~6% band
+	rep, err := Compute(old, new, Options{Threshold: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Regressed {
+		t.Fatal("planted 50% regression not flagged")
+	}
+	// The hot function, its loop, and its block all regressed; the cold
+	// function sits below the sample floor.
+	if rep.Regressions != 3 {
+		t.Errorf("regressions = %d, want 3", rep.Regressions)
+	}
+	if rep.MaxRegression < 0.45 || rep.MaxRegression > 0.55 {
+		t.Errorf("max regression = %.3f, want ≈0.50", rep.MaxRegression)
+	}
+	if rep.CPIDelta <= 0 || rep.RelCPIDelta <= 0 {
+		t.Errorf("program CPI delta %.3f (rel %.3f), want positive",
+			rep.CPIDelta, rep.RelCPIDelta)
+	}
+	// Regressed rows sort first.
+	if len(rep.Funcs) == 0 || !rep.Funcs[0].Regressed || rep.Funcs[0].Name != "hot" {
+		t.Errorf("first function row: %+v", rep.Funcs)
+	}
+	for _, row := range rep.Funcs {
+		if row.Name == "cold" && row.Significant {
+			t.Error("single-sample region marked significant")
+		}
+	}
+}
+
+func TestComputeSuppressesNoise(t *testing.T) {
+	old := baseExport(1.0)
+	new := baseExport(1.02) // 2% delta, inside the ~6% two-sigma band
+	rep, err := Compute(old, new, Options{Threshold: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressed || rep.Regressions != 0 {
+		t.Errorf("within-noise delta flagged: %d regressions", rep.Regressions)
+	}
+	for _, row := range rep.Funcs {
+		if row.Significant {
+			t.Errorf("row %q significant on a 2%% delta with 1000 samples", row.Name)
+		}
+	}
+}
+
+func TestThresholdGatesSignificantRegressions(t *testing.T) {
+	old := baseExport(1.0)
+	new := baseExport(1.12) // 12%: significant, but below a 20% threshold
+	strict, err := Compute(old, new, Options{Threshold: 0.20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Regressed {
+		t.Error("12% regression flagged despite a 20% threshold")
+	}
+	for _, row := range strict.Funcs {
+		if row.Name == "hot" && !row.Significant {
+			t.Error("12% delta with 1000 samples should still be significant")
+		}
+	}
+	loose, err := Compute(old, new, Options{Threshold: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loose.Regressed {
+		t.Error("12% regression not flagged at a 10% threshold")
+	}
+}
+
+func TestComputeFlagsImprovement(t *testing.T) {
+	rep, err := Compute(baseExport(1.5), baseExport(1.0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressed {
+		t.Error("improvement reported as regression")
+	}
+	found := false
+	for _, row := range rep.Funcs {
+		if row.Name == "hot" {
+			found = true
+			if !row.Improved || !row.Significant || row.Delta >= 0 {
+				t.Errorf("hot row: %+v", row)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("hot function missing from report")
+	}
+}
+
+func TestOnlyInRows(t *testing.T) {
+	old := baseExport(1.0)
+	new := baseExport(1.0)
+	new.Funcs = append(new.Funcs, core.FuncRecord{
+		Name: "fresh", CPI: 3.0, SelfCycles: 9000, SelfInsts: 3000, SelfSamples: 500})
+	old.Funcs = append(old.Funcs, core.FuncRecord{
+		Name: "gone", CPI: 2.0, SelfCycles: 4000, SelfInsts: 2000, SelfSamples: 400})
+	rep, err := Compute(old, new, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, row := range rep.Funcs {
+		got[row.Name] = row.OnlyIn
+		if row.OnlyIn != "" && (row.Significant || row.Regressed || row.Improved) {
+			t.Errorf("one-sided row %q classified: %+v", row.Name, row)
+		}
+	}
+	if got["fresh"] != "new" || got["gone"] != "old" {
+		t.Errorf("only-in attribution: %v", got)
+	}
+}
+
+func TestCheckRejectsIncomparableProfiles(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(e *core.Export)
+		want   string
+	}{
+		{"module", func(e *core.Export) { e.Module = "other" }, "module mismatch"},
+		{"machine", func(e *core.Export) { e.Machine = "m2" }, "machine"},
+		{"period", func(e *core.Export) { e.SamplePeriod = 999 }, "sampling period"},
+		{"precise", func(e *core.Export) { e.Precise = true }, "precise sampling"},
+		{"unweighted", func(e *core.Export) { e.Unweighted = true }, "unweighted mode"},
+		{"attribution", func(e *core.Export) { e.Attribution = "next" }, "attribution"},
+		{"loop threshold", func(e *core.Export) { e.LoopThreshold = 7 }, "loop threshold"},
+		{"stack profiling", func(e *core.Export) { e.StackProfiling = true }, "stack profiling"},
+		{"degraded", func(e *core.Export) {
+			e.Degraded = true
+			e.FailedPass = core.PassInstrumentation
+		}, "degraded"},
+	}
+	for _, c := range cases {
+		old, new := baseExport(1.0), baseExport(1.0)
+		c.mutate(new)
+		_, err := Compute(old, new, Options{})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+	if err := Check(baseExport(1.0), baseExport(2.0)); err != nil {
+		t.Errorf("comparable profiles rejected: %v", err)
+	}
+}
+
+func TestSigmaWidensTheBand(t *testing.T) {
+	old := baseExport(1.0)
+	new := baseExport(1.10)
+	tight, err := Compute(old, new, Options{Sigma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Compute(old, new, Options{Sigma: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tight.Regressed {
+		t.Error("10% delta not significant at one sigma")
+	}
+	if wide.Regressed {
+		t.Error("10% delta survived a thirty-sigma band")
+	}
+}

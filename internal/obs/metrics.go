@@ -298,6 +298,10 @@ const (
 
 	// Observability-v2 metrics (PR 5).
 	MFlightDumps = "optiwise_flight_dumps_total"
+
+	// Differential-profiling metrics: the serve layer's per-lineage
+	// regression detection (DESIGN.md §10).
+	MProfileRegressions = "optiwise_profile_regressions_total"
 )
 
 // CacheHits names the hit counter of one simulated cache level; the
@@ -402,6 +406,8 @@ func helpFor(name string) string {
 		return "Profiling runs that fell back to a single-pass degraded result."
 	case MFlightDumps:
 		return "Flight-recorder dumps taken (panic, fault, degraded result, signal, or explicit request)."
+	case MProfileRegressions:
+		return "New lineage versions whose CPI regressed significantly past the configured threshold."
 	}
 	return "OptiWISE metric " + name + "."
 }

@@ -201,6 +201,14 @@ type Sim struct {
 	// (Options.IntervalCycles); nil costs the run loop one compare.
 	iv *intervalTracker
 
+	// onWindow, when non-nil, fires at every winEvery-cycle boundary
+	// (Options.WindowCycles/OnWindow); nil costs the run loop one
+	// compare. winStart/winNext track the open window.
+	onWindow func(WindowMark)
+	winEvery uint64
+	winStart uint64
+	winNext  uint64
+
 	stats Stats
 	err   error
 }
@@ -238,6 +246,16 @@ type Options struct {
 	// causes) per this many cycles. Retrieve with Intervals. Zero (the
 	// default) keeps the run loop's per-cycle cost at one nil compare.
 	IntervalCycles uint64
+	// WindowCycles, when non-zero, invokes OnWindow at every window
+	// boundary of this many cycles with the run's cumulative counters
+	// (see WindowMark) — the substrate of streaming windowed profiling.
+	// The callback runs synchronously on the simulation goroutine. Zero
+	// (the default) keeps the run loop's per-cycle cost at one nil
+	// compare.
+	WindowCycles uint64
+	// OnWindow receives each window boundary; ignored when WindowCycles
+	// is zero.
+	OnWindow func(WindowMark)
 	// RandSeed seeds the program's SysRand generator.
 	RandSeed uint64
 }
@@ -272,6 +290,11 @@ func New(cfg Config, img *program.Image, opts Options) *Sim {
 	if opts.IntervalCycles > 0 {
 		s.iv = newIntervalTracker(opts.IntervalCycles)
 		s.iv.open(s) // snapshot the zeroed counters at cycle 0
+	}
+	if opts.WindowCycles > 0 && opts.OnWindow != nil {
+		s.onWindow = opts.OnWindow
+		s.winEvery = opts.WindowCycles
+		s.winNext = opts.WindowCycles
 	}
 	if cfg.UseBimodal {
 		s.dir = branch.NewBimodal(cfg.GshareTableBits)
@@ -408,6 +431,9 @@ func (s *Sim) RunContext(ctx context.Context, maxCycles uint64) (Stats, error) {
 		}
 		if s.iv != nil {
 			s.iv.tick(s)
+		}
+		if s.onWindow != nil {
+			s.windowTick()
 		}
 		s.maybeSample()
 		if s.err != nil {

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"optiwise/internal/diff"
+	"optiwise/internal/fault"
+)
+
+// WriteDiff renders a differential CPI report as text: the program-level
+// summary, then one table per granularity with significant regressions
+// first. Rows within the sampling-noise band are marked "~" (noise);
+// significant rows get "+" (regression past the threshold) or "-"
+// (improvement).
+func WriteDiff(w io.Writer, r *diff.Report) error {
+	if err := fault.Err(fault.SiteReport); err != nil {
+		return fmt.Errorf("report: render: %w", err)
+	}
+	fmt.Fprintf(w, "Differential CPI report: %s", r.Module)
+	if r.Machine != "" {
+		fmt.Fprintf(w, " on %s", r.Machine)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  cycles: %d -> %d    IPC: %.3f -> %.3f    program CPI %+.4f (%+.1f%%)\n",
+		r.OldCycles, r.NewCycles, r.OldIPC, r.NewIPC, r.CPIDelta, 100*r.RelCPIDelta)
+	verdict := "no significant regressions"
+	if r.Regressed {
+		verdict = fmt.Sprintf("%d significant regression(s), worst %+.1f%%", r.Regressions, 100*r.MaxRegression)
+	}
+	fmt.Fprintf(w, "  threshold %.1f%%, sigma %.1f: %s\n", 100*r.Threshold, r.Sigma, verdict)
+
+	sections := []struct {
+		title string
+		rows  []diff.Row
+	}{
+		{"Functions", r.Funcs},
+		{"Loops", r.Loops},
+		{"Basic blocks", r.Blocks},
+	}
+	for _, sec := range sections {
+		if len(sec.rows) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "\n%s:\n", sec.title)
+		fmt.Fprintf(w, "  %-28s %9s %9s %8s %12s %12s  %s\n",
+			"name", "old CPI", "new CPI", "delta", "old samples", "new samples", "verdict")
+		for i := range sec.rows {
+			row := &sec.rows[i]
+			if _, err := fmt.Fprintf(w, "  %-28s %9.4f %9.4f %+7.1f%% %12d %12d  %s\n",
+				row.Name, row.OldCPI, row.NewCPI, 100*row.RelDelta,
+				row.OldSamples, row.NewSamples, rowVerdict(row)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func rowVerdict(row *diff.Row) string {
+	switch {
+	case row.OnlyIn != "":
+		return "only in " + row.OnlyIn
+	case row.Regressed:
+		return "+ REGRESSED"
+	case row.Significant && row.Improved:
+		return "- improved"
+	case row.Significant:
+		return "+ slower (below threshold)"
+	default:
+		return "~ within noise"
+	}
+}

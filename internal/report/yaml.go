@@ -1,0 +1,187 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"optiwise/internal/core"
+	"optiwise/internal/fault"
+)
+
+// WriteYAML serializes the profile's analysis results as YAML — the
+// third machine-readable export beside JSON and CSV (ROADMAP item 4).
+// The document mirrors the JSON Export's field names so the two formats
+// describe the same schema; the emitter is hand-rolled against that
+// fixed schema (the repository deliberately has no external
+// dependencies). Degraded results carry the same flag trio the JSON
+// export does, plus the human-readable banner line, so a partial result
+// can never masquerade as a full one in either format.
+func WriteYAML(w io.Writer, p *core.Profile) error {
+	if err := fault.Err(fault.SiteReport); err != nil {
+		return fmt.Errorf("report: render: %w", err)
+	}
+	e := p.Export()
+	y := &yamlWriter{w: w}
+	y.kv(0, "module", yamlString(e.Module))
+	if e.Degraded {
+		y.kv(0, "degraded", "true")
+		y.kv(0, "failed_pass", yamlString(e.FailedPass))
+		y.kv(0, "degraded_reason", yamlString(e.DegradedReason))
+		y.kv(0, "degraded_banner", yamlString(degradedNote(p)))
+	}
+	if e.Machine != "" {
+		y.kv(0, "machine", yamlString(e.Machine))
+	}
+	y.kv(0, "sample_period", u(e.SamplePeriod))
+	y.kv(0, "precise", b(e.Precise))
+	y.kv(0, "unweighted", b(e.Unweighted))
+	if e.Attribution != "" {
+		y.kv(0, "attribution", yamlString(e.Attribution))
+	}
+	y.kv(0, "loop_threshold", u(e.LoopThreshold))
+	y.kv(0, "stack_profiling", b(e.StackProfiling))
+	y.kv(0, "total_cycles", u(e.TotalCycles))
+	y.kv(0, "total_instructions", u(e.TotalInsts))
+	y.kv(0, "total_samples", u(e.TotalSamples))
+	if e.UnmatchedSamples > 0 {
+		y.kv(0, "unmatched_samples", u(e.UnmatchedSamples))
+	}
+	y.kv(0, "ipc", f(e.IPC))
+
+	y.list(0, "instructions", len(e.Insts), func(i int) {
+		r := &e.Insts[i]
+		y.item(1, "offset", hex(r.Offset))
+		y.kv(2, "disasm", yamlString(r.Disasm))
+		if r.Func != "" {
+			y.kv(2, "func", yamlString(r.Func))
+		}
+		if r.Line != 0 {
+			y.kv(2, "file", yamlString(r.File))
+			y.kv(2, "line", fmt.Sprint(r.Line))
+		}
+		y.kv(2, "exec_count", u(r.ExecCount))
+		y.kv(2, "samples", u(r.Samples))
+		y.kv(2, "cycles", u(r.Cycles))
+		y.kv(2, "cpi", f(r.CPI))
+	})
+	y.list(0, "blocks", len(e.Blocks), func(i int) {
+		r := &e.Blocks[i]
+		y.item(1, "start", hex(r.Start))
+		y.kv(2, "end", hex(r.End))
+		if r.Func != "" {
+			y.kv(2, "func", yamlString(r.Func))
+		}
+		y.kv(2, "exec_count", u(r.ExecCount))
+		y.kv(2, "insts", fmt.Sprint(r.Insts))
+		y.kv(2, "samples", u(r.Samples))
+		y.kv(2, "cycles", u(r.Cycles))
+		y.kv(2, "cpi", f(r.CPI))
+		y.kv(2, "time_frac", f(r.TimeFrac))
+	})
+	y.list(0, "functions", len(e.Funcs), func(i int) {
+		r := &e.Funcs[i]
+		y.item(1, "name", yamlString(r.Name))
+		y.kv(2, "self_cycles", u(r.SelfCycles))
+		y.kv(2, "total_cycles", u(r.TotalCycles))
+		y.kv(2, "self_samples", u(r.SelfSamples))
+		y.kv(2, "self_instructions", u(r.SelfInsts))
+		y.kv(2, "total_instructions", u(r.TotalInsts))
+		y.kv(2, "cpi", f(r.CPI))
+		y.kv(2, "ipc", f(r.IPC))
+		y.kv(2, "time_frac", f(r.TimeFrac))
+	})
+	y.list(0, "loops", len(e.Loops), func(i int) {
+		r := &e.Loops[i]
+		y.item(1, "id", fmt.Sprint(r.ID))
+		y.kv(2, "func", yamlString(r.Func))
+		y.kv(2, "header", hex(r.HeaderOffset))
+		y.kv(2, "depth", fmt.Sprint(r.Depth))
+		y.kv(2, "invocations", u(r.Invocations))
+		y.kv(2, "iterations", u(r.Iterations))
+		y.kv(2, "self_cycles", u(r.SelfCycles))
+		y.kv(2, "total_cycles", u(r.TotalCycles))
+		y.kv(2, "self_instructions", u(r.SelfInsts))
+		y.kv(2, "total_instructions", u(r.TotalInsts))
+		y.kv(2, "cpi", f(r.CPI))
+		y.kv(2, "time_frac", f(r.TimeFrac))
+	})
+	y.list(0, "lines", len(e.Lines), func(i int) {
+		r := &e.Lines[i]
+		y.item(1, "file", yamlString(r.File))
+		y.kv(2, "line", fmt.Sprint(r.Line))
+		y.kv(2, "exec_count", u(r.ExecCount))
+		y.kv(2, "samples", u(r.Samples))
+		y.kv(2, "cycles", u(r.Cycles))
+		y.kv(2, "cpi", f(r.CPI))
+		y.kv(2, "time_frac", f(r.TimeFrac))
+	})
+	return y.err
+}
+
+// yamlWriter emits two-space-indented block YAML, capturing the first
+// write error so the renderers read linearly.
+type yamlWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (y *yamlWriter) printf(format string, args ...any) {
+	if y.err != nil {
+		return
+	}
+	_, y.err = fmt.Fprintf(y.w, format, args...)
+}
+
+// kv writes an indented "key: value" line.
+func (y *yamlWriter) kv(indent int, key, val string) {
+	y.printf("%s%s: %s\n", strings.Repeat("  ", indent), key, val)
+}
+
+// item opens a sequence element with its first key on the "- " line.
+func (y *yamlWriter) item(indent int, key, val string) {
+	y.printf("%s- %s: %s\n", strings.Repeat("  ", indent-1), key, val)
+}
+
+// list writes "key:" followed by n sequence elements ("key: []" when
+// empty, so every section is present in every document).
+func (y *yamlWriter) list(indent int, key string, n int, el func(i int)) {
+	if n == 0 {
+		y.kv(indent, key, "[]")
+		return
+	}
+	y.printf("%s%s:\n", strings.Repeat("  ", indent), key)
+	for i := 0; i < n; i++ {
+		el(i)
+	}
+}
+
+// yamlString quotes s for YAML. Always double-quoted: %q escaping is a
+// valid YAML double-quoted scalar for the strings this schema produces
+// (no exotic control characters), and unconditional quoting sidesteps
+// every plain-scalar ambiguity (leading "-", ":", numbers, "true").
+func yamlString(s string) string { return fmt.Sprintf("%q", s) }
+
+func u(v uint64) string { return fmt.Sprintf("%d", v) }
+
+func b(v bool) string {
+	if v {
+		return "true"
+	}
+	return "false"
+}
+
+func hex(v uint64) string { return fmt.Sprintf("0x%x", v) }
+
+// f renders a float as a YAML scalar that always parses as a float.
+func f(v float64) string {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return ".nan"
+	}
+	s := fmt.Sprintf("%g", v)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}

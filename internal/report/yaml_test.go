@@ -1,0 +1,102 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"optiwise/internal/asm"
+	"optiwise/internal/core"
+	"optiwise/internal/ooo"
+	"optiwise/internal/sampler"
+)
+
+func TestWriteYAML(t *testing.T) {
+	p := combined(t)
+	var buf bytes.Buffer
+	if err := WriteYAML(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Top-level scalars mirror the JSON export's schema.
+	for _, want := range []string{
+		`module: "demo"`,
+		"sample_period: 300",
+		"total_cycles: ",
+		"total_instructions: ",
+		"ipc: ",
+		"stack_profiling: true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("YAML missing %q", want)
+		}
+	}
+	// Every record section is present, and the hot function appears as a
+	// quoted sequence item.
+	for _, section := range []string{"instructions:", "blocks:", "functions:", "loops:", "lines:"} {
+		if !strings.Contains(out, "\n"+section+"\n") {
+			t.Errorf("YAML missing section %q", section)
+		}
+	}
+	if !strings.Contains(out, `- name: "work"`) && !strings.Contains(out, `- name: "main"`) {
+		t.Error("YAML function list has no sequence items")
+	}
+	// A full profile never carries the degraded trio.
+	if strings.Contains(out, "degraded") {
+		t.Error("full profile marked degraded in YAML")
+	}
+	// Floats always parse as floats: no bare integer ipc/cpi scalars.
+	for _, line := range strings.Split(out, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if v, ok := strings.CutPrefix(trimmed, "ipc: "); ok {
+			if !strings.ContainsAny(v, ".eE") {
+				t.Errorf("ipc scalar %q would parse as an integer", v)
+			}
+		}
+	}
+}
+
+// TestWriteYAMLDegraded pins the degraded banner: a single-pass profile
+// must carry the same flag trio as the JSON export plus the
+// human-readable warning, so a partial result cannot masquerade as a
+// full one.
+func TestWriteYAMLDegraded(t *testing.T) {
+	prog, err := asm.Assemble("demo", `
+.func main
+main:
+    li t0, 20
+ml:
+    addi t0, t0, -1
+    bnez t0, ml
+    li a0, 0
+    li a7, 93
+    syscall
+.endfunc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, _, err := sampler.Run(ooo.XeonW2195(), prog, sampler.Options{Period: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.CombineSampleOnly(prog, sp, core.Options{}, "instrumentation pass exploded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteYAML(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"degraded: true",
+		`failed_pass: "instrumentation"`,
+		"degraded_reason: ",
+		"degraded_banner: ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("degraded YAML missing %q\n%s", want, out)
+		}
+	}
+}

@@ -36,3 +36,27 @@ func Merge(profiles ...*Profile) (*Profile, error) {
 	}
 	return out, nil
 }
+
+// Accumulate folds inc into p in place — the incremental entry point of
+// the streaming window combine, equivalent to p = Merge(p, inc) without
+// reallocating p's header. A zero-profile p (only Module/Period/Precise
+// set) is a valid identity element, so a streaming consumer can start
+// from the empty profile and accumulate every increment in emission
+// order; the result is byte-identical to the one-shot profile of the
+// same run (records concatenate in order, counters telescope).
+func (p *Profile) Accumulate(inc *Profile) error {
+	if inc.Module != p.Module {
+		return fmt.Errorf("sampler: accumulate: module %q vs %q", inc.Module, p.Module)
+	}
+	if inc.Period != p.Period {
+		return fmt.Errorf("sampler: accumulate: period %d vs %d", inc.Period, p.Period)
+	}
+	if inc.Precise != p.Precise {
+		return fmt.Errorf("sampler: accumulate: mixed attribution modes")
+	}
+	p.Records = append(p.Records, inc.Records...)
+	p.TotalCycles += inc.TotalCycles
+	p.UserCycles += inc.UserCycles
+	p.Instructions += inc.Instructions
+	return nil
+}

@@ -104,6 +104,14 @@ type Options struct {
 	// IntervalCycles, when non-zero, collects cycle-windowed interval
 	// telemetry from the simulated core (ooo.Options.IntervalCycles).
 	IntervalCycles uint64
+	// WindowCycles, when non-zero together with OnWindow, emits a
+	// profile increment every this many cycles plus a final increment
+	// for the trailing partial window (see window.go). Disabled, the
+	// run pays one nil compare per simulated cycle.
+	WindowCycles uint64
+	// OnWindow receives each increment on the simulation goroutine;
+	// final marks the last increment of the run.
+	OnWindow func(inc *Profile, final bool)
 }
 
 // DefaultInterruptCost approximates the cost of taking, servicing, and
@@ -144,12 +152,24 @@ func RunContext(ctx context.Context, cfg ooo.Config, prog *program.Program, opts
 	if opts.Precise {
 		mode = ooo.SamplePrecise
 	}
+	var win *windowEmitter
+	var winOpts struct {
+		cycles uint64
+		hook   func(ooo.WindowMark)
+	}
+	if opts.WindowCycles > 0 && opts.OnWindow != nil {
+		win = &windowEmitter{p: profile, emit: opts.OnWindow}
+		winOpts.cycles = opts.WindowCycles
+		winOpts.hook = win.boundary
+	}
 	sim := ooo.New(cfg, img, ooo.Options{
 		SamplePeriod:   opts.Period,
 		SampleJitter:   opts.Jitter,
 		SampleMode:     mode,
 		InterruptCost:  opts.InterruptCost,
 		IntervalCycles: opts.IntervalCycles,
+		WindowCycles:   winOpts.cycles,
+		OnWindow:       winOpts.hook,
 		RandSeed:       opts.RandSeed,
 		OnSample: func(s ooo.Sample) {
 			off, ok := img.AbsToOff(s.PC)
@@ -181,6 +201,9 @@ func RunContext(ctx context.Context, cfg ooo.Config, prog *program.Program, opts
 	if opts.IntervalCycles > 0 {
 		profile.Intervals = sim.Intervals()
 		profile.IntervalCycles = opts.IntervalCycles
+	}
+	if win != nil {
+		win.final(stats)
 	}
 	recordRunMetrics(sim, stats)
 	return profile, stats, nil

@@ -1,0 +1,122 @@
+package sampler
+
+import (
+	"reflect"
+	"testing"
+
+	"optiwise/internal/ooo"
+)
+
+// TestWindowIncrementsTelescope is the streaming equivalence contract at
+// the sampling layer: emitting windowed increments must not perturb the
+// run, and accumulating the increments in emission order onto the zero
+// profile must reconstruct the one-shot profile exactly.
+func TestWindowIncrementsTelescope(t *testing.T) {
+	p := assemble(t, hotLoop)
+	opts := Options{Period: 600, RandSeed: 3}
+	oneShot, _, err := Run(ooo.XeonW2195(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var incs []*Profile
+	finals := 0
+	opts.WindowCycles = 5000
+	opts.OnWindow = func(inc *Profile, final bool) {
+		incs = append(incs, inc)
+		if final {
+			finals++
+		}
+	}
+	streamed, _, err := Run(ooo.XeonW2195(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oneShot, streamed) {
+		t.Error("window emission perturbed the run's own profile")
+	}
+	if len(incs) < 2 {
+		t.Fatalf("only %d increments for a multi-window run", len(incs))
+	}
+	if finals != 1 {
+		t.Fatalf("saw %d final increments, want exactly 1", finals)
+	}
+
+	acc := &Profile{Module: oneShot.Module, Period: oneShot.Period, Precise: oneShot.Precise}
+	for i, inc := range incs {
+		if err := acc.Accumulate(inc); err != nil {
+			t.Fatalf("increment %d: %v", i, err)
+		}
+	}
+	if !reflect.DeepEqual(acc, oneShot) {
+		t.Errorf("accumulated increments differ from one-shot profile:\nacc  %+v\nwant %+v",
+			summarize(acc), summarize(oneShot))
+	}
+}
+
+func summarize(p *Profile) map[string]uint64 {
+	return map[string]uint64{
+		"records": uint64(len(p.Records)),
+		"total":   p.TotalCycles,
+		"user":    p.UserCycles,
+		"insts":   p.Instructions,
+	}
+}
+
+// TestAccumulateMatchesMerge pins Accumulate to the existing Merge
+// operator: folding runs one at a time must equal the one-call merge,
+// and the summed counters must be invariant under reordering (records
+// concatenate in fold order, so only the counters commute).
+func TestAccumulateMatchesMerge(t *testing.T) {
+	p := assemble(t, hotLoop)
+	var runs []*Profile
+	for seed := uint64(1); seed <= 3; seed++ {
+		r, _, err := Run(ooo.XeonW2195(), p, Options{Period: 600, RandSeed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, r)
+	}
+	merged, err := Merge(runs[0], runs[1], runs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := &Profile{Module: merged.Module, Period: merged.Period, Precise: merged.Precise}
+	for _, r := range runs {
+		if err := acc.Accumulate(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(acc, merged) {
+		t.Error("sequential Accumulate differs from Merge")
+	}
+	perm, err := Merge(runs[2], runs[0], runs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm.TotalCycles != merged.TotalCycles ||
+		perm.UserCycles != merged.UserCycles ||
+		perm.Instructions != merged.Instructions ||
+		len(perm.Records) != len(merged.Records) {
+		t.Error("merged counters not order-invariant")
+	}
+}
+
+// TestAccumulateRejectsMismatches mirrors Merge's compatibility checks.
+func TestAccumulateRejectsMismatches(t *testing.T) {
+	p := assemble(t, hotLoop)
+	a, _, _ := Run(ooo.XeonW2195(), p, Options{Period: 600})
+	b, _, _ := Run(ooo.XeonW2195(), p, Options{Period: 700})
+	if err := a.Accumulate(b); err == nil {
+		t.Error("period mismatch accepted")
+	}
+	c, _, _ := Run(ooo.XeonW2195(), p, Options{Period: 600, Precise: true})
+	if err := a.Accumulate(c); err == nil {
+		t.Error("mode mismatch accepted")
+	}
+	d, _, _ := Run(ooo.XeonW2195(), p, Options{Period: 600})
+	d.Module = "other"
+	if err := a.Accumulate(d); err == nil {
+		t.Error("module mismatch accepted")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"optiwise"
+	"optiwise/internal/diff"
 	"optiwise/internal/obs"
 )
 
@@ -22,7 +23,14 @@ import (
 //	GET    /v1/jobs/{id}        job status (includes trace_id)
 //	GET    /v1/jobs/{id}/report rendered report once done (?kind=...)
 //	GET    /v1/jobs/{id}/trace  the job's span tree as Chrome trace JSON
+//	GET    /v1/jobs/{id}/windows  streamed windowed-profile snapshot
+//	                            (options.stream_window), live while the
+//	                            job runs and final once done
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/lineages/{key}   recorded profile versions of a lineage
+//	GET    /v1/lineages/{key}/diff  differential CPI report between two
+//	                            versions (?from=&to= digests; defaults
+//	                            to the latest pair)
 //	GET    /v1/stats            operational snapshot
 //	GET    /healthz             liveness (503 while draining)
 //	GET    /readyz              readiness (503 + Retry-After when the
@@ -41,7 +49,10 @@ func (s *Server) Handler() http.Handler {
 	api("GET", "/jobs/{id}", s.handleStatus)
 	api("GET", "/jobs/{id}/report", s.handleReport)
 	api("GET", "/jobs/{id}/trace", s.handleTrace)
+	api("GET", "/jobs/{id}/windows", s.handleWindows)
 	api("DELETE", "/jobs/{id}", s.handleCancel)
+	api("GET", "/lineages/{key}", s.handleLineage)
+	api("GET", "/lineages/{key}/diff", s.handleLineageDiff)
 	api("GET", "/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
@@ -69,6 +80,11 @@ type submitRequest struct {
 	// TraceID propagates a caller-chosen 32-hex trace identity. A
 	// traceparent request header takes precedence over this field.
 	TraceID string `json:"trace_id,omitempty"`
+	// Lineage keys the job into the server's profile-lineage history:
+	// successive full-fidelity results submitted under one key are
+	// retained (bounded, oldest first), diffed for CPI regressions
+	// against their predecessor, and served by GET /v1/lineages/{key}.
+	Lineage string `json:"lineage,omitempty"`
 }
 
 // submitOptions mirrors optiwise.Options with signed integers so that
@@ -91,6 +107,13 @@ type submitOptions struct {
 	// sampled run's simulated core (see optiwise.Options.TelemetryWindow);
 	// the stream rides on the JSON export and the job's Chrome trace.
 	TelemetryWindow int64 `json:"telemetry_window,omitempty"`
+	// StreamWindow enables windowed profile streaming: both profiling
+	// passes emit increments every N simulated cycles (sampling) /
+	// retired instructions (instrumentation), combined incrementally and
+	// served live at GET /v1/jobs/{id}/windows. Streaming is an
+	// observation channel: it does not enter the job's content address,
+	// so streamed and plain submissions of the same program coalesce.
+	StreamWindow int64 `json:"stream_window,omitempty"`
 	// AllowDegraded opts this job into single-pass (degraded) results
 	// when exactly one profiling pass fails. Degraded results are
 	// flagged in the job status and never cached.
@@ -115,6 +138,8 @@ func (o *submitOptions) toOptions() (optiwise.Options, error) {
 		return opts, fmt.Errorf("max cycles must be non-negative, got %d", o.MaxCycles)
 	case o.TelemetryWindow < 0:
 		return opts, fmt.Errorf("telemetry window must be non-negative, got %d", o.TelemetryWindow)
+	case o.StreamWindow < 0:
+		return opts, fmt.Errorf("stream window must be non-negative, got %d", o.StreamWindow)
 	}
 	opts.SamplePeriod = uint64(o.SamplePeriod)
 	opts.InterruptCost = uint64(o.InterruptCost)
@@ -128,6 +153,7 @@ func (o *submitOptions) toOptions() (optiwise.Options, error) {
 	opts.RandSeed = o.RandSeed
 	opts.MaxCycles = uint64(o.MaxCycles)
 	opts.TelemetryWindow = uint64(o.TelemetryWindow)
+	opts.StreamWindow = uint64(o.StreamWindow)
 	opts.AllowDegraded = o.AllowDegraded
 	switch o.Attribution {
 	case "", "auto":
@@ -190,7 +216,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		traceID = tid
 	}
-	job, err := s.SubmitTraced(prog, opts, time.Duration(req.TimeoutMS)*time.Millisecond, traceID)
+	job, err := s.SubmitWith(prog, opts, Submission{
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		TraceID: traceID,
+		Lineage: strings.TrimSpace(req.Lineage),
+	})
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		s.writeBusy(w, http.StatusTooManyRequests, "job queue is full")
@@ -279,6 +309,7 @@ var reportWriters = map[string]struct {
 	"csv":       {"text/csv; charset=utf-8", func(b *bytes.Buffer, r *optiwise.Result) error { return optiwise.WriteInstCSV(b, r) }},
 	"loops-csv": {"text/csv; charset=utf-8", func(b *bytes.Buffer, r *optiwise.Result) error { return optiwise.WriteLoopCSV(b, r) }},
 	"json":      {"application/json", func(b *bytes.Buffer, r *optiwise.Result) error { return r.WriteJSON(b) }},
+	"yaml":      {"application/yaml; charset=utf-8", func(b *bytes.Buffer, r *optiwise.Result) error { return optiwise.WriteYAML(b, r) }},
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -324,7 +355,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		rw, ok := reportWriters[kind]
 		if !ok {
 			writeError(w, http.StatusBadRequest,
-				fmt.Sprintf("unknown report kind %q (want full, functions, loops, annotated, callgraph, csv, loops-csv, or json)", kind))
+				fmt.Sprintf("unknown report kind %q (want full, functions, loops, annotated, callgraph, csv, loops-csv, json, or yaml)", kind))
 			return
 		}
 		if err := rw.write(&buf, res); err != nil {
@@ -372,6 +403,106 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(buf.Bytes()) //nolint:errcheck // client went away
+}
+
+// handleWindows serves the job's streamed windowed-profile snapshot:
+// the per-window sampling and instrumentation increments observed so
+// far plus the incrementally combined cumulative totals. Live while the
+// job runs (poll it to watch CPI converge) and final once it is done.
+// Jobs that did not request streaming (options.stream_window), were
+// served from the result cache, or have not started yet answer 409 with
+// a descriptive error, mirroring the trace endpoint.
+func (s *Server) handleWindows(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	snap, err := job.StreamSnapshot()
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// lineageResponse is the GET /v1/lineages/{key} body.
+type lineageResponse struct {
+	Lineage  string           `json:"lineage"`
+	Versions []lineageVersion `json:"versions"`
+}
+
+func (s *Server) handleLineage(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	versions, ok := s.lineages.list(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown lineage %q", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, lineageResponse{Lineage: key, Versions: versions})
+}
+
+// handleLineageDiff computes the differential CPI report between two
+// recorded versions of a lineage. ?from= and ?to= select versions by
+// digest (or an unambiguous prefix of at least 8 hex digits); both
+// default to the latest pair, so a bare GET answers "did the newest
+// version regress?". ?threshold= and ?sigma= override the server's
+// regression threshold and significance band for this one report.
+func (s *Server) handleLineageDiff(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	versions, ok := s.lineages.list(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown lineage %q", key))
+		return
+	}
+	from := r.URL.Query().Get("from")
+	to := r.URL.Query().Get("to")
+	if from == "" || to == "" {
+		if len(versions) < 2 {
+			writeError(w, http.StatusConflict,
+				fmt.Sprintf("lineage %q has %d recorded version(s); diffing needs two (or explicit ?from=&to=)", key, len(versions)))
+			return
+		}
+		if to == "" {
+			to = versions[len(versions)-1].Digest
+		}
+		if from == "" {
+			from = versions[len(versions)-2].Digest
+		}
+	}
+	oldExp, err := s.lineages.version(key, from)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	newExp, err := s.lineages.version(key, to)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	opts := diff.Options{Threshold: s.cfg.RegressionThreshold}
+	if v := r.URL.Query().Get("threshold"); v != "" {
+		t, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid threshold: "+err.Error())
+			return
+		}
+		opts.Threshold = t
+	}
+	if v := r.URL.Query().Get("sigma"); v != "" {
+		sg, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid sigma: "+err.Error())
+			return
+		}
+		opts.Sigma = sg
+	}
+	rep, err := diff.Compute(oldExp, newExp, opts)
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 // handleReady answers readiness probes: 200 while the server is

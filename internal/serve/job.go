@@ -53,6 +53,7 @@ type Job struct {
 	result    *optiwise.Result
 	cached    bool
 	coalesced bool
+	lineage   string
 	retries   int
 	submitted time.Time
 	started   time.Time
@@ -70,6 +71,9 @@ type JobStatus struct {
 	Error     string `json:"error,omitempty"`
 	Cached    bool   `json:"cached,omitempty"`
 	Coalesced bool   `json:"coalesced,omitempty"`
+	// Lineage is the client-chosen profile-lineage key the job's result
+	// was recorded under (see Submission.Lineage).
+	Lineage string `json:"lineage,omitempty"`
 	// Retries counts the transient-failure re-executions the job's
 	// group needed before its final outcome.
 	Retries int `json:"retries,omitempty"`
@@ -125,6 +129,7 @@ func (j *Job) Status() JobStatus {
 		Error:     j.errMsg,
 		Cached:    j.cached,
 		Coalesced: j.coalesced,
+		Lineage:   j.lineage,
 		Module:    j.Module,
 		Machine:   j.Machine,
 		Digest:    j.Digest,
@@ -183,6 +188,37 @@ func (j *Job) WriteTrace(w io.Writer) error {
 		return errors.New("serve: no trace recorded yet: execution has not started")
 	}
 	return tr.WriteChromeTrace(w)
+}
+
+// StreamSnapshot returns the live windowed-profiling view of the job's
+// execution: per-window sampling and instrumentation increments plus the
+// cumulative totals combined so far (see optiwise.StreamSnapshot). Like
+// the trace export, the windows belong to the execution producing the
+// result: jobs served from the result cache never executed and carry
+// none, and jobs whose execution group was not asked to stream (window
+// streaming follows the leader submission's options.stream_window; it is
+// an observation channel, not part of the job's content address) answer
+// with a descriptive error.
+func (j *Job) StreamSnapshot() (*optiwise.StreamSnapshot, error) {
+	j.mu.Lock()
+	g := j.group
+	cached := j.cached
+	j.mu.Unlock()
+	if g == nil {
+		if cached {
+			return nil, errors.New("serve: no profile windows: result served from cache without executing")
+		}
+		return nil, errors.New("serve: no profile windows recorded for this job")
+	}
+	if g.streamWindow == 0 {
+		return nil, errors.New("serve: windowed streaming was not requested for this execution (submit with options.stream_window)")
+	}
+	comb := g.combiner()
+	if comb == nil {
+		return nil, errors.New("serve: no profile windows yet: execution has not started")
+	}
+	snap := comb.Snapshot()
+	return &snap, nil
 }
 
 // markRunning transitions queued → running (no-op otherwise).
@@ -289,6 +325,12 @@ type group struct {
 	// members keep their own submitted IDs in their status, but the spans
 	// of the single shared execution are stamped with the leader's.
 	traceID string
+	// streamWindow is the leader submission's requested profile-window
+	// size in cycles (0 = no streaming). Canonicalization strips
+	// StreamWindow from the content-addressed options — streaming is an
+	// observation channel, identical submissions with and without it
+	// share one execution — so the request rides on the group instead.
+	streamWindow uint64
 
 	mu       sync.Mutex
 	members  []*Job
@@ -296,12 +338,32 @@ type group struct {
 	finished bool
 	cancel   func()      // set once a worker starts the execution
 	tracer   *obs.Tracer // set once a worker starts the execution
+	// comb combines the execution's windowed profile increments; replaced
+	// wholesale on each retry attempt so a half-streamed failed attempt
+	// never double-counts into the next one.
+	comb *optiwise.StreamCombiner
 }
 
-func newGroup(key string, prog *optiwise.Program, opts optiwise.Options, leader *Job) *group {
-	g := &group{key: key, prog: prog, opts: opts, traceID: leader.TraceID, members: []*Job{leader}}
+func newGroup(key string, prog *optiwise.Program, opts optiwise.Options, streamWindow uint64, leader *Job) *group {
+	g := &group{key: key, prog: prog, opts: opts, streamWindow: streamWindow,
+		traceID: leader.TraceID, members: []*Job{leader}}
 	leader.setGroup(g)
 	return g
+}
+
+// setCombiner installs the current execution attempt's stream combiner.
+func (g *group) setCombiner(c *optiwise.StreamCombiner) {
+	g.mu.Lock()
+	g.comb = c
+	g.mu.Unlock()
+}
+
+// combiner returns the current attempt's stream combiner (nil before the
+// first streaming execution starts).
+func (g *group) combiner() *optiwise.StreamCombiner {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.comb
 }
 
 // add coalesces j onto the in-flight execution. It reports false when

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"optiwise/internal/core"
+)
+
+// lineageVersion is one recorded profile in a lineage's history: the
+// listing metadata served by GET /v1/lineages/{key} plus the retained
+// export the diff endpoint computes against.
+type lineageVersion struct {
+	// Digest is the job content address (program + machine + options),
+	// so a version is identified the same way the result cache keys it.
+	Digest  string    `json:"digest"`
+	Module  string    `json:"module"`
+	JobID   string    `json:"job_id"`
+	TraceID string    `json:"trace_id,omitempty"`
+	Seen    time.Time `json:"recorded"`
+	// Cycles and IPC summarize the version so the listing is useful
+	// without fetching a diff.
+	Cycles uint64  `json:"cycles"`
+	IPC    float64 `json:"ipc"`
+
+	export *core.Export
+}
+
+// lineageStore keeps a bounded per-lineage history of combined-profile
+// exports. Lineage keys are client-chosen (a branch, a service, a
+// benchmark name); each key holds up to depth versions, oldest evicted
+// first, and the key set itself is bounded to max with least-recently
+// touched keys evicted first. Consecutive identical digests are
+// deduplicated: resubmitting the same program version refreshes its
+// timestamp instead of flooding the history with copies.
+type lineageStore struct {
+	mu    sync.Mutex
+	depth int
+	max   int
+	m     map[string]*lineageEntry
+	order []string // LRU: least recently touched first
+}
+
+type lineageEntry struct {
+	versions []lineageVersion // oldest first
+}
+
+func newLineageStore(depth, max int) *lineageStore {
+	if depth <= 0 {
+		depth = 8
+	}
+	if max <= 0 {
+		max = 256
+	}
+	return &lineageStore{depth: depth, max: max, m: make(map[string]*lineageEntry)}
+}
+
+// record appends v to key's history. It returns the previous version's
+// export (nil when v is the first) and whether v was actually added —
+// false when it duplicates the newest recorded digest, in which case
+// only the timestamp is refreshed and no regression check should run.
+func (s *lineageStore) record(key string, v lineageVersion) (prev *core.Export, added bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.m[key]
+	if e == nil {
+		for len(s.m) >= s.max && len(s.order) > 0 {
+			delete(s.m, s.order[0])
+			s.order = s.order[1:]
+		}
+		e = &lineageEntry{}
+		s.m[key] = e
+		s.order = append(s.order, key)
+	} else {
+		s.touchLocked(key)
+	}
+	if n := len(e.versions); n > 0 && e.versions[n-1].Digest == v.Digest {
+		e.versions[n-1].Seen = v.Seen
+		return nil, false
+	}
+	if n := len(e.versions); n > 0 {
+		prev = e.versions[n-1].export
+	}
+	e.versions = append(e.versions, v)
+	if len(e.versions) > s.depth {
+		e.versions = e.versions[len(e.versions)-s.depth:]
+	}
+	return prev, true
+}
+
+// list returns a copy of key's history, oldest first.
+func (s *lineageStore) list(key string) ([]lineageVersion, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.m[key]
+	if e == nil {
+		return nil, false
+	}
+	s.touchLocked(key)
+	out := make([]lineageVersion, len(e.versions))
+	copy(out, e.versions)
+	return out, true
+}
+
+// version resolves a digest (or an unambiguous prefix of at least 8 hex
+// digits) within key's history to its retained export.
+func (s *lineageStore) version(key, digest string) (*core.Export, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.m[key]
+	if e == nil {
+		return nil, fmt.Errorf("unknown lineage %q", key)
+	}
+	var found *core.Export
+	matches := 0
+	for i := range e.versions {
+		v := &e.versions[i]
+		if v.Digest == digest {
+			return v.export, nil
+		}
+		if len(digest) >= 8 && strings.HasPrefix(v.Digest, digest) {
+			found = v.export
+			matches++
+		}
+	}
+	switch {
+	case matches == 1:
+		return found, nil
+	case matches > 1:
+		return nil, fmt.Errorf("digest prefix %q is ambiguous in lineage %q", digest, key)
+	default:
+		return nil, fmt.Errorf("lineage %q has no version %q", key, digest)
+	}
+}
+
+// keys returns the number of tracked lineages.
+func (s *lineageStore) keys() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// touchLocked moves key to the most-recently-used end. Callers hold mu.
+func (s *lineageStore) touchLocked(key string) {
+	for i, k := range s.order {
+		if k == key {
+			s.order = append(append(s.order[:i:i], s.order[i+1:]...), key)
+			return
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"optiwise/internal/core"
+)
+
+func lv(digest string, cycles uint64) lineageVersion {
+	return lineageVersion{
+		Digest: digest,
+		Module: "mod",
+		Seen:   time.Unix(int64(cycles), 0),
+		Cycles: cycles,
+		export: &core.Export{Module: "mod", TotalCycles: cycles},
+	}
+}
+
+func TestLineageStoreDepthAndPrev(t *testing.T) {
+	s := newLineageStore(3, 10)
+	prev, added := s.record("k", lv("aaaaaaaa11111111", 1))
+	if prev != nil || !added {
+		t.Fatalf("first record: prev=%v added=%v", prev, added)
+	}
+	prev, added = s.record("k", lv("bbbbbbbb22222222", 2))
+	if !added || prev == nil || prev.TotalCycles != 1 {
+		t.Fatalf("second record: prev=%+v added=%v", prev, added)
+	}
+	s.record("k", lv("cccccccc33333333", 3))
+	s.record("k", lv("dddddddd44444444", 4))
+	versions, ok := s.list("k")
+	if !ok || len(versions) != 3 {
+		t.Fatalf("depth not enforced: %d versions", len(versions))
+	}
+	if versions[0].Digest != "bbbbbbbb22222222" {
+		t.Errorf("oldest surviving version %q, want the second", versions[0].Digest)
+	}
+	if versions[2].Digest != "dddddddd44444444" {
+		t.Errorf("newest version %q", versions[2].Digest)
+	}
+}
+
+func TestLineageStoreDedupesConsecutiveDigests(t *testing.T) {
+	s := newLineageStore(8, 10)
+	s.record("k", lv("aaaaaaaa11111111", 1))
+	later := lv("aaaaaaaa11111111", 1)
+	later.Seen = time.Unix(99, 0)
+	prev, added := s.record("k", later)
+	if added || prev != nil {
+		t.Fatalf("duplicate digest recorded: prev=%v added=%v", prev, added)
+	}
+	versions, _ := s.list("k")
+	if len(versions) != 1 {
+		t.Fatalf("history grew to %d on a duplicate", len(versions))
+	}
+	if !versions[0].Seen.Equal(time.Unix(99, 0)) {
+		t.Error("duplicate did not refresh the timestamp")
+	}
+	// The same digest reappearing after a different version is a real
+	// revert and must be recorded.
+	s.record("k", lv("bbbbbbbb22222222", 2))
+	if _, added := s.record("k", lv("aaaaaaaa11111111", 1)); !added {
+		t.Error("revert to an earlier digest not recorded")
+	}
+}
+
+func TestLineageStoreEvictsLRUKeys(t *testing.T) {
+	s := newLineageStore(4, 3)
+	for i := 0; i < 3; i++ {
+		s.record(fmt.Sprintf("k%d", i), lv(fmt.Sprintf("%016x", i), uint64(i)))
+	}
+	// Touch k0 so k1 becomes the least recently used.
+	if _, ok := s.list("k0"); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	s.record("k3", lv("ffffffff00000000", 9))
+	if s.keys() != 3 {
+		t.Fatalf("keys = %d, want 3", s.keys())
+	}
+	if _, ok := s.list("k1"); ok {
+		t.Error("least-recently-used key survived eviction")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := s.list(k); !ok {
+			t.Errorf("key %s evicted unexpectedly", k)
+		}
+	}
+}
+
+func TestLineageStoreVersionResolution(t *testing.T) {
+	s := newLineageStore(8, 10)
+	s.record("k", lv("aaaaaaaa11111111", 1))
+	s.record("k", lv("aaaaaaaa22222222", 2))
+	exp, err := s.version("k", "aaaaaaaa11111111")
+	if err != nil || exp.TotalCycles != 1 {
+		t.Errorf("exact digest: %v, %+v", err, exp)
+	}
+	exp, err = s.version("k", "aaaaaaaa2222")
+	if err != nil || exp.TotalCycles != 2 {
+		t.Errorf("unique prefix: %v, %+v", err, exp)
+	}
+	if _, err = s.version("k", "aaaaaaaa"); err == nil ||
+		!strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous prefix: %v", err)
+	}
+	// Prefixes shorter than 8 characters never match.
+	if _, err = s.version("k", "aaaa"); err == nil {
+		t.Error("4-char prefix resolved")
+	}
+	if _, err = s.version("k", "0000000000000000"); err == nil {
+		t.Error("unknown digest resolved")
+	}
+	if _, err = s.version("nope", "aaaaaaaa11111111"); err == nil {
+		t.Error("unknown lineage resolved")
+	}
+}

@@ -20,6 +20,7 @@ type serverMetrics struct {
 	workerPanics *obs.CounterMetric
 	retriesM     *obs.CounterMetric
 	degraded     *obs.CounterMetric
+	regressions  *obs.CounterMetric
 }
 
 func newServerMetrics() serverMetrics {
@@ -38,5 +39,6 @@ func newServerMetrics() serverMetrics {
 		workerPanics: obs.Counter(obs.MServeWorkerPanics),
 		retriesM:     obs.Counter(obs.MServeJobRetries),
 		degraded:     obs.Counter(obs.MServeJobsDegraded),
+		regressions:  obs.Counter(obs.MProfileRegressions),
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"optiwise"
+	"optiwise/internal/diff"
 	"optiwise/internal/fault"
 	"optiwise/internal/obs"
 )
@@ -97,6 +98,18 @@ type Config struct {
 	// installs one (dumps are then empty unless the embedding process
 	// installed a recorder itself).
 	FlightRecorderSize int
+	// LineageDepth bounds how many profile versions each lineage key
+	// retains, oldest evicted first (default 8). MaxLineages bounds the
+	// number of tracked lineage keys, least-recently touched evicted
+	// first (default 256).
+	LineageDepth int
+	MaxLineages  int
+	// RegressionThreshold is the relative CPI regression (0.10 = 10%)
+	// past which a newly recorded lineage version counts as a regression:
+	// the optiwise_profile_regressions_total counter moves and a flight
+	// record is written (default 0.10; <0 disables detection — versions
+	// are still recorded and the diff endpoint still works).
+	RegressionThreshold float64
 }
 
 // maxRetainedDumps bounds the in-memory flight-dump history.
@@ -141,6 +154,15 @@ func (c Config) withDefaults() Config {
 	if c.RetryMaxDelay <= 0 {
 		c.RetryMaxDelay = time.Second
 	}
+	if c.LineageDepth <= 0 {
+		c.LineageDepth = 8
+	}
+	if c.MaxLineages <= 0 {
+		c.MaxLineages = 256
+	}
+	if c.RegressionThreshold == 0 {
+		c.RegressionThreshold = 0.10
+	}
 	return c
 }
 
@@ -149,10 +171,11 @@ func (c Config) withDefaults() Config {
 // cache. Construct with New, launch workers with Start, serve HTTP via
 // Handler, and stop with Shutdown.
 type Server struct {
-	cfg     Config
-	queue   chan *group
-	cache   *resultCache
-	metrics serverMetrics
+	cfg      Config
+	queue    chan *group
+	cache    *resultCache
+	lineages *lineageStore
+	metrics  serverMetrics
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -163,12 +186,13 @@ type Server struct {
 	inflight atomic.Int64
 	// Operational failure counters mirrored into obs metrics; kept
 	// server-local too so /v1/stats works without an active registry.
-	panics    atomic.Uint64
-	retries   atomic.Uint64
-	degradeds atomic.Uint64
-	stop      chan struct{}
-	stopOnce  sync.Once
-	wg        sync.WaitGroup
+	panics      atomic.Uint64
+	retries     atomic.Uint64
+	degradeds   atomic.Uint64
+	regressions atomic.Uint64
+	stop        chan struct{}
+	stopOnce    sync.Once
+	wg          sync.WaitGroup
 
 	// dumpMu guards the retained flight-dump history (newest last).
 	dumpMu sync.Mutex
@@ -182,13 +206,14 @@ func New(cfg Config) *Server {
 		obs.EnsureFlightRecorder(cfg.FlightRecorderSize)
 	}
 	return &Server{
-		cfg:     cfg,
-		queue:   make(chan *group, cfg.QueueDepth),
-		cache:   newResultCache(cfg.CacheBytes),
-		metrics: newServerMetrics(),
-		jobs:    make(map[string]*Job),
-		groups:  make(map[string]*group),
-		stop:    make(chan struct{}),
+		cfg:      cfg,
+		queue:    make(chan *group, cfg.QueueDepth),
+		cache:    newResultCache(cfg.CacheBytes),
+		lineages: newLineageStore(cfg.LineageDepth, cfg.MaxLineages),
+		metrics:  newServerMetrics(),
+		jobs:     make(map[string]*Job),
+		groups:   make(map[string]*group),
+		stop:     make(chan struct{}),
 	}
 }
 
@@ -240,12 +265,41 @@ func (s *Server) Submit(prog *optiwise.Program, opts optiwise.Options, timeout t
 // produces. An empty traceID mints a fresh one; a malformed one is
 // rejected rather than silently replaced.
 func (s *Server) SubmitTraced(prog *optiwise.Program, opts optiwise.Options, timeout time.Duration, traceID string) (*Job, error) {
+	return s.SubmitWith(prog, opts, Submission{Timeout: timeout, TraceID: traceID})
+}
+
+// Submission bundles the optional per-submission attributes beyond the
+// program and its profiling options.
+type Submission struct {
+	// Timeout bounds the job end to end (0 = Config.DefaultTimeout).
+	Timeout time.Duration
+	// TraceID propagates a caller-chosen trace identity (see
+	// SubmitTraced).
+	TraceID string
+	// Lineage keys the job into the server's profile-lineage history:
+	// when set and the job completes with a full-fidelity result, the
+	// combined profile is recorded as the lineage's newest version,
+	// diffed against the previous one for CPI regressions
+	// (Config.RegressionThreshold), and served by the
+	// GET /v1/lineages/{key} endpoints. Empty opts out.
+	Lineage string
+}
+
+// SubmitWith is the full submission entry point: Submit and SubmitTraced
+// delegate here. Beyond validation and canonicalization it captures the
+// observation-channel attributes that are deliberately NOT part of the
+// job's content address — the streamed-window size
+// (Options.StreamWindow) travels on the execution group, and the lineage
+// key on the job — before Canonical strips them.
+func (s *Server) SubmitWith(prog *optiwise.Program, opts optiwise.Options, sub Submission) (*Job, error) {
+	timeout, traceID := sub.Timeout, sub.TraceID
 	if traceID != "" && !obs.ValidTraceID(traceID) {
 		return nil, fmt.Errorf("serve: malformed trace ID %q (want 32 lowercase hex digits, non-zero)", traceID)
 	}
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	streamWindow := opts.StreamWindow
 	opts = opts.Canonical()
 	if s.cfg.MaxJobCycles > 0 &&
 		(opts.MaxCycles == 0 || opts.MaxCycles > uint64(s.cfg.MaxJobCycles)) {
@@ -262,8 +316,12 @@ func (s *Server) SubmitTraced(prog *optiwise.Program, opts optiwise.Options, tim
 		return nil, err
 	}
 	j := newJob(key, prog.Module(), opts.Machine.Name, traceID)
+	j.lineage = sub.Lineage
 
-	// Fast path: the cache already holds this exact profile.
+	// Fast path: the cache already holds this exact profile. The cached
+	// result still records into the job's lineage — the version history
+	// tracks what was submitted, not what was simulated — where the
+	// consecutive-digest dedup keeps resubmissions from flooding it.
 	if res, ok := s.cacheGet(key); ok {
 		j.mu.Lock()
 		j.cached = true
@@ -276,6 +334,7 @@ func (s *Server) SubmitTraced(prog *optiwise.Program, opts optiwise.Options, tim
 		s.registerLocked(j)
 		s.mu.Unlock()
 		j.finish(res, "")
+		s.recordLineage(j, res)
 		s.metrics.submitted.Inc()
 		s.metrics.cacheHits.Inc()
 		s.metrics.completed.Inc()
@@ -302,7 +361,7 @@ func (s *Server) SubmitTraced(prog *optiwise.Program, opts optiwise.Options, tim
 		// The group finished between our cache probe and now; replace it.
 		delete(s.groups, key)
 	}
-	g := newGroup(key, prog, opts, j)
+	g := newGroup(key, prog, opts, streamWindow, j)
 	select {
 	case s.queue <- g:
 	default:
@@ -479,6 +538,7 @@ func (s *Server) runGroup(g *group) {
 			s.metrics.failed.Inc()
 		} else {
 			s.metrics.completed.Inc()
+			s.recordLineage(j, res)
 		}
 		j.mu.Lock()
 		lat := j.finished.Sub(j.submitted)
@@ -592,7 +652,25 @@ func (s *Server) executeOnce(ctx context.Context, g *group) (res *optiwise.Resul
 	if err := fault.Err(fault.SiteWorker); err != nil {
 		return nil, fmt.Errorf("serve: worker: %w", err)
 	}
-	return optiwise.ProfileContext(ctx, g.prog, g.opts)
+	opts := g.opts
+	if g.streamWindow > 0 {
+		// Streaming is layered onto a copy of the canonical options: the
+		// window size was stripped from the content address (identical
+		// submissions with and without streaming share one cache entry),
+		// so it is re-applied only for this execution. Each attempt gets a
+		// fresh combiner — a half-streamed failed attempt must not
+		// double-count into the retry.
+		comb := optiwise.NewStreamCombiner(g.prog, opts)
+		g.setCombiner(comb)
+		opts.StreamWindow = g.streamWindow
+		opts.OnIncrement = func(inc optiwise.Increment) {
+			if err := comb.Add(inc); err != nil {
+				obs.Warn("serve: profile window dropped",
+					obs.F("digest", shortDigest(g.key)), obs.F("err", err.Error()))
+			}
+		}
+	}
+	return optiwise.ProfileContext(ctx, g.prog, opts)
 }
 
 // workerPanicError is a panic recovered at the worker boundary,
@@ -639,6 +717,60 @@ func backoffDelay(base, max time.Duration, attempt int) time.Duration {
 	}
 	// Jitter in [d/2, 3d/2).
 	return d/2 + time.Duration(rand.Int64N(int64(d)))
+}
+
+// recordLineage records a finished job's combined profile as the newest
+// version of its lineage (when the submission carried a lineage key) and
+// diffs it against the previous version for CPI regressions. Degraded
+// results never enter a lineage — a partial profile diffed against a
+// full one would report phantom deltas. A significant regression at or
+// past Config.RegressionThreshold moves the
+// optiwise_profile_regressions_total counter and writes a flight record
+// carrying the lineage, module, and worst relative delta; the versions
+// stay recorded either way, so GET /v1/lineages/{key}/diff can replay
+// the comparison on demand.
+func (s *Server) recordLineage(j *Job, res *optiwise.Result) {
+	if j.lineage == "" || res == nil || res.Degraded {
+		return
+	}
+	exp := res.Export()
+	prev, added := s.lineages.record(j.lineage, lineageVersion{
+		Digest:  j.Digest,
+		Module:  j.Module,
+		JobID:   j.ID,
+		TraceID: j.TraceID,
+		Seen:    time.Now(),
+		Cycles:  exp.TotalCycles,
+		IPC:     exp.IPC,
+		export:  exp,
+	})
+	if !added || prev == nil || s.cfg.RegressionThreshold < 0 {
+		return
+	}
+	rep, err := diff.Compute(prev, exp, diff.Options{Threshold: s.cfg.RegressionThreshold})
+	if err != nil {
+		// Incomparable versions (options changed between submissions) are
+		// recorded but not judged; the diff endpoint surfaces the same
+		// error to anyone asking.
+		obs.Warn("serve: lineage versions not comparable",
+			obs.F("lineage", j.lineage), obs.F("err", err.Error()))
+		return
+	}
+	if !rep.Regressed {
+		return
+	}
+	s.regressions.Add(1)
+	s.metrics.regressions.Inc()
+	obs.Warn("serve: profile regression detected",
+		obs.F("lineage", j.lineage), obs.F("module", j.Module),
+		obs.F("regressions", rep.Regressions),
+		obs.F("worst_pct", 100*rep.MaxRegression),
+		obs.F("trace_id", j.TraceID))
+	obs.Flight("mark", "profile_regression", j.TraceID,
+		obs.F("lineage", j.lineage), obs.F("module", j.Module),
+		obs.F("digest", shortDigest(j.Digest)),
+		obs.F("regressions", rep.Regressions),
+		obs.F("worst_pct", 100*rep.MaxRegression))
 }
 
 // cacheEligible decides whether a finished execution may enter the
@@ -715,6 +847,11 @@ type Stats struct {
 	WorkerPanics    uint64 `json:"worker_panics"`
 	Retries         uint64 `json:"retries"`
 	DegradedResults uint64 `json:"degraded_results"`
+	// LineageKeys counts tracked profile lineages;
+	// ProfileRegressions counts newly recorded lineage versions that
+	// regressed significantly past the configured threshold.
+	LineageKeys        int    `json:"lineage_keys"`
+	ProfileRegressions uint64 `json:"profile_regressions"`
 }
 
 // Stats returns the current operational snapshot.
@@ -724,15 +861,17 @@ func (s *Server) Stats() Stats {
 	draining := s.draining
 	s.mu.Unlock()
 	return Stats{
-		Workers:         s.cfg.Workers,
-		QueueDepth:      len(s.queue),
-		Inflight:        s.inflight.Load(),
-		Jobs:            jobs,
-		CacheEntries:    s.cache.len(),
-		CacheBytes:      s.cache.usedBytes(),
-		Draining:        draining,
-		WorkerPanics:    s.panics.Load(),
-		Retries:         s.retries.Load(),
-		DegradedResults: s.degradeds.Load(),
+		Workers:            s.cfg.Workers,
+		QueueDepth:         len(s.queue),
+		Inflight:           s.inflight.Load(),
+		Jobs:               jobs,
+		CacheEntries:       s.cache.len(),
+		CacheBytes:         s.cache.usedBytes(),
+		Draining:           draining,
+		WorkerPanics:       s.panics.Load(),
+		Retries:            s.retries.Load(),
+		DegradedResults:    s.degradeds.Load(),
+		LineageKeys:        s.lineages.keys(),
+		ProfileRegressions: s.regressions.Load(),
 	}
 }

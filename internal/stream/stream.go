@@ -1,0 +1,300 @@
+// Package stream combines windowed profile increments incrementally.
+//
+// Continuous profiling (§V of the paper discusses per-run overhead; this
+// layer is the repo's continuous-operation extension) splits each of the
+// two OptiWISE passes into a stream of profile increments: the sampling
+// pass emits a sampler.Profile per simulated-cycle window and the
+// instrumentation pass a dbi.Profile per retired-instruction window, each
+// carrying only that window's records and counter deltas. A Combiner
+// folds the increments into cumulative pass profiles using the same merge
+// algebra as offline multi-run merging (sampler.Accumulate /
+// dbi.Accumulate) — never by re-running analysis — so the cumulative
+// state after the final increment is byte-identical to the one-shot
+// profile of the same run, and a full granular CPI profile can be
+// produced at any point with one core combine over the current state.
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"optiwise/internal/core"
+	"optiwise/internal/dbi"
+	"optiwise/internal/program"
+	"optiwise/internal/sampler"
+)
+
+// Increment is one windowed hand-off from a profiling pass.
+type Increment struct {
+	// Pass is core.PassSampling or core.PassInstrumentation.
+	Pass string
+	// Seq numbers increments per pass, from zero, in emission order.
+	Seq int
+	// Final marks the trailing increment of a pass (always emitted,
+	// even when empty, as the end-of-stream marker).
+	Final bool
+	// Sample is set on sampling increments, Edge on instrumentation
+	// increments.
+	Sample *sampler.Profile
+	Edge   *dbi.Profile
+}
+
+// SampleWindow summarizes one sampling increment for reporting; the raw
+// records live only in the cumulative profile.
+type SampleWindow struct {
+	Seq          int     `json:"seq"`
+	Cycles       uint64  `json:"cycles"`
+	UserCycles   uint64  `json:"user_cycles"`
+	Instructions uint64  `json:"instructions"`
+	Samples      int     `json:"samples"`
+	WeightCycles uint64  `json:"weight_cycles"`
+	IPC          float64 `json:"ipc"`
+	Final        bool    `json:"final"`
+}
+
+// EdgeWindow summarizes one instrumentation increment.
+type EdgeWindow struct {
+	Seq          int    `json:"seq"`
+	Instructions uint64 `json:"instructions"`
+	BlockExecs   uint64 `json:"block_execs"`
+	NewBlocks    int    `json:"new_blocks"`
+	Final        bool   `json:"final"`
+}
+
+// FuncCycles is a cumulative per-function cycle estimate from sample
+// weights, maintained incrementally as windows arrive.
+type FuncCycles struct {
+	Name    string `json:"name"`
+	Cycles  uint64 `json:"cycles"`
+	Samples uint64 `json:"samples"`
+}
+
+// Snapshot is a point-in-time view of a streaming run: the per-window
+// summaries plus cumulative totals. It is cheap (no core combine) and
+// safe to take while the run is still emitting.
+type Snapshot struct {
+	SampleWindows []SampleWindow `json:"sample_windows"`
+	EdgeWindows   []EdgeWindow   `json:"edge_windows"`
+	SampleDone    bool           `json:"sample_done"`
+	EdgeDone      bool           `json:"edge_done"`
+	Complete      bool           `json:"complete"`
+
+	// Cumulative sampling-pass totals.
+	Cycles       uint64  `json:"cycles"`
+	UserCycles   uint64  `json:"user_cycles"`
+	Instructions uint64  `json:"instructions"`
+	Samples      int     `json:"samples"`
+	IPC          float64 `json:"ipc"`
+	// Cumulative instrumentation-pass totals.
+	EdgeInstructions uint64 `json:"edge_instructions"`
+	Blocks           int    `json:"blocks"`
+
+	// TopFuncs are cumulative per-function cycle estimates, hottest
+	// first, capped at topFuncLimit.
+	TopFuncs []FuncCycles `json:"top_funcs,omitempty"`
+}
+
+// topFuncLimit bounds the per-snapshot hot-function list.
+const topFuncLimit = 10
+
+// Combiner folds increments into cumulative pass profiles. All methods
+// are safe for concurrent use: the two passes emit from their own
+// goroutines while snapshots are taken from others.
+type Combiner struct {
+	mu   sync.Mutex
+	prog *program.Program
+	opts core.Options
+
+	sp *sampler.Profile // nil until the first sampling increment
+	ep *dbi.Profile     // nil until the first instrumentation increment
+
+	sampleWindows []SampleWindow
+	edgeWindows   []EdgeWindow
+	sampleDone    bool
+	edgeDone      bool
+
+	funcs map[string]*FuncCycles
+}
+
+// NewCombiner returns a Combiner producing profiles of prog under the
+// given analysis options (which must match what a one-shot run of the
+// same workload would use for results to be comparable).
+func NewCombiner(prog *program.Program, opts core.Options) *Combiner {
+	return &Combiner{
+		prog:  prog,
+		opts:  opts,
+		funcs: make(map[string]*FuncCycles),
+	}
+}
+
+// Add folds one increment into the cumulative state.
+func (c *Combiner) Add(inc Increment) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch inc.Pass {
+	case core.PassSampling:
+		return c.addSample(inc)
+	case core.PassInstrumentation:
+		return c.addEdge(inc)
+	default:
+		return fmt.Errorf("stream: unknown pass %q", inc.Pass)
+	}
+}
+
+func (c *Combiner) addSample(inc Increment) error {
+	if inc.Sample == nil {
+		return fmt.Errorf("stream: sampling increment without a profile")
+	}
+	if c.sampleDone {
+		return fmt.Errorf("stream: sampling increment after the final window")
+	}
+	if c.sp == nil {
+		// Adopt the header from the first increment; the zero profile
+		// is the identity element of Accumulate.
+		c.sp = &sampler.Profile{
+			Module:  inc.Sample.Module,
+			Period:  inc.Sample.Period,
+			Precise: inc.Sample.Precise,
+		}
+	}
+	if err := c.sp.Accumulate(inc.Sample); err != nil {
+		return err
+	}
+	var weight uint64
+	for i := range inc.Sample.Records {
+		r := &inc.Sample.Records[i]
+		weight += r.Weight
+		name := "[unknown]"
+		if f, ok := c.prog.FuncAt(r.Offset); ok {
+			name = f.Name
+		}
+		fc := c.funcs[name]
+		if fc == nil {
+			fc = &FuncCycles{Name: name}
+			c.funcs[name] = fc
+		}
+		fc.Cycles += r.Weight
+		fc.Samples++
+	}
+	c.sampleWindows = append(c.sampleWindows, SampleWindow{
+		Seq:          inc.Seq,
+		Cycles:       inc.Sample.TotalCycles,
+		UserCycles:   inc.Sample.UserCycles,
+		Instructions: inc.Sample.Instructions,
+		Samples:      len(inc.Sample.Records),
+		WeightCycles: weight,
+		IPC:          ipc(inc.Sample.Instructions, inc.Sample.UserCycles),
+		Final:        inc.Final,
+	})
+	if inc.Final {
+		c.sampleDone = true
+	}
+	return nil
+}
+
+func (c *Combiner) addEdge(inc Increment) error {
+	if inc.Edge == nil {
+		return fmt.Errorf("stream: instrumentation increment without a profile")
+	}
+	if c.edgeDone {
+		return fmt.Errorf("stream: instrumentation increment after the final window")
+	}
+	if c.ep == nil {
+		c.ep = &dbi.Profile{Module: inc.Edge.Module}
+	}
+	before := len(c.ep.Blocks)
+	if err := c.ep.Accumulate(inc.Edge); err != nil {
+		return err
+	}
+	var execs uint64
+	for _, b := range inc.Edge.Blocks {
+		execs += b.Count
+	}
+	c.edgeWindows = append(c.edgeWindows, EdgeWindow{
+		Seq:          inc.Seq,
+		Instructions: inc.Edge.BaseInstructions,
+		BlockExecs:   execs,
+		NewBlocks:    len(c.ep.Blocks) - before,
+		Final:        inc.Final,
+	})
+	if inc.Final {
+		c.edgeDone = true
+	}
+	return nil
+}
+
+// Complete reports whether both passes have delivered their final
+// increments.
+func (c *Combiner) Complete() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sampleDone && c.edgeDone
+}
+
+// Snapshot returns the current per-window summaries and cumulative
+// totals without running a combine.
+func (c *Combiner) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{
+		SampleWindows: append([]SampleWindow(nil), c.sampleWindows...),
+		EdgeWindows:   append([]EdgeWindow(nil), c.edgeWindows...),
+		SampleDone:    c.sampleDone,
+		EdgeDone:      c.edgeDone,
+		Complete:      c.sampleDone && c.edgeDone,
+	}
+	if c.sp != nil {
+		s.Cycles = c.sp.TotalCycles
+		s.UserCycles = c.sp.UserCycles
+		s.Instructions = c.sp.Instructions
+		s.Samples = len(c.sp.Records)
+		s.IPC = ipc(c.sp.Instructions, c.sp.UserCycles)
+	}
+	if c.ep != nil {
+		s.EdgeInstructions = c.ep.BaseInstructions
+		s.Blocks = len(c.ep.Blocks)
+	}
+	for _, fc := range c.funcs {
+		s.TopFuncs = append(s.TopFuncs, *fc)
+	}
+	// Hottest first; ties break by name for deterministic output.
+	for i := 1; i < len(s.TopFuncs); i++ {
+		for j := i; j > 0 && hotter(s.TopFuncs[j], s.TopFuncs[j-1]); j-- {
+			s.TopFuncs[j], s.TopFuncs[j-1] = s.TopFuncs[j-1], s.TopFuncs[j]
+		}
+	}
+	if len(s.TopFuncs) > topFuncLimit {
+		s.TopFuncs = s.TopFuncs[:topFuncLimit]
+	}
+	return s
+}
+
+func hotter(a, b FuncCycles) bool {
+	if a.Cycles != b.Cycles {
+		return a.Cycles > b.Cycles
+	}
+	return a.Name < b.Name
+}
+
+// Result runs the standard core combine over the cumulative pass
+// profiles, producing a granular CPI profile of everything streamed so
+// far. After the final increments of both passes this is byte-identical
+// to the one-shot profile of the same run. Both passes must have
+// delivered at least one increment.
+func (c *Combiner) Result(ctx context.Context) (*core.Profile, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sp == nil || c.ep == nil {
+		return nil, fmt.Errorf("stream: result needs at least one increment from each pass (sampling=%v, instrumentation=%v)",
+			c.sp != nil, c.ep != nil)
+	}
+	return core.CombineContext(ctx, c.prog, c.sp, c.ep, c.opts)
+}
+
+func ipc(insts, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(insts) / float64(cycles)
+}

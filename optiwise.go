@@ -41,6 +41,7 @@ import (
 	"optiwise/internal/program"
 	"optiwise/internal/report"
 	"optiwise/internal/sampler"
+	"optiwise/internal/stream"
 )
 
 // Machine describes the simulated processor a program is profiled on.
@@ -217,6 +218,22 @@ type Options struct {
 	// tracks. Zero (the default) disables collection entirely; the
 	// simulator then pays one nil compare per cycle.
 	TelemetryWindow uint64
+	// StreamWindow, when non-zero (with OnIncrement), enables streaming
+	// windowed profiling: each pass emits a profile increment per
+	// window — every StreamWindow simulated cycles for the sampling run
+	// and every StreamWindow retired instructions for the
+	// instrumentation run (the same loose cycle/instruction equivalence
+	// as MaxCycles) — plus a final increment per pass when it exits.
+	// Feed the increments to a StreamCombiner to maintain cumulative
+	// results while the run is still executing; after both finals the
+	// combined result is byte-identical to the one-shot profile. Zero
+	// disables streaming entirely; the run loops then pay one nil
+	// compare per cycle (sampling) / per block (instrumentation).
+	StreamWindow uint64
+	// OnIncrement receives every increment, synchronously on the
+	// emitting pass's goroutine. With concurrent passes it is called
+	// from two goroutines; StreamCombiner.Add is safe for that.
+	OnIncrement func(stream.Increment)
 	// AllowDegraded opts into partial results: when exactly one of the
 	// two profiling passes fails (for a reason other than the caller's
 	// own cancellation), ProfileContext returns a Result with Degraded
@@ -270,6 +287,12 @@ func (o Options) Canonical() Options {
 	o.fill()
 	o.Sequential = false
 	o.FaultSpec = ""
+	// Streaming is an observation channel, not a profile parameter: the
+	// increments reconstruct exactly the profile a non-streamed run
+	// produces, so streamed and plain submissions of the same program
+	// must collide in the cache.
+	o.StreamWindow = 0
+	o.OnIncrement = nil
 	return o
 }
 
@@ -331,6 +354,17 @@ func (o Options) Validate() error {
 		}
 		if o.TelemetryWindow > maxTelemetryWindow {
 			return fmt.Errorf("optiwise: telemetry window %d exceeds maximum 2^40", o.TelemetryWindow)
+		}
+	}
+	if o.StreamWindow != 0 {
+		// Same bounds rationale as the telemetry window: one increment
+		// per window, so tiny windows drown the run in hand-offs.
+		if o.StreamWindow < minTelemetryWindow {
+			return fmt.Errorf("optiwise: stream window %d below minimum %d (the increment stream would dwarf the profile)",
+				o.StreamWindow, minTelemetryWindow)
+		}
+		if o.StreamWindow > maxTelemetryWindow {
+			return fmt.Errorf("optiwise: stream window %d exceeds maximum 2^40", o.StreamWindow)
 		}
 	}
 	if o.FaultSpec != "" {
@@ -446,11 +480,7 @@ func analyzeDegraded(ctx context.Context, prog *Program, sp *SampleProfile, ep *
 	}
 	span := obs.StartCtx(ctx, "analyze_degraded").SetAttr("module", prog.Module())
 	defer span.End()
-	copts := core.Options{
-		Attribution:   opts.Attribution,
-		Unweighted:    opts.Unweighted,
-		LoopThreshold: opts.LoopThreshold,
-	}
+	copts := coreOptions(opts)
 	ctx = obs.ContextWithSpan(ctx, span)
 	if sp != nil {
 		span.SetAttr("failed_pass", core.PassInstrumentation)
@@ -555,6 +585,18 @@ func guardedInstrumentPass(ctx context.Context, prog *Program, opts Options, spa
 	return instrumentPass(ctx, prog, opts)
 }
 
+// coreOptions maps the public profiling options onto the analysis
+// layer's options. opts must be filled so the recorded machine name is
+// the resolved one.
+func coreOptions(o Options) core.Options {
+	return core.Options{
+		Attribution:   o.Attribution,
+		Unweighted:    o.Unweighted,
+		LoopThreshold: o.LoopThreshold,
+		Machine:       o.Machine.Name,
+	}
+}
+
 // isCancellation reports whether err stems from context cancellation or
 // expiry rather than a pass's own failure.
 func isCancellation(err error) bool {
@@ -593,6 +635,28 @@ type SampleProfile = sampler.Profile
 // client's output equivalent).
 type EdgeProfile = dbi.Profile
 
+// Increment is one windowed profile increment from a streaming run
+// (Options.StreamWindow / Options.OnIncrement).
+type Increment = stream.Increment
+
+// StreamCombiner folds a streaming run's increments into cumulative
+// pass profiles; Snapshot gives per-window summaries mid-run, Result a
+// full granular CPI profile of everything streamed so far. Safe to feed
+// from Options.OnIncrement with concurrent passes.
+type StreamCombiner = stream.Combiner
+
+// StreamSnapshot is a point-in-time view of a streaming run.
+type StreamSnapshot = stream.Snapshot
+
+// NewStreamCombiner returns a combiner for a streaming run of prog
+// configured by opts. The combiner uses the same analysis options a
+// one-shot Profile call would, so its Result after both passes finish
+// is byte-identical to the one-shot Result.
+func NewStreamCombiner(prog *Program, opts Options) *StreamCombiner {
+	opts.fill()
+	return stream.NewCombiner(prog.prog, coreOptions(opts))
+}
+
 // SampleOnly performs just the sampling run (optiwise sample).
 func SampleOnly(prog *Program, opts Options) (*SampleProfile, ooo.Stats, error) {
 	return SampleOnlyContext(context.Background(), prog, opts)
@@ -614,7 +678,7 @@ func SampleOnlyContext(ctx context.Context, prog *Program, opts Options) (*Sampl
 // span stack cannot attribute concurrent siblings). opts must be
 // filled.
 func samplePass(ctx context.Context, prog *Program, opts Options) (*SampleProfile, ooo.Stats, error) {
-	return sampler.RunContext(ctx, opts.Machine, prog.prog, sampler.Options{
+	sopts := sampler.Options{
 		Period:         opts.SamplePeriod,
 		InterruptCost:  opts.InterruptCost,
 		Precise:        opts.Precise,
@@ -623,7 +687,17 @@ func samplePass(ctx context.Context, prog *Program, opts Options) (*SampleProfil
 		RandSeed:       opts.RandSeed,
 		MaxCycles:      opts.MaxCycles,
 		IntervalCycles: opts.TelemetryWindow,
-	})
+	}
+	if opts.StreamWindow > 0 && opts.OnIncrement != nil {
+		emit := opts.OnIncrement
+		seq := 0 // emission is synchronous on this pass's goroutine
+		sopts.WindowCycles = opts.StreamWindow
+		sopts.OnWindow = func(inc *sampler.Profile, final bool) {
+			emit(stream.Increment{Pass: core.PassSampling, Seq: seq, Final: final, Sample: inc})
+			seq++
+		}
+	}
+	return sampler.RunContext(ctx, opts.Machine, prog.prog, sopts)
 }
 
 // InstrumentOnly performs just the instrumentation run (optiwise
@@ -644,12 +718,22 @@ func InstrumentOnlyContext(ctx context.Context, prog *Program, opts Options) (*E
 // instrumentPass is the instrumentation pass body, span-free for the
 // same reason as samplePass. opts must be filled.
 func instrumentPass(ctx context.Context, prog *Program, opts Options) (*EdgeProfile, error) {
-	return dbi.RunContext(ctx, prog.prog, dbi.Options{
+	dopts := dbi.Options{
 		StackProfiling:  !opts.DisableStackProfiling,
 		ASLRSeed:        opts.InstrASLRSeed,
 		RandSeed:        opts.RandSeed,
 		MaxInstructions: opts.MaxCycles,
-	})
+	}
+	if opts.StreamWindow > 0 && opts.OnIncrement != nil {
+		emit := opts.OnIncrement
+		seq := 0 // emission is synchronous on this pass's goroutine
+		dopts.WindowInstructions = opts.StreamWindow
+		dopts.OnWindow = func(inc *dbi.Profile, final bool) {
+			emit(stream.Increment{Pass: core.PassInstrumentation, Seq: seq, Final: final, Edge: inc})
+			seq++
+		}
+	}
+	return dbi.RunContext(ctx, prog.prog, dopts)
 }
 
 // Analyze combines previously collected profiles (optiwise analyze).
@@ -667,11 +751,7 @@ func AnalyzeContext(ctx context.Context, prog *Program, sp *SampleProfile, ep *E
 	}
 	span := obs.StartCtx(ctx, "analyze").SetAttr("module", prog.Module())
 	defer span.End()
-	res, err := core.CombineContext(obs.ContextWithSpan(ctx, span), prog.prog, sp, ep, core.Options{
-		Attribution:   opts.Attribution,
-		Unweighted:    opts.Unweighted,
-		LoopThreshold: opts.LoopThreshold,
-	})
+	res, err := core.CombineContext(obs.ContextWithSpan(ctx, span), prog.prog, sp, ep, coreOptions(opts))
 	if err == nil {
 		emitIntervalCounters(span, res)
 	}
@@ -717,6 +797,11 @@ func emitIntervalCounters(span *obs.Span, res *Result) {
 // WriteReport renders the full human-readable report (summary, function
 // table, loop table, hottest lines, annotated hottest function).
 func WriteReport(w io.Writer, r *Result) error { return report.WriteAll(w, r) }
+
+// WriteYAML serializes the combined profile as YAML — the third
+// machine-readable export beside JSON and CSV. Degraded results carry
+// the degraded flag trio plus a human-readable banner field.
+func WriteYAML(w io.Writer, r *Result) error { return report.WriteYAML(w, r) }
 
 // WriteFunctionTable renders only the per-function table.
 func WriteFunctionTable(w io.Writer, r *Result) error { return report.WriteFunctionTable(w, r) }
