@@ -11,9 +11,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"optiwise/internal/cluster"
 	"optiwise/internal/fault"
 	"optiwise/internal/obs"
 	"optiwise/internal/serve"
@@ -38,6 +40,11 @@ func cmdServe(args []string) error {
 	faultSpec := fs.String("fault", "", "server-wide fault-injection spec (chaos testing; also OPTIWISE_FAULT)")
 	flightDir := fs.String("flight-dir", "", "directory for flight-recorder dumps (panics, failed jobs, degraded results, SIGQUIT); empty keeps dumps in memory only")
 	flightSize := fs.Int("flight-size", 0, "flight-recorder ring capacity in records (0 = default 4096, negative disables)")
+	role := fs.String("role", "", "cluster role: router, worker, or both (empty = single-node unless -peers/-peers-file given, then both)")
+	peers := fs.String("peers", "", "comma-separated sibling addresses (host:port) forming a profiling cluster")
+	peersFile := fs.String("peers-file", "", "file of sibling addresses (one host:port per line), re-read periodically — use when peer ports are assigned late")
+	advertise := fs.String("advertise", "", "address peers should reach this node at (default: the bound listen address)")
+	probeInterval := fs.Duration("probe-interval", 500*time.Millisecond, "cluster membership probe cadence")
 	obsCfg := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +85,40 @@ func cmdServe(args []string) error {
 		FlightDumpDir:      *flightDir,
 		FlightRecorderSize: *flightSize,
 	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+
+	// Cluster mode: any of -role/-peers/-peers-file turns this process
+	// into one node of a sharded profiling cluster (DESIGN.md §11). The
+	// node must exist before Start so its peer-fetch hook is installed
+	// before the first worker dequeues.
+	var node *cluster.Node
+	clustered := *role != "" || *peers != "" || *peersFile != ""
+	if clustered {
+		r, err := cluster.ParseRole(*role)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		self := *advertise
+		if self == "" {
+			self = ln.Addr().String()
+		}
+		node, err = cluster.New(cluster.Config{
+			Self:          self,
+			Role:          r,
+			Peers:         splitAddrs(*peers),
+			PeersFile:     *peersFile,
+			ProbeInterval: *probeInterval,
+		}, srv)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+	}
 	srv.Start()
 
 	// SIGQUIT snapshots the flight recorder without killing the server:
@@ -97,10 +138,6 @@ func cmdServe(args []string) error {
 		}()
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
-	}
 	if *addrFile != "" {
 		// Write-then-rename so a watching script never reads a partial
 		// address: the file appears atomically, fully written, only
@@ -115,11 +152,21 @@ func cmdServe(args []string) error {
 			return fmt.Errorf("serve: write -addr-file: %w", err)
 		}
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if node != nil {
+		handler = node.Handler()
+	}
+	httpSrv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "optiwise: serving on http://%s (workers=%d queue=%d)\n",
-		ln.Addr(), srv.Config().Workers, srv.Config().QueueDepth)
+	if node != nil {
+		node.Start()
+		fmt.Fprintf(os.Stderr, "optiwise: serving on http://%s as cluster node (workers=%d queue=%d ring=%d)\n",
+			ln.Addr(), srv.Config().Workers, srv.Config().QueueDepth, node.Ring().Size())
+	} else {
+		fmt.Fprintf(os.Stderr, "optiwise: serving on http://%s (workers=%d queue=%d)\n",
+			ln.Addr(), srv.Config().Workers, srv.Config().QueueDepth)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -131,6 +178,9 @@ func cmdServe(args []string) error {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
+	if node != nil {
+		node.Shutdown()
+	}
 	if err := srv.Shutdown(ctx); err != nil {
 		return err
 	}
@@ -141,12 +191,74 @@ func cmdServe(args []string) error {
 	return flush()
 }
 
+// splitAddrs parses a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// apiClient talks to a profiling service through one or more base URLs
+// with connection-error failover: every request walks the address list
+// starting from the last base that answered, so a killed cluster node
+// costs one retry, not a failed submission. HTTP error statuses are
+// answers, not failures — only transport errors fail over.
+type apiClient struct {
+	addrs []string
+	cur   int
+}
+
+func newAPIClient(addrList string) (*apiClient, error) {
+	addrs := splitAddrs(addrList)
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("no service address given")
+	}
+	for i, a := range addrs {
+		if !strings.Contains(a, "://") {
+			addrs[i] = "http://" + a
+		}
+	}
+	return &apiClient{addrs: addrs}, nil
+}
+
+// do runs f against base URLs until one answers.
+func (c *apiClient) do(f func(base string) (*http.Response, error)) (*http.Response, error) {
+	var lastErr error
+	for i := 0; i < len(c.addrs); i++ {
+		idx := (c.cur + i) % len(c.addrs)
+		resp, err := f(c.addrs[idx])
+		if err == nil {
+			c.cur = idx
+			return resp, nil
+		}
+		lastErr = err
+		if len(c.addrs) > 1 {
+			fmt.Fprintf(os.Stderr, "optiwise: %s unreachable (%v), failing over\n", c.addrs[idx], err)
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *apiClient) get(path string) (*http.Response, error) {
+	return c.do(func(base string) (*http.Response, error) { return http.Get(base + path) })
+}
+
+func (c *apiClient) post(path string, body []byte) (*http.Response, error) {
+	return c.do(func(base string) (*http.Response, error) {
+		return http.Post(base+path, "application/json", bytes.NewReader(body))
+	})
+}
+
 // cmdSubmit sends one program to a running profiling service and
 // prints the selected report.
 func cmdSubmit(args []string) error {
 	c := newFlags("submit")
 	fs := c.fs
-	addr := fs.String("addr", "http://127.0.0.1:8077", "service base URL")
+	addr := fs.String("addr", "http://127.0.0.1:8077", "service base URL, or a comma-separated list tried in order on connection failure (cluster frontends)")
 	kind := fs.String("report", "full", "report kind: full, functions, loops, annotated, callgraph, csv, loops-csv, json")
 	fn := fs.String("func", "", "function for -report annotated (default: hottest)")
 	timeout := fs.Duration("timeout", 0, "per-job deadline (0 = server default)")
@@ -196,7 +308,11 @@ func cmdSubmit(args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(*addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	api, err := newAPIClient(*addr)
+	if err != nil {
+		return err
+	}
+	resp, err := api.post("/v1/jobs", body)
 	if err != nil {
 		return err
 	}
@@ -207,7 +323,7 @@ func cmdSubmit(args []string) error {
 	if *poll {
 		for !st.State.Terminal() {
 			time.Sleep(200 * time.Millisecond)
-			r, err := http.Get(*addr + "/v1/jobs/" + st.ID)
+			r, err := api.get("/v1/jobs/" + st.ID)
 			if err != nil {
 				return err
 			}
@@ -223,17 +339,17 @@ func cmdSubmit(args []string) error {
 		fmt.Fprintf(os.Stderr, "optiwise: warning: degraded result (%s pass failed)\n", st.FailedPass)
 	}
 	if *traceOut != "" {
-		if err := fetchTrace(*addr, st.ID, *traceOut); err != nil {
+		if err := fetchTrace(api, st.ID, *traceOut); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "optiwise: wrote Chrome trace for job %s (trace %s) to %s\n",
 			st.ID, st.TraceID, *traceOut)
 	}
-	url := *addr + "/v1/jobs/" + st.ID + "/report?kind=" + *kind
+	path := "/v1/jobs/" + st.ID + "/report?kind=" + *kind
 	if *fn != "" {
-		url += "&func=" + *fn
+		path += "&func=" + *fn
 	}
-	rep, err := http.Get(url)
+	rep, err := api.get(path)
 	if err != nil {
 		return err
 	}
@@ -246,8 +362,8 @@ func cmdSubmit(args []string) error {
 }
 
 // fetchTrace downloads GET /v1/jobs/{id}/trace into path.
-func fetchTrace(addr, id, path string) error {
-	resp, err := http.Get(addr + "/v1/jobs/" + id + "/trace")
+func fetchTrace(api *apiClient, id, path string) error {
+	resp, err := api.get("/v1/jobs/" + id + "/trace")
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,205 @@
+package cluster_test
+
+// Cluster chaos suite: seeded fault schedules over the cluster seams —
+// membership probes (partitions), submission forwards (lost hops), and
+// peer-cache fetches (errors, latency, wire corruption) — against a
+// real two-node loopback cluster. Three invariants, every schedule:
+//
+//  1. No hangs: every submission through either frontend reaches a
+//     terminal state within the wait budget, whatever the ring thinks.
+//  2. No cache poisoning: the report rendered for every job is
+//     byte-identical to the fault-free baseline — a corrupted peer
+//     transfer must become a recomputation, never a wrong answer.
+//  3. Replay determinism: result content depends only on the program
+//     and options, never on the fault schedule; and re-running a
+//     schedule from a fresh plan reproduces the same outcome map.
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	"optiwise/internal/fault"
+)
+
+// clusterChaosSites is the injection surface: the three cluster seams.
+// Latency stays small so a schedule slows the cluster down without
+// stalling a job past the wait budget.
+var clusterChaosSites = []struct {
+	site    string
+	actions []string
+}{
+	{fault.SiteClusterProbe, []string{"error", "latency"}},
+	{fault.SiteClusterForward, []string{"error", "latency"}},
+	{fault.SiteClusterPeerFetch, []string{"error", "corrupt", "latency"}},
+}
+
+// randomClusterSpec derives a deterministic fault schedule from r.
+func randomClusterSpec(r *mrand.Rand) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seed=%d", r.Int63())
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		c := clusterChaosSites[r.Intn(len(clusterChaosSites))]
+		act := c.actions[r.Intn(len(c.actions))]
+		fmt.Fprintf(&sb, ";%s:%s", c.site, act)
+		switch r.Intn(3) {
+		case 0:
+			fmt.Fprintf(&sb, ":p=%.2f", 0.2+0.6*r.Float64())
+		case 1:
+			fmt.Fprintf(&sb, ":every=%d", 1+r.Intn(3))
+		case 2:
+			fmt.Fprintf(&sb, ":count=%d", 2+r.Intn(6))
+		}
+		switch act {
+		case "latency":
+			sb.WriteString(",d=5ms")
+		case "corrupt":
+			sb.WriteString(",n=3")
+		}
+	}
+	return sb.String()
+}
+
+// chaosRecipes is the job mix every schedule replays: two program
+// shapes, two seeds each, so the run exercises distinct ring owners
+// plus a duplicate resubmission per key.
+func chaosRecipes() []map[string]any {
+	var out []map[string]any
+	for _, trips := range []int{3, 5} {
+		for _, seed := range []uint64{1, 2} {
+			out = append(out, submission(trips, seed))
+		}
+	}
+	return out
+}
+
+// runChaosSchedule boots a fresh two-node cluster under the given
+// fault spec (empty = fault-free), pushes every recipe through
+// alternating frontends twice (the second pass hits caches, coalesced
+// jobs, or peer fetches), and returns digest -> sha256(report bytes).
+func runChaosSchedule(t *testing.T, spec string) map[string]string {
+	t.Helper()
+	if spec != "" {
+		p, err := fault.Parse(spec)
+		if err != nil {
+			t.Fatalf("parse %q: %v", spec, err)
+		}
+		fault.Set(p)
+	}
+	defer fault.Set(nil)
+
+	nodes := startCluster(t, 2)
+	hashes := make(map[string]string)
+	recipes := chaosRecipes()
+	for pass := 0; pass < 2; pass++ {
+		for i, body := range recipes {
+			front := nodes[(pass+i)%len(nodes)]
+			jr := postJob(t, front.url(), body, nil)
+			// Invariant 1: terminal within the wait budget, and done —
+			// cluster faults shed load sideways, they never fail jobs.
+			mustDone(t, jr, fmt.Sprintf("pass %d recipe %d (spec %q)", pass, i, spec))
+			h := reportHash(t, front.url(), jr.ID)
+			if prev, ok := hashes[jr.Digest]; ok && prev != h {
+				t.Fatalf("digest %.12s rendered two different reports under spec %q", jr.Digest, spec)
+			}
+			hashes[jr.Digest] = h
+		}
+	}
+
+	// Invariant 2 setup: lift the faults and resubmit every recipe;
+	// whatever the schedule did, the caches must now hold (or rebuild)
+	// full-fidelity results.
+	fault.Set(nil)
+	for i, body := range recipes {
+		jr := postJob(t, nodes[i%len(nodes)].url(), body, nil)
+		mustDone(t, jr, fmt.Sprintf("fault-free resubmit %d (spec %q)", i, spec))
+		if h := reportHash(t, nodes[i%len(nodes)].url(), jr.ID); h != hashes[jr.Digest] {
+			t.Fatalf("digest %.12s changed after lifting faults (spec %q): cache poisoning", jr.Digest, spec)
+		}
+	}
+
+	// Drain both nodes before the next schedule reuses the ports pool.
+	for _, tn := range nodes {
+		tn.kill()
+	}
+	return hashes
+}
+
+func reportHash(t *testing.T, url, id string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id + "/report")
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report: status %d", resp.StatusCode)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, io.LimitReader(resp.Body, 8<<20)); err != nil {
+		t.Fatalf("report read: %v", err)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestClusterChaosSchedules runs 12 seeded fault schedules against
+// fresh two-node clusters and holds every schedule's result map to the
+// fault-free baseline.
+func TestClusterChaosSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite boots 13 clusters")
+	}
+	baseline := runChaosSchedule(t, "")
+	if len(baseline) == 0 {
+		t.Fatal("baseline produced no results")
+	}
+	const schedules = 12
+	for seed := 0; seed < schedules; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := mrand.New(mrand.NewSource(int64(seed) * 104729))
+			spec := randomClusterSpec(r)
+			t.Logf("schedule: %s", spec)
+			got := runChaosSchedule(t, spec)
+			if len(got) != len(baseline) {
+				t.Fatalf("schedule saw %d digests, baseline %d", len(got), len(baseline))
+			}
+			for digest, h := range got {
+				base, ok := baseline[digest]
+				if !ok {
+					t.Fatalf("digest %.12s not in the fault-free baseline", digest)
+				}
+				if h != base {
+					t.Errorf("digest %.12s: report diverged from baseline (spec %q)", digest, spec)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterChaosReplay runs one schedule twice from fresh plans and
+// fresh clusters and requires identical digest->report maps: the fault
+// schedule must not leak nondeterminism into results.
+func TestClusterChaosReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite boots clusters")
+	}
+	r := mrand.New(mrand.NewSource(31337))
+	spec := randomClusterSpec(r)
+	t.Logf("schedule: %s", spec)
+	first := runChaosSchedule(t, spec)
+	second := runChaosSchedule(t, spec)
+	if len(first) != len(second) {
+		t.Fatalf("replay saw %d digests, first run %d", len(second), len(first))
+	}
+	for digest, h := range first {
+		if second[digest] != h {
+			t.Errorf("digest %.12s: replay diverged", digest)
+		}
+	}
+}

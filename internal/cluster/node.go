@@ -1,0 +1,276 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"optiwise/internal/obs"
+	"optiwise/internal/serve"
+)
+
+// Role selects which halves of the cluster protocol a node speaks.
+type Role string
+
+// Roles. A router accepts submissions and forwards each to its key's
+// ring owner but never appears on the ring itself (a stateless
+// frontend); a worker owns ring segments and executes jobs but routes
+// nothing (it trusts whoever sent the work); both — the default — does
+// both, which is the symmetric peer-to-peer deployment the README
+// walkthrough builds.
+const (
+	RoleRouter Role = "router"
+	RoleWorker Role = "worker"
+	RoleBoth   Role = "both"
+)
+
+// ParseRole resolves a -role flag value ("" selects RoleBoth; "hybrid"
+// is accepted as an alias for it).
+func ParseRole(s string) (Role, error) {
+	switch s {
+	case "", "both", "hybrid":
+		return RoleBoth, nil
+	case "router":
+		return RoleRouter, nil
+	case "worker":
+		return RoleWorker, nil
+	}
+	return "", fmt.Errorf("cluster: unknown role %q (want router, worker, or both)", s)
+}
+
+func (r Role) valid() bool { return r == RoleRouter || r == RoleWorker || r == RoleBoth }
+
+// routes reports whether the role forwards submissions to ring owners.
+func (r Role) routes() bool { return r != RoleWorker }
+
+// works reports whether the role owns ring segments and executes jobs.
+func (r Role) works() bool { return r != RoleRouter }
+
+// Config tunes a cluster Node. Self is required; everything else
+// defaults.
+type Config struct {
+	// Self is this node's advertised host:port — the identity peers
+	// probe, the ring member name, and the address forwards target. It
+	// must be reachable by every peer and stable for the node's life.
+	Self string
+	// Role selects the node's protocol halves (default RoleBoth).
+	Role Role
+	// Peers seeds the membership table with sibling advertised
+	// addresses. Gossip and PeersFile extend it at run time; listing
+	// self is harmless (ignored).
+	Peers []string
+	// PeersFile names a file of peer addresses (one host:port per line,
+	// # comments), re-read every probe tick. Deployments whose ports are
+	// assigned late — CI booting nodes on :0 — write it after all nodes
+	// are up.
+	PeersFile string
+	// ProbeInterval is the membership probe cadence (default 500ms).
+	ProbeInterval time.Duration
+	// SuspectAfter and DeadAfter are the consecutive probe failures that
+	// demote a peer to suspect (still on the ring) and dead (off the
+	// ring) respectively (defaults 2 and 4).
+	SuspectAfter int
+	DeadAfter    int
+	// FetchTimeout bounds one peer-cache fetch request (default 10s —
+	// generous because losing the fetch costs a full recomputation).
+	FetchTimeout time.Duration
+	// ForwardAttempts is how many ring owners a router tries before
+	// executing the submission locally as a last resort (default 3).
+	ForwardAttempts int
+	// Vnodes is the ring's virtual-node count per member (default
+	// DefaultVnodes). All nodes must agree on it.
+	Vnodes int
+	// Client overrides the HTTP client used for probes, forwards,
+	// proxies, and peer fetches (default: a pooled client with a 2s
+	// dial/probe timeout; per-request deadlines come from contexts).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Role == "" {
+		c.Role = RoleBoth
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2
+	}
+	if c.DeadAfter <= c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter + 2
+	}
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = 10 * time.Second
+	}
+	if c.ForwardAttempts <= 0 {
+		c.ForwardAttempts = 3
+	}
+	if c.Vnodes <= 0 {
+		c.Vnodes = DefaultVnodes
+	}
+	return c
+}
+
+// Node wires one serve.Server into the cluster: it owns the membership
+// view, wraps the server's HTTP handler with submission routing and
+// job-lookup proxying, answers the /cluster/v1 protocol, and installs
+// the peer-cache fetch and stats hooks on the server.
+type Node struct {
+	cfg    Config
+	srv    *serve.Server
+	mem    *membership
+	client *http.Client
+
+	routes  *routeTable
+	fetchMu sync.Mutex
+	fetches map[string]*fetchCall
+
+	forwarded        atomic.Uint64
+	forwardFailovers atomic.Uint64
+	peerFetchHits    atomic.Uint64
+	peerFetchMisses  atomic.Uint64
+	peerServed       atomic.Uint64
+	proxiedLookups   atomic.Uint64
+
+	metrics nodeMetrics
+}
+
+// nodeMetrics holds the node's obs counter handles (nil-safe).
+type nodeMetrics struct {
+	forwards         *obs.CounterMetric
+	forwardFailovers *obs.CounterMetric
+	peerFetchHits    *obs.CounterMetric
+	peerFetchMisses  *obs.CounterMetric
+	peerServed       *obs.CounterMetric
+	proxiedLookups   *obs.CounterMetric
+}
+
+// New builds a Node around srv and installs the cluster hooks on it.
+// Call Start before serving traffic and Shutdown on the way down.
+func New(cfg Config, srv *serve.Server) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Config.Self (advertised host:port) is required")
+	}
+	if !cfg.Role.valid() {
+		return nil, fmt.Errorf("cluster: invalid role %q", cfg.Role)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: 0, // per-request contexts bound forwards and fetches
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost:   4,
+				ResponseHeaderTimeout: 0,
+			},
+		}
+	}
+	n := &Node{
+		cfg:     cfg,
+		srv:     srv,
+		client:  client,
+		routes:  newRouteTable(4096),
+		fetches: make(map[string]*fetchCall),
+		metrics: nodeMetrics{
+			forwards:         obs.Counter(obs.MClusterForwards),
+			forwardFailovers: obs.Counter(obs.MClusterForwardFailovers),
+			peerFetchHits:    obs.Counter(obs.MClusterPeerFetchHits),
+			peerFetchMisses:  obs.Counter(obs.MClusterPeerFetchMisses),
+			peerServed:       obs.Counter(obs.MClusterPeerServed),
+			proxiedLookups:   obs.Counter(obs.MClusterProxiedLookups),
+		},
+	}
+	n.mem = newMembership(cfg, n.probeClient())
+	srv.SetClusterHooks(n.peerFetch, n.clusterStats)
+	return n, nil
+}
+
+// probeClient is the short-deadline client membership probes use: a
+// probe that cannot answer within half the probe interval (bounded to
+// [250ms, 2s]) is a missed probe, not a slow success.
+func (n *Node) probeClient() *http.Client {
+	d := n.cfg.ProbeInterval / 2
+	if d < 250*time.Millisecond {
+		d = 250 * time.Millisecond
+	}
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return &http.Client{Timeout: d}
+}
+
+// Start launches the membership probe loop (after one synchronous
+// probe round, so the ring is populated before the first submission).
+func (n *Node) Start() { n.mem.start() }
+
+// Shutdown stops the probe loop.
+func (n *Node) Shutdown() { n.mem.shutdown() }
+
+// Ring returns the node's current routing ring.
+func (n *Node) Ring() *Ring { return n.mem.Ring() }
+
+// clusterStats is the serve.Config.ClusterStats hook: the cluster
+// section of /v1/stats and the cluster fields of /readyz.
+func (n *Node) clusterStats() *serve.ClusterStats {
+	snap := n.mem.snapshot()
+	return &serve.ClusterStats{
+		Role:             string(n.cfg.Role),
+		Self:             n.cfg.Self,
+		RingSize:         n.mem.Ring().Size(),
+		PeersLive:        snap.live,
+		PeersSuspect:     snap.suspect,
+		PeersDead:        snap.dead,
+		Forwarded:        n.forwarded.Load(),
+		ForwardFailovers: n.forwardFailovers.Load(),
+		PeerFetchHits:    n.peerFetchHits.Load(),
+		PeerFetchMisses:  n.peerFetchMisses.Load(),
+		PeerServed:       n.peerServed.Load(),
+		ProxiedLookups:   n.proxiedLookups.Load(),
+	}
+}
+
+// routeTable remembers which node answered for a job ID, so status
+// polls after a forwarded submission go straight to the owning node
+// instead of fanning out. Bounded FIFO eviction: job IDs are random,
+// recency patterns are weak, and the table only saves a fan-out.
+type routeTable struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]string
+	order []string
+}
+
+func newRouteTable(capacity int) *routeTable {
+	return &routeTable{cap: capacity, m: make(map[string]string, capacity)}
+}
+
+func (t *routeTable) put(id, addr string) {
+	if id == "" || addr == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.m[id]; !ok {
+		t.order = append(t.order, id)
+		for len(t.order) > t.cap {
+			delete(t.m, t.order[0])
+			t.order = t.order[1:]
+		}
+	}
+	t.m[id] = addr
+}
+
+func (t *routeTable) get(id string) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	addr, ok := t.m[id]
+	return addr, ok
+}
+
+func (t *routeTable) drop(id string) {
+	t.mu.Lock()
+	delete(t.m, id)
+	t.mu.Unlock()
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"optiwise"
+	"optiwise/internal/cfg"
+	"optiwise/internal/core"
+	"optiwise/internal/fault"
+	"optiwise/internal/obs"
+)
+
+// hdrChecksum carries the SHA-256 of the peer-result payload as the
+// sender computed it. The fetcher recomputes and compares before
+// decoding: a corrupted transfer (the cluster.peer.fetch corrupt fault
+// models one) becomes a miss and a local recomputation, never a
+// poisoned cache entry.
+const hdrChecksum = "X-Optiwise-Checksum"
+
+// wireResult is the peer-cache transfer envelope: the profile's
+// serialized analysis tables plus its flattened CFG. The program image
+// never travels — the fetching node necessarily holds it, because the
+// job key it is asking about is derived from that image.
+type wireResult struct {
+	Export *core.Export   `json:"export"`
+	Graph  *cfg.FlatGraph `json:"graph,omitempty"`
+}
+
+// encodeWireResult serializes res for transfer and returns the payload
+// plus its hex SHA-256.
+func encodeWireResult(res *optiwise.Result) ([]byte, string, error) {
+	payload, err := json.Marshal(wireResult{Export: res.Export(), Graph: res.Graph.Flatten()})
+	if err != nil {
+		return nil, "", fmt.Errorf("cluster: encode peer result: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	return payload, hex.EncodeToString(sum[:]), nil
+}
+
+// decodeWireResult verifies and rebuilds a fetched peer result. The
+// checksum gate runs before any decoding; a full Profile comes back,
+// reconstructed against the local program image.
+func decodeWireResult(payload []byte, checksum string, prog *optiwise.Program) (*optiwise.Result, error) {
+	sum := sha256.Sum256(payload)
+	if got := hex.EncodeToString(sum[:]); got != checksum {
+		return nil, fmt.Errorf("cluster: peer result checksum mismatch (got %.12s, want %.12s)", got, checksum)
+	}
+	var w wireResult
+	if err := json.Unmarshal(payload, &w); err != nil {
+		return nil, fmt.Errorf("cluster: decode peer result: %w", err)
+	}
+	if w.Export == nil {
+		return nil, fmt.Errorf("cluster: peer result missing export tables")
+	}
+	g, err := w.Graph.Unflatten()
+	if err != nil {
+		return nil, err
+	}
+	return core.FromExport(w.Export, prog.Raw(), g), nil
+}
+
+// fetchCall is one in-flight peer fetch; concurrent fetches for the
+// same key coalesce onto it (single-flight).
+type fetchCall struct {
+	done chan struct{}
+	res  *optiwise.Result
+	ok   bool
+}
+
+// peerFetch is the serve.Config.PeerFetch hook: asked by a worker
+// about to simulate key, it decides whether a sibling might already
+// hold the finished result, and if so fetches it.
+//
+// Candidate selection keeps the steady state free: when this node is
+// the key's stable owner (current owner, and membership never moved
+// the key), there is no candidate and the worker simulates
+// immediately. Candidates appear exactly when routing and history
+// disagree with local ownership — the current owner when the
+// submission landed here anyway (stale client ring, failover), and the
+// previous ring's owner right after a rebalance (the node that
+// computed the key's result before ownership moved).
+func (n *Node) peerFetch(ctx context.Context, key string, prog *optiwise.Program) (*optiwise.Result, bool) {
+	var cands []string
+	add := func(m string) {
+		if m == "" || m == n.cfg.Self {
+			return
+		}
+		for _, c := range cands {
+			if c == m {
+				return
+			}
+		}
+		cands = append(cands, m)
+	}
+	ring := n.mem.Ring()
+	if o := ring.Owner(key); o != n.cfg.Self {
+		add(o)
+	}
+	if prev := n.mem.PrevRing(); prev != nil {
+		add(prev.Owner(key))
+	}
+	if len(cands) == 0 {
+		return nil, false
+	}
+
+	// Single-flight: one fetch per key at a time; followers share the
+	// leader's outcome.
+	n.fetchMu.Lock()
+	if c, ok := n.fetches[key]; ok {
+		n.fetchMu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, c.ok
+		case <-ctx.Done():
+			return nil, false
+		}
+	}
+	c := &fetchCall{done: make(chan struct{})}
+	n.fetches[key] = c
+	n.fetchMu.Unlock()
+	defer func() {
+		n.fetchMu.Lock()
+		delete(n.fetches, key)
+		n.fetchMu.Unlock()
+		close(c.done)
+	}()
+
+	for _, addr := range cands {
+		res, err := n.fetchFrom(ctx, addr, key, prog)
+		if err != nil {
+			obs.Warn("cluster: peer fetch failed",
+				obs.F("peer", addr), obs.F("digest", shortKey(key)), obs.F("err", err.Error()))
+			continue
+		}
+		if res != nil {
+			n.peerFetchHits.Add(1)
+			n.metrics.peerFetchHits.Inc()
+			c.res, c.ok = res, true
+			return res, true
+		}
+	}
+	n.peerFetchMisses.Add(1)
+	n.metrics.peerFetchMisses.Inc()
+	return nil, false
+}
+
+// fetchFrom asks one sibling's cache for key. (nil, nil) is a clean
+// miss; errors cover the injected cluster.peer.fetch faults, transport
+// failures, and checksum/decode rejections.
+func (n *Node) fetchFrom(ctx context.Context, addr, key string, prog *optiwise.Program) (*optiwise.Result, error) {
+	if err := fault.Err(fault.SiteClusterPeerFetch); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+addr+"/cluster/v1/results/"+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // drain for reuse
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("cluster: peer %s answered %s", addr, resp.Status)
+	}
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, n.srv.Config().MaxBodyBytes*4))
+	if err != nil {
+		return nil, err
+	}
+	return decodeWireResult(payload, resp.Header.Get(hdrChecksum), prog)
+}
+
+// handlePeerResult serves GET /cluster/v1/results/{digest}: this
+// node's half of the peer-cache protocol. Only full-fidelity cached
+// results exist (degraded results never enter any cache), so a hit is
+// always safe to export. The payload passes through the
+// cluster.peer.fetch corrupt fault site after the checksum is taken,
+// modelling wire corruption the fetcher must catch.
+func (n *Node) handlePeerResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("digest")
+	res, ok := n.srv.CachedResult(key)
+	if !ok {
+		writeJSONError(w, http.StatusNotFound, "result not cached on this node")
+		return
+	}
+	payload, sum, err := encodeWireResult(res)
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	n.peerServed.Add(1)
+	n.metrics.peerServed.Inc()
+	payload = fault.Bytes(fault.SiteClusterPeerFetch, payload)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(hdrChecksum, sum)
+	w.WriteHeader(http.StatusOK)
+	w.Write(payload) //nolint:errcheck // client went away
+}
+
+func shortKey(k string) string {
+	if len(k) > 12 {
+		return k[:12]
+	}
+	return k
+}

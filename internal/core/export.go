@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 
+	"optiwise/internal/cfg"
 	"optiwise/internal/ooo"
+	"optiwise/internal/program"
 )
 
 // Export is the serializable form of a combined profile: the record tables
@@ -89,4 +91,52 @@ func ReadExport(r io.Reader) (*Export, error) {
 		return nil, fmt.Errorf("core: decode export: %w", err)
 	}
 	return &e, nil
+}
+
+// FromExport rebuilds a full Profile from its serialized form plus the
+// program image (which the export deliberately omits) and an optional
+// CFG. The cluster layer uses it to reconstitute a result fetched from
+// a sibling node's cache: the fetching node already holds the program —
+// the content address is derived from it — so only the analysis tables
+// and the flattened CFG travel over the wire. The lookup indexes the
+// combiner builds (InstAt, FuncByName) are reindexed from the tables,
+// making the reconstruction behaviorally identical to the original for
+// every renderer and API consumer.
+func FromExport(e *Export, prog *program.Program, g *cfg.Graph) *Profile {
+	p := &Profile{
+		Module:           e.Module,
+		Prog:             prog,
+		Graph:            g,
+		Degraded:         e.Degraded,
+		FailedPass:       e.FailedPass,
+		DegradedReason:   e.DegradedReason,
+		TotalCycles:      e.TotalCycles,
+		TotalInsts:       e.TotalInsts,
+		TotalSamples:     e.TotalSamples,
+		SamplePeriod:     e.SamplePeriod,
+		UnmatchedSamples: e.UnmatchedSamples,
+		IPC:              e.IPC,
+		Machine:          e.Machine,
+		Precise:          e.Precise,
+		Unweighted:       e.Unweighted,
+		Attribution:      e.Attribution,
+		LoopThreshold:    e.LoopThreshold,
+		StackProfiling:   e.StackProfiling,
+		Intervals:        e.Intervals,
+		IntervalWindow:   e.IntervalWindow,
+		Insts:            e.Insts,
+		Blocks:           e.Blocks,
+		Funcs:            e.Funcs,
+		Loops:            e.Loops,
+		Lines:            e.Lines,
+		instIndex:        make(map[uint64]int, len(e.Insts)),
+		funcIndex:        make(map[string]int, len(e.Funcs)),
+	}
+	for i := range p.Insts {
+		p.instIndex[p.Insts[i].Offset] = i
+	}
+	for i := range p.Funcs {
+		p.funcIndex[p.Funcs[i].Name] = i
+	}
+	return p
 }

@@ -82,6 +82,17 @@ const (
 	SiteWorker       = "serve.worker" // worker job execution
 	SiteReport       = "report.render"
 	SiteCombine      = "core.combine"
+
+	// Cluster seams (internal/cluster): the multi-node layer's network
+	// surface. Error rules on probe model a network partition (the node
+	// looks dead to its peers); error/latency rules on forward and
+	// peer-fetch model lossy or slow links between frontends and
+	// workers; corrupt rules on peer-fetch flip bytes of the fetched
+	// result payload, which the checksum must catch before the payload
+	// can poison a local cache.
+	SiteClusterProbe     = "cluster.probe"      // membership health probes
+	SiteClusterForward   = "cluster.forward"    // submission forwarding to the key owner
+	SiteClusterPeerFetch = "cluster.peer.fetch" // result fetch from a sibling's cache
 )
 
 // EnvVar names the environment variable consulted by ActivateFromEnv.

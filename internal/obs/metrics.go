@@ -302,6 +302,22 @@ const (
 	// Differential-profiling metrics: the serve layer's per-lineage
 	// regression detection (DESIGN.md §10).
 	MProfileRegressions = "optiwise_profile_regressions_total"
+
+	// Cluster metrics (internal/cluster, DESIGN.md §11): consistent-hash
+	// routing between nodes, membership health, and the peer-aware
+	// result cache.
+	MClusterRingSize         = "optiwise_cluster_ring_size"
+	MClusterPeersLive        = "optiwise_cluster_peers_live"
+	MClusterPeersSuspect     = "optiwise_cluster_peers_suspect"
+	MClusterPeersDead        = "optiwise_cluster_peers_dead"
+	MClusterForwards         = "optiwise_cluster_forwards_total"
+	MClusterForwardFailovers = "optiwise_cluster_forward_failovers_total"
+	MClusterProbeFailures    = "optiwise_cluster_probe_failures_total"
+	MClusterPeerFetchHits    = "optiwise_cluster_peer_fetch_hits_total"
+	MClusterPeerFetchMisses  = "optiwise_cluster_peer_fetch_misses_total"
+	MClusterPeerServed       = "optiwise_cluster_peer_results_served_total"
+	MClusterProxiedLookups   = "optiwise_cluster_proxied_lookups_total"
+	MServeJobsPeerFetched    = "optiwise_serve_jobs_peer_fetched_total"
 )
 
 // CacheHits names the hit counter of one simulated cache level; the
@@ -408,6 +424,30 @@ func helpFor(name string) string {
 		return "Flight-recorder dumps taken (panic, fault, degraded result, signal, or explicit request)."
 	case MProfileRegressions:
 		return "New lineage versions whose CPI regressed significantly past the configured threshold."
+	case MClusterRingSize:
+		return "Members currently on the node's consistent-hash ring."
+	case MClusterPeersLive:
+		return "Peers currently believed alive by the membership prober."
+	case MClusterPeersSuspect:
+		return "Peers with recent failed probes, not yet declared dead."
+	case MClusterPeersDead:
+		return "Peers declared dead and removed from the hash ring."
+	case MClusterForwards:
+		return "Submissions forwarded to their content-address owner on another node."
+	case MClusterForwardFailovers:
+		return "Forwards re-routed to a backup owner after a peer connection failure."
+	case MClusterProbeFailures:
+		return "Failed membership health probes."
+	case MClusterPeerFetchHits:
+		return "Cache misses satisfied by fetching the result from a sibling node."
+	case MClusterPeerFetchMisses:
+		return "Peer-cache fetch attempts that found nothing (or failed verification) and fell back to recomputation."
+	case MClusterPeerServed:
+		return "Cached results served to sibling nodes over the peer-cache endpoint."
+	case MClusterProxiedLookups:
+		return "Job lookups proxied to the node that owns the job."
+	case MServeJobsPeerFetched:
+		return "Jobs satisfied from a sibling node's result cache instead of a local simulation."
 	}
 	return "OptiWISE metric " + name + "."
 }

@@ -251,6 +251,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job.Status())
 }
 
+// DecodeSubmission parses a POST /v1/jobs body into the program and
+// options it describes, without submitting. The cluster router uses it
+// to compute a submission's canonical key (see CanonicalKey) and pick
+// the owning node before relaying the raw body; parsing here and in
+// handleSubmit must agree or routing would disagree with execution.
+func DecodeSubmission(body []byte) (*optiwise.Program, optiwise.Options, error) {
+	var req submitRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, optiwise.Options{}, fmt.Errorf("malformed request: %w", err)
+	}
+	prog, err := req.program()
+	if err != nil {
+		return nil, optiwise.Options{}, err
+	}
+	opts, err := req.Options.toOptions()
+	if err != nil {
+		return nil, optiwise.Options{}, fmt.Errorf("invalid options: %w", err)
+	}
+	opts.Machine, err = optiwise.MachineByName(req.Machine)
+	if err != nil {
+		return nil, optiwise.Options{}, err
+	}
+	return prog, opts, nil
+}
+
 // program materializes the submitted program from source or binary.
 func (r *submitRequest) program() (*optiwise.Program, error) {
 	switch {
@@ -518,11 +545,18 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	case saturated:
 		s.writeBusy(w, http.StatusServiceUnavailable, "job queue is saturated")
 	default:
-		writeJSON(w, http.StatusOK, map[string]any{
+		body := map[string]any{
 			"status":         "ready",
 			"queue_depth":    st.QueueDepth,
 			"queue_capacity": s.cfg.QueueDepth,
-		})
+		}
+		if st.Cluster != nil {
+			body["role"] = st.Cluster.Role
+			body["ring_size"] = st.Cluster.RingSize
+			body["peers_live"] = st.Cluster.PeersLive
+			body["peers_suspect"] = st.Cluster.PeersSuspect
+		}
+		writeJSON(w, http.StatusOK, body)
 	}
 }
 

@@ -47,21 +47,22 @@ type Job struct {
 	// in the job status so clients can correlate.
 	TraceID string
 
-	mu        sync.Mutex
-	state     State
-	errMsg    string
-	result    *optiwise.Result
-	cached    bool
-	coalesced bool
-	lineage   string
-	retries   int
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
-	timer     *time.Timer
-	group     *group
-	tracer    *obs.Tracer
-	done      chan struct{}
+	mu          sync.Mutex
+	state       State
+	errMsg      string
+	result      *optiwise.Result
+	cached      bool
+	coalesced   bool
+	peerFetched bool
+	lineage     string
+	retries     int
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	timer       *time.Timer
+	group       *group
+	tracer      *obs.Tracer
+	done        chan struct{}
 }
 
 // JobStatus is an immutable snapshot of a Job, shaped for the JSON API.
@@ -71,6 +72,9 @@ type JobStatus struct {
 	Error     string `json:"error,omitempty"`
 	Cached    bool   `json:"cached,omitempty"`
 	Coalesced bool   `json:"coalesced,omitempty"`
+	// PeerFetched marks a result satisfied from a sibling cluster node's
+	// cache instead of a local simulation (DESIGN.md §11).
+	PeerFetched bool `json:"peer_fetched,omitempty"`
 	// Lineage is the client-chosen profile-lineage key the job's result
 	// was recorded under (see Submission.Lineage).
 	Lineage string `json:"lineage,omitempty"`
@@ -124,18 +128,19 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:        j.ID,
-		State:     j.state,
-		Error:     j.errMsg,
-		Cached:    j.cached,
-		Coalesced: j.coalesced,
-		Lineage:   j.lineage,
-		Module:    j.Module,
-		Machine:   j.Machine,
-		Digest:    j.Digest,
-		Retries:   j.retries,
-		TraceID:   j.TraceID,
-		Submitted: j.submitted,
+		ID:          j.ID,
+		State:       j.state,
+		Error:       j.errMsg,
+		Cached:      j.cached,
+		Coalesced:   j.coalesced,
+		PeerFetched: j.peerFetched,
+		Lineage:     j.lineage,
+		Module:      j.Module,
+		Machine:     j.Machine,
+		Digest:      j.Digest,
+		Retries:     j.retries,
+		TraceID:     j.TraceID,
+		Submitted:   j.submitted,
 	}
 	if j.result != nil && j.result.Degraded {
 		st.Degraded = true
@@ -274,6 +279,14 @@ func (j *Job) terminate(state State, errMsg string) bool {
 		g.remove(j)
 	}
 	return true
+}
+
+// markPeerFetched flags the job's result as fetched from a sibling
+// node's cache.
+func (j *Job) markPeerFetched() {
+	j.mu.Lock()
+	j.peerFetched = true
+	j.mu.Unlock()
 }
 
 // setRetries records how many transient-failure re-executions the

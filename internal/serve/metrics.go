@@ -21,6 +21,7 @@ type serverMetrics struct {
 	retriesM     *obs.CounterMetric
 	degraded     *obs.CounterMetric
 	regressions  *obs.CounterMetric
+	peerFetched  *obs.CounterMetric
 }
 
 func newServerMetrics() serverMetrics {
@@ -40,5 +41,6 @@ func newServerMetrics() serverMetrics {
 		retriesM:     obs.Counter(obs.MServeJobRetries),
 		degraded:     obs.Counter(obs.MServeJobsDegraded),
 		regressions:  obs.Counter(obs.MProfileRegressions),
+		peerFetched:  obs.Counter(obs.MServeJobsPeerFetched),
 	}
 }

@@ -110,6 +110,47 @@ type Config struct {
 	// record is written (default 0.10; <0 disables detection — versions
 	// are still recorded and the diff endpoint still works).
 	RegressionThreshold float64
+	// PeerFetch, when set (by the cluster layer, DESIGN.md §11), is
+	// consulted by a worker after it dequeues a cache-missing execution
+	// and before it simulates: a true return supplies the finished
+	// result from a sibling node's cache, the execution is skipped, and
+	// the result is admitted into the local cache like any full
+	// success. The callback must be safe for concurrent use and should
+	// bound its own network timeouts; failures of any kind (including
+	// panics) demote to a normal local computation. The submission's
+	// program is passed so the callback can reconstruct a full result
+	// from the wire tables (the program never travels — the fetching
+	// node holds it already; the key is derived from it).
+	PeerFetch func(ctx context.Context, key string, prog *optiwise.Program) (*optiwise.Result, bool)
+	// ClusterStats, when set, contributes the cluster section of Stats
+	// and the cluster fields on /readyz. Nil on single-node servers.
+	ClusterStats func() *ClusterStats
+}
+
+// ClusterStats is the cluster section of a Stats snapshot, produced by
+// the internal/cluster node wrapping this server: the node's routing
+// role and membership view plus the forwarding and peer-cache traffic
+// counters dashboards and smoke jobs assert on.
+type ClusterStats struct {
+	Role         string `json:"role"`
+	Self         string `json:"self"`
+	RingSize     int    `json:"ring_size"`
+	PeersLive    int    `json:"peers_live"`
+	PeersSuspect int    `json:"peers_suspect"`
+	PeersDead    int    `json:"peers_dead"`
+	// Forwarded counts submissions this node routed to their key's
+	// owner on another node; ForwardFailovers counts forwards re-routed
+	// to a backup owner after a peer connection failure.
+	Forwarded        uint64 `json:"forwarded"`
+	ForwardFailovers uint64 `json:"forward_failovers"`
+	// PeerFetchHits / PeerFetchMisses count cache misses satisfied (or
+	// not) from a sibling's cache; PeerServed counts results this node
+	// served to siblings; ProxiedLookups counts job lookups relayed to
+	// the node owning the job.
+	PeerFetchHits   uint64 `json:"peer_fetch_hits"`
+	PeerFetchMisses uint64 `json:"peer_fetch_misses"`
+	PeerServed      uint64 `json:"peer_results_served"`
+	ProxiedLookups  uint64 `json:"proxied_lookups"`
 }
 
 // maxRetainedDumps bounds the in-memory flight-dump history.
@@ -190,6 +231,7 @@ type Server struct {
 	retries     atomic.Uint64
 	degradeds   atomic.Uint64
 	regressions atomic.Uint64
+	peerFetches atomic.Uint64
 	stop        chan struct{}
 	stopOnce    sync.Once
 	wg          sync.WaitGroup
@@ -219,6 +261,18 @@ func New(cfg Config) *Server {
 
 // Config returns the server's effective (default-resolved) config.
 func (s *Server) Config() Config { return s.cfg }
+
+// SetClusterHooks installs the cluster layer's callbacks (see
+// Config.PeerFetch and Config.ClusterStats). The cluster node is built
+// around an existing Server, so the hooks cannot be part of the
+// construction-time Config; call this after New and before Start.
+func (s *Server) SetClusterHooks(
+	peerFetch func(ctx context.Context, key string, prog *optiwise.Program) (*optiwise.Result, bool),
+	stats func() *ClusterStats,
+) {
+	s.cfg.PeerFetch = peerFetch
+	s.cfg.ClusterStats = stats
+}
 
 // Start launches the worker pool. It must be called exactly once.
 func (s *Server) Start() {
@@ -300,11 +354,7 @@ func (s *Server) SubmitWith(prog *optiwise.Program, opts optiwise.Options, sub S
 		return nil, err
 	}
 	streamWindow := opts.StreamWindow
-	opts = opts.Canonical()
-	if s.cfg.MaxJobCycles > 0 &&
-		(opts.MaxCycles == 0 || opts.MaxCycles > uint64(s.cfg.MaxJobCycles)) {
-		opts.MaxCycles = uint64(s.cfg.MaxJobCycles)
-	}
+	opts = s.canonicalize(opts)
 	if timeout <= 0 {
 		timeout = s.cfg.DefaultTimeout
 	}
@@ -377,6 +427,39 @@ func (s *Server) SubmitWith(prog *optiwise.Program, opts optiwise.Options, sub S
 	s.metrics.queueDepth.Set(int64(len(s.queue)))
 	j.armDeadline(timeout, s.onDeadline)
 	return j, nil
+}
+
+// canonicalize applies the server's option normalization: Canonical()
+// strips observation-channel attributes from the content address, then
+// MaxCycles is clamped by Config.MaxJobCycles. Every path that derives
+// a job key — Submit and the exported CanonicalKey — must share this,
+// or routing and caching would disagree about a job's identity.
+func (s *Server) canonicalize(opts optiwise.Options) optiwise.Options {
+	opts = opts.Canonical()
+	if s.cfg.MaxJobCycles > 0 &&
+		(opts.MaxCycles == 0 || opts.MaxCycles > uint64(s.cfg.MaxJobCycles)) {
+		opts.MaxCycles = uint64(s.cfg.MaxJobCycles)
+	}
+	return opts
+}
+
+// CanonicalKey validates opts and returns the content-addressed job key
+// Submit would assign this submission — exactly the digest the cache
+// and the cluster ring route on. Cluster routers call it to pick a
+// job's owner without submitting; nodes must share MaxJobCycles
+// configuration for their keys to agree.
+func (s *Server) CanonicalKey(prog *optiwise.Program, opts optiwise.Options) (string, error) {
+	if err := opts.Validate(); err != nil {
+		return "", err
+	}
+	return jobKey(prog, s.canonicalize(opts))
+}
+
+// CachedResult probes the local result cache by job key, bypassing the
+// submission path (no job is created, no fault site consulted). The
+// cluster layer serves sibling peer-fetches from it.
+func (s *Server) CachedResult(key string) (*optiwise.Result, bool) {
+	return s.cache.get(key)
 }
 
 // onDeadline records a deadline expiry in the failure counter.
@@ -481,7 +564,22 @@ func (s *Server) runGroup(g *group) {
 	var res *optiwise.Result
 	var err error
 	attempts := 0
-	for {
+	// Cluster peer fetch: before burning a simulation, ask the layer
+	// above whether a sibling node already finished this key (ring
+	// rebalances move ownership; the result may live on the previous
+	// owner). A fetched result is full-fidelity by protocol — degraded
+	// results never enter any node's cache — and flows through the
+	// normal cache-admission and fan-out below.
+	peerFetched := false
+	if s.cfg.PeerFetch != nil && ctx.Err() == nil {
+		if fetched, ok := s.peerFetch(runCtx, g.key, g.prog); ok && fetched != nil && !fetched.Degraded {
+			res, peerFetched = fetched, true
+			s.peerFetches.Add(1)
+			s.metrics.peerFetched.Inc()
+			span.SetAttr("peer_fetched", true)
+		}
+	}
+	for !peerFetched {
 		res, err = s.executeOnce(runCtx, g)
 		if err == nil || ctx.Err() != nil ||
 			attempts >= s.cfg.RetryBudget || !transient(err) {
@@ -531,6 +629,9 @@ func (s *Server) runGroup(g *group) {
 	}
 	for _, j := range members {
 		j.setRetries(attempts)
+		if peerFetched {
+			j.markPeerFetched()
+		}
 		if !j.finish(res, errMsg) {
 			continue // lost the race against its deadline or a cancel
 		}
@@ -783,6 +884,18 @@ func cacheEligible(res *optiwise.Result, err, ctxErr error) bool {
 	return err == nil && res != nil && !res.Degraded && ctxErr == nil
 }
 
+// peerFetch invokes the cluster PeerFetch hook defensively: a panic in
+// the callback demotes to a miss, so a broken peer protocol degrades to
+// local recomputation, never to a failed job.
+func (s *Server) peerFetch(ctx context.Context, key string, prog *optiwise.Program) (res *optiwise.Result, ok bool) {
+	defer func() {
+		if recover() != nil {
+			res, ok = nil, false
+		}
+	}()
+	return s.cfg.PeerFetch(ctx, key, prog)
+}
+
 // cacheGet probes the result cache through the serve.cache.get fault
 // site: any injected failure (including a panic) demotes the probe to
 // a miss, so a flaky cache degrades to recomputation, never to a
@@ -852,6 +965,13 @@ type Stats struct {
 	// regressed significantly past the configured threshold.
 	LineageKeys        int    `json:"lineage_keys"`
 	ProfileRegressions uint64 `json:"profile_regressions"`
+	// JobsPeerFetched counts executions satisfied from a sibling node's
+	// cache instead of a local simulation (always 0 on single-node
+	// servers).
+	JobsPeerFetched uint64 `json:"jobs_peer_fetched"`
+	// Cluster is the routing and membership view contributed by the
+	// cluster layer; omitted on single-node servers.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // Stats returns the current operational snapshot.
@@ -860,7 +980,7 @@ func (s *Server) Stats() Stats {
 	jobs := len(s.jobs)
 	draining := s.draining
 	s.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Workers:            s.cfg.Workers,
 		QueueDepth:         len(s.queue),
 		Inflight:           s.inflight.Load(),
@@ -873,5 +993,10 @@ func (s *Server) Stats() Stats {
 		DegradedResults:    s.degradeds.Load(),
 		LineageKeys:        s.lineages.keys(),
 		ProfileRegressions: s.regressions.Load(),
+		JobsPeerFetched:    s.peerFetches.Load(),
 	}
+	if s.cfg.ClusterStats != nil {
+		st.Cluster = s.cfg.ClusterStats()
+	}
+	return st
 }
