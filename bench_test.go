@@ -516,3 +516,77 @@ func BenchmarkStreamOn(b *testing.B) {
 	}
 	b.ReportMetric(float64(windows), "windows")
 }
+
+// --- Tiered profiling and dispatch engine ---------------------------------
+
+// suiteProgram assembles one named workload from the 23-benchmark suite
+// at the given scale.
+func suiteProgram(b *testing.B, name string, f float64) *Program {
+	b.Helper()
+	for _, spec := range SuiteSpecs() {
+		if spec.Name == name {
+			return mustProgram(b, func() (*Program, error) { return SuiteProgram(spec, f) })
+		}
+	}
+	b.Fatalf("workload %q not in suite", name)
+	return nil
+}
+
+// BenchmarkInterpDispatch pins the execution-engine speedup: the same
+// instrumentation pass over 525.x264 on the direct-threaded engine
+// (default) and on the legacy switch interpreter. The two arms produce
+// byte-identical Results (dispatch_test.go); this benchmark is the gate
+// that keeps the threaded engine actually paying for its complexity.
+func BenchmarkInterpDispatch(b *testing.B) {
+	prog := suiteProgram(b, "525.x264", 0.25)
+	for _, arm := range []struct {
+		name   string
+		legacy bool
+	}{{"threaded", false}, {"switch", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			var insts uint64
+			for i := 0; i < b.N; i++ {
+				ep, err := InstrumentOnly(prog, Options{RandSeed: 7, LegacyDispatch: arm.legacy})
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts = ep.BaseInstructions
+			}
+			b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+		})
+	}
+}
+
+// BenchmarkTieredPipeline prices the two-pass pipeline full vs tiered
+// on the same workload. Both arms run the passes sequentially so the
+// comparison is sum-of-passes vs sum-of-passes; the tiered arm reports
+// the cold fraction it extrapolated instead of instrumenting. The
+// instrumentation-side saving is measured precisely by `owbench tiered`
+// (README "Tiered profiling"); this benchmark pins the end-to-end cost
+// so tier selection itself can never quietly become a regression.
+func BenchmarkTieredPipeline(b *testing.B) {
+	prog := suiteProgram(b, "525.x264", 0.25)
+	for _, arm := range []struct {
+		name string
+		opts Options
+	}{
+		{"full", Options{SamplePeriod: 2000, RandSeed: 7, Sequential: true}},
+		{"tiered", Options{SamplePeriod: 2000, RandSeed: 7, Sequential: true, Tiered: true}},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			var coldPct float64
+			for i := 0; i < b.N; i++ {
+				prof, err := Profile(prog, arm.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if prof.Tiered {
+					coldPct = 100 * float64(prof.ColdInsts) / float64(prof.TotalInsts)
+				}
+			}
+			if coldPct > 0 {
+				b.ReportMetric(coldPct, "cold-insts-%")
+			}
+		})
+	}
+}

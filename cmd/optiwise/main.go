@@ -133,6 +133,8 @@ type commonFlags struct {
 	faultSpec     *string
 	allowDegraded *bool
 	telemetry     *uint64
+	tiered        *bool
+	hotThreshold  *float64
 	obs           *obs.Config
 }
 
@@ -150,6 +152,8 @@ func newFlags(name string) *commonFlags {
 		faultSpec:     fs.String("fault", "", "fault-injection spec, e.g. 'seed=1;dbi.run:error:nth=1' (also OPTIWISE_FAULT)"),
 		allowDegraded: fs.Bool("allow-degraded", false, "produce a flagged single-pass report when exactly one profiling pass fails"),
 		telemetry:     fs.Uint64("telemetry", 0, "interval-telemetry window in cycles (0 = off): streams IPC, ROB occupancy, mispredict and cache-miss rates, and stall causes per window into the report's phase summary and the -trace counter tracks"),
+		tiered:        fs.Bool("tiered", false, "tiered adaptive instrumentation: sample first, instrument only hot code; cold counts are extrapolated and marked '~' in reports"),
+		hotThreshold:  fs.Float64("hot-threshold", 0, "tiered-mode hotness cutoff as a fraction of sampled cycle mass (0 = default 0.01); requires -tiered"),
 		obs:           obs.BindFlags(fs),
 	}
 }
@@ -180,6 +184,8 @@ func (c *commonFlags) options() (optiwise.Options, error) {
 		FaultSpec:             *c.faultSpec,
 		AllowDegraded:         *c.allowDegraded,
 		TelemetryWindow:       *c.telemetry,
+		Tiered:                *c.tiered,
+		HotThreshold:          *c.hotThreshold,
 	}
 	machine, err := optiwise.MachineByName(*c.machine)
 	if err != nil {

@@ -289,6 +289,8 @@ func cmdSubmit(args []string) error {
 			"attribution":      *c.attr,
 			"allow_degraded":   opts.AllowDegraded,
 			"telemetry_window": opts.TelemetryWindow,
+			"tiered":           opts.Tiered,
+			"hot_threshold":    opts.HotThreshold,
 		},
 		"wait": !*poll,
 	}

@@ -11,6 +11,7 @@
 //	owbench mcf       case study A: comparator/divide/unroll optimizations
 //	owbench deepsjeng case study B: prefetch + divide removal
 //	owbench bwaves    case study C: divide-by-invariant inversion
+//	owbench tiered    tiered profiling overhead/accuracy frontier
 //	owbench ablate    design-choice ablations (DESIGN.md §4)
 //	owbench all       everything above
 //
@@ -53,6 +54,7 @@ var commands = []struct {
 	{"deepsjeng", "case study B: 531.deepsjeng", caseDeepsjeng},
 	{"bwaves", "case study C: 603.bwaves", caseBwaves},
 	{"accuracy", "sampling accuracy vs ground truth, by granularity", accuracyExp},
+	{"tiered", "tiered profiling overhead/accuracy frontier", tieredCmd},
 	{"ablate", "design-choice ablations", ablate},
 }
 

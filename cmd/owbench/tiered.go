@@ -1,0 +1,267 @@
+package main
+
+// owbench tiered: the overhead/accuracy frontier of tiered profiling
+// (DESIGN.md §12). For every suite workload the experiment prices a
+// full profile and a ladder of tiered profiles on the figure 7 cost
+// model — profile wall-clock = sampling ratio + modelled
+// instrumentation ratio, both relative to native — and reports what
+// each saving costs in accuracy: the worst hot-block CPI deviation
+// against the full profile, the cycle mass still covered exactly, and
+// the fraction of retired instructions left to extrapolation.
+//
+// The frontier is genuinely a trade: hot code is hot because it is
+// where the expensive-to-instrument sites live (indirect branches,
+// tight loops), so large savings require raising the hotness bar and
+// shrinking exact coverage. The experiment's operating point per
+// workload is the smallest threshold on the ladder that cuts the
+// modelled wall-clock by >= 30% while keeping every remaining
+// hot-block CPI within 5% of the full profile; how much cycle mass
+// stays exact, and whether the single hottest block does, are reported
+// next to every point so the coverage cost of the saving is visible.
+//
+// The experiment is self-gating: it fails unless at least three
+// workloads have such an operating point. The tiered-smoke CI job runs
+// it on every push.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"optiwise"
+	"optiwise/internal/dbi"
+)
+
+// tieredScale is the per-workload input scale. The frontier's shape is
+// scale-stable (hotness concentration is a property of the workload's
+// loop structure, not its iteration count); 0.5 keeps the full-suite
+// sweep fast enough for CI.
+const tieredScale = 0.5
+
+// tieredLadder is the threshold sweep, smallest (widest coverage)
+// first. The operating point search walks it in order, so the chosen
+// point is always the most conservative one that clears the bar.
+var tieredLadder = []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5}
+
+// tieredGate is the acceptance bar the experiment enforces.
+const (
+	tieredMinCut       = 0.30 // modelled wall-clock saving
+	tieredMaxCPIDev    = 0.05 // worst hot-block CPI deviation
+	tieredMinWorkloads = 3
+)
+
+// inRanges reports whether off falls inside the normalized selection.
+func inRanges(rs []dbi.Range, off uint64) bool {
+	for _, r := range rs {
+		if off >= r.Lo && off < r.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// tieredPoint is one (workload, threshold) frontier measurement.
+type tieredPoint struct {
+	thr        float64
+	ranges     int
+	coldPct    float64 // retired instructions extrapolated, %
+	tierX      float64 // tiered profile wall, x native
+	cutPct     float64 // wall-clock saving vs full, %
+	cpiDev     float64 // worst hot-block CPI deviation, fraction
+	hotCycPct  float64 // cycle mass in exactly-counted hot blocks, %
+	hotBlocks  int     // hot blocks compared
+	hottestHot bool    // the workload's hottest block stayed exact
+}
+
+// tieredWorkload is one workload's full measurement plus its ladder.
+type tieredWorkload struct {
+	name    string
+	fullX   float64 // full profile wall, x native
+	points  []tieredPoint
+	operate int // index into points of the chosen operating point; -1 if none clears the bar
+}
+
+// clears reports whether the point meets the gate: the wall-clock cut,
+// the CPI bar over the blocks that stayed instrumented, and at least
+// one such block so the CPI bar is not vacuously satisfied. Whether
+// the workload's hottest block stayed exact is reported alongside
+// (large blocks whose head sits far upstream of their sampled window
+// can fall to head-granular selection; the frontier table makes that
+// visible rather than hiding it).
+func (p tieredPoint) clears() bool {
+	return p.cutPct >= 100*tieredMinCut && p.cpiDev <= tieredMaxCPIDev && p.hotBlocks > 0
+}
+
+// tieredMeasure profiles one program full and across the ladder. The
+// sampling pass runs once and feeds every arm, like the real pipeline
+// would.
+func tieredMeasure(prog *optiwise.Program, opts optiwise.Options) (tieredWorkload, error) {
+	w := tieredWorkload{name: prog.Module(), operate: -1}
+	base, err := prog.Run(optiwise.XeonW2195())
+	if err != nil {
+		return w, err
+	}
+	sp, sstats, err := optiwise.SampleOnly(prog, opts)
+	if err != nil {
+		return w, err
+	}
+	samplingX := float64(sstats.Cycles) / float64(base.Cycles)
+
+	epFull, err := optiwise.InstrumentOnly(prog, opts)
+	if err != nil {
+		return w, err
+	}
+	full, err := optiwise.Analyze(prog, sp, epFull, opts)
+	if err != nil {
+		return w, err
+	}
+	w.fullX = samplingX + epFull.Overhead()
+
+	// The hottest block is the profile's headline answer; losing it to
+	// extrapolation would gut the tiered result, so the operating-point
+	// search refuses thresholds that evict it.
+	hottest := uint64(0)
+	var hottestStart uint64
+	var totCyc uint64
+	for _, b := range full.Blocks {
+		totCyc += b.Cycles
+		if b.Cycles > hottest {
+			hottest, hottestStart = b.Cycles, b.Start
+		}
+	}
+
+	for _, thr := range tieredLadder {
+		o := opts
+		o.Tiered = true
+		o.HotThreshold = thr
+		epTier, err := optiwise.TieredInstrumentOnly(prog, sp, o)
+		if err != nil {
+			return w, err
+		}
+		tier, err := optiwise.Analyze(prog, sp, epTier, o)
+		if err != nil {
+			return w, err
+		}
+		pt := tieredPoint{
+			thr:        thr,
+			ranges:     len(epTier.HotRanges),
+			tierX:      samplingX + epTier.Overhead(),
+			hottestHot: inRanges(epTier.HotRanges, hottestStart),
+		}
+		if tier.TotalInsts > 0 {
+			pt.coldPct = 100 * float64(tier.ColdInsts) / float64(tier.TotalInsts)
+		}
+		pt.cutPct = 100 * (1 - pt.tierX/w.fullX)
+
+		// Hot-block accuracy: every block whose head the selection
+		// instrumented must carry (near-)identical CPI in both profiles.
+		tierBlocks := make(map[uint64]float64, len(tier.Blocks))
+		for _, b := range tier.Blocks {
+			tierBlocks[b.Start] = b.CPI
+		}
+		var hotCyc uint64
+		for _, b := range full.Blocks {
+			if !inRanges(epTier.HotRanges, b.Start) || b.Cycles == 0 || b.CPI == 0 {
+				continue
+			}
+			hotCyc += b.Cycles
+			pt.hotBlocks++
+			tcpi, ok := tierBlocks[b.Start]
+			if !ok {
+				return w, fmt.Errorf("%s thr=%g: hot block %#x missing from tiered profile", w.name, thr, b.Start)
+			}
+			if dev := math.Abs(tcpi-b.CPI) / b.CPI; dev > pt.cpiDev {
+				pt.cpiDev = dev
+			}
+		}
+		if totCyc > 0 {
+			pt.hotCycPct = 100 * float64(hotCyc) / float64(totCyc)
+		}
+		if w.operate < 0 && pt.clears() {
+			w.operate = len(w.points)
+		}
+		w.points = append(w.points, pt)
+	}
+	return w, nil
+}
+
+// tieredCmd prints the frontier and enforces the gate.
+func tieredCmd() error {
+	fmt.Println("Tiered profiling: overhead/accuracy frontier across the suite")
+	fmt.Printf("(wall x = sampling + modelled instrumentation ratio over native, figure 7\n"+
+		" cost model; CPI dev = worst hot-block CPI deviation vs the full profile;\n"+
+		" HOT-CYC%% = cycle mass still counted exactly; operating point * = smallest\n"+
+		" threshold with >=%.0f%%%% cut and hot-block CPI within %.0f%%%%)\n\n",
+		100*tieredMinCut, 100*tieredMaxCPIDev)
+
+	opts := optiwise.Options{SamplePeriod: 2000}
+	specs := optiwise.SuiteSpecs()
+	var works []tieredWorkload
+	for i, spec := range specs {
+		obsCfg.Progressf("[%d/%d] %s: full + %d tiered profiles",
+			i+1, len(specs), spec.Name, len(tieredLadder))
+		prog, err := optiwise.SuiteProgram(spec, tieredScale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.Name, err)
+		}
+		w, err := tieredMeasure(prog, opts)
+		if err != nil {
+			return err
+		}
+		works = append(works, w)
+	}
+
+	// Per-workload frontier, one line per ladder point.
+	for _, w := range works {
+		fmt.Printf("%-16s full %.2fx\n", w.name, w.fullX)
+		fmt.Printf("  %9s %7s %7s %9s %7s %9s %8s %7s %8s\n",
+			"THRESHOLD", "RANGES", "COLD%", "TIERED x", "CUT%", "CPI-DEV%", "HOT-CYC%", "BLOCKS", "HOTTEST")
+		for i, p := range w.points {
+			mark := " "
+			if i == w.operate {
+				mark = "*"
+			}
+			hotstr := "exact"
+			if !p.hottestHot {
+				hotstr = "est."
+			}
+			fmt.Printf("%s %9.2f %7d %7.1f %9.2f %7.1f %9.2f %8.1f %7d %8s\n",
+				mark, p.thr, p.ranges, p.coldPct, p.tierX, p.cutPct,
+				100*p.cpiDev, p.hotCycPct, p.hotBlocks, hotstr)
+		}
+	}
+
+	// Summary: the default-threshold (conservative) column and the
+	// chosen operating points.
+	fmt.Printf("\n%-16s %9s | %9s %7s %9s %8s\n",
+		"BENCHMARK", "DFLT-CUT%", "OPERATING", "CUT%", "CPI-DEV%", "HOT-CYC%")
+	meet := 0
+	var opCuts []float64
+	for _, w := range works {
+		def := w.points[0]
+		if w.operate < 0 {
+			fmt.Printf("%-16s %9.1f | %9s %7s %9s %8s\n",
+				w.name, def.cutPct, "-", "-", "-", "-")
+			continue
+		}
+		op := w.points[w.operate]
+		opCuts = append(opCuts, op.cutPct)
+		meet++
+		fmt.Printf("%-16s %9.1f | %9.2f %7.1f %9.2f %8.1f\n",
+			w.name, def.cutPct, op.thr, op.cutPct, 100*op.cpiDev, op.hotCycPct)
+	}
+	sort.Float64s(opCuts)
+	fmt.Printf("\nworkloads with an operating point (>=%.0f%% wall cut, hot-block CPI\n"+
+		"within %.0f%%): %d of %d\n",
+		100*tieredMinCut, 100*tieredMaxCPIDev, meet, len(specs))
+	if meet > 0 {
+		fmt.Printf("operating-point cuts: min %.1f%%, max %.1f%%\n",
+			opCuts[0], opCuts[len(opCuts)-1])
+	}
+
+	if meet < tieredMinWorkloads {
+		return fmt.Errorf("tiered frontier gate: only %d workloads have an operating point (want >= %d with >=%.0f%% wall cut and CPI within %.0f%%)",
+			meet, tieredMinWorkloads, 100*tieredMinCut, 100*tieredMaxCPIDev)
+	}
+	return nil
+}

@@ -121,6 +121,23 @@ func CombineContext(ctx context.Context, prog *program.Program, sp *sampler.Prof
 		funcIndex:      make(map[string]int),
 	}
 
+	// Tiered runs (DESIGN.md §12) carry exact counts only for the
+	// instrumented ranges; sampled offsets outside them are expected —
+	// they are cold code, not cross-run divergence — and get execution
+	// counts extrapolated from the sampling time-shares below. The mode
+	// is set before attribution: predecessor re-attribution needs to
+	// know the CFG is partial.
+	var sel *dbi.Selection
+	var coldOffs map[uint64]bool
+	var coldCycles uint64
+	if ep.Tiered {
+		p.Tiered = true
+		p.HotRanges = ep.HotRanges
+		p.ColdInsts = ep.ColdInstructions
+		sel = dbi.NewSelection(ep.HotRanges)
+		coldOffs = make(map[uint64]bool)
+	}
+
 	// --- Per-instruction: N from instrumentation, S and cycles from
 	// sampling, with optional predecessor re-attribution.
 	attrSpan := obs.StartCtx(ctx, "attribution").SetAttr("samples", len(sp.Records))
@@ -141,6 +158,11 @@ func CombineContext(ctx context.Context, prog *program.Program, sp *sampler.Prof
 	for off := range samples {
 		if !offsetSet[off] {
 			offsetSet[off] = true
+			if sel != nil && !sel.Covers(off) {
+				coldOffs[off] = true
+				coldCycles += cycles[off]
+				continue
+			}
 			p.UnmatchedSamples += samples[off]
 		}
 	}
@@ -169,6 +191,16 @@ func CombineContext(ctx context.Context, prog *program.Program, sp *sampler.Prof
 		}
 		if le, ok := prog.LineAt(off); ok {
 			r.File, r.Line = le.File, le.Line
+		}
+		if coldOffs[off] {
+			// Cold-code extrapolation: apportion the run's exactly-known
+			// cold retirement total across the sampled cold offsets by
+			// cycle share. This assumes uniform CPI across cold code —
+			// the same assumption degraded sampling-only mode makes for
+			// whole functions — so the count (and the CPI derived from
+			// it) is an estimate, flagged as such everywhere it surfaces.
+			r.ExecCount = timeShare(ep.ColdInstructions, cycles[off], coldCycles)
+			r.Estimated = true
 		}
 		if r.ExecCount > 0 {
 			r.CPI = float64(r.Cycles) / float64(r.ExecCount)
@@ -314,6 +346,18 @@ func (p *Profile) attributeSamples(sp *sampler.Profile, opts Options) (samples, 
 func (p *Profile) predecessor(off uint64) uint64 {
 	bi := p.Graph.BlockContaining(off)
 	if bi < 0 {
+		// A tiered graph covers only the instrumented code, so a skidded
+		// sample that lands one slot past a hot block's end has no
+		// containing block even though its true predecessor is known
+		// statically. Walk back to the fallthrough predecessor in that
+		// exact shape; otherwise the cycles of hot terminators would
+		// leak into the cold extrapolation pool and skew the hot block's
+		// CPI against its full-profile counterpart.
+		if p.Tiered && off >= isa.InstBytes {
+			if pi := p.Graph.BlockContaining(off - isa.InstBytes); pi >= 0 && p.Graph.Blocks[pi].End == off {
+				return off - isa.InstBytes
+			}
+		}
 		return off
 	}
 	b := p.Graph.Blocks[bi]
@@ -359,6 +403,9 @@ func (p *Profile) buildFuncs(sp *sampler.Profile, ep *dbi.Profile) {
 		r.SelfInsts += ir.ExecCount
 		r.CacheMisses += ir.CacheMisses
 		r.Mispredicts += ir.Mispredicts
+		if ir.Estimated {
+			r.Estimated = true
+		}
 	}
 	for _, fn := range p.Prog.Functions {
 		if r, ok := recs[fn.Name]; ok {
@@ -454,6 +501,9 @@ func (p *Profile) buildLines() {
 		r.ExecCount += ir.ExecCount
 		r.Samples += ir.Samples
 		r.Cycles += ir.Cycles
+		if ir.Estimated {
+			r.Estimated = true
+		}
 	}
 	for _, r := range recs {
 		if r.ExecCount > 0 {

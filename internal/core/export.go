@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"optiwise/internal/cfg"
+	"optiwise/internal/dbi"
 	"optiwise/internal/ooo"
 	"optiwise/internal/program"
 )
@@ -24,6 +25,11 @@ type Export struct {
 	Degraded         bool    `json:"degraded,omitempty"`
 	FailedPass       string  `json:"failed_pass,omitempty"`
 	DegradedReason   string  `json:"degraded_reason,omitempty"`
+	// Tiered-mode fields (DESIGN.md §12); all omitempty so exports of
+	// full runs are unchanged.
+	Tiered    bool        `json:"tiered,omitempty"`
+	HotRanges []dbi.Range `json:"hot_ranges,omitempty"`
+	ColdInsts uint64      `json:"cold_instructions,omitempty"`
 	// Collection metadata (see Profile): lets differential analysis
 	// refuse incomparable pairs. All omitempty so exports written before
 	// these fields existed decode (and re-encode) unchanged.
@@ -59,6 +65,9 @@ func (p *Profile) Export() *Export {
 		Degraded:         p.Degraded,
 		FailedPass:       p.FailedPass,
 		DegradedReason:   p.DegradedReason,
+		Tiered:           p.Tiered,
+		HotRanges:        p.HotRanges,
+		ColdInsts:        p.ColdInsts,
 		Machine:          p.Machine,
 		Precise:          p.Precise,
 		Unweighted:       p.Unweighted,
@@ -110,6 +119,9 @@ func FromExport(e *Export, prog *program.Program, g *cfg.Graph) *Profile {
 		Degraded:         e.Degraded,
 		FailedPass:       e.FailedPass,
 		DegradedReason:   e.DegradedReason,
+		Tiered:           e.Tiered,
+		HotRanges:        e.HotRanges,
+		ColdInsts:        e.ColdInsts,
 		TotalCycles:      e.TotalCycles,
 		TotalInsts:       e.TotalInsts,
 		TotalSamples:     e.TotalSamples,

@@ -12,6 +12,7 @@ package core
 
 import (
 	"optiwise/internal/cfg"
+	"optiwise/internal/dbi"
 	"optiwise/internal/isa"
 	"optiwise/internal/ooo"
 	"optiwise/internal/program"
@@ -41,6 +42,11 @@ type InstRecord struct {
 	Mispredicts uint64
 	// CPI is Cycles / ExecCount; 0 when ExecCount is 0.
 	CPI float64
+	// Estimated marks a tiered-mode cold-code record: ExecCount (and
+	// the CPI derived from it) is extrapolated from sampling
+	// time-shares rather than measured by instrumentation. Omitted from
+	// JSON when false so exports of full runs are unchanged.
+	Estimated bool `json:",omitempty"`
 }
 
 // FuncRecord aggregates a function.
@@ -71,6 +77,9 @@ type FuncRecord struct {
 	IPC float64
 	// TimeFrac is TotalCycles over the whole run's cycles.
 	TimeFrac float64
+	// Estimated marks a function whose instruction totals include
+	// tiered-mode extrapolated cold-code counts (see InstRecord).
+	Estimated bool `json:",omitempty"`
 }
 
 // LoopRecord aggregates one merged loop (§IV-E).
@@ -140,6 +149,9 @@ type LineRecord struct {
 	Cycles    uint64
 	CPI       float64
 	TimeFrac  float64
+	// Estimated marks a line whose counts include tiered-mode
+	// extrapolated cold-code records (see InstRecord).
+	Estimated bool `json:",omitempty"`
 }
 
 // Names for the two profiling passes, as recorded in
@@ -154,6 +166,17 @@ type Profile struct {
 	Module string
 	Prog   *program.Program
 	Graph  *cfg.Graph
+
+	// Tiered marks a profile whose instrumentation pass ran selectively
+	// (DESIGN.md §12): counts inside HotRanges are exact, cold-code
+	// records carry extrapolated counts flagged Estimated, and
+	// ColdInsts is the exactly-known number of instructions retired in
+	// cold code. Unlike Degraded, a tiered result is a complete,
+	// intentional two-pass profile — cycles are exact everywhere; only
+	// cold-code execution counts are estimates.
+	Tiered    bool
+	HotRanges []dbi.Range
+	ColdInsts uint64
 
 	// Degraded marks a single-pass result: one profiling pass failed and
 	// the caller opted into a partial view (Options.AllowDegraded). A

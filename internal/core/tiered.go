@@ -1,0 +1,148 @@
+package core
+
+import (
+	"optiwise/internal/dbi"
+	"optiwise/internal/isa"
+	"optiwise/internal/program"
+	"optiwise/internal/sampler"
+)
+
+// This file implements the hotness-selection half of tiered profiling
+// (DESIGN.md §12): the sampling pass runs first, its cycle attribution
+// picks which code regions earn full instrumentation, and the DBI pass
+// instruments only those — everything else runs through the engine's
+// cold path and is extrapolated at combine time (see CombineContext).
+
+// CoverageFloorInsts is the number of entry instructions every
+// function larger than the floor keeps instrumented regardless of
+// hotness: the coverage floor guarantees no substantial function is
+// entirely blind, so entry structure (who was entered, how often)
+// stays exact even for functions far below the hotness threshold.
+//
+// Functions no larger than the floor that contain an indirect branch
+// get no floor at all. Such a function is typically one straight-line
+// block ending in its return, and a return is an indirect branch:
+// blocks are atomic, so instrumenting the entry necessarily
+// instruments the return and charges the clean-call cost — the most
+// expensive primitive in the model — once per entry, for exactly the
+// functions hot code may enter millions of times (virtual-dispatch
+// handlers, tiny helpers). Their entry counts are already carried by
+// instrumented callers' edge records (direct call counts and
+// indirect-branch target tables); when every caller is cold they are
+// extrapolated and flagged like any other cold code, and a tiny
+// function that is genuinely cycle-hot is still selected by the
+// threshold itself. Tiny functions free of indirect branches keep
+// their (whole-function) floor: without a clean call inside it, the
+// floor is cheap.
+const CoverageFloorInsts = 16
+
+// RegionInsts is the granularity of hotness selection: sampled cycle
+// mass is aggregated over aligned RegionInsts-instruction windows of
+// the module, and every window clears the threshold independently.
+// Function granularity is too coarse in practice — real workloads
+// concentrate their time in a few loop nests of a large function, and
+// selecting the whole function forfeits the entire saving — so the
+// selector works in fixed sub-function windows instead. Windows are
+// module-aligned and may straddle a function boundary; that only ever
+// widens coverage.
+const RegionInsts = 16
+
+// DeriveSelection computes the instrumented ranges for a tiered run
+// from the sampling pass's cycle attribution. An aligned
+// RegionInsts-instruction window whose sampled cycle mass is at least
+// threshold × total mass is selected; on top of the hot windows,
+// functions contribute their coverage floor (except tiny
+// indirect-branch leaves — see CoverageFloorInsts). threshold ≤ 0
+// selects everything (tiered plumbing with full coverage); a sampling
+// profile with no cycle mass selects only the floors.
+//
+// Selection is by sampled PC (no stack credit): the goal is to
+// instrument where time is spent, and the sampled PC is exactly that
+// signal. The returned selection is normalized (sorted, merged).
+func DeriveSelection(prog *program.Program, sp *sampler.Profile, threshold float64) *dbi.Selection {
+	const regionBytes = RegionInsts * isa.InstBytes
+	regions := make(map[uint64]uint64)
+	var total uint64
+	for _, r := range sp.Records {
+		total += r.Weight
+		regions[r.Offset/regionBytes] += r.Weight
+	}
+	ranges := make([]dbi.Range, 0, len(prog.Functions)+len(regions))
+	for _, fn := range prog.Functions {
+		if threshold <= 0 {
+			ranges = append(ranges, dbi.Range{Lo: fn.Lo, Hi: fn.Hi})
+			continue
+		}
+		if fn.Hi-fn.Lo <= CoverageFloorInsts*isa.InstBytes && hasIndirect(prog, fn) {
+			// Below the floor with an indirect branch inside: see the
+			// CoverageFloorInsts rationale.
+			continue
+		}
+		hi := fn.Lo + CoverageFloorInsts*isa.InstBytes
+		if hi > fn.Hi {
+			hi = fn.Hi
+		}
+		ranges = append(ranges, dbi.Range{Lo: fn.Lo, Hi: hi})
+	}
+	if threshold > 0 && total > 0 {
+		// The argmax region is always selected, whatever the threshold:
+		// the hottest code is the profile's headline answer, and a
+		// tiered profile that extrapolates its own headline is useless.
+		// The threshold therefore controls only how much of the warm
+		// tail stays exact.
+		var top uint64
+		var topW uint64
+		for reg, w := range regions {
+			if w > topW || (w == topW && reg < top) {
+				top, topW = reg, w
+			}
+		}
+		bar := threshold * float64(total)
+		for reg, w := range regions {
+			if reg == top || float64(w) >= bar {
+				// Guard bands: extend one region upstream so the head of
+				// a block whose samples land in this window is still
+				// selected when it sits just before the window boundary
+				// (selection is block-head granular in the engine, so an
+				// unselected head would demote the whole block — sampled
+				// cycles and all — to extrapolation), and one region
+				// downstream so a selected block's straight-line tail
+				// stays inside the range — tail offsets outside it would
+				// be classified cold at combine time even though their
+				// counts are exact, and could additionally be reached
+				// uncounted through cold legs.
+				// Both bands clamp to the enclosing function: a block
+				// never spans functions, so spilling the band into a
+				// neighbour would only re-instrument code the threshold
+				// deliberately left cold.
+				lo, hi := reg*regionBytes, (reg+2)*regionBytes
+				if lo >= regionBytes {
+					lo -= regionBytes
+				} else {
+					lo = 0
+				}
+				if fn, ok := prog.FuncAt(reg * regionBytes); ok {
+					if lo < fn.Lo {
+						lo = fn.Lo
+					}
+					if hi > fn.Hi {
+						hi = fn.Hi
+					}
+				}
+				ranges = append(ranges, dbi.Range{Lo: lo, Hi: hi})
+			}
+		}
+	}
+	return dbi.NewSelection(ranges)
+}
+
+// hasIndirect reports whether the function contains an indirect
+// branch (indirect jump or call, or a return).
+func hasIndirect(prog *program.Program, fn program.Function) bool {
+	for off := fn.Lo; off < fn.Hi; off += isa.InstBytes {
+		if inst, ok := prog.InstAt(off); ok && inst.Op.IsIndirect() {
+			return true
+		}
+	}
+	return false
+}

@@ -130,6 +130,22 @@ type Profile struct {
 	InstrEquivalents uint64 `json:"instr_equivalents"`
 	// StackProfiling records whether Algorithm 1 was enabled.
 	StackProfiling bool `json:"stack_profiling"`
+
+	// Tiered records whether this run instrumented selectively
+	// (Options.Select); the fields below are only meaningful then.
+	// Profiles from full runs omit all three, so legacy serialized
+	// profiles decode unchanged.
+	Tiered bool `json:"tiered,omitempty"`
+	// HotRanges is the normalized set of text ranges the run counted
+	// exactly: the requested selection plus the extents of discovered
+	// blocks whose straight-line bodies overran a selection boundary.
+	// Blocks outside it were executed but not counted.
+	HotRanges []Range `json:"hot_ranges,omitempty"`
+	// ColdInstructions counts retired instructions executed outside the
+	// hot ranges (a subset of BaseInstructions, which stays exact: the
+	// interpreter retires cold instructions too, it just keeps no
+	// per-block counts for them).
+	ColdInstructions uint64 `json:"cold_instructions,omitempty"`
 }
 
 // Overhead returns the modelled slowdown of the instrumentation run
@@ -176,6 +192,23 @@ type Options struct {
 	// OnWindow receives each increment synchronously on the engine
 	// goroutine. final marks the end-of-run increment.
 	OnWindow func(inc *Profile, final bool)
+	// Select, when non-nil, enables tiered instrumentation: only code
+	// inside the selected ranges is discovered into blocks and counted;
+	// everything else runs through the threaded engine's cold path with
+	// no per-block bookkeeping at all. Algorithm 1 call/return events
+	// are still observed in cold code, so CalleeCounts and
+	// BaseInstructions remain exact; only per-block counts for cold
+	// code are absent (extrapolated downstream from sampling
+	// time-shares). The instrumentation decision is resolved per block
+	// head, once, against the selection — not per instruction.
+	Select *Selection
+	// LegacyDispatch forces block bodies through the per-instruction
+	// switch interpreter instead of the direct-threaded code. It is an
+	// execution strategy, not a semantic option — profiles are
+	// byte-identical either way (the equivalence suite proves it) — so
+	// it is deliberately excluded from serve cache keys. Tiered runs
+	// ignore it: the cold path exists only in the threaded engine.
+	LegacyDispatch bool
 }
 
 // Engine executes a program under instrumentation.
@@ -186,6 +219,18 @@ type Engine struct {
 	opts  Options
 
 	blocks map[uint64]*Block
+
+	// code is the direct-threaded translation of the text segment; nil
+	// only under LegacyDispatch (non-tiered), which falls back to the
+	// per-instruction switch.
+	code *interp.Code
+	// tiered mirrors opts.Select != nil; cold holds the reusable
+	// RunCold leg configuration, and coldBase the Steps watermark from
+	// which cold instructions are folded into the Algorithm 1 global
+	// counter at call/return events.
+	tiered   bool
+	cold     interp.ColdRun
+	coldBase uint64
 
 	// Algorithm 1 state.
 	globalCounter uint64
@@ -239,6 +284,21 @@ func RunContext(ctx context.Context, prog *program.Program, opts Options) (*Prof
 	}
 	if opts.WindowInstructions > 0 && opts.OnWindow != nil {
 		e.win = newWinState(opts.WindowInstructions, opts.OnWindow)
+	}
+	if opts.Select != nil || !opts.LegacyDispatch {
+		e.code = interp.Translate(img)
+	}
+	if opts.Select != nil {
+		e.tiered = true
+		e.prof.Tiered = true
+		e.prof.HotRanges = opts.Select.Ranges()
+		for _, r := range opts.Select.Ranges() {
+			e.code.SetHot(r.Lo, r.Hi)
+		}
+		if opts.StackProfiling {
+			e.cold.OnCall = e.coldCall
+			e.cold.OnRet = e.coldRet
+		}
 	}
 	e.mBlocksFound = obs.Counter(obs.MDBIBlocksFound)
 	e.mBlockExecs = obs.Counter(obs.MDBIBlockExecs)
@@ -297,12 +357,30 @@ func (e *Engine) run(ctx context.Context) error {
 		if !ok {
 			return fmt.Errorf("dbi: pc 0x%x outside module", e.m.St.PC)
 		}
-		b, err := e.lookupBlock(off)
-		if err != nil {
-			return err
-		}
-		if err := e.execBlock(b); err != nil {
-			return err
+		if e.tiered && !e.code.Hot(off) {
+			// Cold leg: run uninstrumented through the threaded engine
+			// until control reaches hot code or a budget boundary. The
+			// countdown pre-charged one block above; charge the rest so
+			// the cancellation/fault cadence sees every block.
+			blocks, err := e.runColdLeg(done != nil || faulty)
+			if err != nil {
+				return err
+			}
+			if (done != nil || faulty) && blocks > 1 {
+				if extra := blocks - 1; extra >= countdown {
+					countdown = 1 // check due: fire at the next loop top
+				} else {
+					countdown -= extra
+				}
+			}
+		} else {
+			b, err := e.lookupBlock(off)
+			if err != nil {
+				return err
+			}
+			if err := e.execBlock(b); err != nil {
+				return err
+			}
 		}
 		if e.win != nil && e.m.Steps >= e.win.next {
 			e.flushWindow(false)
@@ -316,6 +394,65 @@ func (e *Engine) run(ctx context.Context) error {
 	return nil
 }
 
+// runColdLeg executes one uninstrumented stretch starting at the
+// current (cold) pc. It keeps BaseInstructions and Algorithm 1 exact —
+// cold instructions still retire on the machine, and call/return
+// terminators still fire the stack-profiling hooks — but performs no
+// block discovery, no counter updates, and charges no instrumentation
+// equivalents beyond call/return meta-instructions (the base cost of
+// cold instructions is folded in with everyone else's at run end).
+func (e *Engine) runColdLeg(bounded bool) (uint64, error) {
+	r := &e.cold
+	r.StopSteps = e.opts.MaxInstructions
+	if e.win != nil && (r.StopSteps == 0 || e.win.next < r.StopSteps) {
+		r.StopSteps = e.win.next
+	}
+	r.MaxBlocks = 0
+	if bounded {
+		r.MaxBlocks = cancelCheckBlocks
+	}
+	start := e.m.Steps
+	e.coldBase = start
+	_, blocks, err := e.code.RunCold(e.m, r)
+	if err != nil {
+		return blocks, err
+	}
+	if e.opts.StackProfiling {
+		e.coldSync()
+	}
+	e.prof.ColdInstructions += e.m.Steps - start
+	return blocks, nil
+}
+
+// coldSync folds cold instructions retired since the last sync into the
+// Algorithm 1 global counter, keeping CalleeCounts exact across
+// uninstrumented code (instrumented blocks add their size up front in
+// execBlock; cold code adds retired-step deltas at event time).
+func (e *Engine) coldSync() {
+	e.globalCounter += e.m.Steps - e.coldBase
+	e.coldBase = e.m.Steps
+}
+
+// coldCall is Algorithm 1 annotation 2 for a call retiring in cold code.
+func (e *Engine) coldCall(callOff uint64) {
+	e.coldSync()
+	e.prof.InstrEquivalents += e.costs.CallMeta
+	e.callStack = append(e.callStack, callFrame{callOff: callOff, saved: e.globalCounter})
+	e.globalCounter = 0
+}
+
+// coldRet is Algorithm 1 annotation 3 for a return retiring in cold code.
+func (e *Engine) coldRet() {
+	e.coldSync()
+	e.prof.InstrEquivalents += e.costs.RetMeta
+	if n := len(e.callStack); n > 0 {
+		fr := e.callStack[n-1]
+		e.callStack = e.callStack[:n-1]
+		e.prof.CalleeCounts[fr.callOff] += e.globalCounter
+		e.globalCounter += fr.saved
+	}
+}
+
 // lookupBlock finds or discovers the dynamic block starting at off.
 func (e *Engine) lookupBlock(off uint64) (*Block, error) {
 	if b, ok := e.blocks[off]; ok {
@@ -327,6 +464,12 @@ func (e *Engine) lookupBlock(off uint64) (*Block, error) {
 		inst, ok := e.img.Prog.InstAt(o)
 		if !ok {
 			return nil, fmt.Errorf("dbi: block at 0x%x runs off text end", off)
+		}
+		// The validity check happens here, at discovery, so block
+		// bodies can execute through the threaded burst with no
+		// per-instruction checks at all.
+		if int(inst.Op) >= isa.NumOps {
+			return nil, fmt.Errorf("dbi: invalid opcode %d at 0x%x", inst.Op, o)
 		}
 		b.NumInsts++
 		if inst.Op.IsControlTransfer() {
@@ -351,6 +494,24 @@ func (e *Engine) lookupBlock(off uint64) (*Block, error) {
 	e.blocks[off] = b
 	e.prof.Blocks = append(e.prof.Blocks, b)
 	e.prof.InstrEquivalents += e.costs.Translate
+	if e.tiered {
+		// A block is discovered because its head is hot, but its
+		// straight-line body may overrun the selection's range boundary.
+		// Count-exactness for the block requires that no execution of
+		// those tail instructions slips through a cold leg uncounted, so
+		// the whole extent is promoted to hot: cold legs then stop at
+		// it, and any mid-tail entry point becomes its own exactly
+		// counted block. The extent folds into the profile's effective
+		// HotRanges immediately — window increments snapshot them, and
+		// the effective set only ever grows within a run.
+		end := b.Start + uint64(b.NumInsts)*isa.InstBytes
+		e.code.SetHot(b.Start, end)
+		if !rangesCover(e.prof.HotRanges, b.Start, end) {
+			e.prof.HotRanges = NewSelection(append(
+				append([]Range(nil), e.prof.HotRanges...),
+				Range{Lo: b.Start, Hi: end})).Ranges()
+		}
+	}
 	e.mBlocksFound.Inc()
 	e.mCodeCache.Set(int64(len(e.blocks)))
 	return b, nil
@@ -366,21 +527,29 @@ func (e *Engine) execBlock(b *Block) error {
 		e.globalCounter += uint64(b.NumInsts)
 	}
 
-	var last interp.StepResult
-	for i := 0; i < b.NumInsts; i++ {
-		res, err := e.m.Step()
+	var term interp.StepResult
+	if e.code != nil {
+		res, err := e.code.ExecBlock(e.m, b.Start, b.NumInsts)
 		if err != nil {
 			return err
 		}
-		last = res
-		if e.m.Exited {
-			if i != b.NumInsts-1 {
-				return fmt.Errorf("dbi: early exit inside block 0x%x", b.Start)
+		term = res
+	} else {
+		var last interp.StepResult
+		for i := 0; i < b.NumInsts; i++ {
+			res, err := e.m.Step()
+			if err != nil {
+				return err
+			}
+			last = res
+			if e.m.Exited {
+				if i != b.NumInsts-1 {
+					return fmt.Errorf("dbi: early exit inside block 0x%x", b.Start)
+				}
 			}
 		}
+		term = last
 	}
-
-	term := last
 	switch b.Kind {
 	case TermDirect:
 		e.prof.InstrEquivalents += e.costs.DirectUncond

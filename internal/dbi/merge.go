@@ -2,6 +2,22 @@ package dbi
 
 import "fmt"
 
+// unionRanges combines two normalized hot-range lists. Effective hot
+// ranges grow monotonically within a run as hot-headed blocks overrun
+// the selection boundary (the engine promotes their extents), so two
+// snapshots of the same run — or two shards of the same workload that
+// discovered different overruns — union to the set of offsets counted
+// exactly somewhere.
+func unionRanges(a, b []Range) []Range {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	return NewSelection(append(append(make([]Range, 0, len(a)+len(b)), a...), b...)).Ranges()
+}
+
 // Merge combines several edge profiles of the same module: block counts,
 // edge counters, and callee tables sum. Useful when instrumented runs are
 // repeated to cover input-dependent paths before a single analysis pass.
@@ -47,6 +63,11 @@ func Merge(profiles ...*Profile) (*Profile, error) {
 		}
 		out.BaseInstructions += p.BaseInstructions
 		out.InstrEquivalents += p.InstrEquivalents
+		if p.Tiered {
+			out.Tiered = true
+			out.HotRanges = unionRanges(out.HotRanges, p.HotRanges)
+			out.ColdInstructions += p.ColdInstructions
+		}
 	}
 	// Deterministic order.
 	for i := 1; i < len(out.Blocks); i++ {
@@ -106,6 +127,11 @@ func (p *Profile) Accumulate(inc *Profile) error {
 	p.BaseInstructions += inc.BaseInstructions
 	p.InstrEquivalents += inc.InstrEquivalents
 	p.StackProfiling = p.StackProfiling || inc.StackProfiling
+	if inc.Tiered {
+		p.Tiered = true
+		p.HotRanges = unionRanges(p.HotRanges, inc.HotRanges)
+		p.ColdInstructions += inc.ColdInstructions
+	}
 	for i := 1; i < len(p.Blocks); i++ {
 		for j := i; j > 0 && p.Blocks[j].Start < p.Blocks[j-1].Start; j-- {
 			p.Blocks[j], p.Blocks[j-1] = p.Blocks[j-1], p.Blocks[j]

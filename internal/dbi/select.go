@@ -1,0 +1,107 @@
+package dbi
+
+import (
+	"fmt"
+	"sort"
+
+	"optiwise/internal/isa"
+)
+
+// Range is a half-open [Lo, Hi) span of module text offsets, aligned to
+// instruction boundaries.
+type Range struct {
+	Lo uint64 `json:"lo"`
+	Hi uint64 `json:"hi"`
+}
+
+// Selection is a pre-resolved set of instrumented ("hot") text ranges
+// for a tiered run: it is computed once, before execution starts, from
+// the sampling pass's cycle attribution, so the engine's per-block
+// instrumentation decision is a flag lookup rather than a per-
+// instruction policy check. Ranges are normalized (sorted, merged,
+// non-empty) at construction.
+type Selection struct {
+	ranges []Range
+}
+
+// NewSelection normalizes ranges into a Selection: empty ranges are
+// dropped, the rest sorted by Lo and overlapping or adjacent ranges
+// merged.
+func NewSelection(ranges []Range) *Selection {
+	rs := make([]Range, 0, len(ranges))
+	for _, r := range ranges {
+		if r.Hi > r.Lo {
+			rs = append(rs, r)
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Lo < rs[j].Lo })
+	out := rs[:0]
+	for _, r := range rs {
+		if n := len(out); n > 0 && r.Lo <= out[n-1].Hi {
+			if r.Hi > out[n-1].Hi {
+				out[n-1].Hi = r.Hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return &Selection{ranges: out}
+}
+
+// Ranges returns the normalized ranges. Callers must not mutate the
+// returned slice.
+func (s *Selection) Ranges() []Range { return s.ranges }
+
+// Empty reports whether the selection covers no code at all.
+func (s *Selection) Empty() bool { return len(s.ranges) == 0 }
+
+// Covers reports whether off falls inside a selected range.
+func (s *Selection) Covers(off uint64) bool {
+	rs := s.ranges
+	lo, hi := 0, len(rs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rs[mid].Hi <= off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(rs) && rs[lo].Lo <= off
+}
+
+// rangesCover reports whether the contiguous span [lo, hi) lies wholly
+// inside a normalized range list. Normalization merges adjacent ranges,
+// so a covered contiguous span always sits inside a single range.
+func rangesCover(rs []Range, lo, hi uint64) bool {
+	i, j := 0, len(rs)
+	for i < j {
+		mid := (i + j) / 2
+		if rs[mid].Hi <= lo {
+			i = mid + 1
+		} else {
+			j = mid
+		}
+	}
+	return i < len(rs) && rs[i].Lo <= lo && hi <= rs[i].Hi
+}
+
+// validateRanges checks that ranges are instruction-aligned, non-empty,
+// sorted, and disjoint — the invariant NewSelection establishes and the
+// wire format requires.
+func validateRanges(ranges []Range) error {
+	var prev uint64
+	for i, r := range ranges {
+		if r.Lo%isa.InstBytes != 0 || r.Hi%isa.InstBytes != 0 {
+			return fmt.Errorf("hot range %d [%#x,%#x) misaligned", i, r.Lo, r.Hi)
+		}
+		if r.Hi <= r.Lo {
+			return fmt.Errorf("hot range %d [%#x,%#x) empty or inverted", i, r.Lo, r.Hi)
+		}
+		if i > 0 && r.Lo < prev {
+			return fmt.Errorf("hot range %d [%#x,%#x) overlaps or out of order", i, r.Lo, r.Hi)
+		}
+		prev = r.Hi
+	}
+	return nil
+}

@@ -125,6 +125,30 @@ func (p *Profile) Validate() error {
 			return fmt.Errorf("callee-count site %#x misaligned or out of range", off)
 		}
 	}
+	if !p.Tiered {
+		if len(p.HotRanges) != 0 {
+			return fmt.Errorf("hot ranges on a non-tiered profile")
+		}
+		if p.ColdInstructions != 0 {
+			return fmt.Errorf("cold-instruction count on a non-tiered profile")
+		}
+	} else {
+		if len(p.HotRanges) > MaxBlocks {
+			return fmt.Errorf("%d hot ranges exceeds limit %d", len(p.HotRanges), MaxBlocks)
+		}
+		if err := validateRanges(p.HotRanges); err != nil {
+			return err
+		}
+		for _, r := range p.HotRanges {
+			if r.Hi > MaxTextOffset {
+				return fmt.Errorf("hot range [%#x,%#x) out of range", r.Lo, r.Hi)
+			}
+		}
+		if p.ColdInstructions > p.BaseInstructions {
+			return fmt.Errorf("cold instructions %d exceed base instructions %d",
+				p.ColdInstructions, p.BaseInstructions)
+		}
+	}
 	return nil
 }
 

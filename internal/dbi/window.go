@@ -33,6 +33,7 @@ type winState struct {
 	callees map[uint64]uint64
 	steps   uint64 // retired instructions at the last window
 	equiv   uint64 // instruction equivalents at the last window
+	cold    uint64 // cold instructions at the last window (tiered runs)
 }
 
 func newWinState(every uint64, emit func(*Profile, bool)) *winState {
@@ -108,5 +109,15 @@ func (e *Engine) flushWindow(final bool) {
 	w.steps = e.m.Steps
 	inc.InstrEquivalents = e.prof.InstrEquivalents - w.equiv
 	w.equiv = e.prof.InstrEquivalents
+	if e.tiered {
+		// Every increment of a tiered run carries the mode and ranges
+		// (they are configuration, not counters), plus this window's
+		// cold-instruction delta, so increments telescope to the
+		// one-shot profile exactly.
+		inc.Tiered = true
+		inc.HotRanges = e.prof.HotRanges
+		inc.ColdInstructions = e.prof.ColdInstructions - w.cold
+		w.cold = e.prof.ColdInstructions
+	}
 	w.emit(inc, final)
 }

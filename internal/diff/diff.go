@@ -79,6 +79,12 @@ type Row struct {
 	// OnlyIn is "old" or "new" when the region exists in one profile
 	// only; such rows are never significant (nothing to compare).
 	OnlyIn string `json:"only_in,omitempty"`
+	// Estimated marks a row whose execution counts on at least one side
+	// are tiered-mode extrapolations rather than measurements. Such
+	// rows carry model error on top of sampling noise, so the
+	// significance test demands twice the evidence before flagging
+	// them (see classify).
+	Estimated bool `json:"estimated,omitempty"`
 }
 
 // Report is the full differential analysis.
@@ -87,6 +93,14 @@ type Report struct {
 	Machine   string  `json:"machine,omitempty"`
 	Threshold float64 `json:"threshold"`
 	Sigma     float64 `json:"sigma"`
+
+	// OldTiered/NewTiered record whether each side was collected under
+	// tiered selective instrumentation. Tiered and full profiles remain
+	// comparable — tiering changes count confidence, not what is
+	// measured — but rows touching extrapolated counts are flagged
+	// Estimated and held to a wider significance band.
+	OldTiered bool `json:"old_tiered,omitempty"`
+	NewTiered bool `json:"new_tiered,omitempty"`
 
 	OldCycles uint64  `json:"old_cycles"`
 	NewCycles uint64  `json:"new_cycles"`
@@ -184,6 +198,8 @@ func Compute(old, new *core.Export, opts Options) (*Report, error) {
 		Machine:   old.Machine,
 		Threshold: opts.Threshold,
 		Sigma:     opts.Sigma,
+		OldTiered: old.Tiered,
+		NewTiered: new.Tiered,
 		OldCycles: old.TotalCycles,
 		NewCycles: new.TotalCycles,
 		OldIPC:    old.IPC,
@@ -229,6 +245,12 @@ func classify(row *Row, opts Options) {
 	seOld := row.OldCPI / math.Sqrt(float64(row.OldSamples))
 	seNew := row.NewCPI / math.Sqrt(float64(row.NewSamples))
 	band := opts.Sigma * math.Hypot(seOld, seNew)
+	if row.Estimated {
+		// Extrapolated counts (tiered-mode cold code) are uniform-CPI
+		// model estimates, not measurements; widen the noise band so a
+		// delta must be twice as large before it is called significant.
+		band *= 2
+	}
 	if math.Abs(row.Delta) <= band {
 		return
 	}
@@ -258,12 +280,14 @@ func diffFuncs(old, new *core.Export, opts Options) []Row {
 			OldCycles:  of.SelfCycles,
 			OldCount:   of.SelfInsts,
 			OldSamples: of.SelfSamples,
+			Estimated:  of.Estimated,
 		}
 		if nf, ok := idx[of.Name]; ok {
 			row.NewCPI = nf.CPI
 			row.NewCycles = nf.SelfCycles
 			row.NewCount = nf.SelfInsts
 			row.NewSamples = nf.SelfSamples
+			row.Estimated = row.Estimated || nf.Estimated
 		} else {
 			row.OnlyIn = "old"
 		}
@@ -283,6 +307,7 @@ func diffFuncs(old, new *core.Export, opts Options) []Row {
 			NewCount:   nf.SelfInsts,
 			NewSamples: nf.SelfSamples,
 			OnlyIn:     "new",
+			Estimated:  nf.Estimated,
 		}
 		classify(&row, opts)
 		rows = append(rows, row)

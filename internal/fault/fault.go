@@ -82,6 +82,12 @@ const (
 	SiteWorker       = "serve.worker" // worker job execution
 	SiteReport       = "report.render"
 	SiteCombine      = "core.combine"
+	// SiteTieredSelect sits between the sampling pass and the selective
+	// DBI pass of a tiered run (DESIGN.md §12): the seam where the
+	// hotness selection is derived from the sampling profile. A fault
+	// here models a tiered pipeline that sampled successfully but could
+	// not start its instrumentation stage.
+	SiteTieredSelect = "tiered.select"
 
 	// Cluster seams (internal/cluster): the multi-node layer's network
 	// surface. Error rules on probe model a network partition (the node

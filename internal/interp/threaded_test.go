@@ -1,0 +1,144 @@
+package interp
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"optiwise/internal/asm"
+	"optiwise/internal/progen"
+	"optiwise/internal/program"
+)
+
+// stateEqual compares architectural states with FP registers compared
+// bitwise (struct equality would make any NaN self-unequal).
+func stateEqual(a, b State) bool {
+	if a.X != b.X || a.PC != b.PC || a.Brk != b.Brk || a.RandState != b.RandState {
+		return false
+	}
+	for i := range a.F {
+		if math.Float64bits(a.F[i]) != math.Float64bits(b.F[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// The direct-threaded engine must be architecturally indistinguishable
+// from the Step switch: identical registers, memory-visible output,
+// exit code, retired count, and PC at every stopping condition, across
+// arbitrary generated programs.
+func TestThreadedEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 24; seed++ {
+		src := progen.Generate(progen.DefaultConfig(seed))
+		p, err := asm.Assemble("gen", src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		ref := New(program.Load(p, program.LoadOptions{}), 7)
+		refErr := ref.Run(10_000_000)
+
+		img := program.Load(p, program.LoadOptions{})
+		m := New(img, 7)
+		code := Translate(img)
+		thrErr := code.Run(m, 10_000_000)
+
+		if (refErr == nil) != (thrErr == nil) {
+			t.Fatalf("seed %d: error divergence: switch=%v threaded=%v", seed, refErr, thrErr)
+		}
+		if ref.Steps != m.Steps {
+			t.Errorf("seed %d: retired %d != %d", seed, m.Steps, ref.Steps)
+		}
+		if ref.ExitCode != m.ExitCode || ref.Exited != m.Exited {
+			t.Errorf("seed %d: exit (%v,%d) != (%v,%d)",
+				seed, m.Exited, m.ExitCode, ref.Exited, ref.ExitCode)
+		}
+		if !bytes.Equal(ref.Output, m.Output) {
+			t.Errorf("seed %d: output diverged", seed)
+		}
+		if !stateEqual(ref.St, m.St) {
+			t.Errorf("seed %d: architectural state diverged", seed)
+		}
+	}
+}
+
+// ErrLimit must fire with exactly limit instructions retired and the
+// same machine state as the per-step engine, including limits landing
+// in the middle of straight-line bursts and fused pairs.
+func TestThreadedLimitEquivalence(t *testing.T) {
+	src := progen.Generate(progen.DefaultConfig(3))
+	p, err := asm.Assemble("gen", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for limit := uint64(1); limit < 200; limit++ {
+		ref := New(program.Load(p, program.LoadOptions{}), 7)
+		refErr := ref.Run(limit)
+
+		img := program.Load(p, program.LoadOptions{})
+		m := New(img, 7)
+		thrErr := Translate(img).Run(m, limit)
+
+		if (refErr == nil) != (thrErr == nil) {
+			t.Fatalf("limit %d: error divergence: switch=%v threaded=%v", limit, refErr, thrErr)
+		}
+		if ref.Steps != m.Steps {
+			t.Fatalf("limit %d: retired %d != %d", limit, m.Steps, ref.Steps)
+		}
+		if !stateEqual(ref.St, m.St) {
+			t.Fatalf("limit %d: architectural state diverged (pc %#x vs %#x)",
+				limit, m.St.PC, ref.St.PC)
+		}
+	}
+}
+
+// ExecBlock must reproduce Step's terminator StepResult exactly; walked
+// block by block, a whole program must retire identically.
+func TestThreadedExecBlockEquivalence(t *testing.T) {
+	src := progen.Generate(progen.DefaultConfig(11))
+	p, err := asm.Assemble("gen", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := New(program.Load(p, program.LoadOptions{}), 7)
+	img := program.Load(p, program.LoadOptions{})
+	m := New(img, 7)
+	code := Translate(img)
+
+	for !m.Exited && m.Steps < 2_000_000 {
+		// Discover the block shape by stepping the reference machine to
+		// its next control transfer.
+		off, ok := img.AbsToOff(m.St.PC)
+		if !ok {
+			t.Fatalf("pc %#x outside module", m.St.PC)
+		}
+		n := 0
+		var want StepResult
+		for {
+			res, err := ref.Step()
+			if err != nil {
+				t.Fatalf("ref step: %v", err)
+			}
+			n++
+			if res.Inst.Op.IsControlTransfer() {
+				want = res
+				break
+			}
+		}
+		got, err := code.ExecBlock(m, off, n)
+		if err != nil {
+			t.Fatalf("ExecBlock: %v", err)
+		}
+		if got != want {
+			t.Fatalf("terminator StepResult diverged:\n got %+v\nwant %+v", got, want)
+		}
+		if m.Steps != ref.Steps || !stateEqual(m.St, ref.St) {
+			t.Fatalf("state diverged after block at %#x", off)
+		}
+	}
+	if ref.Exited != m.Exited {
+		t.Fatalf("exit divergence")
+	}
+}

@@ -29,6 +29,10 @@ func WriteDiff(w io.Writer, r *diff.Report) error {
 		verdict = fmt.Sprintf("%d significant regression(s), worst %+.1f%%", r.Regressions, 100*r.MaxRegression)
 	}
 	fmt.Fprintf(w, "  threshold %.1f%%, sigma %.1f: %s\n", 100*r.Threshold, r.Sigma, verdict)
+	if r.OldTiered || r.NewTiered {
+		fmt.Fprintf(w, "  tiered inputs (old=%t new=%t): rows marked (estimated) use extrapolated counts and a doubled noise band\n",
+			r.OldTiered, r.NewTiered)
+	}
 
 	sections := []struct {
 		title string
@@ -58,16 +62,21 @@ func WriteDiff(w io.Writer, r *diff.Report) error {
 }
 
 func rowVerdict(row *diff.Row) string {
+	v := ""
 	switch {
 	case row.OnlyIn != "":
-		return "only in " + row.OnlyIn
+		v = "only in " + row.OnlyIn
 	case row.Regressed:
-		return "+ REGRESSED"
+		v = "+ REGRESSED"
 	case row.Significant && row.Improved:
-		return "- improved"
+		v = "- improved"
 	case row.Significant:
-		return "+ slower (below threshold)"
+		v = "+ slower (below threshold)"
 	default:
-		return "~ within noise"
+		v = "~ within noise"
 	}
+	if row.Estimated {
+		v += " (estimated)"
+	}
+	return v
 }

@@ -39,15 +39,39 @@ func degradedNote(p *core.Profile) string {
 	}
 }
 
-// writeBanner writes the degraded warning (if any) with the given line
-// prefix ("" for text tables, "# " for CSV). Full profiles write nothing.
-func writeBanner(w io.Writer, p *core.Profile, prefix string) error {
-	note := degradedNote(p)
-	if note == "" {
-		return nil
+// tieredNote returns the one-line confidence note for tiered profiles
+// (DESIGN.md §12), or "" for full-instrumentation results.
+func tieredNote(p *core.Profile) string {
+	if !p.Tiered {
+		return ""
 	}
-	_, err := fmt.Fprintf(w, "%s*** %s ***\n", prefix, note)
-	return err
+	return fmt.Sprintf("TIERED PROFILE: selective instrumentation over %d hot range(s); "+
+		"counts marked '~' are extrapolated from sampling time-shares", len(p.HotRanges))
+}
+
+// writeBanner writes the degraded and tiered notes (if any) with the
+// given line prefix ("" for text tables, "# " for CSV). Full profiles
+// write nothing, keeping their reports byte-identical.
+func writeBanner(w io.Writer, p *core.Profile, prefix string) error {
+	for _, note := range []string{degradedNote(p), tieredNote(p)} {
+		if note == "" {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s*** %s ***\n", prefix, note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// estCount renders an execution count, prefixed '~' when the count is a
+// tiered-mode extrapolation rather than a measurement. Exact counts
+// render exactly as the plain %d they always did.
+func estCount(v uint64, estimated bool) string {
+	if estimated {
+		return fmt.Sprintf("~%d", v)
+	}
+	return fmt.Sprintf("%d", v)
 }
 
 // preamble is the shared renderer prologue: the report.render fault site
@@ -100,8 +124,9 @@ func functionTableBody(w io.Writer, p *core.Profile) error {
 		if p.TotalCycles > 0 {
 			selfFrac = float64(f.SelfCycles) / float64(p.TotalCycles)
 		}
-		if _, err := fmt.Fprintf(w, "%-24s %6.1f%% %6.1f%% %12d %12d %6.2f %6.2f\n",
-			f.Name, 100*f.TimeFrac, 100*selfFrac, f.SelfInsts, f.TotalInsts,
+		if _, err := fmt.Fprintf(w, "%-24s %6.1f%% %6.1f%% %12s %12s %6.2f %6.2f\n",
+			f.Name, 100*f.TimeFrac, 100*selfFrac,
+			estCount(f.SelfInsts, f.Estimated), estCount(f.TotalInsts, f.Estimated),
 			f.CPI, f.IPC); err != nil {
 			return err
 		}
@@ -188,9 +213,9 @@ func lineTableBody(w io.Writer, p *core.Profile, max int) error {
 		if max > 0 && i >= max {
 			break
 		}
-		if _, err := fmt.Fprintf(w, "%-24s %6.1f%% %12d %10d %6.2f\n",
+		if _, err := fmt.Fprintf(w, "%-24s %6.1f%% %12s %10d %6.2f\n",
 			fmt.Sprintf("%s:%d", l.File, l.Line), 100*l.TimeFrac,
-			l.ExecCount, l.Samples, l.CPI); err != nil {
+			estCount(l.ExecCount, l.Estimated), l.Samples, l.CPI); err != nil {
 			return err
 		}
 	}
@@ -259,8 +284,8 @@ func annotatedFuncBody(w io.Writer, p *core.Profile, name string) error {
 			}
 			continue
 		}
-		if _, err := fmt.Fprintf(w, "%8x %10d %12d %8.2f  %s\n",
-			off, r.Samples, r.ExecCount, r.CPI, text); err != nil {
+		if _, err := fmt.Fprintf(w, "%8x %10d %12s %8.2f  %s\n",
+			off, r.Samples, estCount(r.ExecCount, r.Estimated), r.CPI, text); err != nil {
 			return err
 		}
 	}
@@ -380,13 +405,23 @@ func WriteInstCSV(w io.Writer, p *core.Profile) error {
 	if err := preamble(w, p, "# "); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintln(w, "offset,func,file,line,exec,samples,cycles,cpi,disasm"); err != nil {
+	// Tiered profiles gain a trailing estimated column; full profiles
+	// keep the legacy schema byte-identically.
+	estCol := ""
+	if p.Tiered {
+		estCol = ",estimated"
+	}
+	if _, err := fmt.Fprintf(w, "offset,func,file,line,exec,samples,cycles,cpi,disasm%s\n", estCol); err != nil {
 		return err
 	}
 	for _, r := range p.Insts {
-		if _, err := fmt.Fprintf(w, "0x%x,%s,%s,%d,%d,%d,%d,%.4f,%q\n",
+		est := ""
+		if p.Tiered {
+			est = fmt.Sprintf(",%t", r.Estimated)
+		}
+		if _, err := fmt.Fprintf(w, "0x%x,%s,%s,%d,%d,%d,%d,%.4f,%q%s\n",
 			r.Offset, r.Func, r.File, r.Line, r.ExecCount, r.Samples,
-			r.Cycles, r.CPI, r.Disasm); err != nil {
+			r.Cycles, r.CPI, r.Disasm, est); err != nil {
 			return err
 		}
 	}

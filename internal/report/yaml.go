@@ -31,6 +31,16 @@ func WriteYAML(w io.Writer, p *core.Profile) error {
 		y.kv(0, "degraded_reason", yamlString(e.DegradedReason))
 		y.kv(0, "degraded_banner", yamlString(degradedNote(p)))
 	}
+	if e.Tiered {
+		y.kv(0, "tiered", "true")
+		y.kv(0, "cold_instructions", u(e.ColdInsts))
+		y.kv(0, "tiered_banner", yamlString(tieredNote(p)))
+		y.list(0, "hot_ranges", len(e.HotRanges), func(i int) {
+			r := &e.HotRanges[i]
+			y.item(1, "lo", hex(r.Lo))
+			y.kv(2, "hi", hex(r.Hi))
+		})
+	}
 	if e.Machine != "" {
 		y.kv(0, "machine", yamlString(e.Machine))
 	}
@@ -62,6 +72,9 @@ func WriteYAML(w io.Writer, p *core.Profile) error {
 			y.kv(2, "line", fmt.Sprint(r.Line))
 		}
 		y.kv(2, "exec_count", u(r.ExecCount))
+		if r.Estimated {
+			y.kv(2, "estimated", "true")
+		}
 		y.kv(2, "samples", u(r.Samples))
 		y.kv(2, "cycles", u(r.Cycles))
 		y.kv(2, "cpi", f(r.CPI))
@@ -88,6 +101,9 @@ func WriteYAML(w io.Writer, p *core.Profile) error {
 		y.kv(2, "self_samples", u(r.SelfSamples))
 		y.kv(2, "self_instructions", u(r.SelfInsts))
 		y.kv(2, "total_instructions", u(r.TotalInsts))
+		if r.Estimated {
+			y.kv(2, "estimated", "true")
+		}
 		y.kv(2, "cpi", f(r.CPI))
 		y.kv(2, "ipc", f(r.IPC))
 		y.kv(2, "time_frac", f(r.TimeFrac))
@@ -112,6 +128,9 @@ func WriteYAML(w io.Writer, p *core.Profile) error {
 		y.item(1, "file", yamlString(r.File))
 		y.kv(2, "line", fmt.Sprint(r.Line))
 		y.kv(2, "exec_count", u(r.ExecCount))
+		if r.Estimated {
+			y.kv(2, "estimated", "true")
+		}
 		y.kv(2, "samples", u(r.Samples))
 		y.kv(2, "cycles", u(r.Cycles))
 		y.kv(2, "cpi", f(r.CPI))

@@ -119,6 +119,25 @@ func TestJobKey(t *testing.T) {
 	if k4, _ := jobKey(prog, optiwise.Options{Sequential: true}.Canonical()); k4 != k1 {
 		t.Error("Sequential option produced a different key")
 	}
+	// LegacyDispatch likewise selects a dispatch strategy with a
+	// byte-identical Result; it must collide with the base key.
+	if k5, _ := jobKey(prog, optiwise.Options{LegacyDispatch: true}.Canonical()); k5 != k1 {
+		t.Error("LegacyDispatch option produced a different key")
+	}
+	// A hot threshold without tiered mode is inert (Canonical strips
+	// it), so it must not fragment the cache either.
+	if k6, _ := jobKey(prog, optiwise.Options{HotThreshold: 0.3}.Canonical()); k6 != k1 {
+		t.Error("inert HotThreshold produced a different key")
+	}
+	// Tiered submissions with a zero and an explicit-default threshold
+	// describe the same profile and must collide with each other —
+	// while remaining distinct from non-tiered submissions (covered by
+	// the variants table below).
+	kt1, _ := jobKey(prog, optiwise.Options{Tiered: true}.Canonical())
+	kt2, _ := jobKey(prog, optiwise.Options{Tiered: true, HotThreshold: optiwise.DefaultHotThreshold}.Canonical())
+	if kt1 != kt2 {
+		t.Error("tiered default-threshold submissions diverged")
+	}
 	variants := map[string]optiwise.Options{
 		"machine":   {Machine: optiwise.NeoverseN1()},
 		"period":    {SamplePeriod: 999},
@@ -129,6 +148,8 @@ func TestJobKey(t *testing.T) {
 		"threshold": {LoopThreshold: 7},
 		"maxcycles": {MaxCycles: 123456},
 		"seed":      {RandSeed: 42},
+		"tiered":    {Tiered: true},
+		"hotthr":    {Tiered: true, HotThreshold: 0.2},
 	}
 	seen := map[string]string{k1: "base"}
 	for name, o := range variants {

@@ -41,6 +41,7 @@ var chaosSites = []struct {
 	{fault.SiteOOORun, []string{"error", "panic"}},
 	{fault.SiteDBIRun, []string{"error", "panic"}},
 	{fault.SiteInterpRun, []string{"error"}},
+	{fault.SiteTieredSelect, []string{"error"}},
 	{fault.SiteCombine, []string{"error"}},
 	{fault.SiteWorker, []string{"error", "panic", "latency"}},
 	{fault.SiteCacheGet, []string{"error", "panic"}},
@@ -102,6 +103,10 @@ func waitJob(t *testing.T, j *serve.Job, d time.Duration) {
 type chaosJob struct {
 	trips         int
 	allowDegraded bool
+	// tiered submits the job in tiered mode, so schedules exercise the
+	// sequential sampling → selection → selective-DBI pipeline and the
+	// tiered.select seam between its stages.
+	tiered bool
 }
 
 // TestChaosSchedules runs 50+ randomized fault schedules against the
@@ -112,6 +117,8 @@ func TestChaosSchedules(t *testing.T) {
 		{trips: 30, allowDegraded: false},
 		{trips: 30, allowDegraded: true},
 		{trips: 45, allowDegraded: true},
+		{trips: 30, allowDegraded: true, tiered: true},
+		{trips: 45, allowDegraded: false, tiered: true},
 	}
 	for seed := 0; seed < schedules; seed++ {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
@@ -132,7 +139,7 @@ func TestChaosSchedules(t *testing.T) {
 			var handles []*serve.Job
 			for _, cj := range jobs {
 				prog := mustProgram(t, progSource(cj.trips))
-				j, err := srv.Submit(prog, optiwise.Options{AllowDegraded: cj.allowDegraded}, 0)
+				j, err := srv.Submit(prog, optiwise.Options{AllowDegraded: cj.allowDegraded, Tiered: cj.tiered}, 0)
 				if err != nil {
 					t.Fatalf("submit: %v", err) // queue depth 64 cannot fill here
 				}
@@ -168,7 +175,7 @@ func TestChaosSchedules(t *testing.T) {
 			fault.Set(nil)
 			for i, cj := range jobs {
 				prog := mustProgram(t, progSource(cj.trips))
-				j, err := srv.Submit(prog, optiwise.Options{AllowDegraded: cj.allowDegraded}, 0)
+				j, err := srv.Submit(prog, optiwise.Options{AllowDegraded: cj.allowDegraded, Tiered: cj.tiered}, 0)
 				if err != nil {
 					t.Fatalf("fault-free resubmit: %v", err)
 				}

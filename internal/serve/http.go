@@ -118,6 +118,11 @@ type submitOptions struct {
 	// when exactly one profiling pass fails. Degraded results are
 	// flagged in the job status and never cached.
 	AllowDegraded bool `json:"allow_degraded,omitempty"`
+	// Tiered/HotThreshold select tiered adaptive instrumentation
+	// (optiwise.Options.Tiered): a profile parameter, so tiered and
+	// full submissions of the same program never share a cache entry.
+	Tiered       bool    `json:"tiered,omitempty"`
+	HotThreshold float64 `json:"hot_threshold,omitempty"`
 }
 
 // toOptions converts the wire options into optiwise.Options,
@@ -155,6 +160,8 @@ func (o *submitOptions) toOptions() (optiwise.Options, error) {
 	opts.TelemetryWindow = uint64(o.TelemetryWindow)
 	opts.StreamWindow = uint64(o.StreamWindow)
 	opts.AllowDegraded = o.AllowDegraded
+	opts.Tiered = o.Tiered
+	opts.HotThreshold = o.HotThreshold
 	switch o.Attribution {
 	case "", "auto":
 		opts.Attribution = optiwise.AttrAuto
@@ -404,7 +411,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	st := s.Stats()
 	code := http.StatusOK
 	if st.Draining {
+		// A draining 503 is a busy response like any other: load
+		// balancers and retrying clients get the same Retry-After hint
+		// writeBusy attaches, instead of hammering a drain in progress.
 		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	writeJSON(w, code, map[string]any{
 		"status":   map[bool]string{false: "ok", true: "draining"}[st.Draining],
@@ -602,6 +613,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // pressure: a client told to retry while the queue is still saturated
 // would only bounce off it again, so a full queue quadruples the wait.
 func (s *Server) writeBusy(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	writeError(w, code, msg)
+}
+
+// retryAfterSeconds computes the busy-response hint: the configured
+// delay, scaled by queue pressure, rounded up to whole seconds with a
+// 1s floor.
+func (s *Server) retryAfterSeconds() int {
 	d := s.cfg.RetryAfter
 	if depth, capacity := len(s.queue), s.cfg.QueueDepth; capacity > 0 && depth > 0 {
 		d += 3 * d * time.Duration(depth) / time.Duration(capacity)
@@ -610,8 +629,7 @@ func (s *Server) writeBusy(w http.ResponseWriter, code int, msg string) {
 	if secs < 1 {
 		secs = 1
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	writeError(w, code, msg)
+	return secs
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {

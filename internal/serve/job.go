@@ -481,10 +481,11 @@ func jobKey(prog *optiwise.Program, opts optiwise.Options) (string, error) {
 	// geometry.
 	fmt.Fprintf(h, "|machine=%#v", opts.Machine)
 	fmt.Fprintf(h,
-		"|period=%d|intcost=%d|precise=%t|jitter=%t|nostack=%t|attr=%d|unweighted=%t|T=%d|saslr=%d|iaslr=%d|seed=%d|maxcycles=%d|telemetry=%d",
+		"|period=%d|intcost=%d|precise=%t|jitter=%t|nostack=%t|attr=%d|unweighted=%t|T=%d|saslr=%d|iaslr=%d|seed=%d|maxcycles=%d|telemetry=%d|tiered=%t|hotthr=%g",
 		opts.SamplePeriod, opts.InterruptCost, opts.Precise, opts.SampleJitter,
 		opts.DisableStackProfiling, opts.Attribution, opts.Unweighted,
 		opts.LoopThreshold, opts.SampleASLRSeed, opts.InstrASLRSeed,
-		opts.RandSeed, opts.MaxCycles, opts.TelemetryWindow)
+		opts.RandSeed, opts.MaxCycles, opts.TelemetryWindow,
+		opts.Tiered, opts.HotThreshold)
 	return hex.EncodeToString(h.Sum(nil)), nil
 }

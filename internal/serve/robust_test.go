@@ -144,6 +144,20 @@ func TestRetryAfterCeil(t *testing.T) {
 	if got := resp.Header.Get("Retry-After"); got != "2" {
 		t.Errorf("Retry-After = %q, want \"2\" (1.5s rounded up)", got)
 	}
+
+	// The draining health probe is a busy response too: load balancers
+	// polling /healthz must get the same back-off hint.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz status %d, want 503 while draining", hr.StatusCode)
+	}
+	if got := hr.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("healthz Retry-After = %q, want \"2\"", got)
+	}
 }
 
 // TestRetryAfterQueuePressure: with the queue saturated, the hint

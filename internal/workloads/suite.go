@@ -19,6 +19,7 @@ func Suite() []Spec {
 			ALU: 5, Mul: 0.3, Load: 2.5, Store: 1,
 			WorkingSetKB: 256, RandomBranchEvery: 12,
 			IndirectEvery: 10, IndirectTargets: 32, CallEvery: 25,
+			WarmPhases: 1, WarmOps: 20, WarmIterFrac: 0.3, WarmDispatchEvery: 5,
 		},
 		{
 			Name: "502.gcc", Lang: "C",
@@ -27,6 +28,7 @@ func Suite() []Spec {
 			ALU: 5, Mul: 0.4, Load: 3, Store: 1.4,
 			WorkingSetKB: 2048, RandomBranchEvery: 14,
 			IndirectEvery: 24, IndirectTargets: 16, CallEvery: 12,
+			WarmPhases: 3, WarmOps: 24, WarmIterFrac: 0.5, WarmDispatchEvery: 4,
 		},
 		{
 			Name: "505.mcf", Lang: "C",
@@ -42,6 +44,7 @@ func Suite() []Spec {
 			ALU: 4.5, Load: 3, Store: 1.2,
 			WorkingSetKB: 16384, RandomBranchEvery: 15,
 			IndirectEvery: 14, IndirectTargets: 24, CallEvery: 20,
+			WarmPhases: 2, WarmOps: 24, WarmIterFrac: 0.5, WarmDispatchEvery: 4,
 		},
 		{
 			Name: "523.xalancbmk", Lang: "C++",
@@ -115,6 +118,7 @@ func Suite() []Spec {
 			BodyOps: 58, Iterations: 2400,
 			ALU: 3, FP: 5, Load: 3, Store: 1,
 			WorkingSetKB: 16384, CallEvery: 18, IndirectEvery: 40, IndirectTargets: 8,
+			WarmPhases: 2, WarmOps: 20, WarmIterFrac: 0.4, WarmDispatchEvery: 5,
 		},
 		{
 			Name: "511.povray", Lang: "C++",
@@ -123,6 +127,7 @@ func Suite() []Spec {
 			ALU: 3, FP: 5, FDiv: 0.4, Load: 2, Store: 0.6,
 			WorkingSetKB: 512, RandomBranchEvery: 12,
 			IndirectEvery: 20, IndirectTargets: 16, CallEvery: 14,
+			WarmPhases: 2, WarmOps: 20, WarmIterFrac: 0.35, WarmDispatchEvery: 5,
 		},
 		{
 			Name: "519.lbm", Lang: "C",
@@ -145,6 +150,7 @@ func Suite() []Spec {
 			ALU: 3.5, FP: 4.5, Load: 2.4, Store: 1,
 			WorkingSetKB: 8192, RandomBranchEvery: 14,
 			IndirectEvery: 18, IndirectTargets: 24, CallEvery: 20,
+			WarmPhases: 2, WarmOps: 20, WarmIterFrac: 0.35, WarmDispatchEvery: 5,
 		},
 		{
 			Name: "527.cam4", Lang: "Fortran",

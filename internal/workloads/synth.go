@@ -49,6 +49,21 @@ type Spec struct {
 	IndirectTargets int
 	// CallEvery inserts a direct call to a tiny helper every N ops.
 	CallEvery int
+
+	// Warm phases give a benchmark the multi-phase structure of the
+	// large C/C++ programs it stands in for: setup and traversal loops,
+	// each its own function, that run a modest share of the program's
+	// cycles through monomorphic virtual-call sites. A fixed-target
+	// indirect call is free once the BTB has seen it, so the phases are
+	// natively cheap — but instrumentation still pays a clean call per
+	// dispatch, so they carry an outsized share of DBI cost. That
+	// cost/cycle decorrelation is characteristic of real codebases
+	// (most C++ virtual-call sites are monomorphic) and is what tiered
+	// profiling exploits; see owbench tiered.
+	WarmPhases        int     // number of phase functions (0 = none)
+	WarmOps           int     // ops per phase iteration
+	WarmIterFrac      float64 // phase iterations as a fraction of Iterations
+	WarmDispatchEvery int     // monomorphic dispatch cadence within a phase
 }
 
 // Scale multiplies the iteration count, returning a copy. The overhead
@@ -136,9 +151,11 @@ func (g *synthGen) program() string {
 	}
 	mask := uint64(wsBytes-1) &^ 7 // 8-byte aligned offsets within the set
 
+	dispatchTable := s.IndirectEvery > 0 ||
+		(s.WarmPhases > 0 && s.WarmDispatchEvery > 0 && s.IndirectTargets > 0)
 	g.raw(".module %s", s.Name)
 	g.raw(".data")
-	if s.IndirectEvery > 0 {
+	if dispatchTable {
 		g.raw("jtab:")
 		for i := 0; i < s.IndirectTargets; i++ {
 			g.raw("    .quad h%d", i)
@@ -188,6 +205,10 @@ func (g *synthGen) program() string {
 	g.body()
 	g.emit("addi s7, s7, -1")
 	g.emit("bnez s7, %s", outer)
+	// Warm phases run once each after the main loop.
+	for p := 0; p < s.WarmPhases; p++ {
+		g.emit("call phase%d", p)
+	}
 	// Exit with checksum.
 	g.raw(".loc %s.src 90", s.Name)
 	g.emit("ld ra, 8(sp)")
@@ -206,7 +227,7 @@ func (g *synthGen) program() string {
 		g.emit("ret")
 		g.raw(".endfunc")
 	}
-	if s.IndirectEvery > 0 {
+	if dispatchTable {
 		for i := 0; i < s.IndirectTargets; i++ {
 			g.raw(".func h%d", i)
 			g.raw("h%d:", i)
@@ -217,7 +238,71 @@ func (g *synthGen) program() string {
 			g.raw(".endfunc")
 		}
 	}
+	for p := 0; p < s.WarmPhases; p++ {
+		g.phase(p)
+	}
 	return g.b.String()
+}
+
+// phase emits one warm-phase function: a loop of cheap ALU work
+// punctuated by monomorphic dispatches through the jump table. Each
+// dispatch site always loads the same slot, so the BTB predicts it
+// after the first execution and the phase stays cycle-cheap; the DBI
+// pass still pays a clean call per execution.
+func (g *synthGen) phase(p int) {
+	s := g.s
+	iters := int(float64(s.Iterations) * s.WarmIterFrac)
+	if iters < 1 {
+		iters = 1
+	}
+	g.raw(".loc %s.src %d", s.Name, 60+p)
+	g.raw(".func phase%d", p)
+	g.raw("phase%d:", p)
+	g.emit("addi sp, sp, -16")
+	g.emit("st ra, 8(sp)")
+	g.emit("li s4, %d", iters)
+	loop := g.label("phase")
+	g.raw("%s:", loop)
+	for i := 0; i < s.WarmOps; i++ {
+		if s.WarmDispatchEvery > 0 && s.IndirectTargets > 0 &&
+			i%s.WarmDispatchEvery == s.WarmDispatchEvery-1 {
+			g.monoDispatch(g.rng.Intn(s.IndirectTargets))
+		}
+		g.warmOp()
+	}
+	g.emit("addi s4, s4, -1")
+	g.emit("bnez s4, %s", loop)
+	g.emit("ld ra, 8(sp)")
+	g.emit("addi sp, sp, 16")
+	g.emit("ret")
+	g.raw(".endfunc")
+}
+
+// warmOp emits one cheap ALU operation (no memory traffic: warm phases
+// must stay off the cycle profile's podium).
+func (g *synthGen) warmOp() {
+	switch g.rng.Intn(4) {
+	case 0:
+		g.emit("add %s, %s, %s", g.reg(), g.reg(), g.reg())
+	case 1:
+		g.emit("xor %s, %s, %s", g.reg(), g.reg(), g.reg())
+	case 2:
+		g.emit("addi %s, %s, %d", g.reg(), g.reg(), g.rng.Intn(512))
+	default:
+		g.emit("slli %s, %s, %d", g.reg(), g.reg(), g.rng.Intn(8))
+	}
+}
+
+// monoDispatch emits an indirect call that always targets jump-table
+// slot k — the monomorphic virtual-call shape.
+func (g *synthGen) monoDispatch(k int) {
+	g.emit("la t5, jtab")
+	g.emit("ld t6, %d(t5)", k*8)
+	// Convert the stored module offset to an absolute address.
+	g.emit("li t5, 0x200000")
+	g.emit("sub t5, gp, t5")
+	g.emit("add t6, t6, t5")
+	g.emit("callr t6")
 }
 
 // lcgStep advances the run-time LCG in s8 (Knuth MMIX constants).

@@ -209,6 +209,17 @@ type Options struct {
 	// either way; Sequential exists for debugging, single-core hosts,
 	// and the equivalence tests that prove that determinism claim.
 	Sequential bool
+	// LegacyDispatch forces the instrumentation pass's block bodies
+	// through the per-instruction switch interpreter instead of the
+	// direct-threaded engine. The two dispatch strategies retire the
+	// same architectural state and counts — the equivalence suite pins
+	// byte-identical Results across all 23 workloads — so, like
+	// Sequential, this is an execution strategy, not a profile
+	// parameter: Canonical clears it and it never splits cache
+	// identity. It exists for debugging and as the baseline arm of the
+	// dispatch benchmarks. Ignored (the threaded engine is required) in
+	// tiered mode.
+	LegacyDispatch bool
 	// TelemetryWindow, when non-zero, collects cycle-windowed interval
 	// telemetry from the sampled run's simulated core: one record of
 	// IPC, ROB occupancy, branch-mispredict rate, per-level cache miss
@@ -234,6 +245,30 @@ type Options struct {
 	// emitting pass's goroutine. With concurrent passes it is called
 	// from two goroutines; StreamCombiner.Add is safe for that.
 	OnIncrement func(stream.Increment)
+	// Tiered enables tiered adaptive instrumentation (DESIGN.md §12):
+	// the sampling pass runs first, its cycle attribution selects which
+	// code regions earn full instrumentation (HotThreshold over aligned
+	// sub-function windows, plus a coverage floor of entry instructions
+	// per function — except tiny ret-terminated leaves, which are left
+	// to their callers' edge records), and the DBI pass instruments only that
+	// selection — cold code runs
+	// through the threaded engine's cold path at near-native modelled
+	// cost. The Result carries exact cycles everywhere and exact counts
+	// for hot code; cold-code counts are extrapolated from sampling
+	// time-shares and flagged Estimated. Tiered runs are inherently
+	// sequential (the DBI pass consumes the sampling pass's output), so
+	// the pass-overlap schedule does not apply. Tiered is a profile
+	// parameter: it changes what is measured, so it is part of cache
+	// identity (unlike Sequential). Applies to Profile/ProfileContext;
+	// InstrumentOnly ignores it (there is no sampling profile to derive
+	// a selection from).
+	Tiered bool
+	// HotThreshold is the tiered-mode hotness cutoff: an aligned
+	// region of core.RegionInsts instructions whose sampled cycle share
+	// is at least this fraction of total cycle mass is instrumented.
+	// 0 means DefaultHotThreshold; values must lie in (0, 1]. Ignored
+	// unless Tiered is set.
+	HotThreshold float64
 	// AllowDegraded opts into partial results: when exactly one of the
 	// two profiling passes fails (for a reason other than the caller's
 	// own cancellation), ProfileContext returns a Result with Degraded
@@ -252,9 +287,17 @@ type Options struct {
 	FaultSpec string
 }
 
+// DefaultHotThreshold is the tiered-mode hotness cutoff applied when
+// Options.HotThreshold is zero: code regions carrying at least 1% of
+// the sampled cycle mass are instrumented.
+const DefaultHotThreshold = 0.01
+
 func (o *Options) fill() {
 	if o.Machine.Name == "" {
 		o.Machine = XeonW2195()
+	}
+	if o.Tiered && o.HotThreshold == 0 {
+		o.HotThreshold = DefaultHotThreshold
 	}
 	if o.SamplePeriod == 0 {
 		o.SamplePeriod = 2000
@@ -286,7 +329,13 @@ func (o *Options) fill() {
 func (o Options) Canonical() Options {
 	o.fill()
 	o.Sequential = false
+	o.LegacyDispatch = false
 	o.FaultSpec = ""
+	// A threshold without tiered mode is inert; clear it so it cannot
+	// split cache identity between otherwise identical submissions.
+	if !o.Tiered {
+		o.HotThreshold = 0
+	}
 	// Streaming is an observation channel, not a profile parameter: the
 	// increments reconstruct exactly the profile a non-streamed run
 	// produces, so streamed and plain submissions of the same program
@@ -366,6 +415,9 @@ func (o Options) Validate() error {
 		if o.StreamWindow > maxTelemetryWindow {
 			return fmt.Errorf("optiwise: stream window %d exceeds maximum 2^40", o.StreamWindow)
 		}
+	}
+	if o.HotThreshold < 0 || o.HotThreshold > 1 {
+		return fmt.Errorf("optiwise: hot threshold %g outside (0, 1]", o.HotThreshold)
 	}
 	if o.FaultSpec != "" {
 		if _, err := fault.Parse(o.FaultSpec); err != nil {
@@ -500,12 +552,15 @@ func analyzeDegraded(ctx context.Context, prog *Program, sp *SampleProfile, ep *
 // can implement degraded mode. Pass panics are recovered into
 // *PanicError values.
 func runPasses(ctx context.Context, prog *Program, opts Options, span *obs.Span) (*SampleProfile, *EdgeProfile, error, error) {
+	if opts.Tiered {
+		return runTieredPasses(ctx, prog, opts, span)
+	}
 	if opts.Sequential {
 		sp, _, sampleErr := guardedSamplePass(ctx, prog, opts, span, nil)
 		if sampleErr != nil && !opts.AllowDegraded {
 			return nil, nil, sampleErr, nil
 		}
-		ep, instrErr := guardedInstrumentPass(ctx, prog, opts, span, nil)
+		ep, instrErr := guardedInstrumentPass(ctx, prog, opts, span, nil, nil)
 		return sp, ep, sampleErr, instrErr
 	}
 
@@ -538,13 +593,43 @@ func runPasses(ctx context.Context, prog *Program, opts Options, span *obs.Span)
 	}()
 	go func() {
 		defer wg.Done()
-		ep, instrErr = guardedInstrumentPass(passCtx, prog, opts, span, onErr)
+		ep, instrErr = guardedInstrumentPass(passCtx, prog, opts, span, nil, onErr)
 		instrDur = time.Since(start)
 	}()
 	wg.Wait()
 	wall := time.Since(start)
 	recordPassOverlap(span, sampleDur, instrDur, wall)
 	return sp, ep, sampleErr, instrErr
+}
+
+// runTieredPasses is the sequential-tiered schedule (DESIGN.md §12).
+// The PR 3 pass overlap cannot apply: the selective DBI pass consumes
+// the sampling pass's cycle attribution, so the stages are ordered —
+// sample, derive the hotness selection (a dedicated fault seam), then
+// instrument only the selection. Degraded mode inverts per stage: if
+// sampling fails there is no selection to derive, so the
+// instrumentation pass falls back to full coverage (the counts-only
+// view must not silently lose cold counts too); if selection or
+// instrumentation fails, the sampling profile alone degrades to the
+// usual sampling-only view.
+func runTieredPasses(ctx context.Context, prog *Program, opts Options, span *obs.Span) (*SampleProfile, *EdgeProfile, error, error) {
+	sp, _, sampleErr := guardedSamplePass(ctx, prog, opts, span, nil)
+	if sampleErr != nil {
+		if !opts.AllowDegraded {
+			return nil, nil, sampleErr, nil
+		}
+		// Full instrumentation: without a sampling profile the degraded
+		// counts-only result must carry exact counts everywhere.
+		ep, instrErr := guardedInstrumentPass(ctx, prog, opts, span, nil, nil)
+		return sp, ep, sampleErr, instrErr
+	}
+	if err := fault.Err(fault.SiteTieredSelect); err != nil {
+		return sp, nil, nil, fmt.Errorf("optiwise: tiered selection: %w", err)
+	}
+	sel := core.DeriveSelection(prog.prog, sp, opts.HotThreshold)
+	span.SetAttr("tiered", true).SetAttr("hot_ranges", len(sel.Ranges()))
+	ep, instrErr := guardedInstrumentPass(ctx, prog, opts, span, sel, nil)
+	return sp, ep, nil, instrErr
 }
 
 // guardedSamplePass runs the sampling pass under a span and a panic
@@ -570,9 +655,13 @@ func guardedSamplePass(ctx context.Context, prog *Program, opts Options, span *o
 }
 
 // guardedInstrumentPass is guardedSamplePass for the instrumentation
-// pass.
-func guardedInstrumentPass(ctx context.Context, prog *Program, opts Options, span *obs.Span, onErr func()) (ep *EdgeProfile, err error) {
+// pass. sel, when non-nil, restricts instrumentation to the tiered
+// hotness selection.
+func guardedInstrumentPass(ctx context.Context, prog *Program, opts Options, span *obs.Span, sel *dbi.Selection, onErr func()) (ep *EdgeProfile, err error) {
 	ps := span.StartChild("instrument").SetAttr("module", prog.Module())
+	if sel != nil {
+		ps.SetAttr("tiered", true)
+	}
 	defer func() {
 		if v := recover(); v != nil {
 			err = &PanicError{Op: core.PassInstrumentation, Value: v, Stack: debug.Stack()}
@@ -582,7 +671,7 @@ func guardedInstrumentPass(ctx context.Context, prog *Program, opts Options, spa
 			onErr()
 		}
 	}()
-	return instrumentPass(ctx, prog, opts)
+	return instrumentPass(ctx, prog, opts, sel)
 }
 
 // coreOptions maps the public profiling options onto the analysis
@@ -712,17 +801,51 @@ func InstrumentOnlyContext(ctx context.Context, prog *Program, opts Options) (*E
 	opts.fill()
 	span := obs.StartCtx(ctx, "instrument").SetAttr("module", prog.Module())
 	defer span.End()
-	return instrumentPass(ctx, prog, opts)
+	return instrumentPass(ctx, prog, opts, nil)
+}
+
+// TieredInstrumentOnly performs the selective instrumentation run of a
+// tiered profile (DESIGN.md §12): the hotness selection is derived from
+// the sampling profile sp at opts.HotThreshold (Options.Canonical's
+// default when zero), and only the selected block heads are
+// instrumented; everything else executes in uninstrumented cold legs.
+// The resulting EdgeProfile carries Tiered, HotRanges, and
+// ColdInstructions, and its Overhead() reflects the reduced modelled
+// cost — `owbench tiered` builds the overhead/accuracy frontier from
+// this seam. Analyze accepts the pair (sp, tiered ep) and extrapolates
+// cold counts exactly as Profile with Options.Tiered would.
+func TieredInstrumentOnly(prog *Program, sp *SampleProfile, opts Options) (*EdgeProfile, error) {
+	return TieredInstrumentOnlyContext(context.Background(), prog, sp, opts)
+}
+
+// TieredInstrumentOnlyContext is TieredInstrumentOnly with cooperative
+// cancellation (see ProfileContext).
+func TieredInstrumentOnlyContext(ctx context.Context, prog *Program, sp *SampleProfile, opts Options) (*EdgeProfile, error) {
+	opts.Tiered = true
+	opts.fill()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	sel := core.DeriveSelection(prog.prog, sp, opts.HotThreshold)
+	span := obs.StartCtx(ctx, "instrument").
+		SetAttr("module", prog.Module()).
+		SetAttr("tiered", true).
+		SetAttr("hot_ranges", len(sel.Ranges()))
+	defer span.End()
+	return instrumentPass(ctx, prog, opts, sel)
 }
 
 // instrumentPass is the instrumentation pass body, span-free for the
-// same reason as samplePass. opts must be filled.
-func instrumentPass(ctx context.Context, prog *Program, opts Options) (*EdgeProfile, error) {
+// same reason as samplePass. opts must be filled. sel, when non-nil,
+// is the tiered hotness selection.
+func instrumentPass(ctx context.Context, prog *Program, opts Options, sel *dbi.Selection) (*EdgeProfile, error) {
 	dopts := dbi.Options{
 		StackProfiling:  !opts.DisableStackProfiling,
 		ASLRSeed:        opts.InstrASLRSeed,
 		RandSeed:        opts.RandSeed,
 		MaxInstructions: opts.MaxCycles,
+		Select:          sel,
+		LegacyDispatch:  opts.LegacyDispatch,
 	}
 	if opts.StreamWindow > 0 && opts.OnIncrement != nil {
 		emit := opts.OnIncrement

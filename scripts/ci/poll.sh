@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# poll.sh — bounded poll-until-ready helper for CI smoke jobs.
+#
+# Usage: poll.sh [-t seconds] [-i seconds] DESCRIPTION -- CMD [ARG...]
+#
+# Re-runs CMD until it exits 0 (then exits 0) or the deadline passes
+# (then prints DESCRIPTION and CMD's last output, and exits 1). The
+# default deadline is 15s at a 0.2s interval.
+#
+# This replaces the fixed `for i in $(seq 1 50); do ...; sleep 0.2`
+# loops the smoke jobs used to carry: those encode the deadline as an
+# iteration count that silently changes meaning when the interval is
+# tuned, duplicate the timeout arithmetic at every site, and lose the
+# failing command's output. A wait is a deadline, not a loop count.
+set -u
+
+timeout=15
+interval=0.2
+while getopts "t:i:" opt; do
+  case $opt in
+    t) timeout=$OPTARG ;;
+    i) interval=$OPTARG ;;
+    *) echo "usage: poll.sh [-t seconds] [-i seconds] DESCRIPTION -- CMD [ARG...]" >&2; exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+[ $# -ge 2 ] || { echo "usage: poll.sh [-t seconds] [-i seconds] DESCRIPTION -- CMD [ARG...]" >&2; exit 2; }
+desc=$1
+shift
+[ "$1" = "--" ] && shift
+
+deadline=$(( $(date +%s) + timeout ))
+out=""
+while :; do
+  if out=$("$@" 2>&1); then
+    exit 0
+  fi
+  if [ "$(date +%s)" -ge "$deadline" ]; then
+    echo "poll: timed out after ${timeout}s waiting for: $desc" >&2
+    [ -n "$out" ] && echo "poll: last output: $out" >&2
+    exit 1
+  fi
+  sleep "$interval"
+done
