@@ -28,6 +28,8 @@ import (
 	"os"
 	"runtime"
 	"time"
+
+	"optiwise/internal/durable"
 )
 
 func main() {
@@ -123,5 +125,7 @@ func writeJSON(path string, v any) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	// Atomic temp+rename+fsync: an interrupted -write never leaves a
+	// truncated baseline for the next CI run to trip over.
+	return durable.AtomicWrite(path, append(data, '\n'), 0o644)
 }

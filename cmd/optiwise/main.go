@@ -36,6 +36,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -93,6 +94,13 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "optiwise:", err)
+		// Errors that carry their own exit code (e.g. a drain-deadline
+		// forced serve exit) override the generic failure code so
+		// supervisors can tell the cases apart.
+		var coded interface{ ExitCode() int }
+		if errors.As(err, &coded) {
+			os.Exit(coded.ExitCode())
+		}
 		os.Exit(1)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"optiwise/internal/fault"
 )
 
 const testProg = `
@@ -160,6 +162,35 @@ func TestCmdCompare(t *testing.T) {
 	}
 	if err := cmdCompare([]string{oldPath}); err == nil {
 		t.Error("compare with one file accepted")
+	}
+}
+
+// TestCmdCompareRefusesDegradedTiered: a fault-degraded tiered profile
+// reaching compare must be refused with an error naming the degraded
+// side — a single-pass profile (tiered or not) lacks the data to diff,
+// and silently comparing extrapolated estimates would produce
+// confidently wrong deltas.
+func TestCmdCompareRefusesDegradedTiered(t *testing.T) {
+	silenceStdout(t)
+	t.Cleanup(func() { fault.Set(nil) })
+	oldPath := writeProg(t)
+	opt := strings.ReplaceAll(testProg, "li t0, 200", "li t0, 100")
+	newPath := filepath.Join(t.TempDir(), "new.s")
+	if err := os.WriteFile(newPath, []byte(opt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// nth=1 kills only the first (old-side) DBI pass: old degrades to a
+	// sampling-only tiered profile, new profiles cleanly.
+	err := cmdCompare([]string{
+		"-tiered", "-allow-degraded",
+		"-fault", "dbi.run:error:nth=1,msg=dbi pass killed",
+		oldPath, newPath,
+	})
+	if err == nil {
+		t.Fatal("compare accepted a degraded tiered profile")
+	}
+	if !strings.Contains(err.Error(), "degraded") || !strings.Contains(err.Error(), "old") {
+		t.Errorf("refusal does not name the degraded side: %v", err)
 	}
 }
 

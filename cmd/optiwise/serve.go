@@ -16,10 +16,27 @@ import (
 	"time"
 
 	"optiwise/internal/cluster"
+	"optiwise/internal/durable"
 	"optiwise/internal/fault"
 	"optiwise/internal/obs"
 	"optiwise/internal/serve"
 )
+
+// exitDrainForced is the serve exit code when the -drain deadline
+// expired before all jobs finished: the process still exits, but the
+// operator (and any supervisor) can tell a forced exit from a clean
+// drain (0) and from ordinary errors (1).
+const exitDrainForced = 3
+
+// drainForcedError marks a shutdown cut short by the drain deadline.
+// main maps it to exitDrainForced via the ExitCode method.
+type drainForcedError struct{ err error }
+
+func (e *drainForcedError) Error() string {
+	return fmt.Sprintf("serve: drain deadline forced exit: %v", e.err)
+}
+func (e *drainForcedError) Unwrap() error { return e.err }
+func (e *drainForcedError) ExitCode() int { return exitDrainForced }
 
 // cmdServe runs the long-lived profiling service: an HTTP JSON API in
 // front of a bounded job queue, a fixed worker pool, and a
@@ -35,7 +52,8 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", 60*time.Second, "default per-job deadline")
 	maxTimeout := fs.Duration("max-timeout", 10*time.Minute, "cap on client-chosen deadlines")
 	maxCycles := fs.Int64("max-cycles", 1<<32, "per-execution cycle bound (negative disables)")
-	drainWait := fs.Duration("drain", 2*time.Minute, "max time to drain jobs on shutdown")
+	drainWait := fs.Duration("drain", 2*time.Minute, "max time to drain jobs on shutdown; exceeding it forces exit code 3")
+	dataDir := fs.String("data-dir", "", "durable state directory (WAL job journal, result segments, stream checkpoints); empty keeps all state in memory")
 	retries := fs.Int("retries", 0, "transient-failure retry budget per job (0 = default 2, negative disables)")
 	faultSpec := fs.String("fault", "", "server-wide fault-injection spec (chaos testing; also OPTIWISE_FAULT)")
 	flightDir := fs.String("flight-dir", "", "directory for flight-recorder dumps (panics, failed jobs, degraded results, SIGQUIT); empty keeps dumps in memory only")
@@ -74,7 +92,7 @@ func cmdServe(args []string) error {
 	if *flightSize == 0 {
 		*flightSize = obs.DefaultFlightRecorderSize
 	}
-	srv := serve.New(serve.Config{
+	srv, err := serve.NewDurable(serve.Config{
 		Workers:            *workers,
 		QueueDepth:         *queueDepth,
 		CacheBytes:         *cacheMB << 20,
@@ -84,7 +102,16 @@ func cmdServe(args []string) error {
 		RetryBudget:        *retries,
 		FlightDumpDir:      *flightDir,
 		FlightRecorderSize: *flightSize,
+		DataDir:            *dataDir,
 	})
+	if err != nil {
+		return err
+	}
+	if *dataDir != "" {
+		st := srv.Stats()
+		fmt.Fprintf(os.Stderr, "optiwise: durable state in %s (replayed %d journal records, %d truncated, %d cached results)\n",
+			*dataDir, st.JournalReplays, st.RecordsTruncated, st.CacheEntries)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -139,15 +166,10 @@ func cmdServe(args []string) error {
 	}
 
 	if *addrFile != "" {
-		// Write-then-rename so a watching script never reads a partial
-		// address: the file appears atomically, fully written, only
-		// after the listener is bound.
-		tmp := *addrFile + ".tmp"
-		if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
-			ln.Close()
-			return fmt.Errorf("serve: write -addr-file: %w", err)
-		}
-		if err := os.Rename(tmp, *addrFile); err != nil {
+		// Atomic temp+rename+fsync so a watching script never reads a
+		// partial address: the file appears fully written, only after
+		// the listener is bound, and survives a crash right after.
+		if err := durable.AtomicWrite(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
 			ln.Close()
 			return fmt.Errorf("serve: write -addr-file: %w", err)
 		}
@@ -181,11 +203,22 @@ func cmdServe(args []string) error {
 	if node != nil {
 		node.Shutdown()
 	}
-	if err := srv.Shutdown(ctx); err != nil {
-		return err
+	drainErr := srv.Shutdown(ctx)
+	httpErr := httpSrv.Shutdown(ctx)
+	// Final flight dump: the black box's last words, taken after the
+	// drain so a forced exit records which jobs were cut short. With a
+	// -flight-dir it lands on disk next to the crash dumps.
+	if *flightSize > 0 {
+		if d, ok := srv.DumpFlight("shutdown"); ok {
+			fmt.Fprintf(os.Stderr, "optiwise: shutdown flight dump: %d records at %s\n",
+				len(d.Records), d.TakenAt.Format(time.RFC3339Nano))
+		}
 	}
-	if err := httpSrv.Shutdown(ctx); err != nil {
-		return err
+	if drainErr != nil {
+		return &drainForcedError{drainErr}
+	}
+	if httpErr != nil {
+		return &drainForcedError{httpErr}
 	}
 	fmt.Fprintln(os.Stderr, "optiwise: drained, exiting")
 	return flush()
@@ -262,6 +295,7 @@ func cmdSubmit(args []string) error {
 	kind := fs.String("report", "full", "report kind: full, functions, loops, annotated, callgraph, csv, loops-csv, json")
 	fn := fs.String("func", "", "function for -report annotated (default: hottest)")
 	timeout := fs.Duration("timeout", 0, "per-job deadline (0 = server default)")
+	stream := fs.Int64("stream", 0, "windowed streaming: cycles per window (0 = off); live snapshots at /v1/jobs/{id}/windows, and durable servers checkpoint each window for crash resume")
 	poll := fs.Bool("poll", false, "poll job status instead of a blocking submit")
 	traceID := fs.String("trace-id", "", "propagate a caller-chosen trace ID (32 lowercase hex digits; default: server-minted)")
 	traceOut := fs.String("trace-out", "", "after completion, download the job's Chrome trace JSON to this file")
@@ -291,6 +325,7 @@ func cmdSubmit(args []string) error {
 			"telemetry_window": opts.TelemetryWindow,
 			"tiered":           opts.Tiered,
 			"hot_threshold":    opts.HotThreshold,
+			"stream_window":    *stream,
 		},
 		"wait": !*poll,
 	}

@@ -31,6 +31,7 @@ type testNode struct {
 	node *cluster.Node
 	hs   *http.Server
 	ln   net.Listener
+	dir  string // data dir (durable nodes only; see replicate_test.go)
 }
 
 func (tn *testNode) url() string { return "http://" + tn.addr }

@@ -49,6 +49,8 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /cluster/v1/state", n.handleState)
 	mux.HandleFunc("GET /cluster/v1/results/{digest}", n.handlePeerResult)
 	mux.HandleFunc("GET /cluster/v1/ring", n.handleRing)
+	mux.HandleFunc("POST /cluster/v1/replicas/{digest}", n.handleReplica)
+	mux.HandleFunc("GET /cluster/v1/digests", n.handleDigests)
 	mux.Handle("/", base)
 	return mux
 }

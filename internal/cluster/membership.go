@@ -279,6 +279,18 @@ func sameMembers(a, b []string) bool {
 	return true
 }
 
+// peerState reports this node's health view of one peer address
+// (false for unknown addresses, including self).
+func (m *membership) peerState(addr string) (PeerState, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.peers[addr]
+	if !ok {
+		return "", false
+	}
+	return p.state, true
+}
+
 // Ring returns the current routing ring (never nil after construction).
 func (m *membership) Ring() *Ring { return m.ring.Load() }
 

@@ -82,6 +82,16 @@ type Config struct {
 	// Vnodes is the ring's virtual-node count per member (default
 	// DefaultVnodes). All nodes must agree on it.
 	Vnodes int
+	// ReplicaCount is how many ring owners (primary included) should
+	// hold each persisted result — completed results replicate to the
+	// key's next ReplicaCount-1 successors (default 2). Only meaningful
+	// on durable nodes (serve.Config.DataDir).
+	ReplicaCount int
+	// AntiEntropyInterval is the cadence of the replica repair pass:
+	// hinted handoffs are retried and digest maps exchanged with live
+	// peers (default 3s; <0 disables the loop — Node.AntiEntropyNow
+	// still runs passes on demand).
+	AntiEntropyInterval time.Duration
 	// Client overrides the HTTP client used for probes, forwards,
 	// proxies, and peer fetches (default: a pooled client with a 2s
 	// dial/probe timeout; per-request deadlines come from contexts).
@@ -110,6 +120,12 @@ func (c Config) withDefaults() Config {
 	if c.Vnodes <= 0 {
 		c.Vnodes = DefaultVnodes
 	}
+	if c.ReplicaCount <= 0 {
+		c.ReplicaCount = 2
+	}
+	if c.AntiEntropyInterval == 0 {
+		c.AntiEntropyInterval = 3 * time.Second
+	}
 	return c
 }
 
@@ -127,12 +143,23 @@ type Node struct {
 	fetchMu sync.Mutex
 	fetches map[string]*fetchCall
 
+	// hints are keys whose replication could not reach their successor
+	// (hinted handoff); retried every anti-entropy tick. stopAE ends the
+	// anti-entropy loop; wg waits for it on shutdown.
+	hintMu sync.Mutex
+	hints  map[string]bool
+	stopAE chan struct{}
+	aeOnce sync.Once
+	wg     sync.WaitGroup
+
 	forwarded        atomic.Uint64
 	forwardFailovers atomic.Uint64
 	peerFetchHits    atomic.Uint64
 	peerFetchMisses  atomic.Uint64
 	peerServed       atomic.Uint64
 	proxiedLookups   atomic.Uint64
+	replications     atomic.Uint64
+	aeRepairs        atomic.Uint64
 
 	metrics nodeMetrics
 }
@@ -145,6 +172,8 @@ type nodeMetrics struct {
 	peerFetchMisses  *obs.CounterMetric
 	peerServed       *obs.CounterMetric
 	proxiedLookups   *obs.CounterMetric
+	replications     *obs.CounterMetric
+	aeRepairs        *obs.CounterMetric
 }
 
 // New builds a Node around srv and installs the cluster hooks on it.
@@ -173,6 +202,8 @@ func New(cfg Config, srv *serve.Server) (*Node, error) {
 		client:  client,
 		routes:  newRouteTable(4096),
 		fetches: make(map[string]*fetchCall),
+		hints:   make(map[string]bool),
+		stopAE:  make(chan struct{}),
 		metrics: nodeMetrics{
 			forwards:         obs.Counter(obs.MClusterForwards),
 			forwardFailovers: obs.Counter(obs.MClusterForwardFailovers),
@@ -180,10 +211,17 @@ func New(cfg Config, srv *serve.Server) (*Node, error) {
 			peerFetchMisses:  obs.Counter(obs.MClusterPeerFetchMisses),
 			peerServed:       obs.Counter(obs.MClusterPeerServed),
 			proxiedLookups:   obs.Counter(obs.MClusterProxiedLookups),
+			replications:     obs.Counter(obs.MClusterReplications),
+			aeRepairs:        obs.Counter(obs.MClusterAntiEntropyRepairs),
 		},
 	}
 	n.mem = newMembership(cfg, n.probeClient())
-	srv.SetClusterHooks(n.peerFetch, n.clusterStats)
+	// Replication only makes sense when this node persists results.
+	var replicate func(key string, payload []byte, checksum string)
+	if srv.Durable() {
+		replicate = n.replicate
+	}
+	srv.SetClusterHooks(n.peerFetch, n.clusterStats, replicate)
 	return n, nil
 }
 
@@ -202,11 +240,19 @@ func (n *Node) probeClient() *http.Client {
 }
 
 // Start launches the membership probe loop (after one synchronous
-// probe round, so the ring is populated before the first submission).
-func (n *Node) Start() { n.mem.start() }
+// probe round, so the ring is populated before the first submission)
+// and, on durable nodes, the anti-entropy repair loop.
+func (n *Node) Start() {
+	n.mem.start()
+	n.startAntiEntropy()
+}
 
-// Shutdown stops the probe loop.
-func (n *Node) Shutdown() { n.mem.shutdown() }
+// Shutdown stops the probe and anti-entropy loops.
+func (n *Node) Shutdown() {
+	n.aeOnce.Do(func() { close(n.stopAE) })
+	n.wg.Wait()
+	n.mem.shutdown()
+}
 
 // Ring returns the node's current routing ring.
 func (n *Node) Ring() *Ring { return n.mem.Ring() }
@@ -216,19 +262,29 @@ func (n *Node) Ring() *Ring { return n.mem.Ring() }
 func (n *Node) clusterStats() *serve.ClusterStats {
 	snap := n.mem.snapshot()
 	return &serve.ClusterStats{
-		Role:             string(n.cfg.Role),
-		Self:             n.cfg.Self,
-		RingSize:         n.mem.Ring().Size(),
-		PeersLive:        snap.live,
-		PeersSuspect:     snap.suspect,
-		PeersDead:        snap.dead,
-		Forwarded:        n.forwarded.Load(),
-		ForwardFailovers: n.forwardFailovers.Load(),
-		PeerFetchHits:    n.peerFetchHits.Load(),
-		PeerFetchMisses:  n.peerFetchMisses.Load(),
-		PeerServed:       n.peerServed.Load(),
-		ProxiedLookups:   n.proxiedLookups.Load(),
+		Role:               string(n.cfg.Role),
+		Self:               n.cfg.Self,
+		RingSize:           n.mem.Ring().Size(),
+		PeersLive:          snap.live,
+		PeersSuspect:       snap.suspect,
+		PeersDead:          snap.dead,
+		Forwarded:          n.forwarded.Load(),
+		ForwardFailovers:   n.forwardFailovers.Load(),
+		PeerFetchHits:      n.peerFetchHits.Load(),
+		PeerFetchMisses:    n.peerFetchMisses.Load(),
+		PeerServed:         n.peerServed.Load(),
+		ProxiedLookups:     n.proxiedLookups.Load(),
+		Replications:       n.replications.Load(),
+		AntiEntropyRepairs: n.aeRepairs.Load(),
+		HintedKeys:         n.hintedKeys(),
 	}
+}
+
+// hintedKeys counts keys currently parked for hinted handoff.
+func (n *Node) hintedKeys() int {
+	n.hintMu.Lock()
+	defer n.hintMu.Unlock()
+	return len(n.hints)
 }
 
 // routeTable remembers which node answered for a job ID, so status

@@ -2,18 +2,14 @@ package cluster
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 
 	"optiwise"
-	"optiwise/internal/cfg"
-	"optiwise/internal/core"
 	"optiwise/internal/fault"
 	"optiwise/internal/obs"
+	"optiwise/internal/serve"
 )
 
 // hdrChecksum carries the SHA-256 of the peer-result payload as the
@@ -23,46 +19,27 @@ import (
 // poisoned cache entry.
 const hdrChecksum = "X-Optiwise-Checksum"
 
-// wireResult is the peer-cache transfer envelope: the profile's
-// serialized analysis tables plus its flattened CFG. The program image
-// never travels — the fetching node necessarily holds it, because the
-// job key it is asking about is derived from that image.
-type wireResult struct {
-	Export *core.Export   `json:"export"`
-	Graph  *cfg.FlatGraph `json:"graph,omitempty"`
-}
+// The transfer envelope is serve.WireResult — one format shared by the
+// peer-cache protocol, result replication, and the durable result
+// store, so replication and anti-entropy move stored segments without
+// re-encoding. The program image never travels — the fetching node
+// necessarily holds it, because the job key it is asking about is
+// derived from that image.
 
 // encodeWireResult serializes res for transfer and returns the payload
 // plus its hex SHA-256.
 func encodeWireResult(res *optiwise.Result) ([]byte, string, error) {
-	payload, err := json.Marshal(wireResult{Export: res.Export(), Graph: res.Graph.Flatten()})
-	if err != nil {
-		return nil, "", fmt.Errorf("cluster: encode peer result: %w", err)
-	}
-	sum := sha256.Sum256(payload)
-	return payload, hex.EncodeToString(sum[:]), nil
+	return serve.EncodeWireResult(res)
 }
 
 // decodeWireResult verifies and rebuilds a fetched peer result. The
 // checksum gate runs before any decoding; a full Profile comes back,
 // reconstructed against the local program image.
 func decodeWireResult(payload []byte, checksum string, prog *optiwise.Program) (*optiwise.Result, error) {
-	sum := sha256.Sum256(payload)
-	if got := hex.EncodeToString(sum[:]); got != checksum {
+	if got := serve.WireChecksum(payload); got != checksum {
 		return nil, fmt.Errorf("cluster: peer result checksum mismatch (got %.12s, want %.12s)", got, checksum)
 	}
-	var w wireResult
-	if err := json.Unmarshal(payload, &w); err != nil {
-		return nil, fmt.Errorf("cluster: decode peer result: %w", err)
-	}
-	if w.Export == nil {
-		return nil, fmt.Errorf("cluster: peer result missing export tables")
-	}
-	g, err := w.Graph.Unflatten()
-	if err != nil {
-		return nil, err
-	}
-	return core.FromExport(w.Export, prog.Raw(), g), nil
+	return serve.DecodeWireResult(payload, prog)
 }
 
 // fetchCall is one in-flight peer fetch; concurrent fetches for the
@@ -185,21 +162,27 @@ func (n *Node) fetchFrom(ctx context.Context, addr, key string, prog *optiwise.P
 }
 
 // handlePeerResult serves GET /cluster/v1/results/{digest}: this
-// node's half of the peer-cache protocol. Only full-fidelity cached
-// results exist (degraded results never enter any cache), so a hit is
-// always safe to export. The payload passes through the
-// cluster.peer.fetch corrupt fault site after the checksum is taken,
-// modelling wire corruption the fetcher must catch.
+// node's half of the peer-cache protocol and the anti-entropy pull
+// path. The in-memory cache answers first; on a durable node an
+// evicted (or pre-restart, or replicated-in) result is served from its
+// verified segment — same envelope, no decode. Only full-fidelity
+// results exist in either place (degraded results never enter a cache
+// or the store), so a hit is always safe to export. The payload passes
+// through the cluster.peer.fetch corrupt fault site after the checksum
+// is taken, modelling wire corruption the fetcher must catch.
 func (n *Node) handlePeerResult(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("digest")
-	res, ok := n.srv.CachedResult(key)
-	if !ok {
+	var payload []byte
+	var sum string
+	if res, ok := n.srv.CachedResult(key); ok {
+		var err error
+		payload, sum, err = encodeWireResult(res)
+		if err != nil {
+			writeJSONError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	} else if payload, sum, ok = n.srv.PersistedResultPayload(key); !ok {
 		writeJSONError(w, http.StatusNotFound, "result not cached on this node")
-		return
-	}
-	payload, sum, err := encodeWireResult(res)
-	if err != nil {
-		writeJSONError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	n.peerServed.Add(1)

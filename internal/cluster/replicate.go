@@ -1,0 +1,340 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"optiwise/internal/fault"
+	"optiwise/internal/obs"
+)
+
+// Result replication and anti-entropy repair (DESIGN.md §13). A durable
+// node pushes every newly persisted result to its key's next ring
+// successor, so losing one node's disk loses no completed work. When
+// the successor is suspect, dead, or simply unreachable, the key is
+// parked as a hint and retried on anti-entropy ticks (hinted handoff).
+// The periodic anti-entropy pass then closes whatever the push path
+// missed: partners exchange their persisted-segment digest maps, and
+// each side pulls (checksum-verified, through the existing peer-fetch
+// wire path) any result it should own but holds missing or corrupt —
+// repair moves bytes between stores, it never recomputes.
+
+// replicate is the serve.Config.Replicate hook: called asynchronously
+// with every newly persisted result payload. The payload is pushed to
+// the key's first ring successor after self; any failure (or an
+// unhealthy successor) parks the key as a hint for the anti-entropy
+// loop to retry.
+func (n *Node) replicate(key string, payload []byte, checksum string) {
+	target, healthy := n.replicaTarget(key)
+	if target == "" {
+		return // single-node ring (or self not durable enough to matter)
+	}
+	if !healthy {
+		n.hint(key)
+		return
+	}
+	if err := n.sendReplica(context.Background(), target, key, payload, checksum); err != nil {
+		obs.Warn("cluster: replication failed, key hinted",
+			obs.F("peer", target), obs.F("digest", shortKey(key)), obs.F("err", err.Error()))
+		n.hint(key)
+		return
+	}
+	n.replications.Add(1)
+	n.metrics.replications.Inc()
+}
+
+// replicaTarget picks the key's replication destination: the first
+// member of the key's owner chain that is not self. healthy reports
+// whether that member currently looks alive (suspect and dead peers
+// get hints, not sends).
+func (n *Node) replicaTarget(key string) (target string, healthy bool) {
+	for _, m := range n.mem.Ring().Owners(key, n.cfg.ReplicaCount) {
+		if m == n.cfg.Self {
+			continue
+		}
+		st, known := n.mem.peerState(m)
+		return m, known && st == PeerAlive
+	}
+	return "", false
+}
+
+// hint parks a key for the anti-entropy loop to re-replicate.
+func (n *Node) hint(key string) {
+	n.hintMu.Lock()
+	n.hints[key] = true
+	n.hintMu.Unlock()
+}
+
+// sendReplica pushes one persisted payload to addr. The
+// cluster.replicate fault site injects both outright failures and wire
+// corruption; the receiver's checksum gate turns the latter into a
+// rejected (and re-hinted) transfer, never a poisoned replica.
+func (n *Node) sendReplica(ctx context.Context, addr, key string, payload []byte, checksum string) error {
+	if err := fault.Err(fault.SiteClusterReplicate); err != nil {
+		return err
+	}
+	payload = fault.Bytes(fault.SiteClusterReplicate, payload)
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+addr+"/cluster/v1/replicas/"+key, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(hdrChecksum, checksum)
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // drain for reuse
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: peer %s answered %s", addr, resp.Status)
+	}
+	return nil
+}
+
+// handleReplica serves POST /cluster/v1/replicas/{digest}: the
+// receiving half of replication. The serve layer verifies the checksum
+// and payload structure before any byte reaches the store.
+func (n *Node) handleReplica(w http.ResponseWriter, r *http.Request) {
+	if !n.srv.Durable() {
+		writeJSONError(w, http.StatusNotImplemented, "node has no durable store")
+		return
+	}
+	key := r.PathValue("digest")
+	payload, err := io.ReadAll(io.LimitReader(r.Body, n.srv.Config().MaxBodyBytes*4))
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := n.srv.StoreReplica(key, payload, r.Header.Get(hdrChecksum)); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"stored": key})
+}
+
+// handleDigests serves GET /cluster/v1/digests: the node's persisted
+// result keys mapped to their payload SHA-256 (empty for segments that
+// failed verification — advertised so a partner repairs them). The
+// anti-entropy exchange unit.
+func (n *Node) handleDigests(w http.ResponseWriter, _ *http.Request) {
+	digests, err := n.srv.PersistedDigests()
+	if err != nil {
+		writeJSONError(w, http.StatusNotImplemented, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, digests)
+}
+
+// startAntiEntropy launches the periodic repair loop on a durable node.
+func (n *Node) startAntiEntropy() {
+	if !n.srv.Durable() || n.cfg.AntiEntropyInterval < 0 {
+		return
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		t := time.NewTicker(n.cfg.AntiEntropyInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				n.antiEntropyRound()
+			case <-n.stopAE:
+				return
+			}
+		}
+	}()
+}
+
+// antiEntropyRound runs one full repair pass: retry hinted
+// replications, then exchange digests with every live peer and
+// reconcile both directions. Exported to the test suite via
+// Node.AntiEntropyNow.
+func (n *Node) antiEntropyRound() {
+	n.retryHints()
+	if !n.srv.Durable() {
+		return
+	}
+	local, err := n.srv.PersistedDigests()
+	if err != nil {
+		return
+	}
+	snap := n.mem.snapshot()
+	for _, addr := range snap.livePeers {
+		n.reconcile(addr, local)
+	}
+}
+
+// AntiEntropyNow forces one synchronous anti-entropy pass (tests and
+// operational tooling; the background loop runs the same code).
+func (n *Node) AntiEntropyNow() { n.antiEntropyRound() }
+
+// retryHints re-attempts replication for every hinted key whose target
+// has come back. Payloads are re-read from the store — the hint is just
+// the key, so a hint survives any amount of membership churn and always
+// replicates to the key's current successor.
+func (n *Node) retryHints() {
+	n.hintMu.Lock()
+	keys := make([]string, 0, len(n.hints))
+	for k := range n.hints {
+		keys = append(keys, k)
+	}
+	n.hintMu.Unlock()
+	for _, key := range keys {
+		target, healthy := n.replicaTarget(key)
+		if target == "" {
+			n.unhint(key) // ring shrank to self; nothing to hand off to
+			continue
+		}
+		if !healthy {
+			continue // still down; keep the hint
+		}
+		payload, sum, ok := n.srv.PersistedResultPayload(key)
+		if !ok {
+			n.unhint(key) // segment gone or corrupt; anti-entropy pull owns it now
+			continue
+		}
+		if err := n.sendReplica(context.Background(), target, key, payload, sum); err != nil {
+			obs.Warn("cluster: hinted handoff still failing",
+				obs.F("peer", target), obs.F("digest", shortKey(key)), obs.F("err", err.Error()))
+			continue
+		}
+		n.unhint(key)
+		n.replications.Add(1)
+		n.metrics.replications.Inc()
+	}
+}
+
+func (n *Node) unhint(key string) {
+	n.hintMu.Lock()
+	delete(n.hints, key)
+	n.hintMu.Unlock()
+}
+
+// reconcile exchanges digest maps with one partner and repairs both
+// directions: keys the partner should hold but does not are pushed;
+// keys this node should hold but has missing or corrupt are pulled,
+// checksum-verified, and counted as repairs. Two intact-but-different
+// digests are logged and left alone — results are content-addressed
+// and deterministic, so that state indicates a bug worth a human, not
+// something repair should guess about.
+func (n *Node) reconcile(addr string, local map[string]string) {
+	remote, err := n.fetchDigests(addr)
+	if err != nil {
+		return // not durable or unreachable; nothing to reconcile
+	}
+	// Push: results this node holds intact that the partner — a member
+	// of the key's owner chain — lacks or holds corrupt.
+	for key, sum := range local {
+		if sum == "" || remote[key] != "" || !n.inOwners(key, addr) {
+			continue
+		}
+		payload, psum, ok := n.srv.PersistedResultPayload(key)
+		if !ok {
+			continue
+		}
+		if err := n.sendReplica(context.Background(), addr, key, payload, psum); err == nil {
+			n.replications.Add(1)
+			n.metrics.replications.Inc()
+		}
+	}
+	// Pull: results this node should hold (it is in the owner chain) but
+	// has missing or corrupt while the partner holds them intact.
+	for key, sum := range remote {
+		if sum == "" || local[key] == sum || !n.inOwners(key, n.cfg.Self) {
+			continue
+		}
+		if local[key] != "" {
+			obs.Warn("cluster: replica digests diverge between intact segments",
+				obs.F("peer", addr), obs.F("digest", shortKey(key)))
+			continue
+		}
+		payload, checksum, err := n.fetchPayload(addr, key)
+		if err != nil {
+			obs.Warn("cluster: anti-entropy pull failed",
+				obs.F("peer", addr), obs.F("digest", shortKey(key)), obs.F("err", err.Error()))
+			continue
+		}
+		if err := n.srv.StoreReplica(key, payload, checksum); err != nil {
+			obs.Warn("cluster: anti-entropy repair rejected",
+				obs.F("peer", addr), obs.F("digest", shortKey(key)), obs.F("err", err.Error()))
+			continue
+		}
+		n.aeRepairs.Add(1)
+		n.metrics.aeRepairs.Inc()
+		obs.Info("cluster: replica repaired",
+			obs.F("peer", addr), obs.F("digest", shortKey(key)))
+	}
+}
+
+// inOwners reports whether member is in key's replica owner chain.
+func (n *Node) inOwners(key, member string) bool {
+	for _, m := range n.mem.Ring().Owners(key, n.cfg.ReplicaCount) {
+		if m == member {
+			return true
+		}
+	}
+	return false
+}
+
+// fetchDigests pulls one partner's persisted digest map.
+func (n *Node) fetchDigests(addr string) (map[string]string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+addr+"/cluster/v1/digests", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // drain for reuse
+		return nil, fmt.Errorf("cluster: peer %s answered %s", addr, resp.Status)
+	}
+	var digests map[string]string
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&digests); err != nil {
+		return nil, err
+	}
+	return digests, nil
+}
+
+// fetchPayload pulls one raw result payload (plus its checksum header)
+// from a partner — the repair-side reuse of the peer-result endpoint,
+// without the decode (repair has no program image and needs none; the
+// checksum is the integrity gate).
+func (n *Node) fetchPayload(addr, key string) ([]byte, string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+addr+"/cluster/v1/results/"+key, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // drain for reuse
+		return nil, "", fmt.Errorf("cluster: peer %s answered %s", addr, resp.Status)
+	}
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, n.srv.Config().MaxBodyBytes*4))
+	if err != nil {
+		return nil, "", err
+	}
+	return payload, resp.Header.Get(hdrChecksum), nil
+}

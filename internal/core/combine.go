@@ -42,6 +42,12 @@ type Options struct {
 	// on. Recorded in the Profile (and its Export) so differential
 	// analysis can refuse to compare profiles from different machines.
 	Machine string
+	// Tiered records that the caller requested tiered selective
+	// instrumentation (DESIGN.md §12). CombineContext learns tiered-ness
+	// from the edge profile itself; the option matters only for the
+	// degraded sampling-only view, where no edge profile survives to
+	// carry the flag but the result must still render as tiered.
+	Tiered bool
 }
 
 // resolveAttribution maps AttrAuto onto the mode actually applied for a

@@ -56,17 +56,28 @@ func CombineSampleOnlyContext(ctx context.Context, prog *program.Program, sp *sa
 	if p.TotalCycles > 0 {
 		p.IPC = float64(p.TotalInsts) / float64(p.TotalCycles)
 	}
-	// Time-share instruction estimates for functions.
+	// Time-share instruction estimates for functions, flagged Estimated
+	// so every renderer prints '~' instead of passing estimates off as
+	// measured counts.
 	for i := range p.Funcs {
 		f := &p.Funcs[i]
 		f.SelfInsts = timeShare(p.TotalInsts, f.SelfCycles, p.TotalCycles)
 		f.TotalInsts = timeShare(p.TotalInsts, f.TotalCycles, p.TotalCycles)
+		f.Estimated = true
 		if f.SelfInsts > 0 {
 			f.CPI = float64(f.SelfCycles) / float64(f.SelfInsts)
 			if f.SelfCycles > 0 {
 				f.IPC = float64(f.SelfInsts) / float64(f.SelfCycles)
 			}
 		}
+	}
+	// A tiered run that lost its instrumentation pass still renders as
+	// tiered: the caller asked for selective instrumentation and must
+	// see that even the selected code ended up extrapolated. There is no
+	// selection to report (HotRanges stays empty) — the tiered banner
+	// covers the degraded case explicitly.
+	if opts.Tiered {
+		p.Tiered = true
 	}
 	obs.Counter(obs.MProfileDegraded).Inc()
 	return p, nil

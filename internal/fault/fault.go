@@ -99,6 +99,19 @@ const (
 	SiteClusterProbe     = "cluster.probe"      // membership health probes
 	SiteClusterForward   = "cluster.forward"    // submission forwarding to the key owner
 	SiteClusterPeerFetch = "cluster.peer.fetch" // result fetch from a sibling's cache
+
+	// Durability seams (internal/durable): the crash-safety surface.
+	// Error rules on append/fsync model a full disk or dying device at
+	// the exact moment a journal record or checkpoint must become
+	// durable; corrupt rules on append flip bytes of the framed record
+	// before it reaches the file, which replay's CRC check must catch.
+	// Error rules on replay model unreadable segments at restart.
+	// Error/latency rules on replicate model a lossy or slow link while
+	// a completed result is copied to its ring successor.
+	SiteDurableAppend    = "durable.append"    // journal record append
+	SiteDurableFsync     = "durable.fsync"     // journal/segment fsync
+	SiteDurableReplay    = "durable.replay"    // journal replay at restart
+	SiteClusterReplicate = "cluster.replicate" // result replication to ring successor
 )
 
 // EnvVar names the environment variable consulted by ActivateFromEnv.

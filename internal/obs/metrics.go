@@ -318,6 +318,14 @@ const (
 	MClusterPeerServed       = "optiwise_cluster_peer_results_served_total"
 	MClusterProxiedLookups   = "optiwise_cluster_proxied_lookups_total"
 	MServeJobsPeerFetched    = "optiwise_serve_jobs_peer_fetched_total"
+
+	// Durability metrics (internal/durable, DESIGN.md §13): the WAL job
+	// journal, stream checkpoints, and cluster replication/anti-entropy.
+	MDurableJournalReplays      = "optiwise_durable_journal_replays_total"
+	MDurableRecordsTruncated    = "optiwise_durable_records_truncated_total"
+	MDurableWindowsCheckpointed = "optiwise_durable_windows_checkpointed_total"
+	MClusterReplications        = "optiwise_cluster_replications_total"
+	MClusterAntiEntropyRepairs  = "optiwise_cluster_antientropy_repairs_total"
 )
 
 // CacheHits names the hit counter of one simulated cache level; the
@@ -448,6 +456,16 @@ func helpFor(name string) string {
 		return "Job lookups proxied to the node that owns the job."
 	case MServeJobsPeerFetched:
 		return "Jobs satisfied from a sibling node's result cache instead of a local simulation."
+	case MDurableJournalReplays:
+		return "Journal segments replayed at restart to rebuild service state."
+	case MDurableRecordsTruncated:
+		return "Journal records dropped during replay because a torn tail was truncated or mid-file corruption failed closed."
+	case MDurableWindowsCheckpointed:
+		return "Stream windows whose cumulative combiner state reached durable storage."
+	case MClusterReplications:
+		return "Completed results replicated to the key's ring successor (including hinted handoffs delivered late)."
+	case MClusterAntiEntropyRepairs:
+		return "Replica divergences repaired by the anti-entropy pass via the checksum-verified peer-fetch path."
 	}
 	return "OptiWISE metric " + name + "."
 }

@@ -45,6 +45,12 @@ func tieredNote(p *core.Profile) string {
 	if !p.Tiered {
 		return ""
 	}
+	if p.Degraded {
+		// A tiered run whose instrumentation pass died has no selection
+		// left to describe: even the would-be hot code is extrapolated.
+		return "TIERED PROFILE: tiered run degraded before selective instrumentation; " +
+			"all counts marked '~' are extrapolated from sampling time-shares"
+	}
 	return fmt.Sprintf("TIERED PROFILE: selective instrumentation over %d hot range(s); "+
 		"counts marked '~' are extrapolated from sampling time-shares", len(p.HotRanges))
 }

@@ -344,6 +344,14 @@ type group struct {
 	// observation channel, identical submissions with and without it
 	// share one execution — so the request rides on the group instead.
 	streamWindow uint64
+	// ready, when non-nil, gates execution on the submission's journal
+	// record being durable: the submitter closes it after
+	// persistSubmission, and the worker waits before journaling start.
+	// Without the gate a fast worker can land the start (or even the
+	// complete) record before the submit record, and replay would
+	// misread the trailing submit as an incomplete execution. Nil on
+	// non-durable servers.
+	ready chan struct{}
 
 	mu       sync.Mutex
 	members  []*Job

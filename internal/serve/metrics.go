@@ -22,6 +22,10 @@ type serverMetrics struct {
 	degraded     *obs.CounterMetric
 	regressions  *obs.CounterMetric
 	peerFetched  *obs.CounterMetric
+
+	journalReplays      *obs.CounterMetric
+	recordsTruncated    *obs.CounterMetric
+	windowsCheckpointed *obs.CounterMetric
 }
 
 func newServerMetrics() serverMetrics {
@@ -42,5 +46,9 @@ func newServerMetrics() serverMetrics {
 		degraded:     obs.Counter(obs.MServeJobsDegraded),
 		regressions:  obs.Counter(obs.MProfileRegressions),
 		peerFetched:  obs.Counter(obs.MServeJobsPeerFetched),
+
+		journalReplays:      obs.Counter(obs.MDurableJournalReplays),
+		recordsTruncated:    obs.Counter(obs.MDurableRecordsTruncated),
+		windowsCheckpointed: obs.Counter(obs.MDurableWindowsCheckpointed),
 	}
 }

@@ -10,11 +10,11 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
-	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
@@ -24,6 +24,7 @@ import (
 
 	"optiwise"
 	"optiwise/internal/diff"
+	"optiwise/internal/durable"
 	"optiwise/internal/fault"
 	"optiwise/internal/obs"
 )
@@ -110,6 +111,20 @@ type Config struct {
 	// record is written (default 0.10; <0 disables detection — versions
 	// are still recorded and the diff endpoint still works).
 	RegressionThreshold float64
+	// DataDir, when set, makes the server durable (DESIGN.md §13): every
+	// accepted execution is journaled to a WAL under this directory,
+	// completed full-fidelity results and submitted program images are
+	// persisted as checksummed segments, streamed executions checkpoint
+	// each window, and a restarting server replays the journal — result
+	// cache index, lineage histories, and regression counters are
+	// rebuilt, incomplete jobs re-enqueued, streamed jobs resumed from
+	// their last durable window. Empty runs fully in memory.
+	DataDir string
+	// Replicate, when set (by the cluster layer), receives every newly
+	// persisted result payload plus its checksum for asynchronous
+	// replication to the key's ring successors. Nil on single-node or
+	// non-durable servers.
+	Replicate func(key string, payload []byte, checksum string)
 	// PeerFetch, when set (by the cluster layer, DESIGN.md §11), is
 	// consulted by a worker after it dequeues a cache-missing execution
 	// and before it simulates: a true return supplies the finished
@@ -151,6 +166,13 @@ type ClusterStats struct {
 	PeerFetchMisses uint64 `json:"peer_fetch_misses"`
 	PeerServed      uint64 `json:"peer_results_served"`
 	ProxiedLookups  uint64 `json:"proxied_lookups"`
+	// Replications counts persisted results this node pushed to ring
+	// successors; AntiEntropyRepairs counts missing or corrupt replicas
+	// this node pulled back from partners, checksum-verified;
+	// HintedKeys is the current hinted-handoff backlog.
+	Replications       uint64 `json:"replications"`
+	AntiEntropyRepairs uint64 `json:"antientropy_repairs"`
+	HintedKeys         int    `json:"hinted_keys,omitempty"`
 }
 
 // maxRetainedDumps bounds the in-memory flight-dump history.
@@ -217,6 +239,11 @@ type Server struct {
 	cache    *resultCache
 	lineages *lineageStore
 	metrics  serverMetrics
+	// store is the durable layer (nil without Config.DataDir): the job
+	// journal plus program/result/checkpoint segments. pending holds the
+	// executions journal replay proved incomplete, re-enqueued by Start.
+	store   *durable.Store
+	pending []pendingReplay
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -232,22 +259,43 @@ type Server struct {
 	degradeds   atomic.Uint64
 	regressions atomic.Uint64
 	peerFetches atomic.Uint64
-	stop        chan struct{}
-	stopOnce    sync.Once
-	wg          sync.WaitGroup
+	// Durability counters (see Stats): journal segments replayed at
+	// startup, corrupt/torn journal records discarded at replay, and
+	// stream windows checkpointed.
+	journalReplays      atomic.Uint64
+	recordsTruncated    atomic.Uint64
+	windowsCheckpointed atomic.Uint64
+	stop                chan struct{}
+	stopOnce            sync.Once
+	wg                  sync.WaitGroup
 
 	// dumpMu guards the retained flight-dump history (newest last).
 	dumpMu sync.Mutex
 	dumps  []obs.FlightDump
 }
 
-// New builds a Server; call Start to launch its workers.
+// New builds a Server; call Start to launch its workers. When
+// Config.DataDir is set and the durable store cannot be opened, New
+// panics — running in-memory after the operator asked for durability
+// would silently drop the guarantee; callers that want the error use
+// NewDurable.
 func New(cfg Config) *Server {
+	s, err := NewDurable(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewDurable is New returning the durable store's open/replay error
+// instead of panicking. The only error source is Config.DataDir; with
+// it empty, NewDurable never fails.
+func NewDurable(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.FlightRecorderSize > 0 || (cfg.FlightRecorderSize == 0 && cfg.FlightDumpDir != "") {
 		obs.EnsureFlightRecorder(cfg.FlightRecorderSize)
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		queue:    make(chan *group, cfg.QueueDepth),
 		cache:    newResultCache(cfg.CacheBytes),
@@ -257,28 +305,45 @@ func New(cfg Config) *Server {
 		groups:   make(map[string]*group),
 		stop:     make(chan struct{}),
 	}
+	if cfg.DataDir != "" {
+		store, sum, err := durable.Open(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		s.replayJournal(sum)
+	}
+	return s, nil
 }
 
 // Config returns the server's effective (default-resolved) config.
 func (s *Server) Config() Config { return s.cfg }
 
 // SetClusterHooks installs the cluster layer's callbacks (see
-// Config.PeerFetch and Config.ClusterStats). The cluster node is built
-// around an existing Server, so the hooks cannot be part of the
+// Config.PeerFetch, Config.ClusterStats, and Config.Replicate;
+// replicate may be nil on non-durable nodes). The cluster node is
+// built around an existing Server, so the hooks cannot be part of the
 // construction-time Config; call this after New and before Start.
 func (s *Server) SetClusterHooks(
 	peerFetch func(ctx context.Context, key string, prog *optiwise.Program) (*optiwise.Result, bool),
 	stats func() *ClusterStats,
+	replicate func(key string, payload []byte, checksum string),
 ) {
 	s.cfg.PeerFetch = peerFetch
 	s.cfg.ClusterStats = stats
+	s.cfg.Replicate = replicate
 }
 
-// Start launches the worker pool. It must be called exactly once.
+// Start launches the worker pool (and, on a durable server, re-enqueues
+// the executions journal replay proved incomplete). It must be called
+// exactly once.
 func (s *Server) Start() {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if s.store != nil && len(s.pending) > 0 {
+		go s.resubmitPending()
 	}
 }
 
@@ -296,8 +361,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if s.store != nil {
+			if err := s.store.Close(); err != nil {
+				obs.Warn("serve: durable store close failed", obs.F("err", err.Error()))
+			}
+		}
 		return nil
 	case <-ctx.Done():
+		// Forced exit: workers may still be writing. Leave the store open
+		// (every acknowledged journal record is already fsynced) but put a
+		// final barrier on the active segment.
+		if s.store != nil {
+			if err := s.store.Journal().Sync(); err != nil {
+				obs.Warn("serve: journal sync failed", obs.F("err", err.Error()))
+			}
+		}
 		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
 	}
 }
@@ -372,7 +450,7 @@ func (s *Server) SubmitWith(prog *optiwise.Program, opts optiwise.Options, sub S
 	// result still records into the job's lineage — the version history
 	// tracks what was submitted, not what was simulated — where the
 	// consecutive-digest dedup keeps resubmissions from flooding it.
-	if res, ok := s.cacheGet(key); ok {
+	if res, ok := s.cacheGet(key, prog); ok {
 		j.mu.Lock()
 		j.cached = true
 		j.mu.Unlock()
@@ -385,6 +463,7 @@ func (s *Server) SubmitWith(prog *optiwise.Program, opts optiwise.Options, sub S
 		s.mu.Unlock()
 		j.finish(res, "")
 		s.recordLineage(j, res)
+		s.journalLineageHit(j, res)
 		s.metrics.submitted.Inc()
 		s.metrics.cacheHits.Inc()
 		s.metrics.completed.Inc()
@@ -412,6 +491,9 @@ func (s *Server) SubmitWith(prog *optiwise.Program, opts optiwise.Options, sub S
 		delete(s.groups, key)
 	}
 	g := newGroup(key, prog, opts, streamWindow, j)
+	if s.store != nil {
+		g.ready = make(chan struct{})
+	}
 	select {
 	case s.queue <- g:
 	default:
@@ -422,6 +504,10 @@ func (s *Server) SubmitWith(prog *optiwise.Program, opts optiwise.Options, sub S
 	s.groups[key] = g
 	s.registerLocked(j)
 	s.mu.Unlock()
+	// Durability point: the queue accepted the execution, so make it
+	// recoverable before the client hears about it. A crash inside this
+	// window loses only a job whose acceptance was never acknowledged.
+	s.persistSubmission(g, j, sub, timeout)
 	s.metrics.submitted.Inc()
 	s.metrics.cacheMiss.Inc()
 	s.metrics.queueDepth.Set(int64(len(s.queue)))
@@ -541,12 +627,20 @@ func (s *Server) worker() {
 // retry count. Permanent failures and cancellations break out
 // immediately.
 func (s *Server) runGroup(g *group) {
+	// Durable ordering: the submit record must be on disk before any
+	// later record for this key (see group.ready).
+	if g.ready != nil {
+		<-g.ready
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	if !g.begin(cancel) {
+		// Every member expired while queued: terminal without executing.
+		s.appendJournal(durable.RecCancel, "", g.key, nil)
 		s.dropGroup(g)
 		return
 	}
+	s.appendJournal(durable.RecStart, "", g.key, nil)
 	// Every execution gets its own tracer, stamped with the group's
 	// trace identity and parented through the context, so concurrent
 	// jobs never interleave on the global ambient span stack and
@@ -588,6 +682,7 @@ func (s *Server) runGroup(g *group) {
 		attempts++
 		s.retries.Add(1)
 		s.metrics.retriesM.Inc()
+		s.appendJournal(durable.RecRetry, "", g.key, nil)
 		select {
 		case <-time.After(backoffDelay(s.cfg.RetryBaseDelay, s.cfg.RetryMaxDelay, attempts)):
 		case <-ctx.Done():
@@ -626,6 +721,20 @@ func (s *Server) runGroup(g *group) {
 	errMsg := ""
 	if err != nil {
 		errMsg = err.Error()
+	}
+	// Journal the terminal outcome. A cache-eligible result is persisted
+	// as a segment before its complete record lands; a degraded success is
+	// terminal too (re-running it on restart would re-degrade), but its
+	// partial result is never persisted or cached.
+	switch {
+	case cacheEligible(res, err, ctx.Err()):
+		s.persistCompleted(g, res, members)
+	case ctx.Err() != nil:
+		s.appendJournal(durable.RecCancel, "", g.key, nil)
+	case err != nil:
+		s.appendJournal(durable.RecFail, "", g.key, journalFail{Error: errMsg})
+	default:
+		s.appendJournal(durable.RecComplete, "", g.key, nil)
 	}
 	for _, j := range members {
 		j.setRetries(attempts)
@@ -692,20 +801,21 @@ func (s *Server) Dumps() []obs.FlightDump {
 	return out
 }
 
-// writeDumpFile persists one dump into Config.FlightDumpDir. Failures
-// are logged, never fatal: the dump still lives in the in-memory
-// history and losing a file must not fail the job that triggered it.
+// writeDumpFile persists one dump into Config.FlightDumpDir, through
+// the shared atomic temp+rename+fsync path so a crash mid-dump never
+// leaves a torn file for the next tool to choke on. Failures are
+// logged, never fatal: the dump still lives in the in-memory history
+// and losing a file must not fail the job that triggered it.
 func (s *Server) writeDumpFile(d obs.FlightDump) {
 	name := fmt.Sprintf("flight-%s-%s.json",
 		d.TakenAt.Format("20060102T150405.000000000"), sanitizeReason(d.Reason))
 	path := filepath.Join(s.cfg.FlightDumpDir, name)
-	f, err := os.Create(path)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
 		obs.Warn("serve: flight dump write failed", obs.F("path", path), obs.F("err", err.Error()))
 		return
 	}
-	defer f.Close()
-	if err := d.WriteJSON(f); err != nil {
+	if err := durable.AtomicWrite(path, buf.Bytes(), 0o644); err != nil {
 		obs.Warn("serve: flight dump write failed", obs.F("path", path), obs.F("err", err.Error()))
 	}
 }
@@ -760,15 +870,22 @@ func (s *Server) executeOnce(ctx context.Context, g *group) (res *optiwise.Resul
 		// submissions with and without streaming share one cache entry),
 		// so it is re-applied only for this execution. Each attempt gets a
 		// fresh combiner — a half-streamed failed attempt must not
-		// double-count into the retry.
-		comb := optiwise.NewStreamCombiner(g.prog, opts)
+		// double-count into the retry. On a durable server the combiner is
+		// restored from the key's last checkpoint instead (after a restart
+		// or an in-process retry alike): the deterministic increment
+		// stream replays from the start and the combiner's sequence-number
+		// dedup skips everything at or before the checkpointed window, so
+		// the resumed result is byte-identical to an uninterrupted run's.
+		comb := s.restoreOrNewCombiner(g)
 		g.setCombiner(comb)
 		opts.StreamWindow = g.streamWindow
 		opts.OnIncrement = func(inc optiwise.Increment) {
 			if err := comb.Add(inc); err != nil {
 				obs.Warn("serve: profile window dropped",
 					obs.F("digest", shortDigest(g.key)), obs.F("err", err.Error()))
+				return
 			}
+			s.checkpointWindow(g.key, comb)
 		}
 	}
 	return optiwise.ProfileContext(ctx, g.prog, opts)
@@ -862,6 +979,9 @@ func (s *Server) recordLineage(j *Job, res *optiwise.Result) {
 	}
 	s.regressions.Add(1)
 	s.metrics.regressions.Inc()
+	// The regress record restores this counter at replay, keeping
+	// /v1/stats continuous across restarts.
+	s.appendJournal(durable.RecRegress, j.ID, j.Digest, nil)
 	obs.Warn("serve: profile regression detected",
 		obs.F("lineage", j.lineage), obs.F("module", j.Module),
 		obs.F("regressions", rep.Regressions),
@@ -899,8 +1019,10 @@ func (s *Server) peerFetch(ctx context.Context, key string, prog *optiwise.Progr
 // cacheGet probes the result cache through the serve.cache.get fault
 // site: any injected failure (including a panic) demotes the probe to
 // a miss, so a flaky cache degrades to recomputation, never to a
-// client-visible error.
-func (s *Server) cacheGet(key string) (res *optiwise.Result, ok bool) {
+// client-visible error. On a durable server an LRU miss falls through
+// to the result store, rehydrating evicted (or pre-restart) results
+// from their segments instead of re-simulating.
+func (s *Server) cacheGet(key string, prog *optiwise.Program) (res *optiwise.Result, ok bool) {
 	defer func() {
 		if recover() != nil {
 			res, ok = nil, false
@@ -909,7 +1031,10 @@ func (s *Server) cacheGet(key string) (res *optiwise.Result, ok bool) {
 	if err := fault.Err(fault.SiteCacheGet); err != nil {
 		return nil, false
 	}
-	return s.cache.get(key)
+	if res, ok := s.cache.get(key); ok {
+		return res, true
+	}
+	return s.rehydrate(key, prog)
 }
 
 // cachePut stores a fully successful result through the
@@ -969,6 +1094,15 @@ type Stats struct {
 	// cache instead of a local simulation (always 0 on single-node
 	// servers).
 	JobsPeerFetched uint64 `json:"jobs_peer_fetched"`
+	// Durable reports whether the server persists to a data dir
+	// (Config.DataDir). JournalReplays counts journal segments replayed
+	// at the last startup, RecordsTruncated the corrupt or torn journal
+	// records discarded by replay, and WindowsCheckpointed the stream
+	// windows made durable since startup.
+	Durable             bool   `json:"durable,omitempty"`
+	JournalReplays      uint64 `json:"journal_replays,omitempty"`
+	RecordsTruncated    uint64 `json:"records_truncated,omitempty"`
+	WindowsCheckpointed uint64 `json:"windows_checkpointed,omitempty"`
 	// Cluster is the routing and membership view contributed by the
 	// cluster layer; omitted on single-node servers.
 	Cluster *ClusterStats `json:"cluster,omitempty"`
@@ -981,19 +1115,23 @@ func (s *Server) Stats() Stats {
 	draining := s.draining
 	s.mu.Unlock()
 	st := Stats{
-		Workers:            s.cfg.Workers,
-		QueueDepth:         len(s.queue),
-		Inflight:           s.inflight.Load(),
-		Jobs:               jobs,
-		CacheEntries:       s.cache.len(),
-		CacheBytes:         s.cache.usedBytes(),
-		Draining:           draining,
-		WorkerPanics:       s.panics.Load(),
-		Retries:            s.retries.Load(),
-		DegradedResults:    s.degradeds.Load(),
-		LineageKeys:        s.lineages.keys(),
-		ProfileRegressions: s.regressions.Load(),
-		JobsPeerFetched:    s.peerFetches.Load(),
+		Workers:             s.cfg.Workers,
+		QueueDepth:          len(s.queue),
+		Inflight:            s.inflight.Load(),
+		Jobs:                jobs,
+		CacheEntries:        s.cache.len(),
+		CacheBytes:          s.cache.usedBytes(),
+		Draining:            draining,
+		WorkerPanics:        s.panics.Load(),
+		Retries:             s.retries.Load(),
+		DegradedResults:     s.degradeds.Load(),
+		LineageKeys:         s.lineages.keys(),
+		ProfileRegressions:  s.regressions.Load(),
+		JobsPeerFetched:     s.peerFetches.Load(),
+		Durable:             s.store != nil,
+		JournalReplays:      s.journalReplays.Load(),
+		RecordsTruncated:    s.recordsTruncated.Load(),
+		WindowsCheckpointed: s.windowsCheckpointed.Load(),
 	}
 	if s.cfg.ClusterStats != nil {
 		st.Cluster = s.cfg.ClusterStats()

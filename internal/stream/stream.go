@@ -16,7 +16,9 @@ package stream
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 
 	"optiwise/internal/core"
@@ -114,6 +116,15 @@ type Combiner struct {
 	sampleDone    bool
 	edgeDone      bool
 
+	// lastSampleSeq / lastEdgeSeq track the highest absorbed Seq per
+	// pass (-1 before the first increment). Increments at or below the
+	// mark are duplicates and fold to a no-op, which is what lets a
+	// combiner restored from a durable checkpoint sit in front of a
+	// deterministic re-run: the replayed early windows are recognized
+	// as already absorbed and only post-checkpoint windows accumulate.
+	lastSampleSeq int
+	lastEdgeSeq   int
+
 	funcs map[string]*FuncCycles
 }
 
@@ -122,9 +133,11 @@ type Combiner struct {
 // same workload would use for results to be comparable).
 func NewCombiner(prog *program.Program, opts core.Options) *Combiner {
 	return &Combiner{
-		prog:  prog,
-		opts:  opts,
-		funcs: make(map[string]*FuncCycles),
+		prog:          prog,
+		opts:          opts,
+		lastSampleSeq: -1,
+		lastEdgeSeq:   -1,
+		funcs:         make(map[string]*FuncCycles),
 	}
 }
 
@@ -145,6 +158,9 @@ func (c *Combiner) Add(inc Increment) error {
 func (c *Combiner) addSample(inc Increment) error {
 	if inc.Sample == nil {
 		return fmt.Errorf("stream: sampling increment without a profile")
+	}
+	if inc.Seq <= c.lastSampleSeq {
+		return nil // already absorbed (checkpoint-restored replay)
 	}
 	if c.sampleDone {
 		return fmt.Errorf("stream: sampling increment after the final window")
@@ -190,12 +206,16 @@ func (c *Combiner) addSample(inc Increment) error {
 	if inc.Final {
 		c.sampleDone = true
 	}
+	c.lastSampleSeq = inc.Seq
 	return nil
 }
 
 func (c *Combiner) addEdge(inc Increment) error {
 	if inc.Edge == nil {
 		return fmt.Errorf("stream: instrumentation increment without a profile")
+	}
+	if inc.Seq <= c.lastEdgeSeq {
+		return nil // already absorbed (checkpoint-restored replay)
 	}
 	if c.edgeDone {
 		return fmt.Errorf("stream: instrumentation increment after the final window")
@@ -221,6 +241,7 @@ func (c *Combiner) addEdge(inc Increment) error {
 	if inc.Final {
 		c.edgeDone = true
 	}
+	c.lastEdgeSeq = inc.Seq
 	return nil
 }
 
@@ -290,6 +311,78 @@ func (c *Combiner) Result(ctx context.Context) (*core.Profile, error) {
 			c.sp != nil, c.ep != nil)
 	}
 	return core.CombineContext(ctx, c.prog, c.sp, c.ep, c.opts)
+}
+
+// checkpointState is the serialized form of a Combiner: the cumulative
+// pass profiles, window summaries, and dedupe marks — everything Add
+// mutates, nothing derived. Funcs flattens the map to a sorted slice
+// so consecutive checkpoints of identical state are byte-identical
+// (the equivalence tests diff them directly).
+type checkpointState struct {
+	Sample        *sampler.Profile `json:"sample,omitempty"`
+	Edge          *dbi.Profile     `json:"edge,omitempty"`
+	SampleWindows []SampleWindow   `json:"sample_windows,omitempty"`
+	EdgeWindows   []EdgeWindow     `json:"edge_windows,omitempty"`
+	SampleDone    bool             `json:"sample_done"`
+	EdgeDone      bool             `json:"edge_done"`
+	LastSampleSeq int              `json:"last_sample_seq"`
+	LastEdgeSeq   int              `json:"last_edge_seq"`
+	Funcs         []FuncCycles     `json:"funcs,omitempty"`
+}
+
+// Checkpoint serializes the combiner's cumulative state. Restoring the
+// bytes into a fresh combiner (RestoreCombiner) and replaying the same
+// increment stream yields exactly the state an uninterrupted combiner
+// would hold: already-absorbed windows are skipped by sequence number,
+// later ones accumulate normally. Safe to call between increments of a
+// live run.
+func (c *Combiner) Checkpoint() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := checkpointState{
+		Sample:        c.sp,
+		Edge:          c.ep,
+		SampleWindows: c.sampleWindows,
+		EdgeWindows:   c.edgeWindows,
+		SampleDone:    c.sampleDone,
+		EdgeDone:      c.edgeDone,
+		LastSampleSeq: c.lastSampleSeq,
+		LastEdgeSeq:   c.lastEdgeSeq,
+	}
+	for _, fc := range c.funcs {
+		st.Funcs = append(st.Funcs, *fc)
+	}
+	sort.Slice(st.Funcs, func(i, j int) bool { return st.Funcs[i].Name < st.Funcs[j].Name })
+	data, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("stream: checkpoint: %w", err)
+	}
+	return data, nil
+}
+
+// RestoreCombiner rebuilds a Combiner from Checkpoint bytes. prog and
+// opts must match the original run (the checkpoint carries only
+// accumulated profile state, not the program), exactly as Result
+// requires them to match a one-shot run.
+func RestoreCombiner(prog *program.Program, opts core.Options, data []byte) (*Combiner, error) {
+	var st checkpointState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("stream: restore checkpoint: %w", err)
+	}
+	c := NewCombiner(prog, opts)
+	c.sp = st.Sample
+	c.ep = st.Edge
+	c.sampleWindows = st.SampleWindows
+	c.edgeWindows = st.EdgeWindows
+	c.sampleDone = st.SampleDone
+	c.edgeDone = st.EdgeDone
+	c.lastSampleSeq = st.LastSampleSeq
+	c.lastEdgeSeq = st.LastEdgeSeq
+	for i := range st.Funcs {
+		fc := st.Funcs[i]
+		c.funcs[fc.Name] = &fc
+	}
+	return c, nil
 }
 
 func ipc(insts, cycles uint64) float64 {

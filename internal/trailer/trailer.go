@@ -58,6 +58,15 @@ func (e *CorruptError) Error() string {
 	return "trailer: corrupt profile: " + e.Reason
 }
 
+// Checksum returns the CRC-32C (Castagnoli) of data — the same
+// polynomial the frame uses. Exported so record-oriented formats (the
+// durable job journal) can frame individual records with the exact
+// checksum a frame-level Verify would compute, and so anti-entropy
+// digest exchanges hash segments consistently across nodes.
+func Checksum(data []byte) uint32 {
+	return crc32.Checksum(data, castagnoli)
+}
+
 // Append returns data with a trailer appended. The payload bytes are
 // not copied when data has capacity.
 func Append(data []byte) []byte {

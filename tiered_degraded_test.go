@@ -1,0 +1,107 @@
+package optiwise
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"optiwise/internal/report"
+)
+
+// TestDegradedTieredCarriesBothBanners covers the degraded × tiered
+// interaction: a tiered run whose instrumentation pass dies degrades to
+// sampling-only, and the result must still render as tiered — both the
+// DEGRADED and TIERED banners, and '~'-flagged estimates, through every
+// renderer. A tiered profile that silently dropped its tiered-ness
+// would pass extrapolated counts off as a plain (if partial) result.
+func TestDegradedTieredCarriesBothBanners(t *testing.T) {
+	prog, err := Assemble("tiered", tieredSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withFault(t, "dbi.run:error:nth=1,msg=dbi pass killed")
+	prof, err := Profile(prog, Options{
+		SamplePeriod: 500, RandSeed: 1,
+		Tiered: true, HotThreshold: 0.05, AllowDegraded: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prof.Degraded || prof.FailedPass != "instrumentation" {
+		t.Fatalf("Degraded=%v FailedPass=%q, want sampling-only degradation",
+			prof.Degraded, prof.FailedPass)
+	}
+	if !prof.Tiered {
+		t.Fatal("degraded tiered run dropped the Tiered flag")
+	}
+	if len(prof.HotRanges) != 0 {
+		t.Errorf("no instrumentation ran, yet HotRanges = %v", prof.HotRanges)
+	}
+	for _, f := range prof.Funcs {
+		if !f.Estimated {
+			t.Errorf("%s: time-share instruction estimate not flagged Estimated", f.Name)
+		}
+	}
+
+	// Every renderer carries both banners.
+	renderers := map[string]func(*bytes.Buffer) error{
+		"summary":   func(b *bytes.Buffer) error { return report.WriteSummary(b, prof) },
+		"functions": func(b *bytes.Buffer) error { return report.WriteFunctionTable(b, prof) },
+		"all":       func(b *bytes.Buffer) error { return report.WriteAll(b, prof) },
+		"csv":       func(b *bytes.Buffer) error { return report.WriteInstCSV(b, prof) },
+		"loops-csv": func(b *bytes.Buffer) error { return report.WriteLoopCSV(b, prof) },
+		"yaml":      func(b *bytes.Buffer) error { return report.WriteYAML(b, prof) },
+	}
+	for name, render := range renderers {
+		var b bytes.Buffer
+		if err := render(&b); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		out := b.String()
+		if name == "yaml" {
+			// YAML carries the flags and banner text as document fields
+			// rather than comment lines.
+			for _, want := range []string{"degraded: true", "tiered: true",
+				"degraded_banner", "tiered_banner", "estimated: true"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("yaml output missing %q", want)
+				}
+			}
+			continue
+		}
+		for _, want := range []string{"DEGRADED RESULT", "TIERED PROFILE"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s output missing %q banner:\n%.200s", name, want, out)
+			}
+		}
+	}
+
+	// The function table marks its estimates, and the CSV schema gains
+	// the tiered estimated column.
+	var funcs bytes.Buffer
+	if err := report.WriteFunctionTable(&funcs, prof); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(funcs.String(), "~") {
+		t.Error("function table shows no '~' estimate markers")
+	}
+	var csv bytes.Buffer
+	if err := report.WriteInstCSV(&csv, prof); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), ",estimated") {
+		t.Error("tiered CSV schema missing the estimated column")
+	}
+
+	// The JSON export carries all three flags.
+	var js bytes.Buffer
+	if err := prof.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"degraded":true`, `"tiered":true`, `"Estimated":true`} {
+		if !strings.Contains(js.String(), want) {
+			t.Errorf("JSON export missing %s", want)
+		}
+	}
+}

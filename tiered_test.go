@@ -439,8 +439,11 @@ func TestTieredSelectFault(t *testing.T) {
 		t.Fatalf("Degraded=%v FailedPass=%q, want sampling-only degradation",
 			prof.Degraded, prof.FailedPass)
 	}
-	if prof.Tiered {
-		t.Error("sampling-only degraded profile flagged Tiered")
+	if !prof.Tiered {
+		t.Error("degraded tiered run dropped the Tiered flag; the report must carry both banners")
+	}
+	if len(prof.HotRanges) != 0 {
+		t.Errorf("no selection survived, yet HotRanges = %v", prof.HotRanges)
 	}
 }
 
