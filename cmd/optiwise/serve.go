@@ -63,6 +63,7 @@ func cmdServe(args []string) error {
 	peersFile := fs.String("peers-file", "", "file of sibling addresses (one host:port per line), re-read periodically — use when peer ports are assigned late")
 	advertise := fs.String("advertise", "", "address peers should reach this node at (default: the bound listen address)")
 	probeInterval := fs.Duration("probe-interval", 500*time.Millisecond, "cluster membership probe cadence")
+	ui := fs.Bool("ui", true, "serve the embedded dashboard at /ui/")
 	obsCfg := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,6 +104,7 @@ func cmdServe(args []string) error {
 		FlightDumpDir:      *flightDir,
 		FlightRecorderSize: *flightSize,
 		DataDir:            *dataDir,
+		UI:                 *ui,
 	})
 	if err != nil {
 		return err
@@ -188,6 +190,9 @@ func cmdServe(args []string) error {
 	} else {
 		fmt.Fprintf(os.Stderr, "optiwise: serving on http://%s (workers=%d queue=%d)\n",
 			ln.Addr(), srv.Config().Workers, srv.Config().QueueDepth)
+	}
+	if *ui {
+		fmt.Fprintf(os.Stderr, "optiwise: dashboard at http://%s/ui/\n", ln.Addr())
 	}
 
 	sigc := make(chan os.Signal, 1)
@@ -276,6 +281,9 @@ func (c *apiClient) do(f func(base string) (*http.Response, error)) (*http.Respo
 	return nil, lastErr
 }
 
+// base returns the URL of the last service address that answered.
+func (c *apiClient) base() string { return c.addrs[c.cur] }
+
 func (c *apiClient) get(path string) (*http.Response, error) {
 	return c.do(func(base string) (*http.Response, error) { return http.Get(base + path) })
 }
@@ -299,6 +307,7 @@ func cmdSubmit(args []string) error {
 	poll := fs.Bool("poll", false, "poll job status instead of a blocking submit")
 	traceID := fs.String("trace-id", "", "propagate a caller-chosen trace ID (32 lowercase hex digits; default: server-minted)")
 	traceOut := fs.String("trace-out", "", "after completion, download the job's Chrome trace JSON to this file")
+	open := fs.Bool("open", false, "print the job's dashboard drill-down URL after submission")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -356,6 +365,9 @@ func cmdSubmit(args []string) error {
 	st, err := decodeJobStatus(resp)
 	if err != nil {
 		return err
+	}
+	if *open {
+		fmt.Fprintf(os.Stderr, "optiwise: dashboard: %s/ui/#/jobs/%s\n", api.base(), st.ID)
 	}
 	if *poll {
 		for !st.State.Terminal() {

@@ -52,6 +52,8 @@ type config struct {
 	label    string
 	out      string
 	dupPool  int
+	jsonOut  bool
+	push     bool
 }
 
 func run(args []string) error {
@@ -67,6 +69,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "base RNG seed")
 	label := fs.String("label", "run", "label for this run in the output JSON")
 	out := fs.String("out", "", "merge this run's results into a JSON file keyed by label (e.g. BENCH_PR7.json); empty prints to stdout")
+	jsonOut := fs.Bool("json", false, "print the per-run summary JSON to stdout even when -out is set (the dashboard-ingestion shape)")
+	push := fs.Bool("push", false, "POST the per-run summary to each frontend's /api/v1/owload so the dashboard's cluster view renders it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,6 +86,8 @@ func run(args []string) error {
 		label:    *label,
 		out:      *out,
 		dupPool:  *dupPool,
+		jsonOut:  *jsonOut,
+		push:     *push,
 	}
 	if len(cfg.addrs) == 0 {
 		return fmt.Errorf("-addr wants at least one address")
@@ -444,10 +450,18 @@ func emit(cfg config, res *runResult) error {
 		cfg.label, res.JobsDone, res.Throughput, res.JobsFailed, res.Rejected, res.Transport,
 		res.LatencyMS.P50, res.LatencyMS.P90, res.LatencyMS.P99,
 		res.UniqueKeys, res.MaxComputes, res.Cached, res.Coalesced, res.PeerFetched)
-	if cfg.out == "" {
+	if cfg.push {
+		pushRun(res)
+	}
+	if cfg.out == "" || cfg.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(res)
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	}
+	if cfg.out == "" {
+		return nil
 	}
 	all := map[string]*runResult{}
 	if data, err := os.ReadFile(cfg.out); err == nil {
@@ -459,4 +473,30 @@ func emit(cfg config, res *runResult) error {
 		return err
 	}
 	return os.WriteFile(cfg.out, append(data, '\n'), 0o644)
+}
+
+// pushRun POSTs the summary to every frontend's owload-ingestion
+// endpoint so any node's dashboard can render the run. Push failures
+// warn and move on — the load numbers were already measured.
+func pushRun(res *runResult) {
+	body, err := json.Marshal(res)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "owload: push encode failed: %v\n", err)
+		return
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, addr := range res.Addrs {
+		resp, err := client.Post(addr+"/api/v1/owload", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "owload: push to %s failed: %v\n", addr, err)
+			continue
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // drain
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "owload: push to %s answered %s\n", addr, resp.Status)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "owload: run %q pushed to %s/api/v1/owload\n", res.Label, addr)
+	}
 }

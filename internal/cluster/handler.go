@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"optiwise/internal/fault"
 	"optiwise/internal/obs"
@@ -44,6 +45,7 @@ func (n *Node) Handler() http.Handler {
 		mux.Handle("GET "+prefix+"/jobs/{id}/report", lookup)
 		mux.Handle("GET "+prefix+"/jobs/{id}/trace", lookup)
 		mux.Handle("GET "+prefix+"/jobs/{id}/windows", lookup)
+		mux.Handle("GET "+prefix+"/jobs/{id}/drilldown", lookup)
 		mux.Handle("DELETE "+prefix+"/jobs/{id}", lookup)
 	}
 	mux.HandleFunc("GET /cluster/v1/state", n.handleState)
@@ -51,6 +53,9 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /cluster/v1/ring", n.handleRing)
 	mux.HandleFunc("POST /cluster/v1/replicas/{digest}", n.handleReplica)
 	mux.HandleFunc("GET /cluster/v1/digests", n.handleDigests)
+	mux.HandleFunc("GET /cluster/v1/metrics", n.handleFederated)
+	mux.HandleFunc("GET /cluster/v1/metrics/local", n.handleLocalMetrics)
+	mux.HandleFunc("GET /cluster/v1/traces/{traceID}", n.handleTraceSegments)
 	mux.Handle("/", base)
 	return mux
 }
@@ -94,13 +99,21 @@ func (n *Node) submitHandler(base http.Handler) http.Handler {
 			local()
 			return
 		}
+		// Pin the trace ID before routing: the forwarded submission, the
+		// owner's spans, and every later hop (peer fetch, replication) must
+		// share one ID for the stitched trace to assemble. An incoming
+		// traceparent wins; otherwise the router mints.
+		traceID, err := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if err != nil {
+			traceID = obs.NewTraceID()
+		}
 		owners := ring.Owners(key, n.cfg.ForwardAttempts)
 		for _, owner := range owners {
 			if owner == n.cfg.Self {
 				local()
 				return
 			}
-			if relayed := n.forward(w, r, owner, body); relayed {
+			if relayed := n.forward(w, r, owner, body, traceID); relayed {
 				return
 			}
 			n.forwardFailovers.Add(1)
@@ -117,11 +130,15 @@ func (n *Node) submitHandler(base http.Handler) http.Handler {
 // failed before a complete response was buffered — the caller then
 // fails over to the next owner with the same body, which is safe
 // because submissions are content-addressed (a duplicate accept costs
-// a coalesced or cached job, never a double result).
-func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner string, body []byte) bool {
+// a coalesced or cached job, never a double result). The routed-in
+// trace ID travels as a traceparent header and the hop is recorded as
+// a cluster.forward segment on this node, so the owner's stitched
+// trace shows where the submission entered the cluster.
+func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner string, body []byte, traceID string) bool {
 	if err := fault.Err(fault.SiteClusterForward); err != nil {
 		return false
 	}
+	start := time.Now()
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
 		"http://"+owner+r.URL.Path, bytes.NewReader(body))
 	if err != nil {
@@ -129,9 +146,7 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner string, bod
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(hdrForwarded, n.cfg.Self)
-	if tp := r.Header.Get("traceparent"); tp != "" {
-		req.Header.Set("traceparent", tp)
-	}
+	req.Header.Set("traceparent", "00-"+traceID+"-0000000000000001-01")
 	resp, err := n.client.Do(req)
 	if err != nil {
 		return false
@@ -153,6 +168,9 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner string, bod
 	if json.Unmarshal(respBody, &status) == nil && status.ID != "" {
 		n.routes.put(status.ID, owner)
 	}
+	n.recordSegment(traceID, "cluster.forward", start, map[string]string{
+		"target": owner, "status": resp.Status,
+	})
 	for _, h := range []string{"Content-Type", "Location", "Retry-After", "traceparent"} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)

@@ -142,6 +142,7 @@ type Node struct {
 	routes  *routeTable
 	fetchMu sync.Mutex
 	fetches map[string]*fetchCall
+	fed     *federator
 
 	// hints are keys whose replication could not reach their successor
 	// (hinted handoff); retried every anti-entropy tick. stopAE ends the
@@ -216,12 +217,16 @@ func New(cfg Config, srv *serve.Server) (*Node, error) {
 		},
 	}
 	n.mem = newMembership(cfg, n.probeClient())
+	n.fed = newFederator(n)
 	// Replication only makes sense when this node persists results.
-	var replicate func(key string, payload []byte, checksum string)
+	var replicate func(key string, payload []byte, checksum, traceID string)
 	if srv.Durable() {
 		replicate = n.replicate
 	}
 	srv.SetClusterHooks(n.peerFetch, n.clusterStats, replicate)
+	// Stitched traces: local segments plus whatever the live peers
+	// recorded for the same trace ID.
+	srv.SetTraceSegmentsHook(n.traceSegments)
 	return n, nil
 }
 

@@ -1,0 +1,211 @@
+package cluster_test
+
+// Observability-v3 cluster tests (DESIGN.md §14): the federated
+// /cluster/v1/metrics endpoint (node-labeled merge, dead-peer
+// staleness), cross-node trace stitching on forwarded submissions, and
+// the drill-down projection served through the lookup proxy.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// getText fetches url and returns status and body as a string.
+func getText(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// fedJSON is the decoded ?format=json federation body.
+type fedJSON struct {
+	Self  string `json:"self"`
+	Nodes []struct {
+		Node     string `json:"node"`
+		Stale    bool   `json:"stale"`
+		Snapshot struct {
+			Counters map[string]uint64 `json:"counters"`
+		} `json:"snapshot"`
+	} `json:"nodes"`
+}
+
+// TestClusterFederatedMetrics: one scrape of any node returns every
+// node's counters under distinct node labels, and killing a peer turns
+// its rows stale (node_up 0) without blocking or dropping the node.
+func TestClusterFederatedMetrics(t *testing.T) {
+	nodes := startCluster(t, 3)
+
+	// Wait until node 0's federated view sees all three members fresh.
+	// The scrape is cached for its staleness budget, so poll past it.
+	deadline := time.Now().Add(10 * time.Second)
+	var fed fedJSON
+	for {
+		getJSON(t, nodes[0].url()+"/cluster/v1/metrics?format=json", &fed)
+		fresh := 0
+		for _, n := range fed.Nodes {
+			if !n.Stale {
+				fresh++
+			}
+		}
+		if fresh == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("federated view never converged: %+v", fed.Nodes)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	status, text := getText(t, nodes[0].url()+"/cluster/v1/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("federated exposition: status %d", status)
+	}
+	for _, tn := range nodes {
+		up := fmt.Sprintf("optiwise_node_up{node=%q} 1", tn.addr)
+		if !strings.Contains(text, up) {
+			t.Errorf("exposition missing %s:\n%.2000s", up, text)
+		}
+	}
+	if n := strings.Count(text, "# TYPE optiwise_node_up gauge"); n != 1 {
+		t.Errorf("want one optiwise_node_up TYPE line, got %d", n)
+	}
+
+	// Kill node 2 and wait out the staleness budget plus probe
+	// demotion; the exposition must still answer, with the dead node
+	// marked down rather than missing.
+	killed := nodes[2].addr
+	nodes[2].kill()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		start := time.Now()
+		status, text = getText(t, nodes[0].url()+"/cluster/v1/metrics")
+		if d := time.Since(start); d > 5*time.Second {
+			t.Fatalf("federated scrape blocked %v on a dead peer", d)
+		}
+		if status != http.StatusOK {
+			t.Fatalf("federated exposition after kill: status %d", status)
+		}
+		if strings.Contains(text, fmt.Sprintf("optiwise_node_up{node=%q} 0", killed)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("killed node never went stale in exposition:\n%.2000s", text)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	// The survivors still report fresh.
+	for _, tn := range nodes[:2] {
+		up := fmt.Sprintf("optiwise_node_up{node=%q} 1", tn.addr)
+		if !strings.Contains(text, up) {
+			t.Errorf("surviving node missing from exposition: %s", up)
+		}
+	}
+	// Last-known counters for the dead node are still served (stale).
+	getJSON(t, nodes[0].url()+"/cluster/v1/metrics?format=json", &fed)
+	for _, n := range fed.Nodes {
+		if n.Node == killed && !n.Stale {
+			t.Errorf("killed node not marked stale in JSON view: %+v", n)
+		}
+	}
+}
+
+// forwardedJob submits variants through nodes[0] until one is routed to
+// a different node, returning that reply.
+func forwardedJob(t *testing.T, nodes []*testNode) jobReply {
+	t.Helper()
+	for seed := uint64(1); seed < 64; seed++ {
+		jr := postJob(t, nodes[0].url(), submission(3, seed), nil)
+		mustDone(t, jr, "submission")
+		if jr.node != nodes[0].addr {
+			return jr
+		}
+	}
+	t.Fatal("no submission routed away from node 0 in 64 tries")
+	return jobReply{}
+}
+
+// TestClusterStitchedTrace: a submission forwarded from node A to node
+// B exports one Chrome trace whose process rows name both nodes — B's
+// own span tree plus A's cluster.forward hop.
+func TestClusterStitchedTrace(t *testing.T) {
+	nodes := startCluster(t, 2)
+	jr := forwardedJob(t, nodes)
+
+	// Fetch through node A: the lookup proxies to the owner.
+	status, trace := getText(t, nodes[0].url()+"/v1/jobs/"+jr.ID+"/trace")
+	if status != http.StatusOK {
+		t.Fatalf("trace: status %d: %s", status, trace)
+	}
+	if !strings.Contains(trace, "cluster.forward") {
+		t.Errorf("stitched trace missing the router hop segment:\n%.3000s", trace)
+	}
+	for _, tn := range nodes {
+		want := fmt.Sprintf("node %s", tn.addr)
+		if !strings.Contains(trace, want) {
+			t.Errorf("stitched trace missing process row %q:\n%.3000s", want, trace)
+		}
+	}
+	if !strings.Contains(trace, `"trace_id"`) {
+		t.Error("stitched trace events carry no trace_id args")
+	}
+}
+
+// TestClusterDrilldownProxied: the drill-down projection of a job owned
+// by another node is served through the lookup proxy and reaches
+// instruction level.
+func TestClusterDrilldownProxied(t *testing.T) {
+	nodes := startCluster(t, 2)
+	jr := forwardedJob(t, nodes)
+
+	var dd struct {
+		TotalCycles uint64 `json:"total_cycles"`
+		Functions   []struct {
+			Name  string `json:"name"`
+			Loops []struct {
+				Blocks []struct {
+					Instructions []struct {
+						Disasm string  `json:"disasm"`
+						CPI    float64 `json:"cpi"`
+					} `json:"instructions"`
+				} `json:"blocks"`
+			} `json:"loops"`
+		} `json:"functions"`
+	}
+	status, handled := getJSON(t, nodes[0].url()+"/api/v1/jobs/"+jr.ID+"/drilldown", &dd)
+	if status != http.StatusOK {
+		t.Fatalf("drilldown: status %d", status)
+	}
+	if handled != jr.node {
+		t.Errorf("drilldown served by %q, want owner %q", handled, jr.node)
+	}
+	if dd.TotalCycles == 0 || len(dd.Functions) == 0 {
+		t.Fatalf("drilldown empty: %+v", dd)
+	}
+	foundInst := false
+	for _, f := range dd.Functions {
+		for _, l := range f.Loops {
+			for _, b := range l.Blocks {
+				for _, in := range b.Instructions {
+					if in.Disasm != "" {
+						foundInst = true
+					}
+				}
+			}
+		}
+	}
+	if !foundInst {
+		t.Errorf("drilldown never reached instruction level: %+v", dd.Functions)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"optiwise"
 	"optiwise/internal/fault"
@@ -129,11 +130,15 @@ func (n *Node) peerFetch(ctx context.Context, key string, prog *optiwise.Program
 
 // fetchFrom asks one sibling's cache for key. (nil, nil) is a clean
 // miss; errors cover the injected cluster.peer.fetch faults, transport
-// failures, and checksum/decode rejections.
+// failures, and checksum/decode rejections. The job's trace ID (riding
+// the worker's context) travels as a traceparent header so the serving
+// peer's segment lands in the same stitched trace as this node's.
 func (n *Node) fetchFrom(ctx context.Context, addr, key string, prog *optiwise.Program) (*optiwise.Result, error) {
 	if err := fault.Err(fault.SiteClusterPeerFetch); err != nil {
 		return nil, err
 	}
+	start := time.Now()
+	traceID := obs.TraceIDFromContext(ctx)
 	ctx, cancel := context.WithTimeout(ctx, n.cfg.FetchTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
@@ -141,11 +146,17 @@ func (n *Node) fetchFrom(ctx context.Context, addr, key string, prog *optiwise.P
 	if err != nil {
 		return nil, err
 	}
+	if traceID != "" {
+		req.Header.Set("traceparent", "00-"+traceID+"-0000000000000001-01")
+	}
 	resp, err := n.client.Do(req)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
+	n.recordSegment(traceID, "cluster.peer_fetch", start, map[string]string{
+		"peer": addr, "digest": shortKey(key), "status": resp.Status,
+	})
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusNotFound:
@@ -171,6 +182,7 @@ func (n *Node) fetchFrom(ctx context.Context, addr, key string, prog *optiwise.P
 // through the cluster.peer.fetch corrupt fault site after the checksum
 // is taken, modelling wire corruption the fetcher must catch.
 func (n *Node) handlePeerResult(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	key := r.PathValue("digest")
 	var payload []byte
 	var sum string
@@ -187,6 +199,11 @@ func (n *Node) handlePeerResult(w http.ResponseWriter, r *http.Request) {
 	}
 	n.peerServed.Add(1)
 	n.metrics.peerServed.Inc()
+	if tid, err := obs.ParseTraceparent(r.Header.Get("traceparent")); err == nil {
+		n.recordSegment(tid, "cluster.peer_serve", start, map[string]string{
+			"requester": r.RemoteAddr, "digest": shortKey(key),
+		})
+	}
 	payload = fault.Bytes(fault.SiteClusterPeerFetch, payload)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(hdrChecksum, sum)

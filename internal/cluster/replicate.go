@@ -28,8 +28,9 @@ import (
 // with every newly persisted result payload. The payload is pushed to
 // the key's first ring successor after self; any failure (or an
 // unhealthy successor) parks the key as a hint for the anti-entropy
-// loop to retry.
-func (n *Node) replicate(key string, payload []byte, checksum string) {
+// loop to retry. The job's trace ID rides along so both ends of the
+// transfer appear in the stitched trace.
+func (n *Node) replicate(key string, payload []byte, checksum, traceID string) {
 	target, healthy := n.replicaTarget(key)
 	if target == "" {
 		return // single-node ring (or self not durable enough to matter)
@@ -38,7 +39,7 @@ func (n *Node) replicate(key string, payload []byte, checksum string) {
 		n.hint(key)
 		return
 	}
-	if err := n.sendReplica(context.Background(), target, key, payload, checksum); err != nil {
+	if err := n.sendReplicaTraced(context.Background(), target, key, payload, checksum, traceID); err != nil {
 		obs.Warn("cluster: replication failed, key hinted",
 			obs.F("peer", target), obs.F("digest", shortKey(key)), obs.F("err", err.Error()))
 		n.hint(key)
@@ -70,14 +71,23 @@ func (n *Node) hint(key string) {
 	n.hintMu.Unlock()
 }
 
-// sendReplica pushes one persisted payload to addr. The
-// cluster.replicate fault site injects both outright failures and wire
-// corruption; the receiver's checksum gate turns the latter into a
-// rejected (and re-hinted) transfer, never a poisoned replica.
+// sendReplica pushes one persisted payload to addr (anti-entropy and
+// hint retries, which have no job trace to join).
 func (n *Node) sendReplica(ctx context.Context, addr, key string, payload []byte, checksum string) error {
+	return n.sendReplicaTraced(ctx, addr, key, payload, checksum, "")
+}
+
+// sendReplicaTraced pushes one persisted payload to addr, stamping the
+// transfer as a cluster.replicate_send segment when a trace ID is
+// known. The cluster.replicate fault site injects both outright
+// failures and wire corruption; the receiver's checksum gate turns the
+// latter into a rejected (and re-hinted) transfer, never a poisoned
+// replica.
+func (n *Node) sendReplicaTraced(ctx context.Context, addr, key string, payload []byte, checksum, traceID string) error {
 	if err := fault.Err(fault.SiteClusterReplicate); err != nil {
 		return err
 	}
+	start := time.Now()
 	payload = fault.Bytes(fault.SiteClusterReplicate, payload)
 	ctx, cancel := context.WithTimeout(ctx, n.cfg.FetchTimeout)
 	defer cancel()
@@ -88,6 +98,9 @@ func (n *Node) sendReplica(ctx context.Context, addr, key string, payload []byte
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(hdrChecksum, checksum)
+	if traceID != "" {
+		req.Header.Set("traceparent", "00-"+traceID+"-0000000000000001-01")
+	}
 	resp, err := n.client.Do(req)
 	if err != nil {
 		return err
@@ -97,6 +110,9 @@ func (n *Node) sendReplica(ctx context.Context, addr, key string, payload []byte
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("cluster: peer %s answered %s", addr, resp.Status)
 	}
+	n.recordSegment(traceID, "cluster.replicate_send", start, map[string]string{
+		"target": addr, "digest": shortKey(key),
+	})
 	return nil
 }
 
@@ -108,6 +124,7 @@ func (n *Node) handleReplica(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusNotImplemented, "node has no durable store")
 		return
 	}
+	start := time.Now()
 	key := r.PathValue("digest")
 	payload, err := io.ReadAll(io.LimitReader(r.Body, n.srv.Config().MaxBodyBytes*4))
 	if err != nil {
@@ -117,6 +134,11 @@ func (n *Node) handleReplica(w http.ResponseWriter, r *http.Request) {
 	if err := n.srv.StoreReplica(key, payload, r.Header.Get(hdrChecksum)); err != nil {
 		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	if tid, perr := obs.ParseTraceparent(r.Header.Get("traceparent")); perr == nil {
+		n.recordSegment(tid, "cluster.replicate_recv", start, map[string]string{
+			"sender": r.RemoteAddr, "digest": shortKey(key),
+		})
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"stored": key})
 }

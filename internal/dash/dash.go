@@ -1,0 +1,28 @@
+// Package dash embeds the zero-dependency single-page dashboard served
+// at /ui/: static HTML/JS/CSS compiled into the binary with go:embed,
+// talking to the serve layer's JSON APIs (job list, drill-down
+// projection, SSE push channels) and the cluster layer's federated
+// metrics and stitched traces. No build step, no external assets: the
+// dashboard works on an air-gapped profiling host exactly as it does
+// in CI.
+package dash
+
+import (
+	"embed"
+	"io/fs"
+	"net/http"
+)
+
+//go:embed static
+var staticFS embed.FS
+
+// Handler serves the dashboard under /ui/. The index is served for
+// /ui/ itself; asset paths map straight into the embedded tree.
+func Handler() http.Handler {
+	sub, err := fs.Sub(staticFS, "static")
+	if err != nil {
+		// Unreachable: the embed directive guarantees the directory.
+		panic(err)
+	}
+	return http.StripPrefix("/ui/", http.FileServer(http.FS(sub)))
+}

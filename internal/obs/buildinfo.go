@@ -1,0 +1,36 @@
+package obs
+
+import "runtime/debug"
+
+// BuildInfo is the process's build identity, exported as the
+// optiwise_build_info metric and shown in the dashboard header.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Commit    string `json:"commit"`
+}
+
+// ReadBuildInfo extracts the module version, Go toolchain version, and
+// VCS commit from the binary's embedded build info. Binaries built
+// outside module mode (go test, some dev builds) fall back to "dev" /
+// "unknown" so the metric stays well-formed.
+func ReadBuildInfo() BuildInfo {
+	out := BuildInfo{Version: "dev", GoVersion: "unknown", Commit: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out.GoVersion = bi.GoVersion
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		out.Version = v
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			out.Commit = s.Value
+			if len(out.Commit) > 12 {
+				out.Commit = out.Commit[:12]
+			}
+		}
+	}
+	return out
+}

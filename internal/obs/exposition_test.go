@@ -102,17 +102,49 @@ func TestPrometheusLint(t *testing.T) {
 
 var (
 	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
-	sampleRE     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]*)"\})? ([0-9]+)( # \{trace_id="[0-9a-f]{32}"\} [0-9]+ [0-9]+\.[0-9]{3})?$`)
+	sampleRE     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9]+)( # \{trace_id="[0-9a-f]{32}"\} [0-9]+ [0-9]+\.[0-9]{3})?$`)
+	labelPairRE  = regexp.MustCompile(`([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"(,|$)`)
 )
 
+// parseLabels validates one {k="v",...} block — well-formed pairs, keys
+// sorted and unique — and returns the label map (nil for a bare name).
+func parseLabels(t *testing.T, lineNo int, block string) map[string]string {
+	t.Helper()
+	if block == "" {
+		return nil
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	labels := map[string]string{}
+	prevKey := ""
+	consumed := 0
+	for _, m := range labelPairRE.FindAllStringSubmatchIndex(inner, -1) {
+		if m[0] != consumed {
+			break // gap: something between pairs did not parse as a pair
+		}
+		consumed = m[1]
+		key := inner[m[2]:m[3]]
+		if _, dup := labels[key]; dup {
+			t.Errorf("line %d: duplicate label %q in %q", lineNo, key, block)
+		}
+		if key <= prevKey {
+			t.Errorf("line %d: label keys not sorted in %q", lineNo, block)
+		}
+		prevKey = key
+		labels[key] = inner[m[4]:m[5]]
+	}
+	if consumed != len(inner) {
+		t.Errorf("line %d: malformed label block %q", lineNo, block)
+	}
+	return labels
+}
+
 // lintExposition enforces the exposition-format grammar on a full
-// /metrics payload.
+// /metrics payload — single-registry or federated, where every family
+// carries per-node sample groups and histogram buckets restart for
+// each node label value.
 func lintExposition(t *testing.T, text string, openMetrics bool) {
 	t.Helper()
-	type famState struct {
-		help, typ bool
-		samples   int
-		// histogram bookkeeping
+	type histState struct {
 		lastLE  float64
 		lastCum uint64
 		infSeen bool
@@ -120,7 +152,13 @@ func lintExposition(t *testing.T, text string, openMetrics bool) {
 		count   uint64
 		hasCnt  bool
 	}
+	type famState struct {
+		help, typ bool
+		samples   int
+		hist      map[string]*histState // keyed by node label ("" single-registry)
+	}
 	fams := map[string]*famState{}
+	seen := map[string]bool{} // name+labels uniqueness across the payload
 	var order []string
 	cur := ""
 	family := func(name string) string {
@@ -166,7 +204,7 @@ func lintExposition(t *testing.T, text string, openMetrics bool) {
 			if fams[name] != nil {
 				t.Errorf("line %d: duplicate family %q", i+1, name)
 			}
-			fams[name] = &famState{help: true, lastLE: -1}
+			fams[name] = &famState{help: true, hist: map[string]*histState{}}
 			order = append(order, name)
 			cur = name
 		case strings.HasPrefix(line, "# TYPE "):
@@ -199,10 +237,15 @@ func lintExposition(t *testing.T, text string, openMetrics bool) {
 			if m == nil {
 				t.Fatalf("line %d: sample does not match grammar: %q", i+1, line)
 			}
-			if m[5] != "" && !openMetrics {
+			if m[4] != "" && !openMetrics {
 				t.Errorf("line %d: exemplar in 0.0.4 output: %q", i+1, line)
 			}
 			name := m[1]
+			labels := parseLabels(t, i+1, m[2])
+			if seen[name+m[2]] {
+				t.Errorf("line %d: duplicate sample %s%s", i+1, name, m[2])
+			}
+			seen[name+m[2]] = true
 			fam := family(name)
 			st := fams[fam]
 			if st == nil || !st.typ {
@@ -213,36 +256,42 @@ func lintExposition(t *testing.T, text string, openMetrics bool) {
 				t.Errorf("line %d: sample for %q interleaves family %q", i+1, name, cur)
 			}
 			st.samples++
-			val, _ := strconv.ParseUint(m[4], 10, 64)
+			node := labels["node"]
+			hs := st.hist[node]
+			if hs == nil {
+				hs = &histState{lastLE: -1}
+				st.hist[node] = hs
+			}
+			val, _ := strconv.ParseUint(m[3], 10, 64)
 			switch {
 			case strings.HasSuffix(name, "_bucket"):
-				if st.infSeen {
+				if hs.infSeen {
 					t.Errorf("line %d: bucket after +Inf", i+1)
 				}
-				le := m[3]
+				le := labels["le"]
 				if le == "+Inf" {
-					st.infSeen = true
-					st.count = val
-					st.hasCnt = true
+					hs.infSeen = true
+					hs.count = val
+					hs.hasCnt = true
 				} else {
 					f, err := strconv.ParseFloat(le, 64)
 					if err != nil {
 						t.Errorf("line %d: bad le %q", i+1, le)
 					}
-					if f <= st.lastLE {
-						t.Errorf("line %d: le %q not increasing (prev %v)", i+1, le, st.lastLE)
+					if f <= hs.lastLE {
+						t.Errorf("line %d: le %q not increasing (prev %v)", i+1, le, hs.lastLE)
 					}
-					st.lastLE = f
+					hs.lastLE = f
 				}
-				if val < st.lastCum {
-					t.Errorf("line %d: bucket counts not cumulative: %d < %d", i+1, val, st.lastCum)
+				if val < hs.lastCum {
+					t.Errorf("line %d: bucket counts not cumulative: %d < %d", i+1, val, hs.lastCum)
 				}
-				st.lastCum = val
+				hs.lastCum = val
 			case strings.HasSuffix(name, "_sum") && fam != name:
-				st.sum = true
+				hs.sum = true
 			case strings.HasSuffix(name, "_count") && fam != name:
-				if !st.hasCnt || val != st.count {
-					t.Errorf("line %d: _count %d != +Inf bucket %d", i+1, val, st.count)
+				if !hs.hasCnt || val != hs.count {
+					t.Errorf("line %d: _count %d != +Inf bucket %d", i+1, val, hs.count)
 				}
 			}
 		}
@@ -257,8 +306,10 @@ func lintExposition(t *testing.T, text string, openMetrics bool) {
 		if st.samples == 0 {
 			t.Errorf("family %q has no samples", name)
 		}
-		if st.hasCnt && !st.sum {
-			t.Errorf("histogram %q missing _sum", name)
+		for node, hs := range st.hist {
+			if hs.hasCnt && !hs.sum {
+				t.Errorf("histogram %q (node %q) missing _sum", name, node)
+			}
 		}
 	}
 }

@@ -174,6 +174,12 @@ type Registry struct {
 	counts map[string]*CounterMetric
 	gauges map[string]*GaugeMetric
 	hists  map[string]*HistogramMetric
+
+	// Runtime-info families, enabled once by EnableRuntimeInfo: a
+	// labeled optiwise_build_info sample and an uptime gauge computed
+	// from start at exposition time.
+	buildInfo *BuildInfo
+	start     time.Time
 }
 
 // NewRegistry returns an empty metrics registry.
@@ -182,7 +188,39 @@ func NewRegistry() *Registry {
 		counts: make(map[string]*CounterMetric),
 		gauges: make(map[string]*GaugeMetric),
 		hists:  make(map[string]*HistogramMetric),
+		start:  time.Now(),
 	}
+}
+
+// EnableRuntimeInfo turns on the optiwise_build_info and
+// optiwise_uptime_seconds families: build_info exports bi as constant
+// version/go_version/commit labels with value 1, uptime is computed
+// from the registry's creation time at each exposition. Idempotent and
+// nil-safe; the first call wins.
+func (r *Registry) EnableRuntimeInfo(bi BuildInfo) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.buildInfo == nil {
+		r.buildInfo = &bi
+	}
+}
+
+// RuntimeInfo returns the build info installed by EnableRuntimeInfo
+// and the registry uptime, or ok=false when runtime info is disabled.
+// Nil-safe.
+func (r *Registry) RuntimeInfo() (bi BuildInfo, uptime time.Duration, ok bool) {
+	if r == nil {
+		return BuildInfo{}, 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.buildInfo == nil {
+		return BuildInfo{}, 0, false
+	}
+	return *r.buildInfo, time.Since(r.start), true
 }
 
 // Counter returns (creating if needed) the named counter. Nil-safe:
@@ -326,6 +364,16 @@ const (
 	MDurableWindowsCheckpointed = "optiwise_durable_windows_checkpointed_total"
 	MClusterReplications        = "optiwise_cluster_replications_total"
 	MClusterAntiEntropyRepairs  = "optiwise_cluster_antientropy_repairs_total"
+
+	// Observability-v3 metrics (DESIGN.md §14): runtime info, the
+	// federated cluster-wide metrics view, and dashboard push channels.
+	MBuildInfo                 = "optiwise_build_info"
+	MUptimeSeconds             = "optiwise_uptime_seconds"
+	MNodeUp                    = "optiwise_node_up"
+	MClusterFederationScrapes  = "optiwise_cluster_federation_scrapes_total"
+	MClusterFederationFailures = "optiwise_cluster_federation_failures_total"
+	MClusterFederationStale    = "optiwise_cluster_federation_stale_total"
+	MServeSSEClients           = "optiwise_serve_sse_clients"
 )
 
 // CacheHits names the hit counter of one simulated cache level; the
@@ -466,6 +514,20 @@ func helpFor(name string) string {
 		return "Completed results replicated to the key's ring successor (including hinted handoffs delivered late)."
 	case MClusterAntiEntropyRepairs:
 		return "Replica divergences repaired by the anti-entropy pass via the checksum-verified peer-fetch path."
+	case MBuildInfo:
+		return "Build metadata as constant labels (version, go_version, commit); value is always 1."
+	case MUptimeSeconds:
+		return "Seconds since this node's metrics registry was created."
+	case MNodeUp:
+		return "1 when the node's registry snapshot in a federated exposition is fresh, 0 when it is a stale last-known copy."
+	case MClusterFederationScrapes:
+		return "Peer registry snapshots fetched by the federated metrics endpoint."
+	case MClusterFederationFailures:
+		return "Peer registry scrapes that failed and fell back to a stale snapshot."
+	case MClusterFederationStale:
+		return "Federated responses that included at least one stale peer snapshot."
+	case MServeSSEClients:
+		return "Server-sent-event streams currently open (job events and cluster view)."
 	}
 	return "OptiWISE metric " + name + "."
 }

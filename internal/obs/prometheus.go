@@ -27,13 +27,18 @@ type promFamily struct {
 	c    *CounterMetric
 	g    *GaugeMetric
 	h    *HistogramMetric
+	// Fixed-sample families (build_info, uptime) carry a pre-rendered
+	// label block and a literal value instead of a metric handle.
+	labels string
+	fixed  int64
+	isInfo bool
 }
 
 // families snapshots the registry as a sorted, duplicate-checked family
 // list.
 func (r *Registry) families() ([]promFamily, error) {
 	r.mu.Lock()
-	fams := make([]promFamily, 0, len(r.counts)+len(r.gauges)+len(r.hists))
+	fams := make([]promFamily, 0, len(r.counts)+len(r.gauges)+len(r.hists)+2)
 	for _, c := range r.counts {
 		fams = append(fams, promFamily{name: c.name, help: c.help, typ: "counter", c: c})
 	}
@@ -42,6 +47,13 @@ func (r *Registry) families() ([]promFamily, error) {
 	}
 	for _, h := range r.hists {
 		fams = append(fams, promFamily{name: h.name, help: h.help, typ: "histogram", h: h})
+	}
+	if r.buildInfo != nil {
+		fams = append(fams,
+			promFamily{name: MBuildInfo, help: helpFor(MBuildInfo), typ: "gauge",
+				labels: buildInfoLabels(*r.buildInfo), fixed: 1, isInfo: true},
+			promFamily{name: MUptimeSeconds, help: helpFor(MUptimeSeconds), typ: "gauge",
+				fixed: int64(nowSince(r.start)), isInfo: true})
 	}
 	r.mu.Unlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
@@ -105,7 +117,11 @@ func (r *Registry) writeExposition(w io.Writer, openMetrics bool) error {
 				return err
 			}
 		case "gauge":
-			if _, err := fmt.Fprintf(w, "%s %d\n", f.name, f.g.Value()); err != nil {
+			v := f.fixed
+			if !f.isInfo {
+				v = f.g.Value()
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, f.labels, v); err != nil {
 				return err
 			}
 		case "histogram":
@@ -165,6 +181,14 @@ func writePromHistogram(w io.Writer, h *HistogramMetric, openMetrics bool) error
 		return err
 	}
 	return nil
+}
+
+// buildInfoLabels renders the constant label block of the
+// optiwise_build_info family, keys in sorted order.
+func buildInfoLabels(bi BuildInfo) string {
+	return `{commit="` + EscapeLabelValue(bi.Commit) +
+		`",go_version="` + EscapeLabelValue(bi.GoVersion) +
+		`",version="` + EscapeLabelValue(bi.Version) + `"}`
 }
 
 // pow2 returns 2^i as a float64 for bucket bounds past uint64 shifts.

@@ -1,0 +1,76 @@
+package obs
+
+import "time"
+
+// nowSince is a test seam for uptime computation.
+var nowSince = func(t0 time.Time) float64 { return time.Since(t0).Seconds() }
+
+// Registry snapshots: the JSON-portable form of a registry that the
+// federated metrics layer ships between nodes. A snapshot carries the
+// raw bucket counts (sparse, by log₂ index) rather than a rendered
+// exposition so the scraping node can re-render the merged view in
+// whichever format the client asked for.
+
+// HistogramSnapshot is one histogram's state: sparse log₂ bucket
+// counts keyed by bits.Len64 index, plus sum and count.
+type HistogramSnapshot struct {
+	Buckets map[int]uint64 `json:"buckets,omitempty"`
+	Sum     uint64         `json:"sum"`
+	Count   uint64         `json:"count"`
+}
+
+// RegistrySnapshot is a point-in-time copy of every metric in a
+// registry, plus the runtime-info families when enabled.
+type RegistrySnapshot struct {
+	Counters      map[string]uint64            `json:"counters,omitempty"`
+	Gauges        map[string]int64             `json:"gauges,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Build         *BuildInfo                   `json:"build,omitempty"`
+	UptimeSeconds float64                      `json:"uptime_seconds,omitempty"`
+}
+
+// FullSnapshot copies the registry's current values in the
+// JSON-portable federation form. (Snapshot, in pprof.go, is the older
+// flat expvar view.) Nil-safe: a nil registry yields an empty
+// snapshot.
+func (r *Registry) FullSnapshot() RegistrySnapshot {
+	var snap RegistrySnapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counts) > 0 {
+		snap.Counters = make(map[string]uint64, len(r.counts))
+		for name, c := range r.counts {
+			snap.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			snap.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistogramSnapshot{Sum: h.Sum(), Count: h.Count()}
+			for i := 0; i < histBuckets; i++ {
+				if v := h.buckets[i].Load(); v > 0 {
+					if hs.Buckets == nil {
+						hs.Buckets = make(map[int]uint64)
+					}
+					hs.Buckets[i] = v
+				}
+			}
+			snap.Histograms[name] = hs
+		}
+	}
+	if r.buildInfo != nil {
+		bi := *r.buildInfo
+		snap.Build = &bi
+		snap.UptimeSeconds = nowSince(r.start)
+	}
+	return snap
+}

@@ -258,7 +258,7 @@ func (s *Server) persistCompleted(g *group, res *optiwise.Result, members []*Job
 		obs.Warn("serve: drop checkpoint failed", obs.F("digest", shortDigest(g.key)), obs.F("err", err.Error()))
 	}
 	if s.cfg.Replicate != nil {
-		go s.cfg.Replicate(g.key, payload, sum)
+		go s.cfg.Replicate(g.key, payload, sum, g.traceID)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"optiwise"
+	"optiwise/internal/dash"
 	"optiwise/internal/diff"
 	"optiwise/internal/obs"
 )
@@ -35,10 +36,23 @@ import (
 //	GET    /healthz             liveness (503 while draining)
 //	GET    /readyz              readiness (503 + Retry-After when the
 //	                            queue is saturated or draining)
+//	GET    /v1/jobs             recent jobs, newest first (?limit=)
+//	GET    /v1/jobs/{id}/drilldown  function → loop → block →
+//	                            instruction CPI projection (dashboard)
+//	GET    /v1/jobs/{id}/events server-sent events: live status and
+//	                            streamed-window pushes until terminal
+//	GET    /v1/owload           last ingested owload run summary
+//	POST   /v1/owload           ingest an owload -json run summary
 //	GET    /metrics             Prometheus exposition of the obs
 //	                            registry (OpenMetrics with exemplars
 //	                            when Accept asks for it)
 //	POST   /debug/flightrecorder/dump  snapshot the flight recorder
+//	GET    /debug/flightrecorder       list retained dumps (id,
+//	                            timestamp, trigger)
+//	GET    /debug/flightrecorder/{id}  fetch one retained dump
+//
+// With Config.UI set, the embedded dashboard (internal/dash) is
+// mounted at /ui/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	api := func(method, path string, h http.HandlerFunc) {
@@ -46,18 +60,32 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc(method+" /api/v1"+path, h)
 	}
 	api("POST", "/jobs", s.handleSubmit)
+	api("GET", "/jobs", s.handleJobList)
 	api("GET", "/jobs/{id}", s.handleStatus)
 	api("GET", "/jobs/{id}/report", s.handleReport)
 	api("GET", "/jobs/{id}/trace", s.handleTrace)
+	api("GET", "/jobs/{id}/drilldown", s.handleDrilldown)
 	api("GET", "/jobs/{id}/windows", s.handleWindows)
+	api("GET", "/jobs/{id}/events", s.handleJobEvents)
 	api("DELETE", "/jobs/{id}", s.handleCancel)
 	api("GET", "/lineages/{key}", s.handleLineage)
 	api("GET", "/lineages/{key}/diff", s.handleLineageDiff)
 	api("GET", "/stats", s.handleStats)
+	api("GET", "/stats/events", s.handleStatsEvents)
+	api("GET", "/owload", s.handleOwloadGet)
+	api("POST", "/owload", s.handleOwloadPut)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /debug/flightrecorder/dump", s.handleFlightDump)
+	mux.HandleFunc("GET /debug/flightrecorder", s.handleFlightList)
+	mux.HandleFunc("GET /debug/flightrecorder/{id}", s.handleFlightGet)
+	if s.cfg.UI {
+		mux.Handle("GET /ui/", dash.Handler())
+		mux.HandleFunc("GET /ui", func(w http.ResponseWriter, r *http.Request) {
+			http.Redirect(w, r, "/ui/", http.StatusMovedPermanently)
+		})
+	}
 	return mux
 }
 
@@ -424,9 +452,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleTrace serves the job's span tree as Chrome trace JSON
-// (chrome://tracing / Perfetto "Open trace file"). A job whose result
-// was served from the cache never executed, so it has no trace; that
-// and not-yet-started jobs answer 409 with a descriptive error.
+// (chrome://tracing / Perfetto "Open trace file"), stitched with the
+// cross-node segments other cluster members recorded for the job's
+// trace ID (router hop, peer serve, replication), so the export names
+// every node the job touched. A job whose result was served from the
+// cache never executed, so it has no trace; that and not-yet-started
+// jobs answer 409 with a descriptive error.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(r.PathValue("id"))
 	if !ok {
@@ -434,7 +465,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var buf bytes.Buffer
-	if err := job.WriteTrace(&buf); err != nil {
+	if err := job.WriteTraceStitched(&buf, s.selfNode(), s.traceSegments(job.TraceID)); err != nil {
 		writeError(w, http.StatusConflict, err.Error())
 		return
 	}

@@ -195,6 +195,28 @@ func (j *Job) WriteTrace(w io.Writer) error {
 	return tr.WriteChromeTrace(w)
 }
 
+// WriteTraceStitched is WriteTrace with cross-node stitching: selfNode
+// names the local process in the export and segs are the trace
+// segments other nodes (or post-execution local cluster paths)
+// recorded for the job's trace ID, grafted onto the tracer's timeline
+// as per-node Chrome trace processes.
+func (j *Job) WriteTraceStitched(w io.Writer, selfNode string, segs []obs.TraceSegment) error {
+	j.mu.Lock()
+	tr := j.tracer
+	cached := j.cached
+	j.mu.Unlock()
+	if tr == nil {
+		if cached {
+			return errors.New("serve: no trace recorded: result served from cache without executing")
+		}
+		return errors.New("serve: no trace recorded yet: execution has not started")
+	}
+	if selfNode == "" && len(segs) == 0 {
+		return tr.WriteChromeTrace(w)
+	}
+	return tr.WriteChromeTraceStitched(w, selfNode, segs)
+}
+
 // StreamSnapshot returns the live windowed-profiling view of the job's
 // execution: per-window sampling and instrumentation increments plus the
 // cumulative totals combined so far (see optiwise.StreamSnapshot). Like

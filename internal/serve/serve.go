@@ -120,11 +120,18 @@ type Config struct {
 	// rebuilt, incomplete jobs re-enqueued, streamed jobs resumed from
 	// their last durable window. Empty runs fully in memory.
 	DataDir string
+	// UI mounts the embedded drill-down dashboard (internal/dash) at
+	// /ui/ on the server's handler. Off by default so embedded and test
+	// servers stay API-only; the serve command enables it unless
+	// -ui=false.
+	UI bool
 	// Replicate, when set (by the cluster layer), receives every newly
 	// persisted result payload plus its checksum for asynchronous
-	// replication to the key's ring successors. Nil on single-node or
-	// non-durable servers.
-	Replicate func(key string, payload []byte, checksum string)
+	// replication to the key's ring successors, along with the
+	// originating job's trace ID so the transfer can be stitched into
+	// the job's distributed trace. Nil on single-node or non-durable
+	// servers.
+	Replicate func(key string, payload []byte, checksum, traceID string)
 	// PeerFetch, when set (by the cluster layer, DESIGN.md §11), is
 	// consulted by a worker after it dequeues a cache-missing execution
 	// and before it simulates: a true return supplies the finished
@@ -140,6 +147,12 @@ type Config struct {
 	// ClusterStats, when set, contributes the cluster section of Stats
 	// and the cluster fields on /readyz. Nil on single-node servers.
 	ClusterStats func() *ClusterStats
+	// TraceSegments, when set (by the cluster layer), returns every
+	// cross-node trace segment recorded for a trace ID — local and
+	// fetched from live peers — so GET /v1/jobs/{id}/trace can stitch
+	// one span tree naming every node the job touched. Nil servers fall
+	// back to the local obs segment store.
+	TraceSegments func(traceID string) []obs.TraceSegment
 }
 
 // ClusterStats is the cluster section of a Stats snapshot, produced by
@@ -270,8 +283,38 @@ type Server struct {
 	wg                  sync.WaitGroup
 
 	// dumpMu guards the retained flight-dump history (newest last).
-	dumpMu sync.Mutex
-	dumps  []obs.FlightDump
+	// Each retained dump gets a process-unique ID so the listing
+	// endpoint (GET /debug/flightrecorder) can address it.
+	dumpMu     sync.Mutex
+	dumps      []retainedDump
+	nextDumpID int
+
+	// start anchors the uptime surfaced in Stats and the dashboard
+	// header; build is the process build identity.
+	start time.Time
+	build obs.BuildInfo
+
+	// owloadMu guards the most recent owload run summary pushed via
+	// POST /v1/owload (rendered by the dashboard's cluster view).
+	owloadMu     sync.Mutex
+	owloadRun    []byte
+	owloadSeenAt time.Time
+}
+
+// retainedDump is one in-memory flight dump plus its listing ID.
+type retainedDump struct {
+	id   int
+	dump obs.FlightDump
+}
+
+// DumpInfo is the listing form of one retained flight dump.
+type DumpInfo struct {
+	ID      int       `json:"id"`
+	TakenAt time.Time `json:"taken_at"`
+	Reason  string    `json:"reason"`
+	TraceID string    `json:"trace_id,omitempty"`
+	Records int       `json:"records"`
+	Dropped uint64    `json:"dropped,omitempty"`
 }
 
 // New builds a Server; call Start to launch its workers. When
@@ -304,7 +347,12 @@ func NewDurable(cfg Config) (*Server, error) {
 		jobs:     make(map[string]*Job),
 		groups:   make(map[string]*group),
 		stop:     make(chan struct{}),
+		start:    time.Now(),
+		build:    obs.ReadBuildInfo(),
 	}
+	// Runtime-info families: every server surfaces its build identity
+	// and uptime on the installed registry (idempotent, nil-safe).
+	obs.ActiveRegistry().EnableRuntimeInfo(s.build)
 	if cfg.DataDir != "" {
 		store, sum, err := durable.Open(cfg.DataDir)
 		if err != nil {
@@ -327,11 +375,42 @@ func (s *Server) Config() Config { return s.cfg }
 func (s *Server) SetClusterHooks(
 	peerFetch func(ctx context.Context, key string, prog *optiwise.Program) (*optiwise.Result, bool),
 	stats func() *ClusterStats,
-	replicate func(key string, payload []byte, checksum string),
+	replicate func(key string, payload []byte, checksum, traceID string),
 ) {
 	s.cfg.PeerFetch = peerFetch
 	s.cfg.ClusterStats = stats
 	s.cfg.Replicate = replicate
+}
+
+// SetTraceSegmentsHook installs the cluster layer's cross-node trace
+// segment collector (see Config.TraceSegments). Call after New and
+// before Start, like SetClusterHooks.
+func (s *Server) SetTraceSegmentsHook(fn func(traceID string) []obs.TraceSegment) {
+	s.cfg.TraceSegments = fn
+}
+
+// traceSegments collects the cross-node segments for a trace ID via
+// the cluster hook, falling back to the local obs segment store.
+func (s *Server) traceSegments(traceID string) []obs.TraceSegment {
+	if traceID == "" {
+		return nil
+	}
+	if s.cfg.TraceSegments != nil {
+		return s.cfg.TraceSegments(traceID)
+	}
+	return obs.SegmentsFor(traceID)
+}
+
+// selfNode returns the cluster-advertised node address, or "" on
+// single-node servers.
+func (s *Server) selfNode() string {
+	if s.cfg.ClusterStats == nil {
+		return ""
+	}
+	if cs := s.cfg.ClusterStats(); cs != nil {
+		return cs.Self
+	}
+	return ""
 }
 
 // Start launches the worker pool (and, on a durable server, re-enqueues
@@ -773,7 +852,8 @@ func (s *Server) dumpFlight(reason, trace string) (obs.FlightDump, bool) {
 	d := fr.Dump(reason, trace)
 	obs.Counter(obs.MFlightDumps).Inc()
 	s.dumpMu.Lock()
-	s.dumps = append(s.dumps, d)
+	s.nextDumpID++
+	s.dumps = append(s.dumps, retainedDump{id: s.nextDumpID, dump: d})
 	if len(s.dumps) > maxRetainedDumps {
 		s.dumps = s.dumps[len(s.dumps)-maxRetainedDumps:]
 	}
@@ -797,8 +877,87 @@ func (s *Server) Dumps() []obs.FlightDump {
 	s.dumpMu.Lock()
 	defer s.dumpMu.Unlock()
 	out := make([]obs.FlightDump, len(s.dumps))
-	copy(out, s.dumps)
+	for i, rd := range s.dumps {
+		out[i] = rd.dump
+	}
 	return out
+}
+
+// DumpInfos lists the retained dumps (id, timestamp, trigger), newest
+// first — the discoverable side of the POST-to-dump endpoint.
+func (s *Server) DumpInfos() []DumpInfo {
+	s.dumpMu.Lock()
+	defer s.dumpMu.Unlock()
+	out := make([]DumpInfo, 0, len(s.dumps))
+	for i := len(s.dumps) - 1; i >= 0; i-- {
+		rd := s.dumps[i]
+		out = append(out, DumpInfo{
+			ID:      rd.id,
+			TakenAt: rd.dump.TakenAt,
+			Reason:  rd.dump.Reason,
+			TraceID: rd.dump.Trace,
+			Records: len(rd.dump.Records),
+			Dropped: rd.dump.Dropped,
+		})
+	}
+	return out
+}
+
+// DumpByID fetches one retained dump by its listing ID.
+func (s *Server) DumpByID(id int) (obs.FlightDump, bool) {
+	s.dumpMu.Lock()
+	defer s.dumpMu.Unlock()
+	for _, rd := range s.dumps {
+		if rd.id == id {
+			return rd.dump, true
+		}
+	}
+	return obs.FlightDump{}, false
+}
+
+// JobList returns the most recent limit job statuses, newest first
+// (limit <= 0 selects 100). The dashboard's job table reads it.
+func (s *Server) JobList(limit int) []JobStatus {
+	if limit <= 0 {
+		limit = 100
+	}
+	s.mu.Lock()
+	ids := make([]string, 0, limit)
+	for i := len(s.order) - 1; i >= 0 && len(ids) < limit; i-- {
+		ids = append(ids, s.order[i])
+	}
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		if j := s.jobs[id]; j != nil {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	return out
+}
+
+// SetOwloadRun stores the most recent owload run summary (raw JSON)
+// for the dashboard's cluster view.
+func (s *Server) SetOwloadRun(raw []byte) {
+	s.owloadMu.Lock()
+	s.owloadRun = append([]byte(nil), raw...)
+	s.owloadSeenAt = time.Now()
+	s.owloadMu.Unlock()
+}
+
+// OwloadRun returns the most recent ingested owload summary and when
+// it arrived; ok=false when none was pushed yet.
+func (s *Server) OwloadRun() (raw []byte, seen time.Time, ok bool) {
+	s.owloadMu.Lock()
+	defer s.owloadMu.Unlock()
+	if s.owloadRun == nil {
+		return nil, time.Time{}, false
+	}
+	return s.owloadRun, s.owloadSeenAt, true
 }
 
 // writeDumpFile persists one dump into Config.FlightDumpDir, through
@@ -1106,6 +1265,11 @@ type Stats struct {
 	// Cluster is the routing and membership view contributed by the
 	// cluster layer; omitted on single-node servers.
 	Cluster *ClusterStats `json:"cluster,omitempty"`
+	// Build is the process build identity (version, Go toolchain,
+	// commit); UptimeSeconds is time since the server was constructed.
+	// The dashboard header renders both.
+	Build         obs.BuildInfo `json:"build"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
 }
 
 // Stats returns the current operational snapshot.
@@ -1132,6 +1296,8 @@ func (s *Server) Stats() Stats {
 		JournalReplays:      s.journalReplays.Load(),
 		RecordsTruncated:    s.recordsTruncated.Load(),
 		WindowsCheckpointed: s.windowsCheckpointed.Load(),
+		Build:               s.build,
+		UptimeSeconds:       time.Since(s.start).Seconds(),
 	}
 	if s.cfg.ClusterStats != nil {
 		st.Cluster = s.cfg.ClusterStats()
